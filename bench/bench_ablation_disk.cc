@@ -1,0 +1,178 @@
+// Ablation: disk-model design choices behind Table 17 and lmdd.
+//
+//  * track read-ahead buffer: sequential 512B reads with vs. without it
+//    (without = every read pays rotation + media);
+//  * request size sweep: ops/s and MB/s as the transfer grows;
+//  * sequential vs. random lmdd on the simulated disk (the paper's
+//    "20-80 ops/second under database load" regime).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/virtual_clock.h"
+#include "src/simdisk/lmdd.h"
+#include "src/simdisk/sim_disk.h"
+#include "src/simfs/sim_fs.h"
+
+namespace {
+
+using namespace lmb;
+
+// Average simulated service time of `n` sequential reads of `bytes`.
+double avg_read_us(simdisk::SimDisk& disk, VirtualClock& clock, std::uint32_t bytes, int n) {
+  std::vector<char> buf(bytes);
+  Nanos start = clock.now();
+  std::uint64_t offset = 0;
+  for (int i = 0; i < n; ++i) {
+    offset += disk.read(offset, buf.data(), buf.size());
+  }
+  return static_cast<double>(clock.now() - start) / n / 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)benchx::parse_options(argc, argv);
+  benchx::print_header("Ablation: disk model", "track buffer, request size, access pattern");
+
+  simdisk::DiskGeometry geometry;
+  simdisk::DiskTimingParams timing;
+
+  // 1. Track buffer on vs. "off" (emulated by a buffer-busting stride that
+  //    jumps a full track per read, so no read ever hits the buffer).
+  {
+    VirtualClock clock;
+    simdisk::SimDisk disk(geometry, timing, clock);
+    double with_buffer = avg_read_us(disk, clock, 512, 512);
+
+    VirtualClock clock2;
+    simdisk::SimDisk disk2(geometry, timing, clock2);
+    std::vector<char> buf(512);
+    Nanos start = clock2.now();
+    int n = 128;
+    for (int i = 0; i < n; ++i) {
+      // One read per track: every request is a media access.
+      disk2.read(static_cast<std::uint64_t>(i) * geometry.track_bytes(), buf.data(), 512);
+    }
+    double without_buffer = static_cast<double>(clock2.now() - start) / n / 1e3;
+    std::printf("sequential 512B reads, device service time per op:\n");
+    std::printf("  track buffer hit : %8.1f us\n", with_buffer);
+    std::printf("  buffer miss      : %8.1f us  (%.0fx slower)\n\n", without_buffer,
+                without_buffer / with_buffer);
+  }
+
+  // 2. Request-size sweep.
+  {
+    std::printf("sequential read request-size sweep (device time):\n  %8s  %10s  %10s\n",
+                "size", "us/op", "MB/s");
+    for (std::uint32_t size : {512u, 4096u, 65536u, 1048576u}) {
+      VirtualClock clock;
+      simdisk::SimDisk disk(geometry, timing, clock);
+      int n = static_cast<int>(std::min<std::uint64_t>(256, disk.size_bytes() / size));
+      double us = avg_read_us(disk, clock, size, n);
+      std::printf("  %7uK  %10.1f  %10.2f\n", size >> 10, us,
+                  static_cast<double>(size) / (us * 1e-6) / (1024.0 * 1024.0));
+    }
+    std::printf("\n");
+  }
+
+  // 2b. Zoned-bit recording: sequential read rate, outer vs inner tracks.
+  {
+    simdisk::DiskTimingParams zoned = timing;
+    zoned.inner_media_mb_per_sec = 3.0;
+    for (bool inner : {false, true}) {
+      VirtualClock clock;
+      simdisk::SimDisk disk(geometry, zoned, clock);
+      std::uint64_t base = inner ? disk.size_bytes() - 64 * geometry.track_bytes() : 0;
+      std::vector<char> buf(static_cast<size_t>(geometry.track_bytes()));
+      Nanos start = clock.now();
+      for (int i = 0; i < 64; ++i) {
+        disk.read(base + static_cast<std::uint64_t>(i) * geometry.track_bytes(), buf.data(),
+                  buf.size());
+      }
+      double secs = static_cast<double>(clock.now() - start) / 1e9;
+      std::printf("zoned-bit recording, %s tracks: %6.2f MB/s sequential\n",
+                  inner ? "inner" : "outer",
+                  64.0 * static_cast<double>(geometry.track_bytes()) / (1 << 20) / secs);
+    }
+    std::printf("-> outer zones stream faster (more sectors per revolution), like the\n"
+                "   period drives the paper measured.\n\n");
+  }
+
+  // 2c. Write-behind cache: burst of 4KB writes, cached vs write-through.
+  {
+    for (std::uint64_t cache : {std::uint64_t{0}, std::uint64_t{1} << 20}) {
+      VirtualClock clock;
+      simdisk::DiskTimingParams t = timing;
+      t.write_cache_bytes = cache;
+      simdisk::SimDisk disk(geometry, t, clock);
+      std::vector<char> buf(4096, 'w');
+      Nanos start = clock.now();
+      for (int i = 0; i < 64; ++i) {
+        disk.write(static_cast<std::uint64_t>(i) * 4096, buf.data(), buf.size());
+      }
+      double us_per_op = static_cast<double>(clock.now() - start) / 64 / 1e3;
+      std::printf("64x4KB write burst, %-13s: %8.1f us/op\n",
+                  cache == 0 ? "write-through" : "1MB cache", us_per_op);
+    }
+    std::printf("\n");
+  }
+
+  // 3. lmdd sequential vs. random (8KB blocks, the database regime).
+  {
+    for (auto pattern : {simdisk::AccessPattern::kSequential, simdisk::AccessPattern::kRandom}) {
+      VirtualClock clock;
+      simdisk::SimDisk disk(geometry, timing, clock);
+      simdisk::LmddConfig cfg;
+      cfg.block_bytes = 8192;
+      cfg.count = 1024;
+      cfg.generate_pattern = true;
+      cfg.pattern = simdisk::AccessPattern::kSequential;
+      simdisk::lmdd_run(nullptr, &disk, cfg, clock);
+
+      simdisk::LmddConfig read_cfg;
+      read_cfg.block_bytes = 8192;
+      read_cfg.count = 1024;
+      read_cfg.pattern = pattern;
+      simdisk::LmddResult r = simdisk::lmdd_run(&disk, nullptr, read_cfg, clock);
+      double ops_per_sec = 1e9 * r.blocks_moved / static_cast<double>(r.elapsed);
+      std::printf("lmdd 8KB %s read: %7.2f MB/s, %6.0f ops/s\n",
+                  pattern == simdisk::AccessPattern::kSequential ? "sequential" : "random    ",
+                  r.mb_per_sec, ops_per_sec);
+    }
+    std::printf("-> random lands in the paper's \"disks under database load typically run\n"
+                "   at 20-80 operations per second\" regime; sequential rides the buffer.\n");
+  }
+
+  // 4. Filesystem tax: writing 4KB files through SimFs (create + data +
+  //    metadata discipline) vs raw sequential device writes of the same
+  //    bytes — the cost §6.8 attributes to directory integrity.
+  {
+    std::printf("\nwriting 64 x 4KB through the filesystem vs raw device:\n");
+    for (auto mode : {simfs::DurabilityMode::kAsync, simfs::DurabilityMode::kSync}) {
+      VirtualClock clock;
+      simdisk::SimDisk disk(geometry, timing, clock);
+      simfs::SimFileSystem fs(disk, mode);
+      std::vector<char> buf(4096, 'f');
+      Nanos start = clock.now();
+      for (int i = 0; i < 64; ++i) {
+        std::string name = "f" + std::to_string(i);
+        fs.create(name);
+        fs.write_data(name, 0, buf.data(), buf.size());
+      }
+      std::printf("  SimFs %-9s: %8.1f us per file\n", simfs::durability_mode_name(mode),
+                  static_cast<double>(clock.now() - start) / 64 / 1e3);
+    }
+    VirtualClock clock;
+    simdisk::SimDisk disk(geometry, timing, clock);
+    std::vector<char> buf(4096, 'f');
+    Nanos start = clock.now();
+    for (int i = 0; i < 64; ++i) {
+      disk.write(static_cast<std::uint64_t>(i) * 4096, buf.data(), buf.size());
+    }
+    std::printf("  raw device     : %8.1f us per 4KB write\n",
+                static_cast<double>(clock.now() - start) / 64 / 1e3);
+    std::printf("-> synchronous metadata multiplies the per-file cost; async filesystems\n"
+                "   pay only the data writes (Table 16's story, seen from the write path).\n");
+  }
+  return 0;
+}

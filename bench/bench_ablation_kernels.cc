@@ -1,0 +1,102 @@
+// Ablation: raw kernel micro-costs under google-benchmark.
+//
+// Design choices this probes:
+//  * libc memcpy vs. the paper's hand-unrolled word copy, across sizes that
+//    land in L1 / L2 / memory (§5.1's cache-sizing discussion);
+//  * read-sum vs. write cost asymmetry (the Pentium-Pro effect of Table 2);
+//  * pointer-chase cost: stride order vs. randomized order (prefetch defeat).
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/bw/kernels.h"
+#include "src/lat/lat_mem_rd.h"
+#include "src/sys/mapped_file.h"
+
+namespace {
+
+using lmb::bw::copy_libc;
+using lmb::bw::copy_unrolled;
+using lmb::bw::read_sum_unrolled;
+using lmb::bw::write_unrolled;
+
+void BM_CopyLibc(benchmark::State& state) {
+  size_t words = static_cast<size_t>(state.range(0)) / 8;
+  std::vector<std::uint64_t> src(words, 1), dst(words, 0);
+  for (auto _ : state) {
+    copy_libc(dst.data(), src.data(), words);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CopyLibc)->Arg(16 << 10)->Arg(256 << 10)->Arg(8 << 20);
+
+void BM_CopyUnrolled(benchmark::State& state) {
+  size_t words = static_cast<size_t>(state.range(0)) / 8;
+  words -= words % lmb::bw::kUnrollWords;
+  std::vector<std::uint64_t> src(words, 1), dst(words, 0);
+  for (auto _ : state) {
+    copy_unrolled(dst.data(), src.data(), words);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(words * 8));
+}
+BENCHMARK(BM_CopyUnrolled)->Arg(16 << 10)->Arg(256 << 10)->Arg(8 << 20);
+
+void BM_ReadSum(benchmark::State& state) {
+  size_t words = static_cast<size_t>(state.range(0)) / 8;
+  words -= words % lmb::bw::kUnrollWords;
+  std::vector<std::uint64_t> src(words, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(read_sum_unrolled(src.data(), words));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(words * 8));
+}
+BENCHMARK(BM_ReadSum)->Arg(16 << 10)->Arg(8 << 20);
+
+void BM_Write(benchmark::State& state) {
+  size_t words = static_cast<size_t>(state.range(0)) / 8;
+  words -= words % lmb::bw::kUnrollWords;
+  std::vector<std::uint64_t> dst(words, 0);
+  for (auto _ : state) {
+    write_unrolled(dst.data(), words, 42);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(words * 8));
+}
+BENCHMARK(BM_Write)->Arg(16 << 10)->Arg(8 << 20);
+
+void chase_benchmark(benchmark::State& state, lmb::lat::ChaseOrder order) {
+  size_t bytes = static_cast<size_t>(state.range(0));
+  size_t stride = 64;
+  size_t slots = bytes / stride;
+  lmb::sys::AnonMapping region(bytes);
+  auto next = lmb::lat::build_chain(slots, order);
+  char* base = region.data();
+  for (size_t i = 0; i < slots; ++i) {
+    *reinterpret_cast<void**>(base + i * stride) = base + next[i] * stride;
+  }
+  void** start = reinterpret_cast<void**>(base);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lmb::lat::chase(start, 10000));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+
+void BM_ChaseStrideOrder(benchmark::State& state) {
+  chase_benchmark(state, lmb::lat::ChaseOrder::kStrideBackward);
+}
+BENCHMARK(BM_ChaseStrideOrder)->Arg(16 << 10)->Arg(16 << 20);
+
+void BM_ChaseRandomOrder(benchmark::State& state) {
+  chase_benchmark(state, lmb::lat::ChaseOrder::kRandom);
+}
+BENCHMARK(BM_ChaseRandomOrder)->Arg(16 << 10)->Arg(16 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Ablation: the timing-policy design choices of §3.4.
+//
+// 1. min-vs-mean: on a variance-prone benchmark (context switching, "up to
+//    30%" in the paper), how much do the minimum, median and mean differ?
+// 2. interval sizing: how does per-op accuracy change as the timed interval
+//    shrinks toward the clock tick?
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/lat/lat_ipc.h"
+#include "src/lat/lat_syscall.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  (void)benchx::parse_options(argc, argv);
+
+  benchx::print_header("Ablation: timing policy", "min-of-N vs mean; interval sizing (§3.4)");
+
+  ClockResolution res = probe_resolution(WallClock::instance());
+  std::printf("clock: tick %lld ns, read overhead %lld ns\n\n",
+              static_cast<long long>(res.tick), static_cast<long long>(res.read_overhead));
+
+  // 1. Variability on pipe round trips.
+  {
+    lat::IpcLatConfig cfg;
+    cfg.policy.repetitions = 15;
+    cfg.policy.min_interval = 5 * kMillisecond;
+    Measurement m = measure_pipe_latency(cfg);
+    std::printf("pipe round trip over %d repetitions (us):\n", m.repetitions);
+    std::printf("  min %.2f   median %.2f   mean %.2f   max %.2f   cv %.1f%%\n",
+                m.ns_per_op / 1e3, m.median_ns_per_op / 1e3, m.mean_ns_per_op / 1e3,
+                m.max_ns_per_op / 1e3, m.sample.coefficient_of_variation() * 100);
+    std::printf("  -> the paper reports the MINIMUM; mean is inflated %.1f%% by "
+                "scheduler/cache noise\n\n",
+                (m.mean_ns_per_op / m.ns_per_op - 1) * 100);
+  }
+
+  // 2. Interval sizing on the null syscall.
+  {
+    std::printf("null-syscall latency vs. timed-interval length:\n");
+    std::printf("  %12s  %10s  %12s  %8s\n", "interval", "us/op", "iters/interval", "cv%");
+    for (Nanos interval : {100 * kMicrosecond, kMillisecond, 10 * kMillisecond,
+                           100 * kMillisecond}) {
+      TimingPolicy policy;
+      policy.min_interval = interval;
+      policy.repetitions = 7;
+      Measurement m = lat::measure_null_write(policy);
+      std::printf("  %9lld us  %10.3f  %12llu  %7.2f\n",
+                  static_cast<long long>(interval / 1000), m.us_per_op(),
+                  static_cast<unsigned long long>(m.iterations),
+                  m.sample.coefficient_of_variation() * 100);
+    }
+    std::printf("  -> longer intervals amortize clock granularity; the paper hand-tuned\n"
+                "     loops \"lasting for many clock ticks\" for exactly this reason.\n");
+  }
+  return 0;
+}

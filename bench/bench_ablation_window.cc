@@ -1,0 +1,62 @@
+// Ablation: socket-buffer (window) sizing for TCP bandwidth.
+//
+// §5.2: "the send and receive socket buffers are enlarged to 1M ... setting
+// the transfer size equal to the socket buffer size produces the greatest
+// throughput."  Shown two ways: live loopback TCP with varying buffers, and
+// the netsim sliding-window stream where throughput = min(wire, window/RTT).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/bw/bw_ipc.h"
+#include "src/netsim/stream.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+
+  benchx::print_header("Ablation: window sizing", "socket buffers / in-flight window vs. "
+                                                  "throughput");
+
+  std::printf("live loopback TCP (total 8MB):\n  %10s  %10s\n", "buffer", "MB/s");
+  for (int buffer : {16 << 10, 64 << 10, 256 << 10, 1 << 20}) {
+    bw::IpcBwConfig cfg = bw::IpcBwConfig::tcp_default();
+    cfg.total_bytes = opts.quick() ? (2u << 20) : (8u << 20);
+    cfg.chunk_bytes = static_cast<size_t>(buffer);
+    cfg.socket_buffer_bytes = buffer;
+    cfg.repetitions = 2;
+    std::printf("  %9dK  %10.0f\n", buffer >> 10, bw::measure_tcp_bw(cfg).mb_per_sec);
+  }
+
+  std::printf("\nsimulated 100baseT stream (8MB, 50us per-segment host cost):\n"
+              "  %10s  %10s  %14s\n", "window", "MB/s", "wire ceiling");
+  for (std::uint64_t window : {8u << 10, 32u << 10, 128u << 10, 1u << 20}) {
+    netsim::LinkProfile link = netsim::LinkProfile::ethernet_100baseT();
+    netsim::StreamConfig cfg;
+    cfg.total_bytes = 8u << 20;
+    cfg.window_bytes = window;
+    cfg.per_segment_cost = 50 * kMicrosecond;
+    netsim::StreamResult r = netsim::simulate_stream_transfer(link, cfg);
+    std::printf("  %9lluK  %10.2f  %11.2f MB/s\n",
+                static_cast<unsigned long long>(window >> 10), r.mb_per_sec,
+                link.payload_mb_per_sec());
+  }
+  std::printf("\n-> throughput saturates once window >= bandwidth x RTT; below that it is\n"
+              "   window/RTT-limited, which is why the paper enlarges buffers to 1M.\n");
+
+  std::printf("\nsimulated 100baseT stream under packet loss (go-back-N, 5ms RTO):\n"
+              "  %8s  %10s  %12s\n", "loss", "MB/s", "retransmits");
+  for (double loss : {0.0, 0.001, 0.01, 0.05}) {
+    netsim::StreamConfig cfg;
+    cfg.total_bytes = 2u << 20;
+    cfg.window_bytes = 256u << 10;
+    cfg.loss_rate = loss;
+    cfg.retransmit_timeout = 5 * kMillisecond;
+    netsim::StreamResult r =
+        netsim::simulate_stream_transfer(netsim::LinkProfile::ethernet_100baseT(), cfg);
+    std::printf("  %7.1f%%  %10.2f  %12llu\n", loss * 100, r.mb_per_sec,
+                static_cast<unsigned long long>(r.retransmits));
+  }
+  std::printf("-> even 1%% loss collapses a window-limited stream (each drop stalls a\n"
+              "   full RTO) — why the paper's latency-sensitive apps prefer UDP + acks.\n");
+  return 0;
+}

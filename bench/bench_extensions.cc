@@ -1,0 +1,93 @@
+// The paper's §7 "Future work" items, implemented and measured:
+//   * McCalpin STREAM kernels (copy/scale/add/triad);
+//   * dirty-read (read-modify-write) memory latency vs. clean-read;
+//   * TLB miss cost;
+//   * automatic sizing: pick buffer sizes from the detected cache hierarchy.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/bw/stream.h"
+#include "src/core/mhz.h"
+#include "src/lat/lat_mem_rd.h"
+#include "src/lat/lat_ops.h"
+#include "src/lat/lat_tlb.h"
+#include "src/lat/mem_hierarchy.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+  bool quick = opts.quick();
+
+  benchx::print_header("Extensions", "the paper's section-7 future-work items");
+
+  // 1. STREAM.
+  {
+    bw::StreamConfig cfg = quick ? bw::StreamConfig::quick() : bw::StreamConfig{};
+    std::printf("McCalpin STREAM (%zu MB arrays):\n", cfg.elements * 8 >> 20);
+    for (const auto& r : bw::measure_stream_all(cfg)) {
+      std::printf("  %-6s %10.0f MB/s\n", bw::stream_kernel_name(r.kernel), r.mb_per_sec);
+    }
+    std::printf("  (paper §5.1: our bcopy numbers are 1/2 to 1/3 of STREAM's because\n"
+                "   STREAM counts all words moved)\n\n");
+  }
+
+  // 1b. Arithmetic operation latencies (lmbench lat_ops).
+  {
+    CpuClock cpu = estimate_cpu_clock(TimingPolicy::quick());
+    std::printf("arithmetic operation latencies (dependent chains):\n");
+    for (const auto& r : lat::measure_all_op_latencies(TimingPolicy::quick())) {
+      std::printf("  %-10s  %6.2f ns  (%.1f clocks)\n", lat::arith_op_name(r.op), r.ns_per_op,
+                  cpu.clocks(r.ns_per_op));
+    }
+    std::printf("\n");
+  }
+
+  // 2. Dirty vs clean memory latency.
+  {
+    lat::MemLatConfig cfg;
+    cfg.array_bytes = quick ? (8u << 20) : (32u << 20);
+    cfg.stride_bytes = 64;
+    cfg.order = lat::ChaseOrder::kRandom;
+    cfg.policy = TimingPolicy::quick();
+    double clean = lat::measure_mem_latency(cfg).ns_per_load;
+    double dirty = lat::measure_mem_latency_dirty(cfg).ns_per_load;
+    std::printf("memory latency, %zuMB randomized chains:\n", cfg.array_bytes >> 20);
+    std::printf("  clean read  %7.1f ns/load\n", clean);
+    std::printf("  dirty walk  %7.1f ns/load  (%+.1f ns write-back effect per miss)\n\n",
+                dirty, dirty - clean);
+  }
+
+  // 3. TLB.
+  {
+    lat::TlbConfig cfg = quick ? lat::TlbConfig::quick() : lat::TlbConfig{};
+    auto points = lat::sweep_tlb(cfg);
+    std::printf("TLB sweep (one access per page, random order):\n  %8s  %10s\n", "pages",
+                "ns/access");
+    for (const auto& p : points) {
+      std::printf("  %8d  %10.1f\n", p.pages, p.ns_per_access);
+    }
+    lat::TlbEstimate est = lat::estimate_tlb(points);
+    if (est.entries > 0) {
+      std::printf("  -> knee at ~%d pages; TLB-miss plateau +%.1f ns\n\n", est.entries,
+                  est.miss_cost_ns);
+    } else {
+      std::printf("  -> no knee found up to %d pages (large/huge TLB)\n\n", cfg.max_pages);
+    }
+  }
+
+  // 4. Automatic sizing.
+  {
+    lat::MemLatSweepConfig sweep;
+    sweep.min_bytes = 4096;
+    sweep.max_bytes = quick ? (16u << 20) : (32u << 20);
+    sweep.strides = {64};
+    sweep.order = lat::ChaseOrder::kRandom;
+    auto hierarchy = lat::extract_hierarchy(lat::sweep_mem_latency(sweep));
+    size_t size = lat::autosize_beyond_cache(hierarchy);
+    std::printf("automatic sizing (§7): largest detected cache %zu KB -> bandwidth\n"
+                "benchmarks should use %zu MB buffers (suite default: 8 MB)\n",
+                hierarchy.caches.empty() ? 0 : hierarchy.caches.back().size_bytes >> 10,
+                size >> 20);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 2: Context switch time vs. number of processes, one series per
+// cache footprint, overhead-subtracted.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/lat/lat_ctx.h"
+#include "src/report/plot.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+
+  std::vector<int> procs = {2, 4, 8, 12, 16, 20};
+  std::vector<size_t> sizes = {0, 4u << 10, 16u << 10, 32u << 10, 64u << 10};
+  lat::CtxConfig base = opts.quick() ? lat::CtxConfig::quick() : lat::CtxConfig{};
+  if (!opts.quick()) {
+    base.token_passes = 1000;
+    base.repetitions = 3;
+  }
+  if (opts.quick()) {
+    procs = {2, 4, 8};
+    sizes = {0, 16u << 10};
+  }
+
+  benchx::print_header("Figure 2", "Context switch times vs. ring size, per footprint");
+  benchx::print_config_line("pipe-ring token passing; per-hop pipe+sum overhead measured in one "
+                            "process and subtracted (paper §6.6)");
+
+  auto results = lat::sweep_ctx(procs, sizes, base);
+
+  report::Plot plot("Figure 2. Context switch times (this machine)", "processes",
+                    "context switch time (us)");
+  plot.set_size(60, 18);
+  for (size_t size : sizes) {
+    report::Series series;
+    double overhead = 0;
+    for (const auto& r : results) {
+      if (r.footprint_bytes == size) {
+        series.points.push_back({static_cast<double>(r.processes), r.ctx_us});
+        overhead = r.overhead_us;
+      }
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "size=%zuKB overhead=%.0f", size >> 10, overhead);
+    series.label = label;
+    plot.add_series(std::move(series));
+  }
+  std::printf("%s\n", plot.render().c_str());
+
+  std::printf("Raw context switch times (us, overhead subtracted):\n  procs");
+  for (size_t size : sizes) {
+    std::printf("  %4zuKB", size >> 10);
+  }
+  std::printf("\n");
+  for (int p : procs) {
+    std::printf("  %5d", p);
+    for (size_t size : sizes) {
+      for (const auto& r : results) {
+        if (r.processes == p && r.footprint_bytes == size) {
+          std::printf("  %6.1f", r.ctx_us);
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper reference (Linux/i686 Pentium Pro, Figure 2): times cluster low until\n"
+              "the total working set exceeds the 256K L2 cache (~.25M), then rise sharply.\n");
+  return 0;
+}

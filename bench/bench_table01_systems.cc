@@ -1,0 +1,35 @@
+// Table 1: System descriptions — the embedded database plus this machine.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/mhz.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  (void)benchx::parse_options(argc, argv);
+
+  benchx::print_header("Table 1", "System descriptions");
+  benchx::print_config_line("the paper's 15 systems (1992-95) plus the host this build ran on");
+
+  report::Table table("Table 1. System descriptions",
+                      {{"Name", 0}, {"Vendor & model", 0}, {"Multi/Uni", 0}, {"OS", 0},
+                       {"CPU", 0}, {"Mhz", 0}, {"Year", 0}, {"SPECInt92", 0}, {"List price", 0}});
+  for (const auto& row : db::paper_table1()) {
+    table.add_row({row.name, row.vendor, std::string(row.multiprocessor ? "MP" : "Uni"), row.os,
+                   row.cpu, static_cast<double>(row.mhz), static_cast<double>(row.year),
+                   row.specint92, row.list_price});
+  }
+
+  SystemInfo info = query_system_info();
+  CpuClock cpu = estimate_cpu_clock(TimingPolicy::quick());
+  table.add_row({info.label(), info.cpu_model.empty() ? std::string("unknown") : info.cpu_model,
+                 std::string(info.cpu_count > 1 ? "MP" : "Uni"),
+                 info.os_name + " " + info.os_release, info.machine, cpu.mhz, 2026.0,
+                 report::Cell{}, std::string("n/a")});
+  table.mark_last_row("this machine");
+  std::printf("%s\n", table.render().c_str());
+  std::printf("host: %d cpu(s), %lld MB RAM, page size %lld\n", info.cpu_count,
+              static_cast<long long>(info.phys_mem_bytes >> 20),
+              static_cast<long long>(info.page_size));
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 2: Memory bandwidth (MB/s) — libc bcopy, unrolled bcopy, read, write.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/bw/bw_mem.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+
+  bw::MemBwConfig cfg;
+  cfg.bytes = static_cast<size_t>(opts.get_size("size", opts.quick() ? (1 << 20) : (8 << 20)));
+  if (opts.quick()) {
+    cfg.policy = TimingPolicy::quick();
+  }
+
+  benchx::print_header("Table 2", "Memory bandwidth (MB/s)");
+  benchx::print_config_line("copy/read/write over " + std::to_string(cfg.bytes >> 20) +
+                            " MB buffers; paper rows from the embedded database");
+
+  auto rows = bw::measure_mem_bw_all(cfg);
+
+  report::Table table("Table 2. Memory bandwidth (MB/s)",
+                      {{"System", 0}, {"Libc bcopy", 0}, {"Unrolled bcopy", 0},
+                       {"Memory read", 0}, {"Memory write", 0}});
+  for (const auto& row : db::paper_table2()) {
+    table.add_row({row.system, benchx::cell(row.bcopy_libc), benchx::cell(row.bcopy_unrolled),
+                   benchx::cell(row.mem_read), benchx::cell(row.mem_write)});
+  }
+  table.add_row({benchx::this_system(), rows[0].mb_per_sec, rows[1].mb_per_sec,
+                 rows[2].mb_per_sec, rows[3].mb_per_sec});
+  table.mark_last_row("measured on this machine");
+  table.sort_by(2, report::SortOrder::kDescending);  // paper sorts on unrolled bcopy
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 3: Pipe and local TCP bandwidth (MB/s).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/bw/bw_ipc.h"
+#include "src/bw/bw_mem.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+  bool quick = opts.quick();
+
+  benchx::print_header("Table 3", "Pipe and local TCP bandwidth (MB/s)");
+  benchx::print_config_line(
+      "pipe: 50MB in 64KB transfers; TCP: loopback, 1MB transfers, 1MB socket buffers");
+
+  bw::MemBwConfig mem_cfg;
+  mem_cfg.bytes = quick ? (1 << 20) : (8 << 20);
+  if (quick) {
+    mem_cfg.policy = TimingPolicy::quick();
+  }
+  double libc_mb = bw::measure_mem_bw(bw::MemOp::kCopyLibc, mem_cfg).mb_per_sec;
+
+  bw::IpcBwConfig pipe_cfg = quick ? bw::IpcBwConfig::quick() : bw::IpcBwConfig::pipe_default();
+  double pipe_mb = bw::measure_pipe_bw(pipe_cfg).mb_per_sec;
+
+  bw::IpcBwConfig tcp_cfg = bw::IpcBwConfig::tcp_default();
+  if (quick) {
+    tcp_cfg.total_bytes = 4u << 20;
+    tcp_cfg.repetitions = 2;
+  }
+  double tcp_mb = bw::measure_tcp_bw(tcp_cfg).mb_per_sec;
+
+  // Extension: lmbench's bw_unix (AF_UNIX pair), printed after the table.
+  double unix_mb = bw::measure_unix_bw(pipe_cfg).mb_per_sec;
+
+  report::Table table("Table 3. Pipe and local TCP bandwidth (MB/s)",
+                      {{"System", 0}, {"Libc bcopy", 0}, {"pipe", 0}, {"TCP", 0}});
+  for (const auto& row : db::paper_table3()) {
+    table.add_row(
+        {row.system, benchx::cell(row.bcopy_libc), benchx::cell(row.pipe), benchx::cell(row.tcp)});
+  }
+  table.add_row({benchx::this_system(), libc_mb, pipe_mb, tcp_mb});
+  table.mark_last_row("measured on this machine");
+  table.sort_by(2, report::SortOrder::kDescending);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("AF_UNIX stream bandwidth on this machine: %.0f MB/s\n", unix_mb);
+  return 0;
+}

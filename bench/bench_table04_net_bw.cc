@@ -1,0 +1,50 @@
+// Table 4: Remote TCP bandwidth (MB/s) over Hippi / 100baseT / FDDI / 10baseT.
+//
+// Substitution: no second machine or real NICs are available, so the wire is
+// the netsim link model and the host software costs are measured live on
+// loopback (the decomposition §6.7 itself uses).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/bw/bw_ipc.h"
+#include "src/lat/lat_ipc.h"
+#include "src/netsim/remote.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+
+  benchx::print_header("Table 4", "Remote TCP bandwidth (MB/s) — simulated wires");
+  benchx::print_config_line(
+      "host software costs measured on loopback; wire = netsim link profiles; "
+      "8MB bulk transfer with a 1MB window");
+
+  // Live loopback inputs for the host model.
+  lat::IpcLatConfig lat_cfg = lat::IpcLatConfig::quick();
+  double tcp_rtt_us = lat::measure_tcp_latency(lat_cfg).us_per_op();
+  double udp_rtt_us = lat::measure_udp_latency(lat_cfg).us_per_op();
+
+  bw::IpcBwConfig bw_cfg = bw::IpcBwConfig::tcp_default();
+  bw_cfg.total_bytes = opts.quick() ? (4u << 20) : (16u << 20);
+  bw_cfg.repetitions = 2;
+  double tcp_loopback_mb = bw::measure_tcp_bw(bw_cfg).mb_per_sec;
+
+  netsim::HostCosts hosts = netsim::HostCosts::from_loopback(tcp_rtt_us, udp_rtt_us,
+                                                             tcp_loopback_mb);
+
+  report::Table table("Table 4. Remote TCP bandwidth (MB/s)",
+                      {{"System", 0}, {"Network", 0}, {"TCP bandwidth", 1}});
+  for (const auto& row : db::paper_table4()) {
+    table.add_row({row.system, row.network, benchx::cell(row.tcp_bw)});
+  }
+  for (const auto& link : netsim::paper_networks()) {
+    netsim::RemoteBandwidth r = netsim::model_remote_bandwidth(link, hosts, 8u << 20, 1u << 20);
+    table.add_row({benchx::this_system(), link.name + " (sim)", r.tcp_mb_per_sec});
+    table.mark_last_row("this host + modeled wire");
+  }
+  table.sort_by(2, report::SortOrder::kDescending);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("loopback inputs: TCP rtt %.0f us, UDP rtt %.0f us, TCP bw %.0f MB/s\n",
+              tcp_rtt_us, udp_rtt_us, tcp_loopback_mb);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 6: Cache and memory latency (ns) — extracted from the latency sweep.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/mhz.h"
+#include "src/lat/lat_mem_rd.h"
+#include "src/lat/mem_hierarchy.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+
+  benchx::print_header("Table 6", "Cache and memory latency (ns), extracted from the sweep");
+  benchx::print_config_line(
+      "plateau detection on the randomized-chain latency curve (stride 64); "
+      "clock rate from a dependent-add chain (mhz)");
+
+  CpuClock cpu = estimate_cpu_clock(TimingPolicy::quick());
+
+  lat::MemLatSweepConfig sweep;
+  sweep.min_bytes = 1024;
+  sweep.max_bytes = static_cast<size_t>(
+      opts.get_size("max", opts.quick() ? (16 << 20) : (64 << 20)));
+  sweep.strides = {64};
+  // Random order defeats the hardware prefetcher so the memory plateau shows
+  // true back-to-back-load latency (the paper's machines had no prefetchers
+  // to defeat; §7 lists this as planned work).
+  sweep.order = lat::ChaseOrder::kRandom;
+  sweep.policy = TimingPolicy::quick();
+  auto points = lat::sweep_mem_latency(sweep);
+  lat::MemHierarchy hierarchy = lat::extract_hierarchy(points);
+
+  // Line-size estimate needs multiple strides at the largest size.
+  lat::MemLatSweepConfig line_sweep = sweep;
+  line_sweep.min_bytes = line_sweep.max_bytes;
+  line_sweep.strides = {16, 32, 64, 128, 256};
+  size_t line = lat::estimate_line_size(lat::sweep_mem_latency(line_sweep));
+
+  report::Table table("Table 6. Cache and memory latency (ns)",
+                      {{"System", 0}, {"Clk", 1}, {"L1 lat", 1}, {"L1 size", 0}, {"L2 lat", 1},
+                       {"L2 size", 0}, {"Memory", 0}});
+  auto size_cell = [](double bytes) -> report::Cell {
+    if (bytes <= 0) {
+      return report::Cell{};
+    }
+    if (bytes >= (1 << 20)) {
+      return report::Cell{std::to_string(static_cast<long>(bytes) >> 20) + "M"};
+    }
+    return report::Cell{std::to_string(static_cast<long>(bytes) >> 10) + "K"};
+  };
+  for (const auto& row : db::paper_table6()) {
+    table.add_row({row.system, row.clock_ns, row.l1_latency_ns, size_cell(row.l1_size),
+                   row.l2_latency_ns, size_cell(row.l2_size), benchx::cell(row.memory_latency_ns)});
+  }
+
+  const lat::MemoryLevel* l1 = hierarchy.caches.empty() ? nullptr : &hierarchy.caches[0];
+  const lat::MemoryLevel* l2 = hierarchy.caches.size() > 1 ? &hierarchy.caches.back() : l1;
+  table.add_row({benchx::this_system(), cpu.period_ns, l1 != nullptr ? report::Cell{l1->latency_ns} : report::Cell{},
+                 l1 != nullptr ? size_cell(static_cast<double>(l1->size_bytes)) : report::Cell{},
+                 l2 != nullptr ? report::Cell{l2->latency_ns} : report::Cell{},
+                 l2 != nullptr ? size_cell(static_cast<double>(l2->size_bytes)) : report::Cell{},
+                 hierarchy.memory_latency_ns > 0 ? report::Cell{hierarchy.memory_latency_ns}
+                                                 : report::Cell{}});
+  table.mark_last_row("measured on this machine");
+  table.sort_by(4, report::SortOrder::kAscending);  // paper sorts on L2 latency
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("cpu clock: %.0f MHz (%.2f ns/cycle); detected cache levels: %zu; "
+              "estimated line size: %zu bytes\n",
+              cpu.mhz, cpu.period_ns, hierarchy.caches.size(), line);
+  if (l2 != nullptr) {
+    std::printf("L2 latency in clocks: %.1f (paper: 5-6 clocks on Pentium Pro, 1 on HP/IBM)\n",
+                cpu.clocks(l2->latency_ns));
+  }
+  return 0;
+}

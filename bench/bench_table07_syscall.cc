@@ -1,0 +1,32 @@
+// Table 7: Simple system call time (microseconds) — 1-word write to /dev/null.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/lat/lat_syscall.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+  TimingPolicy policy = opts.quick() ? TimingPolicy::quick() : TimingPolicy::standard();
+
+  benchx::print_header("Table 7", "Simple system call time (microseconds)");
+  benchx::print_config_line("repeated one-word write(2) to /dev/null");
+
+  double us = lat::measure_null_write(policy).us_per_op();
+
+  report::Table table("Table 7. Simple system call time (microseconds)",
+                      {{"System", 0}, {"system call", 2}});
+  for (const auto& row : db::paper_table7()) {
+    table.add_row({row.system, row.syscall_us});
+  }
+  table.add_row({benchx::this_system(), us});
+  table.mark_last_row("measured on this machine");
+  table.sort_by(1, report::SortOrder::kAscending);
+  std::printf("%s\n", table.render().c_str());
+
+  lat::SyscallLatencies suite = lat::measure_syscall_suite(TimingPolicy::quick());
+  std::printf("extensions on this machine (us): getpid %.2f, read /dev/zero %.2f, "
+              "stat %.2f, open+close %.2f\n",
+              suite.getpid_us, suite.read_us, suite.stat_us, suite.open_close_us);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Table 9: Process creation time (milliseconds) — fork, fork+exec, fork+sh.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/lat/lat_proc.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+
+  lat::ProcConfig cfg = opts.quick() ? lat::ProcConfig::quick() : lat::ProcConfig{};
+  cfg.exec_path = opts.get_string("exec", cfg.exec_path);
+
+  benchx::print_header("Table 9", "Process creation time (milliseconds)");
+  benchx::print_config_line("child program: " +
+                            (cfg.exec_path.empty() ? lat::default_hello_path() : cfg.exec_path) +
+                            "; minimum of " + std::to_string(cfg.iterations) + " creations");
+
+  lat::ProcResult r = lat::measure_proc_suite(cfg);
+
+  report::Table table("Table 9. Process creation time (milliseconds)",
+                      {{"System", 0}, {"fork & exit", 1}, {"fork, exec & exit", 1},
+                       {"fork, exec sh -c & exit", 1}});
+  for (const auto& row : db::paper_table9()) {
+    table.add_row({row.system, row.fork_ms, row.fork_exec_ms, row.fork_sh_ms});
+  }
+  table.add_row({benchx::this_system(), r.fork_exit_ms, r.fork_exec_ms, r.fork_sh_ms});
+  table.mark_last_row("measured on this machine");
+  table.sort_by(2, report::SortOrder::kAscending);
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Table 10: Context switch time (microseconds) for {2,8} processes x {0,32K}.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/lat/lat_ctx.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+  lat::CtxConfig base = opts.quick() ? lat::CtxConfig::quick() : lat::CtxConfig{};
+
+  benchx::print_header("Table 10", "Context switch time (microseconds)");
+  benchx::print_config_line("pipe ring, overhead subtracted; 2 and 8 processes, 0KB and 32KB "
+                            "footprints");
+
+  auto results = lat::sweep_ctx({2, 8}, {0, 32u << 10}, base);
+  auto value = [&](int procs, size_t size) {
+    for (const auto& r : results) {
+      if (r.processes == procs && r.footprint_bytes == size) {
+        return r.ctx_us;
+      }
+    }
+    return -1.0;
+  };
+
+  report::Table table("Table 10. Context switch time (microseconds)",
+                      {{"System", 0}, {"2proc/0KB", 1}, {"2proc/32KB", 1}, {"8proc/0KB", 1},
+                       {"8proc/32KB", 1}});
+  for (const auto& row : db::paper_table10()) {
+    table.add_row({row.system, row.p2_0k, row.p2_32k, row.p8_0k, row.p8_32k});
+  }
+  table.add_row({benchx::this_system(), value(2, 0), value(2, 32u << 10), value(8, 0),
+                 value(8, 32u << 10)});
+  table.mark_last_row("measured on this machine");
+  table.sort_by(1, report::SortOrder::kAscending);
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Table 11: Pipe latency (microseconds) — one-word round trip.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/lat/lat_ipc.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+  lat::IpcLatConfig cfg = opts.quick() ? lat::IpcLatConfig::quick() : lat::IpcLatConfig{};
+
+  benchx::print_header("Table 11", "Pipe latency (microseconds)");
+  benchx::print_config_line("one-word hot-potato between two processes over a pair of pipes");
+
+  double pipe_us = lat::measure_pipe_latency(cfg).us_per_op();
+  double unix_us = lat::measure_unix_latency(cfg).us_per_op();
+
+  report::Table table("Table 11. Pipe latency (microseconds)",
+                      {{"System", 0}, {"Pipe latency", 1}});
+  for (const auto& row : db::paper_table11()) {
+    table.add_row({row.system, row.pipe_us});
+  }
+  table.add_row({benchx::this_system(), pipe_us});
+  table.mark_last_row("measured on this machine");
+  table.sort_by(1, report::SortOrder::kAscending);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("AF_UNIX round trip on this machine: %.1f us\n", unix_us);
+  return 0;
+}

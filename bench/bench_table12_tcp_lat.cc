@@ -1,0 +1,33 @@
+// Table 12: TCP latency (microseconds) — raw sockets and via the RPC layer.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/lat/lat_ipc.h"
+#include "src/rpc/lat_rpc.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+  bool quick = opts.quick();
+
+  benchx::print_header("Table 12", "TCP latency (microseconds), with and without RPC");
+  benchx::print_config_line("one-word echo over loopback TCP (TCP_NODELAY); RPC = XDR-marshaled "
+                            "call through the mini Sun-RPC layer");
+
+  lat::IpcLatConfig tcp_cfg = quick ? lat::IpcLatConfig::quick() : lat::IpcLatConfig{};
+  double tcp_us = lat::measure_tcp_latency(tcp_cfg).us_per_op();
+  rpc::RpcLatConfig rpc_cfg = quick ? rpc::RpcLatConfig::quick() : rpc::RpcLatConfig{};
+  double rpc_us = rpc::measure_rpc_tcp_latency(rpc_cfg).us_per_op();
+
+  report::Table table("Table 12. TCP latency (microseconds)",
+                      {{"System", 0}, {"TCP", 0}, {"RPC/TCP", 0}});
+  for (const auto& row : db::paper_table12()) {
+    table.add_row({row.system, row.tcp_us, row.rpc_tcp_us});
+  }
+  table.add_row({benchx::this_system(), tcp_us, rpc_us});
+  table.mark_last_row("measured on this machine");
+  table.sort_by(2, report::SortOrder::kAscending);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("RPC layer overhead on this machine: %.1f us per round trip\n", rpc_us - tcp_us);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Table 13: UDP latency (microseconds) — raw sockets and via the RPC layer.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/lat/lat_ipc.h"
+#include "src/rpc/lat_rpc.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+  bool quick = opts.quick();
+
+  benchx::print_header("Table 13", "UDP latency (microseconds), with and without RPC");
+  benchx::print_config_line("one-word datagram echo over loopback UDP; RPC = mini Sun-RPC layer");
+
+  lat::IpcLatConfig udp_cfg = quick ? lat::IpcLatConfig::quick() : lat::IpcLatConfig{};
+  double udp_us = lat::measure_udp_latency(udp_cfg).us_per_op();
+  rpc::RpcLatConfig rpc_cfg = quick ? rpc::RpcLatConfig::quick() : rpc::RpcLatConfig{};
+  double rpc_us = rpc::measure_rpc_udp_latency(rpc_cfg).us_per_op();
+
+  report::Table table("Table 13. UDP latency (microseconds)",
+                      {{"System", 0}, {"UDP", 0}, {"RPC/UDP", 0}});
+  for (const auto& row : db::paper_table13()) {
+    table.add_row({row.system, row.udp_us, row.rpc_udp_us});
+  }
+  table.add_row({benchx::this_system(), udp_us, rpc_us});
+  table.mark_last_row("measured on this machine");
+  table.sort_by(2, report::SortOrder::kAscending);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("RPC layer overhead on this machine: %.1f us per round trip\n", rpc_us - udp_us);
+  return 0;
+}

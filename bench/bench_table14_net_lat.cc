@@ -1,0 +1,38 @@
+// Table 14: Remote latencies (microseconds) over real wires — simulated.
+//
+// Substitution: remote round trip = live loopback software cost + modeled
+// time-on-the-wire, the decomposition §6.7 itself states for this table.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/lat/lat_ipc.h"
+#include "src/netsim/remote.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+  lat::IpcLatConfig cfg = opts.quick() ? lat::IpcLatConfig::quick() : lat::IpcLatConfig{};
+
+  benchx::print_header("Table 14", "Remote latencies (microseconds) — simulated wires");
+  benchx::print_config_line("loopback TCP/UDP round trips measured live; wire times from the "
+                            "netsim link profiles (130us/13us/<10us rtt per §6.7)");
+
+  double tcp_rtt = lat::measure_tcp_latency(cfg).us_per_op();
+  double udp_rtt = lat::measure_udp_latency(cfg).us_per_op();
+  netsim::HostCosts hosts = netsim::HostCosts::from_loopback(tcp_rtt, udp_rtt, 0.0);
+
+  report::Table table("Table 14. Remote latencies (microseconds)",
+                      {{"System", 0}, {"Network", 0}, {"TCP latency", 0}, {"UDP latency", 0}});
+  for (const auto& row : db::paper_table14()) {
+    table.add_row({row.system, row.network, row.tcp_us, row.udp_us});
+  }
+  for (const auto& link : netsim::paper_networks()) {
+    netsim::RemoteLatency r = netsim::model_remote_latency(link, hosts);
+    table.add_row({benchx::this_system(), link.name + " (sim)", r.tcp_rtt_us, r.udp_rtt_us});
+    table.mark_last_row("this host + modeled wire");
+  }
+  table.sort_by(2, report::SortOrder::kAscending);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("loopback inputs: TCP rtt %.0f us, UDP rtt %.0f us\n", tcp_rtt, udp_rtt);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table 17: SCSI I/O overhead (microseconds) — sequential 512-byte raw reads
+// hitting the drive's track buffer, against the SimDisk substitute.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/simdisk/disk_overhead.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = benchx::parse_options(argc, argv);
+  simdisk::DiskOverheadConfig cfg =
+      opts.quick() ? simdisk::DiskOverheadConfig::quick() : simdisk::DiskOverheadConfig{};
+
+  benchx::print_header("Table 17", "SCSI I/O overhead (microseconds) — simulated disk");
+  benchx::print_config_line(std::to_string(cfg.requests) +
+                            " sequential 512B reads; disk model: 7200rpm, 64KB tracks, "
+                            "6MB/s media, 10MB/s bus, track read-ahead buffer");
+
+  simdisk::DiskOverheadResult r = simdisk::measure_disk_overhead(cfg);
+
+  report::Table table("Table 17. SCSI I/O overhead (microseconds)",
+                      {{"System", 0}, {"Disk latency", 2}});
+  for (const auto& row : db::paper_table17()) {
+    table.add_row({row.system, row.overhead_us});
+  }
+  // The paper's number is the host's per-request software overhead; our
+  // request-issue path is a user-space call into the disk model, so the
+  // magnitude is far smaller — the structure (buffer hits, CPU-bound ceiling)
+  // is what reproduces.
+  table.add_row({benchx::this_system(), r.host_us_per_op});
+  table.mark_last_row("host overhead per request (user-space path)");
+  table.sort_by(1, report::SortOrder::kAscending);
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("track-buffer hit rate: %.1f%% (paper premise: sequential 512B reads are\n"
+              "served from the drive's 32-128KB read-ahead buffer)\n",
+              r.buffer_hit_rate * 100);
+  std::printf("modeled device service time: %.1f us/op; CPU-bound ceiling: %.0f ops/s\n"
+              "(paper: \"possible to generate loads of more than 1,000 SCSI ops/second\")\n",
+              r.device_us_per_op, r.max_ops_per_sec);
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+namespace lmb::benchx {
+
+void print_header(const std::string& experiment, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), description.c_str());
+  std::printf("lmbench++ reproduction of McVoy & Staelin, USENIX '96\n");
+  std::printf("==============================================================\n");
+}
+
+void print_config_line(const std::string& text) { std::printf("config: %s\n\n", text.c_str()); }
+
+}  // namespace lmb::benchx

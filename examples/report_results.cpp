@@ -1,0 +1,52 @@
+// report_results: measure this machine's standard metric set and render the
+// classic lmbench-style multi-section summary; optionally merge and compare
+// against saved result databases.
+//
+//   ./build/examples/report_results                       # measure + print
+//   ./build/examples/report_results --out=mine.db         # ... and save
+//   ./build/examples/report_results old.db other.db       # compare saved
+//   ./build/examples/report_results --measure old.db      # measure + compare
+#include <cstdio>
+
+#include "src/core/options.h"
+#include "src/db/collect.h"
+#include "src/db/result_set.h"
+#include "src/report/summary.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = Options::parse(argc, argv);
+
+  db::ResultDatabase database;
+  for (const std::string& path : opts.positionals()) {
+    db::ResultDatabase loaded = db::ResultDatabase::load(path);
+    for (const db::ResultSet* set : loaded.all()) {
+      database.add(*set);
+    }
+    std::printf("loaded %zu result set(s) from %s\n", loaded.size(), path.c_str());
+  }
+
+  bool measure_here = database.size() == 0 || opts.get_bool("measure", false);
+  if (measure_here) {
+    std::printf("collecting the standard metric set on this machine");
+    std::fflush(stdout);
+    db::CollectOptions collect_opts;
+    collect_opts.quick = !opts.get_bool("full", false);
+    collect_opts.on_metric = [](const db::MetricInfo&, double) {
+      std::printf(".");
+      std::fflush(stdout);
+    };
+    db::ResultSet mine = db::collect_standard_metrics(collect_opts);
+    std::printf(" done (%zu metrics)\n", mine.size());
+    database.add(mine);
+  }
+
+  std::printf("\n%s", report::render_summary(database).c_str());
+
+  std::string out_path = opts.get_string("out", "");
+  if (!out_path.empty()) {
+    database.save(out_path);
+    std::printf("\nsaved to %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// run_suite: the `lmbench-run` analog — run every registered benchmark and
+// save a result set to the user-extensible database (paper §3.5).
+//
+//   ./build/examples/run_suite [--quick] [--out=results.db] [--category=latency]
+#include <cstdio>
+
+#include "src/core/env.h"
+#include "src/core/options.h"
+#include "src/core/registry.h"
+#include "src/db/result_set.h"
+
+int main(int argc, char** argv) {
+  using namespace lmb;
+  Options opts = Options::parse(argc, argv);
+  std::string category = opts.get_string("category", "");
+  std::string out_path = opts.get_string("out", "");
+
+  SystemInfo info = query_system_info();
+  std::printf("running the lmbench++ suite on %s%s\n\n", info.label().c_str(),
+              opts.quick() ? " (quick mode)" : "");
+
+  db::ResultSet results(info.label());
+  int failed = 0;
+  for (const BenchmarkInfo* bench : Registry::global().list(category)) {
+    std::printf("%-16s %-52s ", bench->name.c_str(), bench->description.c_str());
+    std::fflush(stdout);
+    try {
+      std::string line = bench->run(opts);
+      std::printf("%s\n", line.c_str());
+      results.set(bench->name + "_ran", 1.0);
+    } catch (const std::exception& e) {
+      std::printf("FAILED: %s\n", e.what());
+      ++failed;
+    }
+  }
+
+  if (!out_path.empty()) {
+    db::ResultDatabase database;
+    database.add(results);
+    database.save(out_path);
+    std::printf("\nsaved result set to %s\n", out_path.c_str());
+  }
+  std::printf("\n%zu benchmarks, %d failures\n", Registry::global().list(category).size(), failed);
+  return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Cached file reread bandwidth — paper Table 5 (§5.3).
+//
+// "The benchmark here is not an I/O benchmark in that no disk activity is
+// involved.  We wanted to measure the overhead of reusing data [in the file
+// system page cache]."  Two interfaces: read(2) into 64 KB buffers with each
+// buffer summed, and mmap(2) of the whole file with the mapping summed.
+#ifndef LMBENCHPP_SRC_BW_BW_FILE_H_
+#define LMBENCHPP_SRC_BW_BW_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/core/timing.h"
+
+namespace lmb::bw {
+
+struct FileBwConfig {
+  size_t file_bytes = 8u << 20;
+  size_t buffer_bytes = 64u << 10;  // read-interface transfer size
+  // Directory for the scratch file; empty = fresh temp dir.
+  std::string dir;
+  TimingPolicy policy = TimingPolicy::standard();
+
+  static FileBwConfig quick() {
+    FileBwConfig c;
+    c.file_bytes = 1u << 20;
+    c.policy = TimingPolicy::quick();
+    return c;
+  }
+};
+
+struct FileBwResult {
+  size_t file_bytes = 0;
+  double mb_per_sec = 0.0;
+  Measurement detail;
+};
+
+// read(2) + sum reread ("File read" column of Table 5).
+FileBwResult measure_file_read_bw(const FileBwConfig& config = {});
+
+// mmap + sum reread ("File mmap" column of Table 5).
+FileBwResult measure_mmap_read_bw(const FileBwConfig& config = {});
+
+}  // namespace lmb::bw
+
+#endif  // LMBENCHPP_SRC_BW_BW_FILE_H_

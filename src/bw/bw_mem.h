@@ -1,0 +1,57 @@
+// Memory bandwidth benchmarks — paper Table 2.
+//
+// Measures copy (libc and unrolled), read, and write bandwidth over a
+// configurable buffer size.  The default 8 MB-to-8 MB copy "largely defeats
+// any second-level cache in use today" (§5.1); smaller sizes deliberately
+// measure cache bandwidth (used by the sweep API and ablation benches).
+#ifndef LMBENCHPP_SRC_BW_BW_MEM_H_
+#define LMBENCHPP_SRC_BW_BW_MEM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/timing.h"
+
+namespace lmb::bw {
+
+struct MemBwConfig {
+  // Bytes per buffer (source and destination each this large).
+  size_t bytes = 8u << 20;
+  TimingPolicy policy = TimingPolicy::standard();
+};
+
+enum class MemOp {
+  kCopyLibc,      // memcpy
+  kCopyUnrolled,  // hand-unrolled aligned 8-byte load/store
+  kReadSum,       // unrolled read + sum
+  kWrite,         // unrolled store
+  kBzero,         // memset (lmbench bw_mem's bzero case)
+  kReadWrite,     // unrolled read-modify-write (lmbench bw_mem's rdwr case)
+};
+
+const char* mem_op_name(MemOp op);
+
+struct MemBwResult {
+  MemOp op;
+  size_t bytes = 0;
+  // MB/s of *bytes touched by the benchmark definition* — i.e. the paper's
+  // convention: a copy of N bytes counts N (not 2N) bytes.
+  double mb_per_sec = 0.0;
+  Measurement detail;
+};
+
+// Runs one operation.  Source and destination are laid out so they do not
+// collide in a direct-mapped cache (offset by a few cache lines).
+MemBwResult measure_mem_bw(MemOp op, const MemBwConfig& config = {});
+
+// Full Table-2 row: all four operations at the configured size.
+std::vector<MemBwResult> measure_mem_bw_all(const MemBwConfig& config = {});
+
+// Size sweep for one op (powers of two from `from` to `to` inclusive) — the
+// "run in a loop, with increasing sizes" methodology of §3.1.
+std::vector<MemBwResult> sweep_mem_bw(MemOp op, size_t from, size_t to,
+                                      const TimingPolicy& policy = TimingPolicy::quick());
+
+}  // namespace lmb::bw
+
+#endif  // LMBENCHPP_SRC_BW_BW_MEM_H_

@@ -1,0 +1,148 @@
+#include "src/bw/kernels.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace lmb::bw {
+
+void copy_libc(std::uint64_t* dst, const std::uint64_t* src, size_t words) {
+  std::memcpy(dst, src, words * sizeof(std::uint64_t));
+}
+
+void copy_unrolled(std::uint64_t* dst, const std::uint64_t* src, size_t words) {
+  if (words % kUnrollWords != 0) {
+    throw std::invalid_argument("copy_unrolled: words must be a multiple of 32");
+  }
+  for (size_t i = 0; i < words; i += kUnrollWords) {
+    dst[i + 0] = src[i + 0];
+    dst[i + 1] = src[i + 1];
+    dst[i + 2] = src[i + 2];
+    dst[i + 3] = src[i + 3];
+    dst[i + 4] = src[i + 4];
+    dst[i + 5] = src[i + 5];
+    dst[i + 6] = src[i + 6];
+    dst[i + 7] = src[i + 7];
+    dst[i + 8] = src[i + 8];
+    dst[i + 9] = src[i + 9];
+    dst[i + 10] = src[i + 10];
+    dst[i + 11] = src[i + 11];
+    dst[i + 12] = src[i + 12];
+    dst[i + 13] = src[i + 13];
+    dst[i + 14] = src[i + 14];
+    dst[i + 15] = src[i + 15];
+    dst[i + 16] = src[i + 16];
+    dst[i + 17] = src[i + 17];
+    dst[i + 18] = src[i + 18];
+    dst[i + 19] = src[i + 19];
+    dst[i + 20] = src[i + 20];
+    dst[i + 21] = src[i + 21];
+    dst[i + 22] = src[i + 22];
+    dst[i + 23] = src[i + 23];
+    dst[i + 24] = src[i + 24];
+    dst[i + 25] = src[i + 25];
+    dst[i + 26] = src[i + 26];
+    dst[i + 27] = src[i + 27];
+    dst[i + 28] = src[i + 28];
+    dst[i + 29] = src[i + 29];
+    dst[i + 30] = src[i + 30];
+    dst[i + 31] = src[i + 31];
+  }
+}
+
+std::uint64_t read_sum_unrolled(const std::uint64_t* src, size_t words) {
+  if (words % kUnrollWords != 0) {
+    throw std::invalid_argument("read_sum_unrolled: words must be a multiple of 32");
+  }
+  std::uint64_t sum = 0;
+  for (size_t i = 0; i < words; i += kUnrollWords) {
+    sum += src[i + 0] + src[i + 1] + src[i + 2] + src[i + 3] + src[i + 4] + src[i + 5] +
+           src[i + 6] + src[i + 7] + src[i + 8] + src[i + 9] + src[i + 10] + src[i + 11] +
+           src[i + 12] + src[i + 13] + src[i + 14] + src[i + 15] + src[i + 16] + src[i + 17] +
+           src[i + 18] + src[i + 19] + src[i + 20] + src[i + 21] + src[i + 22] + src[i + 23] +
+           src[i + 24] + src[i + 25] + src[i + 26] + src[i + 27] + src[i + 28] + src[i + 29] +
+           src[i + 30] + src[i + 31];
+  }
+  return sum;
+}
+
+void write_unrolled(std::uint64_t* dst, size_t words, std::uint64_t value) {
+  if (words % kUnrollWords != 0) {
+    throw std::invalid_argument("write_unrolled: words must be a multiple of 32");
+  }
+  for (size_t i = 0; i < words; i += kUnrollWords) {
+    dst[i + 0] = value;
+    dst[i + 1] = value;
+    dst[i + 2] = value;
+    dst[i + 3] = value;
+    dst[i + 4] = value;
+    dst[i + 5] = value;
+    dst[i + 6] = value;
+    dst[i + 7] = value;
+    dst[i + 8] = value;
+    dst[i + 9] = value;
+    dst[i + 10] = value;
+    dst[i + 11] = value;
+    dst[i + 12] = value;
+    dst[i + 13] = value;
+    dst[i + 14] = value;
+    dst[i + 15] = value;
+    dst[i + 16] = value;
+    dst[i + 17] = value;
+    dst[i + 18] = value;
+    dst[i + 19] = value;
+    dst[i + 20] = value;
+    dst[i + 21] = value;
+    dst[i + 22] = value;
+    dst[i + 23] = value;
+    dst[i + 24] = value;
+    dst[i + 25] = value;
+    dst[i + 26] = value;
+    dst[i + 27] = value;
+    dst[i + 28] = value;
+    dst[i + 29] = value;
+    dst[i + 30] = value;
+    dst[i + 31] = value;
+  }
+}
+
+void read_write_unrolled(std::uint64_t* data, size_t words, std::uint64_t delta) {
+  if (words % kUnrollWords != 0) {
+    throw std::invalid_argument("read_write_unrolled: words must be a multiple of 32");
+  }
+  for (size_t i = 0; i < words; i += kUnrollWords) {
+    data[i + 0] += delta;
+    data[i + 1] += delta;
+    data[i + 2] += delta;
+    data[i + 3] += delta;
+    data[i + 4] += delta;
+    data[i + 5] += delta;
+    data[i + 6] += delta;
+    data[i + 7] += delta;
+    data[i + 8] += delta;
+    data[i + 9] += delta;
+    data[i + 10] += delta;
+    data[i + 11] += delta;
+    data[i + 12] += delta;
+    data[i + 13] += delta;
+    data[i + 14] += delta;
+    data[i + 15] += delta;
+    data[i + 16] += delta;
+    data[i + 17] += delta;
+    data[i + 18] += delta;
+    data[i + 19] += delta;
+    data[i + 20] += delta;
+    data[i + 21] += delta;
+    data[i + 22] += delta;
+    data[i + 23] += delta;
+    data[i + 24] += delta;
+    data[i + 25] += delta;
+    data[i + 26] += delta;
+    data[i + 27] += delta;
+    data[i + 28] += delta;
+    data[i + 29] += delta;
+    data[i + 30] += delta;
+    data[i + 31] += delta;
+  }
+}
+
+}  // namespace lmb::bw

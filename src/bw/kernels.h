@@ -1,0 +1,39 @@
+// Raw memory-movement kernels (paper §5.1).
+//
+// Three ways to move memory: libc bcopy (memcpy), a hand-unrolled
+// load/store loop over aligned 8-byte words, and pure read (unrolled sum)
+// and write (unrolled store) loops.  The unrolled loops mirror the paper's:
+// constant-offset loads so "most compilers generate a load and an add for
+// each word of memory".
+#ifndef LMBENCHPP_SRC_BW_KERNELS_H_
+#define LMBENCHPP_SRC_BW_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lmb::bw {
+
+// memcpy of `words` 8-byte words.
+void copy_libc(std::uint64_t* dst, const std::uint64_t* src, size_t words);
+
+// Hand-unrolled copy, 32 words per unrolled block; `words` must be a
+// multiple of 32 (benchmark buffers always are).
+void copy_unrolled(std::uint64_t* dst, const std::uint64_t* src, size_t words);
+
+// Unrolled read: sums all words and returns the sum (callers sink it through
+// do_not_optimize, the paper's "unused argument" trick).
+std::uint64_t read_sum_unrolled(const std::uint64_t* src, size_t words);
+
+// Unrolled write: stores `value` into every word.
+void write_unrolled(std::uint64_t* dst, size_t words, std::uint64_t value);
+
+// Unrolled read-modify-write: adds `delta` to every word in place (lmbench
+// bw_mem's "rdwr" case — one load and one store per word).
+void read_write_unrolled(std::uint64_t* data, size_t words, std::uint64_t delta);
+
+// Unrolling factor of the three loops above.
+inline constexpr size_t kUnrollWords = 32;
+
+}  // namespace lmb::bw
+
+#endif  // LMBENCHPP_SRC_BW_KERNELS_H_

@@ -1,0 +1,132 @@
+#include "src/bw/stream.h"
+
+#include <stdexcept>
+
+#include "src/core/do_not_optimize.h"
+#include "src/core/registry.h"
+#include "src/report/table.h"
+
+namespace lmb::bw {
+
+const char* stream_kernel_name(StreamKernel kernel) {
+  switch (kernel) {
+    case StreamKernel::kCopy:
+      return "copy";
+    case StreamKernel::kScale:
+      return "scale";
+    case StreamKernel::kAdd:
+      return "add";
+    case StreamKernel::kTriad:
+      return "triad";
+  }
+  return "?";
+}
+
+namespace {
+
+// Words moved per element, per the STREAM rules.
+size_t words_per_element(StreamKernel kernel) {
+  switch (kernel) {
+    case StreamKernel::kCopy:
+    case StreamKernel::kScale:
+      return 2;
+    case StreamKernel::kAdd:
+    case StreamKernel::kTriad:
+      return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+StreamResult measure_stream(StreamKernel kernel, const StreamConfig& config) {
+  if (config.elements < 1024) {
+    throw std::invalid_argument("StreamConfig: need at least 1024 elements");
+  }
+  const size_t n = config.elements;
+  std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 0.0);
+  const double scalar = 3.0;
+
+  BenchFn body;
+  switch (kernel) {
+    case StreamKernel::kCopy:
+      body = [&, n](std::uint64_t iters) {
+        for (std::uint64_t it = 0; it < iters; ++it) {
+          for (size_t i = 0; i < n; ++i) {
+            c[i] = a[i];
+          }
+          do_not_optimize(c[n - 1]);
+        }
+      };
+      break;
+    case StreamKernel::kScale:
+      body = [&, n](std::uint64_t iters) {
+        for (std::uint64_t it = 0; it < iters; ++it) {
+          for (size_t i = 0; i < n; ++i) {
+            b[i] = scalar * c[i];
+          }
+          do_not_optimize(b[n - 1]);
+        }
+      };
+      break;
+    case StreamKernel::kAdd:
+      body = [&, n](std::uint64_t iters) {
+        for (std::uint64_t it = 0; it < iters; ++it) {
+          for (size_t i = 0; i < n; ++i) {
+            c[i] = a[i] + b[i];
+          }
+          do_not_optimize(c[n - 1]);
+        }
+      };
+      break;
+    case StreamKernel::kTriad:
+      body = [&, n](std::uint64_t iters) {
+        for (std::uint64_t it = 0; it < iters; ++it) {
+          for (size_t i = 0; i < n; ++i) {
+            a[i] = b[i] + scalar * c[i];
+          }
+          do_not_optimize(a[n - 1]);
+        }
+      };
+      break;
+  }
+
+  StreamResult result;
+  result.kernel = kernel;
+  result.bytes_per_iteration = n * sizeof(double) * words_per_element(kernel);
+  result.detail = measure(body, config.policy);
+  result.mb_per_sec =
+      mb_per_sec(static_cast<double>(result.bytes_per_iteration), result.detail.ns_per_op);
+  return result;
+}
+
+std::vector<StreamResult> measure_stream_all(const StreamConfig& config) {
+  return {
+      measure_stream(StreamKernel::kCopy, config),
+      measure_stream(StreamKernel::kScale, config),
+      measure_stream(StreamKernel::kAdd, config),
+      measure_stream(StreamKernel::kTriad, config),
+  };
+}
+
+namespace {
+
+const BenchmarkRegistrar registrar{{
+    .name = "bw_stream",
+    .category = "bandwidth",
+    .description = "McCalpin STREAM copy/scale/add/triad (paper section 7)",
+    .run =
+        [](const Options& opts) {
+          StreamConfig cfg = opts.quick() ? StreamConfig::quick() : StreamConfig{};
+          std::string out;
+          for (const auto& r : measure_stream_all(cfg)) {
+            out += std::string(stream_kernel_name(r.kernel)) + " " +
+                   report::format_number(r.mb_per_sec, 0) + " MB/s  ";
+          }
+          return out;
+        },
+}};
+
+}  // namespace
+
+}  // namespace lmb::bw

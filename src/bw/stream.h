@@ -1,0 +1,54 @@
+// McCalpin STREAM kernels — paper §7: "McCalpin's stream benchmark: We will
+// probably incorporate part or all of this benchmark into lmbench."
+//
+// The four canonical kernels over double arrays, with STREAM's accounting:
+// copy/scale count 2 words moved per element, add/triad count 3.
+#ifndef LMBENCHPP_SRC_BW_STREAM_H_
+#define LMBENCHPP_SRC_BW_STREAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/timing.h"
+
+namespace lmb::bw {
+
+enum class StreamKernel {
+  kCopy,   // c[i] = a[i]
+  kScale,  // b[i] = s * c[i]
+  kAdd,    // c[i] = a[i] + b[i]
+  kTriad,  // a[i] = b[i] + s * c[i]
+};
+
+const char* stream_kernel_name(StreamKernel kernel);
+
+struct StreamConfig {
+  // Elements per array; STREAM convention: each array much larger than the
+  // last-level cache (default 4M doubles = 32 MB per array).
+  size_t elements = 4u << 20;
+  TimingPolicy policy = TimingPolicy::standard();
+
+  static StreamConfig quick() {
+    StreamConfig c;
+    c.elements = 1u << 20;
+    c.policy = TimingPolicy::quick();
+    return c;
+  }
+};
+
+struct StreamResult {
+  StreamKernel kernel;
+  // MB/s of total words moved (STREAM counting).
+  double mb_per_sec = 0.0;
+  size_t bytes_per_iteration = 0;
+  Measurement detail;
+};
+
+StreamResult measure_stream(StreamKernel kernel, const StreamConfig& config = {});
+
+// All four kernels (copy, scale, add, triad), in order.
+std::vector<StreamResult> measure_stream_all(const StreamConfig& config = {});
+
+}  // namespace lmb::bw
+
+#endif  // LMBENCHPP_SRC_BW_STREAM_H_

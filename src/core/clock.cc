@@ -1,0 +1,49 @@
+#include "src/core/clock.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace lmb {
+
+Nanos WallClock::now() const {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<Nanos>(ts.tv_sec) * kSecond + ts.tv_nsec;
+}
+
+const WallClock& WallClock::instance() {
+  static const WallClock clock;
+  return clock;
+}
+
+ClockResolution probe_resolution(const Clock& clock, int samples) {
+  ClockResolution res;
+  res.tick = kSecond;  // pessimistic until observed
+
+  std::vector<Nanos> deltas;
+  deltas.reserve(static_cast<size_t>(samples));
+  Nanos prev = clock.now();
+  for (int i = 0; i < samples; ++i) {
+    Nanos cur = clock.now();
+    deltas.push_back(cur - prev);
+    if (cur > prev) {
+      res.tick = std::min(res.tick, cur - prev);
+    }
+    prev = cur;
+  }
+  if (res.tick == kSecond) {
+    // The clock never advanced during the probe window; treat each full probe
+    // as one tick so callers still get a usable (very coarse) bound.
+    res.tick = kSecond;
+  }
+
+  // Median back-to-back read cost.  Zero deltas mean reads are cheaper than
+  // the tick; report the tick-free median as overhead.
+  std::sort(deltas.begin(), deltas.end());
+  res.read_overhead = deltas[deltas.size() / 2];
+  return res;
+}
+
+}  // namespace lmb

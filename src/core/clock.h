@@ -1,0 +1,68 @@
+// Monotonic time sources and clock-resolution probing.
+//
+// lmbench's central timing problem (paper §3.4) is that the system clock may
+// be coarse relative to the operations being measured.  Everything in the
+// harness is therefore written against the abstract `Clock` interface so the
+// calibration logic can be exercised in tests with deliberately coarse or
+// scripted fake clocks.
+#ifndef LMBENCHPP_SRC_CORE_CLOCK_H_
+#define LMBENCHPP_SRC_CORE_CLOCK_H_
+
+#include <cstdint>
+
+namespace lmb {
+
+// Nanoseconds.  Signed so durations and differences are representable.
+using Nanos = std::int64_t;
+
+inline constexpr Nanos kMicrosecond = 1'000;
+inline constexpr Nanos kMillisecond = 1'000'000;
+inline constexpr Nanos kSecond = 1'000'000'000;
+
+// A monotonic time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Current time in nanoseconds since an arbitrary epoch.  Monotonic
+  // non-decreasing for any given instance.
+  virtual Nanos now() const = 0;
+};
+
+// The real monotonic wall clock (CLOCK_MONOTONIC).
+class WallClock final : public Clock {
+ public:
+  Nanos now() const override;
+
+  // Shared instance; stateless, safe to use from multiple threads/processes.
+  static const WallClock& instance();
+};
+
+// Empirically observed properties of a clock.
+struct ClockResolution {
+  // The smallest observed non-zero increment between consecutive reads.
+  Nanos tick = 0;
+  // Median cost of one now() call, measured back to back.
+  Nanos read_overhead = 0;
+};
+
+// Probes `clock` by reading it repeatedly.  `samples` bounds the number of
+// consecutive-read pairs examined.
+ClockResolution probe_resolution(const Clock& clock, int samples = 10000);
+
+// A simple elapsed-time stopwatch over an injectable clock.
+class StopWatch {
+ public:
+  explicit StopWatch(const Clock& clock = WallClock::instance()) : clock_(&clock) { reset(); }
+
+  void reset() { start_ = clock_->now(); }
+  Nanos elapsed() const { return clock_->now() - start_; }
+
+ private:
+  const Clock* clock_;
+  Nanos start_ = 0;
+};
+
+}  // namespace lmb
+
+#endif  // LMBENCHPP_SRC_CORE_CLOCK_H_

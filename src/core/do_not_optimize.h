@@ -1,0 +1,32 @@
+// Optimizer barriers.
+//
+// The paper (§5.1) notes that read loops must *consume* their data ("add up
+// the data and pass the result as an unused argument to the finish-timing
+// function") or compilers delete the whole loop.  These helpers are the
+// modern, zero-cost equivalent.
+#ifndef LMBENCHPP_SRC_CORE_DO_NOT_OPTIMIZE_H_
+#define LMBENCHPP_SRC_CORE_DO_NOT_OPTIMIZE_H_
+
+namespace lmb {
+
+// Forces the compiler to materialize `value` (the paper's "unused argument to
+// the finish-timing function").
+template <typename T>
+inline void do_not_optimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+// Mutable overload: also tells the compiler `value` may have been written,
+// which can emit a write-back.  Never pass an lvalue living in read-only
+// memory (e.g. a PROT_READ mapping) — copy to a local first.
+template <typename T>
+inline void do_not_optimize(T& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+// Forces all pending memory writes to be considered visible.
+inline void clobber_memory() { asm volatile("" : : : "memory"); }
+
+}  // namespace lmb
+
+#endif  // LMBENCHPP_SRC_CORE_DO_NOT_OPTIMIZE_H_

@@ -1,0 +1,57 @@
+#include "src/core/env.h"
+
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <fstream>
+
+namespace lmb {
+
+std::string SystemInfo::label() const {
+  std::string out = os_name.empty() ? "unknown" : os_name;
+  if (!machine.empty()) {
+    out += "/" + machine;
+  }
+  return out;
+}
+
+SystemInfo query_system_info() {
+  SystemInfo info;
+
+  struct utsname un;
+  if (uname(&un) == 0) {
+    info.os_name = un.sysname;
+    info.os_release = un.release;
+    info.machine = un.machine;
+    info.hostname = un.nodename;
+  }
+
+  long cpus = sysconf(_SC_NPROCESSORS_ONLN);
+  info.cpu_count = cpus > 0 ? static_cast<int>(cpus) : 0;
+
+  long page = sysconf(_SC_PAGESIZE);
+  info.page_size = page > 0 ? page : 0;
+
+  long pages = sysconf(_SC_PHYS_PAGES);
+  if (pages > 0 && page > 0) {
+    info.phys_mem_bytes = static_cast<std::int64_t>(pages) * page;
+  }
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        size_t start = line.find_first_not_of(" \t", colon + 1);
+        if (start != std::string::npos) {
+          info.cpu_model = line.substr(start);
+        }
+      }
+      break;
+    }
+  }
+  return info;
+}
+
+}  // namespace lmb

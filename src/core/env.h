@@ -1,0 +1,29 @@
+// Host system description, used to label result rows (paper Table 1).
+#ifndef LMBENCHPP_SRC_CORE_ENV_H_
+#define LMBENCHPP_SRC_CORE_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lmb {
+
+struct SystemInfo {
+  std::string hostname;
+  std::string os_name;      // uname sysname
+  std::string os_release;   // uname release
+  std::string machine;      // uname machine (e.g. x86_64)
+  std::string cpu_model;    // best-effort from /proc/cpuinfo
+  int cpu_count = 0;        // online CPUs
+  std::int64_t page_size = 0;
+  std::int64_t phys_mem_bytes = 0;  // 0 if unknown
+
+  // "Linux/x86_64 hostname" style label for tables.
+  std::string label() const;
+};
+
+// Gathers host facts.  Never throws; unknown fields are left empty/zero.
+SystemInfo query_system_info();
+
+}  // namespace lmb
+
+#endif  // LMBENCHPP_SRC_CORE_ENV_H_

@@ -1,0 +1,46 @@
+#include "src/core/mhz.h"
+
+#include "src/core/do_not_optimize.h"
+
+namespace lmb {
+
+namespace {
+
+// Eight dependent adds; the compiler cannot reassociate because each result
+// feeds the next.  Constants are odd so the value never collapses to zero.
+#define LMB_ADD8(a) \
+  (a) += 1;         \
+  (a) += (a) >> 3;  \
+  (a) += 3;         \
+  (a) += (a) >> 5;  \
+  (a) += 5;         \
+  (a) += (a) >> 7;  \
+  (a) += 7;         \
+  (a) += (a) >> 9;
+
+#define LMB_ADD64(a) \
+  LMB_ADD8(a) LMB_ADD8(a) LMB_ADD8(a) LMB_ADD8(a) LMB_ADD8(a) LMB_ADD8(a) LMB_ADD8(a) LMB_ADD8(a)
+
+}  // namespace
+
+unsigned long run_dependent_adds(std::uint64_t iters) {
+  unsigned long a = 1;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    LMB_ADD64(a)
+    LMB_ADD64(a)
+  }
+  do_not_optimize(a);
+  return a;
+}
+
+CpuClock estimate_cpu_clock(const TimingPolicy& policy) {
+  Measurement m = measure([](std::uint64_t iters) { run_dependent_adds(iters); }, policy);
+  CpuClock clock;
+  clock.period_ns = m.ns_per_op / static_cast<double>(kAddsPerBlock);
+  if (clock.period_ns > 0) {
+    clock.mhz = 1000.0 / clock.period_ns;
+  }
+  return clock;
+}
+
+}  // namespace lmb

@@ -1,0 +1,128 @@
+#include "src/core/options.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lmb {
+
+Options Options::parse(int argc, const char* const* argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string body = arg.substr(2);
+      auto eq = body.find('=');
+      if (eq == std::string::npos) {
+        if (body.empty()) {
+          throw std::invalid_argument("bare '--' is not a valid option");
+        }
+        opts.values_[body] = "true";
+      } else {
+        std::string key = body.substr(0, eq);
+        if (key.empty()) {
+          throw std::invalid_argument("malformed option: " + arg);
+        }
+        opts.values_[key] = body.substr(eq + 1);
+      }
+    } else {
+      opts.positionals_.push_back(arg);
+    }
+  }
+  return opts;
+}
+
+Options Options::from_pairs(std::initializer_list<std::pair<std::string, std::string>> kv) {
+  Options opts;
+  for (const auto& [k, v] : kv) {
+    opts.values_[k] = v;
+  }
+  return opts;
+}
+
+bool Options::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Options::get_string(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  size_t pos = 0;
+  std::int64_t v = std::stoll(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument("option --" + key + " is not an integer: " + it->second);
+  }
+  return v;
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  size_t pos = 0;
+  double v = std::stod(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument("option --" + key + " is not a number: " + it->second);
+  }
+  return v;
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  throw std::invalid_argument("option --" + key + " is not a boolean: " + v);
+}
+
+std::int64_t Options::get_size(const std::string& key, std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  return parse_size(it->second);
+}
+
+void Options::set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+std::int64_t Options::parse_size(const std::string& text) {
+  if (text.empty()) {
+    throw std::invalid_argument("empty size");
+  }
+  size_t pos = 0;
+  std::int64_t v = std::stoll(text, &pos);
+  if (v < 0) {
+    throw std::invalid_argument("negative size: " + text);
+  }
+  if (pos == text.size()) {
+    return v;
+  }
+  if (pos + 1 != text.size()) {
+    throw std::invalid_argument("malformed size: " + text);
+  }
+  switch (std::tolower(static_cast<unsigned char>(text[pos]))) {
+    case 'k':
+      return v * 1024;
+    case 'm':
+      return v * 1024 * 1024;
+    case 'g':
+      return v * 1024 * 1024 * 1024;
+    default:
+      throw std::invalid_argument("unknown size suffix: " + text);
+  }
+}
+
+}  // namespace lmb

@@ -1,0 +1,57 @@
+// Minimal command-line option parsing shared by all harness binaries.
+//
+// Grammar: `--key=value`, `--flag` (value "true"), and bare positionals.
+// Unknown keys are retained; benchmarks query what they need.
+#ifndef LMBENCHPP_SRC_CORE_OPTIONS_H_
+#define LMBENCHPP_SRC_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lmb {
+
+class Options {
+ public:
+  Options() = default;
+
+  // Parses argv[1..argc).  Throws std::invalid_argument on malformed input
+  // (e.g. "--=x").
+  static Options parse(int argc, const char* const* argv);
+
+  // Builds directly from key/value pairs (tests, programmatic use).
+  static Options from_pairs(std::initializer_list<std::pair<std::string, std::string>> kv);
+
+  bool has(const std::string& key) const;
+
+  // Typed getters; return `fallback` when missing.  Throw
+  // std::invalid_argument when present but unparseable.
+  std::string get_string(const std::string& key, const std::string& fallback = "") const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  // Sizes accept suffixes k/K (1024), m/M (1024^2), g/G (1024^3), matching
+  // lmdd's argument convention.
+  std::int64_t get_size(const std::string& key, std::int64_t fallback) const;
+
+  void set(const std::string& key, const std::string& value);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  // Convenience: true when --quick was passed (CI-sized benchmark configs).
+  bool quick() const { return get_bool("quick", false); }
+
+  // Parses a standalone size string ("64k", "8m", "512").  Throws on garbage.
+  static std::int64_t parse_size(const std::string& text);
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace lmb
+
+#endif  // LMBENCHPP_SRC_CORE_OPTIONS_H_

@@ -1,0 +1,44 @@
+#include "src/core/registry.h"
+
+#include <stdexcept>
+
+namespace lmb {
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry;  // intentionally leaked
+  return *registry;
+}
+
+void Registry::add(BenchmarkInfo info) {
+  if (info.name.empty()) {
+    throw std::invalid_argument("benchmark name must be non-empty");
+  }
+  if (!info.run) {
+    throw std::invalid_argument("benchmark '" + info.name + "' has no run function");
+  }
+  auto [it, inserted] = entries_.emplace(info.name, std::move(info));
+  if (!inserted) {
+    throw std::invalid_argument("duplicate benchmark name: " + it->first);
+  }
+}
+
+const BenchmarkInfo* Registry::find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<const BenchmarkInfo*> Registry::list(const std::string& category) const {
+  std::vector<const BenchmarkInfo*> out;
+  for (const auto& [name, info] : entries_) {
+    if (category.empty() || info.category == category) {
+      out.push_back(&info);
+    }
+  }
+  return out;
+}
+
+BenchmarkRegistrar::BenchmarkRegistrar(BenchmarkInfo info) {
+  Registry::global().add(std::move(info));
+}
+
+}  // namespace lmb

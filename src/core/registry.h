@@ -1,0 +1,55 @@
+// Named-benchmark registry.
+//
+// Every benchmark in the suite registers itself by name and category so the
+// full-suite driver (examples/run_suite) and tests can enumerate and run them
+// uniformly, mirroring lmbench's `lmbench-run` script.
+#ifndef LMBENCHPP_SRC_CORE_REGISTRY_H_
+#define LMBENCHPP_SRC_CORE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/options.h"
+
+namespace lmb {
+
+// One suite entry.  `run` executes the benchmark with the given options and
+// returns a short human-readable result line (e.g. "pipe latency: 12.3 us").
+struct BenchmarkInfo {
+  std::string name;         // e.g. "lat_pipe"
+  std::string category;     // "bandwidth" | "latency" | "disk" | ...
+  std::string description;  // one line
+  std::function<std::string(const Options&)> run;
+};
+
+class Registry {
+ public:
+  // The process-wide registry used by REGISTER_LMB_BENCHMARK.
+  static Registry& global();
+
+  // Adds an entry.  Throws std::invalid_argument on duplicate name or
+  // missing run function.
+  void add(BenchmarkInfo info);
+
+  // nullptr when not found.
+  const BenchmarkInfo* find(const std::string& name) const;
+
+  // All entries, optionally filtered by category, sorted by name.
+  std::vector<const BenchmarkInfo*> list(const std::string& category = "") const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, BenchmarkInfo> entries_;
+};
+
+// Registers at static-initialization time into Registry::global().
+struct BenchmarkRegistrar {
+  explicit BenchmarkRegistrar(BenchmarkInfo info);
+};
+
+}  // namespace lmb
+
+#endif  // LMBENCHPP_SRC_CORE_REGISTRY_H_

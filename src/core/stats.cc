@@ -1,0 +1,87 @@
+#include "src/core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lmb {
+
+Sample::Sample(std::vector<double> values) : values_(std::move(values)) {}
+
+void Sample::add(double v) {
+  values_.push_back(v);
+  sorted_valid_ = false;
+}
+
+void Sample::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Sample::min() const {
+  if (values_.empty()) {
+    throw std::logic_error("Sample::min on empty sample");
+  }
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Sample::max() const {
+  if (values_.empty()) {
+    throw std::logic_error("Sample::max on empty sample");
+  }
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Sample::mean() const {
+  if (values_.empty()) {
+    throw std::logic_error("Sample::mean on empty sample");
+  }
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Sample::median() const { return percentile(50.0); }
+
+double Sample::stddev() const {
+  if (values_.size() < 2) {
+    return 0.0;
+  }
+  double m = mean();
+  double ss = 0.0;
+  for (double v : values_) {
+    ss += (v - m) * (v - m);
+  }
+  return std::sqrt(ss / static_cast<double>(values_.size() - 1));
+}
+
+double Sample::percentile(double p) const {
+  if (values_.empty()) {
+    throw std::logic_error("Sample::percentile on empty sample");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile out of [0,100]");
+  }
+  ensure_sorted();
+  if (sorted_.size() == 1) {
+    return sorted_[0];
+  }
+  double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double Sample::coefficient_of_variation() const {
+  double m = mean();
+  if (m == 0.0) {
+    return 0.0;
+  }
+  return stddev() / m;
+}
+
+}  // namespace lmb

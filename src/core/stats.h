@@ -1,0 +1,47 @@
+// Small-sample statistics for benchmark repetitions.
+#ifndef LMBENCHPP_SRC_CORE_STATS_H_
+#define LMBENCHPP_SRC_CORE_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lmb {
+
+// Accumulates observations and answers order/moment statistics.  Stores the
+// raw values (benchmark repetition counts are small) so exact medians and
+// percentiles are available.
+class Sample {
+ public:
+  Sample() = default;
+  explicit Sample(std::vector<double> values);
+
+  void add(double v);
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double median() const;
+  // Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+  double stddev() const;
+  // Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  // stddev / mean; 0 when mean is 0.
+  double coefficient_of_variation() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  // Sorts values_ lazily before order statistics.
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace lmb
+
+#endif  // LMBENCHPP_SRC_CORE_STATS_H_

@@ -1,0 +1,113 @@
+#include "src/core/timing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lmb {
+
+namespace {
+
+// Times one interval of `iters` iterations.
+Nanos time_interval(const BenchFn& fn, std::uint64_t iters, const Clock& clock) {
+  Nanos start = clock.now();
+  fn(iters);
+  return clock.now() - start;
+}
+
+Measurement finish(std::uint64_t iterations, Sample sample) {
+  Measurement m;
+  m.iterations = iterations;
+  m.repetitions = static_cast<int>(sample.count());
+  m.ns_per_op = sample.min();
+  m.mean_ns_per_op = sample.mean();
+  m.median_ns_per_op = sample.median();
+  m.max_ns_per_op = sample.max();
+  m.sample = std::move(sample);
+  return m;
+}
+
+}  // namespace
+
+std::uint64_t calibrate_iterations(const BenchFn& fn, const TimingPolicy& policy,
+                                   const Clock& clock) {
+  std::uint64_t iters = 1;
+  while (true) {
+    Nanos elapsed = time_interval(fn, iters, clock);
+    if (elapsed >= policy.min_interval || iters >= policy.max_iterations) {
+      return iters;
+    }
+    std::uint64_t next;
+    if (elapsed <= 0) {
+      next = iters * 10;
+    } else {
+      // Overshoot by 20% so the next probe usually terminates calibration.
+      double scale = 1.2 * static_cast<double>(policy.min_interval) /
+                     static_cast<double>(elapsed);
+      scale = std::clamp(scale, 2.0, 100.0);
+      next = static_cast<std::uint64_t>(static_cast<double>(iters) * scale);
+    }
+    iters = std::min(std::max(next, iters + 1), policy.max_iterations);
+  }
+}
+
+Measurement measure(const BenchFn& fn, const TimingPolicy& policy, const Clock& clock) {
+  return measure(BenchBody{fn, nullptr}, policy, clock);
+}
+
+Measurement measure(const BenchBody& body, const TimingPolicy& policy, const Clock& clock) {
+  if (!body.run) {
+    throw std::invalid_argument("measure: empty benchmark body");
+  }
+  Nanos budget_start = clock.now();
+
+  for (int i = 0; i < policy.warmup_runs; ++i) {
+    if (body.setup) {
+      body.setup();
+    }
+    body.run(1);
+  }
+
+  if (body.setup) {
+    body.setup();
+  }
+  std::uint64_t iters = calibrate_iterations(body.run, policy, clock);
+
+  Sample sample;
+  for (int rep = 0; rep < policy.repetitions; ++rep) {
+    if (rep > 0 && clock.now() - budget_start > policy.max_total) {
+      break;  // out of budget; keep what we have
+    }
+    if (body.setup) {
+      body.setup();
+    }
+    Nanos elapsed = time_interval(body.run, iters, clock);
+    sample.add(static_cast<double>(elapsed) / static_cast<double>(iters));
+  }
+  return finish(iters, std::move(sample));
+}
+
+Measurement measure_once_each(const std::function<void()>& fn, int n, const Clock& clock) {
+  if (!fn) {
+    throw std::invalid_argument("measure_once_each: empty function");
+  }
+  if (n < 1) {
+    throw std::invalid_argument("measure_once_each: n must be >= 1");
+  }
+  Sample sample;
+  for (int i = 0; i < n; ++i) {
+    Nanos start = clock.now();
+    fn();
+    sample.add(static_cast<double>(clock.now() - start));
+  }
+  return finish(1, std::move(sample));
+}
+
+double mb_per_sec(double bytes_per_op, double ns_per_op) {
+  if (ns_per_op <= 0.0) {
+    return 0.0;
+  }
+  double bytes_per_sec = bytes_per_op * (1e9 / ns_per_op);
+  return bytes_per_sec / (1024.0 * 1024.0);
+}
+
+}  // namespace lmb

@@ -1,0 +1,110 @@
+// The lmbench timing harness: calibrate, repeat, take the minimum.
+//
+// Paper §3.4:
+//  * "the benchmarks are hand-tuned to measure many operations within a
+//    single time interval lasting for many clock ticks" — we auto-calibrate
+//    the inner iteration count until one timed interval exceeds
+//    TimingPolicy::min_interval.
+//  * "We compensate by running the benchmark in a loop and taking the
+//    minimum result" — each measurement is repeated `repetitions` times; the
+//    headline number is the minimum, with mean/median/stddev retained.
+//  * "If the benchmark expects the data to be in the cache, the benchmark is
+//    typically run several times; only the last result is recorded" —
+//    `warmup_runs` runs the body before any timing.
+#ifndef LMBENCHPP_SRC_CORE_TIMING_H_
+#define LMBENCHPP_SRC_CORE_TIMING_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/core/clock.h"
+#include "src/core/stats.h"
+
+namespace lmb {
+
+// Knobs controlling one measurement.  A value type so ablation benches and
+// tests can sweep policies.
+struct TimingPolicy {
+  // A single timed interval must last at least this long.
+  Nanos min_interval = 10 * kMillisecond;
+  // Number of timed repetitions; the reported value is their minimum.
+  int repetitions = 11;
+  // Untimed executions of the body before calibration (cache warming).
+  int warmup_runs = 1;
+  // Upper bound on the calibrated per-interval iteration count.
+  std::uint64_t max_iterations = 1'000'000'000;
+  // Soft budget for the whole measurement (calibration + repetitions).  Once
+  // exceeded, remaining repetitions are skipped (at least one is always run).
+  Nanos max_total = 20 * kSecond;
+
+  // Defaults tuned to the paper's accuracy goals.
+  static TimingPolicy standard() { return TimingPolicy{}; }
+
+  // Cheap settings for CI and tests.
+  static TimingPolicy quick() {
+    TimingPolicy p;
+    p.min_interval = 1 * kMillisecond;
+    p.repetitions = 3;
+    p.max_total = 2 * kSecond;
+    return p;
+  }
+};
+
+// Outcome of one measurement.
+struct Measurement {
+  // Headline number: minimum over repetitions of interval / iterations.
+  double ns_per_op = 0.0;
+  double mean_ns_per_op = 0.0;
+  double median_ns_per_op = 0.0;
+  double max_ns_per_op = 0.0;
+  // Iterations per timed interval chosen by calibration.
+  std::uint64_t iterations = 0;
+  // Number of repetitions actually timed (may be < policy.repetitions if the
+  // max_total budget ran out).
+  int repetitions = 0;
+  // Per-repetition ns/op values.
+  Sample sample;
+
+  double us_per_op() const { return ns_per_op / 1e3; }
+  double ms_per_op() const { return ns_per_op / 1e6; }
+  // Operations per second implied by the headline latency.
+  double ops_per_sec() const { return ns_per_op > 0 ? 1e9 / ns_per_op : 0.0; }
+};
+
+// The benchmark body: run the measured operation `iters` times.
+using BenchFn = std::function<void(std::uint64_t iters)>;
+
+// Body with explicit per-repetition setup (not timed): `setup()` runs before
+// each timed interval.
+struct BenchBody {
+  BenchFn run;
+  std::function<void()> setup;  // optional
+};
+
+// Finds an iteration count such that run(iterations) lasts at least
+// policy.min_interval.  Exposed for tests and ablations.
+std::uint64_t calibrate_iterations(const BenchFn& fn, const TimingPolicy& policy,
+                                   const Clock& clock = WallClock::instance());
+
+// Measures `fn` under `policy`.  Throws std::invalid_argument if fn is empty.
+Measurement measure(const BenchFn& fn, const TimingPolicy& policy = TimingPolicy::standard(),
+                    const Clock& clock = WallClock::instance());
+
+// As above with per-repetition untimed setup.
+Measurement measure(const BenchBody& body, const TimingPolicy& policy = TimingPolicy::standard(),
+                    const Clock& clock = WallClock::instance());
+
+// Measures an operation whose cost is too large or stateful to loop inside
+// one interval (e.g. fork/exec): times `n` one-shot executions individually
+// and aggregates.  Each execution is one "repetition"; no calibration.
+Measurement measure_once_each(const std::function<void()>& fn, int n,
+                              const Clock& clock = WallClock::instance());
+
+// Converts a measured per-op latency plus bytes-moved-per-op into MB/s.
+// Uses the paper's convention of 1 MB = 2^20 bytes.
+double mb_per_sec(double bytes_per_op, double ns_per_op);
+
+}  // namespace lmb
+
+#endif  // LMBENCHPP_SRC_CORE_TIMING_H_

@@ -1,0 +1,57 @@
+#include "src/core/virtual_clock.h"
+
+#include <utility>
+
+namespace lmb {
+
+Nanos EventQueue::schedule_in(Nanos delay, Handler fn) {
+  if (delay < 0) {
+    throw std::invalid_argument("EventQueue::schedule_in: negative delay");
+  }
+  return schedule_at(clock_->now() + delay, std::move(fn));
+}
+
+Nanos EventQueue::schedule_at(Nanos at, Handler fn) {
+  if (at < clock_->now()) {
+    throw std::invalid_argument("EventQueue::schedule_at: time in the past");
+  }
+  if (!fn) {
+    throw std::invalid_argument("EventQueue::schedule_at: empty handler");
+  }
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+  return at;
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top is const; move via const_cast is safe because we pop
+  // immediately and never touch the moved-from element again.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  // Handlers may advance the clock past later events' timestamps (e.g. to
+  // model processing time); fire such events "late" rather than failing.
+  if (ev.at > clock_->now()) {
+    clock_->advance_to(ev.at);
+  }
+  ev.fn();
+  return true;
+}
+
+size_t EventQueue::run_all(size_t limit) {
+  size_t n = 0;
+  while (n < limit && run_one()) {
+    ++n;
+  }
+  return n;
+}
+
+void EventQueue::run_until(Nanos t) {
+  while (!heap_.empty() && heap_.top().at <= t) {
+    run_one();
+  }
+  clock_->advance_to(t);
+}
+
+}  // namespace lmb

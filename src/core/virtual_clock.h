@@ -1,0 +1,87 @@
+// Deterministic virtual time for the disk and network simulators.
+//
+// The simulators (src/simdisk, src/netsim) substitute for hardware the paper
+// measured directly (raw SCSI disks, dedicated network links).  They run on
+// virtual time so their results are exact and reproducible, and so tests can
+// assert on them without wall-clock flakiness.
+#ifndef LMBENCHPP_SRC_CORE_VIRTUAL_CLOCK_H_
+#define LMBENCHPP_SRC_CORE_VIRTUAL_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/clock.h"
+
+namespace lmb {
+
+// A manually-advanced clock.  Also usable as a fake in harness tests.
+class VirtualClock final : public Clock {
+ public:
+  Nanos now() const override { return now_; }
+
+  void advance(Nanos delta) {
+    if (delta < 0) {
+      throw std::invalid_argument("VirtualClock::advance: negative delta");
+    }
+    now_ += delta;
+  }
+
+  void advance_to(Nanos t) {
+    if (t < now_) {
+      throw std::invalid_argument("VirtualClock::advance_to: time moves backwards");
+    }
+    now_ = t;
+  }
+
+ private:
+  Nanos now_ = 0;
+};
+
+// Discrete-event scheduler over a VirtualClock.  Events fire in timestamp
+// order; ties fire in scheduling order (stable).
+class EventQueue {
+ public:
+  explicit EventQueue(VirtualClock& clock) : clock_(&clock) {}
+
+  using Handler = std::function<void()>;
+
+  // Schedules `fn` to run at now + delay.  Returns the absolute fire time.
+  Nanos schedule_in(Nanos delay, Handler fn);
+  // Schedules `fn` at absolute time `at` (must be >= now).
+  Nanos schedule_at(Nanos at, Handler fn);
+
+  // Runs the earliest pending event, advancing the clock to its timestamp.
+  // Returns false when no events are pending.
+  bool run_one();
+
+  // Runs events until the queue drains or `limit` events have fired.
+  // Returns the number of events run.
+  size_t run_all(size_t limit = 1'000'000);
+
+  // Runs all events with timestamps <= t, then advances the clock to t.
+  void run_until(Nanos t);
+
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    Nanos at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    Handler fn;
+    bool operator>(const Event& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  VirtualClock* clock_;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+};
+
+}  // namespace lmb
+
+#endif  // LMBENCHPP_SRC_CORE_VIRTUAL_CLOCK_H_

@@ -1,0 +1,154 @@
+#include "src/db/collect.h"
+
+#include <stdexcept>
+
+#include "src/bw/bw_file.h"
+#include "src/bw/bw_ipc.h"
+#include "src/bw/bw_mem.h"
+#include "src/bw/stream.h"
+#include "src/core/env.h"
+#include "src/core/mhz.h"
+#include "src/lat/lat_ctx.h"
+#include "src/lat/lat_file_ops.h"
+#include "src/lat/lat_fs.h"
+#include "src/lat/lat_ipc.h"
+#include "src/lat/lat_mem_rd.h"
+#include "src/lat/lat_pagefault.h"
+#include "src/lat/lat_proc.h"
+#include "src/lat/lat_sig.h"
+#include "src/lat/lat_syscall.h"
+#include "src/rpc/lat_rpc.h"
+
+namespace lmb::db {
+
+namespace {
+
+const MetricInfo& info_for(const std::string& key) {
+  for (const auto& m : standard_metrics()) {
+    if (m.key == key) {
+      return m;
+    }
+  }
+  throw std::logic_error("unknown metric key: " + key);
+}
+
+}  // namespace
+
+ResultSet collect_standard_metrics(const CollectOptions& options) {
+  ResultSet results(query_system_info().label());
+  TimingPolicy policy = options.quick ? TimingPolicy::quick() : TimingPolicy::standard();
+
+  auto put = [&](const std::string& key, double value) {
+    results.set(key, value);
+    if (options.on_metric) {
+      options.on_metric(info_for(key), value);
+    }
+  };
+  auto guard = [&](const std::function<void()>& fn) {
+    try {
+      fn();
+    } catch (const std::exception&) {
+      // Skipped metric; the set stays partial.
+    }
+  };
+
+  guard([&] { put("mhz", estimate_cpu_clock(policy).mhz); });
+  guard([&] { put("lat_syscall_us", lat::measure_null_write(policy).us_per_op()); });
+  guard([&] {
+    lat::SyscallLatencies s = lat::measure_syscall_suite(policy);
+    put("lat_stat_us", s.stat_us);
+    put("lat_open_close_us", s.open_close_us);
+  });
+  guard([&] { put("lat_sig_install_us", lat::measure_signal_install(policy).us_per_op()); });
+  guard([&] { put("lat_sig_catch_us", lat::measure_signal_catch(policy).us_per_op()); });
+  guard([&] { put("lat_prot_fault_us", lat::measure_protection_fault(policy).us_per_op()); });
+  guard([&] {
+    lat::ProcConfig cfg = options.quick ? lat::ProcConfig::quick() : lat::ProcConfig{};
+    lat::ProcResult r = lat::measure_proc_suite(cfg);
+    put("lat_fork_ms", r.fork_exit_ms);
+    put("lat_exec_ms", r.fork_exec_ms);
+    put("lat_sh_ms", r.fork_sh_ms);
+  });
+
+  guard([&] {
+    lat::CtxConfig cfg = options.quick ? lat::CtxConfig::quick() : lat::CtxConfig{};
+    cfg.processes = 2;
+    put("lat_ctx2_us", lat::measure_ctx(cfg).ctx_us);
+    cfg.processes = 8;
+    put("lat_ctx8_us", lat::measure_ctx(cfg).ctx_us);
+  });
+  lat::IpcLatConfig ipc_cfg;
+  ipc_cfg.policy = policy;
+  guard([&] { put("lat_pipe_us", lat::measure_pipe_latency(ipc_cfg).us_per_op()); });
+  guard([&] { put("lat_unix_us", lat::measure_unix_latency(ipc_cfg).us_per_op()); });
+  guard([&] { put("lat_tcp_us", lat::measure_tcp_latency(ipc_cfg).us_per_op()); });
+  guard([&] { put("lat_udp_us", lat::measure_udp_latency(ipc_cfg).us_per_op()); });
+  guard([&] {
+    rpc::RpcLatConfig cfg;
+    cfg.policy = policy;
+    put("lat_rpc_tcp_us", rpc::measure_rpc_tcp_latency(cfg).us_per_op());
+    put("lat_rpc_udp_us", rpc::measure_rpc_udp_latency(cfg).us_per_op());
+  });
+  guard([&] { put("lat_connect_us", lat::measure_tcp_connect({}).us_per_op()); });
+
+  guard([&] {
+    bw::MemBwConfig cfg;
+    cfg.bytes = options.quick ? (2u << 20) : (8u << 20);
+    cfg.policy = policy;
+    put("bw_mem_cp_mb", bw::measure_mem_bw(bw::MemOp::kCopyLibc, cfg).mb_per_sec);
+    put("bw_mem_rd_mb", bw::measure_mem_bw(bw::MemOp::kReadSum, cfg).mb_per_sec);
+    put("bw_mem_wr_mb", bw::measure_mem_bw(bw::MemOp::kWrite, cfg).mb_per_sec);
+  });
+  guard([&] {
+    bw::StreamConfig cfg = options.quick ? bw::StreamConfig::quick() : bw::StreamConfig{};
+    put("bw_stream_triad_mb", bw::measure_stream(bw::StreamKernel::kTriad, cfg).mb_per_sec);
+  });
+  guard([&] {
+    bw::IpcBwConfig cfg = options.quick ? bw::IpcBwConfig::quick()
+                                        : bw::IpcBwConfig::pipe_default();
+    put("bw_pipe_mb", bw::measure_pipe_bw(cfg).mb_per_sec);
+  });
+  guard([&] {
+    bw::IpcBwConfig cfg = bw::IpcBwConfig::tcp_default();
+    if (options.quick) {
+      cfg.total_bytes = 4u << 20;
+      cfg.repetitions = 2;
+    }
+    put("bw_tcp_mb", bw::measure_tcp_bw(cfg).mb_per_sec);
+  });
+  guard([&] {
+    bw::FileBwConfig cfg = options.quick ? bw::FileBwConfig::quick() : bw::FileBwConfig{};
+    put("bw_file_mb", bw::measure_file_read_bw(cfg).mb_per_sec);
+    put("bw_mmap_mb", bw::measure_mmap_read_bw(cfg).mb_per_sec);
+  });
+
+  guard([&] {
+    lat::MemLatConfig cfg;
+    cfg.array_bytes = 16 << 10;
+    cfg.policy = policy;
+    put("lat_l1_ns", lat::measure_mem_latency(cfg).ns_per_load);
+    cfg.array_bytes = 32u << 20;
+    cfg.order = lat::ChaseOrder::kRandom;
+    put("lat_mem_ns", lat::measure_mem_latency(cfg).ns_per_load);
+  });
+  guard([&] {
+    lat::PageFaultConfig cfg = options.quick ? lat::PageFaultConfig::quick()
+                                             : lat::PageFaultConfig{};
+    put("lat_pagefault_us", lat::measure_pagefault(cfg).us_per_page);
+  });
+  guard([&] {
+    lat::MmapLatConfig cfg;
+    cfg.policy = policy;
+    put("lat_mmap_us", lat::measure_mmap_latency(cfg).us_per_op());
+  });
+  guard([&] {
+    lat::FsLatConfig cfg = options.quick ? lat::FsLatConfig::quick() : lat::FsLatConfig{};
+    lat::FsLatResult r = lat::measure_fs_latency(cfg);
+    put("lat_fs_create_us", r.create_us);
+    put("lat_fs_delete_us", r.delete_us);
+  });
+
+  return results;
+}
+
+}  // namespace lmb::db

@@ -1,0 +1,29 @@
+// Collects the canonical lmbench++ metric set into a ResultSet.
+//
+// This is the programmatic form of "run the benchmark and produce a table
+// of results that includes the run" (§3.5): one call measures the standard
+// metrics under canonical keys, ready for the summary renderer and for
+// saving/merging into a ResultDatabase.
+#ifndef LMBENCHPP_SRC_DB_COLLECT_H_
+#define LMBENCHPP_SRC_DB_COLLECT_H_
+
+#include <functional>
+
+#include "src/db/metrics.h"
+#include "src/db/result_set.h"
+
+namespace lmb::db {
+
+struct CollectOptions {
+  bool quick = true;  // quick policies keep a full collection under ~30 s
+  // Callback per metric as it lands (progress display); may be empty.
+  std::function<void(const MetricInfo&, double)> on_metric;
+};
+
+// Runs the standard benchmarks and fills a ResultSet named after this host.
+// Metrics whose benchmark throws are skipped (the set is still returned).
+ResultSet collect_standard_metrics(const CollectOptions& options = {});
+
+}  // namespace lmb::db
+
+#endif  // LMBENCHPP_SRC_DB_COLLECT_H_

@@ -1,0 +1,47 @@
+#include "src/db/metrics.h"
+
+namespace lmb::db {
+
+const std::vector<MetricInfo>& standard_metrics() {
+  static const std::vector<MetricInfo> metrics = {
+      {"mhz", "CPU clock", "MHz", false, "processor"},
+      {"lat_syscall_us", "Null syscall", "us", true, "processor"},
+      {"lat_stat_us", "stat()", "us", true, "processor"},
+      {"lat_open_close_us", "open+close", "us", true, "processor"},
+      {"lat_sig_install_us", "Signal install", "us", true, "processor"},
+      {"lat_sig_catch_us", "Signal catch", "us", true, "processor"},
+      {"lat_prot_fault_us", "Protection fault", "us", true, "processor"},
+      {"lat_fork_ms", "fork+exit", "ms", true, "processor"},
+      {"lat_exec_ms", "fork+exec", "ms", true, "processor"},
+      {"lat_sh_ms", "fork+sh -c", "ms", true, "processor"},
+
+      {"lat_ctx2_us", "Ctx switch 2p/0K", "us", true, "ipc"},
+      {"lat_ctx8_us", "Ctx switch 8p/0K", "us", true, "ipc"},
+      {"lat_pipe_us", "Pipe RTT", "us", true, "ipc"},
+      {"lat_unix_us", "AF_UNIX RTT", "us", true, "ipc"},
+      {"lat_tcp_us", "TCP RTT", "us", true, "ipc"},
+      {"lat_udp_us", "UDP RTT", "us", true, "ipc"},
+      {"lat_rpc_tcp_us", "RPC/TCP RTT", "us", true, "ipc"},
+      {"lat_rpc_udp_us", "RPC/UDP RTT", "us", true, "ipc"},
+      {"lat_connect_us", "TCP connect", "us", true, "ipc"},
+
+      {"bw_mem_cp_mb", "bcopy (libc)", "MB/s", false, "bandwidth"},
+      {"bw_mem_rd_mb", "Memory read", "MB/s", false, "bandwidth"},
+      {"bw_mem_wr_mb", "Memory write", "MB/s", false, "bandwidth"},
+      {"bw_stream_triad_mb", "STREAM triad", "MB/s", false, "bandwidth"},
+      {"bw_pipe_mb", "Pipe", "MB/s", false, "bandwidth"},
+      {"bw_tcp_mb", "TCP (loopback)", "MB/s", false, "bandwidth"},
+      {"bw_file_mb", "File reread", "MB/s", false, "bandwidth"},
+      {"bw_mmap_mb", "Mmap reread", "MB/s", false, "bandwidth"},
+
+      {"lat_l1_ns", "L1 load", "ns", true, "file+vm"},
+      {"lat_mem_ns", "Memory load", "ns", true, "file+vm"},
+      {"lat_pagefault_us", "Page fault", "us", true, "file+vm"},
+      {"lat_mmap_us", "mmap+munmap 1MB", "us", true, "file+vm"},
+      {"lat_fs_create_us", "File create", "us", true, "file+vm"},
+      {"lat_fs_delete_us", "File delete", "us", true, "file+vm"},
+  };
+  return metrics;
+}
+
+}  // namespace lmb::db

@@ -1,0 +1,26 @@
+// The canonical metric schema shared by the collector (src/db/collect.h)
+// and the summary renderer (src/report/summary.h).  Schema only — no
+// benchmark dependencies.
+#ifndef LMBENCHPP_SRC_DB_METRICS_H_
+#define LMBENCHPP_SRC_DB_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace lmb::db {
+
+// Canonical metric descriptor (drives both collection and rendering).
+struct MetricInfo {
+  std::string key;      // e.g. "lat_pipe_us"
+  std::string label;    // e.g. "Pipe latency"
+  std::string unit;     // "us" | "ms" | "MB/s" | "ns" | "MHz"
+  bool lower_is_better;
+  std::string section;  // "processor" | "ipc" | "bandwidth" | "file+vm"
+};
+
+// The standard metric set, in presentation order.
+const std::vector<MetricInfo>& standard_metrics();
+
+}  // namespace lmb::db
+
+#endif  // LMBENCHPP_SRC_DB_METRICS_H_

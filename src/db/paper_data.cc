@@ -1,0 +1,271 @@
+#include "src/db/paper_data.h"
+
+namespace lmb::db {
+
+const std::vector<SystemRow>& paper_table1() {
+  static const std::vector<SystemRow> rows = {
+      {"IBM PowerPC", "IBM 43P", false, "AIX 3.?", "MPC604", 133, 1995, 176, "$15k"},
+      {"IBM Power2", "IBM 990", false, "AIX 4.?", "Power2", 71, 1993, 126, "$110k"},
+      {"FreeBSD/i586", "ASUS P55TP4XE", false, "FreeBSD 2.1", "Pentium", 133, 1995, 190, "$3k"},
+      {"HP K210", "HP 9000/859", true, "HP-UX B.10.01", "PA 7200", 120, 1995, 167, "$35k"},
+      {"SGI Challenge", "SGI Challenge", true, "IRIX 6.2-alpha", "R4400", 200, 1994, 140, "$80k"},
+      {"SGI Indigo2", "SGI Indigo2", false, "IRIX 5.3", "R4400", 200, 1994, 135, "$15k"},
+      {"Linux/Alpha", "DEC Cabriolet", false, "Linux 1.3.38", "Alpha 21064A", 275, 1994, 189,
+       "$9k"},
+      {"Linux/i586", "Triton/EDO RAM", false, "Linux 1.3.28", "Pentium", 120, 1995, 155, "$5k"},
+      {"Linux/i686", "Intel Alder", false, "Linux 1.3.37", "Pentium Pro", 200, 1995, 320, "$7k"},
+      {"DEC Alpha@150", "DEC 3000/500", false, "OSF1 3.0", "Alpha 21064", 150, 1993, 84, "$35k"},
+      {"DEC Alpha@300", "DEC 8400 5/300", true, "OSF1 3.2", "Alpha 21164", 300, 1995, 341,
+       "$250k"},
+      {"Sun Ultra1", "Sun Ultra1", false, "SunOS 5.5", "UltraSPARC", 167, 1995, 250, "$21k"},
+      {"Sun SC1000", "Sun SC1000", true, "SunOS 5.5-beta", "SuperSPARC", 50, 1992, 65, "$35k"},
+      {"Solaris/i686", "Intel Alder", false, "SunOS 5.5.1", "Pentium Pro", 133, 1995, 215, "$5k"},
+      {"Unixware/i686", "Intel Aurora", false, "Unixware 5.4.2", "Pentium Pro", 200, 1995, 320,
+       "$7k"},
+  };
+  return rows;
+}
+
+const std::vector<MemBwRow>& paper_table2() {
+  // {system, bcopy libc, bcopy unrolled, memory read, memory write};
+  // sorted in the paper on unrolled bcopy, descending.
+  static const std::vector<MemBwRow> rows = {
+      {"IBM Power2", 171, 242, 205, 364},
+      {"Sun Ultra1", 167, 152, 129, 85},
+      {"DEC Alpha@300", 80, 120, 123, 85},
+      {"HP K210", 57, 117, 126, 78},
+      {"Unixware/i686", 58, 65, 235, 88},
+      {"Solaris/i686", 48, 52, 159, 71},
+      {"DEC Alpha@150", 45, 46, 91, 79},
+      {"Linux/i686", 56, 42, 208, 56},
+      {"FreeBSD/i586", 42, 39, 83, 73},
+      {"Linux/Alpha", 39, 39, 73, 71},
+      {"Linux/i586", 42, 38, 75, 74},
+      {"SGI Challenge", 36, 35, 67, 65},
+      {"SGI Indigo2", 32, 31, 69, 66},
+      {"IBM PowerPC", 26, 21, 63, 21},
+      {"Sun SC1000", 17, 15, 38, 31},
+  };
+  return rows;
+}
+
+const std::vector<IpcBwRow>& paper_table3() {
+  // {system, libc bcopy, pipe, tcp}; sorted on pipe.
+  static const std::vector<IpcBwRow> rows = {
+      {"HP K210", 57, 93, 34},
+      {"Linux/i686", 56, 89, 18},
+      {"IBM Power2", 171, 84, 10},
+      {"Linux/Alpha", 39, 73, 9},
+      {"Unixware/i686", 58, 68, kMissing},
+      {"Sun Ultra1", 167, 61, 51},
+      {"DEC Alpha@300", 80, 46, 11},
+      {"Solaris/i686", 48, 38, 20},
+      {"DEC Alpha@150", 45, 35, 9},
+      {"SGI Indigo2", 32, 34, 22},
+      {"Linux/i586", 42, 34, 7},
+      {"IBM PowerPC", 21, 30, 17},
+      {"FreeBSD/i586", 42, 23, 13},
+      {"SGI Challenge", 36, 31, 17},
+      {"Sun SC1000", 15, 11, 9},
+  };
+  return rows;
+}
+
+const std::vector<NetBwRow>& paper_table4() {
+  static const std::vector<NetBwRow> rows = {
+      {"SGI PowerChallenge", "hippi", 79.3},
+      {"Sun Ultra1", "100baseT", 9.5},
+      {"HP 9000/735", "fddi", 8.8},
+      {"FreeBSD/i586", "100baseT", 7.9},
+      {"SGI Indigo2", "10baseT", 0.9},
+      {"HP 9000/735", "10baseT", 0.9},
+      {"Linux/i586@90", "10baseT", 0.7},
+  };
+  return rows;
+}
+
+const std::vector<FileBwRow>& paper_table5() {
+  // {system, libc bcopy, file read, file mmap, memory read}.
+  static const std::vector<FileBwRow> rows = {
+      {"IBM Power2", 171, 187, 106, 205},
+      {"HP K210", 57, 88, 52, 117},
+      {"Sun Ultra1", 167, 101, 85, 129},
+      {"DEC Alpha@300", 80, 78, 67, 120},
+      {"Unixware/i686", 58, 62, 200, 235},
+      {"Solaris/i686", 48, 52, 94, 159},
+      {"DEC Alpha@150", 45, 50, 40, 79},
+      {"Linux/i686", 56, 40, 36, 208},
+      {"IBM PowerPC", 21, 51, 40, 63},
+      {"SGI Challenge", 36, 56, 36, 65},
+      {"SGI Indigo2", 32, 44, 32, 69},
+      {"FreeBSD/i586", 42, 53, 30, 73},
+      {"Linux/Alpha", 39, 24, 18, 73},
+      {"Linux/i586", 42, 23, 9, 74},
+      {"Sun SC1000", 15, 20, 28, 38},
+  };
+  return rows;
+}
+
+const std::vector<MemLatRow>& paper_table6() {
+  // {system, clock ns, L1 ns, L1 size, L2 ns, L2 size, memory ns};
+  // sorted in the paper on level-2 cache latency.
+  constexpr double K = 1024;
+  constexpr double M = 1024 * 1024;
+  static const std::vector<MemLatRow> rows = {
+      {"HP K210", 8, 8, 256 * K, 8, 256 * K, 349},
+      {"IBM Power2", 14, 13, 256 * K, 13, 256 * K, 260},
+      {"Unixware/i686", 5, 5, 8 * K, 25, 256 * K, 175},
+      {"Linux/i686", 5, 5, 8 * K, 30, 256 * K, 179},
+      {"Sun Ultra1", 6, 6, 16 * K, 42, 512 * K, 270},
+      {"Linux/Alpha", 3.6, 6, 8 * K, 46, 96 * K, 357},
+      {"Solaris/i686", 7, 7, 8 * K, 48, 256 * K, 281},
+      {"FreeBSD/i586", 8, 8, 8 * K, 64, 256 * K, 1170},
+      {"SGI Challenge", 5, 5, 16 * K, 64, 4 * M, 1189},
+      {"DEC Alpha@300", 3.3, 3, 8 * K, 66, 4 * M, 400},
+      {"DEC Alpha@150", 6.6, 6, 8 * K, 67, 512 * K, 291},
+      {"SGI Indigo2", 7.4, 7, 16 * K, 95, 1 * M, 1150},
+      {"Linux/i586", 8, 8, 8 * K, 107, 256 * K, 150},
+      {"Sun SC1000", 20, 20, 8 * K, 140, 1 * M, 1236},
+      {"IBM PowerPC", 7.5, 6, 16 * K, 164, 512 * K, 394},
+  };
+  return rows;
+}
+
+const std::vector<SyscallRow>& paper_table7() {
+  static const std::vector<SyscallRow> rows = {
+      {"Linux/Alpha", 2},  {"Linux/i586", 2},    {"Linux/i686", 3},   {"Unixware/i686", 4},
+      {"Sun Ultra1", 5},   {"FreeBSD/i586", 6},  {"Solaris/i686", 7}, {"DEC Alpha@300", 9},
+      {"Sun SC1000", 9},   {"HP K210", 10},      {"SGI Indigo2", 11}, {"DEC Alpha@150", 11},
+      {"IBM PowerPC", 12}, {"IBM Power2", 16},   {"SGI Challenge", 24},
+  };
+  return rows;
+}
+
+const std::vector<SignalRow>& paper_table8() {
+  static const std::vector<SignalRow> rows = {
+      {"SGI Indigo2", 4, 7},    {"SGI Challenge", 4, 9},  {"HP K210", 4, 13},
+      {"FreeBSD/i586", 4, 21},  {"Linux/i686", 4, 22},    {"Unixware/i686", 6, 25},
+      {"IBM Power2", 10, 27},   {"Solaris/i686", 9, 45},  {"IBM PowerPC", 10, 52},
+      {"Linux/i586", 7, 52},    {"DEC Alpha@300", 6, 59}, {"Linux/Alpha", 13, 138},
+  };
+  return rows;
+}
+
+const std::vector<ProcRow>& paper_table9() {
+  // {system, fork&exit, fork+exec&exit, fork+sh&exit}; sorted on fork+exec.
+  static const std::vector<ProcRow> rows = {
+      {"Linux/Alpha", 0.7, 3, 12},   {"Linux/i686", 0.4, 5, 14},
+      {"Linux/i586", 0.9, 5, 16},    {"Unixware/i686", 0.9, 5, 10},
+      {"DEC Alpha@300", 2.0, 6, 16}, {"IBM PowerPC", 2.9, 8, 50},
+      {"SGI Indigo2", 3.1, 8, 19},   {"IBM Power2", 1.2, 8, 16},
+      {"FreeBSD/i586", 2.0, 11, 19}, {"HP K210", 3.1, 11, 20},
+      {"DEC Alpha@150", 4.6, 13, 39}, {"SGI Challenge", 4.0, 14, 24},
+      {"Sun Ultra1", 3.7, 20, 37},   {"Solaris/i686", 4.5, 22, 46},
+      {"Sun SC1000", 14.0, 69, 281},
+  };
+  return rows;
+}
+
+const std::vector<CtxRow>& paper_table10() {
+  // {system, 2p/0K, 2p/32K, 8p/0K, 8p/32K}; sorted on 2p/0K.
+  static const std::vector<CtxRow> rows = {
+      {"Linux/i686", 6, 18, 7, 101},    {"Linux/i586", 10, 163, 13, 215},
+      {"Linux/Alpha", 11, 70, 13, 78},  {"IBM Power2", 13, 18, 16, 43},
+      {"Sun Ultra1", 14, 20, 31, 102},  {"DEC Alpha@300", 14, 17, 22, 41},
+      {"IBM PowerPC", 16, 26, 87, 144}, {"HP K210", 17, 17, 18, 99},
+      {"Unixware/i686", 17, 17, 18, 72}, {"FreeBSD/i586", 27, 33, 34, 102},
+      {"Solaris/i686", 36, 43, 54, 118}, {"SGI Indigo2", 38, 40, 47, 104},
+      {"DEC Alpha@150", 53, 59, 68, 134}, {"SGI Challenge", 63, 69, 80, 93},
+      {"Sun SC1000", 104, 107, 142, 197},
+  };
+  return rows;
+}
+
+const std::vector<PipeLatRow>& paper_table11() {
+  static const std::vector<PipeLatRow> rows = {
+      {"Linux/i686", 26},   {"Linux/i586", 33},    {"Linux/Alpha", 34},  {"Sun Ultra1", 62},
+      {"IBM PowerPC", 65},  {"Unixware/i686", 70}, {"DEC Alpha@300", 71}, {"HP K210", 78},
+      {"IBM Power2", 91},   {"Solaris/i686", 101}, {"FreeBSD/i586", 104}, {"SGI Indigo2", 131},
+      {"DEC Alpha@150", 179}, {"SGI Challenge", 251}, {"Sun SC1000", 278},
+  };
+  return rows;
+}
+
+const std::vector<TcpLatRow>& paper_table12() {
+  // {system, tcp, rpc/tcp}; sorted on rpc/tcp.
+  static const std::vector<TcpLatRow> rows = {
+      {"Linux/i686", 216, 346},   {"Sun Ultra1", 162, 346},    {"DEC Alpha@300", 267, 371},
+      {"FreeBSD/i586", 256, 440}, {"Solaris/i686", 305, 528},  {"Linux/Alpha", 429, 602},
+      {"HP K210", 146, 606},      {"SGI Indigo2", 278, 641},   {"IBM Power2", 332, 649},
+      {"IBM PowerPC", 299, 698},  {"Linux/i586", 467, 713},    {"DEC Alpha@150", 485, 788},
+      {"SGI Challenge", 546, 900}, {"Sun SC1000", 855, 1386},
+  };
+  return rows;
+}
+
+const std::vector<UdpLatRow>& paper_table13() {
+  // {system, udp, rpc/udp}; sorted on rpc/udp.
+  static const std::vector<UdpLatRow> rows = {
+      {"Linux/i686", 93, 180},    {"Sun Ultra1", 197, 267},   {"Linux/Alpha", 180, 317},
+      {"DEC Alpha@300", 259, 358}, {"Linux/i586", 187, 366},  {"FreeBSD/i586", 212, 375},
+      {"Solaris/i686", 348, 454}, {"IBM Power2", 254, 531},   {"IBM PowerPC", 206, 536},
+      {"HP K210", 152, 543},      {"SGI Indigo2", 313, 671},  {"DEC Alpha@150", 489, 834},
+      {"SGI Challenge", 678, 893}, {"Sun SC1000", 739, 1101},
+  };
+  return rows;
+}
+
+const std::vector<NetLatRow>& paper_table14() {
+  static const std::vector<NetLatRow> rows = {
+      {"Sun Ultra1", "100baseT", 280, 308},
+      {"FreeBSD/i586", "100baseT", 365, 304},
+      {"HP 9000/735", "fddi", 425, 441},
+      {"SGI Indigo2", "10baseT", 543, 602},
+      {"HP 9000/735", "10baseT", 603, 592},
+      {"SGI PowerChallenge", "hippi", 1068, 1099},
+      {"Linux/i586@90", "10baseT", 2954, 1912},
+  };
+  return rows;
+}
+
+const std::vector<ConnectRow>& paper_table15() {
+  static const std::vector<ConnectRow> rows = {
+      {"HP K210", 238},      {"Linux/i686", 263},   {"IBM Power2", 339},
+      {"Linux/i586", 369},   {"FreeBSD/i586", 418}, {"Unixware/i686", 450},
+      {"Linux/Alpha", 606},  {"Sun Ultra1", 667},   {"SGI Indigo2", 716},
+      {"SGI Challenge", 852}, {"Solaris/i686", 1230}, {"DEC Alpha@150", 3047},
+  };
+  return rows;
+}
+
+const std::vector<FsLatRow>& paper_table16() {
+  // {system, fs, create us, delete us}; sorted on delete.
+  static const std::vector<FsLatRow> rows = {
+      {"Linux/i686", "EXT2FS", 751, 45},
+      {"HP K210", "HFS", 579, 67},
+      {"Linux/i586", "EXT2FS", 1114, 95},
+      {"Linux/Alpha", "EXT2FS", 834, 115},
+      {"Unixware/i686", "UFS", 450, 369},
+      {"SGI Challenge", "XFS", 3508, 4016},
+      {"DEC Alpha@150", "ADVFS", 4184, 4255},
+      {"Solaris/i686", "UFS", 23809, 7246},
+      {"Sun Ultra1", "UFS", 18181, 8333},
+      {"Sun SC1000", "UFS", 25000, 11111},
+      {"FreeBSD/i586", "UFS", 28571, 11235},
+      {"SGI Indigo2", "EFS", 11904, 11494},
+      {"DEC Alpha@300", "ADVFS", 38461, 12345},
+      {"IBM PowerPC", "JFS", 12658, 12658},
+      {"IBM Power2", "JFS", 13333, 12820},
+  };
+  return rows;
+}
+
+const std::vector<DiskRow>& paper_table17() {
+  static const std::vector<DiskRow> rows = {
+      {"SGI Challenge", 920}, {"SGI Indigo2", 984},  {"HP K210", 1103},
+      {"DEC Alpha@150", 1436}, {"Sun SC1000", 1466}, {"Sun Ultra1", 2242},
+  };
+  return rows;
+}
+
+}  // namespace lmb::db

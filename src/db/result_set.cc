@@ -1,0 +1,113 @@
+#include "src/db/result_set.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/sys/fdio.h"
+
+namespace lmb::db {
+
+void ResultSet::set(const std::string& key, double value) {
+  if (key.empty() || key.find(' ') != std::string::npos || key.find('\n') != std::string::npos) {
+    throw std::invalid_argument("metric key must be non-empty without spaces: '" + key + "'");
+  }
+  metrics_[key] = value;
+}
+
+std::optional<double> ResultSet::get(const std::string& key) const {
+  auto it = metrics_.find(key);
+  if (it == metrics_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool ResultSet::has(const std::string& key) const { return metrics_.count(key) > 0; }
+
+void ResultDatabase::add(ResultSet set) {
+  if (set.system().empty()) {
+    throw std::invalid_argument("ResultSet needs a system name");
+  }
+  std::string key = set.system();
+  sets_.insert_or_assign(key, std::move(set));
+}
+
+const ResultSet* ResultDatabase::find(const std::string& system) const {
+  auto it = sets_.find(system);
+  return it == sets_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ResultSet*> ResultDatabase::all() const {
+  std::vector<const ResultSet*> out;
+  out.reserve(sets_.size());
+  for (const auto& [name, set] : sets_) {
+    out.push_back(&set);
+  }
+  return out;
+}
+
+std::string ResultDatabase::serialize() const {
+  std::ostringstream out;
+  for (const auto& [name, set] : sets_) {
+    out << "[" << name << "]\n";
+    for (const auto& [key, value] : set.metrics()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      out << key << " " << buf << "\n";
+    }
+  }
+  return out.str();
+}
+
+ResultDatabase ResultDatabase::parse(const std::string& text) {
+  ResultDatabase database;
+  std::istringstream in(text);
+  std::string line;
+  std::optional<ResultSet> current;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw std::invalid_argument("line " + std::to_string(lineno) + ": malformed header");
+      }
+      if (current) {
+        database.add(std::move(*current));
+      }
+      current.emplace(line.substr(1, line.size() - 2));
+      continue;
+    }
+    if (!current) {
+      throw std::invalid_argument("line " + std::to_string(lineno) + ": metric before header");
+    }
+    auto space = line.find(' ');
+    if (space == std::string::npos || space == 0) {
+      throw std::invalid_argument("line " + std::to_string(lineno) + ": expected 'key value'");
+    }
+    std::string key = line.substr(0, space);
+    size_t pos = 0;
+    double value = std::stod(line.substr(space + 1), &pos);
+    if (space + 1 + pos != line.size()) {
+      throw std::invalid_argument("line " + std::to_string(lineno) + ": trailing garbage");
+    }
+    current->set(key, value);
+  }
+  if (current) {
+    database.add(std::move(*current));
+  }
+  return database;
+}
+
+void ResultDatabase::save(const std::string& path) const {
+  sys::write_file(path, serialize());
+}
+
+ResultDatabase ResultDatabase::load(const std::string& path) {
+  return parse(sys::read_file(path));
+}
+
+}  // namespace lmb::db

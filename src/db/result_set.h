@@ -1,0 +1,68 @@
+// Storage for measured results — the user-extensible half of the database.
+//
+// §3.5: "It is quite easy to build the source, run the benchmark, and
+// produce a table of results that includes the run."  A ResultSet is one
+// run (one system); the database holds many and round-trips through a
+// simple text format so runs can be saved, shared, and merged.
+#ifndef LMBENCHPP_SRC_DB_RESULT_SET_H_
+#define LMBENCHPP_SRC_DB_RESULT_SET_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lmb::db {
+
+// One benchmark run on one system: named metrics with units.
+class ResultSet {
+ public:
+  ResultSet() = default;
+  explicit ResultSet(std::string system) : system_(std::move(system)) {}
+
+  const std::string& system() const { return system_; }
+  void set_system(std::string system) { system_ = std::move(system); }
+
+  // Sets a metric (e.g. "lat_pipe_us", 26.4).  Overwrites.
+  void set(const std::string& key, double value);
+
+  std::optional<double> get(const std::string& key) const;
+  bool has(const std::string& key) const;
+  size_t size() const { return metrics_.size(); }
+
+  const std::map<std::string, double>& metrics() const { return metrics_; }
+
+ private:
+  std::string system_;
+  std::map<std::string, double> metrics_;
+};
+
+// A collection of runs with text (de)serialization.
+//
+// Format (line oriented):
+//   [system name]
+//   key value
+//   ...
+class ResultDatabase {
+ public:
+  // Adds a run; replaces an existing run with the same system name.
+  void add(ResultSet set);
+
+  const ResultSet* find(const std::string& system) const;
+  std::vector<const ResultSet*> all() const;
+  size_t size() const { return sets_.size(); }
+
+  std::string serialize() const;
+  // Throws std::invalid_argument on malformed input.
+  static ResultDatabase parse(const std::string& text);
+
+  void save(const std::string& path) const;
+  static ResultDatabase load(const std::string& path);
+
+ private:
+  std::map<std::string, ResultSet> sets_;
+};
+
+}  // namespace lmb::db
+
+#endif  // LMBENCHPP_SRC_DB_RESULT_SET_H_

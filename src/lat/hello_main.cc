@@ -1,0 +1,9 @@
+// The tiny program exec'd by the process-creation benchmarks — "a tiny
+// program that prints 'hello world' and exits" (paper §6.5).
+#include <unistd.h>
+
+int main() {
+  const char msg[] = "hello world\n";
+  ssize_t n = write(STDOUT_FILENO, msg, sizeof(msg) - 1);
+  return n == static_cast<ssize_t>(sizeof(msg) - 1) ? 0 : 1;
+}

@@ -1,0 +1,229 @@
+#include "src/lat/lat_file_ops.h"
+
+#include <fcntl.h>
+#include <setjmp.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/core/do_not_optimize.h"
+#include "src/core/registry.h"
+#include "src/report/table.h"
+#include "src/sys/error.h"
+#include "src/sys/fdio.h"
+#include "src/sys/process.h"
+#include "src/sys/signals.h"
+#include "src/sys/temp.h"
+#include "src/sys/unique_fd.h"
+
+namespace lmb::lat {
+
+namespace {
+
+// 1-byte echo over two fds (FIFO read end / write end), EOF-terminated.
+int fifo_echo_child(int in_fd, int out_fd) {
+  char token;
+  while (sys::read_some(in_fd, &token, 1) == 1) {
+    sys::write_full(out_fd, &token, 1);
+  }
+  return 0;
+}
+
+}  // namespace
+
+Measurement measure_fifo_latency(const TimingPolicy& policy) {
+  sys::TempDir dir("lmb_fifo");
+  std::string to_child = dir.file("to_child");
+  std::string to_parent = dir.file("to_parent");
+  sys::check_syscall(::mkfifo(to_child.c_str(), 0600), "mkfifo");
+  sys::check_syscall(::mkfifo(to_parent.c_str(), 0600), "mkfifo");
+
+  sys::Child child = sys::fork_child([&]() {
+    // Open order mirrors the parent's so neither side deadlocks: both open
+    // to_child first (child read / parent write), then to_parent.
+    sys::UniqueFd in = sys::open_read(to_child);
+    sys::UniqueFd out(::open(to_parent.c_str(), O_WRONLY));
+    if (!out) {
+      return 1;
+    }
+    return fifo_echo_child(in.get(), out.get());
+  });
+
+  sys::UniqueFd out(::open(to_child.c_str(), O_WRONLY));
+  if (!out) {
+    sys::throw_errno("open fifo for write");
+  }
+  sys::UniqueFd in = sys::open_read(to_parent);
+
+  char token = 'f';
+  Measurement m = measure(
+      [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          sys::write_full(out.get(), &token, 1);
+          sys::read_full(in.get(), &token, 1);
+        }
+      },
+      policy);
+
+  out.reset();  // EOF stops the echo child
+  if (child.wait() != 0) {
+    throw std::runtime_error("fifo echo child failed");
+  }
+  return m;
+}
+
+Measurement measure_fcntl_lock_latency(const TimingPolicy& policy) {
+  sys::TempDir dir("lmb_fcntl");
+  std::string path = dir.file("lockfile");
+  sys::write_file(path, "lk");
+  sys::UniqueFd fd = sys::open_rw_create(path);
+
+  struct flock lock;
+  lock.l_whence = SEEK_SET;
+  lock.l_start = 0;
+  lock.l_len = 1;
+  lock.l_pid = 0;
+
+  return measure(
+      [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          lock.l_type = F_WRLCK;
+          if (::fcntl(fd.get(), F_SETLK, &lock) != 0) {
+            sys::throw_errno("fcntl F_SETLK");
+          }
+          lock.l_type = F_UNLCK;
+          if (::fcntl(fd.get(), F_SETLK, &lock) != 0) {
+            sys::throw_errno("fcntl F_UNLCK");
+          }
+        }
+      },
+      policy);
+}
+
+Measurement measure_mmap_latency(const MmapLatConfig& config) {
+  if (config.bytes < 4096) {
+    throw std::invalid_argument("MmapLatConfig: need at least one page");
+  }
+  sys::TempDir dir("lmb_mmaplat");
+  std::string path = dir.file("data");
+  {
+    sys::UniqueFd out = sys::open_write(path);
+    std::string block(65536, 'm');
+    size_t remaining = config.bytes;
+    while (remaining > 0) {
+      size_t n = std::min(remaining, block.size());
+      sys::write_full(out.get(), block.data(), n);
+      remaining -= n;
+    }
+  }
+  sys::UniqueFd fd = sys::open_read(path);
+
+  return measure(
+      [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          void* addr = ::mmap(nullptr, config.bytes, PROT_READ, MAP_SHARED, fd.get(), 0);
+          if (addr == MAP_FAILED) {
+            sys::throw_errno("mmap");
+          }
+          char first = *static_cast<const volatile char*>(addr);
+          do_not_optimize(first);
+          ::munmap(addr, config.bytes);
+        }
+      },
+      config.policy);
+}
+
+namespace {
+
+sigjmp_buf g_prot_jmp;
+
+void segv_handler(int) { siglongjmp(g_prot_jmp, 1); }
+
+}  // namespace
+
+Measurement measure_protection_fault(const TimingPolicy& policy) {
+  // A read-only page; every write attempt delivers SIGSEGV.
+  void* page = ::mmap(nullptr, 4096, PROT_READ, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (page == MAP_FAILED) {
+    sys::throw_errno("mmap");
+  }
+  auto* target = static_cast<volatile char*>(page);
+
+  sys::SignalHandlerGuard guard(SIGSEGV, segv_handler);
+  Measurement m = measure(
+      [&](std::uint64_t iters) {
+        // volatile: the counter must survive the handler's siglongjmp.
+        volatile std::uint64_t i = 0;
+        while (i < iters) {
+          if (sigsetjmp(g_prot_jmp, 1) == 0) {
+            *target = 1;  // faults; handler longjmps back
+          }
+          i = i + 1;
+        }
+      },
+      policy);
+  ::munmap(page, 4096);
+  return m;
+}
+
+namespace {
+
+TimingPolicy policy_from(const Options& opts) {
+  return opts.quick() ? TimingPolicy::quick() : TimingPolicy::standard();
+}
+
+const BenchmarkRegistrar fifo_registrar{{
+    .name = "lat_fifo",
+    .category = "latency",
+    .description = "named-pipe (FIFO) round-trip latency",
+    .run =
+        [](const Options& opts) {
+          return report::format_number(measure_fifo_latency(policy_from(opts)).us_per_op(), 1) +
+                 " us round trip";
+        },
+}};
+
+const BenchmarkRegistrar fcntl_registrar{{
+    .name = "lat_fcntl",
+    .category = "latency",
+    .description = "fcntl record lock + unlock pair",
+    .run =
+        [](const Options& opts) {
+          return report::format_number(
+                     measure_fcntl_lock_latency(policy_from(opts)).us_per_op(), 2) +
+                 " us per lock/unlock";
+        },
+}};
+
+const BenchmarkRegistrar mmap_registrar{{
+    .name = "lat_mmap",
+    .category = "latency",
+    .description = "mmap + munmap of a 1MB file region",
+    .run =
+        [](const Options& opts) {
+          MmapLatConfig cfg;
+          cfg.bytes = static_cast<size_t>(opts.get_size("size", 1 << 20));
+          cfg.policy = policy_from(opts);
+          return report::format_number(measure_mmap_latency(cfg).us_per_op(), 1) + " us";
+        },
+}};
+
+const BenchmarkRegistrar prot_registrar{{
+    .name = "lat_prot_fault",
+    .category = "latency",
+    .description = "protection fault (SIGSEGV) service time",
+    .run =
+        [](const Options& opts) {
+          return report::format_number(
+                     measure_protection_fault(policy_from(opts)).us_per_op(), 2) +
+                 " us per fault";
+        },
+}};
+
+}  // namespace
+
+}  // namespace lmb::lat

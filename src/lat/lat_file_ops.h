@@ -1,0 +1,38 @@
+// File-oriented latency benchmarks from the wider lmbench suite: FIFO
+// round trips, fcntl record-lock hand-offs, and mmap/munmap cost.  These are
+// the "some hardware measurements; went into greater depth" additions the
+// paper credits itself with over Ousterhout's suite (§2).
+#ifndef LMBENCHPP_SRC_LAT_LAT_FILE_OPS_H_
+#define LMBENCHPP_SRC_LAT_LAT_FILE_OPS_H_
+
+#include <cstddef>
+
+#include "src/core/timing.h"
+
+namespace lmb::lat {
+
+// Round trip of a 1-byte token between two processes over a pair of named
+// pipes (lmbench's lat_fifo).  Same shape as measure_pipe_latency but
+// through the filesystem namespace.
+Measurement measure_fifo_latency(const TimingPolicy& policy = TimingPolicy::standard());
+
+// fcntl(F_SETLKW) hand-off between two processes: each round trip is
+// acquire+release of two byte-range write locks used as a ping-pong
+// (lmbench's lat_fcntl).
+Measurement measure_fcntl_lock_latency(const TimingPolicy& policy = TimingPolicy::standard());
+
+// mmap + munmap of a `bytes`-long file region (lmbench's lat_mmap): the
+// virtual-memory setup cost an application pays per mapping.
+struct MmapLatConfig {
+  size_t bytes = 1u << 20;
+  TimingPolicy policy = TimingPolicy::standard();
+};
+Measurement measure_mmap_latency(const MmapLatConfig& config = {});
+
+// Protection-fault service time (lmbench's lat_sig -P / "prot" case): write
+// to a read-only page, catch SIGSEGV, repair with mprotect, repeat.
+Measurement measure_protection_fault(const TimingPolicy& policy = TimingPolicy::standard());
+
+}  // namespace lmb::lat
+
+#endif  // LMBENCHPP_SRC_LAT_LAT_FILE_OPS_H_

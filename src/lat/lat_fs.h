@@ -1,0 +1,45 @@
+// File system latency — paper §6.8, Table 16.
+//
+// "File system latency is defined as the time required to create or delete
+// a zero length file. ... The benchmark creates 1,000 zero-sized files and
+// then deletes them.  All the files are created in one directory and their
+// names are short, such as 'a', 'b', 'c', ... 'aa', 'ab', ...".
+#ifndef LMBENCHPP_SRC_LAT_LAT_FS_H_
+#define LMBENCHPP_SRC_LAT_LAT_FS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/timing.h"
+
+namespace lmb::lat {
+
+struct FsLatConfig {
+  int file_count = 1000;
+  // Directory to create files in; empty = fresh temp dir.
+  std::string dir;
+  // Whole create-all/delete-all cycles; minimum per-file time reported.
+  int repetitions = 3;
+
+  static FsLatConfig quick() {
+    FsLatConfig c;
+    c.file_count = 200;
+    c.repetitions = 2;
+    return c;
+  }
+};
+
+struct FsLatResult {
+  double create_us = 0.0;  // per-file creation
+  double delete_us = 0.0;  // per-file deletion
+  int file_count = 0;
+};
+
+// The short-name sequence "a".."z", "aa", "ab", ... (exposed for tests).
+std::vector<std::string> short_file_names(int count);
+
+FsLatResult measure_fs_latency(const FsLatConfig& config = {});
+
+}  // namespace lmb::lat
+
+#endif  // LMBENCHPP_SRC_LAT_LAT_FS_H_

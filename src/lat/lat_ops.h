@@ -1,0 +1,51 @@
+// Basic processor operation latencies (lmbench's lat_ops).
+//
+// §5.1 notes that "today's processor typically cycles at 10 or fewer ns" —
+// lat_ops pins that down per operation: dependent chains of integer and
+// floating-point add/mul/div, so each result feeds the next and the
+// measured time is the operation's *latency* (not throughput), in the same
+// spirit as the back-to-back-load memory measurement.
+#ifndef LMBENCHPP_SRC_LAT_LAT_OPS_H_
+#define LMBENCHPP_SRC_LAT_LAT_OPS_H_
+
+#include "src/core/timing.h"
+
+namespace lmb::lat {
+
+enum class ArithOp {
+  kIntAdd,
+  kIntMul,
+  kIntDiv,
+  kDoubleAdd,
+  kDoubleMul,
+  kDoubleDiv,
+};
+
+const char* arith_op_name(ArithOp op);
+
+struct OpLatency {
+  ArithOp op;
+  double ns_per_op = 0.0;
+};
+
+// Latency of one dependent operation of the given kind.
+OpLatency measure_op_latency(ArithOp op, const TimingPolicy& policy = TimingPolicy::standard());
+
+// All six operations, in enum order.
+std::vector<OpLatency> measure_all_op_latencies(
+    const TimingPolicy& policy = TimingPolicy::standard());
+
+// The measured kernels (exposed for tests: results must be value-correct so
+// the chains cannot have been optimized away).  Each runs `iters` blocks of
+// kOpsPerBlock dependent operations seeded with `seed`.
+inline constexpr int kOpsPerBlock = 64;
+std::uint64_t run_int_add_chain(std::uint64_t iters, std::uint64_t seed);
+std::uint64_t run_int_mul_chain(std::uint64_t iters, std::uint64_t seed);
+std::uint64_t run_int_div_chain(std::uint64_t iters, std::uint64_t seed);
+double run_double_add_chain(std::uint64_t iters, double seed);
+double run_double_mul_chain(std::uint64_t iters, double seed);
+double run_double_div_chain(std::uint64_t iters, double seed);
+
+}  // namespace lmb::lat
+
+#endif  // LMBENCHPP_SRC_LAT_LAT_OPS_H_

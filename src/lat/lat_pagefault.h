@@ -1,0 +1,37 @@
+// Page-fault service latency (lmbench's lat_pagefault; listed with the
+// paper's latency suite in §6).
+//
+// Measures the cost of taking a (minor) page fault on a freshly mapped file:
+// each iteration maps the file, touches one byte per page, and unmaps.  The
+// per-page number is the fault + fill-from-page-cache cost.
+#ifndef LMBENCHPP_SRC_LAT_LAT_PAGEFAULT_H_
+#define LMBENCHPP_SRC_LAT_LAT_PAGEFAULT_H_
+
+#include <cstddef>
+
+#include "src/core/timing.h"
+
+namespace lmb::lat {
+
+struct PageFaultConfig {
+  size_t file_bytes = 4u << 20;
+  TimingPolicy policy = TimingPolicy::standard();
+
+  static PageFaultConfig quick() {
+    PageFaultConfig c;
+    c.file_bytes = 1u << 20;
+    c.policy = TimingPolicy::quick();
+    return c;
+  }
+};
+
+struct PageFaultResult {
+  double us_per_page = 0.0;
+  size_t pages = 0;
+};
+
+PageFaultResult measure_pagefault(const PageFaultConfig& config = {});
+
+}  // namespace lmb::lat
+
+#endif  // LMBENCHPP_SRC_LAT_LAT_PAGEFAULT_H_

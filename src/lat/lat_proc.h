@@ -1,0 +1,55 @@
+// Process creation costs — paper §6.5, Table 9.
+//
+// Three rungs of the ladder:
+//   fork + exit          — "Simple process creation"
+//   fork + exec + exit   — "New process creation" (runs a tiny hello program)
+//   fork + sh -c + exit  — "Complicated new process creation" (via /bin/sh,
+//                           which searches $PATH; "frequently ten times as
+//                           expensive as just creating a new process")
+#ifndef LMBENCHPP_SRC_LAT_LAT_PROC_H_
+#define LMBENCHPP_SRC_LAT_LAT_PROC_H_
+
+#include <string>
+
+#include "src/core/timing.h"
+
+namespace lmb::lat {
+
+struct ProcConfig {
+  // Executable for the exec/shell cases; must exist and exit quickly.
+  // Default: the bundled lmb_hello when its build path exists, else /bin/true.
+  std::string exec_path;
+  // Number of timed creations (each is one repetition; minimum reported).
+  int iterations = 50;
+
+  static ProcConfig quick() {
+    ProcConfig c;
+    c.iterations = 10;
+    return c;
+  }
+};
+
+struct ProcResult {
+  double fork_exit_ms = 0.0;
+  double fork_exec_ms = 0.0;
+  double fork_sh_ms = 0.0;
+};
+
+// Resolves the hello-world binary used by the exec benchmarks.
+std::string default_hello_path();
+
+// fork(); child _exits; parent waits.  Milliseconds per create.
+Measurement measure_fork_exit(const ProcConfig& config = {});
+
+// fork(); child execs config.exec_path; parent waits.
+Measurement measure_fork_exec(const ProcConfig& config = {});
+
+// fork(); child runs /bin/sh -c config.exec_path; parent waits.
+Measurement measure_fork_sh(const ProcConfig& config = {});
+
+// All three rows of Table 9.
+ProcResult measure_proc_suite(const ProcConfig& config = {});
+
+}  // namespace lmb::lat
+
+#endif  // LMBENCHPP_SRC_LAT_LAT_PROC_H_

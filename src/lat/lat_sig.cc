@@ -1,0 +1,76 @@
+#include "src/lat/lat_sig.h"
+
+#include <signal.h>
+
+#include <atomic>
+
+#include "src/core/registry.h"
+#include "src/report/table.h"
+#include "src/sys/signals.h"
+
+namespace lmb::lat {
+
+namespace {
+
+std::atomic<std::uint64_t> g_catch_count{0};
+
+void empty_handler(int) {}
+
+void counting_handler(int) { g_catch_count.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace
+
+Measurement measure_signal_install(const TimingPolicy& policy) {
+  // Alternate two handlers so the kernel cannot short-circuit a no-change
+  // sigaction.
+  sys::SignalHandlerGuard guard(SIGUSR1, empty_handler);
+  return measure(
+      [](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          sys::install_handler(SIGUSR1, (i & 1) != 0 ? empty_handler : counting_handler);
+        }
+      },
+      policy);
+}
+
+Measurement measure_signal_catch(const TimingPolicy& policy) {
+  sys::SignalHandlerGuard guard(SIGUSR1, counting_handler);
+  g_catch_count.store(0, std::memory_order_relaxed);
+  return measure(
+      [](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          sys::raise_signal(SIGUSR1);
+        }
+      },
+      policy);
+}
+
+std::uint64_t signal_catch_count() { return g_catch_count.load(std::memory_order_relaxed); }
+
+namespace {
+
+const BenchmarkRegistrar install_registrar{{
+    .name = "lat_sig_install",
+    .category = "latency",
+    .description = "sigaction() handler installation (Table 8)",
+    .run =
+        [](const Options& opts) {
+          TimingPolicy p = opts.quick() ? TimingPolicy::quick() : TimingPolicy::standard();
+          return report::format_number(measure_signal_install(p).us_per_op(), 2) + " us";
+        },
+}};
+
+const BenchmarkRegistrar catch_registrar{{
+    .name = "lat_sig_catch",
+    .category = "latency",
+    .description = "signal delivery + catch, same process (Table 8)",
+    .run =
+        [](const Options& opts) {
+          TimingPolicy p = opts.quick() ? TimingPolicy::quick() : TimingPolicy::standard();
+          return report::format_number(measure_signal_catch(p).us_per_op(), 2) + " us";
+        },
+}};
+
+}  // namespace
+
+}  // namespace lmb::lat

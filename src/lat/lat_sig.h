@@ -1,0 +1,27 @@
+// Signal handling cost — paper §6.4, Table 8.
+//
+// "lmbench measures both signal installation and signal dispatching in two
+// separate loops, within the context of one process.  It measures signal
+// handling by installing a signal handler and then repeatedly sending
+// itself the signal."
+#ifndef LMBENCHPP_SRC_LAT_LAT_SIG_H_
+#define LMBENCHPP_SRC_LAT_LAT_SIG_H_
+
+#include "src/core/timing.h"
+
+namespace lmb::lat {
+
+// sigaction() installation cost (Table 8 "sigaction" column).
+Measurement measure_signal_install(const TimingPolicy& policy = TimingPolicy::standard());
+
+// Cost of delivering + catching a signal in the same process
+// (Table 8 "sig handler" column).
+Measurement measure_signal_catch(const TimingPolicy& policy = TimingPolicy::standard());
+
+// Number of handler invocations observed during the most recent
+// measure_signal_catch run (test hook: proves delivery actually happened).
+std::uint64_t signal_catch_count();
+
+}  // namespace lmb::lat
+
+#endif  // LMBENCHPP_SRC_LAT_LAT_SIG_H_

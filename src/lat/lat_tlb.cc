@@ -1,0 +1,101 @@
+#include "src/lat/lat_tlb.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/core/do_not_optimize.h"
+#include "src/core/registry.h"
+#include "src/lat/lat_mem_rd.h"
+#include "src/report/table.h"
+#include "src/sys/error.h"
+#include "src/sys/mapped_file.h"
+
+namespace lmb::lat {
+
+TlbPoint measure_tlb_point(int pages, const TimingPolicy& policy) {
+  if (pages < 2) {
+    throw std::invalid_argument("measure_tlb_point: need at least 2 pages");
+  }
+  long page_size = ::sysconf(_SC_PAGESIZE);
+  if (page_size <= 0) {
+    sys::throw_errno("sysconf(_SC_PAGESIZE)");
+  }
+  size_t page = static_cast<size_t>(page_size);
+
+  // One pointer per page, pages visited in a random Hamiltonian cycle so
+  // neither the cache-line prefetcher nor the TLB's sequential-fill helps.
+  sys::AnonMapping region(static_cast<size_t>(pages) * page);
+  char* base = region.data();
+  std::vector<size_t> next = build_chain(static_cast<size_t>(pages), ChaseOrder::kRandom);
+  for (int i = 0; i < pages; ++i) {
+    *reinterpret_cast<void**>(base + static_cast<size_t>(i) * page) =
+        base + next[static_cast<size_t>(i)] * page;
+  }
+  void** start = reinterpret_cast<void**>(base);
+  do_not_optimize(chase(start, static_cast<std::uint64_t>(pages)));  // warm
+
+  constexpr std::uint64_t kLoadsPerIter = 50'000;
+  Measurement m = measure(
+      [&](std::uint64_t iters) { do_not_optimize(chase(start, iters * kLoadsPerIter)); }, policy);
+
+  TlbPoint point;
+  point.pages = pages;
+  point.ns_per_access = m.ns_per_op / static_cast<double>(kLoadsPerIter);
+  return point;
+}
+
+std::vector<TlbPoint> sweep_tlb(const TlbConfig& config) {
+  if (config.min_pages < 2 || config.min_pages > config.max_pages) {
+    throw std::invalid_argument("TlbConfig: bad page range");
+  }
+  std::vector<TlbPoint> points;
+  for (int pages = config.min_pages; pages <= config.max_pages; pages *= 2) {
+    points.push_back(measure_tlb_point(pages, config.policy));
+  }
+  return points;
+}
+
+TlbEstimate estimate_tlb(const std::vector<TlbPoint>& points, double jump_threshold) {
+  TlbEstimate estimate;
+  if (points.size() < 3 || jump_threshold <= 1.0) {
+    return estimate;
+  }
+  std::vector<TlbPoint> sorted = points;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TlbPoint& a, const TlbPoint& b) { return a.pages < b.pages; });
+
+  double base = std::max(sorted.front().ns_per_access, 0.01);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].ns_per_access > base * jump_threshold) {
+      estimate.entries = sorted[i - 1].pages;
+      estimate.miss_cost_ns = sorted.back().ns_per_access - base;
+      return estimate;
+    }
+  }
+  return estimate;  // flat: TLB reach exceeds the sweep
+}
+
+namespace {
+
+const BenchmarkRegistrar registrar{{
+    .name = "lat_tlb",
+    .category = "latency",
+    .description = "TLB miss cost via one-access-per-page chase (section 7 extension)",
+    .run =
+        [](const Options& opts) {
+          TlbConfig cfg = opts.quick() ? TlbConfig::quick() : TlbConfig{};
+          auto points = sweep_tlb(cfg);
+          TlbEstimate est = estimate_tlb(points);
+          if (est.entries == 0) {
+            return std::string("no TLB knee up to ") + std::to_string(cfg.max_pages) + " pages";
+          }
+          return "~" + std::to_string(est.entries) + " entries, miss +" +
+                 report::format_number(est.miss_cost_ns, 1) + " ns";
+        },
+}};
+
+}  // namespace
+
+}  // namespace lmb::lat

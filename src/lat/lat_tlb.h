@@ -1,0 +1,55 @@
+// TLB miss cost — paper §7: "Other changes include ... measuring TLB miss
+// cost" (following Saavedra & Smith, which §6.2 cites).
+//
+// Method: pointer-chase one word per page across N randomly-ordered pages.
+// While N fits the TLB the cost is a cache access; past the TLB capacity
+// every access adds a page-table walk.  The knee gives the entry count, the
+// plateau delta the per-miss cost.
+#ifndef LMBENCHPP_SRC_LAT_LAT_TLB_H_
+#define LMBENCHPP_SRC_LAT_LAT_TLB_H_
+
+#include <vector>
+
+#include "src/core/timing.h"
+
+namespace lmb::lat {
+
+struct TlbConfig {
+  // Page counts swept (powers of two up to this bound).
+  int max_pages = 8192;
+  int min_pages = 8;
+  TimingPolicy policy = TimingPolicy::quick();
+
+  static TlbConfig quick() {
+    TlbConfig c;
+    c.max_pages = 1024;
+    return c;
+  }
+};
+
+struct TlbPoint {
+  int pages = 0;
+  double ns_per_access = 0.0;
+};
+
+// One point: chase across exactly `pages` pages (one line per page).
+TlbPoint measure_tlb_point(int pages, const TimingPolicy& policy = TimingPolicy::quick());
+
+// The page-count sweep.
+std::vector<TlbPoint> sweep_tlb(const TlbConfig& config = {});
+
+struct TlbEstimate {
+  // Largest page count still at the fast plateau (~ TLB reach in entries);
+  // 0 when no knee was found (TLB larger than the sweep).
+  int entries = 0;
+  // Latency delta between the final and first plateau.
+  double miss_cost_ns = 0.0;
+};
+
+// Knee detection on a sweep (pure function; unit-testable on synthetic
+// curves).  `jump_threshold` as in extract_hierarchy.
+TlbEstimate estimate_tlb(const std::vector<TlbPoint>& points, double jump_threshold = 1.3);
+
+}  // namespace lmb::lat
+
+#endif  // LMBENCHPP_SRC_LAT_LAT_TLB_H_

@@ -1,0 +1,115 @@
+#include "src/lat/mem_hierarchy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/core/stats.h"
+
+namespace lmb::lat {
+
+MemHierarchy extract_hierarchy(std::vector<MemLatPoint> points, double jump_threshold) {
+  if (points.size() < 3) {
+    throw std::invalid_argument("extract_hierarchy: need at least 3 points");
+  }
+  if (jump_threshold <= 1.0) {
+    throw std::invalid_argument("extract_hierarchy: threshold must exceed 1.0");
+  }
+  size_t stride = points.front().stride_bytes;
+  for (const auto& p : points) {
+    if (p.stride_bytes != stride) {
+      throw std::invalid_argument("extract_hierarchy: mixed strides");
+    }
+  }
+  std::sort(points.begin(), points.end(),
+            [](const MemLatPoint& a, const MemLatPoint& b) { return a.array_bytes < b.array_bytes; });
+
+  // Group into plateaus: a point extends the current plateau when its
+  // latency is within `jump_threshold` of the plateau's first latency.
+  struct Plateau {
+    std::vector<const MemLatPoint*> points;
+  };
+  std::vector<Plateau> plateaus;
+  plateaus.push_back({});
+  plateaus.back().points.push_back(&points[0]);
+  double ref = std::max(points[0].ns_per_load, 0.01);
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].ns_per_load > ref * jump_threshold) {
+      plateaus.push_back({});
+      ref = std::max(points[i].ns_per_load, 0.01);
+    }
+    plateaus.back().points.push_back(&points[i]);
+  }
+
+  auto level_of = [](const Plateau& p) {
+    Sample lat;
+    for (const auto* pt : p.points) {
+      lat.add(pt->ns_per_load);
+    }
+    MemoryLevel level;
+    level.size_bytes = p.points.back()->array_bytes;
+    level.latency_ns = lat.median();
+    return level;
+  };
+
+  MemHierarchy h;
+  if (plateaus.size() == 1) {
+    // Flat curve: the sweep never left the (single observed) level; report
+    // it as a cache and leave memory unknown.
+    h.caches.push_back(level_of(plateaus[0]));
+    return h;
+  }
+  for (size_t i = 0; i + 1 < plateaus.size(); ++i) {
+    h.caches.push_back(level_of(plateaus[i]));
+  }
+  h.memory_latency_ns = level_of(plateaus.back()).latency_ns;
+  return h;
+}
+
+size_t autosize_beyond_cache(const MemHierarchy& hierarchy, size_t factor, size_t minimum) {
+  if (factor == 0) {
+    throw std::invalid_argument("autosize_beyond_cache: factor must be positive");
+  }
+  size_t largest = 0;
+  for (const auto& level : hierarchy.caches) {
+    largest = std::max(largest, level.size_bytes);
+  }
+  return std::max(minimum, largest * factor);
+}
+
+size_t estimate_line_size(const std::vector<MemLatPoint>& points) {
+  if (points.empty()) {
+    return 0;
+  }
+  size_t max_size = 0;
+  for (const auto& p : points) {
+    max_size = std::max(max_size, p.array_bytes);
+  }
+  // Collect (stride -> latency) at the largest array size.
+  std::vector<MemLatPoint> at_max;
+  for (const auto& p : points) {
+    if (p.array_bytes == max_size) {
+      at_max.push_back(p);
+    }
+  }
+  if (at_max.size() < 2) {
+    return 0;
+  }
+  std::sort(at_max.begin(), at_max.end(), [](const MemLatPoint& a, const MemLatPoint& b) {
+    return a.stride_bytes < b.stride_bytes;
+  });
+  double memory_latency = at_max.back().ns_per_load;
+  if (memory_latency <= 0) {
+    return 0;
+  }
+  // "The smallest stride that is the same as main memory speed" — same
+  // within 10%.  Strides below the line size get >1 hit per line and are
+  // faster (§6.2).
+  for (const auto& p : at_max) {
+    if (p.ns_per_load >= 0.9 * memory_latency) {
+      return p.stride_bytes;
+    }
+  }
+  return at_max.back().stride_bytes;
+}
+
+}  // namespace lmb::lat

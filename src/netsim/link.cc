@@ -1,0 +1,97 @@
+#include "src/netsim/link.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lmb::netsim {
+
+std::uint64_t LinkProfile::wire_bytes(std::uint32_t payload) const {
+  if (payload > mtu_payload) {
+    throw std::invalid_argument("frame payload exceeds MTU");
+  }
+  std::uint64_t frame = static_cast<std::uint64_t>(payload) + frame_overhead;
+  frame = std::max<std::uint64_t>(frame, min_frame);
+  return frame + preamble;
+}
+
+Nanos LinkProfile::frame_time(std::uint32_t payload) const {
+  if (megabits_per_sec <= 0) {
+    throw std::invalid_argument("link rate must be positive");
+  }
+  double bits = static_cast<double>(wire_bytes(payload)) * 8.0;
+  return static_cast<Nanos>(bits / (megabits_per_sec * 1e6) * kSecond);
+}
+
+Nanos LinkProfile::one_way_time(std::uint32_t payload) const {
+  return frame_time(payload) + propagation_delay;
+}
+
+std::uint64_t LinkProfile::frames_for(std::uint64_t bytes) const {
+  if (bytes == 0) {
+    return 1;  // even empty messages occupy one frame
+  }
+  return (bytes + mtu_payload - 1) / mtu_payload;
+}
+
+Nanos LinkProfile::message_time(std::uint64_t bytes) const {
+  std::uint64_t full = bytes / mtu_payload;
+  std::uint32_t tail = static_cast<std::uint32_t>(bytes % mtu_payload);
+  Nanos t = 0;
+  t += static_cast<Nanos>(full) * frame_time(mtu_payload);
+  if (tail > 0 || full == 0) {
+    t += frame_time(tail);
+  }
+  return t + propagation_delay;
+}
+
+double LinkProfile::payload_mb_per_sec() const {
+  double payload_fraction = static_cast<double>(mtu_payload) /
+                            static_cast<double>(wire_bytes(mtu_payload));
+  return megabits_per_sec * 1e6 / 8.0 * payload_fraction / (1024.0 * 1024.0);
+}
+
+LinkProfile LinkProfile::ethernet_10baseT() {
+  LinkProfile p;
+  p.name = "10baseT";
+  p.megabits_per_sec = 10.0;
+  p.propagation_delay = 5 * kMicrosecond;  // hub + cable
+  p.mtu_payload = 1500;
+  p.frame_overhead = 18;  // MAC header + FCS
+  p.min_frame = 64;
+  p.preamble = 20;  // 8 preamble + 12 inter-frame gap
+  return p;
+}
+
+LinkProfile LinkProfile::ethernet_100baseT() {
+  LinkProfile p = ethernet_10baseT();
+  p.name = "100baseT";
+  p.megabits_per_sec = 100.0;
+  p.propagation_delay = 2 * kMicrosecond;
+  return p;
+}
+
+LinkProfile LinkProfile::fddi() {
+  LinkProfile p;
+  p.name = "fddi";
+  p.megabits_per_sec = 100.0;
+  p.propagation_delay = 5 * kMicrosecond;  // ring latency
+  p.mtu_payload = 4352;                    // "packets that are almost three times larger" (§5.2)
+  p.frame_overhead = 28;
+  p.min_frame = 0;
+  p.preamble = 8;
+  return p;
+}
+
+LinkProfile LinkProfile::hippi() {
+  LinkProfile p;
+  p.name = "hippi";
+  p.megabits_per_sec = 800.0;  // "100MB/s Hippi"
+  p.propagation_delay = 1 * kMicrosecond;
+  p.mtu_payload = 65280;
+  p.frame_overhead = 40;
+  p.min_frame = 0;
+  p.preamble = 0;
+  return p;
+}
+
+}  // namespace lmb::netsim

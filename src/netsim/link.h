@@ -1,0 +1,57 @@
+// Network link models — the wires the paper measured that we must simulate.
+//
+// Tables 4 and 14 need two machines joined by 10baseT / 100baseT / FDDI /
+// HIPPI.  A link is modeled by signaling rate, propagation delay, and frame
+// geometry (payload MTU, per-frame header/trailer overhead, minimum frame,
+// preamble/inter-frame gap).  §6.7 quotes the resulting wire times: "about
+// 130 microseconds for 10Mbit ethernet, 13 microseconds for 100Mbit
+// ethernet and FDDI, and less than 10 microseconds for Hippi" per round
+// trip — the profiles below reproduce those numbers.
+#ifndef LMBENCHPP_SRC_NETSIM_LINK_H_
+#define LMBENCHPP_SRC_NETSIM_LINK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/clock.h"
+
+namespace lmb::netsim {
+
+struct LinkProfile {
+  std::string name;
+  double megabits_per_sec = 10.0;
+  Nanos propagation_delay = 1 * kMicrosecond;  // one way
+  std::uint32_t mtu_payload = 1500;            // max payload bytes per frame
+  std::uint32_t frame_overhead = 18;           // header + trailer bytes
+  std::uint32_t min_frame = 0;                 // payload+overhead padded up to this
+  std::uint32_t preamble = 0;                  // preamble + inter-frame gap bytes
+
+  // Bytes that actually occupy the wire for one frame carrying `payload`.
+  std::uint64_t wire_bytes(std::uint32_t payload) const;
+
+  // Serialization time of one frame carrying `payload` bytes.
+  Nanos frame_time(std::uint32_t payload) const;
+
+  // One-way delivery time of a single frame: serialization + propagation.
+  Nanos one_way_time(std::uint32_t payload) const;
+
+  // Number of frames needed for `bytes` of payload.
+  std::uint64_t frames_for(std::uint64_t bytes) const;
+
+  // One-way time for a multi-frame message, frames fully pipelined
+  // (store-and-forward of the last frame + propagation).
+  Nanos message_time(std::uint64_t bytes) const;
+
+  // Steady-state payload throughput in MB/s (2^20), accounting for framing.
+  double payload_mb_per_sec() const;
+
+  // The four networks of Tables 4 and 14.
+  static LinkProfile ethernet_10baseT();
+  static LinkProfile ethernet_100baseT();
+  static LinkProfile fddi();
+  static LinkProfile hippi();
+};
+
+}  // namespace lmb::netsim
+
+#endif  // LMBENCHPP_SRC_NETSIM_LINK_H_

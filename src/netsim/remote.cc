@@ -1,0 +1,70 @@
+#include "src/netsim/remote.h"
+
+#include <algorithm>
+
+#include "src/netsim/simnet.h"
+#include "src/netsim/stream.h"
+
+namespace lmb::netsim {
+
+namespace {
+// Headers on the wire for small messages.
+constexpr std::uint32_t kTcpMessage = 4 + 40;  // payload + TCP/IP
+constexpr std::uint32_t kUdpMessage = 4 + 28;  // payload + UDP/IP
+}  // namespace
+
+HostCosts HostCosts::from_loopback(double tcp_rtt_us, double udp_rtt_us, double tcp_bw_mb_s) {
+  HostCosts costs;
+  // A loopback round trip exercises the full send+receive path twice (once
+  // per process); one remote one-way direction costs half of it.
+  costs.tcp_one_way = static_cast<Nanos>(tcp_rtt_us / 2.0 * kMicrosecond);
+  costs.udp_one_way = static_cast<Nanos>(udp_rtt_us / 2.0 * kMicrosecond);
+  if (tcp_bw_mb_s > 0) {
+    costs.per_byte_ns = 1e9 / (tcp_bw_mb_s * 1024.0 * 1024.0);
+  }
+  return costs;
+}
+
+RemoteLatency model_remote_latency(const LinkProfile& link, const HostCosts& hosts) {
+  RemoteLatency out;
+  out.network = link.name;
+  Nanos tcp_wire = link.one_way_time(kTcpMessage) * 2;
+  Nanos udp_wire = link.one_way_time(kUdpMessage) * 2;
+  out.wire_rtt_us = static_cast<double>(tcp_wire) / kMicrosecond;
+  // Round trip = both hosts' software (one loopback RTT worth) + wire.
+  out.tcp_rtt_us = static_cast<double>(2 * hosts.tcp_one_way + tcp_wire) / kMicrosecond;
+  out.udp_rtt_us = static_cast<double>(2 * hosts.udp_one_way + udp_wire) / kMicrosecond;
+  return out;
+}
+
+RemoteBandwidth model_remote_bandwidth(const LinkProfile& link, const HostCosts& hosts,
+                                       std::uint64_t transfer_bytes,
+                                       std::uint64_t window_bytes) {
+  RemoteBandwidth out;
+  out.network = link.name;
+  out.wire_mb_per_sec = link.payload_mb_per_sec();
+
+  StreamConfig cfg;
+  cfg.total_bytes = transfer_bytes;
+  cfg.window_bytes = window_bytes;
+  cfg.per_segment_cost = hosts.tcp_one_way / 4;  // small per-packet slice of the msg cost
+  cfg.per_byte_cost_ns = hosts.per_byte_ns;
+  StreamResult stream = simulate_stream_transfer(link, cfg);
+  out.tcp_mb_per_sec = stream.mb_per_sec;
+  return out;
+}
+
+double model_remote_connect_us(const LinkProfile& link, const HostCosts& hosts) {
+  return static_cast<double>(simulate_connect_time(link, hosts.tcp_one_way)) / kMicrosecond;
+}
+
+std::vector<LinkProfile> paper_networks() {
+  return {
+      LinkProfile::hippi(),
+      LinkProfile::ethernet_100baseT(),
+      LinkProfile::fddi(),
+      LinkProfile::ethernet_10baseT(),
+  };
+}
+
+}  // namespace lmb::netsim

@@ -1,0 +1,62 @@
+// Remote-network benchmark models — paper Tables 4, 14 and the remote view
+// of Table 15.
+//
+// Decomposition per §6.7: a remote round trip is the local (loopback)
+// software cost plus the time on the wire.  The software half is measured
+// live on this host; the wire half comes from the link models; the stream
+// simulator combines both for bandwidth.
+#ifndef LMBENCHPP_SRC_NETSIM_REMOTE_H_
+#define LMBENCHPP_SRC_NETSIM_REMOTE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/clock.h"
+#include "src/netsim/link.h"
+
+namespace lmb::netsim {
+
+// Host software costs derived from live loopback measurements.
+struct HostCosts {
+  // One-way small-message software cost (half the loopback round trip).
+  Nanos tcp_one_way = 0;
+  Nanos udp_one_way = 0;
+  // Bulk per-byte protocol cost (checksum + copy), from loopback TCP
+  // bandwidth: ns per payload byte.
+  double per_byte_ns = 0.0;
+
+  // Builds from measured loopback numbers.
+  static HostCosts from_loopback(double tcp_rtt_us, double udp_rtt_us, double tcp_bw_mb_s);
+};
+
+struct RemoteLatency {
+  std::string network;
+  double tcp_rtt_us = 0.0;
+  double udp_rtt_us = 0.0;
+  double wire_rtt_us = 0.0;  // the wire-only component, for the table notes
+};
+
+// Table 14 row: small-message (4-byte payload) round trip over `link`.
+RemoteLatency model_remote_latency(const LinkProfile& link, const HostCosts& hosts);
+
+struct RemoteBandwidth {
+  std::string network;
+  double tcp_mb_per_sec = 0.0;
+  // The pure-wire ceiling (payload rate), for the table notes.
+  double wire_mb_per_sec = 0.0;
+};
+
+// Table 4 row: bulk TCP transfer over `link` with `window_bytes` in flight.
+RemoteBandwidth model_remote_bandwidth(const LinkProfile& link, const HostCosts& hosts,
+                                       std::uint64_t transfer_bytes = 8u << 20,
+                                       std::uint64_t window_bytes = 1u << 20);
+
+// Remote TCP connect time over `link` (Table 15's remote analog).
+double model_remote_connect_us(const LinkProfile& link, const HostCosts& hosts);
+
+// The four networks of Tables 4/14, in the paper's order.
+std::vector<LinkProfile> paper_networks();
+
+}  // namespace lmb::netsim
+
+#endif  // LMBENCHPP_SRC_NETSIM_REMOTE_H_

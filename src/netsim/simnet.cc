@@ -1,0 +1,99 @@
+#include "src/netsim/simnet.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lmb::netsim {
+
+SimNetwork::SimNetwork(LinkProfile link, VirtualClock& clock)
+    : link_(std::move(link)), clock_(&clock), queue_(clock) {}
+
+void SimNetwork::set_handler(int host, Handler handler) {
+  if (host != 0 && host != 1) {
+    throw std::invalid_argument("SimNetwork: host must be 0 or 1");
+  }
+  handlers_[host] = std::move(handler);
+}
+
+void SimNetwork::set_loss(double rate, unsigned seed) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("SimNetwork: loss rate must be in [0, 1)");
+  }
+  loss_rate_ = rate;
+  loss_rng_.seed(seed);
+}
+
+void SimNetwork::send(int from, const Packet& packet) {
+  if (from != 0 && from != 1) {
+    throw std::invalid_argument("SimNetwork: host must be 0 or 1");
+  }
+  int to = 1 - from;
+
+  // Fragment into frames; each frame occupies the wire back to back.
+  std::uint64_t remaining = packet.bytes;
+  Nanos start = std::max(clock_->now(), wire_free_[from]);
+  Nanos done = start;
+  do {
+    std::uint32_t chunk =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(remaining, link_.mtu_payload));
+    done += link_.frame_time(chunk);
+    remaining -= chunk;
+  } while (remaining > 0);
+  wire_free_[from] = done;
+
+  if (loss_rate_ > 0.0 &&
+      std::uniform_real_distribution<double>(0.0, 1.0)(loss_rng_) < loss_rate_) {
+    ++dropped_;  // transmitted but never delivered
+    return;
+  }
+
+  Nanos arrival = done + link_.propagation_delay;
+  Packet delivered = packet;
+  queue_.schedule_at(arrival, [this, to, delivered]() {
+    delivered_packets_[to] += 1;
+    delivered_bytes_[to] += delivered.bytes;
+    if (handlers_[to]) {
+      handlers_[to](to, delivered);
+    }
+  });
+}
+
+size_t SimNetwork::run(size_t limit) { return queue_.run_all(limit); }
+
+std::uint64_t SimNetwork::packets_delivered(int host) const {
+  return delivered_packets_[host];
+}
+
+std::uint64_t SimNetwork::bytes_delivered(int host) const { return delivered_bytes_[host]; }
+
+Nanos simulate_echo_rtt(const LinkProfile& link, std::uint64_t bytes,
+                        Nanos per_host_software_cost) {
+  VirtualClock clock;
+  SimNetwork net(link, clock);
+
+  Nanos t_done = -1;
+  Nanos t_start = -1;
+
+  net.set_handler(1, [&](int, const Packet& p) {
+    // Server: process (software cost) then echo.
+    net.clock().advance(per_host_software_cost);
+    net.send(1, p);
+  });
+  net.set_handler(0, [&](int, const Packet&) {
+    net.clock().advance(per_host_software_cost);
+    t_done = net.clock().now();
+  });
+
+  // Client: software cost to send, then the wire takes over.
+  t_start = clock.now();
+  clock.advance(per_host_software_cost);
+  net.send(0, Packet{bytes, 0});
+  net.run();
+
+  if (t_done < 0) {
+    throw std::logic_error("echo reply never arrived");
+  }
+  return t_done - t_start;
+}
+
+}  // namespace lmb::netsim

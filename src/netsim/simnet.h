@@ -1,0 +1,84 @@
+// Event-driven two-host packet network on virtual time.
+//
+// Where link.h gives closed-form times, SimNetwork actually moves packets:
+// frames are serialized onto a per-direction wire (busy-until accounting),
+// propagate, and are delivered to the peer's handler.  The protocol models
+// (echo exchanges, the sliding-window stream) run on top of this and the
+// tests cross-check them against the analytic formulas.
+#ifndef LMBENCHPP_SRC_NETSIM_SIMNET_H_
+#define LMBENCHPP_SRC_NETSIM_SIMNET_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "src/core/virtual_clock.h"
+#include "src/netsim/link.h"
+
+namespace lmb::netsim {
+
+// A message as seen by endpoints (sizes only; simulation carries no data).
+struct Packet {
+  std::uint64_t bytes = 0;   // payload size
+  std::uint64_t tag = 0;     // caller-defined (sequence number, kind, ...)
+};
+
+// Two hosts, A (id 0) and B (id 1), joined by one full-duplex link.
+class SimNetwork {
+ public:
+  SimNetwork(LinkProfile link, VirtualClock& clock);
+
+  using Handler = std::function<void(int self, const Packet&)>;
+
+  // Installs the message-arrival handler for host 0 or 1.
+  void set_handler(int host, Handler handler);
+
+  // Enables random packet loss: each packet is independently dropped with
+  // probability `rate` (seeded, reproducible).  Lost packets still occupy
+  // the wire (they were transmitted; they just never arrive).
+  void set_loss(double rate, unsigned seed = 1);
+
+  std::uint64_t packets_dropped() const { return dropped_; }
+
+  // Queues `packet` for transmission from `from` to the other host.  The
+  // packet is fragmented into MTU-sized frames; each frame serializes on
+  // the (per-direction) wire after any previously queued frames.
+  void send(int from, const Packet& packet);
+
+  // Runs the event loop until no events remain.  Returns events processed.
+  size_t run(size_t limit = 10'000'000);
+
+  VirtualClock& clock() { return *clock_; }
+  // The network's event queue; protocol models schedule host-side work
+  // (CPU costs, timers) on it so everything shares one timeline.
+  EventQueue& queue() { return queue_; }
+  const LinkProfile& link() const { return link_; }
+
+  // Totals for assertions.
+  std::uint64_t packets_delivered(int host) const;
+  std::uint64_t bytes_delivered(int host) const;
+
+ private:
+  LinkProfile link_;
+  VirtualClock* clock_;
+  EventQueue queue_;
+  Handler handlers_[2];
+  // Time at which each direction's wire becomes free (0 = A->B, 1 = B->A).
+  Nanos wire_free_[2] = {0, 0};
+  std::uint64_t delivered_packets_[2] = {0, 0};
+  std::uint64_t delivered_bytes_[2] = {0, 0};
+  double loss_rate_ = 0.0;
+  std::uint64_t dropped_ = 0;
+  std::mt19937 loss_rng_{1};
+};
+
+// Round-trip time of an `echo`-style exchange measured on the simulated
+// network: host 0 sends `bytes`, host 1 replies with `bytes`.
+Nanos simulate_echo_rtt(const LinkProfile& link, std::uint64_t bytes,
+                        Nanos per_host_software_cost);
+
+}  // namespace lmb::netsim
+
+#endif  // LMBENCHPP_SRC_NETSIM_SIMNET_H_

@@ -1,0 +1,147 @@
+#include "src/netsim/stream.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/core/virtual_clock.h"
+#include "src/netsim/simnet.h"
+
+namespace lmb::netsim {
+
+namespace {
+
+// TCP/IP header bytes carried by every segment and ack.
+constexpr std::uint64_t kTcpIpHeader = 40;
+
+}  // namespace
+
+StreamResult simulate_stream_transfer(const LinkProfile& link, const StreamConfig& config) {
+  if (config.total_bytes == 0 || config.window_bytes == 0) {
+    throw std::invalid_argument("stream: total and window must be positive");
+  }
+  if (config.loss_rate > 0.0 && config.retransmit_timeout <= 0) {
+    throw std::invalid_argument("stream: loss requires a retransmit timeout");
+  }
+  VirtualClock clock;
+  SimNetwork net(link, clock);
+  if (config.loss_rate > 0.0) {
+    net.set_loss(config.loss_rate, config.loss_seed);
+  }
+
+  const std::uint64_t mss =
+      link.mtu_payload > kTcpIpHeader ? link.mtu_payload - kTcpIpHeader : link.mtu_payload;
+
+  StreamResult result;
+  std::uint64_t next = 0;   // next payload byte to send
+  std::uint64_t acked = 0;  // cumulatively acknowledged payload bytes
+  std::uint64_t received = 0;
+  bool done = false;
+  Nanos cpu_free[2] = {0, 0};
+  Nanos finish_time = 0;
+
+  auto host_cost = [&](std::uint64_t payload) {
+    return config.per_segment_cost +
+           static_cast<Nanos>(config.per_byte_cost_ns * static_cast<double>(payload));
+  };
+
+  // Schedules `packet` to leave `host` once its CPU is free and the software
+  // cost has been paid.
+  auto schedule_send = [&](int host, Packet packet) {
+    Nanos ready = std::max(clock.now(), cpu_free[host]) + host_cost(packet.bytes);
+    cpu_free[host] = ready;
+    net.queue().schedule_at(ready, [&net, host, packet]() { net.send(host, packet); });
+  };
+
+  std::function<void(bool)> pump = [&](bool is_retransmit) {
+    while (next < config.total_bytes && next - acked < config.window_bytes) {
+      std::uint64_t seg = std::min({mss, config.total_bytes - next,
+                                    config.window_bytes - (next - acked)});
+      next += seg;
+      ++result.segments;
+      if (is_retransmit) {
+        ++result.retransmits;
+      }
+      // tag carries the cumulative byte count this segment completes.
+      schedule_send(0, Packet{seg + kTcpIpHeader, next});
+    }
+  };
+
+  // Receiver: accept only in-order segments (go-back-N), ack cumulatively.
+  net.set_handler(1, [&](int, const Packet& p) {
+    std::uint64_t payload = p.bytes > kTcpIpHeader ? p.bytes - kTcpIpHeader : 0;
+    std::uint64_t start = p.tag - payload;
+    if (start == received) {
+      received = p.tag;
+    }
+    ++result.acks;
+    schedule_send(1, Packet{kTcpIpHeader, received});
+  });
+
+  // Sender: open the window and send more.
+  net.set_handler(0, [&](int, const Packet& p) {
+    if (done) {
+      return;
+    }
+    acked = std::max(acked, p.tag);
+    if (acked >= config.total_bytes) {
+      done = true;
+      finish_time = clock.now();
+      return;
+    }
+    pump(false);
+  });
+
+  // Go-back-N retransmission timer with exponential backoff: without it, an
+  // RTO shorter than one window's serialization time floods the wire with
+  // rewinds faster than it drains (classic congestion-collapse livelock).
+  Nanos current_rto = config.retransmit_timeout;
+  std::function<void()> arm_timer = [&]() {
+    std::uint64_t acked_at_arm = acked;
+    net.queue().schedule_in(current_rto, [&, acked_at_arm]() {
+      if (done) {
+        return;
+      }
+      if (acked == acked_at_arm) {
+        next = acked;  // rewind the window
+        pump(true);
+        current_rto = std::min<Nanos>(current_rto * 2, config.retransmit_timeout * 64);
+      } else {
+        current_rto = config.retransmit_timeout;  // progress: reset backoff
+      }
+      arm_timer();
+    });
+  };
+
+  pump(false);
+  if (config.retransmit_timeout > 0) {
+    arm_timer();
+  }
+  net.run(config.loss_rate > 0 ? 100'000'000 : 10'000'000);
+
+  if (acked < config.total_bytes) {
+    throw std::logic_error("stream transfer stalled");
+  }
+  result.packets_lost = net.packets_dropped();
+  result.bytes = config.total_bytes;
+  result.elapsed = finish_time;
+  result.mb_per_sec = result.elapsed > 0
+                          ? static_cast<double>(result.bytes) /
+                                (static_cast<double>(result.elapsed) / kSecond) /
+                                (1024.0 * 1024.0)
+                          : 0.0;
+  return result;
+}
+
+Nanos simulate_connect_time(const LinkProfile& link, Nanos per_packet_cost) {
+  // SYN -> SYN|ACK -> (client ready).  44 bytes per control packet.
+  constexpr std::uint32_t kControl = 44;
+  Nanos t = 0;
+  t += per_packet_cost;                // client builds SYN
+  t += link.one_way_time(kControl);    // SYN on the wire
+  t += per_packet_cost;                // server processes, builds SYN|ACK
+  t += link.one_way_time(kControl);    // SYN|ACK back
+  t += per_packet_cost;                // client processes; may now send
+  return t;
+}
+
+}  // namespace lmb::netsim

@@ -1,0 +1,55 @@
+// A minimal reliable sliding-window stream over SimNetwork.
+//
+// TCP-shaped: data segments up to the MTU, cumulative acknowledgments, a
+// fixed window (socket buffer), and a three-way handshake.  Used to model
+// the remote TCP rows of Tables 4, 14 and 15 and the window-vs-throughput
+// ablation: steady-state throughput = min(link payload rate, window / RTT).
+#ifndef LMBENCHPP_SRC_NETSIM_STREAM_H_
+#define LMBENCHPP_SRC_NETSIM_STREAM_H_
+
+#include <cstdint>
+
+#include "src/core/clock.h"
+#include "src/netsim/link.h"
+
+namespace lmb::netsim {
+
+struct StreamConfig {
+  std::uint64_t total_bytes = 8u << 20;
+  // Window (in-flight byte limit), i.e. the socket-buffer size the paper
+  // enlarges to 1 MB for bandwidth runs.
+  std::uint64_t window_bytes = 1u << 20;
+  // Per-segment software cost on each host (protocol + driver).
+  Nanos per_segment_cost = 0;
+  // Per-byte software cost on each host (checksum + copy), ns per byte.
+  double per_byte_cost_ns = 0.0;
+
+  // Random per-packet loss probability; requires retransmit_timeout > 0.
+  double loss_rate = 0.0;
+  unsigned loss_seed = 1;
+  // Go-back-N retransmission timer; when it fires with no forward progress,
+  // the sender rewinds to the last cumulative ack.  0 = no retransmission.
+  Nanos retransmit_timeout = 0;
+};
+
+struct StreamResult {
+  std::uint64_t bytes = 0;
+  Nanos elapsed = 0;
+  double mb_per_sec = 0.0;
+  std::uint64_t segments = 0;      // includes retransmissions
+  std::uint64_t acks = 0;
+  std::uint64_t retransmits = 0;   // segments sent again after a timeout
+  std::uint64_t packets_lost = 0;  // dropped by the link (both directions)
+};
+
+// Runs a bulk transfer host 0 -> host 1 and returns throughput.
+StreamResult simulate_stream_transfer(const LinkProfile& link, const StreamConfig& config);
+
+// Connection establishment: SYN, SYN|ACK, ACK with per-packet software
+// cost; returns the time until the client may send data (after the paper's
+// "three-way handshake", §6.7).
+Nanos simulate_connect_time(const LinkProfile& link, Nanos per_packet_cost);
+
+}  // namespace lmb::netsim
+
+#endif  // LMBENCHPP_SRC_NETSIM_STREAM_H_

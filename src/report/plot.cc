@@ -1,0 +1,115 @@
+#include "src/report/plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace lmb::report {
+
+namespace {
+constexpr char kMarkers[] = {'+', 'x', 'o', '*', '#', '@', '%', '&'};
+constexpr int kNumMarkers = sizeof(kMarkers);
+
+std::string short_num(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1000 || v == std::floor(v)) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  }
+  return buf;
+}
+}  // namespace
+
+Plot::Plot(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+void Plot::set_size(int width, int height) {
+  if (width < 16 || height < 4) {
+    throw std::invalid_argument("plot area too small");
+  }
+  width_ = width;
+  height_ = height;
+}
+
+void Plot::add_series(Series series) { series_.push_back(std::move(series)); }
+
+std::string Plot::render() const {
+  double xmin = std::numeric_limits<double>::max();
+  double xmax = std::numeric_limits<double>::lowest();
+  double ymin = 0.0;  // anchor y at zero like the paper's figures
+  double ymax = std::numeric_limits<double>::lowest();
+  bool any = false;
+
+  auto tx = [&](double x) { return x_scale_ == XScale::kLog2 ? std::log2(x) : x; };
+
+  for (const auto& s : series_) {
+    for (const auto& p : s.points) {
+      if (x_scale_ == XScale::kLog2 && p.x <= 0) {
+        throw std::invalid_argument("log2 x-scale requires positive x");
+      }
+      any = true;
+      xmin = std::min(xmin, tx(p.x));
+      xmax = std::max(xmax, tx(p.x));
+      ymax = std::max(ymax, p.y);
+    }
+  }
+  if (!any) {
+    return "";
+  }
+  if (xmax == xmin) {
+    xmax = xmin + 1;
+  }
+  if (ymax <= ymin) {
+    ymax = ymin + 1;
+  }
+
+  // Grid, row 0 = top.
+  std::vector<std::string> grid(static_cast<size_t>(height_),
+                                std::string(static_cast<size_t>(width_), ' '));
+  for (size_t si = 0; si < series_.size(); ++si) {
+    char mark = kMarkers[si % kNumMarkers];
+    for (const auto& p : series_[si].points) {
+      int col = static_cast<int>(std::lround((tx(p.x) - xmin) / (xmax - xmin) * (width_ - 1)));
+      int row =
+          height_ - 1 - static_cast<int>(std::lround((p.y - ymin) / (ymax - ymin) * (height_ - 1)));
+      col = std::clamp(col, 0, width_ - 1);
+      row = std::clamp(row, 0, height_ - 1);
+      grid[static_cast<size_t>(row)][static_cast<size_t>(col)] = mark;
+    }
+  }
+
+  std::ostringstream out;
+  out << title_ << "\n";
+  out << "y: " << y_label_ << "\n";
+  std::string top = short_num(ymax);
+  std::string bottom = short_num(ymin);
+  size_t margin = std::max(top.size(), bottom.size());
+  for (int r = 0; r < height_; ++r) {
+    std::string y_tick;
+    if (r == 0) {
+      y_tick = top;
+    } else if (r == height_ - 1) {
+      y_tick = bottom;
+    }
+    out << std::string(margin - y_tick.size(), ' ') << y_tick << " |"
+        << grid[static_cast<size_t>(r)] << "\n";
+  }
+  out << std::string(margin + 1, ' ') << '+' << std::string(static_cast<size_t>(width_), '-')
+      << "\n";
+  std::string lo = short_num(xmin);
+  std::string hi = short_num(xmax);
+  out << std::string(margin + 2, ' ') << lo;
+  int pad = width_ - static_cast<int>(lo.size()) - static_cast<int>(hi.size());
+  out << std::string(static_cast<size_t>(std::max(pad, 1)), ' ') << hi << "\n";
+  out << "x: " << x_label_ << (x_scale_ == XScale::kLog2 ? " (log2)" : "") << "\n";
+  for (size_t si = 0; si < series_.size(); ++si) {
+    out << "  " << kMarkers[si % kNumMarkers] << " " << series_[si].label << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lmb::report

@@ -1,0 +1,53 @@
+// ASCII line plots reproducing the paper's figures.
+//
+// Figure 1 (memory latency vs log2(array size), one series per stride) and
+// Figure 2 (context switch time vs number of processes, one series per
+// footprint) are both "series of (x, y) points per labeled data set" plots.
+#ifndef LMBENCHPP_SRC_REPORT_PLOT_H_
+#define LMBENCHPP_SRC_REPORT_PLOT_H_
+
+#include <string>
+#include <vector>
+
+namespace lmb::report {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct Series {
+  std::string label;
+  std::vector<Point> points;
+};
+
+// Axis transform applied to x values before placement (y is always linear).
+enum class XScale { kLinear, kLog2 };
+
+class Plot {
+ public:
+  Plot(std::string title, std::string x_label, std::string y_label);
+
+  void set_size(int width, int height);  // plot area in characters
+  void set_x_scale(XScale scale) { x_scale_ = scale; }
+
+  // Adds a series; it is assigned the next marker glyph (+, x, o, *, #, @).
+  void add_series(Series series);
+
+  size_t series_count() const { return series_.size(); }
+
+  // Renders the grid, axis ticks and a legend.  Returns "" when no series
+  // has any points.
+  std::string render() const;
+
+ private:
+  std::string title_, x_label_, y_label_;
+  int width_ = 64;
+  int height_ = 20;
+  XScale x_scale_ = XScale::kLinear;
+  std::vector<Series> series_;
+};
+
+}  // namespace lmb::report
+
+#endif  // LMBENCHPP_SRC_REPORT_PLOT_H_

@@ -1,0 +1,97 @@
+#include "src/report/summary.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "src/db/metrics.h"
+#include "src/report/table.h"
+
+namespace lmb::report {
+
+namespace {
+
+const char* section_title(const std::string& section) {
+  if (section == "processor") {
+    return "Processor and system calls";
+  }
+  if (section == "ipc") {
+    return "Context switching and IPC latencies";
+  }
+  if (section == "bandwidth") {
+    return "Bandwidths";
+  }
+  if (section == "file+vm") {
+    return "Memory hierarchy, file and VM latencies";
+  }
+  return "Other";
+}
+
+}  // namespace
+
+std::string render_summary(const db::ResultDatabase& database) {
+  std::vector<const db::ResultSet*> systems = database.all();
+  if (systems.empty()) {
+    return "(no result sets)\n";
+  }
+
+  std::ostringstream out;
+  out << "lmbench++ suite summary — " << systems.size() << " system(s)\n";
+
+  std::string current_section;
+  std::vector<std::string> lines;
+  for (const auto& metric : db::standard_metrics()) {
+    if (metric.section != current_section) {
+      current_section = metric.section;
+      out << "\n" << section_title(current_section) << "\n";
+      // Column headers.
+      out << "  " << std::string(22, ' ');
+      for (const auto* sys : systems) {
+        std::string name = sys->system();
+        if (name.size() > 14) {
+          name.resize(14);
+        }
+        out << " " << std::string(15 - name.size(), ' ') << name;
+      }
+      out << "\n";
+    }
+
+    // Best value across systems (for the '*' marker).
+    double best = metric.lower_is_better ? 1e300 : -1e300;
+    int have = 0;
+    for (const auto* sys : systems) {
+      auto v = sys->get(metric.key);
+      if (v) {
+        ++have;
+        best = metric.lower_is_better ? std::min(best, *v) : std::max(best, *v);
+      }
+    }
+
+    std::string label = metric.label + " (" + metric.unit + ")";
+    if (label.size() > 22) {
+      label.resize(22);
+    }
+    out << "  " << label << std::string(22 - label.size(), ' ');
+    for (const auto* sys : systems) {
+      auto v = sys->get(metric.key);
+      std::string cell;
+      if (!v) {
+        cell = "--";
+      } else {
+        int precision = *v < 10 ? 2 : (*v < 1000 ? 1 : 0);
+        cell = format_number(*v, precision);
+        if (systems.size() > 1 && have > 1 && *v == best) {
+          cell += "*";
+        }
+      }
+      out << " " << std::string(cell.size() < 15 ? 15 - cell.size() : 0, ' ') << cell;
+    }
+    out << "\n";
+  }
+  if (systems.size() > 1) {
+    out << "\n('*' marks the best system per row)\n";
+  }
+  return out.str();
+}
+
+}  // namespace lmb::report

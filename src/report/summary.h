@@ -1,0 +1,19 @@
+// Multi-section suite summary: one column per system, one row per metric —
+// the classic lmbench results summary, driven by the standard metric schema.
+#ifndef LMBENCHPP_SRC_REPORT_SUMMARY_H_
+#define LMBENCHPP_SRC_REPORT_SUMMARY_H_
+
+#include <string>
+
+#include "src/db/result_set.h"
+
+namespace lmb::report {
+
+// Renders all result sets in `database` as sectioned comparison tables.
+// Systems become columns (in name order); missing metrics render "--".
+// When the database holds 2+ systems, the best value per row is marked '*'.
+std::string render_summary(const db::ResultDatabase& database);
+
+}  // namespace lmb::report
+
+#endif  // LMBENCHPP_SRC_REPORT_SUMMARY_H_

@@ -1,0 +1,152 @@
+#include "src/report/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace lmb::report {
+
+std::string format_number(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  std::string s = buf;
+  if (precision > 0 && s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') {
+      s.pop_back();
+    }
+    if (!s.empty() && s.back() == '.') {
+      s.pop_back();
+    }
+  }
+  return s;
+}
+
+Table::Table(std::string title, std::vector<Column> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("Table needs at least one column");
+  }
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  if (row.size() != columns_.size()) {
+    throw std::invalid_argument("row has " + std::to_string(row.size()) + " cells, table has " +
+                                std::to_string(columns_.size()) + " columns");
+  }
+  rows_.push_back(std::move(row));
+  row_markers_.emplace_back();
+}
+
+void Table::mark_last_row(const std::string& marker) {
+  if (rows_.empty()) {
+    throw std::logic_error("mark_last_row on empty table");
+  }
+  row_markers_.back() = marker;
+}
+
+void Table::sort_by(size_t column, SortOrder order) {
+  if (column >= columns_.size()) {
+    throw std::out_of_range("sort column out of range");
+  }
+  if (order == SortOrder::kNone) {
+    sort_column_.reset();
+    return;
+  }
+  sort_column_ = column;
+
+  std::vector<size_t> idx(rows_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  auto key = [&](size_t i) -> std::optional<double> {
+    const Cell& c = rows_[i][column];
+    if (const double* d = std::get_if<double>(&c)) {
+      return *d;
+    }
+    return std::nullopt;
+  };
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    auto ka = key(a), kb = key(b);
+    if (!ka || !kb) {
+      return static_cast<bool>(ka) > static_cast<bool>(kb);  // empties last
+    }
+    return order == SortOrder::kAscending ? *ka < *kb : *ka > *kb;
+  });
+
+  std::vector<std::vector<Cell>> new_rows;
+  std::vector<std::string> new_markers;
+  new_rows.reserve(rows_.size());
+  new_markers.reserve(rows_.size());
+  for (size_t i : idx) {
+    new_rows.push_back(std::move(rows_[i]));
+    new_markers.push_back(std::move(row_markers_[i]));
+  }
+  rows_ = std::move(new_rows);
+  row_markers_ = std::move(new_markers);
+}
+
+std::string Table::format_cell(const Cell& cell, size_t column) const {
+  if (std::holds_alternative<std::monostate>(cell)) {
+    return "--";
+  }
+  if (const std::string* s = std::get_if<std::string>(&cell)) {
+    return *s;
+  }
+  return format_number(std::get<double>(cell), columns_[column].precision);
+}
+
+std::string Table::render() const {
+  std::vector<std::string> headers;
+  headers.reserve(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::string h = columns_[c].header;
+    if (sort_column_ && *sort_column_ == c) {
+      h += "*";
+    }
+    headers.push_back(std::move(h));
+  }
+
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = headers[c].size();
+  }
+  std::vector<std::vector<std::string>> cells(rows_.size());
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    cells[r].reserve(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      cells[r].push_back(format_cell(rows_[r][c], c));
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+
+  std::ostringstream out;
+  out << title_ << "\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      // First column (system name) left-aligned, the rest right-aligned.
+      if (c == 0) {
+        out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      } else {
+        out << std::string(widths[c] - row[c].size(), ' ') << row[c];
+      }
+      if (c + 1 < row.size()) {
+        out << "  ";
+      }
+    }
+  };
+  emit_row(headers);
+  out << "\n";
+  size_t total = std::accumulate(widths.begin(), widths.end(), size_t{0}) + 2 * (widths.size() - 1);
+  out << std::string(total, '-') << "\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    emit_row(cells[r]);
+    if (!row_markers_[r].empty()) {
+      out << "  <-- " << row_markers_[r];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lmb::report

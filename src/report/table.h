@@ -1,0 +1,71 @@
+// Paper-style result tables.
+//
+// §4.1: "All of the tables are sorted, from best to worst. ... tables are
+// sorted on only one of the columns. The sorted column's heading will be in
+// bold."  In plain text we mark the sort column with a trailing '*'.
+#ifndef LMBENCHPP_SRC_REPORT_TABLE_H_
+#define LMBENCHPP_SRC_REPORT_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lmb::report {
+
+// A cell is text, a number, or empty ("--" in the paper's tables).
+using Cell = std::variant<std::monostate, std::string, double>;
+
+enum class SortOrder {
+  kNone,
+  kAscending,   // smaller is better (latencies)
+  kDescending,  // bigger is better (bandwidths)
+};
+
+struct Column {
+  std::string header;
+  // Decimal places for numeric cells; ignored for text.
+  int precision = 0;
+};
+
+class Table {
+ public:
+  Table(std::string title, std::vector<Column> columns);
+
+  // Appends a row; must have exactly one cell per column.
+  void add_row(std::vector<Cell> row);
+
+  // Sorts rows by `column` (0-based).  Rows with empty cells in the sort
+  // column sink to the bottom.  Marks the column header with '*'.
+  void sort_by(size_t column, SortOrder order);
+
+  // Appends " <-- marker" to the most recently added row when rendered
+  // (used to highlight the row measured on this machine).
+  void mark_last_row(const std::string& marker);
+
+  size_t rows() const { return rows_.size(); }
+  size_t columns() const { return columns_.size(); }
+  const std::string& title() const { return title_; }
+
+  // Renders with aligned columns, a title line, and a header underline.
+  std::string render() const;
+
+  // Formats a single cell per this table's column precision (exposed for
+  // tests).
+  std::string format_cell(const Cell& cell, size_t column) const;
+
+ private:
+  std::string title_;
+  std::vector<Column> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  std::vector<std::string> row_markers_;
+  std::optional<size_t> sort_column_;
+};
+
+// Formats a double with `precision` places, trimming trailing zeros when
+// precision > 0 (so 12.50 -> "12.5", 12.00 -> "12").
+std::string format_number(double v, int precision);
+
+}  // namespace lmb::report
+
+#endif  // LMBENCHPP_SRC_REPORT_TABLE_H_

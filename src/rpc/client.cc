@@ -1,0 +1,77 @@
+#include "src/rpc/client.h"
+
+#include "src/rpc/server.h"  // read_record / write_record
+
+namespace lmb::rpc {
+
+namespace {
+
+std::vector<std::uint8_t> check_reply(const ReplyMessage& reply, std::uint32_t want_xid) {
+  if (reply.xid != want_xid) {
+    throw RpcError("xid mismatch", ReplyStatus::kSystemError);
+  }
+  switch (reply.status) {
+    case ReplyStatus::kSuccess:
+      return reply.result;
+    case ReplyStatus::kProgUnavailable:
+      throw RpcError("program unavailable", reply.status);
+    case ReplyStatus::kProcUnavailable:
+      throw RpcError("procedure unavailable", reply.status);
+    case ReplyStatus::kGarbageArgs:
+      throw RpcError("garbage arguments", reply.status);
+    case ReplyStatus::kSystemError:
+      throw RpcError("server-side error", reply.status);
+  }
+  throw RpcError("bad status", reply.status);
+}
+
+}  // namespace
+
+RpcTcpClient::RpcTcpClient(std::uint16_t port) : conn_(sys::TcpStream::connect(port)) {
+  conn_.set_nodelay(true);
+}
+
+std::vector<std::uint8_t> RpcTcpClient::call(std::uint32_t prog, std::uint32_t vers,
+                                             std::uint32_t proc,
+                                             const std::vector<std::uint8_t>& args) {
+  CallMessage msg;
+  msg.xid = next_xid_++;
+  msg.prog = prog;
+  msg.vers = vers;
+  msg.proc = proc;
+  msg.args = args;
+  write_record(conn_, msg.encode());
+
+  std::vector<std::uint8_t> wire;
+  if (!read_record(conn_, &wire)) {
+    throw RpcError("connection closed awaiting reply", ReplyStatus::kSystemError);
+  }
+  return check_reply(ReplyMessage::decode(wire), msg.xid);
+}
+
+RpcUdpClient::RpcUdpClient(std::uint16_t port) { socket_.connect_to(port); }
+
+std::vector<std::uint8_t> RpcUdpClient::call(std::uint32_t prog, std::uint32_t vers,
+                                             std::uint32_t proc,
+                                             const std::vector<std::uint8_t>& args) {
+  CallMessage msg;
+  msg.xid = next_xid_++;
+  msg.prog = prog;
+  msg.vers = vers;
+  msg.proc = proc;
+  msg.args = args;
+  std::vector<std::uint8_t> wire = msg.encode();
+  socket_.send(wire.data(), wire.size());
+
+  std::vector<std::uint8_t> buf(65536);
+  size_t n = socket_.recv(buf.data(), buf.size());
+  buf.resize(n);
+  return check_reply(ReplyMessage::decode(buf), msg.xid);
+}
+
+void RpcUdpClient::send_shutdown() {
+  std::uint8_t sentinel = 0;
+  socket_.send(&sentinel, 1);
+}
+
+}  // namespace lmb::rpc

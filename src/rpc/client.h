@@ -1,0 +1,61 @@
+// RPC clients over TCP and UDP.
+#ifndef LMBENCHPP_SRC_RPC_CLIENT_H_
+#define LMBENCHPP_SRC_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/rpc/message.h"
+#include "src/sys/socket.h"
+
+namespace lmb::rpc {
+
+// Thrown when a call completes with a non-success reply status.
+class RpcError : public std::runtime_error {
+ public:
+  RpcError(const std::string& what, ReplyStatus status)
+      : std::runtime_error("rpc: " + what), status_(status) {}
+
+  ReplyStatus status() const { return status_; }
+
+ private:
+  ReplyStatus status_;
+};
+
+// Synchronous client over a dedicated TCP connection.
+class RpcTcpClient {
+ public:
+  // Connects to 127.0.0.1:port (typically from PortMapper::lookup).
+  explicit RpcTcpClient(std::uint16_t port);
+
+  // Marshals, sends, and awaits the matching reply.  Throws RpcError on
+  // non-success status and XdrError / SysError on transport problems.
+  std::vector<std::uint8_t> call(std::uint32_t prog, std::uint32_t vers, std::uint32_t proc,
+                                 const std::vector<std::uint8_t>& args);
+
+ private:
+  sys::TcpStream conn_;
+  std::uint32_t next_xid_ = 1;
+};
+
+// Synchronous client over UDP (no retransmission: loopback only, like the
+// paper's measurements).
+class RpcUdpClient {
+ public:
+  explicit RpcUdpClient(std::uint16_t port);
+
+  std::vector<std::uint8_t> call(std::uint32_t prog, std::uint32_t vers, std::uint32_t proc,
+                                 const std::vector<std::uint8_t>& args);
+
+  // Sends the shutdown sentinel understood by serve_udp.
+  void send_shutdown();
+
+ private:
+  sys::UdpSocket socket_;
+  std::uint32_t next_xid_ = 1;
+};
+
+}  // namespace lmb::rpc
+
+#endif  // LMBENCHPP_SRC_RPC_CLIENT_H_

@@ -1,0 +1,126 @@
+#include "src/rpc/lat_rpc.h"
+
+#include <stdexcept>
+
+#include "src/core/registry.h"
+#include "src/report/table.h"
+#include "src/rpc/client.h"
+#include "src/rpc/portmap.h"
+#include "src/rpc/server.h"
+#include "src/sys/process.h"
+#include "src/sys/socket.h"
+
+namespace lmb::rpc {
+
+namespace {
+
+Dispatcher make_echo_dispatcher() {
+  Dispatcher d;
+  d.register_procedure(kEchoProg, kEchoVers, kEchoProc,
+                       [](const std::vector<std::uint8_t>& args) { return args; });
+  return d;
+}
+
+std::vector<std::uint8_t> make_payload(size_t bytes) {
+  XdrEncoder enc;
+  std::vector<std::uint8_t> raw(bytes, 0x5a);
+  enc.put_opaque(raw.data(), raw.size());
+  return enc.take();
+}
+
+}  // namespace
+
+Measurement measure_rpc_tcp_latency(const RpcLatConfig& config) {
+  sys::TcpListener listener;
+  PortMapper::global().set(kEchoProg, kEchoVers, Protocol::kTcp, listener.port());
+
+  sys::Child child = sys::fork_child([&]() {
+    sys::TcpStream conn = listener.accept();
+    conn.set_nodelay(true);
+    Dispatcher dispatcher = make_echo_dispatcher();
+    serve_tcp_connection(conn, dispatcher);
+    return 0;
+  });
+
+  auto port = PortMapper::global().lookup(kEchoProg, kEchoVers, Protocol::kTcp);
+  if (!port) {
+    throw std::logic_error("echo program not registered");
+  }
+  Measurement m;
+  {
+    RpcTcpClient client(*port);
+    std::vector<std::uint8_t> args = make_payload(config.message_bytes);
+    m = measure(
+        [&](std::uint64_t iters) {
+          for (std::uint64_t i = 0; i < iters; ++i) {
+            client.call(kEchoProg, kEchoVers, kEchoProc, args);
+          }
+        },
+        config.policy);
+    // Client destruction closes the connection; the server child sees EOF.
+  }
+  if (child.wait() != 0) {
+    throw std::runtime_error("rpc tcp server failed");
+  }
+  PortMapper::global().unset(kEchoProg, kEchoVers, Protocol::kTcp);
+  return m;
+}
+
+Measurement measure_rpc_udp_latency(const RpcLatConfig& config) {
+  sys::UdpSocket server;
+  PortMapper::global().set(kEchoProg, kEchoVers, Protocol::kUdp, server.port());
+
+  sys::Child child = sys::fork_child([&]() {
+    Dispatcher dispatcher = make_echo_dispatcher();
+    serve_udp(server, dispatcher);
+    return 0;
+  });
+
+  auto port = PortMapper::global().lookup(kEchoProg, kEchoVers, Protocol::kUdp);
+  if (!port) {
+    throw std::logic_error("echo program not registered");
+  }
+  RpcUdpClient client(*port);
+  std::vector<std::uint8_t> args = make_payload(config.message_bytes);
+  Measurement m = measure(
+      [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          client.call(kEchoProg, kEchoVers, kEchoProc, args);
+        }
+      },
+      config.policy);
+  client.send_shutdown();
+  if (child.wait() != 0) {
+    throw std::runtime_error("rpc udp server failed");
+  }
+  PortMapper::global().unset(kEchoProg, kEchoVers, Protocol::kUdp);
+  return m;
+}
+
+namespace {
+
+const BenchmarkRegistrar tcp_registrar{{
+    .name = "lat_rpc_tcp",
+    .category = "latency",
+    .description = "RPC echo round trip over loopback TCP (Table 12)",
+    .run =
+        [](const Options& opts) {
+          RpcLatConfig cfg = opts.quick() ? RpcLatConfig::quick() : RpcLatConfig{};
+          return report::format_number(measure_rpc_tcp_latency(cfg).us_per_op(), 1) + " us";
+        },
+}};
+
+const BenchmarkRegistrar udp_registrar{{
+    .name = "lat_rpc_udp",
+    .category = "latency",
+    .description = "RPC echo round trip over loopback UDP (Table 13)",
+    .run =
+        [](const Options& opts) {
+          RpcLatConfig cfg = opts.quick() ? RpcLatConfig::quick() : RpcLatConfig{};
+          return report::format_number(measure_rpc_udp_latency(cfg).us_per_op(), 1) + " us";
+        },
+}};
+
+}  // namespace
+
+}  // namespace lmb::rpc

@@ -1,0 +1,39 @@
+// RPC round-trip latency — the RPC/TCP and RPC/UDP columns of Tables 12–13.
+//
+// "Table 12 shows the same benchmark with and without the RPC layer to show
+// the cost of the RPC implementation."  Compare against
+// lat::measure_tcp_latency / lat::measure_udp_latency for the raw-socket
+// columns.
+#ifndef LMBENCHPP_SRC_RPC_LAT_RPC_H_
+#define LMBENCHPP_SRC_RPC_LAT_RPC_H_
+
+#include "src/core/timing.h"
+
+namespace lmb::rpc {
+
+// The echo benchmark program (arbitrary id in the user-defined range).
+inline constexpr std::uint32_t kEchoProg = 0x20000099;
+inline constexpr std::uint32_t kEchoVers = 1;
+inline constexpr std::uint32_t kEchoProc = 1;
+
+struct RpcLatConfig {
+  TimingPolicy policy = TimingPolicy::standard();
+  // XDR payload per call (paper: one word).
+  size_t message_bytes = 4;
+
+  static RpcLatConfig quick() {
+    RpcLatConfig c;
+    c.policy = TimingPolicy::quick();
+    return c;
+  }
+};
+
+// One-word echo over the RPC layer on loopback TCP (Table 12 "RPC/TCP").
+Measurement measure_rpc_tcp_latency(const RpcLatConfig& config = {});
+
+// Same over UDP (Table 13 "RPC/UDP").
+Measurement measure_rpc_udp_latency(const RpcLatConfig& config = {});
+
+}  // namespace lmb::rpc
+
+#endif  // LMBENCHPP_SRC_RPC_LAT_RPC_H_

@@ -1,0 +1,109 @@
+#include "src/rpc/message.h"
+
+namespace lmb::rpc {
+
+namespace {
+// AUTH_NONE: flavor 0, zero-length body (RFC 1057 §7.2).
+void put_null_auth(XdrEncoder& enc) {
+  enc.put_uint32(0);
+  enc.put_uint32(0);
+}
+
+void skip_auth(XdrDecoder& dec) {
+  dec.get_uint32();  // flavor (ignored)
+  std::uint32_t len = dec.get_uint32();
+  if (len > 400) {
+    throw XdrError("auth body too long");
+  }
+  std::vector<std::uint8_t> body(len);
+  if (len > 0) {
+    dec.get_opaque_fixed(body.data(), len);
+  }
+}
+}  // namespace
+
+std::vector<std::uint8_t> CallMessage::encode() const {
+  XdrEncoder enc;
+  enc.put_uint32(xid);
+  enc.put_uint32(static_cast<std::uint32_t>(MsgType::kCall));
+  enc.put_uint32(kRpcVersion);
+  enc.put_uint32(prog);
+  enc.put_uint32(vers);
+  enc.put_uint32(proc);
+  put_null_auth(enc);  // credentials
+  put_null_auth(enc);  // verifier
+  enc.put_opaque_fixed(args.data(), args.size());
+  return enc.take();
+}
+
+CallMessage CallMessage::decode(const std::vector<std::uint8_t>& wire) {
+  XdrDecoder dec(wire);
+  CallMessage msg;
+  msg.xid = dec.get_uint32();
+  auto type = static_cast<MsgType>(dec.get_uint32());
+  if (type != MsgType::kCall) {
+    throw XdrError("not a call message");
+  }
+  std::uint32_t rpcvers = dec.get_uint32();
+  if (rpcvers != kRpcVersion) {
+    throw XdrError("unsupported RPC version " + std::to_string(rpcvers));
+  }
+  msg.prog = dec.get_uint32();
+  msg.vers = dec.get_uint32();
+  msg.proc = dec.get_uint32();
+  skip_auth(dec);
+  skip_auth(dec);
+  msg.args.assign(wire.begin() + static_cast<long>(wire.size() - dec.remaining()), wire.end());
+  return msg;
+}
+
+std::vector<std::uint8_t> ReplyMessage::encode() const {
+  XdrEncoder enc;
+  enc.put_uint32(xid);
+  enc.put_uint32(static_cast<std::uint32_t>(MsgType::kReply));
+  enc.put_uint32(0);  // MSG_ACCEPTED (we model only accepted replies)
+  put_null_auth(enc);
+  enc.put_uint32(static_cast<std::uint32_t>(status));
+  if (status == ReplyStatus::kSuccess) {
+    enc.put_opaque_fixed(result.data(), result.size());
+  }
+  return enc.take();
+}
+
+ReplyMessage ReplyMessage::decode(const std::vector<std::uint8_t>& wire) {
+  XdrDecoder dec(wire);
+  ReplyMessage msg;
+  msg.xid = dec.get_uint32();
+  auto type = static_cast<MsgType>(dec.get_uint32());
+  if (type != MsgType::kReply) {
+    throw XdrError("not a reply message");
+  }
+  std::uint32_t accepted = dec.get_uint32();
+  if (accepted != 0) {
+    throw XdrError("rejected reply");
+  }
+  skip_auth(dec);
+  msg.status = static_cast<ReplyStatus>(dec.get_uint32());
+  if (msg.status > ReplyStatus::kSystemError) {
+    throw XdrError("bad reply status");
+  }
+  if (msg.status == ReplyStatus::kSuccess) {
+    msg.result.assign(wire.begin() + static_cast<long>(wire.size() - dec.remaining()), wire.end());
+  }
+  return msg;
+}
+
+std::uint32_t encode_record_mark(std::uint32_t len) { return 0x80000000u | len; }
+
+std::uint32_t decode_record_mark(std::uint32_t mark, bool* last) {
+  if (last != nullptr) {
+    *last = (mark & 0x80000000u) != 0;
+  }
+  std::uint32_t len = mark & 0x7fffffffu;
+  if (len == 0) {
+    throw XdrError("zero-length record fragment");
+  }
+  return len;
+}
+
+}  // namespace lmb::rpc

@@ -1,0 +1,57 @@
+// RPC call/reply message framing (RFC 1057-shaped, simplified auth).
+#ifndef LMBENCHPP_SRC_RPC_MESSAGE_H_
+#define LMBENCHPP_SRC_RPC_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rpc/xdr.h"
+
+namespace lmb::rpc {
+
+inline constexpr std::uint32_t kRpcVersion = 2;
+
+enum class MsgType : std::uint32_t {
+  kCall = 0,
+  kReply = 1,
+};
+
+enum class ReplyStatus : std::uint32_t {
+  kSuccess = 0,
+  kProgUnavailable = 1,
+  kProcUnavailable = 2,
+  kGarbageArgs = 3,
+  kSystemError = 4,
+};
+
+struct CallMessage {
+  std::uint32_t xid = 0;
+  std::uint32_t prog = 0;
+  std::uint32_t vers = 0;
+  std::uint32_t proc = 0;
+  std::vector<std::uint8_t> args;
+
+  std::vector<std::uint8_t> encode() const;
+  // Throws XdrError on malformed input.
+  static CallMessage decode(const std::vector<std::uint8_t>& wire);
+};
+
+struct ReplyMessage {
+  std::uint32_t xid = 0;
+  ReplyStatus status = ReplyStatus::kSuccess;
+  std::vector<std::uint8_t> result;  // meaningful only for kSuccess
+
+  std::vector<std::uint8_t> encode() const;
+  static ReplyMessage decode(const std::vector<std::uint8_t>& wire);
+};
+
+// TCP record marking (RFC 1057 §10): a 4-byte header whose top bit flags the
+// last fragment and whose low 31 bits give the fragment length.  We always
+// send single-fragment records.
+std::uint32_t encode_record_mark(std::uint32_t len);
+// Returns the length; sets *last.  Throws XdrError on zero-length fragments.
+std::uint32_t decode_record_mark(std::uint32_t mark, bool* last);
+
+}  // namespace lmb::rpc
+
+#endif  // LMBENCHPP_SRC_RPC_MESSAGE_H_

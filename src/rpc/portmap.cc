@@ -1,0 +1,35 @@
+#include "src/rpc/portmap.h"
+
+namespace lmb::rpc {
+
+PortMapper& PortMapper::global() {
+  static PortMapper* mapper = new PortMapper;  // intentionally leaked
+  return *mapper;
+}
+
+void PortMapper::set(std::uint32_t prog, std::uint32_t vers, Protocol proto, std::uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[Key{prog, vers, static_cast<std::uint32_t>(proto)}] = port;
+}
+
+void PortMapper::unset(std::uint32_t prog, std::uint32_t vers, Protocol proto) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.erase(Key{prog, vers, static_cast<std::uint32_t>(proto)});
+}
+
+std::optional<std::uint16_t> PortMapper::lookup(std::uint32_t prog, std::uint32_t vers,
+                                                Protocol proto) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(Key{prog, vers, static_cast<std::uint32_t>(proto)});
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+size_t PortMapper::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace lmb::rpc

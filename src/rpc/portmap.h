@@ -1,0 +1,50 @@
+// A miniature port mapper.
+//
+// The paper's connect benchmark uses a server "registered using the port
+// mapper" (§6.7).  This is the in-process equivalent: servers register
+// (program, version, protocol) -> port; clients look the port up.
+#ifndef LMBENCHPP_SRC_RPC_PORTMAP_H_
+#define LMBENCHPP_SRC_RPC_PORTMAP_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <tuple>
+
+namespace lmb::rpc {
+
+enum class Protocol : std::uint32_t {
+  kTcp = 6,
+  kUdp = 17,
+};
+
+class PortMapper {
+ public:
+  // The process-wide mapper (registrations made before fork are visible in
+  // the child, mirroring how benchmarks use the real rpcbind).
+  static PortMapper& global();
+
+  // Registers a mapping.  Re-registration of the same key overwrites
+  // (matching pmap_set semantics with unset-then-set).
+  void set(std::uint32_t prog, std::uint32_t vers, Protocol proto, std::uint16_t port);
+
+  // Removes a mapping; no-op when absent.
+  void unset(std::uint32_t prog, std::uint32_t vers, Protocol proto);
+
+  // Looks up a mapping.
+  std::optional<std::uint16_t> lookup(std::uint32_t prog, std::uint32_t vers,
+                                      Protocol proto) const;
+
+  size_t size() const;
+
+ private:
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::uint16_t> map_;
+};
+
+}  // namespace lmb::rpc
+
+#endif  // LMBENCHPP_SRC_RPC_PORTMAP_H_

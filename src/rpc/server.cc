@@ -1,0 +1,139 @@
+#include "src/rpc/server.h"
+
+#include <stdexcept>
+#include <tuple>
+
+#include "src/sys/fdio.h"
+
+namespace lmb::rpc {
+
+void Dispatcher::register_procedure(std::uint32_t prog, std::uint32_t vers, std::uint32_t proc,
+                                    Procedure handler) {
+  if (!handler) {
+    throw std::invalid_argument("register_procedure: empty handler");
+  }
+  procedures_[Key{prog, vers, proc}] = std::move(handler);
+}
+
+ReplyMessage Dispatcher::dispatch(const CallMessage& call) const {
+  ReplyMessage reply;
+  reply.xid = call.xid;
+
+  auto it = procedures_.find(Key{call.prog, call.vers, call.proc});
+  if (it == procedures_.end()) {
+    if (call.proc == kNullProc) {
+      // Null procedure: answer success-with-nothing when the program has any
+      // registered procedure at this version.
+      for (const auto& [key, handler] : procedures_) {
+        if (std::get<0>(key) == call.prog && std::get<1>(key) == call.vers) {
+          reply.status = ReplyStatus::kSuccess;
+          return reply;
+        }
+      }
+    }
+    // Distinguish unknown program from unknown procedure.
+    bool prog_known = false;
+    for (const auto& [key, handler] : procedures_) {
+      if (std::get<0>(key) == call.prog) {
+        prog_known = true;
+        break;
+      }
+    }
+    reply.status = prog_known ? ReplyStatus::kProcUnavailable : ReplyStatus::kProgUnavailable;
+    return reply;
+  }
+
+  try {
+    reply.result = it->second(call.args);
+    reply.status = ReplyStatus::kSuccess;
+  } catch (const XdrError&) {
+    reply.status = ReplyStatus::kGarbageArgs;
+  } catch (const std::exception&) {
+    reply.status = ReplyStatus::kSystemError;
+  }
+  return reply;
+}
+
+bool read_record(sys::TcpStream& conn, std::vector<std::uint8_t>* out) {
+  out->clear();
+  while (true) {
+    std::uint8_t head[4];
+    size_t got = conn.recv_some(head, 1);
+    if (got == 0) {
+      if (!out->empty()) {
+        throw std::runtime_error("rpc: EOF mid-record");
+      }
+      return false;  // clean EOF at record boundary
+    }
+    conn.recv_all(head + 1, 3);
+    std::uint32_t mark = (static_cast<std::uint32_t>(head[0]) << 24) |
+                         (static_cast<std::uint32_t>(head[1]) << 16) |
+                         (static_cast<std::uint32_t>(head[2]) << 8) |
+                         static_cast<std::uint32_t>(head[3]);
+    bool last = false;
+    std::uint32_t len = decode_record_mark(mark, &last);
+    if (len > (1u << 24)) {
+      throw std::runtime_error("rpc: oversized fragment");
+    }
+    size_t old = out->size();
+    out->resize(old + len);
+    conn.recv_all(out->data() + old, len);
+    if (last) {
+      return true;
+    }
+  }
+}
+
+void write_record(sys::TcpStream& conn, const std::vector<std::uint8_t>& payload) {
+  std::uint32_t mark = encode_record_mark(static_cast<std::uint32_t>(payload.size()));
+  std::uint8_t head[4] = {
+      static_cast<std::uint8_t>(mark >> 24),
+      static_cast<std::uint8_t>(mark >> 16),
+      static_cast<std::uint8_t>(mark >> 8),
+      static_cast<std::uint8_t>(mark),
+  };
+  // One send for header+payload would need a copy; two sends with NODELAY
+  // risk two packets.  Copy once — RPC messages here are small.
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + payload.size());
+  frame.insert(frame.end(), head, head + 4);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  conn.send_all(frame.data(), frame.size());
+}
+
+size_t serve_tcp_connection(sys::TcpStream& conn, const Dispatcher& dispatcher) {
+  size_t calls = 0;
+  std::vector<std::uint8_t> wire;
+  while (read_record(conn, &wire)) {
+    CallMessage call = CallMessage::decode(wire);
+    ReplyMessage reply = dispatcher.dispatch(call);
+    write_record(conn, reply.encode());
+    ++calls;
+  }
+  return calls;
+}
+
+size_t serve_udp(sys::UdpSocket& socket, const Dispatcher& dispatcher) {
+  size_t calls = 0;
+  std::vector<std::uint8_t> buf(65536);
+  while (true) {
+    std::uint16_t from = 0;
+    size_t n = socket.recv_from(buf.data(), buf.size(), &from);
+    if (n < 4) {
+      return calls;  // shutdown sentinel
+    }
+    std::vector<std::uint8_t> wire(buf.begin(), buf.begin() + static_cast<long>(n));
+    ReplyMessage reply;
+    try {
+      CallMessage call = CallMessage::decode(wire);
+      reply = dispatcher.dispatch(call);
+    } catch (const XdrError&) {
+      continue;  // undecodable datagram: drop, as real servers do
+    }
+    std::vector<std::uint8_t> out = reply.encode();
+    socket.send_to(from, out.data(), out.size());
+    ++calls;
+  }
+}
+
+}  // namespace lmb::rpc

@@ -1,0 +1,54 @@
+// RPC dispatcher and transports (server side).
+#ifndef LMBENCHPP_SRC_RPC_SERVER_H_
+#define LMBENCHPP_SRC_RPC_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/rpc/message.h"
+#include "src/sys/socket.h"
+
+namespace lmb::rpc {
+
+// A procedure takes XDR-encoded args and returns XDR-encoded results.
+using Procedure = std::function<std::vector<std::uint8_t>(const std::vector<std::uint8_t>&)>;
+
+// Procedure 0 is the conventional null procedure (ping); dispatchers answer
+// it automatically when the program is known.
+inline constexpr std::uint32_t kNullProc = 0;
+
+// Routes decoded calls to registered procedures.
+class Dispatcher {
+ public:
+  void register_procedure(std::uint32_t prog, std::uint32_t vers, std::uint32_t proc,
+                          Procedure handler);
+
+  // Builds the reply for one call (kProgUnavailable / kProcUnavailable /
+  // kSystemError as appropriate; handlers that throw yield kSystemError).
+  ReplyMessage dispatch(const CallMessage& call) const;
+
+ private:
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+  std::map<Key, Procedure> procedures_;
+};
+
+// Serves RPC over one accepted TCP connection (record-marked stream) until
+// the peer disconnects.  Returns the number of calls served.
+size_t serve_tcp_connection(sys::TcpStream& conn, const Dispatcher& dispatcher);
+
+// Serves RPC over a UDP socket.  A datagram shorter than 4 bytes acts as a
+// shutdown sentinel (benchmark teardown).  Returns calls served.
+size_t serve_udp(sys::UdpSocket& socket, const Dispatcher& dispatcher);
+
+// Reads one record-marked RPC message from a stream.  Returns false on
+// clean EOF at a record boundary.
+bool read_record(sys::TcpStream& conn, std::vector<std::uint8_t>* out);
+
+// Writes one record-marked message.
+void write_record(sys::TcpStream& conn, const std::vector<std::uint8_t>& payload);
+
+}  // namespace lmb::rpc
+
+#endif  // LMBENCHPP_SRC_RPC_SERVER_H_

@@ -1,0 +1,104 @@
+#include "src/rpc/xdr.h"
+
+#include <cstring>
+
+namespace lmb::rpc {
+
+void XdrEncoder::put_uint32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void XdrEncoder::put_int32(std::int32_t v) { put_uint32(static_cast<std::uint32_t>(v)); }
+
+void XdrEncoder::put_uint64(std::uint64_t v) {
+  put_uint32(static_cast<std::uint32_t>(v >> 32));
+  put_uint32(static_cast<std::uint32_t>(v));
+}
+
+void XdrEncoder::put_int64(std::int64_t v) { put_uint64(static_cast<std::uint64_t>(v)); }
+
+void XdrEncoder::put_bool(bool v) { put_uint32(v ? 1 : 0); }
+
+void XdrEncoder::put_opaque_fixed(const void* data, size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+  size_t padded = xdr_pad(len);
+  buf_.insert(buf_.end(), padded - len, 0);
+}
+
+void XdrEncoder::put_opaque(const void* data, size_t len) {
+  put_uint32(static_cast<std::uint32_t>(len));
+  put_opaque_fixed(data, len);
+}
+
+void XdrEncoder::put_string(const std::string& s) { put_opaque(s.data(), s.size()); }
+
+void XdrDecoder::need(size_t n) {
+  if (len_ - pos_ < n) {
+    throw XdrError("truncated input (need " + std::to_string(n) + ", have " +
+                   std::to_string(len_ - pos_) + ")");
+  }
+}
+
+std::uint32_t XdrDecoder::get_uint32() {
+  need(4);
+  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                    static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::int32_t XdrDecoder::get_int32() { return static_cast<std::int32_t>(get_uint32()); }
+
+std::uint64_t XdrDecoder::get_uint64() {
+  std::uint64_t hi = get_uint32();
+  std::uint64_t lo = get_uint32();
+  return (hi << 32) | lo;
+}
+
+std::int64_t XdrDecoder::get_int64() { return static_cast<std::int64_t>(get_uint64()); }
+
+bool XdrDecoder::get_bool() {
+  std::uint32_t v = get_uint32();
+  if (v > 1) {
+    throw XdrError("bool out of range: " + std::to_string(v));
+  }
+  return v == 1;
+}
+
+void XdrDecoder::get_opaque_fixed(void* out, size_t len) {
+  size_t padded = xdr_pad(len);
+  need(padded);
+  std::memcpy(out, data_ + pos_, len);
+  // Reject nonzero padding: it indicates a framing bug on the peer.
+  for (size_t i = len; i < padded; ++i) {
+    if (data_[pos_ + i] != 0) {
+      throw XdrError("nonzero padding");
+    }
+  }
+  pos_ += padded;
+}
+
+std::vector<std::uint8_t> XdrDecoder::get_opaque(size_t max_len) {
+  std::uint32_t len = get_uint32();
+  if (len > max_len) {
+    throw XdrError("opaque too long: " + std::to_string(len));
+  }
+  std::vector<std::uint8_t> out(len);
+  if (len > 0) {
+    get_opaque_fixed(out.data(), len);
+  }
+  return out;
+}
+
+std::string XdrDecoder::get_string(size_t max_len) {
+  std::vector<std::uint8_t> raw = get_opaque(max_len);
+  return std::string(raw.begin(), raw.end());
+}
+
+}  // namespace lmb::rpc

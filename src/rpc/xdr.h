@@ -1,0 +1,76 @@
+// XDR (RFC 1014/4506) external data representation.
+//
+// The paper's RPC benchmarks ride on Sun RPC, whose wire format is XDR:
+// big-endian, every item padded to a 4-byte boundary.  This is a clean-room
+// implementation of the subset the RPC layer and benchmarks need.
+#ifndef LMBENCHPP_SRC_RPC_XDR_H_
+#define LMBENCHPP_SRC_RPC_XDR_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lmb::rpc {
+
+class XdrError : public std::runtime_error {
+ public:
+  explicit XdrError(const std::string& what) : std::runtime_error("xdr: " + what) {}
+};
+
+// Serializes values into an XDR byte stream.
+class XdrEncoder {
+ public:
+  void put_uint32(std::uint32_t v);
+  void put_int32(std::int32_t v);
+  void put_uint64(std::uint64_t v);
+  void put_int64(std::int64_t v);
+  void put_bool(bool v);
+  // Variable-length opaque: 4-byte length, data, zero padding to 4 bytes.
+  void put_opaque(const void* data, size_t len);
+  void put_string(const std::string& s);
+  // Fixed-length opaque: data + padding only (length known to both sides).
+  void put_opaque_fixed(const void* data, size_t len);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Deserializes values from an XDR byte stream.  Throws XdrError on
+// truncated input or malformed lengths.
+class XdrDecoder {
+ public:
+  XdrDecoder(const void* data, size_t len)
+      : data_(static_cast<const std::uint8_t*>(data)), len_(len) {}
+  explicit XdrDecoder(const std::vector<std::uint8_t>& buf) : XdrDecoder(buf.data(), buf.size()) {}
+
+  std::uint32_t get_uint32();
+  std::int32_t get_int32();
+  std::uint64_t get_uint64();
+  std::int64_t get_int64();
+  bool get_bool();
+  std::vector<std::uint8_t> get_opaque(size_t max_len = 1u << 24);
+  std::string get_string(size_t max_len = 1u << 24);
+  void get_opaque_fixed(void* out, size_t len);
+
+  size_t remaining() const { return len_ - pos_; }
+  bool exhausted() const { return pos_ == len_; }
+
+ private:
+  void need(size_t n);
+
+  const std::uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+// Pad length to the next multiple of 4 (XDR alignment unit).
+constexpr size_t xdr_pad(size_t len) { return (len + 3u) & ~size_t{3}; }
+
+}  // namespace lmb::rpc
+
+#endif  // LMBENCHPP_SRC_RPC_XDR_H_

@@ -1,0 +1,32 @@
+// Block-device abstraction shared by the simulated SCSI disk, real files,
+// and lmdd's internal pattern endpoints.
+#ifndef LMBENCHPP_SRC_SIMDISK_BLOCK_DEVICE_H_
+#define LMBENCHPP_SRC_SIMDISK_BLOCK_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lmb::simdisk {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Reads up to `len` bytes at `offset`.  Returns bytes read; 0 at or past
+  // end of device.  Throws on hard errors.
+  virtual size_t read(std::uint64_t offset, void* buf, size_t len) = 0;
+
+  // Writes `len` bytes at `offset`.  Returns bytes written (short only at
+  // end of device).
+  virtual size_t write(std::uint64_t offset, const void* buf, size_t len) = 0;
+
+  // Device capacity in bytes.
+  virtual std::uint64_t size_bytes() const = 0;
+
+  // Persists buffered writes (no-op by default).
+  virtual void flush() {}
+};
+
+}  // namespace lmb::simdisk
+
+#endif  // LMBENCHPP_SRC_SIMDISK_BLOCK_DEVICE_H_

@@ -1,0 +1,68 @@
+#include "src/simdisk/disk_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lmb::simdisk {
+
+DiskGeometry::Chs DiskGeometry::to_chs(std::uint64_t lba) const {
+  if (lba >= total_sectors()) {
+    throw std::out_of_range("lba beyond device");
+  }
+  Chs chs;
+  chs.cylinder = static_cast<std::uint32_t>(lba / sectors_per_cylinder());
+  std::uint64_t in_cyl = lba % sectors_per_cylinder();
+  chs.head = static_cast<std::uint32_t>(in_cyl / sectors_per_track);
+  chs.sector = static_cast<std::uint32_t>(in_cyl % sectors_per_track);
+  return chs;
+}
+
+bool DiskGeometry::valid() const {
+  return sector_bytes >= 512 && sector_bytes % 512 == 0 && sectors_per_track > 0 && heads > 0 &&
+         cylinders > 0;
+}
+
+Nanos DiskTimingParams::seek_time(std::uint32_t from_cyl, std::uint32_t to_cyl,
+                                  std::uint32_t max_cyl) const {
+  if (from_cyl == to_cyl) {
+    return 0;
+  }
+  std::uint32_t dist = from_cyl > to_cyl ? from_cyl - to_cyl : to_cyl - from_cyl;
+  double frac = max_cyl > 1 ? static_cast<double>(dist) / (max_cyl - 1) : 1.0;
+  return seek_min + static_cast<Nanos>(static_cast<double>(seek_max - seek_min) * std::sqrt(frac));
+}
+
+double DiskTimingParams::media_rate_at(std::uint32_t cylinder, std::uint32_t max_cylinder) const {
+  if (inner_media_mb_per_sec <= 0 || max_cylinder <= 1) {
+    return media_mb_per_sec;
+  }
+  double frac = static_cast<double>(cylinder) / static_cast<double>(max_cylinder - 1);
+  return media_mb_per_sec + (inner_media_mb_per_sec - media_mb_per_sec) * frac;
+}
+
+Nanos DiskTimingParams::media_transfer_time(std::uint64_t bytes) const {
+  if (media_mb_per_sec <= 0) {
+    throw std::invalid_argument("media rate must be positive");
+  }
+  return static_cast<Nanos>(static_cast<double>(bytes) / (media_mb_per_sec * 1024.0 * 1024.0) *
+                            kSecond);
+}
+
+Nanos DiskTimingParams::media_transfer_time_at(std::uint64_t bytes, std::uint32_t cylinder,
+                                               std::uint32_t max_cylinder) const {
+  double rate = media_rate_at(cylinder, max_cylinder);
+  if (rate <= 0) {
+    throw std::invalid_argument("media rate must be positive");
+  }
+  return static_cast<Nanos>(static_cast<double>(bytes) / (rate * 1024.0 * 1024.0) * kSecond);
+}
+
+Nanos DiskTimingParams::bus_transfer_time(std::uint64_t bytes) const {
+  if (bus_mb_per_sec <= 0) {
+    throw std::invalid_argument("bus rate must be positive");
+  }
+  return static_cast<Nanos>(static_cast<double>(bytes) / (bus_mb_per_sec * 1024.0 * 1024.0) *
+                            kSecond);
+}
+
+}  // namespace lmb::simdisk

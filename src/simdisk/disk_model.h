@@ -1,0 +1,91 @@
+// Parametric SCSI-disk service-time model.
+//
+// Substitute for the raw SCSI drives the paper measured (§6.9): geometry
+// (cylinders/heads/sectors), a square-root seek curve, rotational latency,
+// media transfer rate, a per-command controller overhead, and — crucially
+// for Table 17 — a track read-ahead buffer: "most disks have 32-128K
+// read-ahead buffers and ... can read ahead faster than the processor can
+// request the chunks of data."
+#ifndef LMBENCHPP_SRC_SIMDISK_DISK_MODEL_H_
+#define LMBENCHPP_SRC_SIMDISK_DISK_MODEL_H_
+
+#include <cstdint>
+
+#include "src/core/clock.h"
+
+namespace lmb::simdisk {
+
+struct DiskGeometry {
+  std::uint32_t sector_bytes = 512;
+  std::uint32_t sectors_per_track = 128;   // 64 KB per track
+  std::uint32_t heads = 8;                 // tracks per cylinder
+  std::uint32_t cylinders = 2048;          // ~1 GB total
+
+  std::uint64_t sectors_per_cylinder() const {
+    return static_cast<std::uint64_t>(sectors_per_track) * heads;
+  }
+  std::uint64_t total_sectors() const { return sectors_per_cylinder() * cylinders; }
+  std::uint64_t total_bytes() const { return total_sectors() * sector_bytes; }
+  std::uint64_t track_bytes() const {
+    return static_cast<std::uint64_t>(sectors_per_track) * sector_bytes;
+  }
+
+  struct Chs {
+    std::uint32_t cylinder;
+    std::uint32_t head;
+    std::uint32_t sector;
+  };
+  // Logical-block address -> cylinder/head/sector.  Throws when out of range.
+  Chs to_chs(std::uint64_t lba) const;
+
+  // True when the geometry is internally consistent and non-degenerate.
+  bool valid() const;
+};
+
+struct DiskTimingParams {
+  double rpm = 7200.0;
+  // Square-root seek curve: seek(d) = min + (max - min) * sqrt(d / max_d).
+  Nanos seek_min = 1 * kMillisecond;   // track-to-track
+  Nanos seek_max = 15 * kMillisecond;  // full stroke
+  // Sustained media rate (paper footnote 5 takes 6 MB/s as disk speed).
+  double media_mb_per_sec = 6.0;
+  // SCSI bus burst rate for track-buffer hits (fast-SCSI-2 era: 10 MB/s).
+  double bus_mb_per_sec = 10.0;
+  // Controller command processing per request.
+  Nanos command_overhead = 300 * kMicrosecond;
+
+  // Zoned-bit recording: when inner_media_mb_per_sec > 0, the media rate
+  // falls linearly from media_mb_per_sec at cylinder 0 (outer edge) to
+  // inner_media_mb_per_sec at the last cylinder — period disks stored more
+  // sectors on outer tracks.  0 disables zoning (uniform rate).
+  double inner_media_mb_per_sec = 0.0;
+
+  // Write-behind cache: when > 0, writes complete at bus speed until the
+  // cache fills; cached data destages to the media at the media rate in the
+  // background.  0 = write-through (every write waits for the platters).
+  std::uint64_t write_cache_bytes = 0;
+
+  Nanos rotation_time() const {
+    return static_cast<Nanos>(60.0 * kSecond / rpm);
+  }
+  // Average rotational latency = half a revolution.
+  Nanos avg_rotational_latency() const { return rotation_time() / 2; }
+
+  // Seek time between two cylinders (0 when equal).
+  Nanos seek_time(std::uint32_t from_cyl, std::uint32_t to_cyl, std::uint32_t max_cyl) const;
+
+  // Media rate at `cylinder` (zoning-aware); equals media_mb_per_sec when
+  // zoning is disabled.
+  double media_rate_at(std::uint32_t cylinder, std::uint32_t max_cylinder) const;
+
+  // Media transfer time for `bytes`; zoning-aware when a cylinder is given.
+  Nanos media_transfer_time(std::uint64_t bytes) const;
+  Nanos media_transfer_time_at(std::uint64_t bytes, std::uint32_t cylinder,
+                               std::uint32_t max_cylinder) const;
+  // Bus transfer time for `bytes` (track-buffer hits).
+  Nanos bus_transfer_time(std::uint64_t bytes) const;
+};
+
+}  // namespace lmb::simdisk
+
+#endif  // LMBENCHPP_SRC_SIMDISK_DISK_MODEL_H_

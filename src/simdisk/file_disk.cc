@@ -1,0 +1,76 @@
+#include "src/simdisk/file_disk.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "src/sys/error.h"
+
+namespace lmb::simdisk {
+
+FileDisk::FileDisk(const std::string& path, std::uint64_t fixed_size) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    sys::throw_errno("open " + path);
+  }
+  fd_.reset(fd);
+  if (fixed_size > 0) {
+    sys::check_syscall(::ftruncate(fd_.get(), static_cast<off_t>(fixed_size)), "ftruncate");
+    size_ = fixed_size;
+  } else {
+    off_t end = ::lseek(fd_.get(), 0, SEEK_END);
+    if (end < 0) {
+      sys::throw_errno("lseek");
+    }
+    size_ = static_cast<std::uint64_t>(end);
+  }
+}
+
+size_t FileDisk::read(std::uint64_t offset, void* buf, size_t len) {
+  if (offset >= size_) {
+    return 0;
+  }
+  len = static_cast<size_t>(std::min<std::uint64_t>(len, size_ - offset));
+  char* p = static_cast<char*>(buf);
+  size_t total = 0;
+  while (total < len) {
+    ssize_t n = ::pread(fd_.get(), p + total, len - total, static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      sys::throw_errno("pread");
+    }
+    if (n == 0) {
+      break;
+    }
+    total += static_cast<size_t>(n);
+  }
+  return total;
+}
+
+size_t FileDisk::write(std::uint64_t offset, const void* buf, size_t len) {
+  if (offset >= size_) {
+    return 0;
+  }
+  len = static_cast<size_t>(std::min<std::uint64_t>(len, size_ - offset));
+  const char* p = static_cast<const char*>(buf);
+  size_t total = 0;
+  while (total < len) {
+    ssize_t n = ::pwrite(fd_.get(), p + total, len - total, static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      sys::throw_errno("pwrite");
+    }
+    total += static_cast<size_t>(n);
+  }
+  return total;
+}
+
+void FileDisk::flush() { sys::check_syscall(::fsync(fd_.get()), "fsync"); }
+
+}  // namespace lmb::simdisk

@@ -1,0 +1,30 @@
+// BlockDevice backed by a real file (pread/pwrite) — lmdd's file mode.
+#ifndef LMBENCHPP_SRC_SIMDISK_FILE_DISK_H_
+#define LMBENCHPP_SRC_SIMDISK_FILE_DISK_H_
+
+#include <string>
+
+#include "src/simdisk/block_device.h"
+#include "src/sys/unique_fd.h"
+
+namespace lmb::simdisk {
+
+class FileDisk final : public BlockDevice {
+ public:
+  // Opens an existing file read-write.  `fixed_size` > 0 pre-extends the
+  // file (creating it if needed); 0 uses the current file length.
+  explicit FileDisk(const std::string& path, std::uint64_t fixed_size = 0);
+
+  size_t read(std::uint64_t offset, void* buf, size_t len) override;
+  size_t write(std::uint64_t offset, const void* buf, size_t len) override;
+  std::uint64_t size_bytes() const override { return size_; }
+  void flush() override;
+
+ private:
+  sys::UniqueFd fd_;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace lmb::simdisk
+
+#endif  // LMBENCHPP_SRC_SIMDISK_FILE_DISK_H_

@@ -1,0 +1,145 @@
+#include "src/simdisk/lmdd.h"
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/timing.h"
+
+namespace lmb::simdisk {
+
+namespace {
+
+// Each aligned 8-byte word holds a mix of the device offset of its own first
+// byte; the multiplicative mix spreads the offset into every byte lane so
+// that any misplacement (wrong block, wrong shift) corrupts ~all bytes.
+inline std::uint8_t pattern_byte(std::uint64_t pos) {
+  std::uint64_t word_base = pos & ~std::uint64_t{7};
+  std::uint64_t mixed = word_base * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+  unsigned lane = static_cast<unsigned>(pos & 7);
+  return static_cast<std::uint8_t>(mixed >> (8 * lane));
+}
+
+}  // namespace
+
+void fill_pattern(std::uint64_t offset, void* buf, size_t len) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  for (size_t i = 0; i < len; ++i) {
+    p[i] = pattern_byte(offset + i);
+  }
+}
+
+std::uint64_t check_pattern_errors(std::uint64_t offset, const void* buf, size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::uint64_t errors = 0;
+  for (size_t i = 0; i < len; ++i) {
+    if (p[i] != pattern_byte(offset + i)) {
+      ++errors;
+    }
+  }
+  return errors;
+}
+
+namespace {
+
+void validate(BlockDevice* in, BlockDevice* out, const LmddConfig& config) {
+  if (config.block_bytes == 0) {
+    throw std::invalid_argument("lmdd: block size must be positive");
+  }
+  if (in == nullptr && !config.generate_pattern) {
+    throw std::invalid_argument("lmdd: no input device and no pattern generator");
+  }
+  if (in == nullptr && out == nullptr) {
+    throw std::invalid_argument("lmdd: nothing to do (no input, no output)");
+  }
+  if (config.check_pattern && in == nullptr) {
+    throw std::invalid_argument("lmdd: check_pattern requires an input device");
+  }
+  if (config.count == 0 && in == nullptr && out == nullptr) {
+    throw std::invalid_argument("lmdd: unbounded run with internal endpoints");
+  }
+}
+
+std::uint64_t device_block_capacity(BlockDevice* dev, std::uint64_t block, std::uint64_t start) {
+  if (dev == nullptr) {
+    return UINT64_MAX;
+  }
+  std::uint64_t total_blocks = dev->size_bytes() / block;
+  return total_blocks > start ? total_blocks - start : 0;
+}
+
+}  // namespace
+
+LmddResult lmdd_run(BlockDevice* in, BlockDevice* out, const LmddConfig& config,
+                    const Clock& clock) {
+  validate(in, out, config);
+  std::uint64_t block = config.block_bytes;
+
+  // Bound the block count by device capacities.
+  std::uint64_t max_blocks = std::min(device_block_capacity(in, block, config.skip),
+                                      device_block_capacity(out, block, config.seek));
+  std::uint64_t blocks = config.count == 0 ? max_blocks : std::min(config.count, max_blocks);
+  if (blocks == UINT64_MAX) {
+    throw std::invalid_argument("lmdd: count required when both endpoints are internal");
+  }
+
+  // Random mode visits a seeded uniform shuffle of the block positions it
+  // would have visited sequentially.
+  std::vector<std::uint64_t> order;
+  if (config.pattern == AccessPattern::kRandom) {
+    order.resize(blocks);
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+      order[i] = i;
+    }
+    std::mt19937 rng(config.seed);
+    std::shuffle(order.begin(), order.end(), rng);
+  }
+
+  std::vector<char> buf(block);
+  LmddResult result;
+
+  Nanos start = clock.now();
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    std::uint64_t logical = config.pattern == AccessPattern::kRandom ? order[i] : i;
+    std::uint64_t in_off = (config.skip + logical) * block;
+    std::uint64_t out_off = (config.seek + logical) * block;
+
+    size_t got = block;
+    if (in != nullptr) {
+      got = in->read(in_off, buf.data(), block);
+      if (got == 0) {
+        break;  // end of input
+      }
+      if (config.check_pattern) {
+        result.pattern_errors += check_pattern_errors(in_off, buf.data(), got);
+      }
+    } else {
+      fill_pattern(out_off, buf.data(), block);
+    }
+
+    if (out != nullptr) {
+      size_t put = out->write(out_off, buf.data(), got);
+      if (put < got) {
+        result.bytes_moved += put;
+        ++result.blocks_moved;
+        break;  // end of output
+      }
+    }
+    result.bytes_moved += got;
+    ++result.blocks_moved;
+    if (got < block) {
+      break;  // short final block
+    }
+  }
+  if (config.sync_at_end && out != nullptr) {
+    out->flush();
+  }
+  result.elapsed = clock.now() - start;
+  result.mb_per_sec = mb_per_sec(static_cast<double>(result.bytes_moved),
+                                 static_cast<double>(std::max<Nanos>(result.elapsed, 1)));
+  return result;
+}
+
+}  // namespace lmb::simdisk

@@ -1,0 +1,65 @@
+// lmdd — "patterned after the Unix utility dd, measures both sequential and
+// random I/O, optionally generates patterns on output and checks them on
+// input" (paper §6.9 / §2).
+//
+// This is the library form; examples/lmdd_main.cc provides the CLI.
+#ifndef LMBENCHPP_SRC_SIMDISK_LMDD_H_
+#define LMBENCHPP_SRC_SIMDISK_LMDD_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/clock.h"
+#include "src/simdisk/block_device.h"
+
+namespace lmb::simdisk {
+
+enum class AccessPattern {
+  kSequential,
+  kRandom,  // uniformly random block positions (seeded, reproducible)
+};
+
+struct LmddConfig {
+  std::uint64_t block_bytes = 8192;
+  // Blocks to move; 0 = run until the input (or output) is exhausted.
+  std::uint64_t count = 0;
+  // Input/output block offsets (dd's skip= and seek=).
+  std::uint64_t skip = 0;
+  std::uint64_t seek = 0;
+  AccessPattern pattern = AccessPattern::kSequential;
+  std::uint32_t seed = 42;  // for kRandom
+  // Write a deterministic pattern instead of copying input (out only), and
+  // verify it on the way back in (in only).
+  bool generate_pattern = false;
+  bool check_pattern = false;
+  // fsync/flush the output when done, and include it in the timing.
+  bool sync_at_end = false;
+};
+
+struct LmddResult {
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t blocks_moved = 0;
+  // Elapsed time on the supplied clock (virtual for SimDisk runs).
+  Nanos elapsed = 0;
+  double mb_per_sec = 0.0;
+  // Pattern verification outcome; meaningful only with check_pattern.
+  std::uint64_t pattern_errors = 0;
+};
+
+// Fills `buf` with the deterministic lmdd pattern for a given device offset
+// (8-byte little-endian offset counters, so any misplacement is detectable).
+void fill_pattern(std::uint64_t offset, void* buf, size_t len);
+
+// Counts pattern mismatches in `buf` against the expected pattern.
+std::uint64_t check_pattern_errors(std::uint64_t offset, const void* buf, size_t len);
+
+// Copies between devices.  Either side may be null:
+//   in == nullptr  -> requires generate_pattern (internal source)
+//   out == nullptr -> data is discarded (internal sink), optionally checked.
+// Throws std::invalid_argument on inconsistent configs.
+LmddResult lmdd_run(BlockDevice* in, BlockDevice* out, const LmddConfig& config,
+                    const Clock& clock = WallClock::instance());
+
+}  // namespace lmb::simdisk
+
+#endif  // LMBENCHPP_SRC_SIMDISK_LMDD_H_

@@ -1,0 +1,178 @@
+#include "src/simdisk/sim_disk.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace lmb::simdisk {
+
+SimDisk::SimDisk(DiskGeometry geometry, DiskTimingParams timing, VirtualClock& clock)
+    : geometry_(geometry), timing_(timing), clock_(&clock) {
+  if (!geometry_.valid()) {
+    throw std::invalid_argument("SimDisk: invalid geometry");
+  }
+}
+
+bool SimDisk::in_track_buffer(std::uint64_t offset, size_t len) const {
+  return offset >= buffer_start_ && offset + len <= buffer_end_;
+}
+
+void SimDisk::access_media(std::uint64_t offset, size_t len, bool is_read) {
+  ++stats_.media_accesses;
+  auto chs = geometry_.to_chs(offset / geometry_.sector_bytes);
+
+  Nanos service = 0;
+  if (chs.cylinder != current_cylinder_) {
+    service += timing_.seek_time(current_cylinder_, chs.cylinder, geometry_.cylinders);
+    ++stats_.seeks;
+    current_cylinder_ = chs.cylinder;
+  }
+  service += timing_.avg_rotational_latency();
+
+  if (is_read) {
+    // The drive streams the rest of the track into its buffer (read-ahead);
+    // the host transfer happens at bus speed off the buffer.
+    std::uint64_t track_start = offset - offset % geometry_.track_bytes();
+    std::uint64_t track_end = track_start + geometry_.track_bytes();
+    std::uint64_t fill_end = std::max<std::uint64_t>(offset + len, track_end);
+    service += timing_.media_transfer_time_at(fill_end - offset, chs.cylinder,
+                                              geometry_.cylinders);
+    service += timing_.bus_transfer_time(len);
+    buffer_start_ = offset;
+    buffer_end_ = fill_end;
+  } else {
+    service += timing_.media_transfer_time_at(len, chs.cylinder, geometry_.cylinders);
+    // Writes invalidate any overlapping buffered data.
+    if (offset < buffer_end_ && offset + len > buffer_start_) {
+      buffer_start_ = buffer_end_ = 0;
+    }
+  }
+
+  clock_->advance(service);
+}
+
+void SimDisk::drain_write_cache() {
+  Nanos now = clock_->now();
+  if (now > cache_drain_ts_ && cache_used_ > 0) {
+    double drained = static_cast<double>(now - cache_drain_ts_) / kSecond *
+                     timing_.media_mb_per_sec * 1024.0 * 1024.0;
+    cache_used_ = drained >= static_cast<double>(cache_used_)
+                      ? 0
+                      : cache_used_ - static_cast<std::uint64_t>(drained);
+  }
+  cache_drain_ts_ = now;
+}
+
+void SimDisk::flush() {
+  drain_write_cache();
+  if (cache_used_ > 0) {
+    clock_->advance(timing_.media_transfer_time(cache_used_));
+    cache_used_ = 0;
+    cache_drain_ts_ = clock_->now();
+  }
+}
+
+std::vector<char>& SimDisk::chunk_for(std::uint64_t index) {
+  auto& chunk = chunks_[index];
+  if (chunk.empty()) {
+    chunk.assign(kChunkBytes, 0);
+  }
+  return chunk;
+}
+
+void SimDisk::copy_out(std::uint64_t offset, void* buf, size_t len) {
+  char* out = static_cast<char*>(buf);
+  while (len > 0) {
+    std::uint64_t index = offset / kChunkBytes;
+    size_t within = static_cast<size_t>(offset % kChunkBytes);
+    size_t n = std::min(len, kChunkBytes - within);
+    auto it = chunks_.find(index);
+    if (it == chunks_.end()) {
+      std::memset(out, 0, n);
+    } else {
+      std::memcpy(out, it->second.data() + within, n);
+    }
+    out += n;
+    offset += n;
+    len -= n;
+  }
+}
+
+void SimDisk::copy_in(std::uint64_t offset, const void* buf, size_t len) {
+  const char* in = static_cast<const char*>(buf);
+  while (len > 0) {
+    std::uint64_t index = offset / kChunkBytes;
+    size_t within = static_cast<size_t>(offset % kChunkBytes);
+    size_t n = std::min(len, kChunkBytes - within);
+    std::memcpy(chunk_for(index).data() + within, in, n);
+    in += n;
+    offset += n;
+    len -= n;
+  }
+}
+
+size_t SimDisk::read(std::uint64_t offset, void* buf, size_t len) {
+  std::uint64_t cap = size_bytes();
+  if (offset >= cap) {
+    return 0;
+  }
+  len = static_cast<size_t>(std::min<std::uint64_t>(len, cap - offset));
+  if (len == 0) {
+    return 0;
+  }
+  ++stats_.reads;
+
+  Nanos start = clock_->now();
+  clock_->advance(timing_.command_overhead);
+  if (in_track_buffer(offset, len)) {
+    ++stats_.buffer_hits;
+    clock_->advance(timing_.bus_transfer_time(len));
+  } else {
+    access_media(offset, len, /*is_read=*/true);
+  }
+  stats_.busy_time += clock_->now() - start;
+  copy_out(offset, buf, len);
+  return len;
+}
+
+size_t SimDisk::write(std::uint64_t offset, const void* buf, size_t len) {
+  std::uint64_t cap = size_bytes();
+  if (offset >= cap) {
+    return 0;
+  }
+  len = static_cast<size_t>(std::min<std::uint64_t>(len, cap - offset));
+  if (len == 0) {
+    return 0;
+  }
+  ++stats_.writes;
+  Nanos start = clock_->now();
+  clock_->advance(timing_.command_overhead);
+
+  if (timing_.write_cache_bytes > 0) {
+    // Write-behind: accept into the cache at bus speed; destage happens in
+    // background at the media rate.  A full cache throttles to drain speed.
+    drain_write_cache();
+    if (cache_used_ + len > timing_.write_cache_bytes) {
+      std::uint64_t need = cache_used_ + len - timing_.write_cache_bytes;
+      clock_->advance(timing_.media_transfer_time(need));
+      drain_write_cache();
+      if (cache_used_ + len > timing_.write_cache_bytes) {
+        cache_used_ = timing_.write_cache_bytes > len ? timing_.write_cache_bytes - len : 0;
+      }
+    }
+    cache_used_ += len;
+    ++stats_.buffer_hits;  // cache-absorbed writes count as buffer hits
+    clock_->advance(timing_.bus_transfer_time(len));
+    // Cached writes still invalidate overlapping read-ahead data.
+    if (offset < buffer_end_ && offset + len > buffer_start_) {
+      buffer_start_ = buffer_end_ = 0;
+    }
+  } else {
+    access_media(offset, len, /*is_read=*/false);
+  }
+  stats_.busy_time += clock_->now() - start;
+  copy_in(offset, buf, len);
+  return len;
+}
+
+}  // namespace lmb::simdisk

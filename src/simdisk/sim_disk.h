@@ -1,0 +1,88 @@
+// The simulated SCSI disk: data + service-time model on a virtual clock.
+#ifndef LMBENCHPP_SRC_SIMDISK_SIM_DISK_H_
+#define LMBENCHPP_SRC_SIMDISK_SIM_DISK_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/virtual_clock.h"
+#include "src/simdisk/block_device.h"
+#include "src/simdisk/disk_model.h"
+
+namespace lmb::simdisk {
+
+// Per-disk counters (exposed so benches and tests can verify the model's
+// behaviour, e.g. "all 512-byte sequential reads after the first hit the
+// track buffer").
+struct DiskStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t buffer_hits = 0;    // reads served from the track buffer
+  std::uint64_t media_accesses = 0; // reads/writes that touched the platters
+  std::uint64_t seeks = 0;          // media accesses that moved the arm
+  Nanos busy_time = 0;              // virtual time spent servicing requests
+};
+
+// A simulated disk.  Reads and writes advance the supplied VirtualClock by
+// the modeled service time; data is stored sparsely (unwritten regions read
+// as zeros).  Not an I/O benchmark of the host — a deterministic substitute
+// for the raw device the paper's lmdd drives.
+class SimDisk final : public BlockDevice {
+ public:
+  SimDisk(DiskGeometry geometry, DiskTimingParams timing, VirtualClock& clock);
+
+  // BlockDevice:
+  size_t read(std::uint64_t offset, void* buf, size_t len) override;
+  size_t write(std::uint64_t offset, const void* buf, size_t len) override;
+  std::uint64_t size_bytes() const override { return geometry_.total_bytes(); }
+  // Waits (in virtual time) for the write-behind cache to destage fully.
+  void flush() override;
+
+  // Bytes currently pending destage in the write-behind cache.
+  std::uint64_t write_cache_used() const { return cache_used_; }
+
+  const DiskStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DiskStats{}; }
+
+  const DiskGeometry& geometry() const { return geometry_; }
+  const DiskTimingParams& timing() const { return timing_; }
+
+  // Current arm position (cylinder), for tests.
+  std::uint32_t current_cylinder() const { return current_cylinder_; }
+
+ private:
+  // Service-time accounting for one media access starting at `offset`
+  // spanning `len` bytes; updates arm position and track buffer.
+  void access_media(std::uint64_t offset, size_t len, bool is_read);
+
+  // Credits background destage progress up to the current virtual time.
+  void drain_write_cache();
+
+  bool in_track_buffer(std::uint64_t offset, size_t len) const;
+
+  // Sparse backing store in 64 KB chunks.
+  static constexpr size_t kChunkBytes = 64 * 1024;
+  std::vector<char>& chunk_for(std::uint64_t index);
+  void copy_out(std::uint64_t offset, void* buf, size_t len);
+  void copy_in(std::uint64_t offset, const void* buf, size_t len);
+
+  DiskGeometry geometry_;
+  DiskTimingParams timing_;
+  VirtualClock* clock_;
+  DiskStats stats_;
+
+  std::uint32_t current_cylinder_ = 0;
+  // Track read-ahead buffer: [buffer_start_, buffer_end_) of device offsets.
+  std::uint64_t buffer_start_ = 0;
+  std::uint64_t buffer_end_ = 0;
+  // Write-behind cache state.
+  std::uint64_t cache_used_ = 0;
+  Nanos cache_drain_ts_ = 0;
+
+  std::unordered_map<std::uint64_t, std::vector<char>> chunks_;
+};
+
+}  // namespace lmb::simdisk
+
+#endif  // LMBENCHPP_SRC_SIMDISK_SIM_DISK_H_

@@ -1,0 +1,31 @@
+// Table 16 in simulation: the paper's create/delete workload against SimFs
+// in each durability mode, timed on the virtual clock.
+#ifndef LMBENCHPP_SRC_SIMFS_FS_BENCH_H_
+#define LMBENCHPP_SRC_SIMFS_FS_BENCH_H_
+
+#include "src/simdisk/disk_model.h"
+#include "src/simfs/sim_fs.h"
+
+namespace lmb::simfs {
+
+struct SimFsBenchConfig {
+  int file_count = 1000;
+  DurabilityMode mode = DurabilityMode::kSync;
+  simdisk::DiskGeometry geometry;
+  simdisk::DiskTimingParams timing;
+};
+
+struct SimFsBenchResult {
+  DurabilityMode mode;
+  double create_us = 0.0;  // virtual microseconds per create
+  double delete_us = 0.0;
+  SimFsStats stats;
+};
+
+// Runs the §6.8 workload ("creates 1,000 zero-sized files and then deletes
+// them", short names a, b, ... aa, ...) on a fresh SimDisk.
+SimFsBenchResult measure_simfs_latency(const SimFsBenchConfig& config = {});
+
+}  // namespace lmb::simfs
+
+#endif  // LMBENCHPP_SRC_SIMFS_FS_BENCH_H_

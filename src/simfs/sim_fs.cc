@@ -1,0 +1,393 @@
+#include "src/simfs/sim_fs.h"
+
+#include <algorithm>
+#include <set>
+#include <cstring>
+#include <stdexcept>
+
+namespace lmb::simfs {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4c4d4653;  // "LMFS"
+
+struct SuperBlock {
+  std::uint32_t magic;
+  std::uint32_t mode;
+  std::uint64_t checkpoint_seq;
+  std::uint32_t file_count;
+};
+
+struct JournalRecord {
+  std::uint64_t seq;      // 0 = unused block
+  std::uint32_t is_upsert;  // 1 = slot payload valid, 0 = remove by name
+  std::uint32_t slot;
+  char name[kMaxNameLen + 1];
+  unsigned char payload[kDirEntrySize];  // the slot's contents for upserts
+};
+
+}  // namespace
+
+const char* durability_mode_name(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kAsync:
+      return "async";
+    case DurabilityMode::kJournaled:
+      return "journaled";
+    case DurabilityMode::kSync:
+      return "sync";
+  }
+  return "?";
+}
+
+SimFileSystem::SimFileSystem(simdisk::BlockDevice& device, DurabilityMode mode)
+    : device_(&device), mode_(mode) {
+  std::uint64_t needed =
+      static_cast<std::uint64_t>(1 + kDirBlocks + kJournalBlocks) * kBlockSize;
+  if (device.size_bytes() < needed) {
+    throw std::invalid_argument("SimFileSystem: device too small for metadata region");
+  }
+  // Format: zero the metadata region and write a fresh superblock.
+  slots_.assign(kMaxFiles, DirSlot{});
+  dirty_dir_blocks_.assign(kDirBlocks, false);
+  std::vector<char> zero(kBlockSize, 0);
+  for (std::uint32_t b = 0; b < 1 + kDirBlocks + kJournalBlocks; ++b) {
+    device_->write(static_cast<std::uint64_t>(b) * kBlockSize, zero.data(), kBlockSize);
+  }
+  journal_seq_ = 1;
+  total_data_blocks_ =
+      static_cast<std::uint32_t>(device.size_bytes() / kBlockSize - kDataStartBlock);
+  next_data_block_ = kDataStartBlock;
+  write_superblock();
+}
+
+std::uint32_t SimFileSystem::allocate_data_block() {
+  if (!free_data_blocks_.empty()) {
+    std::uint32_t block = free_data_blocks_.back();
+    free_data_blocks_.pop_back();
+    return block;
+  }
+  if (next_data_block_ - kDataStartBlock >= total_data_blocks_) {
+    throw std::runtime_error("SimFileSystem: out of data blocks");
+  }
+  return next_data_block_++;
+}
+
+void SimFileSystem::release_file_blocks(DirSlot& slot) {
+  for (std::uint32_t& block : slot.blocks) {
+    if (block != 0) {
+      free_data_blocks_.push_back(block);
+      block = 0;
+    }
+  }
+}
+
+void SimFileSystem::persist_slot(std::uint32_t slot_index, bool is_create_like,
+                                 const std::string& name) {
+  switch (mode_) {
+    case DurabilityMode::kAsync:
+      dirty_dir_blocks_[block_of_slot(slot_index)] = true;
+      break;
+    case DurabilityMode::kJournaled:
+      journal_append(is_create_like, slot_index, name);
+      dirty_dir_blocks_[block_of_slot(slot_index)] = true;
+      break;
+    case DurabilityMode::kSync:
+      write_dir_block(block_of_slot(slot_index));
+      break;
+  }
+}
+
+void SimFileSystem::write_data(const std::string& name, std::uint64_t offset, const void* buf,
+                               size_t len) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw std::runtime_error("SimFileSystem: no such file: " + name);
+  }
+  if (offset + len > kMaxFileBytes) {
+    throw std::invalid_argument("SimFileSystem: file would exceed " +
+                                std::to_string(kMaxFileBytes) + " bytes");
+  }
+  DirSlot& slot = slots_[it->second];
+  const char* src = static_cast<const char*>(buf);
+  std::uint64_t pos = offset;
+  size_t remaining = len;
+  while (remaining > 0) {
+    std::uint32_t bi = static_cast<std::uint32_t>(pos / kBlockSize);
+    std::uint32_t within = static_cast<std::uint32_t>(pos % kBlockSize);
+    size_t n = std::min<size_t>(remaining, kBlockSize - within);
+    if (slot.blocks[bi] == 0) {
+      slot.blocks[bi] = allocate_data_block();
+    }
+    device_->write(static_cast<std::uint64_t>(slot.blocks[bi]) * kBlockSize + within, src, n);
+    src += n;
+    pos += n;
+    remaining -= n;
+  }
+  slot.size = std::max<std::uint32_t>(slot.size, static_cast<std::uint32_t>(offset + len));
+  persist_slot(it->second, /*is_create_like=*/true, name);
+}
+
+size_t SimFileSystem::read_data(const std::string& name, std::uint64_t offset, void* buf,
+                                size_t len) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw std::runtime_error("SimFileSystem: no such file: " + name);
+  }
+  const DirSlot& slot = slots_[it->second];
+  if (offset >= slot.size) {
+    return 0;
+  }
+  len = std::min<std::uint64_t>(len, slot.size - offset);
+  char* dst = static_cast<char*>(buf);
+  std::uint64_t pos = offset;
+  size_t remaining = len;
+  while (remaining > 0) {
+    std::uint32_t bi = static_cast<std::uint32_t>(pos / kBlockSize);
+    std::uint32_t within = static_cast<std::uint32_t>(pos % kBlockSize);
+    size_t n = std::min<size_t>(remaining, kBlockSize - within);
+    if (slot.blocks[bi] == 0) {
+      std::memset(dst, 0, n);  // hole
+    } else {
+      device_->read(static_cast<std::uint64_t>(slot.blocks[bi]) * kBlockSize + within, dst, n);
+    }
+    dst += n;
+    pos += n;
+    remaining -= n;
+  }
+  return len;
+}
+
+std::uint64_t SimFileSystem::file_size(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw std::runtime_error("SimFileSystem: no such file: " + name);
+  }
+  return slots_[it->second].size;
+}
+
+void SimFileSystem::validate_name(const std::string& name) const {
+  if (name.empty() || name.size() > kMaxNameLen) {
+    throw std::invalid_argument("SimFileSystem: name length must be 1.." +
+                                std::to_string(kMaxNameLen));
+  }
+  if (name.find('/') != std::string::npos) {
+    throw std::invalid_argument("SimFileSystem: '/' not allowed (flat namespace)");
+  }
+}
+
+std::uint32_t SimFileSystem::block_of_slot(std::uint32_t slot) const {
+  return slot / (kBlockSize / kDirEntrySize);
+}
+
+void SimFileSystem::write_dir_block(std::uint32_t dir_block_index) {
+  const std::uint32_t entries_per_block = kBlockSize / kDirEntrySize;
+  std::uint64_t offset = static_cast<std::uint64_t>(1 + dir_block_index) * kBlockSize;
+  device_->write(offset, &slots_[dir_block_index * entries_per_block], kBlockSize);
+  ++stats_.metadata_block_writes;
+}
+
+void SimFileSystem::write_superblock() {
+  SuperBlock sb{kMagic, static_cast<std::uint32_t>(mode_), checkpoint_seq_,
+                static_cast<std::uint32_t>(files_.size())};
+  std::vector<char> block(kBlockSize, 0);
+  std::memcpy(block.data(), &sb, sizeof(sb));
+  device_->write(static_cast<std::uint64_t>(kSuperBlock) * kBlockSize, block.data(), kBlockSize);
+  ++stats_.metadata_block_writes;
+}
+
+void SimFileSystem::journal_append(bool is_upsert, std::uint32_t slot, const std::string& name) {
+  JournalRecord rec{};
+  rec.seq = journal_seq_++;
+  rec.is_upsert = is_upsert ? 1 : 0;
+  rec.slot = slot;
+  std::strncpy(rec.name, name.c_str(), kMaxNameLen);
+  if (is_upsert) {
+    std::memcpy(rec.payload, &slots_[slot], kDirEntrySize);
+  }
+
+  std::vector<char> block(kBlockSize, 0);
+  std::memcpy(block.data(), &rec, sizeof(rec));
+  std::uint64_t offset =
+      static_cast<std::uint64_t>(1 + kDirBlocks + journal_head_) * kBlockSize;
+  device_->write(offset, block.data(), kBlockSize);
+  ++stats_.journal_writes;
+
+  journal_head_ = (journal_head_ + 1) % kJournalBlocks;
+  if (journal_head_ == 0) {
+    // Ring full: checkpoint so older records may be overwritten safely.
+    checkpoint();
+  }
+}
+
+void SimFileSystem::checkpoint() {
+  for (std::uint32_t b = 0; b < kDirBlocks; ++b) {
+    write_dir_block(b);
+  }
+  dirty_dir_blocks_.assign(kDirBlocks, false);
+  checkpoint_seq_ = journal_seq_;
+  write_superblock();
+  ++stats_.checkpoints;
+}
+
+void SimFileSystem::create(const std::string& name) {
+  validate_name(name);
+  if (files_.count(name) != 0) {
+    throw std::runtime_error("SimFileSystem: file exists: " + name);
+  }
+  // First free slot.
+  std::uint32_t slot = kMaxFiles;
+  for (std::uint32_t i = 0; i < kMaxFiles; ++i) {
+    if (slots_[i].used == 0) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == kMaxFiles) {
+    throw std::runtime_error("SimFileSystem: directory full");
+  }
+
+  std::memset(&slots_[slot], 0, sizeof(DirSlot));
+  std::strncpy(slots_[slot].name, name.c_str(), kMaxNameLen);
+  slots_[slot].used = 1;
+  files_[name] = slot;
+  ++stats_.creates;
+  persist_slot(slot, /*is_create_like=*/true, name);
+}
+
+void SimFileSystem::remove(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw std::runtime_error("SimFileSystem: no such file: " + name);
+  }
+  std::uint32_t slot = it->second;
+  release_file_blocks(slots_[slot]);
+  slots_[slot] = DirSlot{};
+  files_.erase(it);
+  ++stats_.removes;
+  persist_slot(slot, /*is_create_like=*/false, name);
+}
+
+bool SimFileSystem::exists(const std::string& name) const { return files_.count(name) != 0; }
+
+std::vector<std::string> SimFileSystem::list() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, slot] : files_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void SimFileSystem::sync() {
+  for (std::uint32_t b = 0; b < kDirBlocks; ++b) {
+    if (dirty_dir_blocks_[b]) {
+      write_dir_block(b);
+    }
+  }
+  dirty_dir_blocks_.assign(kDirBlocks, false);
+  checkpoint_seq_ = journal_seq_;
+  write_superblock();
+  device_->flush();
+}
+
+void SimFileSystem::load_from_disk() {
+  files_.clear();
+  slots_.assign(kMaxFiles, DirSlot{});
+  dirty_dir_blocks_.assign(kDirBlocks, false);
+
+  std::vector<char> block(kBlockSize);
+  device_->read(static_cast<std::uint64_t>(kSuperBlock) * kBlockSize, block.data(), kBlockSize);
+  SuperBlock sb{};
+  std::memcpy(&sb, block.data(), sizeof(sb));
+  if (sb.magic != kMagic) {
+    throw std::runtime_error("SimFileSystem: bad superblock (not formatted?)");
+  }
+  checkpoint_seq_ = sb.checkpoint_seq;
+
+  const std::uint32_t entries_per_block = kBlockSize / kDirEntrySize;
+  for (std::uint32_t b = 0; b < kDirBlocks; ++b) {
+    device_->read(static_cast<std::uint64_t>(1 + b) * kBlockSize,
+                  &slots_[b * entries_per_block], kBlockSize);
+  }
+  for (std::uint32_t i = 0; i < kMaxFiles; ++i) {
+    if (slots_[i].used != 0) {
+      slots_[i].name[kMaxNameLen] = '\0';
+      files_[slots_[i].name] = i;
+    }
+  }
+  rebuild_allocator();
+}
+
+void SimFileSystem::rebuild_allocator() {
+  // Everything below the high-water mark that no live file references is
+  // free; the high-water mark is one past the largest referenced block.
+  std::set<std::uint32_t> used;
+  std::uint32_t high = kDataStartBlock;
+  for (std::uint32_t i = 0; i < kMaxFiles; ++i) {
+    if (slots_[i].used == 0) {
+      continue;
+    }
+    for (std::uint32_t block : slots_[i].blocks) {
+      if (block != 0) {
+        used.insert(block);
+        high = std::max(high, block + 1);
+      }
+    }
+  }
+  next_data_block_ = high;
+  free_data_blocks_.clear();
+  for (std::uint32_t b = kDataStartBlock; b < high; ++b) {
+    if (used.count(b) == 0) {
+      free_data_blocks_.push_back(b);
+    }
+  }
+}
+
+void SimFileSystem::replay_journal() {
+  // Collect valid records with seq >= checkpoint_seq_, then apply in order.
+  std::map<std::uint64_t, JournalRecord> records;
+  std::vector<char> block(kBlockSize);
+  for (std::uint32_t b = 0; b < kJournalBlocks; ++b) {
+    device_->read(static_cast<std::uint64_t>(1 + kDirBlocks + b) * kBlockSize, block.data(),
+                  kBlockSize);
+    JournalRecord rec{};
+    std::memcpy(&rec, block.data(), sizeof(rec));
+    if (rec.seq >= checkpoint_seq_ && rec.seq > 0) {
+      records[rec.seq] = rec;
+    }
+  }
+  for (auto& [seq, rec] : records) {
+    rec.name[kMaxNameLen] = '\0';
+    if (rec.slot >= kMaxFiles) {
+      continue;  // corrupt record
+    }
+    if (rec.is_upsert != 0) {
+      std::memcpy(&slots_[rec.slot], rec.payload, kDirEntrySize);
+      slots_[rec.slot].name[kMaxNameLen] = '\0';
+    } else {
+      slots_[rec.slot] = DirSlot{};
+    }
+    journal_seq_ = seq + 1;
+  }
+  // Rebuild the name index from the replayed slot table.
+  files_.clear();
+  for (std::uint32_t i = 0; i < kMaxFiles; ++i) {
+    if (slots_[i].used != 0) {
+      files_[slots_[i].name] = i;
+    }
+  }
+}
+
+void SimFileSystem::crash_and_recover() {
+  // All volatile state evaporates; on-disk contents (including any pending
+  // write-cache data, which SimDisk keeps coherent) survive.
+  load_from_disk();
+  journal_seq_ = std::max<std::uint64_t>(checkpoint_seq_, 1);
+  if (mode_ == DurabilityMode::kJournaled) {
+    replay_journal();
+  }
+  journal_head_ = static_cast<std::uint32_t>((journal_seq_ - 1) % kJournalBlocks);
+}
+
+}  // namespace lmb::simfs

@@ -1,0 +1,20 @@
+#include "src/sys/error.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace lmb::sys {
+
+SysError::SysError(const std::string& what, int err)
+    : std::runtime_error(what + ": " + std::strerror(err)), err_(err) {}
+
+void throw_errno(const std::string& what) { throw SysError(what, errno); }
+
+long check_syscall(long ret, const char* what) {
+  if (ret < 0) {
+    throw_errno(what);
+  }
+  return ret;
+}
+
+}  // namespace lmb::sys

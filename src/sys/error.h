@@ -1,0 +1,29 @@
+// Error handling for OS calls.
+#ifndef LMBENCHPP_SRC_SYS_ERROR_H_
+#define LMBENCHPP_SRC_SYS_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace lmb::sys {
+
+// Thrown when a system call fails; carries the errno.
+class SysError : public std::runtime_error {
+ public:
+  SysError(const std::string& what, int err);
+
+  int error_code() const { return err_; }
+
+ private:
+  int err_;
+};
+
+// Throws SysError built from the current errno.
+[[noreturn]] void throw_errno(const std::string& what);
+
+// Returns `ret` unchanged if >= 0, else throws SysError for `what`.
+long check_syscall(long ret, const char* what);
+
+}  // namespace lmb::sys
+
+#endif  // LMBENCHPP_SRC_SYS_ERROR_H_

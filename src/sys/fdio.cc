@@ -1,0 +1,102 @@
+#include "src/sys/fdio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+#include "src/sys/error.h"
+
+namespace lmb::sys {
+
+void write_full(int fd, const void* buf, size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("write");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void read_full(int fd, void* buf, size_t len) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    ssize_t n = ::read(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("read");
+    }
+    if (n == 0) {
+      throw std::runtime_error("read_full: unexpected EOF");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+size_t read_some(int fd, void* buf, size_t len) {
+  while (true) {
+    ssize_t n = ::read(fd, buf, len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("read");
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+UniqueFd open_read(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw_errno("open " + path);
+  }
+  return UniqueFd(fd);
+}
+
+UniqueFd open_write(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw_errno("open " + path);
+  }
+  return UniqueFd(fd);
+}
+
+UniqueFd open_rw_create(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    throw_errno("open " + path);
+  }
+  return UniqueFd(fd);
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  UniqueFd fd = open_write(path);
+  write_full(fd.get(), content.data(), content.size());
+}
+
+std::string read_file(const std::string& path) {
+  UniqueFd fd = open_read(path);
+  std::string out;
+  char buf[65536];
+  while (true) {
+    size_t n = read_some(fd.get(), buf, sizeof(buf));
+    if (n == 0) {
+      break;
+    }
+    out.append(buf, n);
+  }
+  return out;
+}
+
+}  // namespace lmb::sys

@@ -1,0 +1,39 @@
+// Full-buffer read/write helpers over raw fds.
+//
+// Partial transfers are the norm for pipes and sockets; every benchmark that
+// streams data needs exact-count semantics, so we centralize the retry loops.
+#ifndef LMBENCHPP_SRC_SYS_FDIO_H_
+#define LMBENCHPP_SRC_SYS_FDIO_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/sys/unique_fd.h"
+
+namespace lmb::sys {
+
+// Writes exactly `len` bytes; throws SysError on failure (including EPIPE).
+void write_full(int fd, const void* buf, size_t len);
+
+// Reads exactly `len` bytes; throws SysError on failure and
+// std::runtime_error on premature EOF.
+void read_full(int fd, void* buf, size_t len);
+
+// Reads up to `len` bytes (one read call, retried on EINTR).  Returns bytes
+// read; 0 means EOF.
+size_t read_some(int fd, void* buf, size_t len);
+
+// open(2) wrappers that throw on failure.
+UniqueFd open_read(const std::string& path);
+UniqueFd open_write(const std::string& path);  // O_WRONLY|O_CREAT|O_TRUNC, 0644
+UniqueFd open_rw_create(const std::string& path);
+
+// Writes `content` to a new file at `path` (create/truncate).
+void write_file(const std::string& path, const std::string& content);
+
+// Reads a whole file into a string; throws on failure.
+std::string read_file(const std::string& path);
+
+}  // namespace lmb::sys
+
+#endif  // LMBENCHPP_SRC_SYS_FDIO_H_

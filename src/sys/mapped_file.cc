@@ -1,0 +1,102 @@
+#include "src/sys/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/sys/error.h"
+#include "src/sys/fdio.h"
+#include "src/sys/unique_fd.h"
+
+namespace lmb::sys {
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) {
+      ::munmap(addr_, size_);
+    }
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr) {
+    ::munmap(addr_, size_);
+  }
+}
+
+MappedFile MappedFile::open_read(const std::string& path) {
+  UniqueFd fd = sys::open_read(path);
+  off_t end = ::lseek(fd.get(), 0, SEEK_END);
+  if (end < 0) {
+    throw_errno("lseek");
+  }
+  if (end == 0) {
+    throw std::invalid_argument("MappedFile::open_read: empty file " + path);
+  }
+  void* addr = ::mmap(nullptr, static_cast<size_t>(end), PROT_READ, MAP_SHARED, fd.get(), 0);
+  if (addr == MAP_FAILED) {
+    throw_errno("mmap " + path);
+  }
+  return MappedFile(addr, static_cast<size_t>(end));
+}
+
+MappedFile MappedFile::create_rw(const std::string& path, size_t size) {
+  if (size == 0) {
+    throw std::invalid_argument("MappedFile::create_rw: zero size");
+  }
+  UniqueFd fd = open_rw_create(path);
+  check_syscall(::ftruncate(fd.get(), static_cast<off_t>(size)), "ftruncate");
+  void* addr = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd.get(), 0);
+  if (addr == MAP_FAILED) {
+    throw_errno("mmap " + path);
+  }
+  return MappedFile(addr, size);
+}
+
+void MappedFile::sync() {
+  if (addr_ != nullptr) {
+    check_syscall(::msync(addr_, size_, MS_SYNC), "msync");
+  }
+}
+
+AnonMapping::AnonMapping(size_t size) : size_(size) {
+  if (size == 0) {
+    throw std::invalid_argument("AnonMapping: zero size");
+  }
+  addr_ = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (addr_ == MAP_FAILED) {
+    addr_ = nullptr;
+    throw_errno("mmap anonymous");
+  }
+}
+
+AnonMapping::AnonMapping(AnonMapping&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+AnonMapping& AnonMapping::operator=(AnonMapping&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) {
+      ::munmap(addr_, size_);
+    }
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+AnonMapping::~AnonMapping() {
+  if (addr_ != nullptr) {
+    ::munmap(addr_, size_);
+  }
+}
+
+}  // namespace lmb::sys

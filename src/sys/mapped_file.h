@@ -1,0 +1,65 @@
+// mmap(2) wrappers for the mmap bandwidth benchmark and page-fault latency.
+#ifndef LMBENCHPP_SRC_SYS_MAPPED_FILE_H_
+#define LMBENCHPP_SRC_SYS_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace lmb::sys {
+
+// A read-only (or read-write) file mapping.  Move-only; unmaps on destroy.
+class MappedFile {
+ public:
+  MappedFile() = default;
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  ~MappedFile();
+
+  // Maps an existing file read-only (PROT_READ, MAP_SHARED).
+  static MappedFile open_read(const std::string& path);
+
+  // Creates/extends `path` to `size` bytes and maps it read-write.
+  static MappedFile create_rw(const std::string& path, size_t size);
+
+  const char* data() const { return static_cast<const char*>(addr_); }
+  char* mutable_data() { return static_cast<char*>(addr_); }
+  size_t size() const { return size_; }
+  bool valid() const { return addr_ != nullptr; }
+
+  // msync(MS_SYNC) the whole mapping.
+  void sync();
+
+ private:
+  MappedFile(void* addr, size_t size) : addr_(addr), size_(size) {}
+
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+// An anonymous private mapping (benchmark scratch memory, guaranteed
+// page-aligned and untouched-by-malloc).
+class AnonMapping {
+ public:
+  explicit AnonMapping(size_t size);
+
+  AnonMapping(const AnonMapping&) = delete;
+  AnonMapping& operator=(const AnonMapping&) = delete;
+  AnonMapping(AnonMapping&& other) noexcept;
+  AnonMapping& operator=(AnonMapping&& other) noexcept;
+  ~AnonMapping();
+
+  char* data() { return static_cast<char*>(addr_); }
+  const char* data() const { return static_cast<const char*>(addr_); }
+  size_t size() const { return size_; }
+
+ private:
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace lmb::sys
+
+#endif  // LMBENCHPP_SRC_SYS_MAPPED_FILE_H_

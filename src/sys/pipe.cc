@@ -1,0 +1,24 @@
+#include "src/sys/pipe.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/sys/error.h"
+
+namespace lmb::sys {
+
+Pipe::Pipe() {
+  int fds[2];
+  check_syscall(::pipe(fds), "pipe");
+  read_.reset(fds[0]);
+  write_.reset(fds[1]);
+}
+
+SocketPair::SocketPair() {
+  int fds[2];
+  check_syscall(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), "socketpair");
+  a_.reset(fds[0]);
+  b_.reset(fds[1]);
+}
+
+}  // namespace lmb::sys

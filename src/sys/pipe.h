@@ -1,0 +1,48 @@
+// Unix pipes and AF_UNIX socket pairs.
+#ifndef LMBENCHPP_SRC_SYS_PIPE_H_
+#define LMBENCHPP_SRC_SYS_PIPE_H_
+
+#include "src/sys/unique_fd.h"
+
+namespace lmb::sys {
+
+// A one-way byte stream (paper §5.2): read end + write end.
+class Pipe {
+ public:
+  // Creates the pipe; throws SysError on failure.
+  Pipe();
+
+  int read_fd() const { return read_.get(); }
+  int write_fd() const { return write_.get(); }
+
+  // Drops one end (used after fork so each process holds only its side).
+  void close_read() { read_.reset(); }
+  void close_write() { write_.reset(); }
+
+  UniqueFd take_read() { return std::move(read_); }
+  UniqueFd take_write() { return std::move(write_); }
+
+ private:
+  UniqueFd read_;
+  UniqueFd write_;
+};
+
+// A connected AF_UNIX stream pair (bidirectional).
+class SocketPair {
+ public:
+  SocketPair();
+
+  int first() const { return a_.get(); }
+  int second() const { return b_.get(); }
+
+  void close_first() { a_.reset(); }
+  void close_second() { b_.reset(); }
+
+ private:
+  UniqueFd a_;
+  UniqueFd b_;
+};
+
+}  // namespace lmb::sys
+
+#endif  // LMBENCHPP_SRC_SYS_PIPE_H_

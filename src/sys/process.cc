@@ -1,0 +1,146 @@
+#include "src/sys/process.h"
+
+#include <fcntl.h>
+#include <limits.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "src/sys/error.h"
+
+namespace lmb::sys {
+
+namespace {
+
+void redirect_output_to_devnull() {
+  int devnull = ::open("/dev/null", O_WRONLY);
+  if (devnull >= 0) {
+    ::dup2(devnull, STDOUT_FILENO);
+    ::dup2(devnull, STDERR_FILENO);
+    if (devnull > STDERR_FILENO) {
+      ::close(devnull);
+    }
+  }
+}
+
+}  // namespace
+
+Child::Child(Child&& other) noexcept : pid_(other.pid_), waited_(other.waited_) {
+  other.pid_ = -1;
+  other.waited_ = true;
+}
+
+Child& Child::operator=(Child&& other) noexcept {
+  if (this != &other) {
+    if (valid() && !waited_) {
+      ::waitpid(pid_, nullptr, 0);
+    }
+    pid_ = other.pid_;
+    waited_ = other.waited_;
+    other.pid_ = -1;
+    other.waited_ = true;
+  }
+  return *this;
+}
+
+Child::~Child() {
+  if (valid() && !waited_) {
+    ::waitpid(pid_, nullptr, 0);
+  }
+}
+
+int Child::wait() {
+  if (!valid() || waited_) {
+    throw std::logic_error("Child::wait: no child to wait for");
+  }
+  int status = 0;
+  while (true) {
+    pid_t r = ::waitpid(pid_, &status, 0);
+    if (r == pid_) {
+      break;
+    }
+    if (errno != EINTR) {
+      throw_errno("waitpid");
+    }
+  }
+  waited_ = true;
+  if (WIFEXITED(status)) {
+    return WEXITSTATUS(status);
+  }
+  if (WIFSIGNALED(status)) {
+    return 128 + WTERMSIG(status);
+  }
+  return -1;
+}
+
+void Child::kill(int signo) {
+  if (!valid()) {
+    throw std::logic_error("Child::kill: no child");
+  }
+  check_syscall(::kill(pid_, signo), "kill");
+}
+
+Child fork_child(const std::function<int()>& body) {
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    throw_errno("fork");
+  }
+  if (pid == 0) {
+    _exit(body());
+  }
+  return Child(pid);
+}
+
+Child spawn(const std::vector<std::string>& argv, bool quiet) {
+  if (argv.empty()) {
+    throw std::invalid_argument("spawn: empty argv");
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    throw_errno("fork");
+  }
+  if (pid == 0) {
+    if (quiet) {
+      redirect_output_to_devnull();
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& a : argv) {
+      cargv.push_back(const_cast<char*>(a.c_str()));
+    }
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    _exit(127);
+  }
+  return Child(pid);
+}
+
+Child spawn_shell(const std::string& command, bool quiet) {
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    throw_errno("fork");
+  }
+  if (pid == 0) {
+    if (quiet) {
+      redirect_output_to_devnull();
+    }
+    ::execl("/bin/sh", "sh", "-c", command.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  return Child(pid);
+}
+
+std::string self_exe_path() {
+  char buf[PATH_MAX];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n < 0) {
+    throw_errno("readlink /proc/self/exe");
+  }
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+}  // namespace lmb::sys

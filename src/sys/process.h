@@ -1,0 +1,60 @@
+// Process creation and reaping (paper §6.5).
+#ifndef LMBENCHPP_SRC_SYS_PROCESS_H_
+#define LMBENCHPP_SRC_SYS_PROCESS_H_
+
+#include <sys/types.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lmb::sys {
+
+// A forked or spawned child.  Move-only; the destructor reaps (waits for)
+// the child if it has not been waited on, so children never leak as zombies.
+class Child {
+ public:
+  Child() = default;
+  explicit Child(pid_t pid) : pid_(pid) {}
+
+  Child(const Child&) = delete;
+  Child& operator=(const Child&) = delete;
+  Child(Child&& other) noexcept;
+  Child& operator=(Child&& other) noexcept;
+  ~Child();
+
+  pid_t pid() const { return pid_; }
+  bool valid() const { return pid_ > 0; }
+
+  // Blocks until the child exits; returns its exit status (0-255), or
+  // 128+signal when killed by a signal.  Throws SysError on wait failure.
+  int wait();
+
+  // Sends a signal to the child.
+  void kill(int signo);
+
+ private:
+  pid_t pid_ = -1;
+  bool waited_ = false;
+};
+
+// fork()s; the child runs `body` and exits with its return value.  The
+// parent gets the Child handle.  `body` must not throw.
+Child fork_child(const std::function<int()>& body);
+
+// fork() + execve() of argv[0] with the given argument vector.  Throws
+// SysError if fork fails; the child _exits(127) if exec fails.
+// When `quiet` is set, the child's stdout/stderr go to /dev/null.
+Child spawn(const std::vector<std::string>& argv, bool quiet = false);
+
+// fork() + execl("/bin/sh", "sh", "-c", command) — the expensive
+// "Complicated new process creation" case of Table 9.
+Child spawn_shell(const std::string& command, bool quiet = false);
+
+// Path to this executable (/proc/self/exe); used by the process-creation
+// benchmarks to re-exec a tiny "hello" mode.
+std::string self_exe_path();
+
+}  // namespace lmb::sys
+
+#endif  // LMBENCHPP_SRC_SYS_PROCESS_H_

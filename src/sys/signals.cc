@@ -1,0 +1,29 @@
+#include "src/sys/signals.h"
+
+#include <string.h>
+
+#include "src/sys/error.h"
+
+namespace lmb::sys {
+
+SignalHandlerGuard::SignalHandlerGuard(int signo, SignalHandler handler) : signo_(signo) {
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = handler;
+  sigemptyset(&sa.sa_mask);
+  check_syscall(::sigaction(signo, &sa, &previous_), "sigaction");
+}
+
+SignalHandlerGuard::~SignalHandlerGuard() { ::sigaction(signo_, &previous_, nullptr); }
+
+void install_handler(int signo, SignalHandler handler) {
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = handler;
+  sigemptyset(&sa.sa_mask);
+  check_syscall(::sigaction(signo, &sa, nullptr), "sigaction");
+}
+
+void raise_signal(int signo) { check_syscall(::raise(signo), "raise"); }
+
+}  // namespace lmb::sys

@@ -1,0 +1,38 @@
+// Signal-handler installation helpers (paper §6.4).
+#ifndef LMBENCHPP_SRC_SYS_SIGNALS_H_
+#define LMBENCHPP_SRC_SYS_SIGNALS_H_
+
+#include <signal.h>
+
+namespace lmb::sys {
+
+using SignalHandler = void (*)(int);
+
+// Installs `handler` for `signo` via sigaction and restores the previous
+// disposition on destruction.
+class SignalHandlerGuard {
+ public:
+  SignalHandlerGuard(int signo, SignalHandler handler);
+
+  SignalHandlerGuard(const SignalHandlerGuard&) = delete;
+  SignalHandlerGuard& operator=(const SignalHandlerGuard&) = delete;
+
+  ~SignalHandlerGuard();
+
+  int signo() const { return signo_; }
+
+ private:
+  int signo_;
+  struct sigaction previous_;
+};
+
+// Installs `handler` for `signo`; returns nothing but throws SysError on
+// failure.  (The raw operation, used inside the sigaction-latency loop.)
+void install_handler(int signo, SignalHandler handler);
+
+// Raise `signo` in this process (the signal-catch benchmark's generator).
+void raise_signal(int signo);
+
+}  // namespace lmb::sys
+
+#endif  // LMBENCHPP_SRC_SYS_SIGNALS_H_

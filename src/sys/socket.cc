@@ -1,0 +1,143 @@
+#include "src/sys/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+#include "src/sys/error.h"
+#include "src/sys/fdio.h"
+
+namespace lmb::sys {
+
+namespace {
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  check_syscall(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), "getsockname");
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+TcpStream TcpStream::connect(std::uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) {
+    throw_errno("socket");
+  }
+  sockaddr_in addr = loopback_addr(port);
+  check_syscall(::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), "connect");
+  return TcpStream(std::move(fd));
+}
+
+void TcpStream::set_nodelay(bool on) {
+  int v = on ? 1 : 0;
+  check_syscall(::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)),
+                "setsockopt TCP_NODELAY");
+}
+
+void TcpStream::set_buffer_sizes(int bytes) {
+  check_syscall(::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)),
+                "setsockopt SO_SNDBUF");
+  check_syscall(::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)),
+                "setsockopt SO_RCVBUF");
+}
+
+void TcpStream::send_all(const void* buf, size_t len) { write_full(fd_.get(), buf, len); }
+
+void TcpStream::recv_all(void* buf, size_t len) { read_full(fd_.get(), buf, len); }
+
+size_t TcpStream::recv_some(void* buf, size_t len) { return read_some(fd_.get(), buf, len); }
+
+void TcpStream::shutdown_write() { check_syscall(::shutdown(fd_.get(), SHUT_WR), "shutdown"); }
+
+TcpListener::TcpListener(int backlog) {
+  fd_.reset(static_cast<int>(check_syscall(::socket(AF_INET, SOCK_STREAM, 0), "socket")));
+  int one = 1;
+  check_syscall(::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)),
+                "setsockopt SO_REUSEADDR");
+  sockaddr_in addr = loopback_addr(0);
+  check_syscall(::bind(fd_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), "bind");
+  check_syscall(::listen(fd_.get(), backlog), "listen");
+  port_ = bound_port(fd_.get());
+}
+
+TcpStream TcpListener::accept() {
+  while (true) {
+    int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      return TcpStream(UniqueFd(fd));
+    }
+    if (errno != EINTR) {
+      throw_errno("accept");
+    }
+  }
+}
+
+UdpSocket::UdpSocket() {
+  fd_.reset(static_cast<int>(check_syscall(::socket(AF_INET, SOCK_DGRAM, 0), "socket")));
+  sockaddr_in addr = loopback_addr(0);
+  check_syscall(::bind(fd_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), "bind");
+  port_ = bound_port(fd_.get());
+}
+
+void UdpSocket::connect_to(std::uint16_t port) {
+  sockaddr_in addr = loopback_addr(port);
+  check_syscall(::connect(fd_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), "connect");
+}
+
+void UdpSocket::send(const void* buf, size_t len) {
+  check_syscall(::send(fd_.get(), buf, len, 0), "send");
+}
+
+size_t UdpSocket::recv(void* buf, size_t len) {
+  while (true) {
+    ssize_t n = ::recv(fd_.get(), buf, len, 0);
+    if (n >= 0) {
+      return static_cast<size_t>(n);
+    }
+    if (errno != EINTR) {
+      throw_errno("recv");
+    }
+  }
+}
+
+void UdpSocket::send_to(std::uint16_t port, const void* buf, size_t len) {
+  sockaddr_in addr = loopback_addr(port);
+  check_syscall(
+      ::sendto(fd_.get(), buf, len, 0, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+      "sendto");
+}
+
+size_t UdpSocket::recv_from(void* buf, size_t len, std::uint16_t* from_port) {
+  sockaddr_in addr;
+  socklen_t alen = sizeof(addr);
+  while (true) {
+    ssize_t n = ::recvfrom(fd_.get(), buf, len, 0, reinterpret_cast<sockaddr*>(&addr), &alen);
+    if (n >= 0) {
+      if (from_port != nullptr) {
+        *from_port = ntohs(addr.sin_port);
+      }
+      return static_cast<size_t>(n);
+    }
+    if (errno != EINTR) {
+      throw_errno("recvfrom");
+    }
+  }
+}
+
+}  // namespace lmb::sys

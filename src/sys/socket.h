@@ -1,0 +1,88 @@
+// TCP and UDP sockets over IPv4 loopback.
+//
+// The paper's TCP/UDP benchmarks all run in loopback mode (§5.2: "both ends
+// of the socket are on the same machine"), so this API binds to 127.0.0.1
+// with ephemeral ports and reports the port chosen.
+#ifndef LMBENCHPP_SRC_SYS_SOCKET_H_
+#define LMBENCHPP_SRC_SYS_SOCKET_H_
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/sys/unique_fd.h"
+
+namespace lmb::sys {
+
+// A connected TCP stream.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  // Connects to 127.0.0.1:port; throws on failure.
+  static TcpStream connect(std::uint16_t port);
+
+  int fd() const { return fd_.get(); }
+  bool valid() const { return fd_.valid(); }
+
+  // Disables Nagle (latency benchmarks need immediate sends).
+  void set_nodelay(bool on);
+  // Sets SO_SNDBUF / SO_RCVBUF (paper enlarges both to 1M for bandwidth).
+  void set_buffer_sizes(int bytes);
+
+  void send_all(const void* buf, size_t len);
+  void recv_all(void* buf, size_t len);
+  // One recv; returns 0 on orderly shutdown.
+  size_t recv_some(void* buf, size_t len);
+
+  void shutdown_write();
+
+ private:
+  UniqueFd fd_;
+};
+
+// A listening TCP socket on 127.0.0.1 with an ephemeral port.
+class TcpListener {
+ public:
+  // `backlog` as for listen(2).
+  explicit TcpListener(int backlog = 16);
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_.get(); }
+
+  // Blocks until a connection arrives.
+  TcpStream accept();
+
+ private:
+  UniqueFd fd_;
+  std::uint16_t port_ = 0;
+};
+
+// A UDP socket bound to 127.0.0.1 with an ephemeral port.
+class UdpSocket {
+ public:
+  UdpSocket();
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_.get(); }
+
+  // Fixes the peer so plain send/recv work.
+  void connect_to(std::uint16_t port);
+
+  void send(const void* buf, size_t len);
+  size_t recv(void* buf, size_t len);
+
+  void send_to(std::uint16_t port, const void* buf, size_t len);
+  // Receives one datagram; fills `from_port` when non-null.
+  size_t recv_from(void* buf, size_t len, std::uint16_t* from_port);
+
+ private:
+  UniqueFd fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace lmb::sys
+
+#endif  // LMBENCHPP_SRC_SYS_SOCKET_H_

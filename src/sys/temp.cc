@@ -1,0 +1,66 @@
+#include "src/sys/temp.h"
+
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "src/sys/error.h"
+#include "src/sys/fdio.h"
+#include "src/sys/unique_fd.h"
+
+namespace lmb::sys {
+
+TempDir::TempDir(const std::string& prefix) {
+  const char* base = ::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") + "/" + prefix + ".XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    throw_errno("mkdtemp " + tmpl);
+  }
+  path_ = buf.data();
+}
+
+TempDir::TempDir(TempDir&& other) noexcept : path_(std::exchange(other.path_, std::string())) {}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    remove_all();
+    path_ = std::exchange(other.path_, std::string());
+  }
+  return *this;
+}
+
+TempDir::~TempDir() { remove_all(); }
+
+void TempDir::remove_all() noexcept {
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort
+    path_.clear();
+  }
+}
+
+std::string TempDir::file(const std::string& name) const { return path_ + "/" + name; }
+
+TempFile::TempFile(const TempDir& dir, const std::string& name, size_t size)
+    : path_(dir.file(name)), size_(size) {
+  UniqueFd fd = open_write(path_);
+  // 64 KB pattern block; contents vary so page dedup can't cheat.
+  std::vector<char> block(65536);
+  for (size_t i = 0; i < block.size(); ++i) {
+    block[i] = static_cast<char>((i * 37 + 11) & 0xff);
+  }
+  size_t remaining = size;
+  while (remaining > 0) {
+    size_t n = std::min(remaining, block.size());
+    write_full(fd.get(), block.data(), n);
+    remaining -= n;
+  }
+}
+
+}  // namespace lmb::sys

@@ -1,0 +1,48 @@
+// Temporary files and directories, removed on destruction.
+#ifndef LMBENCHPP_SRC_SYS_TEMP_H_
+#define LMBENCHPP_SRC_SYS_TEMP_H_
+
+#include <string>
+
+namespace lmb::sys {
+
+// A mkdtemp()-created directory, recursively removed on destruction.
+class TempDir {
+ public:
+  // `prefix` names the directory under $TMPDIR (default /tmp).
+  explicit TempDir(const std::string& prefix = "lmb");
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+  ~TempDir();
+
+  const std::string& path() const { return path_; }
+
+  // path()/name
+  std::string file(const std::string& name) const;
+
+ private:
+  void remove_all() noexcept;
+
+  std::string path_;
+};
+
+// A temporary file of a given size filled with a repeating pattern (the file
+// benchmarks need real data of known content).
+class TempFile {
+ public:
+  TempFile(const TempDir& dir, const std::string& name, size_t size);
+
+  const std::string& path() const { return path_; }
+  size_t size() const { return size_; }
+
+ private:
+  std::string path_;
+  size_t size_;
+};
+
+}  // namespace lmb::sys
+
+#endif  // LMBENCHPP_SRC_SYS_TEMP_H_

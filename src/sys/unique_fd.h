@@ -1,0 +1,50 @@
+// Move-only owner of a POSIX file descriptor.
+#ifndef LMBENCHPP_SRC_SYS_UNIQUE_FD_H_
+#define LMBENCHPP_SRC_SYS_UNIQUE_FD_H_
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace lmb::sys {
+
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset(std::exchange(other.fd_, -1));
+    }
+    return *this;
+  }
+
+  ~UniqueFd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  // Closes the current fd (if any) and takes ownership of `fd`.
+  void reset(int fd = -1) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = fd;
+  }
+
+  // Releases ownership without closing.
+  int release() { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace lmb::sys
+
+#endif  // LMBENCHPP_SRC_SYS_UNIQUE_FD_H_

@@ -1,0 +1,61 @@
+#include "src/bw/bw_file.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sys/temp.h"
+
+namespace lmb::bw {
+namespace {
+
+FileBwConfig tiny() {
+  FileBwConfig cfg;
+  cfg.file_bytes = 1u << 20;
+  cfg.buffer_bytes = 64u << 10;
+  cfg.policy = TimingPolicy::quick();
+  return cfg;
+}
+
+TEST(BwFileTest, ReadRereadIsPositive) {
+  FileBwResult r = measure_file_read_bw(tiny());
+  EXPECT_GT(r.mb_per_sec, 1.0);
+  EXPECT_EQ(r.file_bytes, 1u << 20);
+}
+
+TEST(BwFileTest, MmapRereadIsPositive) {
+  FileBwResult r = measure_mmap_read_bw(tiny());
+  EXPECT_GT(r.mb_per_sec, 1.0);
+}
+
+TEST(BwFileTest, HonorsCallerDirectory) {
+  sys::TempDir dir("lmb_bwtest");
+  FileBwConfig cfg = tiny();
+  cfg.dir = dir.path();
+  FileBwResult r = measure_file_read_bw(cfg);
+  EXPECT_GT(r.mb_per_sec, 0.0);
+}
+
+TEST(BwFileTest, ConfigValidation) {
+  FileBwConfig bad = tiny();
+  bad.file_bytes = 1024;  // < 4K
+  EXPECT_THROW(measure_file_read_bw(bad), std::invalid_argument);
+  bad = tiny();
+  bad.buffer_bytes = 100;  // < 256
+  EXPECT_THROW(measure_file_read_bw(bad), std::invalid_argument);
+  bad = tiny();
+  bad.file_bytes = (1u << 20) + 5000;  // not a multiple of the buffer
+  EXPECT_THROW(measure_mmap_read_bw(bad), std::invalid_argument);
+}
+
+// §5.3's expectation: mmap reread avoids the copy, so for large files it
+// should not be dramatically slower than read reread; both must be within
+// 100x of each other (very loose: this is a structural check, not a perf
+// assertion on a noisy CI box).
+TEST(BwFileTest, ReadAndMmapWithinTwoOrdersOfMagnitude) {
+  FileBwResult rd = measure_file_read_bw(tiny());
+  FileBwResult mm = measure_mmap_read_bw(tiny());
+  EXPECT_LT(rd.mb_per_sec / mm.mb_per_sec, 100.0);
+  EXPECT_LT(mm.mb_per_sec / rd.mb_per_sec, 100.0);
+}
+
+}  // namespace
+}  // namespace lmb::bw

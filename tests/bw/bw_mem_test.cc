@@ -1,0 +1,86 @@
+#include "src/bw/bw_mem.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::bw {
+namespace {
+
+MemBwConfig tiny_config(size_t bytes = 1 << 20) {
+  MemBwConfig cfg;
+  cfg.bytes = bytes;
+  cfg.policy = TimingPolicy::quick();
+  return cfg;
+}
+
+TEST(BwMemTest, AllOperationsProducePositiveBandwidth) {
+  for (MemOp op : {MemOp::kCopyLibc, MemOp::kCopyUnrolled, MemOp::kReadSum, MemOp::kWrite}) {
+    MemBwResult r = measure_mem_bw(op, tiny_config());
+    EXPECT_GT(r.mb_per_sec, 10.0) << mem_op_name(op);  // > 10 MB/s on anything
+    EXPECT_LT(r.mb_per_sec, 1e7) << mem_op_name(op);   // < 10 TB/s sanity
+    EXPECT_EQ(r.bytes, 1u << 20);
+  }
+}
+
+TEST(BwMemTest, MeasureAllReturnsFourRows) {
+  auto rows = measure_mem_bw_all(tiny_config(256 * 1024));
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].op, MemOp::kCopyLibc);
+  EXPECT_EQ(rows[3].op, MemOp::kWrite);
+}
+
+TEST(BwMemTest, TooSmallBufferRejected) {
+  MemBwConfig cfg;
+  cfg.bytes = 64;
+  EXPECT_THROW(measure_mem_bw(MemOp::kReadSum, cfg), std::invalid_argument);
+}
+
+TEST(BwMemTest, SweepCoversPowerOfTwoSizes) {
+  auto points = sweep_mem_bw(MemOp::kReadSum, 64 * 1024, 512 * 1024, TimingPolicy::quick());
+  ASSERT_EQ(points.size(), 4u);  // 64K, 128K, 256K, 512K
+  EXPECT_EQ(points[0].bytes, 64u * 1024);
+  EXPECT_EQ(points[3].bytes, 512u * 1024);
+  for (const auto& p : points) {
+    EXPECT_GT(p.mb_per_sec, 0.0);
+  }
+}
+
+TEST(BwMemTest, SweepRejectsBadRange) {
+  EXPECT_THROW(sweep_mem_bw(MemOp::kReadSum, 0, 1024), std::invalid_argument);
+  EXPECT_THROW(sweep_mem_bw(MemOp::kReadSum, 2048, 1024), std::invalid_argument);
+}
+
+TEST(BwMemTest, OpNamesAreStable) {
+  EXPECT_STREQ(mem_op_name(MemOp::kCopyLibc), "bcopy_libc");
+  EXPECT_STREQ(mem_op_name(MemOp::kCopyUnrolled), "bcopy_unrolled");
+  EXPECT_STREQ(mem_op_name(MemOp::kReadSum), "read");
+  EXPECT_STREQ(mem_op_name(MemOp::kWrite), "write");
+}
+
+// The paper's cache-vs-memory effect: a cache-resident buffer must be at
+// least as fast as a much larger one (allowing generous noise).
+TEST(BwMemTest, CacheResidentIsNotSlowerThanMemoryResident) {
+  MemBwResult small = measure_mem_bw(MemOp::kReadSum, tiny_config(32 * 1024));
+  MemBwResult large = measure_mem_bw(MemOp::kReadSum, tiny_config(16 << 20));
+  EXPECT_GT(small.mb_per_sec, large.mb_per_sec * 0.7);
+}
+
+}  // namespace
+}  // namespace lmb::bw
+
+namespace lmb::bw {
+namespace {
+
+TEST(BwMemTest, ExtendedOpsProducePositiveBandwidth) {
+  MemBwConfig cfg;
+  cfg.bytes = 1 << 20;
+  cfg.policy = TimingPolicy::quick();
+  for (MemOp op : {MemOp::kBzero, MemOp::kReadWrite}) {
+    MemBwResult r = measure_mem_bw(op, cfg);
+    EXPECT_GT(r.mb_per_sec, 10.0) << mem_op_name(op);
+  }
+  EXPECT_STREQ(mem_op_name(MemOp::kBzero), "bzero");
+  EXPECT_STREQ(mem_op_name(MemOp::kReadWrite), "rdwr");
+}
+
+}  // namespace
+}  // namespace lmb::bw

@@ -1,0 +1,98 @@
+#include "src/bw/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace lmb::bw {
+namespace {
+
+std::vector<std::uint64_t> random_words(size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& w : v) {
+    w = rng();
+  }
+  return v;
+}
+
+TEST(KernelsTest, CopyLibcMatchesMemcpySemantics) {
+  auto src = random_words(256, 1);
+  std::vector<std::uint64_t> dst(256, 0);
+  copy_libc(dst.data(), src.data(), 256);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(KernelsTest, CopyUnrolledCopiesExactly) {
+  auto src = random_words(1024, 2);
+  std::vector<std::uint64_t> dst(1024, 0);
+  copy_unrolled(dst.data(), src.data(), 1024);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(KernelsTest, CopyUnrolledRejectsUnalignedCount) {
+  std::vector<std::uint64_t> buf(64);
+  EXPECT_THROW(copy_unrolled(buf.data(), buf.data() + 1, 33), std::invalid_argument);
+  EXPECT_THROW(read_sum_unrolled(buf.data(), 7), std::invalid_argument);
+  EXPECT_THROW(write_unrolled(buf.data(), 31, 0), std::invalid_argument);
+}
+
+TEST(KernelsTest, ReadSumMatchesAccumulate) {
+  auto v = random_words(2048, 3);
+  std::uint64_t expected = std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  EXPECT_EQ(read_sum_unrolled(v.data(), v.size()), expected);
+}
+
+TEST(KernelsTest, WriteFillsEveryWord) {
+  std::vector<std::uint64_t> v(512, 0);
+  write_unrolled(v.data(), v.size(), 0xdeadbeefcafef00dull);
+  for (auto w : v) {
+    EXPECT_EQ(w, 0xdeadbeefcafef00dull);
+  }
+}
+
+// Property: all three kernels agree with their naive equivalents across a
+// range of sizes (multiples of the unroll factor).
+class KernelPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KernelPropertyTest, KernelsMatchNaiveImplementations) {
+  size_t words = GetParam();
+  auto src = random_words(words, static_cast<unsigned>(words));
+  std::vector<std::uint64_t> dst(words, 0);
+
+  copy_unrolled(dst.data(), src.data(), words);
+  EXPECT_EQ(dst, src);
+
+  std::uint64_t expected = std::accumulate(src.begin(), src.end(), std::uint64_t{0});
+  EXPECT_EQ(read_sum_unrolled(src.data(), words), expected);
+
+  write_unrolled(dst.data(), words, words);
+  EXPECT_TRUE(std::all_of(dst.begin(), dst.end(),
+                          [&](std::uint64_t w) { return w == words; }));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KernelPropertyTest,
+                         ::testing::Values<size_t>(32, 64, 96, 128, 1024, 4096, 32768));
+
+}  // namespace
+}  // namespace lmb::bw
+
+namespace lmb::bw {
+namespace {
+
+TEST(KernelsTest, ReadWriteAddsDeltaInPlace) {
+  std::vector<std::uint64_t> v(128);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = i;
+  }
+  read_write_unrolled(v.data(), v.size(), 100);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], i + 100);
+  }
+  EXPECT_THROW(read_write_unrolled(v.data(), 33, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmb::bw

@@ -1,0 +1,54 @@
+#include "src/bw/stream.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::bw {
+namespace {
+
+StreamConfig tiny() {
+  StreamConfig cfg;
+  cfg.elements = 64 * 1024;  // 512 KB arrays; fast in CI
+  cfg.policy = TimingPolicy::quick();
+  return cfg;
+}
+
+TEST(StreamTest, AllKernelsProducePositiveBandwidth) {
+  for (const auto& r : measure_stream_all(tiny())) {
+    EXPECT_GT(r.mb_per_sec, 10.0) << stream_kernel_name(r.kernel);
+    EXPECT_LT(r.mb_per_sec, 1e7) << stream_kernel_name(r.kernel);
+  }
+}
+
+TEST(StreamTest, ByteAccountingFollowsStreamRules) {
+  StreamConfig cfg = tiny();
+  StreamResult copy = measure_stream(StreamKernel::kCopy, cfg);
+  StreamResult add = measure_stream(StreamKernel::kAdd, cfg);
+  // copy: 2 words/element, add: 3 words/element.
+  EXPECT_EQ(copy.bytes_per_iteration, cfg.elements * 16);
+  EXPECT_EQ(add.bytes_per_iteration, cfg.elements * 24);
+}
+
+TEST(StreamTest, KernelNamesStable) {
+  EXPECT_STREQ(stream_kernel_name(StreamKernel::kCopy), "copy");
+  EXPECT_STREQ(stream_kernel_name(StreamKernel::kScale), "scale");
+  EXPECT_STREQ(stream_kernel_name(StreamKernel::kAdd), "add");
+  EXPECT_STREQ(stream_kernel_name(StreamKernel::kTriad), "triad");
+}
+
+TEST(StreamTest, TinyArraysRejected) {
+  StreamConfig cfg;
+  cfg.elements = 100;
+  EXPECT_THROW(measure_stream(StreamKernel::kCopy, cfg), std::invalid_argument);
+}
+
+TEST(StreamTest, MeasureAllReturnsCanonicalOrder) {
+  auto rows = measure_stream_all(tiny());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].kernel, StreamKernel::kCopy);
+  EXPECT_EQ(rows[1].kernel, StreamKernel::kScale);
+  EXPECT_EQ(rows[2].kernel, StreamKernel::kAdd);
+  EXPECT_EQ(rows[3].kernel, StreamKernel::kTriad);
+}
+
+}  // namespace
+}  // namespace lmb::bw

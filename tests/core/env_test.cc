@@ -1,0 +1,27 @@
+#include "src/core/env.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb {
+namespace {
+
+TEST(EnvTest, QueryReturnsBasicFacts) {
+  SystemInfo info = query_system_info();
+  EXPECT_FALSE(info.os_name.empty());
+  EXPECT_FALSE(info.machine.empty());
+  EXPECT_GE(info.cpu_count, 1);
+  EXPECT_GE(info.page_size, 4096);
+  EXPECT_GT(info.phys_mem_bytes, 0);
+}
+
+TEST(EnvTest, LabelCombinesOsAndMachine) {
+  SystemInfo info;
+  info.os_name = "Linux";
+  info.machine = "x86_64";
+  EXPECT_EQ(info.label(), "Linux/x86_64");
+  SystemInfo empty;
+  EXPECT_EQ(empty.label(), "unknown");
+}
+
+}  // namespace
+}  // namespace lmb

@@ -1,0 +1,77 @@
+#include "src/core/options.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(OptionsTest, ParsesKeyValueAndFlags) {
+  Options opts = parse({"--size=64k", "--quick", "--reps=7", "positional"});
+  EXPECT_TRUE(opts.has("size"));
+  EXPECT_TRUE(opts.quick());
+  EXPECT_EQ(opts.get_int("reps", 0), 7);
+  ASSERT_EQ(opts.positionals().size(), 1u);
+  EXPECT_EQ(opts.positionals()[0], "positional");
+}
+
+TEST(OptionsTest, FallbacksWhenMissing) {
+  Options opts = parse({});
+  EXPECT_FALSE(opts.quick());
+  EXPECT_EQ(opts.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(opts.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(opts.get_string("s", "dflt"), "dflt");
+  EXPECT_EQ(opts.get_size("sz", 1024), 1024);
+}
+
+TEST(OptionsTest, SizeSuffixes) {
+  EXPECT_EQ(Options::parse_size("512"), 512);
+  EXPECT_EQ(Options::parse_size("64k"), 64 * 1024);
+  EXPECT_EQ(Options::parse_size("64K"), 64 * 1024);
+  EXPECT_EQ(Options::parse_size("8m"), 8 * 1024 * 1024);
+  EXPECT_EQ(Options::parse_size("2G"), 2ll * 1024 * 1024 * 1024);
+  EXPECT_EQ(Options::parse_size("0"), 0);
+}
+
+TEST(OptionsTest, MalformedSizesRejected) {
+  EXPECT_THROW(Options::parse_size(""), std::invalid_argument);
+  EXPECT_THROW(Options::parse_size("12q"), std::invalid_argument);
+  EXPECT_THROW(Options::parse_size("12kb"), std::invalid_argument);
+  EXPECT_THROW(Options::parse_size("-5"), std::invalid_argument);
+  EXPECT_THROW(Options::parse_size("abc"), std::exception);
+}
+
+TEST(OptionsTest, BooleanSpellings) {
+  Options opts = Options::from_pairs({{"a", "true"}, {"b", "0"}, {"c", "yes"}, {"d", "off"}});
+  EXPECT_TRUE(opts.get_bool("a", false));
+  EXPECT_FALSE(opts.get_bool("b", true));
+  EXPECT_TRUE(opts.get_bool("c", false));
+  EXPECT_FALSE(opts.get_bool("d", true));
+  Options bad = Options::from_pairs({{"e", "maybe"}});
+  EXPECT_THROW(bad.get_bool("e", false), std::invalid_argument);
+}
+
+TEST(OptionsTest, TypedGettersValidate) {
+  Options opts = Options::from_pairs({{"n", "12x"}, {"d", "1.5y"}});
+  EXPECT_THROW(opts.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(opts.get_double("d", 0), std::invalid_argument);
+}
+
+TEST(OptionsTest, MalformedArgumentsRejected) {
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--=value"}), std::invalid_argument);
+}
+
+TEST(OptionsTest, SetOverrides) {
+  Options opts = parse({"--n=1"});
+  opts.set("n", "2");
+  EXPECT_EQ(opts.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace lmb

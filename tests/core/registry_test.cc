@@ -1,0 +1,68 @@
+#include "src/core/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb {
+namespace {
+
+BenchmarkInfo make(const std::string& name, const std::string& category) {
+  BenchmarkInfo info;
+  info.name = name;
+  info.category = category;
+  info.description = "test entry";
+  info.run = [](const Options&) { return std::string("ok"); };
+  return info;
+}
+
+TEST(RegistryTest, AddFindList) {
+  Registry reg;
+  reg.add(make("b", "latency"));
+  reg.add(make("a", "latency"));
+  reg.add(make("c", "bandwidth"));
+  EXPECT_EQ(reg.size(), 3u);
+
+  ASSERT_NE(reg.find("a"), nullptr);
+  EXPECT_EQ(reg.find("a")->category, "latency");
+  EXPECT_EQ(reg.find("zz"), nullptr);
+
+  auto lat = reg.list("latency");
+  ASSERT_EQ(lat.size(), 2u);
+  EXPECT_EQ(lat[0]->name, "a");  // sorted by name
+  EXPECT_EQ(lat[1]->name, "b");
+  EXPECT_EQ(reg.list().size(), 3u);
+}
+
+TEST(RegistryTest, RejectsDuplicatesAndInvalid) {
+  Registry reg;
+  reg.add(make("x", "latency"));
+  EXPECT_THROW(reg.add(make("x", "latency")), std::invalid_argument);
+  EXPECT_THROW(reg.add(make("", "latency")), std::invalid_argument);
+  BenchmarkInfo norun;
+  norun.name = "norun";
+  EXPECT_THROW(reg.add(std::move(norun)), std::invalid_argument);
+}
+
+TEST(RegistryTest, GlobalRegistryHasTheWholeSuite) {
+  // Every registered lmbench++ benchmark must be present (linking the whole
+  // suite pulls in all registrars via the lmb::lmb interface target and
+  // direct symbol references below keep the objects alive).
+  Registry& reg = Registry::global();
+  for (const char* name :
+       {"bw_mem", "bw_pipe", "bw_tcp", "bw_unix", "bw_file_rd", "bw_mmap_rd", "lat_mem_rd",
+        "lat_syscall", "lat_getpid", "lat_select", "lat_sig_install", "lat_sig_catch", "lat_fork",
+        "lat_exec", "lat_sh", "lat_ctx", "lat_pipe", "lat_unix", "lat_tcp", "lat_udp",
+        "lat_connect", "lat_fs", "lat_pagefault", "lat_rpc_tcp", "lat_rpc_udp", "disk_overhead",
+        "bw_stream", "lat_tlb"}) {
+    EXPECT_NE(reg.find(name), nullptr) << "missing benchmark: " << name;
+  }
+}
+
+TEST(RegistryTest, RunReturnsResultLine) {
+  Registry reg;
+  reg.add(make("hello", "misc"));
+  Options opts;
+  EXPECT_EQ(reg.find("hello")->run(opts), "ok");
+}
+
+}  // namespace
+}  // namespace lmb

@@ -1,0 +1,108 @@
+#include "src/core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace lmb {
+namespace {
+
+TEST(SampleTest, EmptySampleThrowsOnStatistics) {
+  Sample s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.max(), std::logic_error);
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.median(), std::logic_error);
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(SampleTest, SingleValue) {
+  Sample s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(SampleTest, BasicMoments) {
+  Sample s({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample stddev with n-1: sum sq dev = 32, 32/7.
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SampleTest, MedianEvenAndOdd) {
+  Sample odd({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(odd.median(), 2.0);
+  Sample even({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(SampleTest, PercentileInterpolates) {
+  Sample s({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(12.5), 15.0);
+}
+
+TEST(SampleTest, PercentileRangeChecked) {
+  Sample s({1.0});
+  EXPECT_THROW(s.percentile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(100.1), std::invalid_argument);
+}
+
+TEST(SampleTest, AddInvalidatesSortCache) {
+  Sample s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(SampleTest, CoefficientOfVariation) {
+  Sample constant({5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(constant.coefficient_of_variation(), 0.0);
+  Sample zero_mean({-1.0, 1.0});
+  EXPECT_DOUBLE_EQ(zero_mean.coefficient_of_variation(), 0.0);  // guarded
+  Sample s({4.0, 6.0});
+  EXPECT_NEAR(s.coefficient_of_variation(), std::sqrt(2.0) / 5.0, 1e-12);
+}
+
+// Property: for any data, min <= p25 <= median <= p75 <= max and the mean
+// lies within [min, max].
+class SamplePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplePropertyTest, OrderStatisticsAreOrdered) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> dist(-1000.0, 1000.0);
+  Sample s;
+  int n = 1 + GetParam() % 50;
+  for (int i = 0; i < n; ++i) {
+    s.add(dist(rng));
+  }
+  EXPECT_LE(s.min(), s.percentile(25));
+  EXPECT_LE(s.percentile(25), s.median());
+  EXPECT_LE(s.median(), s.percentile(75));
+  EXPECT_LE(s.percentile(75), s.max());
+  EXPECT_GE(s.mean(), s.min());
+  EXPECT_LE(s.mean(), s.max());
+  EXPECT_GE(s.stddev(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplePropertyTest, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace lmb

@@ -1,0 +1,155 @@
+#include "src/core/timing.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/core/virtual_clock.h"
+
+namespace lmb {
+namespace {
+
+// A clock whose time is driven by the "benchmark body" below, so the harness
+// logic can be tested deterministically.
+class ScriptedClock final : public Clock {
+ public:
+  Nanos now() const override { return now_; }
+  void advance(Nanos d) { now_ += d; }
+
+ private:
+  Nanos now_ = 0;
+};
+
+TEST(CalibrateTest, FindsIterationCountMeetingMinInterval) {
+  ScriptedClock clock;
+  constexpr Nanos kPerOp = 1000;  // each op "takes" 1 us of scripted time
+  BenchFn fn = [&](std::uint64_t iters) { clock.advance(static_cast<Nanos>(iters) * kPerOp); };
+  TimingPolicy policy;
+  policy.min_interval = 10 * kMillisecond;
+  std::uint64_t iters = calibrate_iterations(fn, policy, clock);
+  // 10 ms / 1 us = 10,000 ops minimum.
+  EXPECT_GE(iters, 10'000u);
+  // The 20% overshoot plus geometric probing should not explode.
+  EXPECT_LE(iters, 2'000'000u);
+}
+
+TEST(CalibrateTest, RespectsMaxIterations) {
+  ScriptedClock clock;
+  BenchFn fn = [&](std::uint64_t) { clock.advance(1); };  // ~zero-cost op
+  TimingPolicy policy;
+  policy.min_interval = kSecond;
+  policy.max_iterations = 5000;
+  EXPECT_EQ(calibrate_iterations(fn, policy, clock), 5000u);
+}
+
+TEST(MeasureTest, ReportsPerOperationTime) {
+  ScriptedClock clock;
+  constexpr Nanos kPerOp = 250;
+  BenchFn fn = [&](std::uint64_t iters) { clock.advance(static_cast<Nanos>(iters) * kPerOp); };
+  TimingPolicy policy;
+  policy.min_interval = kMillisecond;
+  policy.repetitions = 5;
+  Measurement m = measure(fn, policy, clock);
+  EXPECT_DOUBLE_EQ(m.ns_per_op, 250.0);
+  EXPECT_DOUBLE_EQ(m.mean_ns_per_op, 250.0);
+  EXPECT_EQ(m.repetitions, 5);
+  EXPECT_GT(m.iterations, 0u);
+}
+
+TEST(MeasureTest, MinimumOfNoisyRepetitionsIsReported) {
+  // Alternate slow/fast intervals; the headline must be the minimum
+  // (§3.4: "taking the minimum result").
+  ScriptedClock clock;
+  std::atomic<int> rep{0};
+  BenchFn fn = [&](std::uint64_t iters) {
+    Nanos per_op = rep.fetch_add(1) % 2 == 0 ? 500 : 250;
+    clock.advance(static_cast<Nanos>(iters) * per_op);
+  };
+  TimingPolicy policy;
+  policy.min_interval = kMillisecond;
+  policy.repetitions = 4;
+  policy.warmup_runs = 0;
+  Measurement m = measure(fn, policy, clock);
+  EXPECT_DOUBLE_EQ(m.ns_per_op, 250.0);
+  EXPECT_GT(m.max_ns_per_op, m.ns_per_op);
+}
+
+TEST(MeasureTest, SetupRunsBeforeEachRepetitionUntimed) {
+  ScriptedClock clock;
+  int setups = 0;
+  BenchBody body;
+  body.setup = [&]() { setups++; };
+  body.run = [&](std::uint64_t iters) { clock.advance(static_cast<Nanos>(iters) * 100); };
+  TimingPolicy policy;
+  policy.min_interval = kMillisecond;
+  policy.repetitions = 3;
+  policy.warmup_runs = 1;
+  Measurement m = measure(body, policy, clock);
+  // warmup (1) + calibration (1) + repetitions (3).
+  EXPECT_GE(setups, 5);
+  EXPECT_DOUBLE_EQ(m.ns_per_op, 100.0);
+}
+
+TEST(MeasureTest, BudgetCutsRepetitionsButKeepsAtLeastOne) {
+  ScriptedClock clock;
+  BenchFn fn = [&](std::uint64_t iters) { clock.advance(static_cast<Nanos>(iters) * 1000); };
+  TimingPolicy policy;
+  policy.min_interval = 10 * kMillisecond;
+  policy.repetitions = 100;
+  policy.max_total = 30 * kMillisecond;  // room for calibration + ~1-2 reps
+  Measurement m = measure(fn, policy, clock);
+  EXPECT_GE(m.repetitions, 1);
+  EXPECT_LT(m.repetitions, 100);
+}
+
+TEST(MeasureTest, EmptyBodyRejected) {
+  EXPECT_THROW(measure(BenchFn{}), std::invalid_argument);
+  EXPECT_THROW(measure_once_each(nullptr, 3), std::invalid_argument);
+  EXPECT_THROW(measure_once_each([] {}, 0), std::invalid_argument);
+}
+
+TEST(MeasureOnceEachTest, AggregatesIndividualRuns) {
+  ScriptedClock clock;
+  int run = 0;
+  Measurement m = measure_once_each(
+      [&]() { clock.advance(++run * kMicrosecond); }, 4, clock);
+  EXPECT_EQ(m.repetitions, 4);
+  EXPECT_DOUBLE_EQ(m.ns_per_op, 1000.0);            // fastest run
+  EXPECT_DOUBLE_EQ(m.max_ns_per_op, 4000.0);        // slowest run
+  EXPECT_DOUBLE_EQ(m.mean_ns_per_op, 2500.0);
+}
+
+TEST(MbPerSecTest, Conversions) {
+  // 1 MiB moved in 1 second = 1 MB/s.
+  EXPECT_NEAR(mb_per_sec(1024.0 * 1024.0, 1e9), 1.0, 1e-9);
+  // 64 KB in 1 ms = 62.5 MB/s.
+  EXPECT_NEAR(mb_per_sec(64.0 * 1024.0, 1e6), 62.5, 1e-9);
+  EXPECT_DOUBLE_EQ(mb_per_sec(100.0, 0.0), 0.0);
+}
+
+TEST(MeasurementTest, DerivedUnits) {
+  Measurement m;
+  m.ns_per_op = 2'500'000.0;
+  EXPECT_DOUBLE_EQ(m.us_per_op(), 2500.0);
+  EXPECT_DOUBLE_EQ(m.ms_per_op(), 2.5);
+  EXPECT_DOUBLE_EQ(m.ops_per_sec(), 400.0);
+}
+
+// Property sweep: measured per-op time equals the scripted cost for a range
+// of costs and policies.
+class TimingPropertyTest : public ::testing::TestWithParam<Nanos> {};
+
+TEST_P(TimingPropertyTest, RecoversScriptedCost) {
+  ScriptedClock clock;
+  const Nanos per_op = GetParam();
+  BenchFn fn = [&](std::uint64_t iters) { clock.advance(static_cast<Nanos>(iters) * per_op); };
+  TimingPolicy policy = TimingPolicy::quick();
+  Measurement m = measure(fn, policy, clock);
+  EXPECT_DOUBLE_EQ(m.ns_per_op, static_cast<double>(per_op));
+}
+
+INSTANTIATE_TEST_SUITE_P(Costs, TimingPropertyTest,
+                         ::testing::Values<Nanos>(1, 7, 100, 999, 12345, 1'000'000));
+
+}  // namespace
+}  // namespace lmb

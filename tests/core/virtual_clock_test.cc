@@ -1,0 +1,112 @@
+#include "src/core/virtual_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lmb {
+namespace {
+
+TEST(VirtualClockTest, AdvanceSemantics) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance_to(250);
+  EXPECT_EQ(clock.now(), 250);
+  clock.advance(0);
+  EXPECT_EQ(clock.now(), 250);
+  EXPECT_THROW(clock.advance(-1), std::invalid_argument);
+  EXPECT_THROW(clock.advance_to(100), std::invalid_argument);
+}
+
+TEST(EventQueueTest, FiresInTimestampOrder) {
+  VirtualClock clock;
+  EventQueue queue(clock);
+  std::vector<int> fired;
+  queue.schedule_in(300, [&] { fired.push_back(3); });
+  queue.schedule_in(100, [&] { fired.push_back(1); });
+  queue.schedule_in(200, [&] { fired.push_back(2); });
+  EXPECT_EQ(queue.run_all(), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now(), 300);
+}
+
+TEST(EventQueueTest, TiesFireInSchedulingOrder) {
+  VirtualClock clock;
+  EventQueue queue(clock);
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule_at(42, [&fired, i] { fired.push_back(i); });
+  }
+  queue.run_all();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, HandlersMayScheduleMoreEvents) {
+  VirtualClock clock;
+  EventQueue queue(clock);
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) {
+      queue.schedule_in(10, tick);
+    }
+  };
+  queue.schedule_in(10, tick);
+  queue.run_all();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(clock.now(), 100);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  VirtualClock clock;
+  EventQueue queue(clock);
+  int fired = 0;
+  queue.schedule_at(50, [&] { fired++; });
+  queue.schedule_at(150, [&] { fired++; });
+  queue.run_until(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(clock.now(), 100);
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RunOneToleratesClockAdvancedPastEvent) {
+  // A handler that models processing time may push the clock past the next
+  // event's timestamp; that event must still fire (late), not crash.
+  VirtualClock clock;
+  EventQueue queue(clock);
+  std::vector<Nanos> fire_times;
+  queue.schedule_at(10, [&] {
+    clock.advance(100);  // "processing"
+    fire_times.push_back(clock.now());
+  });
+  queue.schedule_at(20, [&] { fire_times.push_back(clock.now()); });
+  queue.run_all();
+  ASSERT_EQ(fire_times.size(), 2u);
+  EXPECT_EQ(fire_times[0], 110);
+  EXPECT_EQ(fire_times[1], 110);  // fired late at the advanced time
+}
+
+TEST(EventQueueTest, RejectsBadSchedules) {
+  VirtualClock clock;
+  clock.advance(100);
+  EventQueue queue(clock);
+  EXPECT_THROW(queue.schedule_at(50, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule_in(-1, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule_in(10, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueueTest, RunAllHonorsLimit) {
+  VirtualClock clock;
+  EventQueue queue(clock);
+  // Self-perpetuating event chain; the limit must stop it.
+  std::function<void()> forever = [&] { queue.schedule_in(1, forever); };
+  queue.schedule_in(1, forever);
+  EXPECT_EQ(queue.run_all(1000), 1000u);
+  EXPECT_FALSE(queue.empty());
+}
+
+}  // namespace
+}  // namespace lmb

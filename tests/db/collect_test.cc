@@ -1,0 +1,55 @@
+#include "src/db/collect.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lmb::db {
+namespace {
+
+TEST(MetricsTest, SchemaIsWellFormed) {
+  const auto& metrics = standard_metrics();
+  EXPECT_GE(metrics.size(), 30u);
+  std::set<std::string> keys;
+  std::set<std::string> sections;
+  for (const auto& m : metrics) {
+    EXPECT_TRUE(keys.insert(m.key).second) << "duplicate key " << m.key;
+    EXPECT_FALSE(m.label.empty());
+    EXPECT_FALSE(m.unit.empty());
+    sections.insert(m.section);
+  }
+  EXPECT_EQ(sections.size(), 4u);
+}
+
+TEST(MetricsTest, DirectionsMatchUnits) {
+  for (const auto& m : standard_metrics()) {
+    if (m.unit == "MB/s" || m.unit == "MHz") {
+      EXPECT_FALSE(m.lower_is_better) << m.key;
+    } else {
+      EXPECT_TRUE(m.lower_is_better) << m.key;
+    }
+  }
+}
+
+TEST(CollectTest, QuickCollectionFillsMostMetrics) {
+  CollectOptions opts;
+  opts.quick = true;
+  int callbacks = 0;
+  opts.on_metric = [&](const MetricInfo&, double value) {
+    ++callbacks;
+    EXPECT_GT(value, 0.0);
+  };
+  ResultSet set = collect_standard_metrics(opts);
+  EXPECT_FALSE(set.system().empty());
+  // Everything should land on a healthy Linux host.
+  EXPECT_GE(set.size(), standard_metrics().size() - 2);
+  EXPECT_EQ(static_cast<size_t>(callbacks), set.size());
+  // Spot checks: keys exist and look sane.
+  ASSERT_TRUE(set.get("lat_pipe_us").has_value());
+  EXPECT_GT(*set.get("lat_pipe_us"), 0.5);
+  ASSERT_TRUE(set.get("bw_mem_rd_mb").has_value());
+  EXPECT_GT(*set.get("bw_mem_rd_mb"), 100.0);
+}
+
+}  // namespace
+}  // namespace lmb::db

@@ -1,0 +1,164 @@
+#include "src/db/paper_data.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lmb::db {
+namespace {
+
+std::set<std::string> table1_names() {
+  std::set<std::string> names;
+  for (const auto& row : paper_table1()) {
+    names.insert(row.name);
+  }
+  return names;
+}
+
+TEST(PaperDataTest, Table1Has15Systems) {
+  EXPECT_EQ(paper_table1().size(), 15u);
+  for (const auto& row : paper_table1()) {
+    EXPECT_FALSE(row.name.empty());
+    EXPECT_GT(row.mhz, 0);
+    EXPECT_GE(row.year, 1992);
+    EXPECT_LE(row.year, 1995);
+    EXPECT_GT(row.specint92, 0);
+  }
+}
+
+TEST(PaperDataTest, BandwidthTablesReferenceKnownSystems) {
+  std::set<std::string> names = table1_names();
+  for (const auto& row : paper_table2()) {
+    EXPECT_TRUE(names.count(row.system)) << row.system;
+  }
+  for (const auto& row : paper_table3()) {
+    EXPECT_TRUE(names.count(row.system)) << row.system;
+  }
+  for (const auto& row : paper_table5()) {
+    EXPECT_TRUE(names.count(row.system)) << row.system;
+  }
+}
+
+TEST(PaperDataTest, Table2SortedOnUnrolledBcopyDescending) {
+  const auto& rows = paper_table2();
+  ASSERT_EQ(rows.size(), 15u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].bcopy_unrolled, rows[i].bcopy_unrolled) << rows[i].system;
+  }
+}
+
+TEST(PaperDataTest, Table2ProseClaimsHold) {
+  // "The Sun libc bcopy ... is better because they use a hardware specific
+  // bcopy routine" — libc beats unrolled on the Ultra1.
+  for (const auto& row : paper_table2()) {
+    if (row.system == "Sun Ultra1") {
+      EXPECT_GT(row.bcopy_libc, row.bcopy_unrolled);
+    }
+    // "The Pentium Pro read rate ... is much higher than the write rate".
+    if (row.system == "Unixware/i686" || row.system == "Linux/i686") {
+      EXPECT_GT(row.mem_read, 2 * row.mem_write);
+    }
+  }
+}
+
+TEST(PaperDataTest, Table6CacheHierarchyIsOrdered) {
+  for (const auto& row : paper_table6()) {
+    EXPECT_LE(row.l1_latency_ns, row.l2_latency_ns) << row.system;
+    EXPECT_LT(row.l2_latency_ns, row.memory_latency_ns) << row.system;
+    EXPECT_LE(row.l1_size, row.l2_size) << row.system;
+    EXPECT_GT(row.clock_ns, 0) << row.system;
+  }
+}
+
+TEST(PaperDataTest, Table7SortedAscendingAndLinuxWins) {
+  const auto& rows = paper_table7();
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].syscall_us, rows[i - 1].syscall_us);
+  }
+  // "Linux is the clear winner in the system call time."
+  EXPECT_EQ(rows.front().system.rfind("Linux", 0), 0u);
+}
+
+TEST(PaperDataTest, Table9ForkLadderMonotone) {
+  for (const auto& row : paper_table9()) {
+    EXPECT_LT(row.fork_ms, row.fork_exec_ms) << row.system;
+    EXPECT_LT(row.fork_exec_ms, row.fork_sh_ms) << row.system;
+  }
+  // "frequently ten times as expensive" — sh is >= 3x fork everywhere here.
+  for (const auto& row : paper_table9()) {
+    EXPECT_GE(row.fork_sh_ms / row.fork_ms, 2.0) << row.system;
+  }
+}
+
+TEST(PaperDataTest, Table10FootprintAndScaleIncreaseCost) {
+  for (const auto& row : paper_table10()) {
+    EXPECT_LE(row.p2_0k, row.p2_32k * 1.001) << row.system;
+    EXPECT_LE(row.p2_0k, row.p8_32k) << row.system;
+  }
+}
+
+TEST(PaperDataTest, RpcAddsLatency) {
+  // §6.7: "the RPC layer frequently adds hundreds of microseconds".
+  for (const auto& row : paper_table12()) {
+    EXPECT_GT(row.rpc_tcp_us, row.tcp_us) << row.system;
+  }
+  for (const auto& row : paper_table13()) {
+    EXPECT_GT(row.rpc_udp_us, row.udp_us) << row.system;
+  }
+}
+
+TEST(PaperDataTest, Table14EthernetSlowestHippiPresent) {
+  bool saw_hippi = false;
+  for (const auto& row : paper_table14()) {
+    if (row.network == "hippi") {
+      saw_hippi = true;
+    }
+  }
+  EXPECT_TRUE(saw_hippi);
+  // 100baseT rows beat 10baseT rows on TCP latency.
+  double best_10baseT = 1e12, worst_100baseT = 0;
+  for (const auto& row : paper_table14()) {
+    if (row.network == "10baseT") {
+      best_10baseT = std::min(best_10baseT, row.tcp_us);
+    }
+    if (row.network == "100baseT") {
+      worst_100baseT = std::max(worst_100baseT, row.tcp_us);
+    }
+  }
+  EXPECT_LT(worst_100baseT, best_10baseT);
+}
+
+TEST(PaperDataTest, Table16SortedOnDelete) {
+  const auto& rows = paper_table16();
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].delete_us, rows[i - 1].delete_us);
+  }
+  // "Linux does extremely well here, 2 to 3 orders of magnitude faster than
+  // the slowest systems" (on delete).
+  EXPECT_GE(rows.back().delete_us / rows.front().delete_us, 100.0);
+}
+
+TEST(PaperDataTest, Table17SortedAscending) {
+  const auto& rows = paper_table17();
+  ASSERT_EQ(rows.size(), 6u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].overhead_us, rows[i - 1].overhead_us);
+  }
+  // §6.9: "more than 1,000 SCSI operations/second on a single SCSI disk" —
+  // every overhead is ~<= 1ms up to ~2.2ms.
+  EXPECT_LT(rows.front().overhead_us, 1000.0);
+}
+
+TEST(PaperDataTest, MissingCellsUseSentinel) {
+  bool found = false;
+  for (const auto& row : paper_table3()) {
+    if (row.system == "Unixware/i686") {
+      EXPECT_EQ(row.tcp, kMissing);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace lmb::db

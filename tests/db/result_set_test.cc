@@ -1,0 +1,86 @@
+#include "src/db/result_set.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sys/temp.h"
+
+namespace lmb::db {
+namespace {
+
+TEST(ResultSetTest, SetGetHas) {
+  ResultSet set("Linux/x86_64");
+  set.set("lat_pipe_us", 12.5);
+  set.set("bw_mem_mb", 5000.0);
+  EXPECT_TRUE(set.has("lat_pipe_us"));
+  EXPECT_FALSE(set.has("nope"));
+  EXPECT_DOUBLE_EQ(*set.get("lat_pipe_us"), 12.5);
+  EXPECT_FALSE(set.get("nope").has_value());
+  set.set("lat_pipe_us", 13.0);  // overwrite
+  EXPECT_DOUBLE_EQ(*set.get("lat_pipe_us"), 13.0);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ResultSetTest, RejectsBadKeys) {
+  ResultSet set("s");
+  EXPECT_THROW(set.set("", 1.0), std::invalid_argument);
+  EXPECT_THROW(set.set("has space", 1.0), std::invalid_argument);
+  EXPECT_THROW(set.set("new\nline", 1.0), std::invalid_argument);
+}
+
+TEST(ResultDatabaseTest, AddFindReplace) {
+  ResultDatabase database;
+  ResultSet a("sysA");
+  a.set("m", 1.0);
+  database.add(a);
+  ResultSet a2("sysA");
+  a2.set("m", 2.0);
+  database.add(a2);
+  EXPECT_EQ(database.size(), 1u);
+  EXPECT_DOUBLE_EQ(*database.find("sysA")->get("m"), 2.0);
+  EXPECT_EQ(database.find("other"), nullptr);
+  EXPECT_THROW(database.add(ResultSet()), std::invalid_argument);
+}
+
+TEST(ResultDatabaseTest, SerializeParseRoundTrip) {
+  ResultDatabase database;
+  ResultSet a("Linux/i686");
+  a.set("lat_ctx_us", 6.25);
+  a.set("bw_pipe_mb", 89.0);
+  ResultSet b("HP K210");
+  b.set("lat_ctx_us", 17.0);
+  database.add(a);
+  database.add(b);
+
+  ResultDatabase parsed = ResultDatabase::parse(database.serialize());
+  EXPECT_EQ(parsed.size(), 2u);
+  EXPECT_DOUBLE_EQ(*parsed.find("Linux/i686")->get("lat_ctx_us"), 6.25);
+  EXPECT_DOUBLE_EQ(*parsed.find("Linux/i686")->get("bw_pipe_mb"), 89.0);
+  EXPECT_DOUBLE_EQ(*parsed.find("HP K210")->get("lat_ctx_us"), 17.0);
+}
+
+TEST(ResultDatabaseTest, ParseSkipsCommentsAndBlankLines) {
+  ResultDatabase parsed = ResultDatabase::parse("# comment\n\n[sys]\nkey 1.5\n\n# done\n");
+  EXPECT_EQ(parsed.size(), 1u);
+  EXPECT_DOUBLE_EQ(*parsed.find("sys")->get("key"), 1.5);
+}
+
+TEST(ResultDatabaseTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW(ResultDatabase::parse("key 1.0\n"), std::invalid_argument);   // metric first
+  EXPECT_THROW(ResultDatabase::parse("[sys\nkey 1\n"), std::invalid_argument);
+  EXPECT_THROW(ResultDatabase::parse("[sys]\nkeyonly\n"), std::invalid_argument);
+  EXPECT_THROW(ResultDatabase::parse("[sys]\nkey 1.0trailing\n"), std::invalid_argument);
+}
+
+TEST(ResultDatabaseTest, SaveAndLoad) {
+  sys::TempDir dir("lmb_db");
+  ResultDatabase database;
+  ResultSet set("this-machine");
+  set.set("x", 42.0);
+  database.add(set);
+  database.save(dir.file("results.db"));
+  ResultDatabase loaded = ResultDatabase::load(dir.file("results.db"));
+  EXPECT_DOUBLE_EQ(*loaded.find("this-machine")->get("x"), 42.0);
+}
+
+}  // namespace
+}  // namespace lmb::db

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/lat/lat_mem_rd.h"
+
+namespace lmb::lat {
+namespace {
+
+// Follows the chain from slot 0 and verifies it is a single Hamiltonian
+// cycle: every slot visited exactly once before returning to the start.
+void expect_single_cycle(const std::vector<size_t>& next) {
+  std::set<size_t> visited;
+  size_t cur = 0;
+  for (size_t i = 0; i < next.size(); ++i) {
+    EXPECT_TRUE(visited.insert(cur).second) << "slot " << cur << " visited twice";
+    ASSERT_LT(next[cur], next.size());
+    cur = next[cur];
+  }
+  EXPECT_EQ(cur, 0u) << "chain did not close into a cycle";
+  EXPECT_EQ(visited.size(), next.size());
+}
+
+TEST(ChainTest, BackwardChainIsDescending) {
+  auto next = build_chain(8, ChaseOrder::kStrideBackward);
+  EXPECT_EQ(next[7], 6u);
+  EXPECT_EQ(next[1], 0u);
+  EXPECT_EQ(next[0], 7u);  // wraps to the top
+  expect_single_cycle(next);
+}
+
+TEST(ChainTest, TooFewSlotsRejected) {
+  EXPECT_THROW(build_chain(0, ChaseOrder::kRandom), std::invalid_argument);
+  EXPECT_THROW(build_chain(1, ChaseOrder::kStrideBackward), std::invalid_argument);
+}
+
+TEST(ChainTest, RandomChainsDifferBySeed) {
+  auto a = build_chain(64, ChaseOrder::kRandom, 1);
+  auto b = build_chain(64, ChaseOrder::kRandom, 2);
+  auto a2 = build_chain(64, ChaseOrder::kRandom, 1);
+  EXPECT_EQ(a, a2);  // deterministic per seed
+  EXPECT_NE(a, b);
+}
+
+class ChainPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, ChaseOrder>> {};
+
+TEST_P(ChainPropertyTest, EveryChainIsASingleFullCycle) {
+  auto [slots, order] = GetParam();
+  expect_single_cycle(build_chain(slots, order));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndOrders, ChainPropertyTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 3, 7, 16, 64, 255, 1024, 4097),
+                       ::testing::Values(ChaseOrder::kStrideBackward, ChaseOrder::kRandom)));
+
+TEST(ChaseTest, WalksTheChain) {
+  // A 4-slot chain of actual pointers; chase must land where expected.
+  void* slots[4];
+  slots[0] = &slots[2];
+  slots[2] = &slots[1];
+  slots[1] = &slots[3];
+  slots[3] = &slots[0];
+  EXPECT_EQ(chase(&slots[0], 1), &slots[2]);
+  EXPECT_EQ(chase(&slots[0], 2), &slots[1]);
+  EXPECT_EQ(chase(&slots[0], 4), &slots[0]);  // full cycle
+  EXPECT_EQ(chase(&slots[0], 40), &slots[0]);  // 10 cycles through unrolled path
+  EXPECT_EQ(chase(&slots[0], 43), &slots[3]);  // unrolled blocks + remainder
+}
+
+}  // namespace
+}  // namespace lmb::lat

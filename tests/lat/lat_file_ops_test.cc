@@ -1,0 +1,56 @@
+#include "src/lat/lat_file_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::lat {
+namespace {
+
+const TimingPolicy kQuick = TimingPolicy::quick();
+
+TEST(LatFifoTest, RoundTripIsMicrosecondScale) {
+  Measurement m = measure_fifo_latency(kQuick);
+  EXPECT_GT(m.us_per_op(), 0.5);
+  EXPECT_LT(m.us_per_op(), 10000.0);
+}
+
+TEST(LatFcntlTest, LockUnlockPairIsCheap) {
+  Measurement m = measure_fcntl_lock_latency(kQuick);
+  EXPECT_GT(m.us_per_op(), 0.01);
+  EXPECT_LT(m.us_per_op(), 1000.0);
+}
+
+TEST(LatMmapTest, CostScalesOrStaysWithSize) {
+  MmapLatConfig small;
+  small.bytes = 64 << 10;
+  small.policy = kQuick;
+  MmapLatConfig big;
+  big.bytes = 8 << 20;
+  big.policy = kQuick;
+  double s = measure_mmap_latency(small).us_per_op();
+  double b = measure_mmap_latency(big).us_per_op();
+  EXPECT_GT(s, 0.1);
+  // Bigger mappings are never cheaper (more page-table work at munmap).
+  EXPECT_GE(b, s * 0.5);
+}
+
+TEST(LatMmapTest, TinyMappingRejected) {
+  MmapLatConfig bad;
+  bad.bytes = 100;
+  EXPECT_THROW(measure_mmap_latency(bad), std::invalid_argument);
+}
+
+TEST(LatProtFaultTest, FaultRoundTripMeasured) {
+  Measurement m = measure_protection_fault(kQuick);
+  // A full SIGSEGV catch + longjmp costs at least a signal delivery.
+  EXPECT_GT(m.us_per_op(), 0.1);
+  EXPECT_LT(m.us_per_op(), 1000.0);
+}
+
+TEST(LatProtFaultTest, ProcessSurvivesRepeatedRuns) {
+  measure_protection_fault(kQuick);
+  Measurement again = measure_protection_fault(kQuick);
+  EXPECT_GT(again.us_per_op(), 0.0);
+}
+
+}  // namespace
+}  // namespace lmb::lat

@@ -1,0 +1,84 @@
+#include "src/lat/lat_fs.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <set>
+
+#include "src/sys/temp.h"
+
+namespace lmb::lat {
+namespace {
+
+TEST(ShortFileNamesTest, MatchesPaperSequence) {
+  // "their names are short, such as 'a', 'b', 'c', ... 'aa', 'ab', ...".
+  auto names = short_file_names(30);
+  ASSERT_EQ(names.size(), 30u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_EQ(names[25], "z");
+  EXPECT_EQ(names[26], "aa");
+  EXPECT_EQ(names[27], "ab");
+}
+
+TEST(ShortFileNamesTest, AllUniqueAtScale) {
+  auto names = short_file_names(1000);
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), 1000u);
+  for (const auto& n : names) {
+    EXPECT_LE(n.size(), 3u);
+  }
+}
+
+TEST(ShortFileNamesTest, EdgeCases) {
+  EXPECT_TRUE(short_file_names(0).empty());
+  EXPECT_THROW(short_file_names(-1), std::invalid_argument);
+  // Second rollover: 26 + 26*26 = 702 -> "aaa".
+  auto names = short_file_names(703);
+  EXPECT_EQ(names[701], "zz");
+  EXPECT_EQ(names[702], "aaa");
+}
+
+TEST(LatFsTest, MeasuresCreateAndDelete) {
+  FsLatConfig cfg;
+  cfg.file_count = 100;
+  cfg.repetitions = 2;
+  FsLatResult r = measure_fs_latency(cfg);
+  EXPECT_GT(r.create_us, 0.1);
+  EXPECT_GT(r.delete_us, 0.1);
+  EXPECT_LT(r.create_us, 1e6);
+  EXPECT_EQ(r.file_count, 100);
+}
+
+TEST(LatFsTest, LeavesDirectoryEmpty) {
+  sys::TempDir dir("lmb_fs_check");
+  FsLatConfig cfg;
+  cfg.file_count = 20;
+  cfg.repetitions = 1;
+  cfg.dir = dir.path();
+  measure_fs_latency(cfg);
+  // All created files must have been deleted by the benchmark.
+  for (const auto& name : short_file_names(20)) {
+    struct stat st;
+    EXPECT_NE(::stat((dir.path() + "/" + name).c_str(), &st), 0) << name;
+  }
+}
+
+TEST(LatFsTest, ConfigValidation) {
+  FsLatConfig bad;
+  bad.file_count = 0;
+  EXPECT_THROW(measure_fs_latency(bad), std::invalid_argument);
+  bad.file_count = 10;
+  bad.repetitions = 0;
+  EXPECT_THROW(measure_fs_latency(bad), std::invalid_argument);
+}
+
+TEST(LatFsTest, UnwritableDirectoryFails) {
+  FsLatConfig cfg;
+  cfg.file_count = 2;
+  cfg.dir = "/proc";  // not writable
+  EXPECT_THROW(measure_fs_latency(cfg), std::exception);
+}
+
+}  // namespace
+}  // namespace lmb::lat

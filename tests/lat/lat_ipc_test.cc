@@ -1,0 +1,73 @@
+#include "src/lat/lat_ipc.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::lat {
+namespace {
+
+IpcLatConfig quick() { return IpcLatConfig::quick(); }
+
+TEST(LatIpcTest, PipeRoundTripIsMicrosecondScale) {
+  Measurement m = measure_pipe_latency(quick());
+  EXPECT_GT(m.us_per_op(), 0.5);
+  EXPECT_LT(m.us_per_op(), 10000.0);
+}
+
+TEST(LatIpcTest, UnixRoundTripWorks) {
+  Measurement m = measure_unix_latency(quick());
+  EXPECT_GT(m.us_per_op(), 0.5);
+}
+
+TEST(LatIpcTest, TcpRoundTripWorks) {
+  Measurement m = measure_tcp_latency(quick());
+  EXPECT_GT(m.us_per_op(), 1.0);
+  EXPECT_LT(m.us_per_op(), 100000.0);
+}
+
+TEST(LatIpcTest, UdpRoundTripWorks) {
+  Measurement m = measure_udp_latency(quick());
+  EXPECT_GT(m.us_per_op(), 1.0);
+}
+
+TEST(LatIpcTest, PipeIsCheaperThanTcp) {
+  // §6.7: "Because of the simplicity of pipes, they are frequently the
+  // fastest portable communication mechanism."
+  double pipe_us = measure_pipe_latency(quick()).us_per_op();
+  double tcp_us = measure_tcp_latency(quick()).us_per_op();
+  EXPECT_LT(pipe_us, tcp_us * 1.5);
+}
+
+TEST(LatIpcTest, LargerMessagesCostMore) {
+  IpcLatConfig small = quick();
+  IpcLatConfig big = quick();
+  big.message_bytes = 16384;
+  double s = measure_pipe_latency(small).us_per_op();
+  double b = measure_pipe_latency(big).us_per_op();
+  EXPECT_GT(b, s);
+}
+
+TEST(LatIpcTest, MessageSizeValidated) {
+  IpcLatConfig bad = quick();
+  bad.message_bytes = 0;
+  EXPECT_THROW(measure_pipe_latency(bad), std::invalid_argument);
+  bad.message_bytes = 1;  // UDP reserves 1-byte datagrams as terminator
+  EXPECT_THROW(measure_udp_latency(bad), std::invalid_argument);
+}
+
+TEST(LatIpcTest, ConnectLatencyUsesMinOfTwenty) {
+  ConnectConfig cfg;
+  cfg.connects = 20;
+  Measurement m = measure_tcp_connect(cfg);
+  EXPECT_EQ(m.repetitions, 20);
+  EXPECT_GT(m.us_per_op(), 1.0);
+  EXPECT_LE(m.ns_per_op, m.mean_ns_per_op);
+}
+
+TEST(LatIpcTest, ConnectCountValidated) {
+  ConnectConfig cfg;
+  cfg.connects = 0;
+  EXPECT_THROW(measure_tcp_connect(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmb::lat

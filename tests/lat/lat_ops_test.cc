@@ -1,0 +1,59 @@
+#include "src/lat/lat_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lmb::lat {
+namespace {
+
+TEST(LatOpsKernelsTest, ChainsAreDeterministicAndSeedSensitive) {
+  EXPECT_EQ(run_int_add_chain(10, 7), run_int_add_chain(10, 7));
+  EXPECT_NE(run_int_add_chain(10, 7), run_int_add_chain(10, 8));
+  EXPECT_NE(run_int_add_chain(10, 7), run_int_add_chain(11, 7));
+
+  EXPECT_EQ(run_int_mul_chain(5, 7), run_int_mul_chain(5, 7));
+  EXPECT_EQ(run_int_div_chain(5, 7), run_int_div_chain(5, 7));
+  EXPECT_NE(run_int_div_chain(5, 7), run_int_div_chain(5, 9));
+}
+
+TEST(LatOpsKernelsTest, DoubleChainsStayFinite) {
+  // The FP chains are built to stay bounded; inf/NaN would distort timing.
+  double add = run_double_add_chain(100000, 1.25);
+  double mul = run_double_mul_chain(100000, 1.25);
+  double div = run_double_div_chain(100000, 1.25);
+  EXPECT_TRUE(std::isfinite(add));
+  EXPECT_TRUE(std::isfinite(mul));
+  EXPECT_TRUE(std::isfinite(div));
+  EXPECT_GT(mul, 0.0);
+  EXPECT_GT(div, 0.0);
+}
+
+TEST(LatOpsTest, LatenciesArePlausible) {
+  TimingPolicy quick = TimingPolicy::quick();
+  auto results = measure_all_op_latencies(quick);
+  ASSERT_EQ(results.size(), 6u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.ns_per_op, 0.05) << arith_op_name(r.op);   // > ~1/8 cycle
+    EXPECT_LT(r.ns_per_op, 200.0) << arith_op_name(r.op);  // < 200ns even for div
+  }
+}
+
+TEST(LatOpsTest, DivisionIsSlowestInItsFamily) {
+  TimingPolicy quick = TimingPolicy::quick();
+  double int_add = measure_op_latency(ArithOp::kIntAdd, quick).ns_per_op;
+  double int_div = measure_op_latency(ArithOp::kIntDiv, quick).ns_per_op;
+  double dbl_mul = measure_op_latency(ArithOp::kDoubleMul, quick).ns_per_op;
+  double dbl_div = measure_op_latency(ArithOp::kDoubleDiv, quick).ns_per_op;
+  // Hardware dividers are multi-cycle on every CPU ever made.
+  EXPECT_GT(int_div, int_add * 2);
+  EXPECT_GT(dbl_div, dbl_mul * 1.5);
+}
+
+TEST(LatOpsTest, NamesAreStable) {
+  EXPECT_STREQ(arith_op_name(ArithOp::kIntAdd), "int add");
+  EXPECT_STREQ(arith_op_name(ArithOp::kDoubleDiv), "double div");
+}
+
+}  // namespace
+}  // namespace lmb::lat

@@ -1,0 +1,23 @@
+#include "src/lat/lat_pagefault.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::lat {
+namespace {
+
+TEST(LatPageFaultTest, MeasuresPerPageCost) {
+  PageFaultConfig cfg = PageFaultConfig::quick();
+  PageFaultResult r = measure_pagefault(cfg);
+  EXPECT_GT(r.pages, 0u);
+  EXPECT_GT(r.us_per_page, 0.01);  // a fault costs something
+  EXPECT_LT(r.us_per_page, 1000.0);
+}
+
+TEST(LatPageFaultTest, TinyFileRejected) {
+  PageFaultConfig cfg;
+  cfg.file_bytes = 1024;  // less than 4 pages
+  EXPECT_THROW(measure_pagefault(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmb::lat

@@ -1,0 +1,56 @@
+#include "src/lat/lat_proc.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+namespace lmb::lat {
+namespace {
+
+ProcConfig tiny() {
+  ProcConfig cfg;
+  cfg.iterations = 5;
+  return cfg;
+}
+
+TEST(LatProcTest, DefaultHelloPathIsExecutable) {
+  std::string path = default_hello_path();
+  EXPECT_EQ(::access(path.c_str(), X_OK), 0) << path;
+}
+
+TEST(LatProcTest, ForkExitIsMillisecondScaleOrLess) {
+  Measurement m = measure_fork_exit(tiny());
+  EXPECT_GT(m.ms_per_op(), 0.005);
+  EXPECT_LT(m.ms_per_op(), 100.0);
+  EXPECT_EQ(m.repetitions, 5);
+}
+
+TEST(LatProcTest, LadderOrdering) {
+  // Table 9's shape: fork < fork+exec < fork+sh (allowing noise margin).
+  ProcConfig cfg = tiny();
+  ProcResult r = measure_proc_suite(cfg);
+  EXPECT_GT(r.fork_exit_ms, 0.0);
+  EXPECT_GT(r.fork_exec_ms, r.fork_exit_ms * 0.8);
+  EXPECT_GT(r.fork_sh_ms, r.fork_exec_ms * 0.8);
+}
+
+TEST(LatProcTest, MissingExecutableFails) {
+  ProcConfig cfg = tiny();
+  cfg.exec_path = "/no/such/hello";
+  EXPECT_THROW(measure_fork_exec(cfg), std::runtime_error);
+}
+
+TEST(LatProcTest, IterationValidation) {
+  ProcConfig cfg;
+  cfg.iterations = 0;
+  EXPECT_THROW(measure_fork_exit(cfg), std::invalid_argument);
+}
+
+TEST(LatProcTest, ExplicitExecPathIsUsed) {
+  ProcConfig cfg = tiny();
+  cfg.exec_path = "/bin/true";
+  Measurement m = measure_fork_exec(cfg);
+  EXPECT_GT(m.ms_per_op(), 0.0);
+}
+
+}  // namespace
+}  // namespace lmb::lat

@@ -1,0 +1,64 @@
+#include "src/lat/lat_tlb.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::lat {
+namespace {
+
+TEST(LatTlbTest, PointMeasurementIsSane) {
+  TlbPoint p = measure_tlb_point(64);
+  EXPECT_EQ(p.pages, 64);
+  EXPECT_GT(p.ns_per_access, 0.1);
+  EXPECT_LT(p.ns_per_access, 1000.0);
+}
+
+TEST(LatTlbTest, PointValidation) {
+  EXPECT_THROW(measure_tlb_point(1), std::invalid_argument);
+}
+
+TEST(LatTlbTest, SweepCoversPowerOfTwoCounts) {
+  TlbConfig cfg;
+  cfg.min_pages = 8;
+  cfg.max_pages = 64;
+  auto points = sweep_tlb(cfg);
+  ASSERT_EQ(points.size(), 4u);  // 8, 16, 32, 64
+  EXPECT_EQ(points.front().pages, 8);
+  EXPECT_EQ(points.back().pages, 64);
+}
+
+TEST(LatTlbTest, SweepValidation) {
+  TlbConfig bad;
+  bad.min_pages = 128;
+  bad.max_pages = 64;
+  EXPECT_THROW(sweep_tlb(bad), std::invalid_argument);
+}
+
+TEST(EstimateTlbTest, FindsKneeOnSyntheticCurve) {
+  // Flat at 2ns through 64 pages, then 10ns: a 64-entry TLB.
+  std::vector<TlbPoint> points;
+  for (int pages = 8; pages <= 1024; pages *= 2) {
+    points.push_back({pages, pages <= 64 ? 2.0 : 10.0});
+  }
+  TlbEstimate est = estimate_tlb(points);
+  EXPECT_EQ(est.entries, 64);
+  EXPECT_NEAR(est.miss_cost_ns, 8.0, 1e-9);
+}
+
+TEST(EstimateTlbTest, FlatCurveMeansNoKnee) {
+  std::vector<TlbPoint> points;
+  for (int pages = 8; pages <= 1024; pages *= 2) {
+    points.push_back({pages, 2.0});
+  }
+  TlbEstimate est = estimate_tlb(points);
+  EXPECT_EQ(est.entries, 0);
+}
+
+TEST(EstimateTlbTest, DegenerateInputs) {
+  EXPECT_EQ(estimate_tlb({}).entries, 0);
+  EXPECT_EQ(estimate_tlb({{8, 1.0}, {16, 5.0}}).entries, 0);  // < 3 points
+  std::vector<TlbPoint> three = {{8, 1.0}, {16, 1.0}, {32, 5.0}};
+  EXPECT_EQ(estimate_tlb(three, 0.5).entries, 0);  // bad threshold
+}
+
+}  // namespace
+}  // namespace lmb::lat

@@ -1,0 +1,131 @@
+#include "src/lat/mem_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace lmb::lat {
+namespace {
+
+// Builds a synthetic latency curve: sizes are powers of two; latency is
+// looked up from (threshold, latency) steps.
+std::vector<MemLatPoint> synthetic_curve(
+    size_t min_size, size_t max_size, size_t stride,
+    const std::vector<std::pair<size_t, double>>& levels) {
+  std::vector<MemLatPoint> points;
+  for (size_t size = min_size; size <= max_size; size *= 2) {
+    double lat = levels.back().second;
+    for (const auto& [limit, level_lat] : levels) {
+      if (size <= limit) {
+        lat = level_lat;
+        break;
+      }
+    }
+    points.push_back({size, stride, lat});
+  }
+  return points;
+}
+
+TEST(MemHierarchyTest, ExtractsTwoCachesAndMemory) {
+  // L1: 32K @ 1ns, L2: 1M @ 10ns, memory @ 100ns — like Figure 1.
+  auto points = synthetic_curve(1024, 64u << 20, 64,
+                                {{32u << 10, 1.0}, {1u << 20, 10.0}, {SIZE_MAX, 100.0}});
+  MemHierarchy h = extract_hierarchy(points);
+  ASSERT_EQ(h.caches.size(), 2u);
+  EXPECT_EQ(h.caches[0].size_bytes, 32u << 10);
+  EXPECT_DOUBLE_EQ(h.caches[0].latency_ns, 1.0);
+  EXPECT_EQ(h.caches[1].size_bytes, 1u << 20);
+  EXPECT_DOUBLE_EQ(h.caches[1].latency_ns, 10.0);
+  EXPECT_DOUBLE_EQ(h.memory_latency_ns, 100.0);
+}
+
+TEST(MemHierarchyTest, SingleLevelCountsAsCacheWithUnknownMemory) {
+  auto points = synthetic_curve(1024, 1u << 20, 64, {{SIZE_MAX, 5.0}});
+  MemHierarchy h = extract_hierarchy(points);
+  ASSERT_EQ(h.caches.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.caches[0].latency_ns, 5.0);
+  EXPECT_DOUBLE_EQ(h.memory_latency_ns, 0.0);
+}
+
+TEST(MemHierarchyTest, NoiseWithinThresholdDoesNotSplitPlateaus) {
+  // 10% wobble on a 2-level curve must still give 1 cache + memory.
+  std::vector<MemLatPoint> points;
+  size_t stride = 64;
+  double base = 2.0;
+  for (size_t size = 1024; size <= (32u << 10); size *= 2) {
+    points.push_back({size, stride, base * (size % 3 == 0 ? 1.1 : 1.0)});
+  }
+  for (size_t size = 64u << 10; size <= (8u << 20); size *= 2) {
+    points.push_back({size, stride, 50.0 * (size % 3 == 0 ? 1.08 : 1.0)});
+  }
+  MemHierarchy h = extract_hierarchy(points);
+  EXPECT_EQ(h.caches.size(), 1u);
+  EXPECT_NEAR(h.memory_latency_ns, 50.0, 5.0);
+}
+
+TEST(MemHierarchyTest, InputValidation) {
+  std::vector<MemLatPoint> two = {{1024, 64, 1.0}, {2048, 64, 1.0}};
+  EXPECT_THROW(extract_hierarchy(two), std::invalid_argument);
+  std::vector<MemLatPoint> mixed = {{1024, 64, 1.0}, {2048, 128, 1.0}, {4096, 64, 1.0}};
+  EXPECT_THROW(extract_hierarchy(mixed), std::invalid_argument);
+  auto ok = synthetic_curve(1024, 8192, 64, {{SIZE_MAX, 1.0}});
+  EXPECT_THROW(extract_hierarchy(ok, 0.9), std::invalid_argument);
+}
+
+TEST(LineSizeTest, SmallestMemorySpeedStrideWins) {
+  // At the largest size: strides >= 64 all run at memory speed (100ns);
+  // stride 32 gets 2 hits per 64-byte line (50ns), stride 16 gets 4 (25ns).
+  std::vector<MemLatPoint> points;
+  size_t max_size = 8u << 20;
+  for (size_t stride : {16, 32, 64, 128, 256}) {
+    points.push_back({max_size, stride, stride >= 64 ? 100.0 : 100.0 * stride / 64.0});
+    points.push_back({1024, stride, 1.0});  // small sizes present too
+  }
+  EXPECT_EQ(estimate_line_size(points), 64u);
+}
+
+TEST(LineSizeTest, DegenerateInputs) {
+  EXPECT_EQ(estimate_line_size({}), 0u);
+  std::vector<MemLatPoint> one = {{1024, 64, 1.0}};
+  EXPECT_EQ(estimate_line_size(one), 0u);
+}
+
+TEST(AutosizeTest, ScalesLargestCache) {
+  MemHierarchy h;
+  h.caches.push_back({32u << 10, 1.0});
+  h.caches.push_back({2u << 20, 10.0});
+  h.memory_latency_ns = 100.0;
+  EXPECT_EQ(autosize_beyond_cache(h), 8u << 20);          // 4 x 2MB = default min
+  EXPECT_EQ(autosize_beyond_cache(h, 8), 16u << 20);      // 8 x 2MB
+  MemHierarchy big;
+  big.caches.push_back({64u << 20, 20.0});
+  EXPECT_EQ(autosize_beyond_cache(big), 256u << 20);      // beyond a 64MB cache
+}
+
+TEST(AutosizeTest, FallbackAndValidation) {
+  MemHierarchy empty;
+  EXPECT_EQ(autosize_beyond_cache(empty), 8u << 20);  // minimum
+  EXPECT_THROW(autosize_beyond_cache(empty, 0), std::invalid_argument);
+}
+
+// Property: extraction is invariant to input order (it sorts internally).
+class HierarchyOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HierarchyOrderTest, ShuffledInputGivesSameAnswer) {
+  auto points = synthetic_curve(1024, 16u << 20, 64,
+                                {{64u << 10, 2.0}, {SIZE_MAX, 80.0}});
+  auto shuffled = points;
+  std::mt19937 rng(GetParam());
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+  MemHierarchy a = extract_hierarchy(points);
+  MemHierarchy b = extract_hierarchy(shuffled);
+  ASSERT_EQ(a.caches.size(), b.caches.size());
+  EXPECT_EQ(a.caches[0].size_bytes, b.caches[0].size_bytes);
+  EXPECT_DOUBLE_EQ(a.memory_latency_ns, b.memory_latency_ns);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchyOrderTest, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace lmb::lat

@@ -1,0 +1,89 @@
+#include "src/netsim/link.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::netsim {
+namespace {
+
+TEST(LinkTest, EthernetMinFramePadding) {
+  LinkProfile eth = LinkProfile::ethernet_10baseT();
+  // 4-byte payload + 18 overhead = 22, padded to 64, + 20 preamble/IFG.
+  EXPECT_EQ(eth.wire_bytes(4), 84u);
+  // Full MTU frame: 1500 + 18 + 20.
+  EXPECT_EQ(eth.wire_bytes(1500), 1538u);
+  EXPECT_THROW(eth.wire_bytes(1501), std::invalid_argument);
+}
+
+TEST(LinkTest, PaperWireTimeQuotesHold) {
+  // §6.7: "the time on the wire ... is about 130 microseconds for 10Mbit
+  // ethernet, 13 microseconds for 100Mbit ethernet and FDDI, and less than
+  // 10 microseconds for Hippi" (round trip, small messages).
+  LinkProfile e10 = LinkProfile::ethernet_10baseT();
+  LinkProfile e100 = LinkProfile::ethernet_100baseT();
+  LinkProfile fddi = LinkProfile::fddi();
+  LinkProfile hippi = LinkProfile::hippi();
+
+  // Small message (4-byte payload + 40 TCP/IP headers).
+  auto rtt_us = [](const LinkProfile& link) {
+    return 2.0 * static_cast<double>(link.one_way_time(44)) / kMicrosecond;
+  };
+  EXPECT_NEAR(rtt_us(e10), 130.0, 30.0);
+  EXPECT_LT(rtt_us(e100), 30.0);
+  EXPECT_LT(rtt_us(fddi), 30.0);
+  EXPECT_LT(rtt_us(hippi), 10.0);
+}
+
+TEST(LinkTest, FrameTimeScalesWithRate) {
+  LinkProfile e10 = LinkProfile::ethernet_10baseT();
+  LinkProfile e100 = LinkProfile::ethernet_100baseT();
+  EXPECT_NEAR(static_cast<double>(e10.frame_time(1000)) /
+                  static_cast<double>(e100.frame_time(1000)),
+              10.0, 0.01);
+}
+
+TEST(LinkTest, MessageTimeForMultiFrame) {
+  LinkProfile eth = LinkProfile::ethernet_100baseT();
+  // 4500 bytes -> 3 full MTU frames, all serialized back to back.
+  Nanos t = eth.message_time(4500);
+  EXPECT_EQ(t, 3 * eth.frame_time(1500) + eth.propagation_delay);
+  // Zero bytes still takes one (minimum) frame.
+  EXPECT_EQ(eth.message_time(0), eth.frame_time(0) + eth.propagation_delay);
+}
+
+TEST(LinkTest, FramesForPartialTail) {
+  LinkProfile eth = LinkProfile::ethernet_10baseT();
+  EXPECT_EQ(eth.frames_for(0), 1u);
+  EXPECT_EQ(eth.frames_for(1500), 1u);
+  EXPECT_EQ(eth.frames_for(1501), 2u);
+  EXPECT_EQ(eth.frames_for(15000), 10u);
+}
+
+TEST(LinkTest, PayloadRateBelowSignalingRate) {
+  for (const LinkProfile& link :
+       {LinkProfile::ethernet_10baseT(), LinkProfile::ethernet_100baseT(), LinkProfile::fddi(),
+        LinkProfile::hippi()}) {
+    double raw_mb = link.megabits_per_sec * 1e6 / 8.0 / (1024.0 * 1024.0);
+    EXPECT_GT(link.payload_mb_per_sec(), 0.0) << link.name;
+    EXPECT_LT(link.payload_mb_per_sec(), raw_mb) << link.name;
+  }
+}
+
+TEST(LinkTest, PaperBandwidthShapesHold) {
+  // Table 4 shape: hippi (79.3) >> 100baseT (9.5) ~ fddi (8.8) >> 10baseT (0.9).
+  double hippi = LinkProfile::hippi().payload_mb_per_sec();
+  double e100 = LinkProfile::ethernet_100baseT().payload_mb_per_sec();
+  double fddi = LinkProfile::fddi().payload_mb_per_sec();
+  double e10 = LinkProfile::ethernet_10baseT().payload_mb_per_sec();
+  EXPECT_GT(hippi, 5 * e100);
+  EXPECT_NEAR(e100 / fddi, 1.0, 0.2);  // "100baseT is looking quite competitive"
+  EXPECT_GT(e100, 9 * e10);
+}
+
+TEST(LinkTest, InvalidRateRejected) {
+  LinkProfile bad = LinkProfile::ethernet_10baseT();
+  bad.megabits_per_sec = 0;
+  EXPECT_THROW(bad.frame_time(100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmb::netsim

@@ -1,0 +1,74 @@
+#include "src/netsim/remote.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::netsim {
+namespace {
+
+HostCosts typical_hosts() {
+  // Loopback numbers in the rough range of a mid-90s workstation from
+  // Tables 12/13: TCP rtt 300us, UDP rtt 250us, TCP loopback 20 MB/s.
+  return HostCosts::from_loopback(300.0, 250.0, 20.0);
+}
+
+TEST(HostCostsTest, DerivedFromLoopback) {
+  HostCosts costs = typical_hosts();
+  EXPECT_EQ(costs.tcp_one_way, 150 * kMicrosecond);
+  EXPECT_EQ(costs.udp_one_way, 125 * kMicrosecond);
+  EXPECT_NEAR(costs.per_byte_ns, 1e9 / (20.0 * 1024 * 1024), 1e-6);
+  HostCosts zero_bw = HostCosts::from_loopback(10, 10, 0);
+  EXPECT_EQ(zero_bw.per_byte_ns, 0.0);
+}
+
+TEST(RemoteLatencyTest, WireAddsToSoftwareAndOrdersNetworks) {
+  HostCosts hosts = typical_hosts();
+  RemoteLatency e10 = model_remote_latency(LinkProfile::ethernet_10baseT(), hosts);
+  RemoteLatency e100 = model_remote_latency(LinkProfile::ethernet_100baseT(), hosts);
+  RemoteLatency hip = model_remote_latency(LinkProfile::hippi(), hosts);
+
+  // Remote latency = loopback software (300us) + wire.
+  EXPECT_GT(e10.tcp_rtt_us, 300.0);
+  EXPECT_GT(e10.tcp_rtt_us, e100.tcp_rtt_us);
+  EXPECT_GT(e100.tcp_rtt_us, hip.tcp_rtt_us);
+  // Table 14 shape: 10baseT adds ~130-150us over the software cost.
+  EXPECT_NEAR(e10.tcp_rtt_us - 300.0, e10.wire_rtt_us, 1.0);
+  EXPECT_GT(e10.wire_rtt_us, 100.0);
+  EXPECT_LT(e10.wire_rtt_us, 200.0);
+  // UDP carries smaller headers, so its wire time is no larger.
+  EXPECT_LE(e10.udp_rtt_us, e10.tcp_rtt_us);
+}
+
+TEST(RemoteBandwidthTest, HippiFastest10baseTSlowest) {
+  HostCosts hosts = typical_hosts();
+  RemoteBandwidth hip = model_remote_bandwidth(LinkProfile::hippi(), hosts, 2u << 20);
+  RemoteBandwidth e100 = model_remote_bandwidth(LinkProfile::ethernet_100baseT(), hosts, 2u << 20);
+  RemoteBandwidth fddi = model_remote_bandwidth(LinkProfile::fddi(), hosts, 2u << 20);
+  RemoteBandwidth e10 = model_remote_bandwidth(LinkProfile::ethernet_10baseT(), hosts, 2u << 20);
+
+  // Table 4 ordering: hippi >> {100baseT, fddi} >> 10baseT.
+  EXPECT_GT(hip.tcp_mb_per_sec, e100.tcp_mb_per_sec);
+  EXPECT_GT(e100.tcp_mb_per_sec, e10.tcp_mb_per_sec * 5);
+  EXPECT_NEAR(e100.tcp_mb_per_sec / fddi.tcp_mb_per_sec, 1.0, 0.5);
+  // 10baseT delivers under ~1.2 MB/s no matter the host (Table 4: 0.7-0.9).
+  EXPECT_LT(e10.tcp_mb_per_sec, 1.2);
+}
+
+TEST(RemoteConnectTest, ScalesWithWireAndSoftware) {
+  HostCosts hosts = typical_hosts();
+  double local_ish = model_remote_connect_us(LinkProfile::hippi(), hosts);
+  double remote = model_remote_connect_us(LinkProfile::ethernet_10baseT(), hosts);
+  EXPECT_GT(remote, local_ish);
+  EXPECT_GT(remote, 3 * 150.0);  // at least the three processing steps
+}
+
+TEST(PaperNetworksTest, FourProfilesInPaperOrder) {
+  auto nets = paper_networks();
+  ASSERT_EQ(nets.size(), 4u);
+  EXPECT_EQ(nets[0].name, "hippi");
+  EXPECT_EQ(nets[1].name, "100baseT");
+  EXPECT_EQ(nets[2].name, "fddi");
+  EXPECT_EQ(nets[3].name, "10baseT");
+}
+
+}  // namespace
+}  // namespace lmb::netsim

@@ -1,0 +1,133 @@
+#include "src/netsim/simnet.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lmb::netsim {
+namespace {
+
+TEST(SimNetworkTest, DeliversPacketToPeerAfterWireTime) {
+  VirtualClock clock;
+  LinkProfile link = LinkProfile::ethernet_10baseT();
+  SimNetwork net(link, clock);
+
+  Nanos arrival = -1;
+  net.set_handler(1, [&](int self, const Packet& p) {
+    EXPECT_EQ(self, 1);
+    EXPECT_EQ(p.bytes, 100u);
+    EXPECT_EQ(p.tag, 7u);
+    arrival = clock.now();
+  });
+  net.send(0, Packet{100, 7});
+  net.run();
+
+  ASSERT_GE(arrival, 0);
+  EXPECT_EQ(arrival, link.frame_time(100) + link.propagation_delay);
+  EXPECT_EQ(net.packets_delivered(1), 1u);
+  EXPECT_EQ(net.bytes_delivered(1), 100u);
+  EXPECT_EQ(net.packets_delivered(0), 0u);
+}
+
+TEST(SimNetworkTest, BackToBackSendsSerializeOnTheWire) {
+  VirtualClock clock;
+  LinkProfile link = LinkProfile::ethernet_10baseT();
+  SimNetwork net(link, clock);
+
+  std::vector<Nanos> arrivals;
+  net.set_handler(1, [&](int, const Packet&) { arrivals.push_back(clock.now()); });
+  net.send(0, Packet{1000, 0});
+  net.send(0, Packet{1000, 1});
+  net.run();
+
+  ASSERT_EQ(arrivals.size(), 2u);
+  Nanos frame = link.frame_time(1000);
+  EXPECT_EQ(arrivals[0], frame + link.propagation_delay);
+  EXPECT_EQ(arrivals[1], 2 * frame + link.propagation_delay);
+}
+
+TEST(SimNetworkTest, DirectionsDoNotContend) {
+  VirtualClock clock;
+  LinkProfile link = LinkProfile::ethernet_10baseT();
+  SimNetwork net(link, clock);
+  std::vector<int> order;
+  net.set_handler(0, [&](int, const Packet&) { order.push_back(0); });
+  net.set_handler(1, [&](int, const Packet&) { order.push_back(1); });
+  net.send(0, Packet{1000, 0});
+  net.send(1, Packet{1000, 0});
+  net.run();
+  // Full duplex: both arrive at the same virtual time (tie: FIFO order).
+  ASSERT_EQ(order.size(), 2u);
+}
+
+TEST(SimNetworkTest, LargePacketsFragment) {
+  VirtualClock clock;
+  LinkProfile link = LinkProfile::ethernet_100baseT();
+  SimNetwork net(link, clock);
+  Nanos arrival = -1;
+  net.set_handler(1, [&](int, const Packet&) { arrival = clock.now(); });
+  net.send(0, Packet{4500, 0});  // 3 MTU frames
+  net.run();
+  EXPECT_EQ(arrival, 3 * link.frame_time(1500) + link.propagation_delay);
+}
+
+TEST(SimNetworkTest, InvalidHostRejected) {
+  VirtualClock clock;
+  SimNetwork net(LinkProfile::fddi(), clock);
+  EXPECT_THROW(net.send(2, Packet{1, 0}), std::invalid_argument);
+  EXPECT_THROW(net.set_handler(-1, nullptr), std::invalid_argument);
+}
+
+TEST(SimulateEchoTest, MatchesAnalyticFormula) {
+  LinkProfile link = LinkProfile::ethernet_100baseT();
+  Nanos sw = 50 * kMicrosecond;
+  Nanos rtt = simulate_echo_rtt(link, 44, sw);
+  // client sw + wire + server sw + wire + client sw.
+  Nanos expected = 3 * sw + 2 * link.one_way_time(44);
+  EXPECT_EQ(rtt, expected);
+}
+
+TEST(SimulateEchoTest, FasterLinksGiveFasterEchoes) {
+  Nanos sw = 100 * kMicrosecond;
+  Nanos slow = simulate_echo_rtt(LinkProfile::ethernet_10baseT(), 44, sw);
+  Nanos fast = simulate_echo_rtt(LinkProfile::hippi(), 44, sw);
+  EXPECT_GT(slow, fast);
+}
+
+}  // namespace
+}  // namespace lmb::netsim
+
+namespace lmb::netsim {
+namespace {
+
+TEST(SimulateEchoTest, MultiFrameMessagePaysAllFrames) {
+  LinkProfile link = LinkProfile::ethernet_100baseT();
+  Nanos small = simulate_echo_rtt(link, 44, 0);
+  Nanos big = simulate_echo_rtt(link, 4400, 0);  // 3 frames each way
+  EXPECT_GT(big, 2 * small);
+}
+
+TEST(SimNetworkLossTest, LostPacketsNeverDeliverButOccupyWire) {
+  VirtualClock clock;
+  SimNetwork net(LinkProfile::ethernet_10baseT(), clock);
+  net.set_loss(0.999999, 42);  // effectively always lost
+  int delivered = 0;
+  net.set_handler(1, [&](int, const Packet&) { ++delivered; });
+  for (int i = 0; i < 20; ++i) {
+    net.send(0, Packet{1000, 0});
+  }
+  net.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.packets_dropped(), 20u);
+  // A subsequent (non-lost) packet still queues behind the 20 lost frames.
+  net.set_loss(0.0);
+  Nanos arrival = -1;
+  net.set_handler(1, [&](int, const Packet&) { arrival = clock.now(); });
+  net.send(0, Packet{1000, 1});
+  net.run();
+  LinkProfile link = LinkProfile::ethernet_10baseT();
+  EXPECT_GE(arrival, 21 * link.frame_time(1000));
+}
+
+}  // namespace
+}  // namespace lmb::netsim

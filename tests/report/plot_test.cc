@@ -1,0 +1,107 @@
+#include "src/report/plot.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::report {
+namespace {
+
+Series make_series(const std::string& label, std::initializer_list<Point> pts) {
+  Series s;
+  s.label = label;
+  s.points = pts;
+  return s;
+}
+
+TEST(PlotTest, EmptyPlotRendersNothing) {
+  Plot p("t", "x", "y");
+  EXPECT_EQ(p.render(), "");
+  p.add_series(make_series("empty", {}));
+  EXPECT_EQ(p.render(), "");
+}
+
+TEST(PlotTest, RendersTitleAxesAndLegend) {
+  Plot p("Figure 1. Memory latency", "array size", "latency (ns)");
+  p.add_series(make_series("stride=64", {{512, 5}, {1024, 5}, {2048, 50}}));
+  p.add_series(make_series("stride=128", {{512, 5}, {1024, 60}}));
+  std::string out = p.render();
+  EXPECT_NE(out.find("Figure 1. Memory latency"), std::string::npos);
+  EXPECT_NE(out.find("latency (ns)"), std::string::npos);
+  EXPECT_NE(out.find("array size"), std::string::npos);
+  EXPECT_NE(out.find("+ stride=64"), std::string::npos);
+  EXPECT_NE(out.find("x stride=128"), std::string::npos);
+  EXPECT_EQ(p.series_count(), 2u);
+}
+
+TEST(PlotTest, MarksAppearInGrid) {
+  Plot p("t", "x", "y");
+  p.set_size(32, 8);
+  p.add_series(make_series("s", {{0, 0}, {10, 10}}));
+  std::string out = p.render();
+  // The '+' marker must appear at least twice (two points) beyond the legend line.
+  size_t count = 0;
+  for (char c : out) {
+    count += c == '+' ? 1 : 0;
+  }
+  EXPECT_GE(count, 3u);  // 2 points + 1 axis corner + legend glyph
+}
+
+TEST(PlotTest, Log2ScaleRequiresPositiveX) {
+  Plot p("t", "x", "y");
+  p.set_x_scale(XScale::kLog2);
+  p.add_series(make_series("s", {{0, 1}}));
+  EXPECT_THROW(p.render(), std::invalid_argument);
+}
+
+TEST(PlotTest, Log2ScaleLabelsAxis) {
+  Plot p("t", "size", "y");
+  p.set_x_scale(XScale::kLog2);
+  p.add_series(make_series("s", {{512, 1}, {1024, 2}, {8192, 3}}));
+  std::string out = p.render();
+  EXPECT_NE(out.find("(log2)"), std::string::npos);
+  // log2 range 9..13.
+  EXPECT_NE(out.find("9"), std::string::npos);
+  EXPECT_NE(out.find("13"), std::string::npos);
+}
+
+TEST(PlotTest, TinySizesRejected) {
+  Plot p("t", "x", "y");
+  EXPECT_THROW(p.set_size(4, 2), std::invalid_argument);
+}
+
+TEST(PlotTest, ManySeriesCycleMarkers) {
+  Plot p("t", "x", "y");
+  for (int i = 0; i < 10; ++i) {
+    p.add_series(make_series("s" + std::to_string(i), {{1.0 * i + 1, 1.0 * i}}));
+  }
+  std::string out = p.render();
+  EXPECT_NE(out.find("s9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lmb::report
+
+namespace lmb::report {
+namespace {
+
+TEST(PlotTest, DegenerateSinglePointStillRenders) {
+  Plot p("t", "x", "y");
+  Series s;
+  s.label = "one";
+  s.points = {{5.0, 0.0}};
+  p.add_series(std::move(s));
+  std::string out = p.render();
+  EXPECT_FALSE(out.empty());
+  EXPECT_NE(out.find("one"), std::string::npos);
+}
+
+TEST(PlotTest, AllPointsAtSameXHandled) {
+  Plot p("t", "x", "y");
+  Series s;
+  s.label = "vertical";
+  s.points = {{2.0, 1.0}, {2.0, 5.0}, {2.0, 9.0}};
+  p.add_series(std::move(s));
+  EXPECT_FALSE(p.render().empty());
+}
+
+}  // namespace
+}  // namespace lmb::report

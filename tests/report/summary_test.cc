@@ -1,0 +1,59 @@
+#include "src/report/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "src/db/metrics.h"
+
+namespace lmb::report {
+namespace {
+
+db::ResultSet fake_system(const std::string& name, double scale) {
+  db::ResultSet set(name);
+  for (const auto& m : db::standard_metrics()) {
+    set.set(m.key, 10.0 * scale);
+  }
+  return set;
+}
+
+TEST(SummaryTest, EmptyDatabase) {
+  db::ResultDatabase database;
+  EXPECT_EQ(render_summary(database), "(no result sets)\n");
+}
+
+TEST(SummaryTest, SingleSystemShowsAllSections) {
+  db::ResultDatabase database;
+  database.add(fake_system("sysA", 1.0));
+  std::string out = render_summary(database);
+  EXPECT_NE(out.find("Processor and system calls"), std::string::npos);
+  EXPECT_NE(out.find("Context switching and IPC latencies"), std::string::npos);
+  EXPECT_NE(out.find("Bandwidths"), std::string::npos);
+  EXPECT_NE(out.find("Memory hierarchy, file and VM latencies"), std::string::npos);
+  EXPECT_NE(out.find("sysA"), std::string::npos);
+  // Single system: no best markers.
+  EXPECT_EQ(out.find("best system per row"), std::string::npos);
+}
+
+TEST(SummaryTest, TwoSystemsMarkBestPerDirection) {
+  db::ResultDatabase database;
+  database.add(fake_system("fast", 1.0));
+  database.add(fake_system("slow", 2.0));
+  std::string out = render_summary(database);
+  EXPECT_NE(out.find("best system per row"), std::string::npos);
+  // The latency rows (lower better) mark the 10 value; bandwidth rows mark
+  // the 20 value: both "10*" and "20*" must appear.
+  EXPECT_NE(out.find("10*"), std::string::npos);
+  EXPECT_NE(out.find("20*"), std::string::npos);
+}
+
+TEST(SummaryTest, MissingMetricsRenderDashes) {
+  db::ResultDatabase database;
+  db::ResultSet sparse("sparse");
+  sparse.set("lat_pipe_us", 5.0);
+  database.add(sparse);
+  std::string out = render_summary(database);
+  EXPECT_NE(out.find("--"), std::string::npos);
+  EXPECT_NE(out.find("5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lmb::report

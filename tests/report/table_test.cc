@@ -1,0 +1,93 @@
+#include "src/report/table.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::report {
+namespace {
+
+Table sample_table() {
+  Table t("Table X. Example", {{"System", 0}, {"lat", 1}, {"bw", 0}});
+  t.add_row({std::string("beta"), 12.5, 100.0});
+  t.add_row({std::string("alpha"), 3.25, 200.0});
+  t.add_row({std::string("gamma"), std::monostate{}, 50.0});
+  return t;
+}
+
+TEST(FormatNumberTest, TrimsTrailingZeros) {
+  EXPECT_EQ(format_number(12.50, 2), "12.5");
+  EXPECT_EQ(format_number(12.00, 2), "12");
+  EXPECT_EQ(format_number(12.34, 2), "12.34");
+  EXPECT_EQ(format_number(12.345, 0), "12");
+  EXPECT_EQ(format_number(0.0, 3), "0");
+}
+
+TEST(TableTest, RendersTitleHeaderAndRows) {
+  std::string out = sample_table().render();
+  EXPECT_NE(out.find("Table X. Example"), std::string::npos);
+  EXPECT_NE(out.find("System"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("12.5"), std::string::npos);
+  EXPECT_NE(out.find("--"), std::string::npos);  // missing cell
+}
+
+TEST(TableTest, SortAscendingPutsSmallestFirstAndMarksColumn) {
+  Table t = sample_table();
+  t.sort_by(1, SortOrder::kAscending);
+  std::string out = t.render();
+  EXPECT_NE(out.find("lat*"), std::string::npos);
+  size_t alpha = out.find("alpha");
+  size_t beta = out.find("beta");
+  size_t gamma = out.find("gamma");
+  EXPECT_LT(alpha, beta);
+  EXPECT_LT(beta, gamma);  // missing cells sink to the bottom
+}
+
+TEST(TableTest, SortDescendingPutsLargestFirst) {
+  Table t = sample_table();
+  t.sort_by(2, SortOrder::kDescending);
+  std::string out = t.render();
+  EXPECT_LT(out.find("alpha"), out.find("beta"));  // 200 before 100
+  EXPECT_LT(out.find("beta"), out.find("gamma"));  // 50 last
+}
+
+TEST(TableTest, MarkerAppearsOnMarkedRow) {
+  Table t = sample_table();
+  t.add_row({std::string("this-machine"), 1.0, 1.0});
+  t.mark_last_row("measured here");
+  std::string out = t.render();
+  EXPECT_NE(out.find("<-- measured here"), std::string::npos);
+}
+
+TEST(TableTest, MarkerFollowsRowThroughSort) {
+  Table t("t", {{"name", 0}, {"v", 0}});
+  t.add_row({std::string("big"), 100.0});
+  t.mark_last_row("MARK");
+  t.add_row({std::string("small"), 1.0});
+  t.sort_by(1, SortOrder::kAscending);
+  std::string out = t.render();
+  // "big" sorted last and still carries the marker.
+  size_t big = out.find("big");
+  size_t mark = out.find("<-- MARK");
+  EXPECT_NE(big, std::string::npos);
+  EXPECT_NE(mark, std::string::npos);
+  EXPECT_GT(mark, big);
+}
+
+TEST(TableTest, ValidatesShape) {
+  EXPECT_THROW(Table("t", {}), std::invalid_argument);
+  Table t("t", {{"a", 0}, {"b", 0}});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), std::invalid_argument);
+  EXPECT_THROW(t.sort_by(5, SortOrder::kAscending), std::out_of_range);
+  EXPECT_THROW(t.mark_last_row("m"), std::logic_error);
+}
+
+TEST(TableTest, FormatCellRespectsPrecision) {
+  Table t("t", {{"a", 0}, {"b", 2}});
+  EXPECT_EQ(t.format_cell(Cell{3.7}, 0), "4");
+  EXPECT_EQ(t.format_cell(Cell{3.75}, 1), "3.75");  // precision from column 1? no: column arg
+  EXPECT_EQ(t.format_cell(Cell{std::string("x")}, 0), "x");
+  EXPECT_EQ(t.format_cell(Cell{}, 0), "--");
+}
+
+}  // namespace
+}  // namespace lmb::report

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/rpc/client.h"
+#include "src/rpc/server.h"
+
+namespace lmb::rpc {
+namespace {
+
+constexpr std::uint32_t kProg = 0x20001111;
+constexpr std::uint32_t kVers = 2;
+constexpr std::uint32_t kEcho = 1;
+constexpr std::uint32_t kAdd = 2;
+constexpr std::uint32_t kBoom = 3;
+
+Dispatcher test_dispatcher() {
+  Dispatcher d;
+  d.register_procedure(kProg, kVers, kEcho,
+                       [](const std::vector<std::uint8_t>& args) { return args; });
+  d.register_procedure(kProg, kVers, kAdd, [](const std::vector<std::uint8_t>& args) {
+    XdrDecoder dec(args);
+    std::uint32_t a = dec.get_uint32();
+    std::uint32_t b = dec.get_uint32();
+    XdrEncoder enc;
+    enc.put_uint32(a + b);
+    return enc.take();
+  });
+  d.register_procedure(kProg, kVers, kBoom, [](const std::vector<std::uint8_t>&)
+                           -> std::vector<std::uint8_t> { throw std::runtime_error("boom"); });
+  return d;
+}
+
+TEST(DispatcherTest, RoutesAndReportsErrors) {
+  Dispatcher d = test_dispatcher();
+
+  CallMessage call;
+  call.xid = 1;
+  call.prog = kProg;
+  call.vers = kVers;
+  call.proc = kEcho;
+  call.args = {1, 2, 3, 4};
+  ReplyMessage reply = d.dispatch(call);
+  EXPECT_EQ(reply.status, ReplyStatus::kSuccess);
+  EXPECT_EQ(reply.result, call.args);
+  EXPECT_EQ(reply.xid, 1u);
+
+  call.proc = 99;
+  EXPECT_EQ(d.dispatch(call).status, ReplyStatus::kProcUnavailable);
+
+  call.prog = 0xdead;
+  EXPECT_EQ(d.dispatch(call).status, ReplyStatus::kProgUnavailable);
+
+  call.prog = kProg;
+  call.proc = kBoom;
+  EXPECT_EQ(d.dispatch(call).status, ReplyStatus::kSystemError);
+
+  call.proc = kAdd;
+  call.args = {0, 0};  // truncated args -> XdrError -> garbage args
+  EXPECT_EQ(d.dispatch(call).status, ReplyStatus::kGarbageArgs);
+
+  // Null procedure answers success for a known program.
+  call.proc = kNullProc;
+  call.args.clear();
+  EXPECT_EQ(d.dispatch(call).status, ReplyStatus::kSuccess);
+}
+
+TEST(RpcTcpTest, CallsOverRealSockets) {
+  sys::TcpListener listener;
+  std::thread server([&] {
+    sys::TcpStream conn = listener.accept();
+    Dispatcher d = test_dispatcher();
+    size_t calls = serve_tcp_connection(conn, d);
+    EXPECT_EQ(calls, 3u);
+  });
+
+  {
+    // Scoped: the client's destruction closes the connection, which is what
+    // lets the server loop exit before join().
+    RpcTcpClient client(listener.port());
+    XdrEncoder enc;
+    enc.put_uint32(40);
+    enc.put_uint32(2);
+    auto result = client.call(kProg, kVers, kAdd, enc.bytes());
+    XdrDecoder dec(result);
+    EXPECT_EQ(dec.get_uint32(), 42u);
+
+    // Echo keeps byte payloads intact.
+    std::vector<std::uint8_t> blob = {0xde, 0xad, 0xbe, 0xef};
+    EXPECT_EQ(client.call(kProg, kVers, kEcho, blob), blob);
+
+    // Unknown procedure surfaces as RpcError.
+    try {
+      client.call(kProg, kVers, 1234, {});
+      FAIL() << "expected RpcError";
+    } catch (const RpcError& e) {
+      EXPECT_EQ(e.status(), ReplyStatus::kProcUnavailable);
+    }
+  }
+  server.join();
+}
+
+TEST(RpcUdpTest, CallsOverRealSockets) {
+  sys::UdpSocket server_socket;
+  std::uint16_t port = server_socket.port();
+  std::thread server([&] {
+    Dispatcher d = test_dispatcher();
+    size_t calls = serve_udp(server_socket, d);
+    EXPECT_EQ(calls, 2u);
+  });
+
+  RpcUdpClient client(port);
+  XdrEncoder enc;
+  enc.put_uint32(20);
+  enc.put_uint32(22);
+  auto result = client.call(kProg, kVers, kAdd, enc.bytes());
+  XdrDecoder dec(result);
+  EXPECT_EQ(dec.get_uint32(), 42u);
+
+  std::vector<std::uint8_t> blob = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(client.call(kProg, kVers, kEcho, blob), blob);
+
+  client.send_shutdown();
+  server.join();
+}
+
+TEST(RpcTcpTest, RecordFramingHandlesLargePayloads) {
+  sys::TcpListener listener;
+  std::thread server([&] {
+    sys::TcpStream conn = listener.accept();
+    Dispatcher d = test_dispatcher();
+    serve_tcp_connection(conn, d);
+  });
+  {
+    RpcTcpClient client(listener.port());
+    std::vector<std::uint8_t> big(100000);
+    for (size_t i = 0; i < big.size(); ++i) {
+      big[i] = static_cast<std::uint8_t>(i * 13);
+    }
+    EXPECT_EQ(client.call(kProg, kVers, kEcho, big), big);
+  }
+  server.join();
+}
+
+TEST(DispatcherTest, RegistrationValidation) {
+  Dispatcher d;
+  EXPECT_THROW(d.register_procedure(1, 1, 1, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmb::rpc

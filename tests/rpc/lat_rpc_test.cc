@@ -1,0 +1,29 @@
+#include "src/rpc/lat_rpc.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::rpc {
+namespace {
+
+TEST(LatRpcTest, TcpRpcRoundTripIsMeasurable) {
+  Measurement m = measure_rpc_tcp_latency(RpcLatConfig::quick());
+  EXPECT_GT(m.us_per_op(), 1.0);
+  EXPECT_LT(m.us_per_op(), 100000.0);
+}
+
+TEST(LatRpcTest, UdpRpcRoundTripIsMeasurable) {
+  Measurement m = measure_rpc_udp_latency(RpcLatConfig::quick());
+  EXPECT_GT(m.us_per_op(), 1.0);
+}
+
+TEST(LatRpcTest, BiggerPayloadsCostMore) {
+  RpcLatConfig small = RpcLatConfig::quick();
+  RpcLatConfig big = RpcLatConfig::quick();
+  big.message_bytes = 16384;
+  double s = measure_rpc_tcp_latency(small).us_per_op();
+  double b = measure_rpc_tcp_latency(big).us_per_op();
+  EXPECT_GT(b, s);
+}
+
+}  // namespace
+}  // namespace lmb::rpc

@@ -1,0 +1,92 @@
+#include "src/rpc/message.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::rpc {
+namespace {
+
+TEST(CallMessageTest, EncodeDecodeRoundTrip) {
+  CallMessage call;
+  call.xid = 0xabcd1234;
+  call.prog = 100005;
+  call.vers = 3;
+  call.proc = 7;
+  call.args = {1, 2, 3, 4, 5, 6, 7, 8};
+
+  CallMessage decoded = CallMessage::decode(call.encode());
+  EXPECT_EQ(decoded.xid, call.xid);
+  EXPECT_EQ(decoded.prog, call.prog);
+  EXPECT_EQ(decoded.vers, call.vers);
+  EXPECT_EQ(decoded.proc, call.proc);
+  EXPECT_EQ(decoded.args, call.args);
+}
+
+TEST(CallMessageTest, ArgsPaddedToFourBytes) {
+  CallMessage call;
+  call.args = {0xaa, 0xbb, 0xcc};  // 3 bytes -> padded to 4 on the wire
+  CallMessage decoded = CallMessage::decode(call.encode());
+  // Fixed-opaque trailing args round-trip with the pad byte visible (the
+  // args blob is the remainder of the message).
+  ASSERT_EQ(decoded.args.size(), 4u);
+  EXPECT_EQ(decoded.args[0], 0xaa);
+  EXPECT_EQ(decoded.args[3], 0x00);
+}
+
+TEST(CallMessageTest, RejectsNonCall) {
+  ReplyMessage reply;
+  reply.xid = 1;
+  EXPECT_THROW(CallMessage::decode(reply.encode()), XdrError);
+}
+
+TEST(ReplyMessageTest, SuccessRoundTrip) {
+  ReplyMessage reply;
+  reply.xid = 99;
+  reply.status = ReplyStatus::kSuccess;
+  reply.result = {9, 8, 7, 6};
+  ReplyMessage decoded = ReplyMessage::decode(reply.encode());
+  EXPECT_EQ(decoded.xid, 99u);
+  EXPECT_EQ(decoded.status, ReplyStatus::kSuccess);
+  EXPECT_EQ(decoded.result, reply.result);
+}
+
+TEST(ReplyMessageTest, ErrorStatusesRoundTripWithoutResult) {
+  for (ReplyStatus status : {ReplyStatus::kProgUnavailable, ReplyStatus::kProcUnavailable,
+                             ReplyStatus::kGarbageArgs, ReplyStatus::kSystemError}) {
+    ReplyMessage reply;
+    reply.xid = 5;
+    reply.status = status;
+    reply.result = {1, 2, 3};  // must NOT appear on the wire
+    ReplyMessage decoded = ReplyMessage::decode(reply.encode());
+    EXPECT_EQ(decoded.status, status);
+    EXPECT_TRUE(decoded.result.empty());
+  }
+}
+
+TEST(ReplyMessageTest, RejectsCallAsReply) {
+  CallMessage call;
+  EXPECT_THROW(ReplyMessage::decode(call.encode()), XdrError);
+}
+
+TEST(RecordMarkTest, RoundTripAndLastFlag) {
+  std::uint32_t mark = encode_record_mark(1234);
+  bool last = false;
+  EXPECT_EQ(decode_record_mark(mark, &last), 1234u);
+  EXPECT_TRUE(last);
+
+  bool last2 = true;
+  EXPECT_EQ(decode_record_mark(0x00000010u, &last2), 16u);
+  EXPECT_FALSE(last2);
+}
+
+TEST(RecordMarkTest, ZeroLengthRejected) {
+  EXPECT_THROW(decode_record_mark(0x80000000u, nullptr), XdrError);
+}
+
+TEST(MessageTest, GarbageBytesRejected) {
+  std::vector<std::uint8_t> garbage = {1, 2, 3};
+  EXPECT_THROW(CallMessage::decode(garbage), XdrError);
+  EXPECT_THROW(ReplyMessage::decode(garbage), XdrError);
+}
+
+}  // namespace
+}  // namespace lmb::rpc

@@ -1,0 +1,50 @@
+#include "src/rpc/portmap.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::rpc {
+namespace {
+
+TEST(PortMapperTest, SetLookupUnset) {
+  PortMapper mapper;
+  EXPECT_FALSE(mapper.lookup(100, 1, Protocol::kTcp).has_value());
+  mapper.set(100, 1, Protocol::kTcp, 5555);
+  ASSERT_TRUE(mapper.lookup(100, 1, Protocol::kTcp).has_value());
+  EXPECT_EQ(*mapper.lookup(100, 1, Protocol::kTcp), 5555);
+  mapper.unset(100, 1, Protocol::kTcp);
+  EXPECT_FALSE(mapper.lookup(100, 1, Protocol::kTcp).has_value());
+}
+
+TEST(PortMapperTest, ProtocolAndVersionAreSeparateKeys) {
+  PortMapper mapper;
+  mapper.set(100, 1, Protocol::kTcp, 1111);
+  mapper.set(100, 1, Protocol::kUdp, 2222);
+  mapper.set(100, 2, Protocol::kTcp, 3333);
+  EXPECT_EQ(*mapper.lookup(100, 1, Protocol::kTcp), 1111);
+  EXPECT_EQ(*mapper.lookup(100, 1, Protocol::kUdp), 2222);
+  EXPECT_EQ(*mapper.lookup(100, 2, Protocol::kTcp), 3333);
+  EXPECT_EQ(mapper.size(), 3u);
+}
+
+TEST(PortMapperTest, ReRegistrationOverwrites) {
+  PortMapper mapper;
+  mapper.set(7, 1, Protocol::kUdp, 1000);
+  mapper.set(7, 1, Protocol::kUdp, 2000);
+  EXPECT_EQ(*mapper.lookup(7, 1, Protocol::kUdp), 2000);
+  EXPECT_EQ(mapper.size(), 1u);
+}
+
+TEST(PortMapperTest, UnsetMissingIsNoop) {
+  PortMapper mapper;
+  mapper.unset(1, 2, Protocol::kTcp);  // must not throw
+  EXPECT_EQ(mapper.size(), 0u);
+}
+
+TEST(PortMapperTest, GlobalInstanceIsSingleton) {
+  PortMapper::global().set(424242, 1, Protocol::kTcp, 909);
+  EXPECT_EQ(*PortMapper::global().lookup(424242, 1, Protocol::kTcp), 909);
+  PortMapper::global().unset(424242, 1, Protocol::kTcp);
+}
+
+}  // namespace
+}  // namespace lmb::rpc

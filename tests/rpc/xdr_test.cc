@@ -1,0 +1,161 @@
+#include "src/rpc/xdr.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace lmb::rpc {
+namespace {
+
+TEST(XdrTest, Uint32BigEndian) {
+  XdrEncoder enc;
+  enc.put_uint32(0x01020304u);
+  ASSERT_EQ(enc.size(), 4u);
+  EXPECT_EQ(enc.bytes()[0], 0x01);
+  EXPECT_EQ(enc.bytes()[1], 0x02);
+  EXPECT_EQ(enc.bytes()[2], 0x03);
+  EXPECT_EQ(enc.bytes()[3], 0x04);
+}
+
+TEST(XdrTest, ScalarRoundTrips) {
+  XdrEncoder enc;
+  enc.put_uint32(42);
+  enc.put_int32(-7);
+  enc.put_uint64(0x1122334455667788ull);
+  enc.put_int64(-1234567890123ll);
+  enc.put_bool(true);
+  enc.put_bool(false);
+
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_uint32(), 42u);
+  EXPECT_EQ(dec.get_int32(), -7);
+  EXPECT_EQ(dec.get_uint64(), 0x1122334455667788ull);
+  EXPECT_EQ(dec.get_int64(), -1234567890123ll);
+  EXPECT_TRUE(dec.get_bool());
+  EXPECT_FALSE(dec.get_bool());
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(XdrTest, StringRoundTripWithPadding) {
+  XdrEncoder enc;
+  enc.put_string("abcde");  // 5 bytes -> 4 length + 5 data + 3 pad = 12
+  EXPECT_EQ(enc.size(), 12u);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string(), "abcde");
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(XdrTest, EmptyStringAndOpaque) {
+  XdrEncoder enc;
+  enc.put_string("");
+  enc.put_opaque(nullptr, 0);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_TRUE(dec.get_opaque().empty());
+}
+
+TEST(XdrTest, TruncatedInputThrows) {
+  XdrEncoder enc;
+  enc.put_uint32(1);
+  XdrDecoder dec(enc.bytes().data(), 3);
+  EXPECT_THROW(dec.get_uint32(), XdrError);
+}
+
+TEST(XdrTest, OversizedOpaqueRejected) {
+  XdrEncoder enc;
+  enc.put_uint32(1u << 30);  // claimed length, no body
+  XdrDecoder dec(enc.bytes());
+  EXPECT_THROW(dec.get_opaque(1 << 20), XdrError);
+}
+
+TEST(XdrTest, NonzeroPaddingRejected) {
+  XdrEncoder enc;
+  enc.put_opaque("ab", 2);
+  auto wire = enc.take();
+  wire.back() = 0xff;  // corrupt the pad byte
+  XdrDecoder dec(wire);
+  EXPECT_THROW(dec.get_opaque(), XdrError);
+}
+
+TEST(XdrTest, BoolRangeChecked) {
+  XdrEncoder enc;
+  enc.put_uint32(2);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_THROW(dec.get_bool(), XdrError);
+}
+
+TEST(XdrTest, PadFunction) {
+  EXPECT_EQ(xdr_pad(0), 0u);
+  EXPECT_EQ(xdr_pad(1), 4u);
+  EXPECT_EQ(xdr_pad(4), 4u);
+  EXPECT_EQ(xdr_pad(5), 8u);
+}
+
+// Property: opaque blobs of every length 0..64 round-trip exactly and the
+// wire size is always 4 + padded length.
+class XdrOpaqueProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(XdrOpaqueProperty, OpaqueRoundTrip) {
+  size_t len = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(len) + 1);
+  std::vector<std::uint8_t> data(len);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  XdrEncoder enc;
+  enc.put_opaque(data.data(), data.size());
+  EXPECT_EQ(enc.size(), 4 + xdr_pad(len));
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_opaque(), data);
+  EXPECT_TRUE(dec.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, XdrOpaqueProperty,
+                         ::testing::Values<size_t>(0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 63, 64, 1000));
+
+// Property: random mixed sequences of scalars round-trip.
+class XdrMixedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(XdrMixedProperty, MixedSequenceRoundTrip) {
+  std::mt19937_64 rng(GetParam());
+  XdrEncoder enc;
+  std::vector<std::uint64_t> values;
+  std::vector<int> kinds;
+  for (int i = 0; i < 50; ++i) {
+    int kind = static_cast<int>(rng() % 3);
+    std::uint64_t v = rng();
+    kinds.push_back(kind);
+    values.push_back(v);
+    switch (kind) {
+      case 0:
+        enc.put_uint32(static_cast<std::uint32_t>(v));
+        break;
+      case 1:
+        enc.put_uint64(v);
+        break;
+      case 2:
+        enc.put_bool((v & 1) != 0);
+        break;
+    }
+  }
+  XdrDecoder dec(enc.bytes());
+  for (int i = 0; i < 50; ++i) {
+    switch (kinds[static_cast<size_t>(i)]) {
+      case 0:
+        EXPECT_EQ(dec.get_uint32(), static_cast<std::uint32_t>(values[static_cast<size_t>(i)]));
+        break;
+      case 1:
+        EXPECT_EQ(dec.get_uint64(), values[static_cast<size_t>(i)]);
+        break;
+      case 2:
+        EXPECT_EQ(dec.get_bool(), (values[static_cast<size_t>(i)] & 1) != 0);
+        break;
+    }
+  }
+  EXPECT_TRUE(dec.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XdrMixedProperty, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace lmb::rpc

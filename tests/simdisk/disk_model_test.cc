@@ -1,0 +1,99 @@
+#include "src/simdisk/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::simdisk {
+namespace {
+
+TEST(DiskGeometryTest, CapacityArithmetic) {
+  DiskGeometry g;  // defaults: 512B x 128 x 8 x 2048
+  EXPECT_EQ(g.track_bytes(), 64u * 1024);
+  EXPECT_EQ(g.sectors_per_cylinder(), 128u * 8);
+  EXPECT_EQ(g.total_sectors(), 128ull * 8 * 2048);
+  EXPECT_EQ(g.total_bytes(), 512ull * 128 * 8 * 2048);  // 1 GiB
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(DiskGeometryTest, ChsMapping) {
+  DiskGeometry g;
+  auto chs = g.to_chs(0);
+  EXPECT_EQ(chs.cylinder, 0u);
+  EXPECT_EQ(chs.head, 0u);
+  EXPECT_EQ(chs.sector, 0u);
+
+  chs = g.to_chs(g.sectors_per_track);  // first sector of head 1
+  EXPECT_EQ(chs.cylinder, 0u);
+  EXPECT_EQ(chs.head, 1u);
+  EXPECT_EQ(chs.sector, 0u);
+
+  chs = g.to_chs(g.sectors_per_cylinder());  // first sector of cylinder 1
+  EXPECT_EQ(chs.cylinder, 1u);
+  EXPECT_EQ(chs.head, 0u);
+
+  chs = g.to_chs(g.total_sectors() - 1);
+  EXPECT_EQ(chs.cylinder, g.cylinders - 1);
+  EXPECT_EQ(chs.head, g.heads - 1);
+  EXPECT_EQ(chs.sector, g.sectors_per_track - 1);
+
+  EXPECT_THROW(g.to_chs(g.total_sectors()), std::out_of_range);
+}
+
+TEST(DiskGeometryTest, ValidityChecks) {
+  DiskGeometry g;
+  g.sector_bytes = 100;  // not a multiple of 512
+  EXPECT_FALSE(g.valid());
+  g = DiskGeometry{};
+  g.heads = 0;
+  EXPECT_FALSE(g.valid());
+}
+
+TEST(DiskTimingTest, RotationAndTransfer) {
+  DiskTimingParams t;
+  t.rpm = 7200;
+  EXPECT_EQ(t.rotation_time(), 8'333'333);  // 60/7200 s
+  EXPECT_EQ(t.avg_rotational_latency(), t.rotation_time() / 2);
+
+  t.media_mb_per_sec = 1.0;
+  EXPECT_NEAR(static_cast<double>(t.media_transfer_time(1024 * 1024)), 1e9, 1e3);
+  t.bus_mb_per_sec = 2.0;
+  EXPECT_NEAR(static_cast<double>(t.bus_transfer_time(1024 * 1024)), 5e8, 1e3);
+}
+
+TEST(DiskTimingTest, SeekCurveProperties) {
+  DiskTimingParams t;
+  const std::uint32_t max_cyl = 2048;
+  EXPECT_EQ(t.seek_time(100, 100, max_cyl), 0);
+  // Track-to-track seek starts at seek_min.
+  EXPECT_GE(t.seek_time(100, 101, max_cyl), t.seek_min);
+  // Full stroke is within rounding of seek_max.
+  EXPECT_NEAR(static_cast<double>(t.seek_time(0, max_cyl - 1, max_cyl)),
+              static_cast<double>(t.seek_max), 1e6);
+  // Symmetric.
+  EXPECT_EQ(t.seek_time(10, 500, max_cyl), t.seek_time(500, 10, max_cyl));
+}
+
+// Property: seek time is monotone in distance.
+class SeekMonotoneTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SeekMonotoneTest, LongerSeeksTakeLonger) {
+  DiskTimingParams t;
+  std::uint32_t d = GetParam();
+  Nanos shorter = t.seek_time(0, d, 2048);
+  Nanos longer = t.seek_time(0, d * 2, 2048);
+  EXPECT_LE(shorter, longer);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, SeekMonotoneTest,
+                         ::testing::Values<std::uint32_t>(1, 2, 5, 10, 100, 500, 1000));
+
+TEST(DiskTimingTest, InvalidRatesRejected) {
+  DiskTimingParams t;
+  t.media_mb_per_sec = 0;
+  EXPECT_THROW(t.media_transfer_time(100), std::invalid_argument);
+  t = DiskTimingParams{};
+  t.bus_mb_per_sec = -1;
+  EXPECT_THROW(t.bus_transfer_time(100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmb::simdisk

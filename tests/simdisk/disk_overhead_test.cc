@@ -1,0 +1,36 @@
+#include "src/simdisk/disk_overhead.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::simdisk {
+namespace {
+
+TEST(DiskOverheadTest, SequentialReadsAreBufferHits) {
+  DiskOverheadConfig cfg = DiskOverheadConfig::quick();
+  DiskOverheadResult r = measure_disk_overhead(cfg);
+  // "the benchmark is doing small transfers of data from the disk's track
+  // buffer" — with 128 sectors per track, ~99% of reads hit the buffer.
+  EXPECT_GT(r.buffer_hit_rate, 0.95);
+  EXPECT_GT(r.host_us_per_op, 0.0);
+  EXPECT_GT(r.device_us_per_op, 0.0);
+  EXPECT_GT(r.max_ops_per_sec, 1000.0);  // §6.9's ">1,000 ops/second" claim
+}
+
+TEST(DiskOverheadTest, HostOverheadIsFarBelowDeviceServiceTime) {
+  DiskOverheadResult r = measure_disk_overhead(DiskOverheadConfig::quick());
+  // The premise of Table 17: request-issue CPU cost << device time, so the
+  // CPU can drive many disks.
+  EXPECT_LT(r.host_us_per_op, r.device_us_per_op);
+}
+
+TEST(DiskOverheadTest, ConfigValidation) {
+  DiskOverheadConfig cfg;
+  cfg.requests = 10;
+  EXPECT_THROW(measure_disk_overhead(cfg), std::invalid_argument);
+  cfg = DiskOverheadConfig{};
+  cfg.requests = 1ull << 40;  // exceeds disk capacity
+  EXPECT_THROW(measure_disk_overhead(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmb::simdisk

@@ -1,0 +1,114 @@
+// Failure injection: wrap a BlockDevice that starts failing mid-stream and
+// verify lmdd and SimFs surface the fault instead of corrupting silently.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/core/virtual_clock.h"
+#include "src/simdisk/lmdd.h"
+#include "src/simdisk/sim_disk.h"
+#include "src/simfs/sim_fs.h"
+
+namespace lmb::simdisk {
+namespace {
+
+// Delegates to an inner device until `budget` operations have completed,
+// then throws on every subsequent call (media failure / pulled cable).
+class FaultyDevice final : public BlockDevice {
+ public:
+  FaultyDevice(BlockDevice& inner, int budget) : inner_(&inner), budget_(budget) {}
+
+  size_t read(std::uint64_t offset, void* buf, size_t len) override {
+    spend();
+    return inner_->read(offset, buf, len);
+  }
+  size_t write(std::uint64_t offset, const void* buf, size_t len) override {
+    spend();
+    return inner_->write(offset, buf, len);
+  }
+  std::uint64_t size_bytes() const override { return inner_->size_bytes(); }
+  void flush() override { inner_->flush(); }
+
+  int ops_used() const { return used_; }
+
+ private:
+  void spend() {
+    if (used_ >= budget_) {
+      throw std::runtime_error("injected device failure");
+    }
+    ++used_;
+  }
+
+  BlockDevice* inner_;
+  int budget_;
+  int used_ = 0;
+};
+
+struct Fixture {
+  VirtualClock clock;
+  SimDisk disk{DiskGeometry{}, DiskTimingParams{}, clock};
+};
+
+TEST(FaultInjectionTest, LmddPropagatesReadFailure) {
+  Fixture f;
+  // Populate enough blocks first.
+  LmddConfig fill;
+  fill.block_bytes = 4096;
+  fill.count = 32;
+  fill.generate_pattern = true;
+  lmdd_run(nullptr, &f.disk, fill, f.clock);
+
+  FaultyDevice faulty(f.disk, 10);
+  LmddConfig read_cfg;
+  read_cfg.block_bytes = 4096;
+  read_cfg.count = 32;
+  EXPECT_THROW(lmdd_run(&faulty, nullptr, read_cfg, f.clock), std::runtime_error);
+  EXPECT_EQ(faulty.ops_used(), 10);
+}
+
+TEST(FaultInjectionTest, LmddPropagatesWriteFailure) {
+  Fixture f;
+  FaultyDevice faulty(f.disk, 5);
+  LmddConfig cfg;
+  cfg.block_bytes = 4096;
+  cfg.count = 32;
+  cfg.generate_pattern = true;
+  EXPECT_THROW(lmdd_run(nullptr, &faulty, cfg, f.clock), std::runtime_error);
+}
+
+TEST(FaultInjectionTest, SimFsCreateFailsLoudlyInSyncMode) {
+  Fixture f;
+  // Enough budget to format (1 + 8 + 64 metadata blocks + superblock), then die.
+  FaultyDevice faulty(f.disk, 100);
+  simfs::SimFileSystem fs(faulty, simfs::DurabilityMode::kSync);
+  int created = 0;
+  try {
+    for (int i = 0; i < 100; ++i) {
+      fs.create("f" + std::to_string(i));
+      ++created;
+    }
+    FAIL() << "device failure never surfaced";
+  } catch (const std::runtime_error&) {
+    EXPECT_GT(created, 0);
+    EXPECT_LT(created, 100);
+  }
+}
+
+TEST(FaultInjectionTest, SimFsAsyncModeDefersTheFailureToSync) {
+  Fixture f;
+  // Budget covers exactly the format (81 zeroed metadata blocks + 1
+  // superblock); after that the device is dead.
+  FaultyDevice faulty(f.disk, 1 + simfs::kDirBlocks + simfs::kJournalBlocks + 1);
+  simfs::SimFileSystem fs(faulty, simfs::DurabilityMode::kAsync);
+  // Async creates touch no device blocks, so they outlive the budget...
+  for (int i = 0; i < 300; ++i) {
+    fs.create("f" + std::to_string(i));
+  }
+  EXPECT_EQ(fs.file_count(), 300u);
+  // ...but the deferred flush hits the dead device — exactly the integrity
+  // hazard §6.8 describes for async-metadata filesystems.
+  EXPECT_THROW(fs.sync(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lmb::simdisk

@@ -1,0 +1,52 @@
+#include "src/simdisk/file_disk.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sys/fdio.h"
+#include "src/sys/temp.h"
+
+namespace lmb::simdisk {
+namespace {
+
+TEST(FileDiskTest, CreatesFixedSizeFile) {
+  sys::TempDir dir("lmb_fd");
+  FileDisk disk(dir.file("d"), 1 << 20);
+  EXPECT_EQ(disk.size_bytes(), 1u << 20);
+}
+
+TEST(FileDiskTest, OpensExistingFileWithItsSize) {
+  sys::TempDir dir("lmb_fd");
+  sys::write_file(dir.file("d"), std::string(12345, 'a'));
+  FileDisk disk(dir.file("d"));
+  EXPECT_EQ(disk.size_bytes(), 12345u);
+}
+
+TEST(FileDiskTest, WriteReadRoundTrip) {
+  sys::TempDir dir("lmb_fd");
+  FileDisk disk(dir.file("d"), 64 * 1024);
+  std::string data = "file-backed block device";
+  EXPECT_EQ(disk.write(1000, data.data(), data.size()), data.size());
+  std::vector<char> buf(data.size());
+  EXPECT_EQ(disk.read(1000, buf.data(), buf.size()), data.size());
+  EXPECT_EQ(std::string(buf.data(), buf.size()), data);
+  disk.flush();  // must not throw
+}
+
+TEST(FileDiskTest, BoundsClamping) {
+  sys::TempDir dir("lmb_fd");
+  FileDisk disk(dir.file("d"), 1024);
+  std::vector<char> buf(2048, 'b');
+  EXPECT_EQ(disk.read(1024, buf.data(), buf.size()), 0u);
+  EXPECT_EQ(disk.read(1000, buf.data(), buf.size()), 24u);
+  EXPECT_EQ(disk.write(1000, buf.data(), buf.size()), 24u);
+  EXPECT_EQ(disk.write(2000, buf.data(), buf.size()), 0u);
+}
+
+TEST(FileDiskTest, UnopenablePathThrows) {
+  EXPECT_THROW(FileDisk("/no/such/dir/device", 1024), std::exception);
+}
+
+}  // namespace
+}  // namespace lmb::simdisk

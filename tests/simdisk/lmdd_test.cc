@@ -1,0 +1,176 @@
+#include "src/simdisk/lmdd.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/virtual_clock.h"
+#include "src/simdisk/sim_disk.h"
+
+namespace lmb::simdisk {
+namespace {
+
+struct SimFixture {
+  VirtualClock clock;
+  DiskGeometry geometry;
+  DiskTimingParams timing;
+  SimDisk disk{geometry, timing, clock};
+};
+
+TEST(PatternTest, FillAndCheckAgree) {
+  std::vector<char> buf(4096);
+  fill_pattern(8192, buf.data(), buf.size());
+  EXPECT_EQ(check_pattern_errors(8192, buf.data(), buf.size()), 0u);
+  // Shifted offset must mismatch almost everywhere.
+  EXPECT_GT(check_pattern_errors(8192 + 512, buf.data(), buf.size()), buf.size() / 2);
+}
+
+TEST(PatternTest, UnalignedOffsetsWork) {
+  std::vector<char> buf(100);
+  fill_pattern(12347, buf.data(), buf.size());
+  EXPECT_EQ(check_pattern_errors(12347, buf.data(), buf.size()), 0u);
+}
+
+TEST(PatternTest, CorruptionIsCounted) {
+  std::vector<char> buf(256);
+  fill_pattern(0, buf.data(), buf.size());
+  buf[7] ^= 0x01;
+  buf[100] ^= 0xff;
+  EXPECT_EQ(check_pattern_errors(0, buf.data(), buf.size()), 2u);
+}
+
+TEST(LmddTest, GenerateWriteThenCheckRead) {
+  SimFixture f;
+  LmddConfig out_cfg;
+  out_cfg.block_bytes = 4096;
+  out_cfg.count = 64;
+  out_cfg.generate_pattern = true;
+  LmddResult wrote = lmdd_run(nullptr, &f.disk, out_cfg, f.clock);
+  EXPECT_EQ(wrote.blocks_moved, 64u);
+  EXPECT_EQ(wrote.bytes_moved, 64u * 4096);
+  EXPECT_GT(wrote.elapsed, 0);
+
+  LmddConfig in_cfg;
+  in_cfg.block_bytes = 4096;
+  in_cfg.count = 64;
+  in_cfg.check_pattern = true;
+  LmddResult read = lmdd_run(&f.disk, nullptr, in_cfg, f.clock);
+  EXPECT_EQ(read.blocks_moved, 64u);
+  EXPECT_EQ(read.pattern_errors, 0u);
+}
+
+TEST(LmddTest, SkipAndSeekOffsetBlocks) {
+  SimFixture f;
+  // Write pattern at output offset 10 blocks.
+  LmddConfig out_cfg;
+  out_cfg.block_bytes = 512;
+  out_cfg.count = 4;
+  out_cfg.seek = 10;
+  out_cfg.generate_pattern = true;
+  lmdd_run(nullptr, &f.disk, out_cfg, f.clock);
+
+  // Read back with skip=10: pattern must verify (pattern is offset-based).
+  LmddConfig in_cfg;
+  in_cfg.block_bytes = 512;
+  in_cfg.count = 4;
+  in_cfg.skip = 10;
+  in_cfg.check_pattern = true;
+  LmddResult r = lmdd_run(&f.disk, nullptr, in_cfg, f.clock);
+  EXPECT_EQ(r.pattern_errors, 0u);
+}
+
+TEST(LmddTest, CopyBetweenDevices) {
+  VirtualClock clock;
+  DiskGeometry g;
+  DiskTimingParams t;
+  SimDisk src(g, t, clock);
+  SimDisk dst(g, t, clock);
+
+  LmddConfig fill;
+  fill.block_bytes = 8192;
+  fill.count = 16;
+  fill.generate_pattern = true;
+  lmdd_run(nullptr, &src, fill, clock);
+
+  LmddConfig copy;
+  copy.block_bytes = 8192;
+  copy.count = 16;
+  LmddResult copied = lmdd_run(&src, &dst, copy, clock);
+  EXPECT_EQ(copied.blocks_moved, 16u);
+
+  LmddConfig verify;
+  verify.block_bytes = 8192;
+  verify.count = 16;
+  verify.check_pattern = true;
+  EXPECT_EQ(lmdd_run(&dst, nullptr, verify, clock).pattern_errors, 0u);
+}
+
+TEST(LmddTest, RandomIsSlowerThanSequentialOnSimDisk) {
+  // The paper's core disk result: random I/O pays seek + rotation per block;
+  // sequential rides the track buffer.
+  SimFixture f;
+  LmddConfig fill;
+  fill.block_bytes = 512;
+  fill.count = 2048;
+  fill.generate_pattern = true;
+  lmdd_run(nullptr, &f.disk, fill, f.clock);
+
+  LmddConfig seq;
+  seq.block_bytes = 512;
+  seq.count = 2048;
+  Nanos seq_time = lmdd_run(&f.disk, nullptr, seq, f.clock).elapsed;
+
+  LmddConfig rnd = seq;
+  rnd.pattern = AccessPattern::kRandom;
+  Nanos rnd_time = lmdd_run(&f.disk, nullptr, rnd, f.clock).elapsed;
+
+  EXPECT_GT(rnd_time, seq_time * 2);
+}
+
+TEST(LmddTest, RandomOrderIsSeededAndComplete) {
+  SimFixture f;
+  LmddConfig cfg;
+  cfg.block_bytes = 512;
+  cfg.count = 100;
+  cfg.generate_pattern = true;
+  cfg.pattern = AccessPattern::kRandom;
+  cfg.seed = 7;
+  LmddResult r = lmdd_run(nullptr, &f.disk, cfg, f.clock);
+  EXPECT_EQ(r.blocks_moved, 100u);
+
+  // Every block was written exactly once: full readback verifies.
+  LmddConfig verify;
+  verify.block_bytes = 512;
+  verify.count = 100;
+  verify.check_pattern = true;
+  EXPECT_EQ(lmdd_run(&f.disk, nullptr, verify, f.clock).pattern_errors, 0u);
+}
+
+TEST(LmddTest, CountZeroRunsToDeviceEnd) {
+  VirtualClock clock;
+  DiskGeometry g;
+  g.cylinders = 2;  // tiny disk: 2 * 8 * 128 * 512 = 1 MiB
+  SimDisk disk(g, DiskTimingParams{}, clock);
+  LmddConfig cfg;
+  cfg.block_bytes = 64 * 1024;
+  cfg.generate_pattern = true;
+  LmddResult r = lmdd_run(nullptr, &disk, cfg, clock);
+  EXPECT_EQ(r.bytes_moved, g.total_bytes());
+}
+
+TEST(LmddTest, ConfigValidation) {
+  SimFixture f;
+  LmddConfig cfg;
+  cfg.block_bytes = 0;
+  EXPECT_THROW(lmdd_run(&f.disk, nullptr, cfg, f.clock), std::invalid_argument);
+  cfg = LmddConfig{};
+  EXPECT_THROW(lmdd_run(nullptr, &f.disk, cfg, f.clock), std::invalid_argument);  // no generator
+  cfg.generate_pattern = true;
+  EXPECT_THROW(lmdd_run(nullptr, nullptr, cfg, f.clock), std::invalid_argument);
+  cfg = LmddConfig{};
+  cfg.check_pattern = true;
+  EXPECT_THROW(lmdd_run(nullptr, &f.disk, cfg, f.clock), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmb::simdisk

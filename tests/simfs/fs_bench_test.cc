@@ -1,0 +1,53 @@
+#include "src/simfs/fs_bench.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::simfs {
+namespace {
+
+SimFsBenchResult run(DurabilityMode mode, int files = 200) {
+  SimFsBenchConfig cfg;
+  cfg.mode = mode;
+  cfg.file_count = files;
+  return measure_simfs_latency(cfg);
+}
+
+TEST(SimFsBenchTest, ReproducesTable16Spread) {
+  SimFsBenchResult async_r = run(DurabilityMode::kAsync);
+  SimFsBenchResult journal_r = run(DurabilityMode::kJournaled);
+  SimFsBenchResult sync_r = run(DurabilityMode::kSync);
+
+  // Table 16's shape: async (1996 Linux) orders of magnitude below the
+  // synchronous-write filesystems, with the journaled systems in between.
+  EXPECT_LT(async_r.create_us * 100, sync_r.create_us);
+  EXPECT_LT(journal_r.create_us, sync_r.create_us);
+  EXPECT_GT(journal_r.create_us, async_r.create_us);
+
+  // Synchronous creates land in the paper's "tens of milliseconds" regime.
+  EXPECT_GT(sync_r.create_us, 1000.0);
+  EXPECT_LT(sync_r.create_us, 100000.0);
+}
+
+TEST(SimFsBenchTest, StatsReflectTheDiscipline) {
+  SimFsBenchResult async_r = run(DurabilityMode::kAsync, 100);
+  EXPECT_EQ(async_r.stats.journal_writes, 0u);
+  EXPECT_EQ(async_r.stats.creates, 100u);
+  EXPECT_EQ(async_r.stats.removes, 100u);
+
+  SimFsBenchResult journal_r = run(DurabilityMode::kJournaled, 100);
+  EXPECT_GE(journal_r.stats.journal_writes, 200u);  // one record per op
+
+  SimFsBenchResult sync_r = run(DurabilityMode::kSync, 100);
+  EXPECT_GE(sync_r.stats.metadata_block_writes, 200u);  // one dir write per op
+}
+
+TEST(SimFsBenchTest, ConfigValidation) {
+  SimFsBenchConfig bad;
+  bad.file_count = 0;
+  EXPECT_THROW(measure_simfs_latency(bad), std::invalid_argument);
+  bad.file_count = static_cast<int>(kMaxFiles) + 1;
+  EXPECT_THROW(measure_simfs_latency(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmb::simfs

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "src/core/virtual_clock.h"
+#include "src/simdisk/sim_disk.h"
+#include "src/simfs/sim_fs.h"
+
+namespace lmb::simfs {
+namespace {
+
+struct Fixture {
+  VirtualClock clock;
+  simdisk::SimDisk disk{simdisk::DiskGeometry{}, simdisk::DiskTimingParams{}, clock};
+
+  SimFileSystem make(DurabilityMode mode = DurabilityMode::kAsync) {
+    return SimFileSystem(disk, mode);
+  }
+};
+
+TEST(SimFsDataTest, WriteReadRoundTrip) {
+  Fixture f;
+  SimFileSystem fs = f.make();
+  fs.create("data");
+  std::string payload = "the quick brown fox";
+  fs.write_data("data", 0, payload.data(), payload.size());
+  EXPECT_EQ(fs.file_size("data"), payload.size());
+
+  std::vector<char> buf(payload.size());
+  EXPECT_EQ(fs.read_data("data", 0, buf.data(), buf.size()), payload.size());
+  EXPECT_EQ(std::string(buf.data(), buf.size()), payload);
+}
+
+TEST(SimFsDataTest, CrossBlockWritesAndOffsets) {
+  Fixture f;
+  SimFileSystem fs = f.make();
+  fs.create("big");
+  std::vector<char> data(3 * kBlockSize + 100);
+  std::mt19937 rng(9);
+  for (auto& c : data) {
+    c = static_cast<char>(rng());
+  }
+  fs.write_data("big", 50, data.data(), data.size());
+  EXPECT_EQ(fs.file_size("big"), 50 + data.size());
+
+  std::vector<char> buf(data.size());
+  EXPECT_EQ(fs.read_data("big", 50, buf.data(), buf.size()), data.size());
+  EXPECT_EQ(buf, data);
+}
+
+TEST(SimFsDataTest, HolesReadAsZeros) {
+  Fixture f;
+  SimFileSystem fs = f.make();
+  fs.create("sparse");
+  char x = 'x';
+  fs.write_data("sparse", 2 * kBlockSize, &x, 1);  // blocks 0-1 are holes
+  std::vector<char> buf(kBlockSize, 'q');
+  EXPECT_EQ(fs.read_data("sparse", 0, buf.data(), buf.size()), buf.size());
+  for (char c : buf) {
+    EXPECT_EQ(c, 0);
+  }
+}
+
+TEST(SimFsDataTest, ReadsClampToFileSize) {
+  Fixture f;
+  SimFileSystem fs = f.make();
+  fs.create("short");
+  fs.write_data("short", 0, "abc", 3);
+  std::vector<char> buf(100);
+  EXPECT_EQ(fs.read_data("short", 0, buf.data(), buf.size()), 3u);
+  EXPECT_EQ(fs.read_data("short", 3, buf.data(), buf.size()), 0u);
+  EXPECT_EQ(fs.read_data("short", 100, buf.data(), buf.size()), 0u);
+}
+
+TEST(SimFsDataTest, FileSizeLimitEnforced) {
+  Fixture f;
+  SimFileSystem fs = f.make();
+  fs.create("capped");
+  std::vector<char> block(kBlockSize, 'c');
+  EXPECT_THROW(fs.write_data("capped", kMaxFileBytes - 10, block.data(), block.size()),
+               std::invalid_argument);
+  EXPECT_THROW(fs.write_data("missing", 0, "x", 1), std::runtime_error);
+  EXPECT_THROW(fs.file_size("missing"), std::runtime_error);
+}
+
+TEST(SimFsDataTest, RemoveFreesBlocksForReuse) {
+  Fixture f;
+  SimFileSystem fs = f.make();
+  std::vector<char> block(kBlockSize, 'd');
+  // Fill and free repeatedly; allocator must recycle or the data region
+  // (1 GiB / 4 KB blocks) would never be exhausted anyway — so assert
+  // recycling directly via write-read correctness after heavy churn.
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      std::string name = "churn" + std::to_string(i);
+      fs.create(name);
+      fs.write_data(name, 0, block.data(), block.size());
+    }
+    for (int i = 0; i < 50; ++i) {
+      fs.remove("churn" + std::to_string(i));
+    }
+  }
+  fs.create("final");
+  fs.write_data("final", 0, "zz", 2);
+  std::vector<char> buf(2);
+  fs.read_data("final", 0, buf.data(), 2);
+  EXPECT_EQ(std::string(buf.data(), 2), "zz");
+}
+
+TEST(SimFsDataTest, DataMetadataSurvivesCrashInJournaledMode) {
+  Fixture f;
+  SimFileSystem fs = f.make(DurabilityMode::kJournaled);
+  fs.create("j");
+  std::vector<char> data(2 * kBlockSize, 'j');
+  fs.write_data("j", 0, data.data(), data.size());
+  fs.crash_and_recover();
+  ASSERT_TRUE(fs.exists("j"));
+  EXPECT_EQ(fs.file_size("j"), data.size());
+  std::vector<char> buf(data.size());
+  EXPECT_EQ(fs.read_data("j", 0, buf.data(), buf.size()), data.size());
+  EXPECT_EQ(buf, data);
+}
+
+TEST(SimFsDataTest, AsyncCrashLosesSizeMetadataButSyncKeepsIt) {
+  Fixture f;
+  SimFileSystem fs = f.make(DurabilityMode::kSync);
+  fs.create("s");
+  fs.write_data("s", 0, "hello", 5);
+  fs.crash_and_recover();
+  EXPECT_EQ(fs.file_size("s"), 5u);
+}
+
+}  // namespace
+}  // namespace lmb::simfs

@@ -1,0 +1,232 @@
+#include "src/simfs/sim_fs.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "src/core/virtual_clock.h"
+#include "src/simdisk/sim_disk.h"
+
+namespace lmb::simfs {
+namespace {
+
+struct Fixture {
+  VirtualClock clock;
+  simdisk::DiskGeometry geometry;
+  simdisk::DiskTimingParams timing;
+  simdisk::SimDisk disk{geometry, timing, clock};
+
+  SimFileSystem make(DurabilityMode mode) { return SimFileSystem(disk, mode); }
+};
+
+TEST(SimFsTest, CreateExistsRemove) {
+  Fixture f;
+  SimFileSystem fs = f.make(DurabilityMode::kAsync);
+  EXPECT_FALSE(fs.exists("a"));
+  fs.create("a");
+  EXPECT_TRUE(fs.exists("a"));
+  EXPECT_EQ(fs.file_count(), 1u);
+  fs.remove("a");
+  EXPECT_FALSE(fs.exists("a"));
+  EXPECT_EQ(fs.file_count(), 0u);
+}
+
+TEST(SimFsTest, DuplicateAndMissingErrors) {
+  Fixture f;
+  SimFileSystem fs = f.make(DurabilityMode::kSync);
+  fs.create("x");
+  EXPECT_THROW(fs.create("x"), std::runtime_error);
+  EXPECT_THROW(fs.remove("y"), std::runtime_error);
+}
+
+TEST(SimFsTest, NameValidation) {
+  Fixture f;
+  SimFileSystem fs = f.make(DurabilityMode::kAsync);
+  EXPECT_THROW(fs.create(""), std::invalid_argument);
+  EXPECT_THROW(fs.create(std::string(40, 'n')), std::invalid_argument);
+  EXPECT_THROW(fs.create("a/b"), std::invalid_argument);
+  fs.create(std::string(kMaxNameLen, 'n'));  // max length is fine
+}
+
+TEST(SimFsTest, ListReturnsAllFiles) {
+  Fixture f;
+  SimFileSystem fs = f.make(DurabilityMode::kAsync);
+  fs.create("one");
+  fs.create("two");
+  fs.create("three");
+  auto names = fs.list();
+  std::set<std::string> set(names.begin(), names.end());
+  EXPECT_EQ(set, (std::set<std::string>{"one", "two", "three"}));
+}
+
+TEST(SimFsTest, DirectoryFull) {
+  Fixture f;
+  SimFileSystem fs = f.make(DurabilityMode::kAsync);
+  for (std::uint32_t i = 0; i < kMaxFiles; ++i) {
+    fs.create("f" + std::to_string(i));
+  }
+  EXPECT_THROW(fs.create("overflow"), std::runtime_error);
+  // Removing one frees a slot again.
+  fs.remove("f0");
+  fs.create("overflow");
+}
+
+TEST(SimFsTest, DeviceTooSmallRejected) {
+  VirtualClock clock;
+  simdisk::DiskGeometry tiny;
+  tiny.cylinders = 1;
+  tiny.heads = 1;
+  tiny.sectors_per_track = 16;  // 8 KB device
+  simdisk::SimDisk disk(tiny, simdisk::DiskTimingParams{}, clock);
+  EXPECT_THROW(SimFileSystem(disk, DurabilityMode::kSync), std::invalid_argument);
+}
+
+TEST(SimFsDurabilityTest, SyncModeSurvivesCrash) {
+  Fixture f;
+  SimFileSystem fs = f.make(DurabilityMode::kSync);
+  fs.create("durable1");
+  fs.create("durable2");
+  fs.remove("durable1");
+  fs.crash_and_recover();
+  EXPECT_FALSE(fs.exists("durable1"));
+  EXPECT_TRUE(fs.exists("durable2"));
+  EXPECT_EQ(fs.file_count(), 1u);
+}
+
+TEST(SimFsDurabilityTest, AsyncModeLosesUnsyncedOps) {
+  // "Linux does not guarantee anything about the disk integrity" (§6.8).
+  Fixture f;
+  SimFileSystem fs = f.make(DurabilityMode::kAsync);
+  fs.create("lost");
+  fs.crash_and_recover();
+  EXPECT_FALSE(fs.exists("lost"));
+}
+
+TEST(SimFsDurabilityTest, AsyncModeKeepsSyncedOps) {
+  Fixture f;
+  SimFileSystem fs = f.make(DurabilityMode::kAsync);
+  fs.create("kept");
+  fs.sync();
+  fs.create("lost");
+  fs.crash_and_recover();
+  EXPECT_TRUE(fs.exists("kept"));
+  EXPECT_FALSE(fs.exists("lost"));
+}
+
+TEST(SimFsDurabilityTest, JournaledModeReplaysEverything) {
+  // "Other fast systems, such as SGI's XFS, use a log to guarantee the file
+  // system integrity" (§6.8).
+  Fixture f;
+  SimFileSystem fs = f.make(DurabilityMode::kJournaled);
+  fs.create("a");
+  fs.create("b");
+  fs.remove("a");
+  fs.create("c");
+  fs.crash_and_recover();
+  EXPECT_FALSE(fs.exists("a"));
+  EXPECT_TRUE(fs.exists("b"));
+  EXPECT_TRUE(fs.exists("c"));
+}
+
+TEST(SimFsDurabilityTest, JournaledModeSurvivesRingWrap) {
+  Fixture f;
+  SimFileSystem fs = f.make(DurabilityMode::kJournaled);
+  // More operations than journal blocks forces a checkpoint mid-stream.
+  for (std::uint32_t i = 0; i < kJournalBlocks * 2 + 7; ++i) {
+    fs.create("w" + std::to_string(i));
+  }
+  EXPECT_GT(fs.stats().checkpoints, 0u);
+  fs.crash_and_recover();
+  EXPECT_EQ(fs.file_count(), static_cast<size_t>(kJournalBlocks * 2 + 7));
+}
+
+TEST(SimFsDurabilityTest, OperationsContinueAfterRecovery) {
+  Fixture f;
+  SimFileSystem fs = f.make(DurabilityMode::kJournaled);
+  fs.create("pre");
+  fs.crash_and_recover();
+  fs.create("post");
+  fs.crash_and_recover();
+  EXPECT_TRUE(fs.exists("pre"));
+  EXPECT_TRUE(fs.exists("post"));
+}
+
+TEST(SimFsTest, ModeCostOrdering) {
+  // The heart of Table 16: per-op virtual time async << journaled < sync.
+  // Journaled mode runs with the drive write cache (log writes need not hit
+  // the media per-op); sync mode is write-through (FUA semantics).
+  auto run = [](DurabilityMode mode) {
+    VirtualClock clock;
+    simdisk::DiskTimingParams timing;
+    if (mode == DurabilityMode::kJournaled) {
+      timing.write_cache_bytes = 256 * 1024;
+    }
+    simdisk::SimDisk disk(simdisk::DiskGeometry{}, timing, clock);
+    SimFileSystem fs(disk, mode);
+    Nanos start = clock.now();
+    for (int i = 0; i < 50; ++i) {
+      fs.create("f" + std::to_string(i));
+    }
+    return static_cast<double>(clock.now() - start) / 50;
+  };
+  double async_ns = run(DurabilityMode::kAsync);
+  double journal_ns = run(DurabilityMode::kJournaled);
+  double sync_ns = run(DurabilityMode::kSync);
+  EXPECT_LT(async_ns, journal_ns / 100);  // in-memory vs any disk write
+  EXPECT_LT(journal_ns, sync_ns);         // cached log vs per-op media write
+}
+
+// Property: after any random op sequence + crash, the recovered state in
+// sync/journaled modes equals the model state; async equals the state at
+// the last sync().
+class SimFsCrashProperty
+    : public ::testing::TestWithParam<std::tuple<int, DurabilityMode>> {};
+
+TEST_P(SimFsCrashProperty, RecoveredStateMatchesGuarantee) {
+  auto [seed, mode] = GetParam();
+  Fixture f;
+  SimFileSystem fs = f.make(mode);
+  std::mt19937 rng(static_cast<unsigned>(seed));
+
+  std::set<std::string> model;          // what the live fs should contain
+  std::set<std::string> synced_model;   // state at last sync (async guarantee)
+  for (int op = 0; op < 200; ++op) {
+    int roll = static_cast<int>(rng() % 100);
+    std::string name = "p" + std::to_string(rng() % 40);
+    if (roll < 55) {
+      if (model.count(name) == 0) {
+        fs.create(name);
+        model.insert(name);
+      }
+    } else if (roll < 95) {
+      if (model.count(name) != 0) {
+        fs.remove(name);
+        model.erase(name);
+      }
+    } else {
+      fs.sync();
+      synced_model = model;
+    }
+  }
+
+  fs.crash_and_recover();
+  std::set<std::string> recovered;
+  for (const auto& n : fs.list()) {
+    recovered.insert(n);
+  }
+  if (mode == DurabilityMode::kAsync) {
+    EXPECT_EQ(recovered, synced_model);
+  } else {
+    EXPECT_EQ(recovered, model);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, SimFsCrashProperty,
+    ::testing::Combine(::testing::Range(1, 6),
+                       ::testing::Values(DurabilityMode::kAsync, DurabilityMode::kJournaled,
+                                         DurabilityMode::kSync)));
+
+}  // namespace
+}  // namespace lmb::simfs

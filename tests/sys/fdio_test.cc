@@ -1,0 +1,76 @@
+#include "src/sys/fdio.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "src/sys/error.h"
+#include "src/sys/pipe.h"
+#include "src/sys/temp.h"
+
+namespace lmb::sys {
+namespace {
+
+TEST(FdioTest, WriteAndReadFileRoundTrip) {
+  TempDir dir("lmb_fdio");
+  std::string path = dir.file("data.txt");
+  write_file(path, "hello lmbench\n");
+  EXPECT_EQ(read_file(path), "hello lmbench\n");
+}
+
+TEST(FdioTest, ReadFileMissingThrows) {
+  EXPECT_THROW(read_file("/nonexistent/really/not/here"), SysError);
+  EXPECT_THROW(open_read("/nonexistent/really/not/here"), SysError);
+}
+
+TEST(FdioTest, ReadFullAcrossPipeChunks) {
+  Pipe pipe;
+  std::string payload(10000, 'z');
+  // Writer child-free: write in small chunks from this thread via the pipe
+  // buffer (fits: default pipe capacity is 64K).
+  write_full(pipe.write_fd(), payload.data(), payload.size());
+  std::string got(payload.size(), '\0');
+  read_full(pipe.read_fd(), got.data(), got.size());
+  EXPECT_EQ(got, payload);
+}
+
+TEST(FdioTest, ReadFullThrowsOnEof) {
+  Pipe pipe;
+  write_full(pipe.write_fd(), "ab", 2);
+  pipe.close_write();
+  char buf[8];
+  EXPECT_THROW(read_full(pipe.read_fd(), buf, 8), std::runtime_error);
+}
+
+TEST(FdioTest, ReadSomeReturnsZeroAtEof) {
+  Pipe pipe;
+  pipe.close_write();
+  char buf[4];
+  EXPECT_EQ(read_some(pipe.read_fd(), buf, sizeof(buf)), 0u);
+}
+
+TEST(FdioTest, WriteToClosedPipeThrows) {
+  Pipe pipe;
+  pipe.close_read();
+  // SIGPIPE must be ignored for EPIPE to surface as an errno.
+  signal(SIGPIPE, SIG_IGN);
+  char c = 'x';
+  EXPECT_THROW(write_full(pipe.write_fd(), &c, 1), SysError);
+}
+
+TEST(FdioTest, OpenWriteTruncates) {
+  TempDir dir("lmb_fdio");
+  std::string path = dir.file("t");
+  write_file(path, "long content here");
+  write_file(path, "x");
+  EXPECT_EQ(read_file(path), "x");
+}
+
+TEST(FdioTest, ReadFileEmpty) {
+  TempDir dir("lmb_fdio");
+  std::string path = dir.file("empty");
+  write_file(path, "");
+  EXPECT_EQ(read_file(path), "");
+}
+
+}  // namespace
+}  // namespace lmb::sys

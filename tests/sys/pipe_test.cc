@@ -1,0 +1,54 @@
+#include "src/sys/pipe.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sys/fdio.h"
+
+namespace lmb::sys {
+namespace {
+
+TEST(PipeTest, DataFlowsWriteToRead) {
+  Pipe pipe;
+  write_full(pipe.write_fd(), "token", 5);
+  char buf[5];
+  read_full(pipe.read_fd(), buf, 5);
+  EXPECT_EQ(std::string(buf, 5), "token");
+}
+
+TEST(PipeTest, CloseWriteGivesEofOnRead) {
+  Pipe pipe;
+  pipe.close_write();
+  char c;
+  EXPECT_EQ(read_some(pipe.read_fd(), &c, 1), 0u);
+}
+
+TEST(PipeTest, TakeEndsTransferOwnership) {
+  Pipe pipe;
+  UniqueFd w = pipe.take_write();
+  UniqueFd r = pipe.take_read();
+  write_full(w.get(), "x", 1);
+  char c;
+  read_full(r.get(), &c, 1);
+  EXPECT_EQ(c, 'x');
+}
+
+TEST(SocketPairTest, IsBidirectional) {
+  SocketPair pair;
+  write_full(pair.first(), "ping", 4);
+  char buf[4];
+  read_full(pair.second(), buf, 4);
+  EXPECT_EQ(std::string(buf, 4), "ping");
+  write_full(pair.second(), "pong", 4);
+  read_full(pair.first(), buf, 4);
+  EXPECT_EQ(std::string(buf, 4), "pong");
+}
+
+TEST(SocketPairTest, CloseOneEndGivesEof) {
+  SocketPair pair;
+  pair.close_first();
+  char c;
+  EXPECT_EQ(read_some(pair.second(), &c, 1), 0u);
+}
+
+}  // namespace
+}  // namespace lmb::sys

@@ -1,0 +1,97 @@
+#include "src/sys/process.h"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "src/sys/fdio.h"
+#include "src/sys/pipe.h"
+
+namespace lmb::sys {
+namespace {
+
+TEST(ProcessTest, ForkChildRunsBodyAndExitStatusPropagates) {
+  Child ok = fork_child([]() { return 0; });
+  EXPECT_TRUE(ok.valid());
+  EXPECT_EQ(ok.wait(), 0);
+
+  Child fail = fork_child([]() { return 7; });
+  EXPECT_EQ(fail.wait(), 7);
+}
+
+TEST(ProcessTest, ChildSharesPipeWithParent) {
+  Pipe pipe;
+  Child child = fork_child([&]() {
+    pipe.close_read();
+    write_full(pipe.write_fd(), "from-child", 10);
+    return 0;
+  });
+  pipe.close_write();
+  char buf[10];
+  read_full(pipe.read_fd(), buf, 10);
+  EXPECT_EQ(std::string(buf, 10), "from-child");
+  EXPECT_EQ(child.wait(), 0);
+}
+
+TEST(ProcessTest, DoubleWaitThrows) {
+  Child child = fork_child([]() { return 0; });
+  child.wait();
+  EXPECT_THROW(child.wait(), std::logic_error);
+}
+
+TEST(ProcessTest, DestructorReapsUnwaitedChild) {
+  pid_t pid;
+  {
+    Child child = fork_child([]() { return 0; });
+    pid = child.pid();
+  }
+  // The child must have been reaped: waiting again fails with ECHILD.
+  EXPECT_EQ(::waitpid(pid, nullptr, 0), -1);
+}
+
+TEST(ProcessTest, MoveTransfersChild) {
+  Child a = fork_child([]() { return 3; });
+  Child b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.wait(), 3);
+}
+
+TEST(ProcessTest, KillTerminatesChild) {
+  Pipe hold;  // child blocks reading; never gets data
+  Child child = fork_child([&]() {
+    char c;
+    read_some(hold.read_fd(), &c, 1);
+    return 0;
+  });
+  child.kill(SIGKILL);
+  EXPECT_EQ(child.wait(), 128 + SIGKILL);
+}
+
+TEST(SpawnTest, RunsBinTrue) {
+  Child child = spawn({"/bin/true"});
+  EXPECT_EQ(child.wait(), 0);
+  Child fail = spawn({"/bin/false"});
+  EXPECT_NE(fail.wait(), 0);
+}
+
+TEST(SpawnTest, MissingBinaryExits127) {
+  Child child = spawn({"/no/such/binary/exists"}, /*quiet=*/true);
+  EXPECT_EQ(child.wait(), 127);
+}
+
+TEST(SpawnTest, EmptyArgvRejected) { EXPECT_THROW(spawn({}), std::invalid_argument); }
+
+TEST(SpawnShellTest, RunsCommandViaShell) {
+  Child child = spawn_shell("exit 5", /*quiet=*/true);
+  EXPECT_EQ(child.wait(), 5);
+}
+
+TEST(SelfExeTest, PointsAtRunningTestBinary) {
+  std::string path = self_exe_path();
+  EXPECT_NE(path.find("sys_tests"), std::string::npos);
+  EXPECT_EQ(::access(path.c_str(), X_OK), 0);
+}
+
+}  // namespace
+}  // namespace lmb::sys

@@ -1,0 +1,50 @@
+#include "src/sys/signals.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace lmb::sys {
+namespace {
+
+std::atomic<int> g_hits{0};
+void counting_handler(int) { g_hits.fetch_add(1); }
+
+TEST(SignalsTest, GuardInstallsAndDelivers) {
+  g_hits = 0;
+  {
+    SignalHandlerGuard guard(SIGUSR1, counting_handler);
+    EXPECT_EQ(guard.signo(), SIGUSR1);
+    raise_signal(SIGUSR1);
+    raise_signal(SIGUSR1);
+  }
+  EXPECT_EQ(g_hits.load(), 2);
+}
+
+TEST(SignalsTest, GuardRestoresPreviousDisposition) {
+  g_hits = 0;
+  SignalHandlerGuard outer(SIGUSR2, counting_handler);
+  {
+    SignalHandlerGuard inner(SIGUSR2, SIG_IGN);
+    raise_signal(SIGUSR2);
+    EXPECT_EQ(g_hits.load(), 0);  // ignored
+  }
+  raise_signal(SIGUSR2);
+  EXPECT_EQ(g_hits.load(), 1);  // outer handler restored
+}
+
+TEST(SignalsTest, InstallHandlerRaw) {
+  g_hits = 0;
+  SignalHandlerGuard restore(SIGUSR1, SIG_IGN);
+  install_handler(SIGUSR1, counting_handler);
+  raise_signal(SIGUSR1);
+  EXPECT_EQ(g_hits.load(), 1);
+}
+
+TEST(SignalsTest, BadSignalNumberThrows) {
+  EXPECT_THROW(install_handler(-1, counting_handler), std::exception);
+  EXPECT_THROW(SignalHandlerGuard(10000, counting_handler), std::exception);
+}
+
+}  // namespace
+}  // namespace lmb::sys

@@ -1,0 +1,95 @@
+#include "src/sys/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/sys/error.h"
+
+namespace lmb::sys {
+namespace {
+
+TEST(TcpTest, ListenerGetsEphemeralPort) {
+  TcpListener listener;
+  EXPECT_GT(listener.port(), 0);
+  TcpListener second;
+  EXPECT_NE(listener.port(), second.port());
+}
+
+TEST(TcpTest, ConnectAcceptEcho) {
+  TcpListener listener;
+  std::thread server([&] {
+    TcpStream conn = listener.accept();
+    char buf[16];
+    conn.recv_all(buf, 5);
+    conn.send_all(buf, 5);
+  });
+  TcpStream client = TcpStream::connect(listener.port());
+  client.set_nodelay(true);
+  client.send_all("hello", 5);
+  char buf[5];
+  client.recv_all(buf, 5);
+  EXPECT_EQ(std::string(buf, 5), "hello");
+  server.join();
+}
+
+TEST(TcpTest, ShutdownWriteDeliversEof) {
+  TcpListener listener;
+  std::thread server([&] {
+    TcpStream conn = listener.accept();
+    char c;
+    EXPECT_EQ(conn.recv_some(&c, 1), 0u);
+  });
+  TcpStream client = TcpStream::connect(listener.port());
+  client.shutdown_write();
+  server.join();
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  std::uint16_t dead_port;
+  {
+    TcpListener listener;
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(TcpStream::connect(dead_port), SysError);
+}
+
+TEST(TcpTest, BufferSizesAccepted) {
+  TcpListener listener;
+  std::thread server([&] { TcpStream conn = listener.accept(); });
+  TcpStream client = TcpStream::connect(listener.port());
+  client.set_buffer_sizes(1 << 20);  // must not throw
+  server.join();
+}
+
+TEST(UdpTest, SendRecvConnected) {
+  UdpSocket server;
+  UdpSocket client;
+  client.connect_to(server.port());
+  client.send("data", 4);
+  char buf[16];
+  std::uint16_t from = 0;
+  size_t n = server.recv_from(buf, sizeof(buf), &from);
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(std::string(buf, 4), "data");
+  EXPECT_EQ(from, client.port());
+
+  server.send_to(from, "resp", 4);
+  n = client.recv(buf, sizeof(buf));
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(std::string(buf, 4), "resp");
+}
+
+TEST(UdpTest, PreservesMessageBoundaries) {
+  UdpSocket server;
+  UdpSocket client;
+  client.connect_to(server.port());
+  client.send("one", 3);
+  client.send("four", 4);
+  char buf[16];
+  EXPECT_EQ(server.recv_from(buf, sizeof(buf), nullptr), 3u);
+  EXPECT_EQ(server.recv_from(buf, sizeof(buf), nullptr), 4u);
+}
+
+}  // namespace
+}  // namespace lmb::sys

@@ -1,0 +1,68 @@
+#include "src/sys/temp.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include "src/sys/fdio.h"
+
+namespace lmb::sys {
+namespace {
+
+bool path_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+TEST(TempDirTest, CreatesAndRemovesRecursively) {
+  std::string path;
+  {
+    TempDir dir("lmb_temp");
+    path = dir.path();
+    EXPECT_TRUE(path_exists(path));
+    write_file(dir.file("a.txt"), "a");
+    write_file(dir.file("b.txt"), "b");
+  }
+  EXPECT_FALSE(path_exists(path));
+}
+
+TEST(TempDirTest, UniquePaths) {
+  TempDir a("lmb_temp");
+  TempDir b("lmb_temp");
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(TempDirTest, FileJoinsPath) {
+  TempDir dir("lmb_temp");
+  EXPECT_EQ(dir.file("x"), dir.path() + "/x");
+}
+
+TEST(TempDirTest, MoveTransfersOwnership) {
+  std::string path;
+  {
+    TempDir a("lmb_temp");
+    path = a.path();
+    TempDir b = std::move(a);
+    EXPECT_TRUE(path_exists(path));
+  }
+  EXPECT_FALSE(path_exists(path));
+}
+
+TEST(TempFileTest, HasRequestedSize) {
+  TempDir dir("lmb_temp");
+  TempFile file(dir, "sized", 100000);
+  EXPECT_EQ(file.size(), 100000u);
+  struct stat st;
+  ASSERT_EQ(::stat(file.path().c_str(), &st), 0);
+  EXPECT_EQ(st.st_size, 100000);
+}
+
+TEST(TempFileTest, ContentIsNonUniform) {
+  TempDir dir("lmb_temp");
+  TempFile file(dir, "pattern", 4096);
+  std::string content = read_file(file.path());
+  // The fill pattern must not be a single repeated byte.
+  EXPECT_NE(content[0], content[1]);
+}
+
+}  // namespace
+}  // namespace lmb::sys

@@ -1,0 +1,83 @@
+#include "src/sys/unique_fd.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+namespace lmb::sys {
+namespace {
+
+int open_devnull() { return ::open("/dev/null", O_WRONLY); }
+
+bool fd_is_open(int fd) { return ::fcntl(fd, F_GETFD) != -1; }
+
+TEST(UniqueFdTest, DefaultIsInvalid) {
+  UniqueFd fd;
+  EXPECT_FALSE(fd.valid());
+  EXPECT_EQ(fd.get(), -1);
+  EXPECT_FALSE(static_cast<bool>(fd));
+}
+
+TEST(UniqueFdTest, ClosesOnDestruction) {
+  int raw = open_devnull();
+  ASSERT_GE(raw, 0);
+  {
+    UniqueFd fd(raw);
+    EXPECT_TRUE(fd.valid());
+    EXPECT_TRUE(fd_is_open(raw));
+  }
+  EXPECT_FALSE(fd_is_open(raw));
+}
+
+TEST(UniqueFdTest, MoveTransfersOwnership) {
+  int raw = open_devnull();
+  UniqueFd a(raw);
+  UniqueFd b(std::move(a));
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing moved-from state
+  EXPECT_EQ(b.get(), raw);
+
+  UniqueFd c;
+  c = std::move(b);
+  EXPECT_FALSE(b.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(c.get(), raw);
+  EXPECT_TRUE(fd_is_open(raw));
+}
+
+TEST(UniqueFdTest, MoveAssignClosesPrevious) {
+  int first = open_devnull();
+  int second = open_devnull();
+  UniqueFd a(first);
+  UniqueFd b(second);
+  a = std::move(b);
+  EXPECT_FALSE(fd_is_open(first));
+  EXPECT_TRUE(fd_is_open(second));
+  EXPECT_EQ(a.get(), second);
+}
+
+TEST(UniqueFdTest, ResetAndRelease) {
+  int raw = open_devnull();
+  UniqueFd fd(raw);
+  int released = fd.release();
+  EXPECT_EQ(released, raw);
+  EXPECT_FALSE(fd.valid());
+  EXPECT_TRUE(fd_is_open(raw));
+  ::close(raw);
+
+  int other = open_devnull();
+  fd.reset(other);
+  EXPECT_EQ(fd.get(), other);
+  fd.reset();
+  EXPECT_FALSE(fd_is_open(other));
+}
+
+TEST(UniqueFdTest, SelfMoveAssignIsSafe) {
+  int raw = open_devnull();
+  UniqueFd fd(raw);
+  UniqueFd& ref = fd;
+  fd = std::move(ref);
+  EXPECT_TRUE(fd.valid());
+  EXPECT_TRUE(fd_is_open(raw));
+}
+
+}  // namespace
+}  // namespace lmb::sys
