@@ -1,45 +1,155 @@
-// run_suite: the `lmbench-run` analog — run every registered benchmark and
-// save a result set to the user-extensible database (paper §3.5).
+// run_suite: the `lmbench-run` analog — run every registered benchmark
+// through the SuiteRunner and save typed results to the user-extensible
+// database (paper §3.5) and/or machine-readable JSON/CSV.
 //
-//   ./build/examples/run_suite [--quick] [--out=results.db] [--category=latency]
+//   ./build/examples/run_suite [--quick] [--category=latency] [--jobs=N]
+//                              [--timeout=SECONDS] [--out=results.db]
+//                              [--json=results.json] [--csv=results.csv]
+//                              [--list] [--with-hang]
+//
+//   --list       print every registered benchmark (grouped by category)
+//                without running anything
+//   --jobs=N     run up to N benchmarks concurrently; bandwidth/disk
+//                benchmarks stay serialized within their category
+//   --timeout=S  per-benchmark wall-clock budget; a hung benchmark is
+//                reported as `timeout` and the suite keeps going
+//   --with-hang  register a deliberately-hanging `test_hang` benchmark
+//                (for exercising --timeout end to end)
+#include <chrono>
 #include <cstdio>
+#include <map>
+#include <thread>
 
 #include "src/core/env.h"
 #include "src/core/options.h"
 #include "src/core/registry.h"
+#include "src/core/suite_runner.h"
 #include "src/db/result_set.h"
+#include "src/report/serialize.h"
+#include "src/sys/fdio.h"
 
-int main(int argc, char** argv) {
-  using namespace lmb;
+namespace {
+
+using namespace lmb;
+
+int list_benchmarks(const std::string& category) {
+  std::vector<const BenchmarkInfo*> benches = Registry::global().list(category);
+  // list() sorts by name; group by category for display.
+  std::map<std::string, std::vector<const BenchmarkInfo*>> groups;
+  for (const BenchmarkInfo* bench : benches) {
+    groups[bench->category].push_back(bench);
+  }
+  bool first = true;
+  for (const auto& [group, members] : groups) {
+    std::printf("%s[%s]\n", first ? "" : "\n", group.c_str());
+    first = false;
+    for (const BenchmarkInfo* bench : members) {
+      std::printf("  %-16s %s\n", bench->name.c_str(), bench->description.c_str());
+    }
+  }
+  std::printf("\n%zu benchmarks\n", benches.size());
+  return 0;
+}
+
+void register_hang_benchmark() {
+  Registry::global().add(BenchmarkInfo{
+      .name = "test_hang",
+      .category = "test",
+      .description = "deliberately hangs (exercises --timeout)",
+      .run =
+          [](const Options&) -> RunResult {
+            for (;;) {
+              std::this_thread::sleep_for(std::chrono::seconds(1));
+            }
+          },
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
   Options opts = Options::parse(argc, argv);
   std::string category = opts.get_string("category", "");
-  std::string out_path = opts.get_string("out", "");
+  if (opts.get_bool("list")) {
+    return list_benchmarks(category);
+  }
+  if (opts.get_bool("with-hang")) {
+    register_hang_benchmark();
+  }
+
+  SuiteConfig config;
+  config.category = category;
+  config.jobs = static_cast<int>(opts.get_int("jobs", 1));
+  config.timeout_sec = opts.get_double("timeout", 0.0);
+  config.options = opts;
 
   SystemInfo info = query_system_info();
-  std::printf("running the lmbench++ suite on %s%s\n\n", info.label().c_str(),
+  std::printf("running the lmbench++ suite on %s%s", info.label().c_str(),
               opts.quick() ? " (quick mode)" : "");
+  if (config.jobs > 1) {
+    std::printf(" [jobs=%d]", config.jobs);
+  }
+  if (config.timeout_sec > 0) {
+    std::printf(" [timeout=%.0fs]", config.timeout_sec);
+  }
+  std::printf("\n\n");
 
-  db::ResultSet results(info.label());
-  int failed = 0;
-  for (const BenchmarkInfo* bench : Registry::global().list(category)) {
-    std::printf("%-16s %-52s ", bench->name.c_str(), bench->description.c_str());
+  SuiteRunner runner;
+  runner.set_progress([&](const SuiteEvent& event) {
+    if (event.kind != SuiteEvent::Kind::kFinish) {
+      return;
+    }
+    // With jobs>1 starts interleave; printing one line per *finish* keeps
+    // the output readable in both modes.
+    std::printf("%-16s %-52s %s\n", event.name.c_str(), event.description.c_str(),
+                event.result->summary().c_str());
     std::fflush(stdout);
-    try {
-      std::string line = bench->run(opts);
-      std::printf("%s\n", line.c_str());
-      results.set(bench->name + "_ran", 1.0);
-    } catch (const std::exception& e) {
-      std::printf("FAILED: %s\n", e.what());
+  });
+
+  std::vector<RunResult> results = runner.run(config);
+  if (results.empty() && !category.empty()) {
+    std::fprintf(stderr, "run_suite: no benchmarks in category '%s' (try --list)\n",
+                 category.c_str());
+    return 2;
+  }
+
+  // Tally + store real measured values under <bench>_<metric>_<unit> keys.
+  db::ResultSet set(info.label());
+  int failed = 0;
+  size_t metric_count = 0;
+  for (const RunResult& r : results) {
+    if (!r.ok()) {
       ++failed;
+      continue;
+    }
+    for (const Metric& m : r.metrics) {
+      set.set(r.name + "_" + m.key, m.value);
+      ++metric_count;
     }
   }
 
+  std::string out_path = opts.get_string("out", "");
   if (!out_path.empty()) {
     db::ResultDatabase database;
-    database.add(results);
+    database.add(set);
     database.save(out_path);
-    std::printf("\nsaved result set to %s\n", out_path.c_str());
+    std::printf("\nsaved %zu metrics to %s\n", metric_count, out_path.c_str());
   }
-  std::printf("\n%zu benchmarks, %d failures\n", Registry::global().list(category).size(), failed);
+  std::string json_path = opts.get_string("json", "");
+  if (!json_path.empty()) {
+    sys::write_file(json_path, report::to_json({info.label(), results}));
+    std::printf("wrote JSON to %s\n", json_path.c_str());
+  }
+  std::string csv_path = opts.get_string("csv", "");
+  if (!csv_path.empty()) {
+    sys::write_file(csv_path, report::to_csv(results));
+    std::printf("wrote CSV to %s\n", csv_path.c_str());
+  }
+
+  std::printf("\n%zu benchmarks attempted, %zu metrics, %d failures\n", results.size(),
+              metric_count, failed);
   return failed == 0 ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "run_suite: %s\n", e.what());
+  return 2;
 }

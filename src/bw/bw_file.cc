@@ -139,7 +139,9 @@ const BenchmarkRegistrar file_registrar{{
     .run =
         [](const Options& opts) {
           auto r = measure_file_read_bw(file_config_from_options(opts));
-          return report::format_number(r.mb_per_sec, 0) + " MB/s";
+          RunResult out = RunResult{}.with(r.detail).add("mbs", r.mb_per_sec, "MB/s");
+          out.metadata["file_bytes"] = std::to_string(r.file_bytes);
+          return out;
         },
 }};
 
@@ -150,7 +152,9 @@ const BenchmarkRegistrar mmap_registrar{{
     .run =
         [](const Options& opts) {
           auto r = measure_mmap_read_bw(file_config_from_options(opts));
-          return report::format_number(r.mb_per_sec, 0) + " MB/s";
+          RunResult out = RunResult{}.with(r.detail).add("mbs", r.mb_per_sec, "MB/s");
+          out.metadata["file_bytes"] = std::to_string(r.file_bytes);
+          return out;
         },
 }};
 

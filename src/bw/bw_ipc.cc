@@ -158,8 +158,13 @@ IpcBwConfig config_from_options(const Options& opts, IpcBwConfig base) {
   return base;
 }
 
-std::string mbps_line(const IpcBwResult& r) {
-  return report::format_number(r.mb_per_sec, 0) + " MB/s";
+RunResult mbps_result(const IpcBwResult& r) {
+  RunResult out;
+  out.add("mbs", r.mb_per_sec, "MB/s");
+  out.metadata["total_bytes"] = std::to_string(r.total_bytes);
+  out.metadata["chunk_bytes"] = std::to_string(r.chunk_bytes);
+  out.display = report::format_number(r.mb_per_sec, 0) + " MB/s";
+  return out;
 }
 
 const BenchmarkRegistrar pipe_registrar{{
@@ -168,7 +173,8 @@ const BenchmarkRegistrar pipe_registrar{{
     .description = "pipe bandwidth, 64KB transfers (Table 3)",
     .run =
         [](const Options& opts) {
-          return mbps_line(measure_pipe_bw(config_from_options(opts, IpcBwConfig::pipe_default())));
+          return mbps_result(
+              measure_pipe_bw(config_from_options(opts, IpcBwConfig::pipe_default())));
         },
 }};
 
@@ -178,7 +184,8 @@ const BenchmarkRegistrar tcp_registrar{{
     .description = "loopback TCP bandwidth, 1MB transfers (Table 3)",
     .run =
         [](const Options& opts) {
-          return mbps_line(measure_tcp_bw(config_from_options(opts, IpcBwConfig::tcp_default())));
+          return mbps_result(
+              measure_tcp_bw(config_from_options(opts, IpcBwConfig::tcp_default())));
         },
 }};
 
@@ -188,7 +195,8 @@ const BenchmarkRegistrar unix_registrar{{
     .description = "AF_UNIX stream bandwidth (lmbench bw_unix)",
     .run =
         [](const Options& opts) {
-          return mbps_line(measure_unix_bw(config_from_options(opts, IpcBwConfig::pipe_default())));
+          return mbps_result(
+              measure_unix_bw(config_from_options(opts, IpcBwConfig::pipe_default())));
         },
 }};
 

@@ -158,11 +158,15 @@ const BenchmarkRegistrar bw_mem_registrar{{
           if (opts.quick()) {
             cfg.policy = TimingPolicy::quick();
           }
-          std::string out;
+          RunResult out;
+          std::string display;
           for (const auto& r : measure_mem_bw_all(cfg)) {
-            out += std::string(mem_op_name(r.op)) + ": " +
-                   report::format_number(r.mb_per_sec, 0) + " MB/s  ";
+            out.add(std::string(mem_op_name(r.op)) + "_mbs", r.mb_per_sec, "MB/s");
+            display += std::string(mem_op_name(r.op)) + ": " +
+                       report::format_number(r.mb_per_sec, 0) + " MB/s  ";
           }
+          out.metadata["bytes"] = std::to_string(cfg.bytes);
+          out.display = display;
           return out;
         },
 }};

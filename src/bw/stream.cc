@@ -118,11 +118,14 @@ const BenchmarkRegistrar registrar{{
     .run =
         [](const Options& opts) {
           StreamConfig cfg = opts.quick() ? StreamConfig::quick() : StreamConfig{};
-          std::string out;
+          RunResult out;
+          std::string display;
           for (const auto& r : measure_stream_all(cfg)) {
-            out += std::string(stream_kernel_name(r.kernel)) + " " +
-                   report::format_number(r.mb_per_sec, 0) + " MB/s  ";
+            out.add(std::string(stream_kernel_name(r.kernel)) + "_mbs", r.mb_per_sec, "MB/s");
+            display += std::string(stream_kernel_name(r.kernel)) + " " +
+                       report::format_number(r.mb_per_sec, 0) + " MB/s  ";
           }
+          out.display = display;
           return out;
         },
 }};

@@ -53,9 +53,14 @@ std::int64_t Options::get_int(const std::string& key, std::int64_t fallback) con
     return fallback;
   }
   size_t pos = 0;
-  std::int64_t v = std::stoll(it->second, &pos);
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(it->second, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
   if (pos != it->second.size()) {
-    throw std::invalid_argument("option --" + key + " is not an integer: " + it->second);
+    throw std::invalid_argument("option --" + key + " is not an integer: '" + it->second + "'");
   }
   return v;
 }
@@ -66,9 +71,14 @@ double Options::get_double(const std::string& key, double fallback) const {
     return fallback;
   }
   size_t pos = 0;
-  double v = std::stod(it->second, &pos);
+  double v = 0.0;
+  try {
+    v = std::stod(it->second, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
   if (pos != it->second.size()) {
-    throw std::invalid_argument("option --" + key + " is not a number: " + it->second);
+    throw std::invalid_argument("option --" + key + " is not a number: '" + it->second + "'");
   }
   return v;
 }
@@ -103,7 +113,12 @@ std::int64_t Options::parse_size(const std::string& text) {
     throw std::invalid_argument("empty size");
   }
   size_t pos = 0;
-  std::int64_t v = std::stoll(text, &pos);
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("malformed size: " + text);
+  }
   if (v < 0) {
     throw std::invalid_argument("negative size: " + text);
   }

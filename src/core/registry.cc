@@ -16,6 +16,19 @@ void Registry::add(BenchmarkInfo info) {
   if (!info.run) {
     throw std::invalid_argument("benchmark '" + info.name + "' has no run function");
   }
+  // Stamp the entry's identity onto whatever the run function returns, so
+  // registration sites only fill in metrics and metadata.
+  auto fn = std::move(info.run);
+  info.run = [fn, name = info.name, category = info.category](const Options& opts) {
+    RunResult result = fn(opts);
+    if (result.name.empty()) {
+      result.name = name;
+    }
+    if (result.category.empty()) {
+      result.category = category;
+    }
+    return result;
+  };
   auto [it, inserted] = entries_.emplace(info.name, std::move(info));
   if (!inserted) {
     throw std::invalid_argument("duplicate benchmark name: " + it->first);

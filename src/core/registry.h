@@ -12,16 +12,20 @@
 #include <vector>
 
 #include "src/core/options.h"
+#include "src/core/run_result.h"
 
 namespace lmb {
 
 // One suite entry.  `run` executes the benchmark with the given options and
-// returns a short human-readable result line (e.g. "pipe latency: 12.3 us").
+// returns a typed RunResult (metrics, timing detail, metadata); callers
+// wanting the old human-readable line use RunResult::summary().  Registered
+// run functions may leave RunResult::name/category empty — Registry::add
+// wraps them so the returned result is stamped with this entry's identity.
 struct BenchmarkInfo {
   std::string name;         // e.g. "lat_pipe"
   std::string category;     // "bandwidth" | "latency" | "disk" | ...
   std::string description;  // one line
-  std::function<std::string(const Options&)> run;
+  std::function<RunResult(const Options&)> run;
 };
 
 class Registry {

@@ -1,0 +1,108 @@
+#include "src/core/run_result.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace lmb {
+
+namespace {
+
+// Precision scaled to magnitude, mirroring report::format_number (which
+// lives above core in the layering, so we keep a local copy).
+std::string format_value(double v) {
+  int decimals = 2;
+  double mag = std::fabs(v);
+  if (mag >= 100) {
+    decimals = 0;
+  } else if (mag >= 10) {
+    decimals = 1;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace
+
+const char* run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kError:
+      return "error";
+    case RunStatus::kTimeout:
+      return "timeout";
+    case RunStatus::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+RunStatus run_status_from_name(const std::string& name) {
+  if (name == "ok") return RunStatus::kOk;
+  if (name == "error") return RunStatus::kError;
+  if (name == "timeout") return RunStatus::kTimeout;
+  if (name == "skipped") return RunStatus::kSkipped;
+  throw std::invalid_argument("unknown run status: " + name);
+}
+
+RunResult& RunResult::add(std::string key, double value, std::string unit) {
+  metrics.push_back(Metric{std::move(key), value, std::move(unit)});
+  return *this;
+}
+
+RunResult& RunResult::with(const Measurement& m) {
+  measurement = m;
+  return *this;
+}
+
+std::optional<double> RunResult::metric(const std::string& key) const {
+  for (const Metric& m : metrics) {
+    if (m.key == key) {
+      return m.value;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string RunResult::summary() const {
+  if (status != RunStatus::kOk) {
+    std::string line = run_status_name(status);
+    if (!error.empty()) {
+      line += ": " + error;
+    }
+    return line;
+  }
+  if (!display.empty()) {
+    return display;
+  }
+  if (metrics.empty()) {
+    return "ok (no metrics)";
+  }
+  std::string line;
+  for (const Metric& m : metrics) {
+    if (!line.empty()) {
+      line += ", ";
+    }
+    // A bare-unit key ("us") reads fine as "12.3 us"; a qualified key
+    // ("create_us") gets spelled out as "create_us 12.3 us".
+    if (m.key != m.unit) {
+      line += m.key + " ";
+    }
+    line += format_value(m.value);
+    if (!m.unit.empty()) {
+      line += " " + m.unit;
+    }
+  }
+  return line;
+}
+
+RunResult RunResult::failure(std::string message) {
+  RunResult r;
+  r.status = RunStatus::kError;
+  r.error = std::move(message);
+  return r;
+}
+
+}  // namespace lmb

@@ -1,0 +1,93 @@
+// Typed benchmark results — the structured value that flows from every
+// benchmark through the runner into the database and report layers.
+//
+// Paper §3.5 describes the workflow as "run the suite, store the numbers in
+// a user-extensible database, regenerate the tables".  A RunResult is the
+// unit of that pipeline: one benchmark invocation producing named metric
+// values (plus the raw timing detail), instead of an opaque display string.
+//
+// Metric naming convention (used for database keys and serialized output):
+//   <bench>_<metric>_<unit>
+// The benchmark name supplies the first part; Metric::key supplies the
+// rest.  A headline-only latency benchmark uses key "us" (-> "lat_pipe_us");
+// a multi-value benchmark qualifies each key ("rd_mbs" -> "bw_mem_rd_mbs").
+#ifndef LMBENCHPP_SRC_CORE_RUN_RESULT_H_
+#define LMBENCHPP_SRC_CORE_RUN_RESULT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/timing.h"
+
+namespace lmb {
+
+// Terminal state of one benchmark invocation.
+enum class RunStatus {
+  kOk,       // ran to completion, metrics are valid
+  kError,    // threw; `error` holds the message, metrics are empty
+  kTimeout,  // exceeded the suite runner's wall-clock budget
+  kSkipped,  // never attempted (filtered out or suite aborted)
+};
+
+// Stable lowercase name ("ok", "error", "timeout", "skipped").
+const char* run_status_name(RunStatus status);
+// Inverse of run_status_name.  Throws std::invalid_argument on unknown text.
+RunStatus run_status_from_name(const std::string& name);
+
+// One named number, e.g. {key="create_us", value=12.3, unit="us"}.
+struct Metric {
+  std::string key;   // suffix appended to the benchmark name (see header)
+  double value = 0.0;
+  std::string unit;  // display unit: "us", "ns", "ms", "MB/s", "count", "%"
+};
+
+// Everything one benchmark invocation produced.
+struct RunResult {
+  std::string name;      // stamped by the Registry from BenchmarkInfo
+  std::string category;  // likewise
+  RunStatus status = RunStatus::kOk;
+  std::string error;     // non-empty iff status is kError/kTimeout
+
+  // Measured values in declaration order (stable for tables and CSV).
+  std::vector<Metric> metrics;
+
+  // Raw timing detail behind the headline metric, when the benchmark has a
+  // single dominant measurement.  Multi-kernel benchmarks (bw_mem, stream)
+  // leave this empty rather than privileging one kernel.
+  std::optional<Measurement> measurement;
+
+  // Free-form context: configured sizes, iteration counts, sweep notes.
+  std::map<std::string, std::string> metadata;
+
+  // Wall-clock time of the whole invocation, filled by the SuiteRunner.
+  // 0 when the benchmark was run directly.
+  double wall_ms = 0.0;
+
+  // Optional hand-written display line; summary() falls back to a
+  // generated one when empty.
+  std::string display;
+
+  bool ok() const { return status == RunStatus::kOk; }
+
+  // Appends a metric; returns *this so sites can chain.
+  RunResult& add(std::string key, double value, std::string unit);
+
+  // Records the timing detail behind the headline number.
+  RunResult& with(const Measurement& m);
+
+  // Value of the metric with this key, if present.
+  std::optional<double> metric(const std::string& key) const;
+
+  // Human-readable one-liner: the display override, a generated
+  // "key value unit" list, or the status + error for failed runs.
+  std::string summary() const;
+
+  // A failed result carrying an error message (status kError).
+  static RunResult failure(std::string message);
+};
+
+}  // namespace lmb
+
+#endif  // LMBENCHPP_SRC_CORE_RUN_RESULT_H_

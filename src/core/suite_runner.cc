@@ -1,0 +1,197 @@
+#include "src/core/suite_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace lmb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// Runs one benchmark inline, converting any escape (exception) into a
+// kError result.  Always stamps identity and wall time.
+RunResult execute(const BenchmarkInfo& info, const Options& opts) {
+  Clock::time_point start = Clock::now();
+  RunResult result;
+  try {
+    result = info.run(opts);
+  } catch (const std::exception& e) {
+    result = RunResult::failure(e.what());
+  } catch (...) {
+    result = RunResult::failure("non-standard exception");
+  }
+  if (result.name.empty()) {
+    result.name = info.name;
+  }
+  if (result.category.empty()) {
+    result.category = info.category;
+  }
+  result.wall_ms = elapsed_ms(start);
+  return result;
+}
+
+// Runs one benchmark with a wall-clock budget.  The benchmark body runs on
+// its own thread; on timeout the thread is detached (see header contract)
+// and a kTimeout result is synthesized.
+RunResult execute_with_timeout(const BenchmarkInfo& info, const Options& opts,
+                               double timeout_sec) {
+  std::packaged_task<RunResult()> task(
+      [&info, opts]() { return execute(info, opts); });
+  std::future<RunResult> future = task.get_future();
+  std::thread worker(std::move(task));
+  if (future.wait_for(std::chrono::duration<double>(timeout_sec)) ==
+      std::future_status::ready) {
+    worker.join();
+    return future.get();
+  }
+  worker.detach();
+  RunResult result;
+  result.name = info.name;
+  result.category = info.category;
+  result.status = RunStatus::kTimeout;
+  char budget[32];
+  std::snprintf(budget, sizeof(budget), "%.6g", timeout_sec);
+  result.error = "exceeded " + std::string(budget) + "s wall-clock budget";
+  result.wall_ms = timeout_sec * 1e3;
+  return result;
+}
+
+// Mutable scheduling state shared by workers.
+struct Scheduler {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<bool> claimed;          // one flag per work item
+  std::set<std::string> busy;         // exclusive categories currently running
+  size_t remaining = 0;               // unclaimed items
+
+  std::mutex event_mu;                // serializes progress callbacks
+};
+
+}  // namespace
+
+SuiteRunner::SuiteRunner(const Registry& registry) : registry_(&registry) {}
+
+void SuiteRunner::set_progress(std::function<void(const SuiteEvent&)> callback) {
+  progress_ = std::move(callback);
+}
+
+std::vector<RunResult> SuiteRunner::run(const SuiteConfig& config) const {
+  // Select the work list ONCE (the old driver enumerated the registry
+  // twice and could disagree with itself).
+  std::vector<const BenchmarkInfo*> work;
+  if (!config.names.empty()) {
+    for (const std::string& name : config.names) {
+      const BenchmarkInfo* info = registry_->find(name);
+      if (info == nullptr) {
+        throw std::invalid_argument("unknown benchmark: " + name);
+      }
+      work.push_back(info);
+    }
+  } else {
+    work = registry_->list(config.category);
+  }
+
+  const int total = static_cast<int>(work.size());
+  std::vector<RunResult> results(work.size());
+  if (work.empty()) {
+    return results;
+  }
+
+  Scheduler sched;
+  sched.claimed.assign(work.size(), false);
+  sched.remaining = work.size();
+
+  auto emit = [&](SuiteEvent event) {
+    if (!progress_) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(sched.event_mu);
+    progress_(event);
+  };
+
+  auto is_exclusive = [&](const std::string& category) {
+    return config.exclusive_categories.count(category) > 0;
+  };
+
+  // Worker loop: claim the first runnable item (skipping items whose
+  // exclusive category is busy), run it, record, repeat.
+  auto worker_loop = [&]() {
+    for (;;) {
+      size_t picked = work.size();
+      {
+        std::unique_lock<std::mutex> lock(sched.mu);
+        for (;;) {
+          if (sched.remaining == 0) {
+            return;
+          }
+          for (size_t i = 0; i < work.size(); ++i) {
+            if (sched.claimed[i]) {
+              continue;
+            }
+            if (is_exclusive(work[i]->category) && sched.busy.count(work[i]->category) > 0) {
+              continue;  // another member of this category is running
+            }
+            picked = i;
+            break;
+          }
+          if (picked != work.size()) {
+            break;
+          }
+          // Unclaimed items exist but are all blocked on a busy category.
+          sched.cv.wait(lock);
+        }
+        sched.claimed[picked] = true;
+        --sched.remaining;
+        if (is_exclusive(work[picked]->category)) {
+          sched.busy.insert(work[picked]->category);
+        }
+      }
+
+      const BenchmarkInfo& info = *work[picked];
+      emit(SuiteEvent{SuiteEvent::Kind::kStart, static_cast<int>(picked), total, info.name,
+                      info.description, nullptr});
+      RunResult result = config.timeout_sec > 0
+                             ? execute_with_timeout(info, config.options, config.timeout_sec)
+                             : execute(info, config.options);
+      {
+        std::lock_guard<std::mutex> lock(sched.mu);
+        results[picked] = std::move(result);
+        if (is_exclusive(info.category)) {
+          sched.busy.erase(info.category);
+        }
+      }
+      sched.cv.notify_all();
+      emit(SuiteEvent{SuiteEvent::Kind::kFinish, static_cast<int>(picked), total, info.name,
+                      info.description, &results[picked]});
+    }
+  };
+
+  const int jobs = std::clamp(config.jobs, 1, total);
+  if (jobs == 1) {
+    worker_loop();  // serial: run on the calling thread
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(jobs));
+    for (int i = 0; i < jobs; ++i) {
+      pool.emplace_back(worker_loop);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  return results;
+}
+
+}  // namespace lmb

@@ -1,0 +1,84 @@
+// Suite execution engine: runs registered benchmarks with failure
+// isolation, per-benchmark wall-clock timeouts, and optional parallelism.
+//
+// The paper's driver (`lmbench-run`) executes benchmarks strictly one at a
+// time; this runner keeps that as the default (jobs=1) because concurrent
+// benchmarks perturb each other's timings.  When callers opt into
+// `jobs=N`, benchmarks whose category is *exclusive* (memory and disk
+// bandwidth by default — the ones most sensitive to a busy memory bus) are
+// still serialized against their own category, while cheap independent
+// latency probes overlap.
+//
+// Isolation contract: one misbehaving benchmark cannot take down the
+// suite.  A throwing benchmark becomes a RunStatus::kError result; a
+// hanging benchmark is abandoned after `timeout_sec` and reported as
+// RunStatus::kTimeout.  (Abandonment detaches the thread — C++ offers no
+// portable cancellation — so a timed-out benchmark may keep consuming one
+// CPU until the process exits; the registry it came from must stay alive.)
+#ifndef LMBENCHPP_SRC_CORE_SUITE_RUNNER_H_
+#define LMBENCHPP_SRC_CORE_SUITE_RUNNER_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/core/registry.h"
+#include "src/core/run_result.h"
+
+namespace lmb {
+
+// One suite invocation's knobs.
+struct SuiteConfig {
+  // Run only benchmarks in this category ("" = every category).
+  std::string category;
+  // Explicit benchmark names; when non-empty this overrides `category`.
+  // Unknown names throw std::invalid_argument before anything runs.
+  std::vector<std::string> names;
+  // Worker count; values < 1 behave as 1.  Exclusive categories are
+  // serialized regardless of the worker count.
+  int jobs = 1;
+  // Per-benchmark wall-clock budget in seconds; <= 0 disables timeouts.
+  double timeout_sec = 0.0;
+  // Passed verbatim to every benchmark (--quick, --size=, ...).
+  Options options;
+  // Categories whose members never run concurrently with each other.
+  std::set<std::string> exclusive_categories = {"bandwidth", "disk"};
+};
+
+// Observability hook payload.  kStart fires before a benchmark runs,
+// kFinish after its result is recorded (result points at the stored
+// RunResult, valid until the run() call returns its vector).
+struct SuiteEvent {
+  enum class Kind { kStart, kFinish };
+  Kind kind = Kind::kStart;
+  int index = 0;  // position in the run order
+  int total = 0;  // number of benchmarks in this invocation
+  std::string name;
+  std::string description;
+  const RunResult* result = nullptr;  // kFinish only
+};
+
+class SuiteRunner {
+ public:
+  // The registry must outlive the runner AND any timed-out benchmark
+  // threads it abandoned.  Registry::global() trivially satisfies both.
+  explicit SuiteRunner(const Registry& registry = Registry::global());
+
+  // Progress callback; invoked serially (an internal mutex orders events
+  // from concurrent workers).  Pass nullptr to clear.
+  void set_progress(std::function<void(const SuiteEvent&)> callback);
+
+  // Executes the selected benchmarks and returns one RunResult per
+  // benchmark, in deterministic (name-sorted) order independent of `jobs`.
+  std::vector<RunResult> run(const SuiteConfig& config) const;
+
+ private:
+  const Registry* registry_;
+  std::function<void(const SuiteEvent&)> progress_;
+};
+
+}  // namespace lmb
+
+#endif  // LMBENCHPP_SRC_CORE_SUITE_RUNNER_H_

@@ -174,8 +174,13 @@ const BenchmarkRegistrar registrar{{
           cfg.footprint_bytes =
               static_cast<size_t>(opts.get_size("size", static_cast<std::int64_t>(cfg.footprint_bytes)));
           CtxResult r = measure_ctx(cfg);
-          return report::format_number(r.ctx_us, 1) + " us (overhead " +
-                 report::format_number(r.overhead_us, 1) + " us)";
+          RunResult out;
+          out.add("us", r.ctx_us, "us").add("overhead_us", r.overhead_us, "us");
+          out.metadata["procs"] = std::to_string(cfg.processes);
+          out.metadata["footprint"] = std::to_string(cfg.footprint_bytes);
+          out.display = report::format_number(r.ctx_us, 1) + " us (overhead " +
+                        report::format_number(r.overhead_us, 1) + " us)";
+          return out;
         },
 }};
 

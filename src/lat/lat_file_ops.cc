@@ -182,8 +182,10 @@ const BenchmarkRegistrar fifo_registrar{{
     .description = "named-pipe (FIFO) round-trip latency",
     .run =
         [](const Options& opts) {
-          return report::format_number(measure_fifo_latency(policy_from(opts)).us_per_op(), 1) +
-                 " us round trip";
+          Measurement m = measure_fifo_latency(policy_from(opts));
+          RunResult r = RunResult{}.with(m).add("us", m.us_per_op(), "us");
+          r.display = report::format_number(m.us_per_op(), 1) + " us round trip";
+          return r;
         },
 }};
 
@@ -193,9 +195,10 @@ const BenchmarkRegistrar fcntl_registrar{{
     .description = "fcntl record lock + unlock pair",
     .run =
         [](const Options& opts) {
-          return report::format_number(
-                     measure_fcntl_lock_latency(policy_from(opts)).us_per_op(), 2) +
-                 " us per lock/unlock";
+          Measurement m = measure_fcntl_lock_latency(policy_from(opts));
+          RunResult r = RunResult{}.with(m).add("us", m.us_per_op(), "us");
+          r.display = report::format_number(m.us_per_op(), 2) + " us per lock/unlock";
+          return r;
         },
 }};
 
@@ -208,7 +211,10 @@ const BenchmarkRegistrar mmap_registrar{{
           MmapLatConfig cfg;
           cfg.bytes = static_cast<size_t>(opts.get_size("size", 1 << 20));
           cfg.policy = policy_from(opts);
-          return report::format_number(measure_mmap_latency(cfg).us_per_op(), 1) + " us";
+          Measurement m = measure_mmap_latency(cfg);
+          RunResult r = RunResult{}.with(m).add("us", m.us_per_op(), "us");
+          r.metadata["bytes"] = std::to_string(cfg.bytes);
+          return r;
         },
 }};
 
@@ -218,9 +224,10 @@ const BenchmarkRegistrar prot_registrar{{
     .description = "protection fault (SIGSEGV) service time",
     .run =
         [](const Options& opts) {
-          return report::format_number(
-                     measure_protection_fault(policy_from(opts)).us_per_op(), 2) +
-                 " us per fault";
+          Measurement m = measure_protection_fault(policy_from(opts));
+          RunResult r = RunResult{}.with(m).add("us", m.us_per_op(), "us");
+          r.display = report::format_number(m.us_per_op(), 2) + " us per fault";
+          return r;
         },
 }};
 

@@ -95,8 +95,12 @@ const BenchmarkRegistrar registrar{{
           cfg.file_count = static_cast<int>(opts.get_int("files", cfg.file_count));
           cfg.dir = opts.get_string("dir", cfg.dir);
           FsLatResult r = measure_fs_latency(cfg);
-          return "create " + report::format_number(r.create_us, 1) + " us, delete " +
-                 report::format_number(r.delete_us, 1) + " us";
+          RunResult out;
+          out.add("create_us", r.create_us, "us").add("delete_us", r.delete_us, "us");
+          out.metadata["files"] = std::to_string(r.file_count);
+          out.display = "create " + report::format_number(r.create_us, 1) + " us, delete " +
+                        report::format_number(r.delete_us, 1) + " us";
+          return out;
         },
 }};
 

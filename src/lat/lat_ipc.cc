@@ -189,36 +189,38 @@ IpcLatConfig ipc_config_from(const Options& opts) {
   return cfg;
 }
 
-std::string us_line(const Measurement& m) {
-  return report::format_number(m.us_per_op(), 1) + " us round trip";
+RunResult us_result(const Measurement& m) {
+  RunResult r = RunResult{}.with(m).add("us", m.us_per_op(), "us");
+  r.display = report::format_number(m.us_per_op(), 1) + " us round trip";
+  return r;
 }
 
 const BenchmarkRegistrar pipe_registrar{{
     .name = "lat_pipe",
     .category = "latency",
     .description = "pipe round-trip latency (Table 11)",
-    .run = [](const Options& opts) { return us_line(measure_pipe_latency(ipc_config_from(opts))); },
+    .run = [](const Options& opts) { return us_result(measure_pipe_latency(ipc_config_from(opts))); },
 }};
 
 const BenchmarkRegistrar unix_registrar{{
     .name = "lat_unix",
     .category = "latency",
     .description = "AF_UNIX round-trip latency",
-    .run = [](const Options& opts) { return us_line(measure_unix_latency(ipc_config_from(opts))); },
+    .run = [](const Options& opts) { return us_result(measure_unix_latency(ipc_config_from(opts))); },
 }};
 
 const BenchmarkRegistrar tcp_registrar{{
     .name = "lat_tcp",
     .category = "latency",
     .description = "loopback TCP round-trip latency (Table 12)",
-    .run = [](const Options& opts) { return us_line(measure_tcp_latency(ipc_config_from(opts))); },
+    .run = [](const Options& opts) { return us_result(measure_tcp_latency(ipc_config_from(opts))); },
 }};
 
 const BenchmarkRegistrar udp_registrar{{
     .name = "lat_udp",
     .category = "latency",
     .description = "loopback UDP round-trip latency (Table 13)",
-    .run = [](const Options& opts) { return us_line(measure_udp_latency(ipc_config_from(opts))); },
+    .run = [](const Options& opts) { return us_result(measure_udp_latency(ipc_config_from(opts))); },
 }};
 
 const BenchmarkRegistrar connect_registrar{{
@@ -229,7 +231,8 @@ const BenchmarkRegistrar connect_registrar{{
         [](const Options& opts) {
           ConnectConfig cfg;
           cfg.connects = static_cast<int>(opts.get_int("n", cfg.connects));
-          return report::format_number(measure_tcp_connect(cfg).us_per_op(), 1) + " us";
+          Measurement m = measure_tcp_connect(cfg);
+          return RunResult{}.with(m).add("us", m.us_per_op(), "us");
         },
 }};
 

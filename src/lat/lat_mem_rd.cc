@@ -175,7 +175,12 @@ const BenchmarkRegistrar registrar{{
             cfg.policy = TimingPolicy::quick();
           }
           MemLatPoint p = measure_mem_latency(cfg);
-          return report::format_number(p.ns_per_load, 1) + " ns per load";
+          RunResult r;
+          r.add("ns", p.ns_per_load, "ns");
+          r.metadata["bytes"] = std::to_string(cfg.array_bytes);
+          r.metadata["stride"] = std::to_string(cfg.stride_bytes);
+          r.display = report::format_number(p.ns_per_load, 1) + " ns per load";
+          return r;
         },
 }};
 

@@ -202,11 +202,18 @@ const BenchmarkRegistrar registrar{{
     .run =
         [](const Options& opts) {
           TimingPolicy p = opts.quick() ? TimingPolicy::quick() : TimingPolicy::standard();
-          std::string out;
+          RunResult out;
+          std::string display;
           for (const auto& r : measure_all_op_latencies(p)) {
-            out += std::string(arith_op_name(r.op)) + " " +
-                   report::format_number(r.ns_per_op, 2) + "ns  ";
+            std::string key = arith_op_name(r.op);  // "int add" -> "int_add_ns"
+            for (char& c : key) {
+              if (c == ' ') c = '_';
+            }
+            out.add(key + "_ns", r.ns_per_op, "ns");
+            display += std::string(arith_op_name(r.op)) + " " +
+                       report::format_number(r.ns_per_op, 2) + "ns  ";
           }
+          out.display = display;
           return out;
         },
 }};

@@ -86,7 +86,11 @@ const BenchmarkRegistrar registrar{{
         [](const Options& opts) {
           PageFaultConfig cfg = opts.quick() ? PageFaultConfig::quick() : PageFaultConfig{};
           PageFaultResult r = measure_pagefault(cfg);
-          return report::format_number(r.us_per_page, 2) + " us per page";
+          RunResult out;
+          out.add("us", r.us_per_page, "us");
+          out.metadata["pages"] = std::to_string(r.pages);
+          out.display = report::format_number(r.us_per_page, 2) + " us per page";
+          return out;
         },
 }};
 

@@ -96,8 +96,8 @@ const BenchmarkRegistrar fork_registrar{{
     .description = "fork + exit + wait (Table 9)",
     .run =
         [](const Options& opts) {
-          return report::format_number(measure_fork_exit(config_from(opts)).ms_per_op(), 2) +
-                 " ms";
+          Measurement m = measure_fork_exit(config_from(opts));
+          return RunResult{}.with(m).add("ms", m.ms_per_op(), "ms");
         },
 }};
 
@@ -107,8 +107,8 @@ const BenchmarkRegistrar exec_registrar{{
     .description = "fork + exec + exit (Table 9)",
     .run =
         [](const Options& opts) {
-          return report::format_number(measure_fork_exec(config_from(opts)).ms_per_op(), 2) +
-                 " ms";
+          Measurement m = measure_fork_exec(config_from(opts));
+          return RunResult{}.with(m).add("ms", m.ms_per_op(), "ms");
         },
 }};
 
@@ -118,7 +118,8 @@ const BenchmarkRegistrar sh_registrar{{
     .description = "fork + /bin/sh -c + exit (Table 9)",
     .run =
         [](const Options& opts) {
-          return report::format_number(measure_fork_sh(config_from(opts)).ms_per_op(), 2) + " ms";
+          Measurement m = measure_fork_sh(config_from(opts));
+          return RunResult{}.with(m).add("ms", m.ms_per_op(), "ms");
         },
 }};
 

@@ -56,7 +56,8 @@ const BenchmarkRegistrar install_registrar{{
     .run =
         [](const Options& opts) {
           TimingPolicy p = opts.quick() ? TimingPolicy::quick() : TimingPolicy::standard();
-          return report::format_number(measure_signal_install(p).us_per_op(), 2) + " us";
+          Measurement m = measure_signal_install(p);
+          return RunResult{}.with(m).add("us", m.us_per_op(), "us");
         },
 }};
 
@@ -67,7 +68,8 @@ const BenchmarkRegistrar catch_registrar{{
     .run =
         [](const Options& opts) {
           TimingPolicy p = opts.quick() ? TimingPolicy::quick() : TimingPolicy::standard();
-          return report::format_number(measure_signal_catch(p).us_per_op(), 2) + " us";
+          Measurement m = measure_signal_catch(p);
+          return RunResult{}.with(m).add("us", m.us_per_op(), "us");
         },
 }};
 

@@ -155,8 +155,8 @@ const BenchmarkRegistrar null_registrar{{
     .description = "simple system call: 1-word write to /dev/null (Table 7)",
     .run =
         [](const Options& opts) {
-          return report::format_number(measure_null_write(policy_from(opts)).us_per_op(), 2) +
-                 " us";
+          Measurement m = measure_null_write(policy_from(opts));
+          return RunResult{}.with(m).add("us", m.us_per_op(), "us");
         },
 }};
 
@@ -166,7 +166,8 @@ const BenchmarkRegistrar getpid_registrar{{
     .description = "trivial system call: getpid",
     .run =
         [](const Options& opts) {
-          return report::format_number(measure_getpid(policy_from(opts)).us_per_op(), 2) + " us";
+          Measurement m = measure_getpid(policy_from(opts));
+          return RunResult{}.with(m).add("us", m.us_per_op(), "us");
         },
 }};
 
@@ -177,8 +178,10 @@ const BenchmarkRegistrar select_registrar{{
     .run =
         [](const Options& opts) {
           int n = static_cast<int>(opts.get_int("n", 64));
-          return report::format_number(measure_select(n, policy_from(opts)).us_per_op(), 2) +
-                 " us";
+          Measurement m = measure_select(n, policy_from(opts));
+          RunResult r = RunResult{}.with(m).add("us", m.us_per_op(), "us");
+          r.metadata["fds"] = std::to_string(n);
+          return r;
         },
 }};
 

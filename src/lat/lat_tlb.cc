@@ -88,11 +88,19 @@ const BenchmarkRegistrar registrar{{
           TlbConfig cfg = opts.quick() ? TlbConfig::quick() : TlbConfig{};
           auto points = sweep_tlb(cfg);
           TlbEstimate est = estimate_tlb(points);
+          RunResult out;
           if (est.entries == 0) {
-            return std::string("no TLB knee up to ") + std::to_string(cfg.max_pages) + " pages";
+            // No knee found: record nothing rather than a fake 0 — missing
+            // values must stay missing through the pipeline.
+            out.metadata["note"] = "no TLB knee up to " + std::to_string(cfg.max_pages) + " pages";
+            out.display = "no TLB knee up to " + std::to_string(cfg.max_pages) + " pages";
+            return out;
           }
-          return "~" + std::to_string(est.entries) + " entries, miss +" +
-                 report::format_number(est.miss_cost_ns, 1) + " ns";
+          out.add("entries", static_cast<double>(est.entries), "count")
+              .add("miss_ns", est.miss_cost_ns, "ns");
+          out.display = "~" + std::to_string(est.entries) + " entries, miss +" +
+                        report::format_number(est.miss_cost_ns, 1) + " ns";
+          return out;
         },
 }};
 

@@ -1,0 +1,477 @@
+#include "src/report/serialize.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <variant>
+
+namespace lmb::report {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Emission helpers
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_string(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+// Shortest round-trippable representation; JSON has no NaN/Inf, so those
+// become null (another "explicitly missing", never 0).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer a shorter form when it round-trips exactly.
+  for (int precision : {6, 9, 12, 15}) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    if (std::strtod(shorter, nullptr) == v) {
+      return shorter;
+    }
+  }
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (only what from_json needs: the subset to_json emits,
+// which is also plain standard JSON).
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> v =
+      nullptr;
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
+  const JsonObject& object() const {
+    if (!std::holds_alternative<JsonObject>(v)) {
+      throw std::invalid_argument("json: expected object");
+    }
+    return std::get<JsonObject>(v);
+  }
+  const JsonArray& array() const {
+    if (!std::holds_alternative<JsonArray>(v)) {
+      throw std::invalid_argument("json: expected array");
+    }
+    return std::get<JsonArray>(v);
+  }
+  const std::string& str() const {
+    if (!std::holds_alternative<std::string>(v)) {
+      throw std::invalid_argument("json: expected string");
+    }
+    return std::get<std::string>(v);
+  }
+  double number() const {
+    if (!std::holds_alternative<double>(v)) {
+      throw std::invalid_argument("json: expected number");
+    }
+    return std::get<double>(v);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("json parse error at offset " + std::to_string(pos_) + ": " +
+                                why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue{parse_string()};
+    if (consume_literal("null")) return JsonValue{nullptr};
+    if (consume_literal("true")) return JsonValue{true};
+    if (consume_literal("false")) return JsonValue{false};
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(obj)};
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue{std::move(obj)};
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(arr)};
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue{std::move(arr)};
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Emitters here only produce \u for control characters; encode
+          // the BMP code point as UTF-8 for generality.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected value");
+    }
+    try {
+      return JsonValue{std::stod(text_.substr(start, pos_ - start))};
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+const JsonValue* find(const JsonObject& obj, const std::string& key) {
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JSON emission
+
+std::string to_json(const ResultBatch& batch) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": " + json_string(kResultSchema) + ",\n";
+  out += "  \"system\": " + json_string(batch.system) + ",\n";
+  out += "  \"results\": [";
+  bool first_result = true;
+  for (const RunResult& r : batch.results) {
+    out += first_result ? "\n" : ",\n";
+    first_result = false;
+    out += "    {\n";
+    out += "      \"name\": " + json_string(r.name) + ",\n";
+    out += "      \"category\": " + json_string(r.category) + ",\n";
+    out += "      \"status\": " + json_string(run_status_name(r.status)) + ",\n";
+    out += "      \"error\": " + (r.error.empty() ? "null" : json_string(r.error)) + ",\n";
+    out += "      \"wall_ms\": " + (r.wall_ms > 0 ? json_number(r.wall_ms) : "null") + ",\n";
+    out += "      \"display\": " + (r.display.empty() ? "null" : json_string(r.display)) + ",\n";
+    out += "      \"metrics\": [";
+    bool first_metric = true;
+    for (const Metric& m : r.metrics) {
+      out += first_metric ? "\n" : ",\n";
+      first_metric = false;
+      out += "        {\"key\": " + json_string(m.key) + ", \"value\": " + json_number(m.value) +
+             ", \"unit\": " + json_string(m.unit) + "}";
+    }
+    out += first_metric ? "],\n" : "\n      ],\n";
+    if (r.measurement.has_value()) {
+      const Measurement& m = *r.measurement;
+      out += "      \"measurement\": {\n";
+      out += "        \"ns_per_op\": " + json_number(m.ns_per_op) + ",\n";
+      out += "        \"mean_ns_per_op\": " + json_number(m.mean_ns_per_op) + ",\n";
+      out += "        \"median_ns_per_op\": " + json_number(m.median_ns_per_op) + ",\n";
+      out += "        \"max_ns_per_op\": " + json_number(m.max_ns_per_op) + ",\n";
+      out += "        \"iterations\": " + std::to_string(m.iterations) + ",\n";
+      out += "        \"repetitions\": " + std::to_string(m.repetitions) + "\n";
+      out += "      },\n";
+    } else {
+      out += "      \"measurement\": null,\n";
+    }
+    out += "      \"metadata\": {";
+    bool first_meta = true;
+    for (const auto& [key, value] : r.metadata) {
+      out += first_meta ? "" : ", ";
+      first_meta = false;
+      out += json_string(key) + ": " + json_string(value);
+    }
+    out += "}\n";
+    out += "    }";
+  }
+  out += batch.results.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"count\": " + std::to_string(batch.results.size()) + "\n";
+  out += "}\n";
+  return out;
+}
+
+ResultBatch from_json(const std::string& text) {
+  JsonValue root = JsonParser(text).parse();
+  const JsonObject& doc = root.object();
+
+  const JsonValue* schema = find(doc, "schema");
+  if (schema == nullptr || schema->str() != kResultSchema) {
+    throw std::invalid_argument("json: missing or unknown schema (want " +
+                                std::string(kResultSchema) + ")");
+  }
+
+  ResultBatch batch;
+  if (const JsonValue* system = find(doc, "system"); system != nullptr && !system->is_null()) {
+    batch.system = system->str();
+  }
+  const JsonValue* results = find(doc, "results");
+  if (results == nullptr) {
+    throw std::invalid_argument("json: missing results array");
+  }
+  for (const JsonValue& entry : results->array()) {
+    const JsonObject& obj = entry.object();
+    RunResult r;
+    if (const JsonValue* v = find(obj, "name")) r.name = v->str();
+    if (const JsonValue* v = find(obj, "category")) r.category = v->str();
+    if (const JsonValue* v = find(obj, "status")) r.status = run_status_from_name(v->str());
+    if (const JsonValue* v = find(obj, "error"); v != nullptr && !v->is_null()) {
+      r.error = v->str();
+    }
+    if (const JsonValue* v = find(obj, "wall_ms"); v != nullptr && !v->is_null()) {
+      r.wall_ms = v->number();
+    }
+    if (const JsonValue* v = find(obj, "display"); v != nullptr && !v->is_null()) {
+      r.display = v->str();
+    }
+    if (const JsonValue* v = find(obj, "metrics")) {
+      for (const JsonValue& mv : v->array()) {
+        const JsonObject& mo = mv.object();
+        Metric m;
+        if (const JsonValue* f = find(mo, "key")) m.key = f->str();
+        if (const JsonValue* f = find(mo, "value")) m.value = f->number();
+        if (const JsonValue* f = find(mo, "unit")) m.unit = f->str();
+        r.metrics.push_back(std::move(m));
+      }
+    }
+    if (const JsonValue* v = find(obj, "measurement"); v != nullptr && !v->is_null()) {
+      const JsonObject& mo = v->object();
+      Measurement m;
+      if (const JsonValue* f = find(mo, "ns_per_op")) m.ns_per_op = f->number();
+      if (const JsonValue* f = find(mo, "mean_ns_per_op")) m.mean_ns_per_op = f->number();
+      if (const JsonValue* f = find(mo, "median_ns_per_op")) m.median_ns_per_op = f->number();
+      if (const JsonValue* f = find(mo, "max_ns_per_op")) m.max_ns_per_op = f->number();
+      if (const JsonValue* f = find(mo, "iterations")) {
+        m.iterations = static_cast<std::uint64_t>(f->number());
+      }
+      if (const JsonValue* f = find(mo, "repetitions")) {
+        m.repetitions = static_cast<int>(f->number());
+      }
+      r.measurement = m;
+    }
+    if (const JsonValue* v = find(obj, "metadata"); v != nullptr && !v->is_null()) {
+      for (const auto& [key, value] : v->object()) {
+        r.metadata[key] = value.str();
+      }
+    }
+    batch.results.push_back(std::move(r));
+  }
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// CSV emission
+
+namespace {
+
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string to_csv(const std::vector<RunResult>& results) {
+  std::string out = "name,category,status,wall_ms,metric,value,unit,error\n";
+  for (const RunResult& r : results) {
+    std::string prefix = csv_field(r.name) + "," + csv_field(r.category) + "," +
+                         run_status_name(r.status) + "," +
+                         (r.wall_ms > 0 ? json_number(r.wall_ms) : "") + ",";
+    std::string error = csv_field(r.error);
+    if (r.metrics.empty()) {
+      // Explicitly blank metric/value/unit cells — absence, not zero.
+      out += prefix + ",,," + error + "\n";
+      continue;
+    }
+    for (const Metric& m : r.metrics) {
+      out += prefix + csv_field(m.key) + "," + json_number(m.value) + "," + csv_field(m.unit) +
+             "," + error + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace lmb::report

@@ -1,0 +1,45 @@
+// Machine-readable emitters for RunResult batches.
+//
+// The paper's database is a line-oriented text format (src/db/result_set.h);
+// these emitters are the modern complements: JSON for tooling/CI pipelines
+// and CSV for spreadsheets.  Both are lossless about *absence* — a failed
+// benchmark's missing metrics serialize as JSON null / empty CSV cells,
+// never as 0 (a 0 is a measurement; a blank is the lack of one).
+#ifndef LMBENCHPP_SRC_REPORT_SERIALIZE_H_
+#define LMBENCHPP_SRC_REPORT_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/run_result.h"
+
+namespace lmb::report {
+
+// One suite invocation's output: where it ran plus what it produced.
+struct ResultBatch {
+  std::string system;  // host label, e.g. from SystemInfo::label()
+  std::vector<RunResult> results;
+};
+
+// Schema identifier embedded in every JSON document.
+inline constexpr const char* kResultSchema = "lmbenchpp.results.v1";
+
+// Pretty-printed JSON document (2-space indent, trailing newline).
+// Field names are stable: schema, system, results[], and per result
+// name, category, status, error, wall_ms, display, metrics[] (key, value,
+// unit), measurement (ns_per_op, mean_ns_per_op, median_ns_per_op,
+// max_ns_per_op, iterations, repetitions), metadata{}.
+std::string to_json(const ResultBatch& batch);
+
+// Parses a document produced by to_json (any JSON with that shape works).
+// Throws std::invalid_argument on malformed input or schema mismatch.
+ResultBatch from_json(const std::string& text);
+
+// CSV with header `name,category,status,wall_ms,metric,value,unit,error`:
+// one row per metric, one row (blank metric/value/unit) for results
+// without metrics.  RFC-4180 quoting.
+std::string to_csv(const std::vector<RunResult>& results);
+
+}  // namespace lmb::report
+
+#endif  // LMBENCHPP_SRC_REPORT_SERIALIZE_H_

@@ -106,7 +106,8 @@ const BenchmarkRegistrar tcp_registrar{{
     .run =
         [](const Options& opts) {
           RpcLatConfig cfg = opts.quick() ? RpcLatConfig::quick() : RpcLatConfig{};
-          return report::format_number(measure_rpc_tcp_latency(cfg).us_per_op(), 1) + " us";
+          Measurement m = measure_rpc_tcp_latency(cfg);
+          return RunResult{}.with(m).add("us", m.us_per_op(), "us");
         },
 }};
 
@@ -117,7 +118,8 @@ const BenchmarkRegistrar udp_registrar{{
     .run =
         [](const Options& opts) {
           RpcLatConfig cfg = opts.quick() ? RpcLatConfig::quick() : RpcLatConfig{};
-          return report::format_number(measure_rpc_udp_latency(cfg).us_per_op(), 1) + " us";
+          Measurement m = measure_rpc_udp_latency(cfg);
+          return RunResult{}.with(m).add("us", m.us_per_op(), "us");
         },
 }};
 

@@ -64,9 +64,15 @@ const BenchmarkRegistrar registrar{{
           DiskOverheadConfig cfg =
               opts.quick() ? DiskOverheadConfig::quick() : DiskOverheadConfig{};
           DiskOverheadResult r = measure_disk_overhead(cfg);
-          return "host " + report::format_number(r.host_us_per_op, 2) + " us/op, device " +
-                 report::format_number(r.device_us_per_op, 1) + " us/op, buffer hits " +
-                 report::format_number(r.buffer_hit_rate * 100, 1) + "%";
+          RunResult out;
+          out.add("host_us", r.host_us_per_op, "us")
+              .add("device_us", r.device_us_per_op, "us")
+              .add("hit_pct", r.buffer_hit_rate * 100, "%");
+          out.display = "host " + report::format_number(r.host_us_per_op, 2) +
+                        " us/op, device " + report::format_number(r.device_us_per_op, 1) +
+                        " us/op, buffer hits " +
+                        report::format_number(r.buffer_hit_rate * 100, 1) + "%";
+          return out;
         },
 }};
 

@@ -10,7 +10,7 @@ BenchmarkInfo make(const std::string& name, const std::string& category) {
   info.name = name;
   info.category = category;
   info.description = "test entry";
-  info.run = [](const Options&) { return std::string("ok"); };
+  info.run = [](const Options&) { return RunResult{}.add("us", 1.5, "us"); };
   return info;
 }
 
@@ -57,11 +57,34 @@ TEST(RegistryTest, GlobalRegistryHasTheWholeSuite) {
   }
 }
 
-TEST(RegistryTest, RunReturnsResultLine) {
+TEST(RegistryTest, RunReturnsTypedResultStampedWithIdentity) {
   Registry reg;
   reg.add(make("hello", "misc"));
   Options opts;
-  EXPECT_EQ(reg.find("hello")->run(opts), "ok");
+  RunResult result = reg.find("hello")->run(opts);
+  // The registry stamps name/category even though the run fn left them empty.
+  EXPECT_EQ(result.name, "hello");
+  EXPECT_EQ(result.category, "misc");
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.metrics.size(), 1u);
+  EXPECT_EQ(result.metrics[0].key, "us");
+  EXPECT_EQ(result.metrics[0].value, 1.5);
+  EXPECT_EQ(result.summary(), "1.50 us");
+}
+
+TEST(RegistryTest, RunPreservesExplicitIdentityFromTheBenchmark) {
+  Registry reg;
+  BenchmarkInfo info = make("outer", "misc");
+  info.run = [](const Options&) {
+    RunResult r;
+    r.name = "inner";  // a benchmark may report a more specific identity
+    r.add("us", 1.0, "us");
+    return r;
+  };
+  reg.add(std::move(info));
+  RunResult result = reg.find("outer")->run(Options{});
+  EXPECT_EQ(result.name, "inner");
+  EXPECT_EQ(result.category, "misc");  // still stamped where left empty
 }
 
 }  // namespace

@@ -1,22 +1,35 @@
 // End-to-end: every registered benchmark runs under --quick and produces a
-// non-empty result line — the "build it, run it, get a table" promise of
-// §3.5 exercised in one place.
+// typed result with real metric values — the "build it, run it, get a
+// table" promise of §3.5 exercised in one place.
 #include <gtest/gtest.h>
 
 #include "src/core/options.h"
 #include "src/core/registry.h"
+#include "src/core/suite_runner.h"
 
 namespace lmb {
 namespace {
 
 class SuiteTest : public ::testing::TestWithParam<std::string> {};
 
-TEST_P(SuiteTest, RunsQuickAndReturnsResultLine) {
+TEST_P(SuiteTest, RunsQuickAndReturnsTypedResult) {
   const BenchmarkInfo* info = Registry::global().find(GetParam());
   ASSERT_NE(info, nullptr);
   Options opts = Options::from_pairs({{"quick", "true"}});
-  std::string result = info->run(opts);
-  EXPECT_FALSE(result.empty()) << info->name;
+  RunResult result = info->run(opts);
+  EXPECT_EQ(result.name, info->name);
+  EXPECT_EQ(result.category, info->category);
+  EXPECT_TRUE(result.ok()) << result.error;
+  EXPECT_FALSE(result.summary().empty()) << info->name;
+  // Every benchmark except knee-detection sweeps must emit at least one
+  // metric; lat_tlb may legitimately find no knee on a huge-TLB machine.
+  if (info->name != "lat_tlb") {
+    EXPECT_FALSE(result.metrics.empty()) << info->name;
+    for (const Metric& m : result.metrics) {
+      EXPECT_FALSE(m.key.empty()) << info->name;
+      EXPECT_FALSE(m.unit.empty()) << info->name;
+    }
+  }
 }
 
 std::vector<std::string> all_benchmark_names() {
@@ -37,6 +50,23 @@ TEST(SuiteInventoryTest, CoversEveryPaperSection) {
   EXPECT_GE(reg.list("bandwidth").size(), 6u);  // §5
   EXPECT_GE(reg.list("latency").size(), 15u);   // §6
   EXPECT_GE(reg.list("disk").size(), 1u);       // §6.9
+}
+
+TEST(SuiteRunnerIntegrationTest, QuickLatencySubsetYieldsRealMetricValues) {
+  // A cheap end-to-end pass through the real registry: the three syscall
+  // benchmarks must produce positive, finite latencies.
+  SuiteRunner runner;
+  SuiteConfig config;
+  config.names = {"lat_getpid", "lat_syscall", "lat_select"};
+  config.options = Options::from_pairs({{"quick", "true"}});
+  std::vector<RunResult> results = runner.run(config);
+  ASSERT_EQ(results.size(), 3u);
+  for (const RunResult& r : results) {
+    ASSERT_TRUE(r.ok()) << r.name << ": " << r.error;
+    ASSERT_FALSE(r.metrics.empty()) << r.name;
+    EXPECT_GT(r.metrics[0].value, 0.0) << r.name;
+    EXPECT_GT(r.wall_ms, 0.0) << r.name;
+  }
 }
 
 }  // namespace

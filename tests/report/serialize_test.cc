@@ -1,0 +1,172 @@
+// JSON/CSV serialization: round-trips, stable field names/units, and
+// explicit (non-zero) representation of missing values.
+#include "src/report/serialize.h"
+
+#include <gtest/gtest.h>
+
+namespace lmb::report {
+namespace {
+
+std::vector<RunResult> sample_batch() {
+  RunResult ok;
+  ok.name = "lat_pipe";
+  ok.category = "latency";
+  ok.add("us", 26.4375, "us");
+  Measurement m;
+  m.ns_per_op = 26437.5;
+  m.mean_ns_per_op = 26500.25;
+  m.median_ns_per_op = 26450.0;
+  m.max_ns_per_op = 27000.0;
+  m.iterations = 1024;
+  m.repetitions = 11;
+  ok.measurement = m;
+  ok.metadata["msg"] = "1";
+  ok.wall_ms = 152.5;
+  ok.display = "26.4 us round trip";
+
+  RunResult multi;
+  multi.name = "bw_mem";
+  multi.category = "bandwidth";
+  multi.add("read_mbs", 21000.0, "MB/s").add("write_mbs", 14500.0, "MB/s");
+
+  RunResult failed;
+  failed.name = "lat_broken";
+  failed.category = "latency";
+  failed.status = RunStatus::kError;
+  failed.error = "something, with \"quotes\"\nand a newline";
+
+  RunResult timed_out;
+  timed_out.name = "test_hang";
+  timed_out.category = "test";
+  timed_out.status = RunStatus::kTimeout;
+  timed_out.error = "exceeded 30s wall-clock budget";
+
+  return {ok, multi, failed, timed_out};
+}
+
+TEST(SerializeJsonTest, RoundTripsABatch) {
+  ResultBatch batch{"test-host", sample_batch()};
+  std::string json = to_json(batch);
+  ResultBatch parsed = from_json(json);
+
+  EXPECT_EQ(parsed.system, "test-host");
+  ASSERT_EQ(parsed.results.size(), batch.results.size());
+  for (size_t i = 0; i < batch.results.size(); ++i) {
+    const RunResult& in = batch.results[i];
+    const RunResult& out = parsed.results[i];
+    EXPECT_EQ(out.name, in.name);
+    EXPECT_EQ(out.category, in.category);
+    EXPECT_EQ(out.status, in.status);
+    EXPECT_EQ(out.error, in.error);
+    EXPECT_EQ(out.display, in.display);
+    EXPECT_DOUBLE_EQ(out.wall_ms, in.wall_ms);
+    ASSERT_EQ(out.metrics.size(), in.metrics.size());
+    for (size_t j = 0; j < in.metrics.size(); ++j) {
+      EXPECT_EQ(out.metrics[j].key, in.metrics[j].key);
+      EXPECT_DOUBLE_EQ(out.metrics[j].value, in.metrics[j].value);
+      EXPECT_EQ(out.metrics[j].unit, in.metrics[j].unit);
+    }
+    EXPECT_EQ(out.measurement.has_value(), in.measurement.has_value());
+    if (in.measurement) {
+      EXPECT_DOUBLE_EQ(out.measurement->ns_per_op, in.measurement->ns_per_op);
+      EXPECT_DOUBLE_EQ(out.measurement->mean_ns_per_op, in.measurement->mean_ns_per_op);
+      EXPECT_EQ(out.measurement->iterations, in.measurement->iterations);
+      EXPECT_EQ(out.measurement->repetitions, in.measurement->repetitions);
+    }
+    EXPECT_EQ(out.metadata, in.metadata);
+  }
+}
+
+TEST(SerializeJsonTest, GoldenFieldNamesAndUnits) {
+  ResultBatch batch{"host", sample_batch()};
+  std::string json = to_json(batch);
+
+  // Stable top-level and per-result field names — external tooling keys
+  // off these; changing them is a schema break.
+  for (const char* field :
+       {"\"schema\"", "\"system\"", "\"results\"", "\"name\"", "\"category\"", "\"status\"",
+        "\"error\"", "\"wall_ms\"", "\"display\"", "\"metrics\"", "\"key\"", "\"value\"",
+        "\"unit\"", "\"measurement\"", "\"ns_per_op\"", "\"mean_ns_per_op\"",
+        "\"median_ns_per_op\"", "\"max_ns_per_op\"", "\"iterations\"", "\"repetitions\"",
+        "\"metadata\"", "\"count\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  EXPECT_NE(json.find("\"schema\": \"lmbenchpp.results.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\": \"MB/s\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\": \"us\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"timeout\""), std::string::npos);
+}
+
+TEST(SerializeJsonTest, MissingValuesSerializeAsNullNotZero) {
+  RunResult failed;
+  failed.name = "lat_broken";
+  failed.category = "latency";
+  failed.status = RunStatus::kError;
+  failed.error = "boom";
+  // No metrics, no measurement, no wall time recorded.
+  std::string json = to_json(ResultBatch{"host", {failed}});
+
+  EXPECT_NE(json.find("\"metrics\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"measurement\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ms\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"display\": null"), std::string::npos);
+
+  // A succeeding result's error field is explicitly null, not "".
+  RunResult ok;
+  ok.name = "fine";
+  ok.category = "latency";
+  ok.add("us", 0.0, "us");  // a true measured zero IS emitted as 0
+  json = to_json(ResultBatch{"host", {ok}});
+  EXPECT_NE(json.find("\"error\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 0"), std::string::npos);
+}
+
+TEST(SerializeJsonTest, RejectsMalformedInputAndWrongSchema) {
+  EXPECT_THROW(from_json("not json"), std::invalid_argument);
+  EXPECT_THROW(from_json("{\"results\": []}"), std::invalid_argument);  // no schema
+  EXPECT_THROW(from_json("{\"schema\": \"other.v9\", \"results\": []}"),
+               std::invalid_argument);
+  EXPECT_THROW(from_json("{\"schema\": \"lmbenchpp.results.v1\"}"),
+               std::invalid_argument);  // no results
+  // Truncated document.
+  std::string json = to_json(ResultBatch{"h", sample_batch()});
+  EXPECT_THROW(from_json(json.substr(0, json.size() / 2)), std::invalid_argument);
+}
+
+TEST(SerializeCsvTest, OneRowPerMetricWithBlankCellsForMissing) {
+  std::vector<RunResult> batch = sample_batch();
+  batch[2].error = "plain, but comma-bearing error";  // keep rows one-per-line
+  std::string csv = to_csv(batch);
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < csv.size()) {
+    size_t end = csv.find('\n', start);
+    lines.push_back(csv.substr(start, end - start));
+    start = end + 1;
+  }
+
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[0], "name,category,status,wall_ms,metric,value,unit,error");
+  // lat_pipe: one metric row.
+  EXPECT_EQ(lines[1].rfind("lat_pipe,latency,ok,152.5,us,", 0), 0u) << lines[1];
+  // bw_mem: two rows, one per metric; wall_ms unknown -> blank, not 0.
+  EXPECT_EQ(lines[2].rfind("bw_mem,bandwidth,ok,,read_mbs,21000,MB/s,", 0), 0u) << lines[2];
+  EXPECT_EQ(lines[3].rfind("bw_mem,bandwidth,ok,,write_mbs,14500,MB/s,", 0), 0u) << lines[3];
+  // Failed benchmark: blank metric/value/unit cells and a quoted error.
+  EXPECT_EQ(lines[4], "lat_broken,latency,error,,,,,\"plain, but comma-bearing error\"")
+      << lines[4];
+  EXPECT_EQ(lines[5], "test_hang,test,timeout,,,,,exceeded 30s wall-clock budget");
+}
+
+TEST(SerializeCsvTest, QuotesEmbeddedQuotesAndNewlines) {
+  RunResult failed;
+  failed.name = "x";
+  failed.category = "latency";
+  failed.status = RunStatus::kError;
+  failed.error = "line one\nwith \"quotes\"";
+  std::string csv = to_csv({failed});
+  EXPECT_NE(csv.find("\"line one\nwith \"\"quotes\"\"\""), std::string::npos) << csv;
+}
+
+}  // namespace
+}  // namespace lmb::report
