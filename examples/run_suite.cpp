@@ -5,6 +5,7 @@
 //   ./build/examples/run_suite [--quick] [--category=latency] [--jobs=N]
 //                              [--timeout=SECONDS] [--out=results.db]
 //                              [--json=results.json] [--csv=results.csv]
+//                              [--cal-cache=PATH] [--no-cal-cache]
 //                              [--list] [--with-hang]
 //
 //   --list       print every registered benchmark (grouped by category)
@@ -13,6 +14,12 @@
 //                benchmarks stay serialized within their category
 //   --timeout=S  per-benchmark wall-clock budget; a hung benchmark is
 //                reported as `timeout` and the suite keeps going
+//   --cal-cache=PATH  where calibration state persists between invocations
+//                (default .lmbenchpp-cal.db); a warm cache skips every
+//                benchmark's calibration ramp and schedules
+//                longest-expected-first under --jobs=N
+//   --no-cal-cache    disable calibration caching entirely (the paper's
+//                re-calibrate-every-run behavior)
 //   --with-hang  register a deliberately-hanging `test_hang` benchmark
 //                (for exercising --timeout end to end)
 #include <chrono>
@@ -20,10 +27,13 @@
 #include <map>
 #include <thread>
 
+#include "src/core/cal_cache.h"
+#include "src/core/clock.h"
 #include "src/core/env.h"
 #include "src/core/options.h"
 #include "src/core/registry.h"
 #include "src/core/suite_runner.h"
+#include "src/db/cal_store.h"
 #include "src/db/result_set.h"
 #include "src/report/serialize.h"
 #include "src/sys/fdio.h"
@@ -84,6 +94,19 @@ int main(int argc, char** argv) try {
   config.options = opts;
 
   SystemInfo info = query_system_info();
+
+  // Static so an abandoned (timed-out) benchmark thread can still touch the
+  // cache safely after run() returns — same lifetime rule as the registry.
+  static CalibrationCache cal_cache;
+  const bool use_cal_cache = !opts.get_bool("no-cal-cache");
+  std::string cal_path = opts.get_string("cal-cache", ".lmbenchpp-cal.db");
+  std::string host_sig = host_signature(info);
+  size_t cal_loaded = 0;
+  if (use_cal_cache) {
+    cal_loaded = db::load_calibration_cache(cal_path, host_sig, cal_cache);
+    config.cal_cache = &cal_cache;
+  }
+
   std::printf("running the lmbench++ suite on %s%s", info.label().c_str(),
               opts.quick() ? " (quick mode)" : "");
   if (config.jobs > 1) {
@@ -91,6 +114,10 @@ int main(int argc, char** argv) try {
   }
   if (config.timeout_sec > 0) {
     std::printf(" [timeout=%.0fs]", config.timeout_sec);
+  }
+  if (use_cal_cache) {
+    std::printf(" [cal-cache=%s, %s]", cal_path.c_str(),
+                cal_loaded > 0 ? "warm" : "cold");
   }
   std::printf("\n\n");
 
@@ -106,12 +133,29 @@ int main(int argc, char** argv) try {
     std::fflush(stdout);
   });
 
+  StopWatch suite_watch;
   std::vector<RunResult> results = runner.run(config);
+  double total_wall_ms = static_cast<double>(suite_watch.elapsed()) / 1e6;
   if (results.empty() && !category.empty()) {
     std::fprintf(stderr, "run_suite: no benchmarks in category '%s' (try --list)\n",
                  category.c_str());
     return 2;
   }
+
+  if (use_cal_cache) {
+    try {
+      db::save_calibration_cache(cal_path, host_sig, cal_cache);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "run_suite: could not save calibration cache: %s\n", e.what());
+    }
+  }
+
+  report::SuiteTiming timing;
+  timing.total_wall_ms = total_wall_ms;
+  timing.jobs = config.jobs;
+  timing.cal_cache = use_cal_cache;
+  timing.cal_hits = cal_cache.hits();
+  timing.cal_misses = cal_cache.misses();
 
   // Tally + store real measured values under <bench>_<metric>_<unit> keys.
   db::ResultSet set(info.label());
@@ -137,17 +181,21 @@ int main(int argc, char** argv) try {
   }
   std::string json_path = opts.get_string("json", "");
   if (!json_path.empty()) {
-    sys::write_file(json_path, report::to_json({info.label(), results}));
+    sys::write_file(json_path, report::to_json({info.label(), results, timing}));
     std::printf("wrote JSON to %s\n", json_path.c_str());
   }
   std::string csv_path = opts.get_string("csv", "");
   if (!csv_path.empty()) {
-    sys::write_file(csv_path, report::to_csv(results));
+    sys::write_file(csv_path, report::to_csv(results, &timing));
     std::printf("wrote CSV to %s\n", csv_path.c_str());
   }
 
-  std::printf("\n%zu benchmarks attempted, %zu metrics, %d failures\n", results.size(),
-              metric_count, failed);
+  std::printf("\n%zu benchmarks attempted, %zu metrics, %d failures in %.1f s\n",
+              results.size(), metric_count, failed, total_wall_ms / 1e3);
+  if (use_cal_cache) {
+    std::printf("calibration cache: %d hits, %d misses\n", cal_cache.hits(),
+                cal_cache.misses());
+  }
   return failed == 0 ? 0 : 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "run_suite: %s\n", e.what());

@@ -2,17 +2,34 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace lmb::bw {
+
+// The hand-written bodies below spell out exactly 32 constant-offset
+// accesses per block; kUnrollWords drifting away from that would silently
+// skip or repeat words.
+static_assert(kUnrollWords == 32,
+              "the unrolled kernel bodies are written for 32 words per block; "
+              "rewrite them when changing kUnrollWords");
+
+namespace {
+
+void require_unroll_multiple(const char* kernel, size_t words) {
+  if (words % kUnrollWords != 0) {
+    throw std::invalid_argument(std::string(kernel) + ": words must be a multiple of " +
+                                std::to_string(kUnrollWords));
+  }
+}
+
+}  // namespace
 
 void copy_libc(std::uint64_t* dst, const std::uint64_t* src, size_t words) {
   std::memcpy(dst, src, words * sizeof(std::uint64_t));
 }
 
 void copy_unrolled(std::uint64_t* dst, const std::uint64_t* src, size_t words) {
-  if (words % kUnrollWords != 0) {
-    throw std::invalid_argument("copy_unrolled: words must be a multiple of 32");
-  }
+  require_unroll_multiple("copy_unrolled", words);
   for (size_t i = 0; i < words; i += kUnrollWords) {
     dst[i + 0] = src[i + 0];
     dst[i + 1] = src[i + 1];
@@ -50,9 +67,7 @@ void copy_unrolled(std::uint64_t* dst, const std::uint64_t* src, size_t words) {
 }
 
 std::uint64_t read_sum_unrolled(const std::uint64_t* src, size_t words) {
-  if (words % kUnrollWords != 0) {
-    throw std::invalid_argument("read_sum_unrolled: words must be a multiple of 32");
-  }
+  require_unroll_multiple("read_sum_unrolled", words);
   std::uint64_t sum = 0;
   for (size_t i = 0; i < words; i += kUnrollWords) {
     sum += src[i + 0] + src[i + 1] + src[i + 2] + src[i + 3] + src[i + 4] + src[i + 5] +
@@ -66,9 +81,7 @@ std::uint64_t read_sum_unrolled(const std::uint64_t* src, size_t words) {
 }
 
 void write_unrolled(std::uint64_t* dst, size_t words, std::uint64_t value) {
-  if (words % kUnrollWords != 0) {
-    throw std::invalid_argument("write_unrolled: words must be a multiple of 32");
-  }
+  require_unroll_multiple("write_unrolled", words);
   for (size_t i = 0; i < words; i += kUnrollWords) {
     dst[i + 0] = value;
     dst[i + 1] = value;
@@ -106,9 +119,7 @@ void write_unrolled(std::uint64_t* dst, size_t words, std::uint64_t value) {
 }
 
 void read_write_unrolled(std::uint64_t* data, size_t words, std::uint64_t delta) {
-  if (words % kUnrollWords != 0) {
-    throw std::invalid_argument("read_write_unrolled: words must be a multiple of 32");
-  }
+  require_unroll_multiple("read_write_unrolled", words);
   for (size_t i = 0; i < words; i += kUnrollWords) {
     data[i + 0] += delta;
     data[i + 1] += delta;

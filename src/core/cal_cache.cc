@@ -1,0 +1,81 @@
+#include "src/core/cal_cache.h"
+
+#include <utility>
+
+namespace lmb {
+
+namespace {
+thread_local CalibrationScope* g_current_scope = nullptr;
+}  // namespace
+
+std::optional<CalEntry> CalibrationCache::find(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void CalibrationCache::put(const std::string& key, CalEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key] = entry;
+}
+
+std::optional<double> CalibrationCache::expected_wall_ms(const std::string& bench) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = wall_ms_.find(bench);
+  if (it == wall_ms_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void CalibrationCache::record_wall_ms(const std::string& bench, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wall_ms_[bench] = ms;
+}
+
+std::map<std::string, CalEntry> CalibrationCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+std::map<std::string, double> CalibrationCache::wall_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wall_ms_;
+}
+
+size_t CalibrationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+CalibrationScope::CalibrationScope(CalibrationCache* cache, std::string bench_name)
+    : cache_(cache), bench_(std::move(bench_name)), prev_(g_current_scope) {
+  g_current_scope = this;
+}
+
+CalibrationScope::~CalibrationScope() { g_current_scope = prev_; }
+
+CalibrationScope* CalibrationScope::current() { return g_current_scope; }
+
+std::string CalibrationScope::next_key(Nanos min_interval) {
+  return bench_ + "#" + std::to_string(seq_++) + "@" + std::to_string(min_interval);
+}
+
+void CalibrationScope::note_hit() {
+  ++hits_;
+  if (cache_ != nullptr) {
+    cache_->count_hit();
+  }
+}
+
+void CalibrationScope::note_miss() {
+  ++misses_;
+  if (cache_ != nullptr) {
+    cache_->count_miss();
+  }
+}
+
+}  // namespace lmb

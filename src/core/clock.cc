@@ -13,6 +13,22 @@ Nanos WallClock::now() const {
   return static_cast<Nanos>(ts.tv_sec) * kSecond + ts.tv_nsec;
 }
 
+Nanos measure_clock_overhead(const Clock& clock, int samples) {
+  Nanos best = kSecond;
+  for (int i = 0; i < samples; ++i) {
+    Nanos t0 = clock.now();
+    Nanos t1 = clock.now();
+    best = std::min(best, t1 - t0);
+  }
+  return std::max<Nanos>(best, 0);
+}
+
+Nanos WallClock::overhead_ns() const {
+  // One probe per process; all WallClock instances are interchangeable.
+  static const Nanos overhead = measure_clock_overhead(WallClock{});
+  return overhead;
+}
+
 const WallClock& WallClock::instance() {
   static const WallClock clock;
   return clock;

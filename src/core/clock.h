@@ -27,12 +27,28 @@ class Clock {
   // Current time in nanoseconds since an arbitrary epoch.  Monotonic
   // non-decreasing for any given instance.
   virtual Nanos now() const = 0;
+
+  // Cost of one now() read, subtracted from every timed interval by the
+  // harness (nanoBench-style overhead correction).  The default is 0 —
+  // correct for fake clocks whose reads are free; real clocks override it
+  // with a measured value.
+  virtual Nanos overhead_ns() const { return 0; }
 };
+
+// Measures the cost of one `clock.now()` read as the minimum over `samples`
+// back-to-back read pairs.  Min-of-N deliberately: any interrupt or
+// migration only inflates a delta, so the minimum is the closest observable
+// bound on the true read cost.
+Nanos measure_clock_overhead(const Clock& clock, int samples = 4096);
 
 // The real monotonic wall clock (CLOCK_MONOTONIC).
 class WallClock final : public Clock {
  public:
   Nanos now() const override;
+
+  // Measured once per process (min-of-N back-to-back reads) and memoized;
+  // every WallClock instance reports the same value.
+  Nanos overhead_ns() const override;
 
   // Shared instance; stateless, safe to use from multiple threads/processes.
   static const WallClock& instance();

@@ -54,4 +54,29 @@ SystemInfo query_system_info() {
   return info;
 }
 
+namespace {
+
+// Collapses whitespace/brackets to '-' so the signature is one safe token.
+std::string sanitize(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    bool unsafe = c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '[' || c == ']';
+    out += unsafe ? '-' : c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string host_signature(const SystemInfo& info) {
+  std::string sig = sanitize(info.hostname.empty() ? "unknown" : info.hostname);
+  sig += "|" + sanitize(info.cpu_model.empty() ? "unknown-cpu" : info.cpu_model);
+  sig += "|" + std::to_string(info.cpu_count) + "cpu";
+  sig += "|" + sanitize(info.os_release.empty() ? "unknown-os" : info.os_release);
+  return sig;
+}
+
+std::string host_signature() { return host_signature(query_system_info()); }
+
 }  // namespace lmb

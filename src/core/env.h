@@ -24,6 +24,14 @@ struct SystemInfo {
 // Gathers host facts.  Never throws; unknown fields are left empty/zero.
 SystemInfo query_system_info();
 
+// A stable single-token fingerprint of this host for keying persisted
+// calibration state: hostname, CPU model, core count, and kernel release.
+// Any of those changing (new machine, kernel upgrade, CPU swap) must
+// invalidate cached iteration counts.  Contains no whitespace or brackets
+// so it can live inside the db text format's `[system]` headers.
+std::string host_signature(const SystemInfo& info);
+std::string host_signature();  // of this host
+
 }  // namespace lmb
 
 #endif  // LMBENCHPP_SRC_CORE_ENV_H_

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <future>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -21,16 +22,28 @@ double elapsed_ms(Clock::time_point start) {
 }
 
 // Runs one benchmark inline, converting any escape (exception) into a
-// kError result.  Always stamps identity and wall time.
-RunResult execute(const BenchmarkInfo& info, const Options& opts) {
+// kError result.  Always stamps identity and wall time.  With a calibration
+// cache, the whole body runs inside a CalibrationScope (thread-local, so
+// this composes with the timeout path's worker thread), hit/miss counts are
+// recorded as metadata, and the benchmark's wall clock feeds the cache's
+// scheduling history.
+RunResult execute(const BenchmarkInfo& info, const Options& opts,
+                  CalibrationCache* cal_cache) {
   Clock::time_point start = Clock::now();
   RunResult result;
-  try {
-    result = info.run(opts);
-  } catch (const std::exception& e) {
-    result = RunResult::failure(e.what());
-  } catch (...) {
-    result = RunResult::failure("non-standard exception");
+  {
+    CalibrationScope scope(cal_cache, info.name);
+    try {
+      result = info.run(opts);
+    } catch (const std::exception& e) {
+      result = RunResult::failure(e.what());
+    } catch (...) {
+      result = RunResult::failure("non-standard exception");
+    }
+    if (cal_cache != nullptr) {
+      result.metadata["cal_hits"] = std::to_string(scope.hits());
+      result.metadata["cal_misses"] = std::to_string(scope.misses());
+    }
   }
   if (result.name.empty()) {
     result.name = info.name;
@@ -39,6 +52,9 @@ RunResult execute(const BenchmarkInfo& info, const Options& opts) {
     result.category = info.category;
   }
   result.wall_ms = elapsed_ms(start);
+  if (cal_cache != nullptr && result.ok()) {
+    cal_cache->record_wall_ms(result.name, result.wall_ms);
+  }
   return result;
 }
 
@@ -46,9 +62,9 @@ RunResult execute(const BenchmarkInfo& info, const Options& opts) {
 // its own thread; on timeout the thread is detached (see header contract)
 // and a kTimeout result is synthesized.
 RunResult execute_with_timeout(const BenchmarkInfo& info, const Options& opts,
-                               double timeout_sec) {
+                               double timeout_sec, CalibrationCache* cal_cache) {
   std::packaged_task<RunResult()> task(
-      [&info, opts]() { return execute(info, opts); });
+      [&info, opts, cal_cache]() { return execute(info, opts, cal_cache); });
   std::future<RunResult> future = task.get_future();
   std::thread worker(std::move(task));
   if (future.wait_for(std::chrono::duration<double>(timeout_sec)) ==
@@ -113,6 +129,26 @@ std::vector<RunResult> SuiteRunner::run(const SuiteConfig& config) const {
   sched.claimed.assign(work.size(), false);
   sched.remaining = work.size();
 
+  // Claim order over `work` (which stays name-sorted so the returned vector
+  // is deterministic).  With parallel workers and wall-clock history in the
+  // calibration cache, claim longest-expected-first: finishing the long
+  // poles early minimizes the makespan (greedy LPT).  Benchmarks with no
+  // history sort first — they might be long, and running them early both
+  // hedges the schedule and records their duration for next time.
+  std::vector<size_t> order(work.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  if (config.jobs > 1 && config.cal_cache != nullptr) {
+    std::vector<double> expected(work.size());
+    for (size_t i = 0; i < work.size(); ++i) {
+      expected[i] = config.cal_cache->expected_wall_ms(work[i]->name)
+                        .value_or(std::numeric_limits<double>::infinity());
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return expected[a] > expected[b]; });
+  }
+
   auto emit = [&](SuiteEvent event) {
     if (!progress_) {
       return;
@@ -136,14 +172,15 @@ std::vector<RunResult> SuiteRunner::run(const SuiteConfig& config) const {
           if (sched.remaining == 0) {
             return;
           }
-          for (size_t i = 0; i < work.size(); ++i) {
-            if (sched.claimed[i]) {
+          for (size_t slot : order) {
+            if (sched.claimed[slot]) {
               continue;
             }
-            if (is_exclusive(work[i]->category) && sched.busy.count(work[i]->category) > 0) {
+            if (is_exclusive(work[slot]->category) &&
+                sched.busy.count(work[slot]->category) > 0) {
               continue;  // another member of this category is running
             }
-            picked = i;
+            picked = slot;
             break;
           }
           if (picked != work.size()) {
@@ -162,9 +199,11 @@ std::vector<RunResult> SuiteRunner::run(const SuiteConfig& config) const {
       const BenchmarkInfo& info = *work[picked];
       emit(SuiteEvent{SuiteEvent::Kind::kStart, static_cast<int>(picked), total, info.name,
                       info.description, nullptr});
-      RunResult result = config.timeout_sec > 0
-                             ? execute_with_timeout(info, config.options, config.timeout_sec)
-                             : execute(info, config.options);
+      RunResult result =
+          config.timeout_sec > 0
+              ? execute_with_timeout(info, config.options, config.timeout_sec,
+                                     config.cal_cache)
+              : execute(info, config.options, config.cal_cache);
       {
         std::lock_guard<std::mutex> lock(sched.mu);
         results[picked] = std::move(result);

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/cal_cache.h"
 #include "src/core/options.h"
 #include "src/core/registry.h"
 #include "src/core/run_result.h"
@@ -45,6 +46,14 @@ struct SuiteConfig {
   Options options;
   // Categories whose members never run concurrently with each other.
   std::set<std::string> exclusive_categories = {"bandwidth", "disk"};
+  // Optional calibration cache (must outlive run()).  When set, every
+  // benchmark runs inside a CalibrationScope against it, so measure()
+  // calls memoize their calibrated iteration counts; per-benchmark wall
+  // clock is recorded back for scheduling, and each RunResult gains
+  // cal_hits/cal_misses metadata.  With jobs > 1, benchmarks are claimed
+  // longest-expected-first (classic LPT makespan reduction) using the
+  // cache's wall-clock history; benchmarks with no history run first.
+  CalibrationCache* cal_cache = nullptr;
 };
 
 // Observability hook payload.  kStart fires before a benchmark runs,
@@ -64,6 +73,8 @@ class SuiteRunner {
  public:
   // The registry must outlive the runner AND any timed-out benchmark
   // threads it abandoned.  Registry::global() trivially satisfies both.
+  // The same lifetime rule applies to SuiteConfig::cal_cache: an abandoned
+  // benchmark thread may still touch the cache after run() returns.
   explicit SuiteRunner(const Registry& registry = Registry::global());
 
   // Progress callback; invoked serially (an internal mutex orders events

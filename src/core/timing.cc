@@ -3,18 +3,24 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/core/cal_cache.h"
+
 namespace lmb {
 
 namespace {
 
-// Times one interval of `iters` iterations.
+// Times one interval of `iters` iterations, subtracting the clock's own
+// read overhead (one now() call is inside the measured span).  Clamped at
+// zero: a correction can never make an interval negative.
 Nanos time_interval(const BenchFn& fn, std::uint64_t iters, const Clock& clock) {
   Nanos start = clock.now();
   fn(iters);
-  return clock.now() - start;
+  Nanos raw = clock.now() - start;
+  return std::max<Nanos>(raw - clock.overhead_ns(), 0);
 }
 
-Measurement finish(std::uint64_t iterations, Sample sample) {
+Measurement finish(std::uint64_t iterations, Sample sample, const Clock& clock,
+                   bool converged, bool cached) {
   Measurement m;
   m.iterations = iterations;
   m.repetitions = static_cast<int>(sample.count());
@@ -22,19 +28,45 @@ Measurement finish(std::uint64_t iterations, Sample sample) {
   m.mean_ns_per_op = sample.mean();
   m.median_ns_per_op = sample.median();
   m.max_ns_per_op = sample.max();
+  m.clock_overhead_ns = clock.overhead_ns();
+  m.converged = converged;
+  m.calibration_cached = cached;
   m.sample = std::move(sample);
   return m;
 }
 
+// Early-stop test: enough intervals in, and the spread between the running
+// median and minimum is within the policy's tolerance.  A zero minimum only
+// converges on a zero median (degenerate scripted clocks).
+bool sample_converged(const Sample& sample, const TimingPolicy& policy) {
+  if (policy.convergence <= 0.0) {
+    return false;
+  }
+  int floor = std::max(policy.min_repetitions, 1);
+  if (static_cast<int>(sample.count()) < floor) {
+    return false;
+  }
+  return sample.median() - sample.min() <= policy.convergence * sample.min();
+}
+
 }  // namespace
 
-std::uint64_t calibrate_iterations(const BenchFn& fn, const TimingPolicy& policy,
-                                   const Clock& clock) {
-  std::uint64_t iters = 1;
+Calibration calibrate(const BenchFn& fn, const TimingPolicy& policy, const Clock& clock,
+                      Nanos budget_start, std::uint64_t start_iters) {
+  Calibration cal;
+  std::uint64_t iters = std::clamp<std::uint64_t>(start_iters, 1, policy.max_iterations);
   while (true) {
     Nanos elapsed = time_interval(fn, iters, clock);
+    cal.iterations = iters;
+    cal.probe_elapsed = elapsed;
     if (elapsed >= policy.min_interval || iters >= policy.max_iterations) {
-      return iters;
+      return cal;
+    }
+    if (clock.now() - budget_start > policy.max_total) {
+      // A slow body can eat the whole measurement budget inside the ramp;
+      // bail to the best-known count so at least one repetition gets timed.
+      cal.budget_exhausted = true;
+      return cal;
     }
     std::uint64_t next;
     if (elapsed <= 0) {
@@ -48,6 +80,11 @@ std::uint64_t calibrate_iterations(const BenchFn& fn, const TimingPolicy& policy
     }
     iters = std::min(std::max(next, iters + 1), policy.max_iterations);
   }
+}
+
+std::uint64_t calibrate_iterations(const BenchFn& fn, const TimingPolicy& policy,
+                                   const Clock& clock) {
+  return calibrate(fn, policy, clock, clock.now()).iterations;
 }
 
 Measurement measure(const BenchFn& fn, const TimingPolicy& policy, const Clock& clock) {
@@ -67,14 +104,72 @@ Measurement measure(const BenchBody& body, const TimingPolicy& policy, const Clo
     body.run(1);
   }
 
-  if (body.setup) {
-    body.setup();
+  CalibrationScope* scope = CalibrationScope::current();
+  CalibrationCache* cache = scope != nullptr ? scope->cache() : nullptr;
+  std::string cache_key;
+  if (cache != nullptr) {
+    cache_key = scope->next_key(policy.min_interval);
   }
-  std::uint64_t iters = calibrate_iterations(body.run, policy, clock);
 
   Sample sample;
-  for (int rep = 0; rep < policy.repetitions; ++rep) {
-    if (rep > 0 && clock.now() - budget_start > policy.max_total) {
+  std::uint64_t iters = 0;
+  bool cached = false;
+  std::uint64_t ramp_start = 1;
+
+  if (cache != nullptr) {
+    std::optional<CalEntry> entry = cache->find(cache_key);
+    if (entry.has_value() && entry->min_interval == policy.min_interval &&
+        entry->iterations > 0 && entry->iterations <= policy.max_iterations) {
+      // Validate the remembered count with a single probe; on success that
+      // probe is the first repetition, so a warm hit wastes nothing.
+      if (body.setup) {
+        body.setup();
+      }
+      Nanos probe = time_interval(body.run, entry->iterations, clock);
+      if (probe >= policy.min_interval) {
+        iters = entry->iterations;
+        sample.add(static_cast<double>(probe) / static_cast<double>(iters));
+        cached = true;
+        scope->note_hit();
+      } else if (probe > 0) {
+        // Drift: the probe fell short, but it still says roughly how fast
+        // the body is now — resume the ramp near the right count instead of
+        // re-climbing from one iteration.
+        double scale = 1.2 * static_cast<double>(policy.min_interval) /
+                       static_cast<double>(probe);
+        ramp_start = static_cast<std::uint64_t>(
+            static_cast<double>(entry->iterations) * std::min(scale, 100.0));
+      }
+    }
+    if (!cached) {
+      scope->note_miss();
+    }
+  }
+
+  if (!cached) {
+    if (body.setup) {
+      body.setup();
+    }
+    Calibration cal = calibrate(body.run, policy, clock, budget_start, ramp_start);
+    iters = cal.iterations;
+    if (cal.probe_elapsed >= policy.min_interval) {
+      // The final ramp probe already spans a full interval; keep it as the
+      // first repetition instead of throwing it away.
+      sample.add(static_cast<double>(cal.probe_elapsed) / static_cast<double>(iters));
+    }
+    if (cache != nullptr) {
+      cache->put(cache_key, CalEntry{iters, policy.min_interval});
+    }
+  }
+
+  bool converged = false;
+  const int cap = std::max(policy.repetitions, 1);
+  while (static_cast<int>(sample.count()) < cap) {
+    if (sample_converged(sample, policy)) {
+      converged = true;
+      break;
+    }
+    if (!sample.empty() && clock.now() - budget_start > policy.max_total) {
       break;  // out of budget; keep what we have
     }
     if (body.setup) {
@@ -83,7 +178,7 @@ Measurement measure(const BenchBody& body, const TimingPolicy& policy, const Clo
     Nanos elapsed = time_interval(body.run, iters, clock);
     sample.add(static_cast<double>(elapsed) / static_cast<double>(iters));
   }
-  return finish(iters, std::move(sample));
+  return finish(iters, std::move(sample), clock, converged, cached);
 }
 
 Measurement measure_once_each(const std::function<void()>& fn, int n, const Clock& clock) {
@@ -97,9 +192,10 @@ Measurement measure_once_each(const std::function<void()>& fn, int n, const Cloc
   for (int i = 0; i < n; ++i) {
     Nanos start = clock.now();
     fn();
-    sample.add(static_cast<double>(clock.now() - start));
+    Nanos raw = clock.now() - start;
+    sample.add(static_cast<double>(std::max<Nanos>(raw - clock.overhead_ns(), 0)));
   }
-  return finish(1, std::move(sample));
+  return finish(1, std::move(sample), clock, false, false);
 }
 
 double mb_per_sec(double bytes_per_op, double ns_per_op) {

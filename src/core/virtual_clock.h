@@ -18,9 +18,26 @@
 namespace lmb {
 
 // A manually-advanced clock.  Also usable as a fake in harness tests.
+//
+// `set_read_cost` makes every now() call itself consume virtual time, so the
+// harness's clock-overhead correction can be exercised deterministically:
+// with read cost r, a timed interval's raw span includes one extra r (the
+// closing read), exactly what overhead_ns() reports for subtraction.
 class VirtualClock final : public Clock {
  public:
-  Nanos now() const override { return now_; }
+  Nanos now() const override {
+    now_ += read_cost_;
+    return now_;
+  }
+
+  Nanos overhead_ns() const override { return read_cost_; }
+
+  void set_read_cost(Nanos cost) {
+    if (cost < 0) {
+      throw std::invalid_argument("VirtualClock::set_read_cost: negative cost");
+    }
+    read_cost_ = cost;
+  }
 
   void advance(Nanos delta) {
     if (delta < 0) {
@@ -37,7 +54,8 @@ class VirtualClock final : public Clock {
   }
 
  private:
-  Nanos now_ = 0;
+  mutable Nanos now_ = 0;
+  Nanos read_cost_ = 0;
 };
 
 // Discrete-event scheduler over a VirtualClock.  Events fire in timestamp

@@ -1,0 +1,44 @@
+// Persistence for the calibration cache, through the same line-oriented
+// results database the suite already uses (§3.5's "user-extensible
+// database" carrying harness state as well as results).
+//
+// Layout: one ResultSet whose system name is `calibration:<host-signature>`
+// (src/core/env.h).  Metric keys:
+//   it:<cache-key>   calibrated iteration count (the cache key embeds the
+//                    min_interval, see src/core/cal_cache.h)
+//   wall:<bench>     whole-benchmark wall clock in ms, for the runner's
+//                    longest-expected-first scheduling
+//
+// Host binding is wholesale: a file written on a different host (or after a
+// kernel upgrade / CPU change) fails the signature check and loads nothing,
+// forcing clean recalibration rather than importing another machine's
+// iteration counts.
+#ifndef LMBENCHPP_SRC_DB_CAL_STORE_H_
+#define LMBENCHPP_SRC_DB_CAL_STORE_H_
+
+#include <string>
+
+#include "src/core/cal_cache.h"
+
+namespace lmb::db {
+
+// System-name prefix of the calibration set inside a ResultDatabase.
+inline constexpr const char* kCalSystemPrefix = "calibration:";
+
+// Loads persisted calibration state from `path` into `cache`.  Returns the
+// number of entries loaded (iteration counts + wall-clock records); 0 when
+// the file is missing, unreadable, malformed, holds no calibration set, or
+// was written under a different host signature (all of which mean "cold
+// cache", never an error).
+size_t load_calibration_cache(const std::string& path, const std::string& host_sig,
+                              CalibrationCache& cache);
+
+// Writes `cache` to `path`, replacing any previous calibration set (other
+// result sets in the file are preserved).  Throws std::runtime_error when
+// the file cannot be written.
+void save_calibration_cache(const std::string& path, const std::string& host_sig,
+                            const CalibrationCache& cache);
+
+}  // namespace lmb::db
+
+#endif  // LMBENCHPP_SRC_DB_CAL_STORE_H_

@@ -108,6 +108,12 @@ struct JsonValue {
     }
     return std::get<double>(v);
   }
+  bool boolean() const {
+    if (!std::holds_alternative<bool>(v)) {
+      throw std::invalid_argument("json: expected boolean");
+    }
+    return std::get<bool>(v);
+  }
 };
 
 class JsonParser {
@@ -313,6 +319,18 @@ std::string to_json(const ResultBatch& batch) {
   out += "{\n";
   out += "  \"schema\": " + json_string(kResultSchema) + ",\n";
   out += "  \"system\": " + json_string(batch.system) + ",\n";
+  if (batch.timing.has_value()) {
+    const SuiteTiming& t = *batch.timing;
+    out += "  \"timing\": {\n";
+    out += "    \"total_wall_ms\": " + json_number(t.total_wall_ms) + ",\n";
+    out += "    \"jobs\": " + std::to_string(t.jobs) + ",\n";
+    out += std::string("    \"cal_cache\": ") + (t.cal_cache ? "true" : "false") + ",\n";
+    out += "    \"cal_hits\": " + std::to_string(t.cal_hits) + ",\n";
+    out += "    \"cal_misses\": " + std::to_string(t.cal_misses) + "\n";
+    out += "  },\n";
+  } else {
+    out += "  \"timing\": null,\n";
+  }
   out += "  \"results\": [";
   bool first_result = true;
   for (const RunResult& r : batch.results) {
@@ -342,7 +360,11 @@ std::string to_json(const ResultBatch& batch) {
       out += "        \"median_ns_per_op\": " + json_number(m.median_ns_per_op) + ",\n";
       out += "        \"max_ns_per_op\": " + json_number(m.max_ns_per_op) + ",\n";
       out += "        \"iterations\": " + std::to_string(m.iterations) + ",\n";
-      out += "        \"repetitions\": " + std::to_string(m.repetitions) + "\n";
+      out += "        \"repetitions\": " + std::to_string(m.repetitions) + ",\n";
+      out += "        \"clock_overhead_ns\": " + std::to_string(m.clock_overhead_ns) + ",\n";
+      out += std::string("        \"converged\": ") + (m.converged ? "true" : "false") + ",\n";
+      out += std::string("        \"calibration_cached\": ") +
+             (m.calibration_cached ? "true" : "false") + "\n";
       out += "      },\n";
     } else {
       out += "      \"measurement\": null,\n";
@@ -376,6 +398,18 @@ ResultBatch from_json(const std::string& text) {
   ResultBatch batch;
   if (const JsonValue* system = find(doc, "system"); system != nullptr && !system->is_null()) {
     batch.system = system->str();
+  }
+  if (const JsonValue* timing = find(doc, "timing"); timing != nullptr && !timing->is_null()) {
+    const JsonObject& to = timing->object();
+    SuiteTiming t;
+    if (const JsonValue* f = find(to, "total_wall_ms")) t.total_wall_ms = f->number();
+    if (const JsonValue* f = find(to, "jobs")) t.jobs = static_cast<int>(f->number());
+    if (const JsonValue* f = find(to, "cal_cache")) t.cal_cache = f->boolean();
+    if (const JsonValue* f = find(to, "cal_hits")) t.cal_hits = static_cast<int>(f->number());
+    if (const JsonValue* f = find(to, "cal_misses")) {
+      t.cal_misses = static_cast<int>(f->number());
+    }
+    batch.timing = t;
   }
   const JsonValue* results = find(doc, "results");
   if (results == nullptr) {
@@ -419,6 +453,13 @@ ResultBatch from_json(const std::string& text) {
       if (const JsonValue* f = find(mo, "repetitions")) {
         m.repetitions = static_cast<int>(f->number());
       }
+      if (const JsonValue* f = find(mo, "clock_overhead_ns")) {
+        m.clock_overhead_ns = static_cast<Nanos>(f->number());
+      }
+      if (const JsonValue* f = find(mo, "converged")) m.converged = f->boolean();
+      if (const JsonValue* f = find(mo, "calibration_cached")) {
+        m.calibration_cached = f->boolean();
+      }
       r.measurement = m;
     }
     if (const JsonValue* v = find(obj, "metadata"); v != nullptr && !v->is_null()) {
@@ -454,7 +495,7 @@ std::string csv_field(const std::string& s) {
 
 }  // namespace
 
-std::string to_csv(const std::vector<RunResult>& results) {
+std::string to_csv(const std::vector<RunResult>& results, const SuiteTiming* timing) {
   std::string out = "name,category,status,wall_ms,metric,value,unit,error\n";
   for (const RunResult& r : results) {
     std::string prefix = csv_field(r.name) + "," + csv_field(r.category) + "," +
@@ -470,6 +511,10 @@ std::string to_csv(const std::vector<RunResult>& results) {
       out += prefix + csv_field(m.key) + "," + json_number(m.value) + "," + csv_field(m.unit) +
              "," + error + "\n";
     }
+  }
+  if (timing != nullptr) {
+    out += "__suite__,suite,ok," + json_number(timing->total_wall_ms) + ",total_wall_ms," +
+           json_number(timing->total_wall_ms) + ",ms,\n";
   }
   return out;
 }

@@ -8,6 +8,7 @@
 #ifndef LMBENCHPP_SRC_REPORT_SERIALIZE_H_
 #define LMBENCHPP_SRC_REPORT_SERIALIZE_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,20 +16,35 @@
 
 namespace lmb::report {
 
+// Whole-suite timing summary: total wall clock plus how the adaptive
+// engine behaved (worker count, calibration-cache hit/miss totals).
+struct SuiteTiming {
+  double total_wall_ms = 0.0;
+  int jobs = 1;
+  bool cal_cache = false;  // was a calibration cache in use at all
+  int cal_hits = 0;
+  int cal_misses = 0;
+};
+
 // One suite invocation's output: where it ran plus what it produced.
 struct ResultBatch {
   std::string system;  // host label, e.g. from SystemInfo::label()
   std::vector<RunResult> results;
+  // Suite-level timing block; absent for batches not produced by a full
+  // suite run (serializes as JSON null).
+  std::optional<SuiteTiming> timing;
 };
 
 // Schema identifier embedded in every JSON document.
 inline constexpr const char* kResultSchema = "lmbenchpp.results.v1";
 
 // Pretty-printed JSON document (2-space indent, trailing newline).
-// Field names are stable: schema, system, results[], and per result
-// name, category, status, error, wall_ms, display, metrics[] (key, value,
-// unit), measurement (ns_per_op, mean_ns_per_op, median_ns_per_op,
-// max_ns_per_op, iterations, repetitions), metadata{}.
+// Field names are stable: schema, system, timing (total_wall_ms, jobs,
+// cal_cache, cal_hits, cal_misses — null when absent), results[], and per
+// result name, category, status, error, wall_ms, display, metrics[] (key,
+// value, unit), measurement (ns_per_op, mean_ns_per_op, median_ns_per_op,
+// max_ns_per_op, iterations, repetitions, clock_overhead_ns, converged,
+// calibration_cached), metadata{}.
 std::string to_json(const ResultBatch& batch);
 
 // Parses a document produced by to_json (any JSON with that shape works).
@@ -37,8 +53,10 @@ ResultBatch from_json(const std::string& text);
 
 // CSV with header `name,category,status,wall_ms,metric,value,unit,error`:
 // one row per metric, one row (blank metric/value/unit) for results
-// without metrics.  RFC-4180 quoting.
-std::string to_csv(const std::vector<RunResult>& results);
+// without metrics.  RFC-4180 quoting.  When `timing` is non-null a final
+// `__suite__` row carries the total wall clock (metric total_wall_ms).
+std::string to_csv(const std::vector<RunResult>& results,
+                   const SuiteTiming* timing = nullptr);
 
 }  // namespace lmb::report
 

@@ -6,10 +6,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <mutex>
 #include <set>
 #include <thread>
 
 #include "src/core/registry.h"
+#include "src/core/timing.h"
 
 namespace lmb {
 namespace {
@@ -198,6 +201,129 @@ TEST(SuiteRunnerTest, ProgressEventsFireStartAndFinishForEachBenchmark) {
   EXPECT_EQ(events[1], "finish:one");
   EXPECT_EQ(events[2], "start:two");
   EXPECT_EQ(events[3], "finish:two");
+}
+
+TEST(SuiteRunnerTest, CalibrationCacheFeedsMetadataAndSecondRunHits) {
+  // The benchmark body measures against its own scripted clock; the scope
+  // set up by the runner still routes calibration through the suite cache.
+  class ScriptedClock final : public Clock {
+   public:
+    Nanos now() const override { return now_; }
+    void advance(Nanos d) { now_ += d; }
+
+   private:
+    Nanos now_ = 0;
+  };
+
+  Registry reg;
+  reg.add(make("measured", "latency", [](const Options&) {
+    ScriptedClock clock;
+    TimingPolicy policy;
+    policy.min_interval = kMillisecond;
+    policy.warmup_runs = 0;
+    measure([&](std::uint64_t iters) { clock.advance(static_cast<Nanos>(iters) * 1000); },
+            policy, clock);
+    return quick_ok();
+  }));
+
+  SuiteRunner runner(reg);
+  CalibrationCache cache;
+  SuiteConfig config;
+  config.cal_cache = &cache;
+
+  std::vector<RunResult> cold = runner.run(config);
+  ASSERT_EQ(cold.size(), 1u);
+  EXPECT_EQ(cold[0].metadata.at("cal_hits"), "0");
+  EXPECT_EQ(cold[0].metadata.at("cal_misses"), "1");
+  ASSERT_TRUE(cache.expected_wall_ms("measured").has_value());
+  EXPECT_GT(*cache.expected_wall_ms("measured"), 0.0);
+
+  std::vector<RunResult> warm = runner.run(config);
+  ASSERT_EQ(warm.size(), 1u);
+  EXPECT_EQ(warm[0].metadata.at("cal_hits"), "1");
+  EXPECT_EQ(warm[0].metadata.at("cal_misses"), "0");
+}
+
+TEST(SuiteRunnerTest, NoCacheMeansNoCalMetadata) {
+  Registry reg;
+  reg.add(make("plain", "latency", [](const Options&) { return quick_ok(); }));
+  SuiteRunner runner(reg);
+  std::vector<RunResult> results = runner.run(SuiteConfig{});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].metadata.count("cal_hits"), 0u);
+  EXPECT_EQ(results[0].metadata.count("cal_misses"), 0u);
+}
+
+TEST(SuiteRunnerTest, ParallelClaimsLongestExpectedFirst) {
+  Registry reg;
+  std::mutex mu;
+  std::vector<std::string> starts;
+  for (const char* name : {"a_short", "b_long", "c_medium", "d_quick"}) {
+    reg.add(make(name, "latency", [&, name](const Options&) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        starts.push_back(name);
+      }
+      std::this_thread::sleep_for(milliseconds(30));
+      return quick_ok();
+    }));
+  }
+
+  CalibrationCache cache;
+  cache.record_wall_ms("a_short", 10.0);
+  cache.record_wall_ms("b_long", 500.0);
+  cache.record_wall_ms("c_medium", 300.0);
+  cache.record_wall_ms("d_quick", 20.0);
+
+  SuiteRunner runner(reg);
+  SuiteConfig config;
+  config.jobs = 2;
+  config.cal_cache = &cache;
+  std::vector<RunResult> results = runner.run(config);
+
+  // Results stay name-sorted regardless of claim order.
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].name, "a_short");
+  EXPECT_EQ(results[3].name, "d_quick");
+
+  // Both workers grab the two longest-expected benchmarks first.
+  ASSERT_EQ(starts.size(), 4u);
+  std::set<std::string> first_two(starts.begin(), starts.begin() + 2);
+  EXPECT_TRUE(first_two.count("b_long")) << starts[0] << "," << starts[1];
+  EXPECT_TRUE(first_two.count("c_medium")) << starts[0] << "," << starts[1];
+}
+
+TEST(SuiteRunnerTest, UnknownDurationsClaimBeforeKnownOnes) {
+  Registry reg;
+  std::mutex mu;
+  std::vector<std::string> starts;
+  for (const char* name : {"known_long", "known_short", "mystery"}) {
+    reg.add(make(name, "latency", [&, name](const Options&) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        starts.push_back(name);
+      }
+      std::this_thread::sleep_for(milliseconds(30));
+      return quick_ok();
+    }));
+  }
+  CalibrationCache cache;
+  cache.record_wall_ms("known_long", 10'000.0);
+  cache.record_wall_ms("known_short", 10.0);
+
+  SuiteRunner runner(reg);
+  SuiteConfig config;
+  config.jobs = 2;
+  config.cal_cache = &cache;
+  runner.run(config);
+
+  // The benchmark with no history might be the long pole: it sorts ahead of
+  // every recorded duration (infinite expected), so the two workers pick up
+  // mystery and known_long first and known_short runs last.
+  ASSERT_EQ(starts.size(), 3u);
+  std::set<std::string> first_two(starts.begin(), starts.begin() + 2);
+  EXPECT_TRUE(first_two.count("mystery")) << starts[0] << "," << starts[1];
+  EXPECT_TRUE(first_two.count("known_long")) << starts[0] << "," << starts[1];
 }
 
 TEST(RunResultTest, SummaryFormatsMetricsStatusesAndDisplayOverride) {

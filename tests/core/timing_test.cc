@@ -46,13 +46,14 @@ TEST(MeasureTest, ReportsPerOperationTime) {
   ScriptedClock clock;
   constexpr Nanos kPerOp = 250;
   BenchFn fn = [&](std::uint64_t iters) { clock.advance(static_cast<Nanos>(iters) * kPerOp); };
-  TimingPolicy policy;
+  TimingPolicy policy = TimingPolicy::fixed();  // paper mode: all reps always run
   policy.min_interval = kMillisecond;
   policy.repetitions = 5;
   Measurement m = measure(fn, policy, clock);
   EXPECT_DOUBLE_EQ(m.ns_per_op, 250.0);
   EXPECT_DOUBLE_EQ(m.mean_ns_per_op, 250.0);
   EXPECT_EQ(m.repetitions, 5);
+  EXPECT_FALSE(m.converged);
   EXPECT_GT(m.iterations, 0u);
 }
 
@@ -85,8 +86,10 @@ TEST(MeasureTest, SetupRunsBeforeEachRepetitionUntimed) {
   policy.repetitions = 3;
   policy.warmup_runs = 1;
   Measurement m = measure(body, policy, clock);
-  // warmup (1) + calibration (1) + repetitions (3).
-  EXPECT_GE(setups, 5);
+  // warmup (1) + calibration (1, whose final probe seeds the sample as the
+  // first repetition) + the 2 remaining repetitions.
+  EXPECT_GE(setups, 4);
+  EXPECT_EQ(m.repetitions, 3);
   EXPECT_DOUBLE_EQ(m.ns_per_op, 100.0);
 }
 
@@ -133,6 +136,142 @@ TEST(MeasurementTest, DerivedUnits) {
   EXPECT_DOUBLE_EQ(m.us_per_op(), 2500.0);
   EXPECT_DOUBLE_EQ(m.ms_per_op(), 2.5);
   EXPECT_DOUBLE_EQ(m.ops_per_sec(), 400.0);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive engine: early stop, overhead correction, budgeted calibration,
+// and calibration-probe reuse — all on deterministic scripted/virtual clocks.
+
+TEST(EarlyStopTest, NoiseFreeSampleConvergesAtTheFloor) {
+  ScriptedClock clock;
+  BenchFn fn = [&](std::uint64_t iters) { clock.advance(static_cast<Nanos>(iters) * 400); };
+  TimingPolicy policy;  // standard: convergence 0.05, floor 3, cap 11
+  policy.min_interval = kMillisecond;
+  Measurement m = measure(fn, policy, clock);
+  EXPECT_EQ(m.repetitions, policy.min_repetitions);
+  EXPECT_TRUE(m.converged);
+  EXPECT_DOUBLE_EQ(m.ns_per_op, 400.0);
+}
+
+TEST(EarlyStopTest, NoisySampleRunsToTheCap) {
+  // Two of every three intervals run 2x slow, so the running median stays
+  // pinned at the slow value while the minimum sees the fast one —
+  // (median - min) never approaches 2% of min and early stop must not fire.
+  ScriptedClock clock;
+  int rep = 0;
+  BenchFn fn = [&](std::uint64_t iters) {
+    Nanos per_op = rep++ % 3 == 0 ? 400 : 800;
+    clock.advance(static_cast<Nanos>(iters) * per_op);
+  };
+  TimingPolicy policy;
+  policy.min_interval = kMillisecond;
+  policy.repetitions = 9;
+  policy.warmup_runs = 0;
+  Measurement m = measure(fn, policy, clock);
+  EXPECT_EQ(m.repetitions, 9);
+  EXPECT_FALSE(m.converged);
+  EXPECT_DOUBLE_EQ(m.ns_per_op, 400.0);
+}
+
+TEST(EarlyStopTest, ConvergenceZeroRestoresFixedPolicy) {
+  ScriptedClock clock;
+  BenchFn fn = [&](std::uint64_t iters) { clock.advance(static_cast<Nanos>(iters) * 400); };
+  TimingPolicy policy = TimingPolicy::fixed();
+  policy.min_interval = kMillisecond;
+  policy.repetitions = 7;
+  Measurement m = measure(fn, policy, clock);
+  EXPECT_EQ(m.repetitions, 7);
+  EXPECT_FALSE(m.converged);
+}
+
+TEST(ClockOverheadTest, OverheadIsSubtractedFromEachInterval) {
+  // With read cost r, one timed interval's raw span carries one extra clock
+  // read; the correction must recover the exact scripted per-op cost.
+  VirtualClock clock;
+  clock.set_read_cost(500);
+  constexpr Nanos kPerOp = 1000;
+  BenchFn fn = [&](std::uint64_t iters) { clock.advance(static_cast<Nanos>(iters) * kPerOp); };
+  TimingPolicy policy;
+  policy.min_interval = kMillisecond;
+  Measurement m = measure(fn, policy, clock);
+  EXPECT_EQ(m.clock_overhead_ns, 500);
+  EXPECT_DOUBLE_EQ(m.ns_per_op, static_cast<double>(kPerOp));
+}
+
+TEST(ClockOverheadTest, CorrectionNeverProducesNegativeIntervals) {
+  // A clock whose claimed overhead exceeds any real interval: corrected
+  // intervals must clamp at zero, not go negative.
+  class OverclaimingClock final : public Clock {
+   public:
+    Nanos now() const override { return now_ += 10; }
+    Nanos overhead_ns() const override { return 1000; }
+
+   private:
+    mutable Nanos now_ = 0;
+  };
+  OverclaimingClock clock;
+  Measurement m = measure([](std::uint64_t) {}, TimingPolicy::quick(), clock);
+  EXPECT_GE(m.ns_per_op, 0.0);
+  for (double v : m.sample.values()) {
+    EXPECT_GE(v, 0.0);
+  }
+  Measurement once = measure_once_each([] {}, 3, clock);
+  EXPECT_GE(once.ns_per_op, 0.0);
+}
+
+TEST(CalibrateBudgetTest, SlowBodyBailsToBestKnownCount) {
+  // The body costs a fixed 1 ms per probe regardless of the iteration
+  // count, so it can never reach min_interval; without the budget the ramp
+  // would grind through ~30 doublings.  With max_total = 5 ms it must bail
+  // after a handful of probes.
+  ScriptedClock clock;
+  int probes = 0;
+  BenchFn fn = [&](std::uint64_t) {
+    ++probes;
+    clock.advance(kMillisecond);
+  };
+  TimingPolicy policy;
+  policy.min_interval = 10 * kMillisecond;
+  policy.max_total = 5 * kMillisecond;
+  Calibration cal = calibrate(fn, policy, clock, clock.now());
+  EXPECT_TRUE(cal.budget_exhausted);
+  EXPECT_LE(probes, 7);
+  EXPECT_GE(cal.iterations, 1u);
+  // And measure() still times at least one repetition afterwards.
+  Measurement m = measure(fn, policy, clock);
+  EXPECT_GE(m.repetitions, 1);
+}
+
+TEST(CalibrateBudgetTest, FastBodyIsUnaffectedByBudget) {
+  ScriptedClock clock;
+  BenchFn fn = [&](std::uint64_t iters) { clock.advance(static_cast<Nanos>(iters) * 100); };
+  TimingPolicy policy;
+  policy.min_interval = kMillisecond;
+  Calibration cal = calibrate(fn, policy, clock, clock.now());
+  EXPECT_FALSE(cal.budget_exhausted);
+  EXPECT_GE(cal.probe_elapsed, policy.min_interval);
+}
+
+TEST(CalibrationReuseTest, FinalProbeSeedsTheSample) {
+  // The last calibration probe spans a full interval; it must be kept as
+  // the first repetition instead of re-timed.  Count the full-length
+  // intervals the body executes: floor-of-3 early stop should need exactly
+  // 3 (1 reused probe + 2 repetitions), not 4.
+  ScriptedClock clock;
+  int full_intervals = 0;
+  TimingPolicy policy;
+  policy.min_interval = kMillisecond;
+  policy.warmup_runs = 0;
+  BenchFn fn = [&](std::uint64_t iters) {
+    if (static_cast<Nanos>(iters) * 200 >= policy.min_interval) {
+      ++full_intervals;
+    }
+    clock.advance(static_cast<Nanos>(iters) * 200);
+  };
+  Measurement m = measure(fn, policy, clock);
+  EXPECT_EQ(m.repetitions, 3);
+  EXPECT_EQ(full_intervals, 3);
+  EXPECT_DOUBLE_EQ(m.ns_per_op, 200.0);
 }
 
 // Property sweep: measured per-op time equals the scripted cost for a range

@@ -1,0 +1,123 @@
+// Persistence of the calibration cache through the results database:
+// round-trips, host-signature invalidation, and coexistence with real
+// benchmark result sets in the same file.
+#include "src/db/cal_store.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cal_cache.h"
+#include "src/db/result_set.h"
+#include "src/sys/fdio.h"
+#include "src/sys/temp.h"
+
+namespace lmb::db {
+namespace {
+
+void fill_sample(CalibrationCache& cache) {
+  cache.put("lat_syscall#0@10000000", CalEntry{1'000'000, 10 * kMillisecond});
+  cache.put("bw_mem#3@10000000", CalEntry{512, 10 * kMillisecond});
+  cache.record_wall_ms("lat_syscall", 250.0);
+  cache.record_wall_ms("bw_mem", 1800.5);
+}
+
+TEST(CalStoreTest, SaveLoadRoundTrip) {
+  sys::TempDir dir("lmb_cal");
+  const std::string path = dir.file("cal.db");
+  CalibrationCache cache;
+  fill_sample(cache);
+  save_calibration_cache(path, "hostA", cache);
+
+  CalibrationCache loaded;
+  EXPECT_EQ(load_calibration_cache(path, "hostA", loaded), 4u);
+  auto entry = loaded.find("lat_syscall#0@10000000");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->iterations, 1'000'000u);
+  EXPECT_EQ(entry->min_interval, 10 * kMillisecond);
+  entry = loaded.find("bw_mem#3@10000000");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->iterations, 512u);
+  ASSERT_TRUE(loaded.expected_wall_ms("bw_mem").has_value());
+  EXPECT_DOUBLE_EQ(*loaded.expected_wall_ms("bw_mem"), 1800.5);
+  EXPECT_DOUBLE_EQ(*loaded.expected_wall_ms("lat_syscall"), 250.0);
+}
+
+TEST(CalStoreTest, HostSignatureMismatchLoadsNothing) {
+  sys::TempDir dir("lmb_cal");
+  const std::string path = dir.file("cal.db");
+  CalibrationCache cache;
+  fill_sample(cache);
+  save_calibration_cache(path, "hostA", cache);
+
+  CalibrationCache loaded;
+  EXPECT_EQ(load_calibration_cache(path, "hostB", loaded), 0u);
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_FALSE(loaded.expected_wall_ms("bw_mem").has_value());
+}
+
+TEST(CalStoreTest, MissingOrMalformedFileMeansColdCache) {
+  sys::TempDir dir("lmb_cal");
+  CalibrationCache loaded;
+  EXPECT_EQ(load_calibration_cache(dir.file("absent.db"), "hostA", loaded), 0u);
+
+  const std::string garbled = dir.file("garbled.db");
+  sys::write_file(garbled, "this is [not a results database\n");
+  EXPECT_EQ(load_calibration_cache(garbled, "hostA", loaded), 0u);
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(CalStoreTest, PreservesOtherResultSetsInTheFile) {
+  sys::TempDir dir("lmb_cal");
+  const std::string path = dir.file("shared.db");
+  ResultDatabase database;
+  ResultSet results("Linux/x86_64");
+  results.set("lat_pipe_us", 12.5);
+  database.add(results);
+  database.save(path);
+
+  CalibrationCache cache;
+  fill_sample(cache);
+  save_calibration_cache(path, "hostA", cache);
+
+  ResultDatabase reread = ResultDatabase::load(path);
+  ASSERT_NE(reread.find("Linux/x86_64"), nullptr);
+  EXPECT_DOUBLE_EQ(*reread.find("Linux/x86_64")->get("lat_pipe_us"), 12.5);
+  CalibrationCache loaded;
+  EXPECT_EQ(load_calibration_cache(path, "hostA", loaded), 4u);
+}
+
+TEST(CalStoreTest, ResaveReplacesTheCalibrationSet) {
+  sys::TempDir dir("lmb_cal");
+  const std::string path = dir.file("cal.db");
+  CalibrationCache cache;
+  fill_sample(cache);
+  save_calibration_cache(path, "hostA", cache);
+
+  CalibrationCache smaller;
+  smaller.put("lat_syscall#0@10000000", CalEntry{2'000'000, 10 * kMillisecond});
+  save_calibration_cache(path, "hostA", smaller);
+
+  CalibrationCache loaded;
+  EXPECT_EQ(load_calibration_cache(path, "hostA", loaded), 1u);
+  auto entry = loaded.find("lat_syscall#0@10000000");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->iterations, 2'000'000u);
+  EXPECT_FALSE(loaded.find("bw_mem#3@10000000").has_value());
+}
+
+TEST(CalStoreTest, SignatureChangeReplacesOldCalibrationSet) {
+  sys::TempDir dir("lmb_cal");
+  const std::string path = dir.file("cal.db");
+  CalibrationCache cache;
+  fill_sample(cache);
+  save_calibration_cache(path, "hostA", cache);
+  // Same machine, new kernel: the save under the new signature must not
+  // leave the stale hostA set behind.
+  save_calibration_cache(path, "hostA-new-kernel", cache);
+
+  CalibrationCache loaded;
+  EXPECT_EQ(load_calibration_cache(path, "hostA", loaded), 0u);
+  EXPECT_EQ(load_calibration_cache(path, "hostA-new-kernel", loaded), 4u);
+}
+
+}  // namespace
+}  // namespace lmb::db

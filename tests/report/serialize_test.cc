@@ -19,6 +19,9 @@ std::vector<RunResult> sample_batch() {
   m.max_ns_per_op = 27000.0;
   m.iterations = 1024;
   m.repetitions = 11;
+  m.clock_overhead_ns = 25;
+  m.converged = true;
+  m.calibration_cached = true;
   ok.measurement = m;
   ok.metadata["msg"] = "1";
   ok.wall_ms = 152.5;
@@ -45,7 +48,7 @@ std::vector<RunResult> sample_batch() {
 }
 
 TEST(SerializeJsonTest, RoundTripsABatch) {
-  ResultBatch batch{"test-host", sample_batch()};
+  ResultBatch batch{"test-host", sample_batch(), {}};
   std::string json = to_json(batch);
   ResultBatch parsed = from_json(json);
 
@@ -72,13 +75,16 @@ TEST(SerializeJsonTest, RoundTripsABatch) {
       EXPECT_DOUBLE_EQ(out.measurement->mean_ns_per_op, in.measurement->mean_ns_per_op);
       EXPECT_EQ(out.measurement->iterations, in.measurement->iterations);
       EXPECT_EQ(out.measurement->repetitions, in.measurement->repetitions);
+      EXPECT_EQ(out.measurement->clock_overhead_ns, in.measurement->clock_overhead_ns);
+      EXPECT_EQ(out.measurement->converged, in.measurement->converged);
+      EXPECT_EQ(out.measurement->calibration_cached, in.measurement->calibration_cached);
     }
     EXPECT_EQ(out.metadata, in.metadata);
   }
 }
 
 TEST(SerializeJsonTest, GoldenFieldNamesAndUnits) {
-  ResultBatch batch{"host", sample_batch()};
+  ResultBatch batch{"host", sample_batch(), {}};
   std::string json = to_json(batch);
 
   // Stable top-level and per-result field names — external tooling keys
@@ -104,7 +110,7 @@ TEST(SerializeJsonTest, MissingValuesSerializeAsNullNotZero) {
   failed.status = RunStatus::kError;
   failed.error = "boom";
   // No metrics, no measurement, no wall time recorded.
-  std::string json = to_json(ResultBatch{"host", {failed}});
+  std::string json = to_json(ResultBatch{"host", {failed}, {}});
 
   EXPECT_NE(json.find("\"metrics\": []"), std::string::npos);
   EXPECT_NE(json.find("\"measurement\": null"), std::string::npos);
@@ -116,9 +122,48 @@ TEST(SerializeJsonTest, MissingValuesSerializeAsNullNotZero) {
   ok.name = "fine";
   ok.category = "latency";
   ok.add("us", 0.0, "us");  // a true measured zero IS emitted as 0
-  json = to_json(ResultBatch{"host", {ok}});
+  json = to_json(ResultBatch{"host", {ok}, {}});
   EXPECT_NE(json.find("\"error\": null"), std::string::npos);
   EXPECT_NE(json.find("\"value\": 0"), std::string::npos);
+}
+
+TEST(SerializeJsonTest, SuiteTimingRoundTripsAndAbsenceIsNull) {
+  SuiteTiming timing;
+  timing.total_wall_ms = 12345.5;
+  timing.jobs = 4;
+  timing.cal_cache = true;
+  timing.cal_hits = 17;
+  timing.cal_misses = 2;
+  ResultBatch batch{"host", sample_batch(), timing};
+
+  std::string json = to_json(batch);
+  for (const char* field : {"\"timing\"", "\"total_wall_ms\"", "\"jobs\"", "\"cal_cache\"",
+                            "\"cal_hits\"", "\"cal_misses\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  ResultBatch parsed = from_json(json);
+  ASSERT_TRUE(parsed.timing.has_value());
+  EXPECT_DOUBLE_EQ(parsed.timing->total_wall_ms, 12345.5);
+  EXPECT_EQ(parsed.timing->jobs, 4);
+  EXPECT_TRUE(parsed.timing->cal_cache);
+  EXPECT_EQ(parsed.timing->cal_hits, 17);
+  EXPECT_EQ(parsed.timing->cal_misses, 2);
+
+  // Without timing the field is an explicit null and parses back to nullopt.
+  ResultBatch no_timing{"host", sample_batch(), {}};
+  json = to_json(no_timing);
+  EXPECT_NE(json.find("\"timing\": null"), std::string::npos);
+  EXPECT_FALSE(from_json(json).timing.has_value());
+}
+
+TEST(SerializeCsvTest, TimingAppendsASuiteSummaryRow) {
+  SuiteTiming timing;
+  timing.total_wall_ms = 99.5;
+  std::string csv = to_csv(sample_batch(), &timing);
+  EXPECT_NE(csv.find("__suite__,suite,ok,99.5,total_wall_ms,99.5,ms,"), std::string::npos)
+      << csv;
+  // No timing pointer, no summary row.
+  EXPECT_EQ(to_csv(sample_batch()).find("__suite__"), std::string::npos);
 }
 
 TEST(SerializeJsonTest, RejectsMalformedInputAndWrongSchema) {
@@ -129,7 +174,7 @@ TEST(SerializeJsonTest, RejectsMalformedInputAndWrongSchema) {
   EXPECT_THROW(from_json("{\"schema\": \"lmbenchpp.results.v1\"}"),
                std::invalid_argument);  // no results
   // Truncated document.
-  std::string json = to_json(ResultBatch{"h", sample_batch()});
+  std::string json = to_json(ResultBatch{"h", sample_batch(), {}});
   EXPECT_THROW(from_json(json.substr(0, json.size() / 2)), std::invalid_argument);
 }
 
