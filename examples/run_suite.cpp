@@ -6,6 +6,8 @@
 //                              [--timeout=SECONDS] [--out=results.db]
 //                              [--json=results.json] [--csv=results.csv]
 //                              [--cal-cache=PATH] [--no-cal-cache]
+//                              [--baseline=PATH] [--gate[=PCT]]
+//                              [--save-baseline] [--compare-json=PATH]
 //                              [--list] [--with-hang]
 //
 //   --list       print every registered benchmark (grouped by category)
@@ -22,9 +24,24 @@
 //                re-calibrate-every-run behavior)
 //   --with-hang  register a deliberately-hanging `test_hang` benchmark
 //                (for exercising --timeout end to end)
+//   --baseline=PATH   after the run, compare this run's results against a
+//                baseline: PATH is either a results JSON file or a baseline
+//                -store directory (src/db/baseline_store.h).  An empty
+//                store is populated with this run ("baseline established").
+//   --gate[=PCT]      with --baseline: exit 3 when any metric regressed
+//                beyond the noise-aware threshold; PCT overrides the 5%
+//                significance floor
+//   --assume-noise=PCT  assumed relative noise for metrics without a stored
+//                repetition sample (see lmbench_compare)
+//   --save-baseline   with a directory --baseline: append this run to the
+//                store after comparing
+//   --compare-json=PATH  write the comparison (lmbenchpp.compare.v1), e.g.
+//                BENCH_compare.json for CI artifacts
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <map>
+#include <optional>
 #include <thread>
 
 #include "src/core/cal_cache.h"
@@ -33,8 +50,10 @@
 #include "src/core/options.h"
 #include "src/core/registry.h"
 #include "src/core/suite_runner.h"
+#include "src/db/baseline_store.h"
 #include "src/db/cal_store.h"
 #include "src/db/result_set.h"
+#include "src/report/compare.h"
 #include "src/report/serialize.h"
 #include "src/sys/fdio.h"
 
@@ -58,6 +77,59 @@ int list_benchmarks(const std::string& category) {
     }
   }
   std::printf("\n%zu benchmarks\n", benches.size());
+  return 0;
+}
+
+// Runs the post-suite baseline comparison (--baseline/--gate).  Returns 3
+// when the gate is armed and a regression survived the noise threshold,
+// 0 otherwise.
+int compare_against_baseline(const Options& opts, const report::ResultBatch& current) {
+  std::string baseline_path = opts.get_string("baseline", "");
+  // An existing regular file is an explicit results JSON; anything else
+  // (existing directory, or a path not there yet) is a baseline store —
+  // the first gated CI run must be able to create it.
+  bool is_dir = !std::filesystem::is_regular_file(baseline_path);
+
+  std::optional<report::ResultBatch> base;
+  if (is_dir) {
+    base = db::BaselineStore(baseline_path).load_latest();
+  } else {
+    base = db::BaselineStore::load(baseline_path);  // throws if bad
+  }
+  if (!base.has_value()) {
+    // Empty store: this run becomes the baseline; nothing to gate yet.
+    std::string saved = db::BaselineStore(baseline_path).save(current);
+    std::printf("\nno baseline in %s yet; established one: %s\n", baseline_path.c_str(),
+                saved.c_str());
+    return 0;
+  }
+
+  // --gate is a flag ("true") or carries the significance floor in percent.
+  bool gate = opts.has("gate");
+  report::CompareThresholds thresholds;
+  std::string gate_value = opts.get_string("gate", "");
+  if (gate && gate_value != "true") {
+    thresholds.floor_rel = opts.get_double("gate", 5.0) / 100.0;
+  }
+  thresholds.fallback_noise_rel = opts.get_double("assume-noise", 0.0) / 100.0;
+
+  report::CompareReport cmp = report::compare_batches(*base, current, thresholds);
+  std::printf("\n%s", report::render_compare_table(cmp).c_str());
+
+  std::string compare_json = opts.get_string("compare-json", "");
+  if (!compare_json.empty()) {
+    sys::write_file(compare_json, report::compare_to_json(cmp));
+    std::printf("wrote comparison to %s\n", compare_json.c_str());
+  }
+  if (is_dir && opts.get_bool("save-baseline")) {
+    std::printf("saved new baseline: %s\n",
+                db::BaselineStore(baseline_path).save(current).c_str());
+  }
+  if (gate && cmp.has_regressions()) {
+    std::printf("regression gate FAILED (%d metrics beyond the noise threshold)\n",
+                cmp.regressed);
+    return 3;
+  }
   return 0;
 }
 
@@ -196,7 +268,15 @@ int main(int argc, char** argv) try {
     std::printf("calibration cache: %d hits, %d misses\n", cal_cache.hits(),
                 cal_cache.misses());
   }
-  return failed == 0 ? 0 : 1;
+
+  int gate_status = 0;
+  if (!opts.get_string("baseline", "").empty()) {
+    gate_status = compare_against_baseline(opts, {info.label(), results, timing});
+  }
+  if (failed != 0) {
+    return 1;
+  }
+  return gate_status;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "run_suite: %s\n", e.what());
   return 2;

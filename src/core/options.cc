@@ -1,10 +1,36 @@
 #include "src/core/options.h"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
+#include <system_error>
 
 namespace lmb {
+
+namespace {
+
+// Locale-independent strict parses: the whole string must be consumed and
+// the value must be finite.  std::stod honors LC_NUMERIC (under a
+// comma-decimal locale "1.5" parses as 1) and both stod/stoll skip leading
+// whitespace — neither is acceptable for option values.
+bool parse_full_int(const std::string& text, std::int64_t& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto res = std::from_chars(begin, end, out);
+  return res.ec == std::errc() && res.ptr == end;
+}
+
+bool parse_full_double(const std::string& text, double& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto res = std::from_chars(begin, end, out);
+  // from_chars accepts "inf"/"nan" spellings; no option means that.
+  return res.ec == std::errc() && res.ptr == end && std::isfinite(out);
+}
+
+}  // namespace
 
 Options Options::parse(int argc, const char* const* argv) {
   Options opts;
@@ -52,14 +78,8 @@ std::int64_t Options::get_int(const std::string& key, std::int64_t fallback) con
   if (it == values_.end()) {
     return fallback;
   }
-  size_t pos = 0;
   std::int64_t v = 0;
-  try {
-    v = std::stoll(it->second, &pos);
-  } catch (const std::exception&) {
-    pos = std::string::npos;
-  }
-  if (pos != it->second.size()) {
+  if (!parse_full_int(it->second, v)) {
     throw std::invalid_argument("option --" + key + " is not an integer: '" + it->second + "'");
   }
   return v;
@@ -70,14 +90,8 @@ double Options::get_double(const std::string& key, double fallback) const {
   if (it == values_.end()) {
     return fallback;
   }
-  size_t pos = 0;
   double v = 0.0;
-  try {
-    v = std::stod(it->second, &pos);
-  } catch (const std::exception&) {
-    pos = std::string::npos;
-  }
-  if (pos != it->second.size()) {
+  if (!parse_full_double(it->second, v)) {
     throw std::invalid_argument("option --" + key + " is not a number: '" + it->second + "'");
   }
   return v;
@@ -112,19 +126,21 @@ std::int64_t Options::parse_size(const std::string& text) {
   if (text.empty()) {
     throw std::invalid_argument("empty size");
   }
-  size_t pos = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
   std::int64_t v = 0;
-  try {
-    v = std::stoll(text, &pos);
-  } catch (const std::exception&) {
+  auto res = std::from_chars(begin, end, v);
+  if (res.ec != std::errc() || res.ptr == begin) {
     throw std::invalid_argument("malformed size: " + text);
   }
   if (v < 0) {
     throw std::invalid_argument("negative size: " + text);
   }
+  size_t pos = static_cast<size_t>(res.ptr - begin);
   if (pos == text.size()) {
     return v;
   }
+  // Exactly one suffix character is allowed; "4kZZ" is garbage, not 4k.
   if (pos + 1 != text.size()) {
     throw std::invalid_argument("malformed size: " + text);
   }

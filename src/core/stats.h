@@ -30,6 +30,12 @@ class Sample {
   double percentile(double p) const;
   // stddev / mean; 0 when mean is 0.
   double coefficient_of_variation() const;
+  // Half-width of the two-sided Student-t confidence interval on the mean:
+  // t(confidence, n-1) * stddev / sqrt(n).  Benchmark repetition counts are
+  // small (3..11), where the t correction matters — a z-based interval
+  // understates noise by 4x at n = 3.  Supported confidence levels: 0.90,
+  // 0.95, 0.99 (throws std::invalid_argument otherwise).  0 for n < 2.
+  double ci_half_width(double confidence = 0.95) const;
 
   const std::vector<double>& values() const { return values_; }
 

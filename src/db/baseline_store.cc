@@ -1,0 +1,109 @@
+#include "src/db/baseline_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "src/sys/fdio.h"
+
+namespace lmb::db {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kPrefix = "baseline-";
+constexpr const char* kSuffix = ".json";
+
+// Sequence number of a store entry, or -1 for unrelated files.
+long entry_seq(const fs::path& path) {
+  std::string name = path.filename().string();
+  if (name.rfind(kPrefix, 0) != 0 || name.size() <= std::strlen(kPrefix) + std::strlen(kSuffix)) {
+    return -1;
+  }
+  if (name.compare(name.size() - std::strlen(kSuffix), std::strlen(kSuffix), kSuffix) != 0) {
+    return -1;
+  }
+  std::string digits =
+      name.substr(std::strlen(kPrefix), name.size() - std::strlen(kPrefix) - std::strlen(kSuffix));
+  if (digits.empty() || digits.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  return std::stol(digits);
+}
+
+}  // namespace
+
+BaselineStore::BaselineStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::vector<std::string> BaselineStore::list() const {
+  std::vector<std::pair<long, std::string>> entries;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    long seq = entry_seq(entry.path());
+    if (seq >= 0) {
+      entries.emplace_back(seq, entry.path().string());
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  std::vector<std::string> out;
+  out.reserve(entries.size());
+  for (auto& [seq, path] : entries) {
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+std::optional<std::string> BaselineStore::latest_path() const {
+  std::vector<std::string> entries = list();
+  if (entries.empty()) {
+    return std::nullopt;
+  }
+  return entries.back();
+}
+
+std::string BaselineStore::save(const report::ResultBatch& batch) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("baseline store: cannot create " + dir_ + ": " + ec.message());
+  }
+  long next = 1;
+  std::vector<std::string> entries = list();
+  if (!entries.empty()) {
+    next = entry_seq(entries.back()) + 1;
+  }
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%06ld%s", kPrefix, next, kSuffix);
+  std::string path = (fs::path(dir_) / name).string();
+  sys::write_file(path, report::to_json(batch));
+  return path;
+}
+
+std::optional<report::ResultBatch> BaselineStore::load_latest() const {
+  std::optional<std::string> path = latest_path();
+  if (!path.has_value()) {
+    return std::nullopt;
+  }
+  return load(*path);
+}
+
+report::ResultBatch BaselineStore::load(const std::string& path) {
+  return report::from_json(sys::read_file(path));
+}
+
+void BaselineStore::prune(size_t keep) {
+  std::vector<std::string> entries = list();
+  if (entries.size() <= keep) {
+    return;
+  }
+  size_t excess = entries.size() - keep;
+  for (size_t i = 0; i < excess; ++i) {
+    std::error_code ec;
+    fs::remove(entries[i], ec);  // best-effort; a locked file stays
+  }
+}
+
+}  // namespace lmb::db

@@ -1,0 +1,59 @@
+// A directory of serialized result batches acting as the regression
+// baseline — the "prior runs" half of the paper's results database (§3.5).
+//
+// Layout: `<dir>/baseline-NNNNNN.json`, each file one
+// `lmbenchpp.results.v1` document (src/report/serialize.h).  The sequence
+// number orders runs; the highest is the current baseline.  Nothing else
+// lives in the directory, so `prune` can age out old runs safely.
+//
+// run_suite --baseline=DIR compares against the newest entry (and
+// --save-baseline appends one); lmbench_compare --baseline-dir=DIR does the
+// same for an already-serialized run.
+#ifndef LMBENCHPP_SRC_DB_BASELINE_STORE_H_
+#define LMBENCHPP_SRC_DB_BASELINE_STORE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/report/serialize.h"
+
+namespace lmb::db {
+
+class BaselineStore {
+ public:
+  // Does not touch the filesystem; the directory is created on first save.
+  explicit BaselineStore(std::string dir);
+
+  // Serializes `batch` as the newest baseline entry.  Returns the path
+  // written.  Throws std::runtime_error when the directory or file cannot
+  // be created.
+  std::string save(const report::ResultBatch& batch);
+
+  // Baseline files, oldest first (by sequence number).  Empty when the
+  // directory is missing or holds no entries.
+  std::vector<std::string> list() const;
+
+  // Path of the newest entry, if any.
+  std::optional<std::string> latest_path() const;
+
+  // Parses the newest entry.  nullopt when the store is empty; throws
+  // std::invalid_argument when the file exists but is malformed (a corrupt
+  // baseline should fail loudly, not read as "no baseline").
+  std::optional<report::ResultBatch> load_latest() const;
+
+  // Parses a specific baseline file (any path, not only store entries).
+  static report::ResultBatch load(const std::string& path);
+
+  // Deletes the oldest entries until at most `keep` remain.
+  void prune(size_t keep);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace lmb::db
+
+#endif  // LMBENCHPP_SRC_DB_BASELINE_STORE_H_

@@ -1,0 +1,266 @@
+#include "src/report/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+#include "src/report/table.h"
+
+namespace lmb::report {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// One side's view of a metric: its value plus the owning result's measured
+// relative noise.
+struct Entry {
+  double value = kNan;
+  std::string bench;
+  std::string unit;
+  double noise_rel = 0.0;
+};
+
+// Relative spread of one result's repetition sample: the Student-t interval
+// half-width (when >= 2 repetitions were kept) over the headline minimum.
+// The measurement describes the result's dominant metric; using it for the
+// result's other metrics is the usual headline approximation.  Results
+// without a usable sample get the configured fallback noise.
+double result_noise_rel(const RunResult& r, const CompareThresholds& thresholds) {
+  if (!r.measurement.has_value()) {
+    return thresholds.fallback_noise_rel;
+  }
+  const Measurement& m = *r.measurement;
+  if (m.sample.count() < 2 || !(m.ns_per_op > 0.0)) {
+    return thresholds.fallback_noise_rel;
+  }
+  double interval = m.sample.ci_half_width(thresholds.confidence);
+  return std::isfinite(interval) ? interval / m.ns_per_op : thresholds.fallback_noise_rel;
+}
+
+std::map<std::string, Entry> index_batch(const ResultBatch& batch,
+                                         const CompareThresholds& thresholds) {
+  std::map<std::string, Entry> out;
+  for (const RunResult& r : batch.results) {
+    if (!r.ok()) {
+      continue;  // a failed run's side shows up as "missing"
+    }
+    double noise = result_noise_rel(r, thresholds);
+    for (const Metric& m : r.metrics) {
+      Entry e;
+      e.value = m.value;
+      e.bench = r.name;
+      e.unit = m.unit;
+      e.noise_rel = noise;
+      out[r.name + "_" + m.key] = e;
+    }
+  }
+  return out;
+}
+
+int class_rank(DeltaClass c) {
+  switch (c) {
+    case DeltaClass::kRegressed: return 0;
+    case DeltaClass::kMissingCurrent: return 1;
+    case DeltaClass::kMissingBaseline: return 2;
+    case DeltaClass::kUnchanged: return 3;
+    case DeltaClass::kImproved: return 4;
+  }
+  return 5;
+}
+
+}  // namespace
+
+MetricDirection direction_for_unit(const std::string& unit) {
+  if (unit == "us" || unit == "ns" || unit == "ms" || unit == "s") {
+    return MetricDirection::kLowerIsBetter;
+  }
+  if (unit == "MB/s" || unit == "GB/s" || unit == "KB/s" || unit == "ops/s" ||
+      unit == "op/s" || unit == "MHz") {
+    return MetricDirection::kHigherIsBetter;
+  }
+  return MetricDirection::kNeutral;
+}
+
+const char* metric_direction_name(MetricDirection d) {
+  switch (d) {
+    case MetricDirection::kLowerIsBetter: return "lower";
+    case MetricDirection::kHigherIsBetter: return "higher";
+    case MetricDirection::kNeutral: return "neutral";
+  }
+  return "neutral";
+}
+
+const char* delta_class_name(DeltaClass c) {
+  switch (c) {
+    case DeltaClass::kRegressed: return "regressed";
+    case DeltaClass::kImproved: return "improved";
+    case DeltaClass::kUnchanged: return "unchanged";
+    case DeltaClass::kMissingCurrent: return "missing-current";
+    case DeltaClass::kMissingBaseline: return "missing-baseline";
+  }
+  return "unchanged";
+}
+
+double MetricDelta::badness() const {
+  if (!std::isfinite(rel_delta)) {
+    // Infinite deltas (baseline was 0) sort ahead of any finite one when
+    // they point the wrong way.
+    if (direction == MetricDirection::kLowerIsBetter) return rel_delta;
+    if (direction == MetricDirection::kHigherIsBetter) return -rel_delta;
+    return 0.0;
+  }
+  switch (direction) {
+    case MetricDirection::kLowerIsBetter: return rel_delta;
+    case MetricDirection::kHigherIsBetter: return -rel_delta;
+    case MetricDirection::kNeutral: return 0.0;
+  }
+  return 0.0;
+}
+
+CompareReport compare_batches(const ResultBatch& baseline, const ResultBatch& current,
+                              const CompareThresholds& thresholds) {
+  CompareReport report;
+  report.baseline_system = baseline.system;
+  report.current_system = current.system;
+  report.thresholds = thresholds;
+
+  std::map<std::string, Entry> base = index_batch(baseline, thresholds);
+  std::map<std::string, Entry> cur = index_batch(current, thresholds);
+
+  // Union of keys, baseline first (std::map keeps both sides sorted).
+  std::map<std::string, std::pair<const Entry*, const Entry*>> merged;
+  for (const auto& [key, e] : base) merged[key].first = &e;
+  for (const auto& [key, e] : cur) merged[key].second = &e;
+
+  for (const auto& [key, sides] : merged) {
+    const Entry* b = sides.first;
+    const Entry* c = sides.second;
+    MetricDelta d;
+    d.key = key;
+    const Entry* any = b != nullptr ? b : c;
+    d.bench = any->bench;
+    d.unit = any->unit;
+    d.direction = direction_for_unit(d.unit);
+    d.baseline = b != nullptr ? b->value : kNan;
+    d.current = c != nullptr ? c->value : kNan;
+    d.noise_rel = std::max(b != nullptr ? b->noise_rel : 0.0,
+                           c != nullptr ? c->noise_rel : 0.0);
+    d.threshold_rel = std::max(thresholds.floor_rel, thresholds.sigmas * d.noise_rel);
+
+    bool has_base = b != nullptr && std::isfinite(d.baseline);
+    bool has_cur = c != nullptr && std::isfinite(d.current);
+    if (!has_base || !has_cur) {
+      d.cls = has_base ? DeltaClass::kMissingCurrent : DeltaClass::kMissingBaseline;
+      d.rel_delta = kNan;
+      ++report.missing;
+      report.deltas.push_back(std::move(d));
+      continue;
+    }
+
+    if (d.baseline == 0.0) {
+      d.rel_delta = d.current == 0.0
+                        ? 0.0
+                        : std::copysign(std::numeric_limits<double>::infinity(),
+                                        d.current - d.baseline);
+    } else {
+      d.rel_delta = (d.current - d.baseline) / std::fabs(d.baseline);
+    }
+
+    double worse = d.badness();
+    if (d.direction == MetricDirection::kNeutral || std::fabs(worse) <= d.threshold_rel) {
+      d.cls = DeltaClass::kUnchanged;
+      ++report.unchanged;
+    } else if (worse > 0.0) {
+      d.cls = DeltaClass::kRegressed;
+      ++report.regressed;
+    } else {
+      d.cls = DeltaClass::kImproved;
+      ++report.improved;
+    }
+    report.deltas.push_back(std::move(d));
+  }
+
+  std::sort(report.deltas.begin(), report.deltas.end(),
+            [](const MetricDelta& a, const MetricDelta& b) {
+              int ra = class_rank(a.cls);
+              int rb = class_rank(b.cls);
+              if (ra != rb) {
+                return ra < rb;
+              }
+              double ba = a.badness();
+              double bb = b.badness();
+              if (ba != bb) {
+                return ba > bb;  // worst first within a class
+              }
+              return a.key < b.key;
+            });
+  return report;
+}
+
+std::string render_compare_table(const CompareReport& report) {
+  Table table("Comparison: " + report.baseline_system + " -> " + report.current_system,
+              {{"metric", 0},
+               {"base", 4},
+               {"now", 4},
+               {"delta%", 2},
+               {"noise%", 2},
+               {"gate%", 2},
+               {"verdict", 0}});
+  for (const MetricDelta& d : report.deltas) {
+    Cell base_cell = std::isfinite(d.baseline) ? Cell{d.baseline} : Cell{};
+    Cell cur_cell = std::isfinite(d.current) ? Cell{d.current} : Cell{};
+    Cell delta_cell = std::isfinite(d.rel_delta) ? Cell{d.rel_delta * 100.0} : Cell{};
+    table.add_row({Cell{d.key}, base_cell, cur_cell, delta_cell, Cell{d.noise_rel * 100.0},
+                   Cell{d.threshold_rel * 100.0}, Cell{std::string(delta_class_name(d.cls))}});
+  }
+  char verdict[256];
+  std::snprintf(verdict, sizeof(verdict),
+                "%d regressed, %d improved, %d unchanged, %d missing "
+                "(floor %.1f%%, %.1f sigma, %.0f%% CI)\n",
+                report.regressed, report.improved, report.unchanged, report.missing,
+                report.thresholds.floor_rel * 100.0, report.thresholds.sigmas,
+                report.thresholds.confidence * 100.0);
+  return table.render() + "\n" + verdict;
+}
+
+std::string compare_to_json(const CompareReport& report) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"lmbenchpp.compare.v1\",\n";
+  out += "  \"baseline_system\": " + json_quote(report.baseline_system) + ",\n";
+  out += "  \"current_system\": " + json_quote(report.current_system) + ",\n";
+  out += "  \"thresholds\": {\"floor_rel\": " + json_double(report.thresholds.floor_rel) +
+         ", \"sigmas\": " + json_double(report.thresholds.sigmas) +
+         ", \"confidence\": " + json_double(report.thresholds.confidence) +
+         ", \"fallback_noise_rel\": " + json_double(report.thresholds.fallback_noise_rel) +
+         "},\n";
+  out += "  \"summary\": {\"regressed\": " + std::to_string(report.regressed) +
+         ", \"improved\": " + std::to_string(report.improved) +
+         ", \"unchanged\": " + std::to_string(report.unchanged) +
+         ", \"missing\": " + std::to_string(report.missing) +
+         ", \"gate_passed\": " + (report.has_regressions() ? "false" : "true") + "},\n";
+  out += "  \"deltas\": [";
+  bool first = true;
+  for (const MetricDelta& d : report.deltas) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"key\": " + json_quote(d.key) + ", \"bench\": " + json_quote(d.bench) +
+           ", \"unit\": " + json_quote(d.unit) +
+           ", \"direction\": " + json_quote(metric_direction_name(d.direction)) +
+           ", \"baseline\": " + json_double(d.baseline) +
+           ", \"current\": " + json_double(d.current) +
+           ", \"rel_delta\": " + json_double(d.rel_delta) +
+           ", \"noise_rel\": " + json_double(d.noise_rel) +
+           ", \"threshold_rel\": " + json_double(d.threshold_rel) +
+           ", \"class\": " + json_quote(delta_class_name(d.cls)) + "}";
+  }
+  out += report.deltas.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"count\": " + std::to_string(report.deltas.size()) + "\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace lmb::report

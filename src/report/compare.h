@@ -1,0 +1,126 @@
+// Noise-aware comparison of two result batches — the consumer the paper's
+// results database (§3.5) exists for: "run the suite, store the numbers,
+// compare systems/runs against each other".
+//
+// A raw delta between two micro-benchmark numbers is meaningless without
+// the measured noise behind each number (cf. continuous-benchmarking
+// practice in ROOT's performance CI and nanoBench): a 8% swing on a
+// benchmark whose repetitions scatter 10% is silence, while a 3% swing on
+// a 0.2%-tight benchmark is a real regression.  The timing engine already
+// records per-measurement variability (min/median/stddev and the raw
+// repetition sample, serialized since schema additions in this module);
+// compare_batches turns that into a per-metric significance threshold:
+//
+//   threshold_rel = max(floor_rel, sigmas * noise_rel)
+//   noise_rel     = max over both runs of (stddev-based interval / min)
+//
+// and classifies the relative delta of each `<bench>_<metric>_<unit>` key
+// against it, honoring metric direction (latency: smaller is better;
+// bandwidth: bigger is better — §4.1's table-sorting convention).
+#ifndef LMBENCHPP_SRC_REPORT_COMPARE_H_
+#define LMBENCHPP_SRC_REPORT_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/report/serialize.h"
+
+namespace lmb::report {
+
+// Which way "better" points for a metric, derived from its unit.
+enum class MetricDirection {
+  kLowerIsBetter,   // latencies: us, ns, ms, s
+  kHigherIsBetter,  // rates: MB/s, GB/s, ops/s, MHz
+  kNeutral,         // counts, percentages — reported, never gated
+};
+
+// Direction for a display unit ("us" -> lower, "MB/s" -> higher,
+// "count"/"%"/unknown -> neutral).
+MetricDirection direction_for_unit(const std::string& unit);
+
+// Stable lowercase name ("lower", "higher", "neutral").
+const char* metric_direction_name(MetricDirection d);
+
+// Outcome of one metric's baseline-vs-current judgment.
+enum class DeltaClass {
+  kRegressed,        // moved the wrong way beyond the noise threshold
+  kImproved,         // moved the right way beyond the noise threshold
+  kUnchanged,        // within the threshold (or a neutral-direction metric)
+  kMissingCurrent,   // in the baseline, absent from the current run
+  kMissingBaseline,  // new in the current run (no baseline to judge against)
+};
+
+// Stable lowercase name ("regressed", "improved", ...).
+const char* delta_class_name(DeltaClass c);
+
+// Knobs for the significance gate.
+struct CompareThresholds {
+  // Relative floor below which a delta is never significant, whatever the
+  // measured noise says (guards near-zero-stddev measurements whose
+  // repetitions happened to agree).  0.05 == 5%.
+  double floor_rel = 0.05;
+  // Multiplier on the noise-derived relative spread.  3 sigma keeps the
+  // false-positive rate of a ~500-metric suite near zero.
+  double sigmas = 3.0;
+  // Confidence level for the Student-t interval when a raw repetition
+  // sample is available (0.90 / 0.95 / 0.99).
+  double confidence = 0.95;
+  // Assumed relative noise for metrics whose result carries no repetition
+  // sample (multi-value sweeps leave Measurement empty): they fall back to
+  // max(floor_rel, sigmas * fallback_noise_rel).  0 (default) means the
+  // floor alone gates them; CI self-checks on shared runners want this
+  // nonzero, since between-run scatter there dwarfs a tight floor.
+  double fallback_noise_rel = 0.0;
+};
+
+// One metric's comparison row.
+struct MetricDelta {
+  std::string key;   // full database key: <bench>_<metric>_<unit>
+  std::string bench; // owning benchmark (RunResult::name)
+  std::string unit;  // display unit of the metric
+  MetricDirection direction = MetricDirection::kNeutral;
+  double baseline = 0.0;       // NaN when missing from the baseline
+  double current = 0.0;        // NaN when missing from the current run
+  double rel_delta = 0.0;      // (current - baseline) / |baseline|
+  double noise_rel = 0.0;      // noise-derived relative spread (both runs)
+  double threshold_rel = 0.0;  // max(floor_rel, sigmas * noise_rel)
+  DeltaClass cls = DeltaClass::kUnchanged;
+
+  // Direction-normalized delta: positive always means "worse".  0 for
+  // neutral or missing entries.
+  double badness() const;
+};
+
+// Whole-comparison outcome.  `deltas` is sorted worst-regression-first
+// (§4.1: tables are sorted on the interesting column).
+struct CompareReport {
+  std::string baseline_system;
+  std::string current_system;
+  CompareThresholds thresholds;
+  std::vector<MetricDelta> deltas;
+  int regressed = 0;
+  int improved = 0;
+  int unchanged = 0;
+  int missing = 0;  // either side
+
+  bool has_regressions() const { return regressed > 0; }
+};
+
+// Matches the batches' metrics by key and judges every delta.  Only
+// metrics of ok-status results participate; a benchmark that failed in one
+// run shows up as missing on that side.
+CompareReport compare_batches(const ResultBatch& baseline, const ResultBatch& current,
+                              const CompareThresholds& thresholds = {});
+
+// Plain-text delta table (report::Table conventions), worst regression
+// first, plus a one-line verdict.
+std::string render_compare_table(const CompareReport& report);
+
+// JSON document (schema lmbenchpp.compare.v1) for CI artifacts:
+// schema, baseline_system, current_system, thresholds{}, summary{counts,
+// gate_passed}, deltas[].
+std::string compare_to_json(const CompareReport& report);
+
+}  // namespace lmb::report
+
+#endif  // LMBENCHPP_SRC_REPORT_COMPARE_H_

@@ -1,10 +1,12 @@
 #include "src/report/serialize.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -50,26 +52,9 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-std::string json_string(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+std::string json_string(const std::string& s) { return json_quote(s); }
 
-// Shortest round-trippable representation; JSON has no NaN/Inf, so those
-// become null (another "explicitly missing", never 0).
-std::string json_number(double v) {
-  if (!std::isfinite(v)) {
-    return "null";
-  }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  // Prefer a shorter form when it round-trips exactly.
-  for (int precision : {6, 9, 12, 15}) {
-    char shorter[64];
-    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
-    if (std::strtod(shorter, nullptr) == v) {
-      return shorter;
-    }
-  }
-  return buf;
-}
+std::string json_number(double v) { return json_double(v); }
 
 // ---------------------------------------------------------------------------
 // Minimal JSON parser (only what from_json needs: the subset to_json emits,
@@ -293,11 +278,14 @@ class JsonParser {
     if (pos_ == start) {
       fail("expected value");
     }
-    try {
-      return JsonValue{std::stod(text_.substr(start, pos_ - start))};
-    } catch (const std::exception&) {
+    // from_chars, not stod: locale-independent, and the token scan above
+    // already excludes textual forms like "inf"/"nan".
+    double value = 0.0;
+    auto res = std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (res.ec != std::errc() || res.ptr != text_.data() + pos_) {
       fail("bad number");
     }
+    return JsonValue{value};
   }
 
   const std::string& text_;
@@ -309,7 +297,29 @@ const JsonValue* find(const JsonObject& obj, const std::string& key) {
   return it == obj.end() ? nullptr : &it->second;
 }
 
+// Inverse of json_double's non-finite handling: a JSON null in a numeric
+// position parses back as NaN, preserving round trips for values the
+// format itself cannot carry.
+double number_or_nan(const JsonValue& v) {
+  return v.is_null() ? std::numeric_limits<double>::quiet_NaN() : v.number();
+}
+
 }  // namespace
+
+std::string json_quote(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+// Shortest round-trippable representation (std::to_chars is exact and
+// locale-independent — snprintf %g honors LC_NUMERIC and can emit a ','
+// decimal separator, which is invalid JSON).  JSON has no NaN/Inf, so those
+// become null (another "explicitly missing", never 0).
+std::string json_double(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[64];
+  auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
 
 // ---------------------------------------------------------------------------
 // JSON emission
@@ -359,6 +369,18 @@ std::string to_json(const ResultBatch& batch) {
       out += "        \"mean_ns_per_op\": " + json_number(m.mean_ns_per_op) + ",\n";
       out += "        \"median_ns_per_op\": " + json_number(m.median_ns_per_op) + ",\n";
       out += "        \"max_ns_per_op\": " + json_number(m.max_ns_per_op) + ",\n";
+      // Variability detail for noise-aware comparison (lmbench_compare):
+      // the per-repetition sample and its spread.
+      out += "        \"stddev_ns_per_op\": " +
+             (m.sample.count() >= 2 ? json_number(m.sample.stddev()) : "null") + ",\n";
+      out += "        \"samples\": [";
+      bool first_sample = true;
+      for (double s : m.sample.values()) {
+        out += first_sample ? "" : ", ";
+        first_sample = false;
+        out += json_number(s);
+      }
+      out += "],\n";
       out += "        \"iterations\": " + std::to_string(m.iterations) + ",\n";
       out += "        \"repetitions\": " + std::to_string(m.repetitions) + ",\n";
       out += "        \"clock_overhead_ns\": " + std::to_string(m.clock_overhead_ns) + ",\n";
@@ -435,7 +457,7 @@ ResultBatch from_json(const std::string& text) {
         const JsonObject& mo = mv.object();
         Metric m;
         if (const JsonValue* f = find(mo, "key")) m.key = f->str();
-        if (const JsonValue* f = find(mo, "value")) m.value = f->number();
+        if (const JsonValue* f = find(mo, "value")) m.value = number_or_nan(*f);
         if (const JsonValue* f = find(mo, "unit")) m.unit = f->str();
         r.metrics.push_back(std::move(m));
       }
@@ -443,10 +465,17 @@ ResultBatch from_json(const std::string& text) {
     if (const JsonValue* v = find(obj, "measurement"); v != nullptr && !v->is_null()) {
       const JsonObject& mo = v->object();
       Measurement m;
-      if (const JsonValue* f = find(mo, "ns_per_op")) m.ns_per_op = f->number();
-      if (const JsonValue* f = find(mo, "mean_ns_per_op")) m.mean_ns_per_op = f->number();
-      if (const JsonValue* f = find(mo, "median_ns_per_op")) m.median_ns_per_op = f->number();
-      if (const JsonValue* f = find(mo, "max_ns_per_op")) m.max_ns_per_op = f->number();
+      if (const JsonValue* f = find(mo, "ns_per_op")) m.ns_per_op = number_or_nan(*f);
+      if (const JsonValue* f = find(mo, "mean_ns_per_op")) m.mean_ns_per_op = number_or_nan(*f);
+      if (const JsonValue* f = find(mo, "median_ns_per_op")) {
+        m.median_ns_per_op = number_or_nan(*f);
+      }
+      if (const JsonValue* f = find(mo, "max_ns_per_op")) m.max_ns_per_op = number_or_nan(*f);
+      if (const JsonValue* f = find(mo, "samples"); f != nullptr && !f->is_null()) {
+        for (const JsonValue& sv : f->array()) {
+          m.sample.add(number_or_nan(sv));
+        }
+      }
       if (const JsonValue* f = find(mo, "iterations")) {
         m.iterations = static_cast<std::uint64_t>(f->number());
       }
@@ -493,6 +522,10 @@ std::string csv_field(const std::string& s) {
   return out;
 }
 
+// A CSV numeric cell: like JSON, a non-finite double is "explicitly
+// missing" — a blank cell, not the literal text "nan"/"null".
+std::string csv_number(double v) { return std::isfinite(v) ? json_number(v) : std::string(); }
+
 }  // namespace
 
 std::string to_csv(const std::vector<RunResult>& results, const SuiteTiming* timing) {
@@ -500,7 +533,7 @@ std::string to_csv(const std::vector<RunResult>& results, const SuiteTiming* tim
   for (const RunResult& r : results) {
     std::string prefix = csv_field(r.name) + "," + csv_field(r.category) + "," +
                          run_status_name(r.status) + "," +
-                         (r.wall_ms > 0 ? json_number(r.wall_ms) : "") + ",";
+                         (r.wall_ms > 0 ? csv_number(r.wall_ms) : "") + ",";
     std::string error = csv_field(r.error);
     if (r.metrics.empty()) {
       // Explicitly blank metric/value/unit cells — absence, not zero.
@@ -508,7 +541,7 @@ std::string to_csv(const std::vector<RunResult>& results, const SuiteTiming* tim
       continue;
     }
     for (const Metric& m : r.metrics) {
-      out += prefix + csv_field(m.key) + "," + json_number(m.value) + "," + csv_field(m.unit) +
+      out += prefix + csv_field(m.key) + "," + csv_number(m.value) + "," + csv_field(m.unit) +
              "," + error + "\n";
     }
   }

@@ -43,8 +43,12 @@ inline constexpr const char* kResultSchema = "lmbenchpp.results.v1";
 // cal_cache, cal_hits, cal_misses — null when absent), results[], and per
 // result name, category, status, error, wall_ms, display, metrics[] (key,
 // value, unit), measurement (ns_per_op, mean_ns_per_op, median_ns_per_op,
-// max_ns_per_op, iterations, repetitions, clock_overhead_ns, converged,
-// calibration_cached), metadata{}.
+// max_ns_per_op, stddev_ns_per_op, samples[], iterations, repetitions,
+// clock_overhead_ns, converged, calibration_cached), metadata{}.
+//
+// Numbers are emitted with std::to_chars (shortest round-trippable form,
+// locale-independent).  JSON has no NaN/Inf: non-finite doubles serialize
+// as null and parse back as NaN — explicitly missing, never 0.
 std::string to_json(const ResultBatch& batch);
 
 // Parses a document produced by to_json (any JSON with that shape works).
@@ -57,6 +61,15 @@ ResultBatch from_json(const std::string& text);
 // `__suite__` row carries the total wall clock (metric total_wall_ms).
 std::string to_csv(const std::vector<RunResult>& results,
                    const SuiteTiming* timing = nullptr);
+
+// Low-level JSON token helpers shared by this module's emitters (compare.cc
+// reuses them so delta reports format numbers identically).
+//
+// json_quote: escaped and double-quoted JSON string literal.
+// json_double: shortest round-trippable decimal form via std::to_chars
+// (locale-independent); "null" for NaN/Inf.
+std::string json_quote(const std::string& s);
+std::string json_double(double v);
 
 }  // namespace lmb::report
 

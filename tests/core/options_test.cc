@@ -73,5 +73,41 @@ TEST(OptionsTest, SetOverrides) {
   EXPECT_EQ(opts.get_int("n", 0), 2);
 }
 
+// Numeric parsing is locale-independent (from_chars) and strict: the whole
+// value must be consumed, so trailing garbage and locale-style commas are
+// rejected rather than silently truncated.
+TEST(OptionsTest, NumericParsingIsStrictAndLocaleIndependent) {
+  Options opts = Options::from_pairs({{"d", "1.5"},
+                                      {"e", "2.5e3"},
+                                      {"comma", "1,5"},
+                                      {"ws", " 7"},
+                                      {"inf", "inf"},
+                                      {"nan", "nan"},
+                                      {"hex", "0x10"},
+                                      {"neg", "-3.25"}});
+  EXPECT_DOUBLE_EQ(opts.get_double("d", 0), 1.5);
+  EXPECT_DOUBLE_EQ(opts.get_double("e", 0), 2500.0);
+  EXPECT_DOUBLE_EQ(opts.get_double("neg", 0), -3.25);
+  // "1,5" is 1.5 under a comma-decimal locale; here it is always garbage.
+  EXPECT_THROW(opts.get_double("comma", 0), std::invalid_argument);
+  // stod/stoll skipped leading whitespace; from_chars does not.
+  EXPECT_THROW(opts.get_double("ws", 0), std::invalid_argument);
+  EXPECT_THROW(opts.get_int("ws", 0), std::invalid_argument);
+  // Non-finite spellings parse via from_chars but no option means that.
+  EXPECT_THROW(opts.get_double("inf", 0), std::invalid_argument);
+  EXPECT_THROW(opts.get_double("nan", 0), std::invalid_argument);
+  // Hex is trailing garbage for base-10 ints ("0x10" != 16).
+  EXPECT_THROW(opts.get_int("hex", 0), std::invalid_argument);
+}
+
+TEST(OptionsTest, SizeSuffixRejectsTrailingGarbage) {
+  EXPECT_THROW(Options::parse_size("4kZZ"), std::invalid_argument);
+  EXPECT_THROW(Options::parse_size("4k "), std::invalid_argument);
+  EXPECT_THROW(Options::parse_size(" 4k"), std::invalid_argument);
+  EXPECT_THROW(Options::parse_size("4.5k"), std::invalid_argument);
+  EXPECT_THROW(Options::parse_size("k"), std::invalid_argument);
+  EXPECT_EQ(Options::parse_size("4k"), 4096);
+}
+
 }  // namespace
 }  // namespace lmb

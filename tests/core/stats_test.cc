@@ -81,6 +81,48 @@ TEST(SampleTest, CoefficientOfVariation) {
   EXPECT_NEAR(s.coefficient_of_variation(), std::sqrt(2.0) / 5.0, 1e-12);
 }
 
+// Regression: stddev must be exactly 0 (not NaN/inf from a 0/0 or 1/0) for
+// degenerate sample sizes, so coefficient_of_variation and serialized
+// output stay finite.
+TEST(SampleTest, StddevOfDegenerateSamplesIsZeroNotNan) {
+  Sample empty;
+  EXPECT_DOUBLE_EQ(empty.stddev(), 0.0);
+  EXPECT_TRUE(std::isfinite(empty.stddev()));
+
+  Sample one;
+  one.add(123.456);
+  EXPECT_DOUBLE_EQ(one.stddev(), 0.0);
+  EXPECT_TRUE(std::isfinite(one.stddev()));
+  EXPECT_TRUE(std::isfinite(one.coefficient_of_variation()));
+  EXPECT_DOUBLE_EQ(one.coefficient_of_variation(), 0.0);
+}
+
+TEST(SampleTest, CiHalfWidthSmallSamples) {
+  // n < 2: no spread information, interval collapses to 0.
+  Sample one({42.0});
+  EXPECT_DOUBLE_EQ(one.ci_half_width(), 0.0);
+
+  // n = 2: stddev = sqrt(2), t(0.95, dof=1) = 12.706.
+  Sample two({4.0, 6.0});
+  EXPECT_NEAR(two.ci_half_width(0.95), 12.706 * std::sqrt(2.0) / std::sqrt(2.0), 1e-9);
+
+  // Wider confidence => wider interval; t shrinks with n.
+  Sample five({10.0, 11.0, 9.0, 10.5, 9.5});
+  EXPECT_LT(five.ci_half_width(0.90), five.ci_half_width(0.95));
+  EXPECT_LT(five.ci_half_width(0.95), five.ci_half_width(0.99));
+  EXPECT_NEAR(five.ci_half_width(0.95), 2.776 * five.stddev() / std::sqrt(5.0), 1e-9);
+
+  EXPECT_THROW(five.ci_half_width(0.5), std::invalid_argument);
+}
+
+TEST(SampleTest, CiHalfWidthLargeSampleUsesAsymptote) {
+  Sample s;
+  for (int i = 0; i < 100; ++i) {
+    s.add(static_cast<double>(i % 7));
+  }
+  EXPECT_NEAR(s.ci_half_width(0.95), 1.960 * s.stddev() / 10.0, 1e-9);
+}
+
 // Property: for any data, min <= p25 <= median <= p75 <= max and the mean
 // lies within [min, max].
 class SamplePropertyTest : public ::testing::TestWithParam<int> {};

@@ -6,6 +6,10 @@
 #include "src/core/options.h"
 #include "src/core/registry.h"
 #include "src/core/suite_runner.h"
+#include "src/db/baseline_store.h"
+#include "src/report/compare.h"
+#include "src/report/serialize.h"
+#include "src/sys/temp.h"
 
 namespace lmb {
 namespace {
@@ -67,6 +71,52 @@ TEST(SuiteRunnerIntegrationTest, QuickLatencySubsetYieldsRealMetricValues) {
     EXPECT_GT(r.metrics[0].value, 0.0) << r.name;
     EXPECT_GT(r.wall_ms, 0.0) << r.name;
   }
+}
+
+// The regression-gate pipeline end to end: run a real subset, persist it
+// through the baseline store, rerun, and compare.  The self-compare must
+// pass the generous in-test gate while a synthetically degraded copy of
+// the same batch must trip it — the noise calibration run_suite
+// --baseline --gate relies on, minus the process boundary.
+TEST(SuiteRunnerIntegrationTest, BaselineCompareGateSelfConsistent) {
+  SuiteConfig config;
+  config.names = {"lat_getpid", "lat_syscall"};
+  config.options = Options::from_pairs({{"quick", "true"}});
+  SuiteRunner runner;
+  report::ResultBatch first{"test-host", runner.run(config), {}};
+  report::ResultBatch second{"test-host", runner.run(config), {}};
+  ASSERT_EQ(first.results.size(), 2u);
+  ASSERT_EQ(second.results.size(), 2u);
+
+  sys::TempDir tmp("lmb_gate");
+  db::BaselineStore store(tmp.path() + "/baselines");
+  store.save(first);
+  std::optional<report::ResultBatch> baseline = store.load_latest();
+  ASSERT_TRUE(baseline.has_value());
+
+  // Syscall latencies on a shared test machine scatter well past the
+  // default 5% floor; a gate meant for back-to-back runs needs slack.
+  report::CompareThresholds loose;
+  loose.floor_rel = 2.0;  // 200%: only catastrophic changes count
+  loose.fallback_noise_rel = 0.5;
+  report::CompareReport self = report::compare_batches(*baseline, second, loose);
+  EXPECT_FALSE(self.has_regressions()) << render_compare_table(self);
+  EXPECT_EQ(self.missing, 0);
+
+  report::ResultBatch degraded = report::from_json(report::to_json(second));
+  for (RunResult& r : degraded.results) {
+    for (Metric& m : r.metrics) {
+      m.value *= 10.0;  // an order of magnitude beyond the floor
+    }
+  }
+  // The degradation check must be deterministic: under heavy load the
+  // *measured* noise interval can legitimately dwarf even a 10x delta, so
+  // gate on the fixed floor alone.
+  report::CompareThresholds floor_only = loose;
+  floor_only.sigmas = 0.0;
+  floor_only.fallback_noise_rel = 0.0;
+  report::CompareReport flagged = report::compare_batches(*baseline, degraded, floor_only);
+  EXPECT_TRUE(flagged.has_regressions()) << render_compare_table(flagged);
 }
 
 }  // namespace

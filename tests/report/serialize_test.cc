@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace lmb::report {
 namespace {
 
@@ -211,6 +214,177 @@ TEST(SerializeCsvTest, QuotesEmbeddedQuotesAndNewlines) {
   failed.error = "line one\nwith \"quotes\"";
   std::string csv = to_csv({failed});
   EXPECT_NE(csv.find("\"line one\nwith \"\"quotes\"\"\""), std::string::npos) << csv;
+}
+
+// Regression: non-finite doubles must serialize as JSON null (the format
+// has no NaN/Inf literal) and parse back as NaN — previously the parser
+// rejected its own emitter's output.
+TEST(SerializeJsonTest, NonFiniteValuesRoundTripAsNullThenNan) {
+  RunResult r;
+  r.name = "lat_odd";
+  r.category = "latency";
+  r.add("a_us", std::numeric_limits<double>::quiet_NaN(), "us");
+  r.add("b_us", std::numeric_limits<double>::infinity(), "us");
+  r.add("c_us", -std::numeric_limits<double>::infinity(), "us");
+  Measurement m;
+  m.ns_per_op = std::numeric_limits<double>::quiet_NaN();
+  m.mean_ns_per_op = 5.0;
+  r.measurement = m;
+
+  std::string json = to_json(ResultBatch{"host", {r}, {}});
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"value\": null"), std::string::npos);
+
+  ResultBatch parsed = from_json(json);
+  ASSERT_EQ(parsed.results.size(), 1u);
+  const RunResult& p = parsed.results[0];
+  ASSERT_EQ(p.metrics.size(), 3u);
+  EXPECT_TRUE(std::isnan(p.metrics[0].value));
+  EXPECT_TRUE(std::isnan(p.metrics[1].value));  // +/-inf degrade to NaN
+  EXPECT_TRUE(std::isnan(p.metrics[2].value));
+  ASSERT_TRUE(p.measurement.has_value());
+  EXPECT_TRUE(std::isnan(p.measurement->ns_per_op));
+  EXPECT_DOUBLE_EQ(p.measurement->mean_ns_per_op, 5.0);
+}
+
+TEST(SerializeJsonTest, NumbersAreLocaleIndependentShortestForm) {
+  RunResult r;
+  r.name = "n";
+  r.category = "c";
+  r.add("v_us", 0.1, "us");
+  r.add("w_us", 26437.5, "us");
+  std::string json = to_json(ResultBatch{"host", {r}, {}});
+  // Exact shortest decimal forms; a locale-dependent emitter could produce
+  // "0,1" (invalid JSON) or a 17-digit expansion.
+  EXPECT_NE(json.find("\"value\": 0.1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"value\": 26437.5"), std::string::npos) << json;
+  ResultBatch parsed = from_json(json);
+  EXPECT_DOUBLE_EQ(parsed.results[0].metrics[0].value, 0.1);
+}
+
+TEST(SerializeJsonTest, MeasurementSampleRoundTripsWithStddev) {
+  RunResult r;
+  r.name = "lat_pipe";
+  r.category = "latency";
+  r.add("us", 10.0, "us");
+  Measurement m;
+  m.ns_per_op = 10000.0;
+  m.mean_ns_per_op = 10100.0;
+  m.median_ns_per_op = 10050.0;
+  m.max_ns_per_op = 10400.0;
+  m.sample.add(10000.0);
+  m.sample.add(10050.0);
+  m.sample.add(10400.0);
+  r.measurement = m;
+
+  std::string json = to_json(ResultBatch{"host", {r}, {}});
+  EXPECT_NE(json.find("\"stddev_ns_per_op\""), std::string::npos);
+  EXPECT_NE(json.find("\"samples\": [10000, 10050, 10400]"), std::string::npos) << json;
+
+  ResultBatch parsed = from_json(json);
+  ASSERT_TRUE(parsed.results[0].measurement.has_value());
+  const Sample& sample = parsed.results[0].measurement->sample;
+  ASSERT_EQ(sample.count(), 3u);
+  EXPECT_DOUBLE_EQ(sample.min(), 10000.0);
+  EXPECT_DOUBLE_EQ(sample.max(), 10400.0);
+  EXPECT_NEAR(sample.stddev(), m.sample.stddev(), 1e-9);
+
+  // A single-interval measurement has no spread: stddev is null, never NaN.
+  Measurement single;
+  single.ns_per_op = 5.0;
+  single.sample.add(5.0);
+  RunResult one;
+  one.name = "one";
+  one.category = "latency";
+  one.measurement = single;
+  json = to_json(ResultBatch{"host", {one}, {}});
+  EXPECT_NE(json.find("\"stddev_ns_per_op\": null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+// RFC 4180 field splitter (quotes, embedded separators, CRLF-agnostic) —
+// the "does it really round-trip" check for the CSV writer.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      row.push_back(field);
+      field.clear();
+    } else if (c == '\n') {
+      row.push_back(field);
+      field.clear();
+      rows.push_back(row);
+      row.clear();
+    } else {
+      field += c;
+    }
+  }
+  if (!field.empty() || !row.empty()) {
+    row.push_back(field);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+TEST(SerializeCsvTest, HostileStringsRoundTripPerRfc4180) {
+  RunResult r;
+  r.name = "bench,with \"commas\"";
+  r.category = "cat\negory";
+  r.status = RunStatus::kError;
+  r.error = "multi\nline, \"quoted\" error\rwith CR";
+  std::string csv = to_csv({r});
+
+  auto rows = parse_csv(csv);
+  ASSERT_EQ(rows.size(), 2u) << csv;
+  ASSERT_EQ(rows[1].size(), 8u) << csv;
+  EXPECT_EQ(rows[1][0], "bench,with \"commas\"");
+  EXPECT_EQ(rows[1][1], "cat\negory");
+  EXPECT_EQ(rows[1][2], "error");
+  EXPECT_EQ(rows[1][7], "multi\nline, \"quoted\" error\rwith CR");
+}
+
+TEST(SerializeCsvTest, MetricKeyAndUnitWithSeparatorsRoundTrip) {
+  RunResult r;
+  r.name = "bw";
+  r.category = "bandwidth";
+  r.add("key,with,commas", 1.5, "MB/s, approx");
+  std::string csv = to_csv({r});
+  auto rows = parse_csv(csv);
+  ASSERT_EQ(rows.size(), 2u) << csv;
+  ASSERT_EQ(rows[1].size(), 8u) << csv;
+  EXPECT_EQ(rows[1][4], "key,with,commas");
+  EXPECT_EQ(rows[1][5], "1.5");
+  EXPECT_EQ(rows[1][6], "MB/s, approx");
+}
+
+TEST(SerializeCsvTest, NonFiniteValuesAreBlankCellsNotText) {
+  RunResult r;
+  r.name = "odd";
+  r.category = "latency";
+  r.add("nan_us", std::numeric_limits<double>::quiet_NaN(), "us");
+  std::string csv = to_csv({r});
+  auto rows = parse_csv(csv);
+  ASSERT_EQ(rows.size(), 2u) << csv;
+  EXPECT_EQ(rows[1][4], "nan_us");
+  EXPECT_EQ(rows[1][5], "");  // absence, not "nan"/"null"/0
 }
 
 }  // namespace
