@@ -1,0 +1,147 @@
+// bw_scaling: lmbench3's `bw_mem -P` as a first-class tool — aggregate
+// memory bandwidth as worker count scales, with CPU pinning and selectable
+// SIMD/non-temporal kernels.
+//
+//   ./build/examples/bw_scaling [--op=copy|read|write|rdwr|bzero|all]
+//                               [--threads=1,2,4] [--size=8m]
+//                               [--kernel=auto|scalar|sse2|avx2|nt]
+//                               [--compare-kernels] [--no-pin] [--quick]
+//
+//   --op=...            which operation(s) to sweep (default copy)
+//   --threads=LIST      worker counts (default 1,2,...,logical CPUs)
+//   --size=BYTES        per-worker buffer size (default 8m, the paper's
+//                       cache-defeating working set)
+//   --kernel=VARIANT    kernel implementation (default auto via CPUID)
+//   --compare-kernels   additionally run --op at 1 thread under every
+//                       available kernel variant and print the comparison
+//   --no-pin            do not pin workers to CPUs
+//
+// Prints the host topology, per-point lines, then the scaling table and
+// ASCII plot (src/report/scaling.h).
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/bw/bw_mem.h"
+#include "src/bw/kernels.h"
+#include "src/bw/parallel.h"
+#include "src/core/options.h"
+#include "src/core/topology.h"
+#include "src/report/scaling.h"
+#include "src/report/table.h"
+
+namespace {
+
+using namespace lmb;
+
+bw::MemOp parse_op(const std::string& name) {
+  if (name == "copy") return bw::MemOp::kCopyUnrolled;
+  if (name == "read") return bw::MemOp::kReadSum;
+  if (name == "write") return bw::MemOp::kWrite;
+  if (name == "rdwr") return bw::MemOp::kReadWrite;
+  if (name == "bzero") return bw::MemOp::kBzero;
+  if (name == "bcopy_libc") return bw::MemOp::kCopyLibc;
+  throw std::invalid_argument("unknown op '" + name +
+                              "' (expected copy|read|write|rdwr|bzero|bcopy_libc|all)");
+}
+
+const char* op_label(bw::MemOp op) {
+  switch (op) {
+    case bw::MemOp::kCopyLibc:
+      return "bcopy_libc";
+    case bw::MemOp::kCopyUnrolled:
+      return "copy";
+    case bw::MemOp::kReadSum:
+      return "read";
+    case bw::MemOp::kWrite:
+      return "write";
+    case bw::MemOp::kBzero:
+      return "bzero";
+    case bw::MemOp::kReadWrite:
+      return "rdwr";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Options opts = Options::parse(argc, argv);
+
+  CpuTopology topo = query_topology();
+  std::printf("topology: %s%s\n", topo.summary().c_str(),
+              affinity_supported() ? "" : " (affinity unsupported: workers unpinned)");
+
+  bw::ParallelBwConfig cfg;
+  cfg.bytes = static_cast<size_t>(opts.get_size("size", opts.quick() ? (1 << 20) : (8 << 20)));
+  cfg.pin = !opts.get_bool("no-pin");
+  cfg.kernel = bw::parse_kernel_variant(opts.get_string("kernel", "auto"));
+  if (opts.quick()) {
+    cfg.policy = TimingPolicy::quick();
+  }
+
+  std::string threads_arg = opts.get_string("threads", "");
+  std::vector<int> thread_counts;
+  if (threads_arg.empty()) {
+    for (int t = 1; t <= topo.logical_cpus(); t *= 2) {
+      thread_counts.push_back(t);
+    }
+    if (thread_counts.back() != topo.logical_cpus()) {
+      thread_counts.push_back(topo.logical_cpus());
+    }
+  } else {
+    thread_counts = bw::parse_thread_list(threads_arg);
+  }
+
+  std::string op_arg = opts.get_string("op", "copy");
+  std::vector<bw::MemOp> ops;
+  if (op_arg == "all") {
+    ops = {bw::MemOp::kCopyUnrolled, bw::MemOp::kReadSum, bw::MemOp::kWrite,
+           bw::MemOp::kReadWrite, bw::MemOp::kBzero};
+  } else {
+    ops.push_back(parse_op(op_arg));
+  }
+
+  // Fake a RunResult so the shared extract/render path formats the sweep.
+  RunResult sweep;
+  for (bw::MemOp op : ops) {
+    for (int threads : thread_counts) {
+      cfg.threads = threads;
+      bw::ParallelBwResult r = bw::measure_mem_bw_parallel(op, cfg);
+      std::printf("%-10s p%-3d %10s MB/s aggregate  [", op_label(op), r.threads,
+                  report::format_number(r.aggregate_mb_per_sec, 0).c_str());
+      for (size_t w = 0; w < r.per_worker_mb_per_sec.size(); ++w) {
+        std::printf("%s%s", w == 0 ? "" : " ",
+                    report::format_number(r.per_worker_mb_per_sec[w], 0).c_str());
+      }
+      std::printf("] kernel=%s\n", bw::kernel_variant_name(r.kernel));
+      std::fflush(stdout);
+      sweep.add(std::string(op_label(op)) + "_p" + std::to_string(r.threads) + "_mbs",
+                r.aggregate_mb_per_sec, "MB/s");
+    }
+  }
+
+  std::vector<report::ScalingSeries> series = report::extract_scaling(sweep);
+  if (!series.empty() && thread_counts.size() > 1) {
+    std::printf("\n%s", report::render_scaling_report(series).c_str());
+  }
+
+  if (opts.get_bool("compare-kernels")) {
+    std::printf("\nkernel comparison (%s, 1 thread, %zu bytes):\n",
+                op_label(ops.front()), cfg.bytes);
+    for (bw::KernelVariant v : bw::available_kernel_variants()) {
+      bw::MemBwConfig single;
+      single.bytes = cfg.bytes;
+      single.kernel = v;
+      single.policy = cfg.policy;
+      bw::MemBwResult r = bw::measure_mem_bw(ops.front(), single);
+      std::printf("  %-8s %10s MB/s\n", bw::kernel_variant_name(v),
+                  report::format_number(r.mb_per_sec, 0).c_str());
+    }
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "bw_scaling: %s\n", e.what());
+  return 2;
+}

@@ -3,15 +3,24 @@
 // database (paper §3.5) and/or machine-readable JSON/CSV.
 //
 //   ./build/examples/run_suite [--quick] [--category=latency] [--jobs=N]
-//                              [--timeout=SECONDS] [--out=results.db]
+//                              [--only=bench1,bench2] [--timeout=SECONDS]
+//                              [--out=results.db]
 //                              [--json=results.json] [--csv=results.csv]
 //                              [--cal-cache=PATH] [--no-cal-cache]
 //                              [--baseline=PATH] [--gate[=PCT]]
 //                              [--save-baseline] [--compare-json=PATH]
+//                              [--bw-threads=1,2,4] [--kernel=VARIANT]
 //                              [--list] [--with-hang]
 //
 //   --list       print every registered benchmark (grouped by category)
 //                without running anything
+//   --only=A,B   run exactly these benchmarks (names as shown by --list);
+//                overrides --category
+//   --bw-threads=1,2,4  worker counts for the bw_mem_par scaling sweep;
+//                its <op>_p<N>_mbs metrics flow into the JSON/CSV/baseline
+//                pipeline and a scaling table + plot print after the run
+//   --kernel=auto|scalar|sse2|avx2|nt  memory-kernel implementation for
+//                the bandwidth benchmarks (auto = best this CPU supports)
 //   --jobs=N     run up to N benchmarks concurrently; bandwidth/disk
 //                benchmarks stay serialized within their category
 //   --timeout=S  per-benchmark wall-clock budget; a hung benchmark is
@@ -54,6 +63,7 @@
 #include "src/db/cal_store.h"
 #include "src/db/result_set.h"
 #include "src/report/compare.h"
+#include "src/report/scaling.h"
 #include "src/report/serialize.h"
 #include "src/sys/fdio.h"
 
@@ -161,6 +171,19 @@ int main(int argc, char** argv) try {
 
   SuiteConfig config;
   config.category = category;
+  std::string only = opts.get_string("only", "");
+  for (size_t pos = 0; !only.empty() && pos <= only.size();) {
+    size_t comma = only.find(',', pos);
+    std::string name = only.substr(pos, comma == std::string::npos ? std::string::npos
+                                                                   : comma - pos);
+    if (!name.empty()) {
+      config.names.push_back(name);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
   config.jobs = static_cast<int>(opts.get_int("jobs", 1));
   config.timeout_sec = opts.get_double("timeout", 0.0);
   config.options = opts;
@@ -260,6 +283,18 @@ int main(int argc, char** argv) try {
   if (!csv_path.empty()) {
     sys::write_file(csv_path, report::to_csv(results, &timing));
     std::printf("wrote CSV to %s\n", csv_path.c_str());
+  }
+
+  // Scaling table + plot for any result that produced <op>_p<N>_mbs metrics
+  // (the bw_mem_par sweep).
+  for (const RunResult& r : results) {
+    if (!r.ok()) {
+      continue;
+    }
+    std::vector<report::ScalingSeries> scaling = report::extract_scaling(r);
+    if (!scaling.empty()) {
+      std::printf("\n%s", report::render_scaling_report(scaling).c_str());
+    }
   }
 
   std::printf("\n%zu benchmarks attempted, %zu metrics, %d failures in %.1f s\n",

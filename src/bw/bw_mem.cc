@@ -20,12 +20,13 @@ constexpr size_t kAntiAliasOffset = 8 * 64;
 
 size_t round_words(size_t bytes) {
   size_t words = bytes / sizeof(std::uint64_t);
-  words -= words % kUnrollWords;
   if (words == 0) {
-    throw std::invalid_argument("buffer too small (need >= 256 bytes)");
+    throw std::invalid_argument("buffer too small (need >= 8 bytes)");
   }
   return words;
 }
+
+size_t round_up_64(size_t bytes) { return (bytes + 63) & ~size_t{63}; }
 
 }  // namespace
 
@@ -50,11 +51,15 @@ const char* mem_op_name(MemOp op) {
 MemBwResult measure_mem_bw(MemOp op, const MemBwConfig& config) {
   size_t words = round_words(config.bytes);
   size_t bytes = words * sizeof(std::uint64_t);
+  const KernelSet& ks = kernels_for(config.kernel);
 
-  // One region holds both buffers plus the anti-alias offset.
-  sys::AnonMapping region(2 * bytes + kAntiAliasOffset);
+  // One region holds both buffers plus the anti-alias offset; the dst
+  // offset is rounded up to a cache line so both pointers stay 64-byte
+  // aligned even for odd sizes (the mapping itself is page-aligned).
+  size_t dst_off = round_up_64(bytes) + kAntiAliasOffset;
+  sys::AnonMapping region(dst_off + round_up_64(bytes));
   auto* src = reinterpret_cast<std::uint64_t*>(region.data());
-  auto* dst = reinterpret_cast<std::uint64_t*>(region.data() + bytes + kAntiAliasOffset);
+  auto* dst = reinterpret_cast<std::uint64_t*>(region.data() + dst_off);
 
   // Touch all pages up front so timing excludes first-fault costs.
   write_unrolled(src, words, 0x0102030405060708ull);
@@ -71,42 +76,42 @@ MemBwResult measure_mem_bw(MemOp op, const MemBwConfig& config) {
       };
       break;
     case MemOp::kCopyUnrolled:
-      body = [=](std::uint64_t iters) {
+      body = [=, &ks](std::uint64_t iters) {
         for (std::uint64_t i = 0; i < iters; ++i) {
-          copy_unrolled(dst, src, words);
+          ks.copy(dst, src, words);
         }
         do_not_optimize(dst[0]);
       };
       break;
     case MemOp::kReadSum:
-      body = [=](std::uint64_t iters) {
+      body = [=, &ks](std::uint64_t iters) {
         std::uint64_t sum = 0;
         for (std::uint64_t i = 0; i < iters; ++i) {
-          sum += read_sum_unrolled(src, words);
+          sum += ks.read_sum(src, words);
         }
         do_not_optimize(sum);
       };
       break;
     case MemOp::kWrite:
-      body = [=](std::uint64_t iters) {
+      body = [=, &ks](std::uint64_t iters) {
         for (std::uint64_t i = 0; i < iters; ++i) {
-          write_unrolled(dst, words, i + 1);
+          ks.write(dst, words, i + 1);
         }
         do_not_optimize(dst[0]);
       };
       break;
     case MemOp::kBzero:
-      body = [=](std::uint64_t iters) {
+      body = [=, &ks](std::uint64_t iters) {
         for (std::uint64_t i = 0; i < iters; ++i) {
-          std::memset(dst, 0, bytes);
+          ks.fill_zero(dst, words);
         }
         do_not_optimize(dst[0]);
       };
       break;
     case MemOp::kReadWrite:
-      body = [=](std::uint64_t iters) {
+      body = [=, &ks](std::uint64_t iters) {
         for (std::uint64_t i = 0; i < iters; ++i) {
-          read_write_unrolled(dst, words, i + 1);
+          ks.read_write(dst, words, i + 1);
         }
         do_not_optimize(dst[0]);
       };
@@ -155,6 +160,7 @@ const BenchmarkRegistrar bw_mem_registrar{{
         [](const Options& opts) {
           MemBwConfig cfg;
           cfg.bytes = static_cast<size_t>(opts.get_size("size", opts.quick() ? (1 << 20) : (8 << 20)));
+          cfg.kernel = parse_kernel_variant(opts.get_string("kernel", "auto"));
           if (opts.quick()) {
             cfg.policy = TimingPolicy::quick();
           }
@@ -166,6 +172,7 @@ const BenchmarkRegistrar bw_mem_registrar{{
                        report::format_number(r.mb_per_sec, 0) + " MB/s  ";
           }
           out.metadata["bytes"] = std::to_string(cfg.bytes);
+          out.metadata["kernel"] = kernel_variant_name(resolve_kernel_variant(cfg.kernel));
           out.display = display;
           return out;
         },

@@ -10,13 +10,19 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/bw/kernels.h"
 #include "src/core/timing.h"
 
 namespace lmb::bw {
 
 struct MemBwConfig {
-  // Bytes per buffer (source and destination each this large).
+  // Bytes per buffer (source and destination each this large).  Any size
+  // of at least one 8-byte word is measurable (kernels handle odd tails).
   size_t bytes = 8u << 20;
+  // Kernel implementation for the unrolled copy/read/write/rdwr/bzero ops
+  // (kCopyLibc always uses memcpy).  kAuto picks the best the CPU supports;
+  // the --kernel= flag maps here.
+  KernelVariant kernel = KernelVariant::kAuto;
   TimingPolicy policy = TimingPolicy::standard();
 };
 

@@ -1,0 +1,71 @@
+// Parallel (multi-worker) memory bandwidth — lmbench3's `bw_mem -P` made
+// first-class.
+//
+// The paper's §5.1 numbers are single-stream; the quantity modern machines
+// are judged by is *aggregate* bandwidth as load scales across cores.  This
+// harness runs one MemOp on N workers, each pinned to its own CPU
+// (src/core/topology.h), each over its own 64-byte-aligned buffers offset
+// by a few cache lines per worker (so workers do not collide on the same
+// direct-mapped cache indices), released together by a start barrier and
+// timed per worker.
+//
+// Accounting keeps the paper's convention per worker (a copy of N bytes
+// counts N bytes); per-worker MB/s uses the worker's own best interval, and
+// the aggregate is the sum of per-worker MB/s — lmbench3's -P convention.
+// Like lmbench3, that sum is only meaningful while workers have their own
+// CPUs: with more workers than logical CPUs, timesharing lets each worker's
+// *best* interval look uncontended, so the sum overstates the bus.
+#ifndef LMBENCHPP_SRC_BW_PARALLEL_H_
+#define LMBENCHPP_SRC_BW_PARALLEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/bw/bw_mem.h"
+#include "src/bw/kernels.h"
+#include "src/core/timing.h"
+
+namespace lmb::bw {
+
+struct ParallelBwConfig {
+  // Bytes per worker buffer (source and destination each this large).
+  size_t bytes = 8u << 20;
+  // Worker count; values < 1 behave as 1.
+  int threads = 2;
+  // Pin each worker to its own CPU (best effort; see topology.h).
+  bool pin = true;
+  // Kernel implementation; kAuto picks the best the CPU supports.
+  KernelVariant kernel = KernelVariant::kAuto;
+  TimingPolicy policy = TimingPolicy::standard();
+};
+
+struct ParallelBwResult {
+  MemOp op = MemOp::kCopyUnrolled;
+  int threads = 1;
+  size_t bytes_per_worker = 0;
+  KernelVariant kernel = KernelVariant::kScalar;  // resolved variant
+  // Sum of per-worker MB/s (paper byte counting per worker).
+  double aggregate_mb_per_sec = 0.0;
+  // One entry per worker, from that worker's minimum interval.
+  std::vector<double> per_worker_mb_per_sec;
+  // CPU each worker ran pinned to, -1 when unpinned.
+  std::vector<int> cpus;
+  // Iterations per timed interval (shared by all workers) and the number of
+  // barrier-synchronized rounds that were timed.
+  std::uint64_t iterations = 0;
+  int rounds = 0;
+};
+
+// Runs `op` on `config.threads` pinned workers.  Throws std::invalid_argument
+// when the buffer is smaller than one word.
+ParallelBwResult measure_mem_bw_parallel(MemOp op, const ParallelBwConfig& config = {});
+
+// Parses a --bw-threads style list ("1,2,4"): positive ints, ascending not
+// required, duplicates preserved.  Throws std::invalid_argument on garbage
+// or an empty list.
+std::vector<int> parse_thread_list(const std::string& text);
+
+}  // namespace lmb::bw
+
+#endif  // LMBENCHPP_SRC_BW_PARALLEL_H_

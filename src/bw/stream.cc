@@ -5,6 +5,7 @@
 #include "src/core/do_not_optimize.h"
 #include "src/core/registry.h"
 #include "src/report/table.h"
+#include "src/sys/aligned_buffer.h"
 
 namespace lmb::bw {
 
@@ -44,7 +45,18 @@ StreamResult measure_stream(StreamKernel kernel, const StreamConfig& config) {
     throw std::invalid_argument("StreamConfig: need at least 1024 elements");
   }
   const size_t n = config.elements;
-  std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 0.0);
+  // Cache-line-aligned arrays (STREAM's own requirement for vector loads);
+  // std::vector only guarantees max_align_t.
+  sys::AlignedBuffer a_buf(n * sizeof(double)), b_buf(n * sizeof(double)),
+      c_buf(n * sizeof(double));
+  double* a = a_buf.as<double>();
+  double* b = b_buf.as<double>();
+  double* c = c_buf.as<double>();
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = 1.0;
+    b[i] = 2.0;
+    c[i] = 0.0;
+  }
   const double scalar = 3.0;
 
   BenchFn body;

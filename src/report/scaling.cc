@@ -1,0 +1,137 @@
+#include "src/report/scaling.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "src/report/plot.h"
+#include "src/report/table.h"
+
+namespace lmb::report {
+
+namespace {
+
+// Splits "<op>_p<N>_mbs" into (op, N).  Returns false for any other key.
+bool parse_scaling_key(const std::string& key, std::string* op, int* threads) {
+  const std::string suffix = "_mbs";
+  if (key.size() <= suffix.size() ||
+      key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  std::string stem = key.substr(0, key.size() - suffix.size());
+  size_t p = stem.rfind("_p");
+  if (p == std::string::npos || p == 0 || p + 2 >= stem.size()) {
+    return false;
+  }
+  std::string digits = stem.substr(p + 2);
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  *op = stem.substr(0, p);
+  *threads = std::atoi(digits.c_str());
+  return *threads > 0;
+}
+
+}  // namespace
+
+std::vector<ScalingSeries> extract_scaling(const RunResult& result) {
+  std::vector<ScalingSeries> series;
+  for (const Metric& m : result.metrics) {
+    std::string op;
+    int threads = 0;
+    if (!parse_scaling_key(m.key, &op, &threads)) {
+      continue;
+    }
+    auto it = std::find_if(series.begin(), series.end(),
+                           [&](const ScalingSeries& s) { return s.op == op; });
+    if (it == series.end()) {
+      series.push_back({op, {}});
+      it = series.end() - 1;
+    }
+    it->points.push_back({threads, m.value});
+  }
+  for (ScalingSeries& s : series) {
+    std::sort(s.points.begin(), s.points.end(),
+              [](const ScalingPoint& a, const ScalingPoint& b) { return a.threads < b.threads; });
+  }
+  return series;
+}
+
+std::string render_scaling_table(const std::vector<ScalingSeries>& series) {
+  if (series.empty()) {
+    return "";
+  }
+  // Row per thread count seen in any series.
+  std::map<int, bool> thread_counts;
+  for (const ScalingSeries& s : series) {
+    for (const ScalingPoint& p : s.points) {
+      thread_counts[p.threads] = true;
+    }
+  }
+  std::vector<Column> columns;
+  columns.push_back({"threads", 0});
+  for (const ScalingSeries& s : series) {
+    columns.push_back({s.op + " MB/s", 0});
+  }
+  columns.push_back({series.front().op + " speedup", 2});
+
+  Table table("Memory bandwidth scaling (aggregate MB/s)", columns);
+  double base = 0.0;
+  for (const ScalingPoint& p : series.front().points) {
+    if (p.threads == 1) {
+      base = p.mb_per_sec;
+    }
+  }
+  for (const auto& [threads, unused] : thread_counts) {
+    (void)unused;
+    std::vector<Cell> row;
+    row.push_back(static_cast<double>(threads));
+    for (const ScalingSeries& s : series) {
+      auto it = std::find_if(s.points.begin(), s.points.end(),
+                             [t = threads](const ScalingPoint& p) { return p.threads == t; });
+      if (it == s.points.end()) {
+        row.push_back(std::monostate{});
+      } else {
+        row.push_back(it->mb_per_sec);
+      }
+    }
+    auto it = std::find_if(series.front().points.begin(), series.front().points.end(),
+                           [t = threads](const ScalingPoint& p) { return p.threads == t; });
+    if (base > 0 && it != series.front().points.end()) {
+      row.push_back(it->mb_per_sec / base);
+    } else {
+      row.push_back(std::monostate{});
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string render_scaling_plot(const std::vector<ScalingSeries>& series) {
+  Plot plot("aggregate bandwidth vs threads", "threads", "MB/s");
+  for (const ScalingSeries& s : series) {
+    Series ps;
+    ps.label = s.op;
+    for (const ScalingPoint& p : s.points) {
+      ps.points.push_back({static_cast<double>(p.threads), p.mb_per_sec});
+    }
+    plot.add_series(std::move(ps));
+  }
+  return plot.render();
+}
+
+std::string render_scaling_report(const std::vector<ScalingSeries>& series) {
+  std::string table = render_scaling_table(series);
+  if (table.empty()) {
+    return "";
+  }
+  std::string plot = render_scaling_plot(series);
+  if (plot.empty()) {
+    return table;
+  }
+  return table + "\n" + plot;
+}
+
+}  // namespace lmb::report

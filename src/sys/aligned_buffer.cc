@@ -1,0 +1,45 @@
+#include "src/sys/aligned_buffer.h"
+
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+namespace lmb::sys {
+
+AlignedBuffer::AlignedBuffer(size_t bytes, size_t alignment) {
+  if (alignment == 0 || (alignment & (alignment - 1)) != 0 ||
+      alignment % sizeof(void*) != 0) {
+    throw std::invalid_argument("AlignedBuffer: alignment must be a power of two "
+                                "multiple of sizeof(void*)");
+  }
+  if (bytes == 0) {
+    throw std::invalid_argument("AlignedBuffer: zero size");
+  }
+  void* addr = nullptr;
+  if (::posix_memalign(&addr, alignment, bytes) != 0) {
+    throw std::bad_alloc();
+  }
+  addr_ = addr;
+  size_ = bytes;
+  alignment_ = alignment;
+}
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      alignment_(std::exchange(other.alignment_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    std::free(addr_);
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    alignment_ = std::exchange(other.alignment_, 0);
+  }
+  return *this;
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(addr_); }
+
+}  // namespace lmb::sys

@@ -1,0 +1,59 @@
+// Cache-line-aligned heap buffers for the bandwidth benchmarks.
+//
+// std::vector's allocation is only guaranteed alignof(std::max_align_t)
+// (16 on x86-64); SIMD and non-temporal kernels want their hot pointers on
+// cache-line (64-byte) boundaries so the vector bodies start aligned and no
+// line is split between two buffers.  This wraps posix_memalign in RAII.
+#ifndef LMBENCHPP_SRC_SYS_ALIGNED_BUFFER_H_
+#define LMBENCHPP_SRC_SYS_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+
+namespace lmb::sys {
+
+inline constexpr size_t kCacheLineBytes = 64;
+
+// A fixed-size byte buffer whose data() is aligned to `alignment`.
+// Move-only; frees on destroy.  A default-constructed buffer is empty
+// (data() == nullptr, size() == 0).
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  // Allocates `bytes` (> 0) aligned to `alignment`, which must be a power
+  // of two and a multiple of sizeof(void*).  Throws std::invalid_argument
+  // on a bad alignment and std::bad_alloc on allocation failure.  The
+  // memory is not zeroed.
+  explicit AlignedBuffer(size_t bytes, size_t alignment = kCacheLineBytes);
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  ~AlignedBuffer();
+
+  char* data() { return static_cast<char*>(addr_); }
+  const char* data() const { return static_cast<const char*>(addr_); }
+  size_t size() const { return size_; }
+  size_t alignment() const { return alignment_; }
+
+  // data() viewed as an array of T; T's alignment must not exceed the
+  // buffer's.
+  template <typename T>
+  T* as() {
+    return reinterpret_cast<T*>(addr_);
+  }
+  template <typename T>
+  const T* as() const {
+    return reinterpret_cast<const T*>(addr_);
+  }
+
+ private:
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+  size_t alignment_ = 0;
+};
+
+}  // namespace lmb::sys
+
+#endif  // LMBENCHPP_SRC_SYS_ALIGNED_BUFFER_H_

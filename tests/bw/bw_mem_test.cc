@@ -30,8 +30,26 @@ TEST(BwMemTest, MeasureAllReturnsFourRows) {
 
 TEST(BwMemTest, TooSmallBufferRejected) {
   MemBwConfig cfg;
-  cfg.bytes = 64;
+  cfg.bytes = 4;  // less than one 8-byte word
   EXPECT_THROW(measure_mem_bw(MemOp::kReadSum, cfg), std::invalid_argument);
+}
+
+// The kernels' tail loops lifted the old multiple-of-256-bytes floor: any
+// whole-word size is measurable, including sub-cache-line and odd ones.
+TEST(BwMemTest, SmallAndOddSizesAreMeasurable) {
+  for (size_t bytes : {size_t{64}, size_t{1000}, size_t{4104}}) {
+    MemBwConfig cfg = tiny_config(bytes);
+    MemBwResult r = measure_mem_bw(MemOp::kCopyUnrolled, cfg);
+    EXPECT_GT(r.mb_per_sec, 0.0) << bytes;
+    EXPECT_EQ(r.bytes, bytes - bytes % 8) << bytes;
+  }
+}
+
+TEST(BwMemTest, KernelOverrideProducesBandwidth) {
+  MemBwConfig cfg = tiny_config(256 * 1024);
+  cfg.kernel = KernelVariant::kScalar;
+  MemBwResult r = measure_mem_bw(MemOp::kCopyUnrolled, cfg);
+  EXPECT_GT(r.mb_per_sec, 10.0);
 }
 
 TEST(BwMemTest, SweepCoversPowerOfTwoSizes) {

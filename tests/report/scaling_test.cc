@@ -1,0 +1,87 @@
+#include "src/report/scaling.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/run_result.h"
+
+namespace lmb::report {
+namespace {
+
+RunResult scaling_result() {
+  RunResult r;
+  r.name = "bw_mem_par";
+  r.add("copy_p1_mbs", 10000.0, "MB/s");
+  r.add("copy_p2_mbs", 18000.0, "MB/s");
+  r.add("read_p1_mbs", 14000.0, "MB/s");
+  r.add("read_p2_mbs", 26000.0, "MB/s");
+  return r;
+}
+
+TEST(ExtractScalingTest, ParsesOpAndThreadCount) {
+  std::vector<ScalingSeries> series = extract_scaling(scaling_result());
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].op, "copy");
+  EXPECT_EQ(series[1].op, "read");
+  ASSERT_EQ(series[0].points.size(), 2u);
+  EXPECT_EQ(series[0].points[0].threads, 1);
+  EXPECT_DOUBLE_EQ(series[0].points[0].mb_per_sec, 10000.0);
+  EXPECT_EQ(series[0].points[1].threads, 2);
+  EXPECT_DOUBLE_EQ(series[0].points[1].mb_per_sec, 18000.0);
+}
+
+TEST(ExtractScalingTest, SortsPointsByThreads) {
+  RunResult r;
+  r.add("copy_p8_mbs", 3.0, "MB/s");
+  r.add("copy_p1_mbs", 1.0, "MB/s");
+  r.add("copy_p4_mbs", 2.0, "MB/s");
+  std::vector<ScalingSeries> series = extract_scaling(r);
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_EQ(series[0].points.size(), 3u);
+  EXPECT_EQ(series[0].points[0].threads, 1);
+  EXPECT_EQ(series[0].points[1].threads, 4);
+  EXPECT_EQ(series[0].points[2].threads, 8);
+}
+
+TEST(ExtractScalingTest, IgnoresNonScalingMetrics) {
+  RunResult r;
+  r.add("rd_mbs", 5000.0, "MB/s");       // no _p<N> infix
+  r.add("create_us", 12.0, "us");        // wrong suffix
+  r.add("copy_px_mbs", 1.0, "MB/s");     // non-numeric thread count
+  r.add("p2_mbs", 1.0, "MB/s");          // no op stem before _p
+  r.add("copy_p0_mbs", 1.0, "MB/s");     // zero threads is invalid
+  EXPECT_TRUE(extract_scaling(r).empty());
+}
+
+TEST(ExtractScalingTest, EmptyResultYieldsNoSeries) {
+  EXPECT_TRUE(extract_scaling(RunResult{}).empty());
+}
+
+TEST(RenderScalingTest, TableShowsOpsThreadsAndSpeedup) {
+  std::vector<ScalingSeries> series = extract_scaling(scaling_result());
+  std::string table = render_scaling_table(series);
+  EXPECT_NE(table.find("Memory bandwidth scaling"), std::string::npos);
+  EXPECT_NE(table.find("threads"), std::string::npos);
+  EXPECT_NE(table.find("copy MB/s"), std::string::npos);
+  EXPECT_NE(table.find("read MB/s"), std::string::npos);
+  EXPECT_NE(table.find("copy speedup"), std::string::npos);
+  // p2 copy speedup = 18000 / 10000 = 1.8.
+  EXPECT_NE(table.find("1.8"), std::string::npos);
+}
+
+TEST(RenderScalingTest, EmptySeriesRendersNothing) {
+  EXPECT_EQ(render_scaling_table({}), "");
+  EXPECT_EQ(render_scaling_report({}), "");
+}
+
+TEST(RenderScalingTest, ReportContainsTableAndPlot) {
+  std::vector<ScalingSeries> series = extract_scaling(scaling_result());
+  std::string report = render_scaling_report(series);
+  EXPECT_NE(report.find("Memory bandwidth scaling"), std::string::npos);
+  EXPECT_NE(report.find("aggregate bandwidth vs threads"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lmb::report

@@ -1,0 +1,76 @@
+#include "src/sys/aligned_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+namespace lmb::sys {
+namespace {
+
+bool aligned_to(const void* p, size_t alignment) {
+  return reinterpret_cast<uintptr_t>(p) % alignment == 0;
+}
+
+TEST(AlignedBufferTest, DefaultConstructedIsEmpty) {
+  AlignedBuffer buf;
+  EXPECT_EQ(buf.data(), nullptr);
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(AlignedBufferTest, DefaultAlignmentIsACacheLine) {
+  AlignedBuffer buf(1000);
+  ASSERT_NE(buf.data(), nullptr);
+  EXPECT_EQ(buf.size(), 1000u);
+  EXPECT_EQ(buf.alignment(), kCacheLineBytes);
+  EXPECT_TRUE(aligned_to(buf.data(), kCacheLineBytes));
+}
+
+TEST(AlignedBufferTest, HonorsLargerAlignments) {
+  for (size_t alignment : {size_t{64}, size_t{128}, size_t{4096}}) {
+    AlignedBuffer buf(256, alignment);
+    EXPECT_TRUE(aligned_to(buf.data(), alignment)) << "alignment " << alignment;
+    EXPECT_EQ(buf.alignment(), alignment);
+  }
+}
+
+TEST(AlignedBufferTest, MemoryIsWritable) {
+  AlignedBuffer buf(4096);
+  std::memset(buf.data(), 0x5a, buf.size());
+  auto* words = buf.as<std::uint64_t>();
+  EXPECT_EQ(words[0], 0x5a5a5a5a5a5a5a5aull);
+  words[511] = 42;
+  EXPECT_EQ(buf.as<std::uint64_t>()[511], 42u);
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer a(128);
+  char* p = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b.size(), 128u);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+
+  AlignedBuffer c(64);
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_EQ(c.size(), 128u);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBufferTest, RejectsBadAlignment) {
+  EXPECT_THROW(AlignedBuffer(64, 0), std::invalid_argument);
+  EXPECT_THROW(AlignedBuffer(64, 3), std::invalid_argument);
+  EXPECT_THROW(AlignedBuffer(64, 48), std::invalid_argument);  // not a power of 2
+}
+
+TEST(AlignedBufferTest, RejectsZeroSize) {
+  EXPECT_THROW(AlignedBuffer(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmb::sys
