@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_disk.dir/bench_ablation_disk.cc.o"
+  "CMakeFiles/bench_ablation_disk.dir/bench_ablation_disk.cc.o.d"
+  "bench_ablation_disk"
+  "bench_ablation_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mem_lat.dir/bench_fig1_mem_lat.cc.o"
+  "CMakeFiles/bench_fig1_mem_lat.dir/bench_fig1_mem_lat.cc.o.d"
+  "bench_fig1_mem_lat"
+  "bench_fig1_mem_lat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mem_lat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

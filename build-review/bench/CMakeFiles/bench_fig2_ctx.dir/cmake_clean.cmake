@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ctx.dir/bench_fig2_ctx.cc.o"
+  "CMakeFiles/bench_fig2_ctx.dir/bench_fig2_ctx.cc.o.d"
+  "bench_fig2_ctx"
+  "bench_fig2_ctx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ctx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

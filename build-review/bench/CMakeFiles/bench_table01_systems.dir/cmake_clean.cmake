@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table01_systems.dir/bench_table01_systems.cc.o"
+  "CMakeFiles/bench_table01_systems.dir/bench_table01_systems.cc.o.d"
+  "bench_table01_systems"
+  "bench_table01_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table01_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

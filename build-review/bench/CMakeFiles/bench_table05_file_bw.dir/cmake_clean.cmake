@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_file_bw.dir/bench_table05_file_bw.cc.o"
+  "CMakeFiles/bench_table05_file_bw.dir/bench_table05_file_bw.cc.o.d"
+  "bench_table05_file_bw"
+  "bench_table05_file_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_file_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table06_cache.dir/bench_table06_cache.cc.o"
+  "CMakeFiles/bench_table06_cache.dir/bench_table06_cache.cc.o.d"
+  "bench_table06_cache"
+  "bench_table06_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table06_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

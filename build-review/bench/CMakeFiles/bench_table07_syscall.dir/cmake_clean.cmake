@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table07_syscall.dir/bench_table07_syscall.cc.o"
+  "CMakeFiles/bench_table07_syscall.dir/bench_table07_syscall.cc.o.d"
+  "bench_table07_syscall"
+  "bench_table07_syscall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_syscall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

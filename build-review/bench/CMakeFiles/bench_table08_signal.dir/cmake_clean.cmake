@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table08_signal.dir/bench_table08_signal.cc.o"
+  "CMakeFiles/bench_table08_signal.dir/bench_table08_signal.cc.o.d"
+  "bench_table08_signal"
+  "bench_table08_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

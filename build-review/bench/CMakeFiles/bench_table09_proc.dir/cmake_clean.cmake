@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table09_proc.dir/bench_table09_proc.cc.o"
+  "CMakeFiles/bench_table09_proc.dir/bench_table09_proc.cc.o.d"
+  "bench_table09_proc"
+  "bench_table09_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_ctx.dir/bench_table10_ctx.cc.o"
+  "CMakeFiles/bench_table10_ctx.dir/bench_table10_ctx.cc.o.d"
+  "bench_table10_ctx"
+  "bench_table10_ctx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_ctx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

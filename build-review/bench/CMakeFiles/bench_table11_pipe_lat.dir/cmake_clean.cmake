@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_pipe_lat.dir/bench_table11_pipe_lat.cc.o"
+  "CMakeFiles/bench_table11_pipe_lat.dir/bench_table11_pipe_lat.cc.o.d"
+  "bench_table11_pipe_lat"
+  "bench_table11_pipe_lat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_pipe_lat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

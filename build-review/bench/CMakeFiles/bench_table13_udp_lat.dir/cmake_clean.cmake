@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_udp_lat.dir/bench_table13_udp_lat.cc.o"
+  "CMakeFiles/bench_table13_udp_lat.dir/bench_table13_udp_lat.cc.o.d"
+  "bench_table13_udp_lat"
+  "bench_table13_udp_lat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_udp_lat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

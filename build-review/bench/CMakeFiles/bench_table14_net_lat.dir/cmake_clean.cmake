@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table14_net_lat.dir/bench_table14_net_lat.cc.o"
+  "CMakeFiles/bench_table14_net_lat.dir/bench_table14_net_lat.cc.o.d"
+  "bench_table14_net_lat"
+  "bench_table14_net_lat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_net_lat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

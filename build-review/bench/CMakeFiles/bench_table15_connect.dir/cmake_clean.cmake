@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table15_connect.dir/bench_table15_connect.cc.o"
+  "CMakeFiles/bench_table15_connect.dir/bench_table15_connect.cc.o.d"
+  "bench_table15_connect"
+  "bench_table15_connect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table15_connect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

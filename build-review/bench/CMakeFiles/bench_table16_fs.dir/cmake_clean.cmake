@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table16_fs.dir/bench_table16_fs.cc.o"
+  "CMakeFiles/bench_table16_fs.dir/bench_table16_fs.cc.o.d"
+  "bench_table16_fs"
+  "bench_table16_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table16_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

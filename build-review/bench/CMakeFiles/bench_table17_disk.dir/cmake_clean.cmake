@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table17_disk.dir/bench_table17_disk.cc.o"
+  "CMakeFiles/bench_table17_disk.dir/bench_table17_disk.cc.o.d"
+  "bench_table17_disk"
+  "bench_table17_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table17_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

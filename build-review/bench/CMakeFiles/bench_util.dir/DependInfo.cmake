@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cc" "bench/CMakeFiles/bench_util.dir/bench_util.cc.o" "gcc" "bench/CMakeFiles/bench_util.dir/bench_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/db/CMakeFiles/lmb_collect.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bw/CMakeFiles/lmb_bw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rpc/CMakeFiles/lmb_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/netsim/CMakeFiles/lmb_netsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/simfs/CMakeFiles/lmb_simfs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lat/CMakeFiles/lmb_lat.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/simdisk/CMakeFiles/lmb_simdisk.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/report/CMakeFiles/lmb_report.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/db/CMakeFiles/lmb_db.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sys/CMakeFiles/lmb_sys.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/lmb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_scaling.dir/bw_scaling.cpp.o"
+  "CMakeFiles/bw_scaling.dir/bw_scaling.cpp.o.d"
+  "bw_scaling"
+  "bw_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_comparison.dir/ipc_comparison.cpp.o"
+  "CMakeFiles/ipc_comparison.dir/ipc_comparison.cpp.o.d"
+  "ipc_comparison"
+  "ipc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

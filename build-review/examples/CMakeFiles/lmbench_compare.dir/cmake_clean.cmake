@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmbench_compare.dir/lmbench_compare.cpp.o"
+  "CMakeFiles/lmbench_compare.dir/lmbench_compare.cpp.o.d"
+  "lmbench_compare"
+  "lmbench_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmbench_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmdd.dir/lmdd.cpp.o"
+  "CMakeFiles/lmdd.dir/lmdd.cpp.o.d"
+  "lmdd"
+  "lmdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_hierarchy.dir/memory_hierarchy.cpp.o"
+  "CMakeFiles/memory_hierarchy.dir/memory_hierarchy.cpp.o.d"
+  "memory_hierarchy"
+  "memory_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_results.dir/report_results.cpp.o"
+  "CMakeFiles/report_results.dir/report_results.cpp.o.d"
+  "report_results"
+  "report_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

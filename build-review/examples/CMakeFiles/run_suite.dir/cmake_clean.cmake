@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_suite.dir/run_suite.cpp.o"
+  "CMakeFiles/run_suite.dir/run_suite.cpp.o.d"
+  "run_suite"
+  "run_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bw/bw_file.cc" "src/bw/CMakeFiles/lmb_bw.dir/bw_file.cc.o" "gcc" "src/bw/CMakeFiles/lmb_bw.dir/bw_file.cc.o.d"
+  "/root/repo/src/bw/bw_ipc.cc" "src/bw/CMakeFiles/lmb_bw.dir/bw_ipc.cc.o" "gcc" "src/bw/CMakeFiles/lmb_bw.dir/bw_ipc.cc.o.d"
+  "/root/repo/src/bw/bw_mem.cc" "src/bw/CMakeFiles/lmb_bw.dir/bw_mem.cc.o" "gcc" "src/bw/CMakeFiles/lmb_bw.dir/bw_mem.cc.o.d"
+  "/root/repo/src/bw/kernels.cc" "src/bw/CMakeFiles/lmb_bw.dir/kernels.cc.o" "gcc" "src/bw/CMakeFiles/lmb_bw.dir/kernels.cc.o.d"
+  "/root/repo/src/bw/parallel.cc" "src/bw/CMakeFiles/lmb_bw.dir/parallel.cc.o" "gcc" "src/bw/CMakeFiles/lmb_bw.dir/parallel.cc.o.d"
+  "/root/repo/src/bw/stream.cc" "src/bw/CMakeFiles/lmb_bw.dir/stream.cc.o" "gcc" "src/bw/CMakeFiles/lmb_bw.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/lmb_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sys/CMakeFiles/lmb_sys.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/report/CMakeFiles/lmb_report.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/db/CMakeFiles/lmb_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmb_bw.dir/bw_file.cc.o"
+  "CMakeFiles/lmb_bw.dir/bw_file.cc.o.d"
+  "CMakeFiles/lmb_bw.dir/bw_ipc.cc.o"
+  "CMakeFiles/lmb_bw.dir/bw_ipc.cc.o.d"
+  "CMakeFiles/lmb_bw.dir/bw_mem.cc.o"
+  "CMakeFiles/lmb_bw.dir/bw_mem.cc.o.d"
+  "CMakeFiles/lmb_bw.dir/kernels.cc.o"
+  "CMakeFiles/lmb_bw.dir/kernels.cc.o.d"
+  "CMakeFiles/lmb_bw.dir/parallel.cc.o"
+  "CMakeFiles/lmb_bw.dir/parallel.cc.o.d"
+  "CMakeFiles/lmb_bw.dir/stream.cc.o"
+  "CMakeFiles/lmb_bw.dir/stream.cc.o.d"
+  "liblmb_bw.a"
+  "liblmb_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmb_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lmb_bw.
+# This may be replaced when dependencies are built.

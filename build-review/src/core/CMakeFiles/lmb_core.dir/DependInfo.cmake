@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cal_cache.cc" "src/core/CMakeFiles/lmb_core.dir/cal_cache.cc.o" "gcc" "src/core/CMakeFiles/lmb_core.dir/cal_cache.cc.o.d"
+  "/root/repo/src/core/clock.cc" "src/core/CMakeFiles/lmb_core.dir/clock.cc.o" "gcc" "src/core/CMakeFiles/lmb_core.dir/clock.cc.o.d"
+  "/root/repo/src/core/env.cc" "src/core/CMakeFiles/lmb_core.dir/env.cc.o" "gcc" "src/core/CMakeFiles/lmb_core.dir/env.cc.o.d"
+  "/root/repo/src/core/mhz.cc" "src/core/CMakeFiles/lmb_core.dir/mhz.cc.o" "gcc" "src/core/CMakeFiles/lmb_core.dir/mhz.cc.o.d"
+  "/root/repo/src/core/options.cc" "src/core/CMakeFiles/lmb_core.dir/options.cc.o" "gcc" "src/core/CMakeFiles/lmb_core.dir/options.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/core/CMakeFiles/lmb_core.dir/registry.cc.o" "gcc" "src/core/CMakeFiles/lmb_core.dir/registry.cc.o.d"
+  "/root/repo/src/core/run_result.cc" "src/core/CMakeFiles/lmb_core.dir/run_result.cc.o" "gcc" "src/core/CMakeFiles/lmb_core.dir/run_result.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/lmb_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/lmb_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/suite_runner.cc" "src/core/CMakeFiles/lmb_core.dir/suite_runner.cc.o" "gcc" "src/core/CMakeFiles/lmb_core.dir/suite_runner.cc.o.d"
+  "/root/repo/src/core/timing.cc" "src/core/CMakeFiles/lmb_core.dir/timing.cc.o" "gcc" "src/core/CMakeFiles/lmb_core.dir/timing.cc.o.d"
+  "/root/repo/src/core/topology.cc" "src/core/CMakeFiles/lmb_core.dir/topology.cc.o" "gcc" "src/core/CMakeFiles/lmb_core.dir/topology.cc.o.d"
+  "/root/repo/src/core/virtual_clock.cc" "src/core/CMakeFiles/lmb_core.dir/virtual_clock.cc.o" "gcc" "src/core/CMakeFiles/lmb_core.dir/virtual_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

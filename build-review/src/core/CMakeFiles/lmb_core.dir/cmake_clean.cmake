@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmb_core.dir/cal_cache.cc.o"
+  "CMakeFiles/lmb_core.dir/cal_cache.cc.o.d"
+  "CMakeFiles/lmb_core.dir/clock.cc.o"
+  "CMakeFiles/lmb_core.dir/clock.cc.o.d"
+  "CMakeFiles/lmb_core.dir/env.cc.o"
+  "CMakeFiles/lmb_core.dir/env.cc.o.d"
+  "CMakeFiles/lmb_core.dir/mhz.cc.o"
+  "CMakeFiles/lmb_core.dir/mhz.cc.o.d"
+  "CMakeFiles/lmb_core.dir/options.cc.o"
+  "CMakeFiles/lmb_core.dir/options.cc.o.d"
+  "CMakeFiles/lmb_core.dir/registry.cc.o"
+  "CMakeFiles/lmb_core.dir/registry.cc.o.d"
+  "CMakeFiles/lmb_core.dir/run_result.cc.o"
+  "CMakeFiles/lmb_core.dir/run_result.cc.o.d"
+  "CMakeFiles/lmb_core.dir/stats.cc.o"
+  "CMakeFiles/lmb_core.dir/stats.cc.o.d"
+  "CMakeFiles/lmb_core.dir/suite_runner.cc.o"
+  "CMakeFiles/lmb_core.dir/suite_runner.cc.o.d"
+  "CMakeFiles/lmb_core.dir/timing.cc.o"
+  "CMakeFiles/lmb_core.dir/timing.cc.o.d"
+  "CMakeFiles/lmb_core.dir/topology.cc.o"
+  "CMakeFiles/lmb_core.dir/topology.cc.o.d"
+  "CMakeFiles/lmb_core.dir/virtual_clock.cc.o"
+  "CMakeFiles/lmb_core.dir/virtual_clock.cc.o.d"
+  "liblmb_core.a"
+  "liblmb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

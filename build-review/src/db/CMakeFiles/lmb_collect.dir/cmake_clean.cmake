@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmb_collect.dir/collect.cc.o"
+  "CMakeFiles/lmb_collect.dir/collect.cc.o.d"
+  "liblmb_collect.a"
+  "liblmb_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmb_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/baseline_store.cc" "src/db/CMakeFiles/lmb_db.dir/baseline_store.cc.o" "gcc" "src/db/CMakeFiles/lmb_db.dir/baseline_store.cc.o.d"
+  "/root/repo/src/db/cal_store.cc" "src/db/CMakeFiles/lmb_db.dir/cal_store.cc.o" "gcc" "src/db/CMakeFiles/lmb_db.dir/cal_store.cc.o.d"
+  "/root/repo/src/db/metrics.cc" "src/db/CMakeFiles/lmb_db.dir/metrics.cc.o" "gcc" "src/db/CMakeFiles/lmb_db.dir/metrics.cc.o.d"
+  "/root/repo/src/db/paper_data.cc" "src/db/CMakeFiles/lmb_db.dir/paper_data.cc.o" "gcc" "src/db/CMakeFiles/lmb_db.dir/paper_data.cc.o.d"
+  "/root/repo/src/db/result_set.cc" "src/db/CMakeFiles/lmb_db.dir/result_set.cc.o" "gcc" "src/db/CMakeFiles/lmb_db.dir/result_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/lmb_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sys/CMakeFiles/lmb_sys.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/report/CMakeFiles/lmb_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmb_db.dir/baseline_store.cc.o"
+  "CMakeFiles/lmb_db.dir/baseline_store.cc.o.d"
+  "CMakeFiles/lmb_db.dir/cal_store.cc.o"
+  "CMakeFiles/lmb_db.dir/cal_store.cc.o.d"
+  "CMakeFiles/lmb_db.dir/metrics.cc.o"
+  "CMakeFiles/lmb_db.dir/metrics.cc.o.d"
+  "CMakeFiles/lmb_db.dir/paper_data.cc.o"
+  "CMakeFiles/lmb_db.dir/paper_data.cc.o.d"
+  "CMakeFiles/lmb_db.dir/result_set.cc.o"
+  "CMakeFiles/lmb_db.dir/result_set.cc.o.d"
+  "liblmb_db.a"
+  "liblmb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmb_hello.dir/hello_main.cc.o"
+  "CMakeFiles/lmb_hello.dir/hello_main.cc.o.d"
+  "lmb_hello"
+  "lmb_hello.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmb_hello.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lat/lat_ctx.cc" "src/lat/CMakeFiles/lmb_lat.dir/lat_ctx.cc.o" "gcc" "src/lat/CMakeFiles/lmb_lat.dir/lat_ctx.cc.o.d"
+  "/root/repo/src/lat/lat_file_ops.cc" "src/lat/CMakeFiles/lmb_lat.dir/lat_file_ops.cc.o" "gcc" "src/lat/CMakeFiles/lmb_lat.dir/lat_file_ops.cc.o.d"
+  "/root/repo/src/lat/lat_fs.cc" "src/lat/CMakeFiles/lmb_lat.dir/lat_fs.cc.o" "gcc" "src/lat/CMakeFiles/lmb_lat.dir/lat_fs.cc.o.d"
+  "/root/repo/src/lat/lat_ipc.cc" "src/lat/CMakeFiles/lmb_lat.dir/lat_ipc.cc.o" "gcc" "src/lat/CMakeFiles/lmb_lat.dir/lat_ipc.cc.o.d"
+  "/root/repo/src/lat/lat_mem_rd.cc" "src/lat/CMakeFiles/lmb_lat.dir/lat_mem_rd.cc.o" "gcc" "src/lat/CMakeFiles/lmb_lat.dir/lat_mem_rd.cc.o.d"
+  "/root/repo/src/lat/lat_ops.cc" "src/lat/CMakeFiles/lmb_lat.dir/lat_ops.cc.o" "gcc" "src/lat/CMakeFiles/lmb_lat.dir/lat_ops.cc.o.d"
+  "/root/repo/src/lat/lat_pagefault.cc" "src/lat/CMakeFiles/lmb_lat.dir/lat_pagefault.cc.o" "gcc" "src/lat/CMakeFiles/lmb_lat.dir/lat_pagefault.cc.o.d"
+  "/root/repo/src/lat/lat_proc.cc" "src/lat/CMakeFiles/lmb_lat.dir/lat_proc.cc.o" "gcc" "src/lat/CMakeFiles/lmb_lat.dir/lat_proc.cc.o.d"
+  "/root/repo/src/lat/lat_sig.cc" "src/lat/CMakeFiles/lmb_lat.dir/lat_sig.cc.o" "gcc" "src/lat/CMakeFiles/lmb_lat.dir/lat_sig.cc.o.d"
+  "/root/repo/src/lat/lat_syscall.cc" "src/lat/CMakeFiles/lmb_lat.dir/lat_syscall.cc.o" "gcc" "src/lat/CMakeFiles/lmb_lat.dir/lat_syscall.cc.o.d"
+  "/root/repo/src/lat/lat_tlb.cc" "src/lat/CMakeFiles/lmb_lat.dir/lat_tlb.cc.o" "gcc" "src/lat/CMakeFiles/lmb_lat.dir/lat_tlb.cc.o.d"
+  "/root/repo/src/lat/mem_hierarchy.cc" "src/lat/CMakeFiles/lmb_lat.dir/mem_hierarchy.cc.o" "gcc" "src/lat/CMakeFiles/lmb_lat.dir/mem_hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/lmb_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sys/CMakeFiles/lmb_sys.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/report/CMakeFiles/lmb_report.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/db/CMakeFiles/lmb_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmb_lat.dir/lat_ctx.cc.o"
+  "CMakeFiles/lmb_lat.dir/lat_ctx.cc.o.d"
+  "CMakeFiles/lmb_lat.dir/lat_file_ops.cc.o"
+  "CMakeFiles/lmb_lat.dir/lat_file_ops.cc.o.d"
+  "CMakeFiles/lmb_lat.dir/lat_fs.cc.o"
+  "CMakeFiles/lmb_lat.dir/lat_fs.cc.o.d"
+  "CMakeFiles/lmb_lat.dir/lat_ipc.cc.o"
+  "CMakeFiles/lmb_lat.dir/lat_ipc.cc.o.d"
+  "CMakeFiles/lmb_lat.dir/lat_mem_rd.cc.o"
+  "CMakeFiles/lmb_lat.dir/lat_mem_rd.cc.o.d"
+  "CMakeFiles/lmb_lat.dir/lat_ops.cc.o"
+  "CMakeFiles/lmb_lat.dir/lat_ops.cc.o.d"
+  "CMakeFiles/lmb_lat.dir/lat_pagefault.cc.o"
+  "CMakeFiles/lmb_lat.dir/lat_pagefault.cc.o.d"
+  "CMakeFiles/lmb_lat.dir/lat_proc.cc.o"
+  "CMakeFiles/lmb_lat.dir/lat_proc.cc.o.d"
+  "CMakeFiles/lmb_lat.dir/lat_sig.cc.o"
+  "CMakeFiles/lmb_lat.dir/lat_sig.cc.o.d"
+  "CMakeFiles/lmb_lat.dir/lat_syscall.cc.o"
+  "CMakeFiles/lmb_lat.dir/lat_syscall.cc.o.d"
+  "CMakeFiles/lmb_lat.dir/lat_tlb.cc.o"
+  "CMakeFiles/lmb_lat.dir/lat_tlb.cc.o.d"
+  "CMakeFiles/lmb_lat.dir/mem_hierarchy.cc.o"
+  "CMakeFiles/lmb_lat.dir/mem_hierarchy.cc.o.d"
+  "liblmb_lat.a"
+  "liblmb_lat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmb_lat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

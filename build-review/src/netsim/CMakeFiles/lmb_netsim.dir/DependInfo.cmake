@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/link.cc" "src/netsim/CMakeFiles/lmb_netsim.dir/link.cc.o" "gcc" "src/netsim/CMakeFiles/lmb_netsim.dir/link.cc.o.d"
+  "/root/repo/src/netsim/remote.cc" "src/netsim/CMakeFiles/lmb_netsim.dir/remote.cc.o" "gcc" "src/netsim/CMakeFiles/lmb_netsim.dir/remote.cc.o.d"
+  "/root/repo/src/netsim/simnet.cc" "src/netsim/CMakeFiles/lmb_netsim.dir/simnet.cc.o" "gcc" "src/netsim/CMakeFiles/lmb_netsim.dir/simnet.cc.o.d"
+  "/root/repo/src/netsim/stream.cc" "src/netsim/CMakeFiles/lmb_netsim.dir/stream.cc.o" "gcc" "src/netsim/CMakeFiles/lmb_netsim.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/lmb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmb_netsim.dir/link.cc.o"
+  "CMakeFiles/lmb_netsim.dir/link.cc.o.d"
+  "CMakeFiles/lmb_netsim.dir/remote.cc.o"
+  "CMakeFiles/lmb_netsim.dir/remote.cc.o.d"
+  "CMakeFiles/lmb_netsim.dir/simnet.cc.o"
+  "CMakeFiles/lmb_netsim.dir/simnet.cc.o.d"
+  "CMakeFiles/lmb_netsim.dir/stream.cc.o"
+  "CMakeFiles/lmb_netsim.dir/stream.cc.o.d"
+  "liblmb_netsim.a"
+  "liblmb_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmb_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

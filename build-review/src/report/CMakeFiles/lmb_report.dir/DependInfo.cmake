@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/compare.cc" "src/report/CMakeFiles/lmb_report.dir/compare.cc.o" "gcc" "src/report/CMakeFiles/lmb_report.dir/compare.cc.o.d"
+  "/root/repo/src/report/plot.cc" "src/report/CMakeFiles/lmb_report.dir/plot.cc.o" "gcc" "src/report/CMakeFiles/lmb_report.dir/plot.cc.o.d"
+  "/root/repo/src/report/scaling.cc" "src/report/CMakeFiles/lmb_report.dir/scaling.cc.o" "gcc" "src/report/CMakeFiles/lmb_report.dir/scaling.cc.o.d"
+  "/root/repo/src/report/serialize.cc" "src/report/CMakeFiles/lmb_report.dir/serialize.cc.o" "gcc" "src/report/CMakeFiles/lmb_report.dir/serialize.cc.o.d"
+  "/root/repo/src/report/summary.cc" "src/report/CMakeFiles/lmb_report.dir/summary.cc.o" "gcc" "src/report/CMakeFiles/lmb_report.dir/summary.cc.o.d"
+  "/root/repo/src/report/table.cc" "src/report/CMakeFiles/lmb_report.dir/table.cc.o" "gcc" "src/report/CMakeFiles/lmb_report.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/lmb_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/db/CMakeFiles/lmb_db.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sys/CMakeFiles/lmb_sys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmb_report.dir/compare.cc.o"
+  "CMakeFiles/lmb_report.dir/compare.cc.o.d"
+  "CMakeFiles/lmb_report.dir/plot.cc.o"
+  "CMakeFiles/lmb_report.dir/plot.cc.o.d"
+  "CMakeFiles/lmb_report.dir/scaling.cc.o"
+  "CMakeFiles/lmb_report.dir/scaling.cc.o.d"
+  "CMakeFiles/lmb_report.dir/serialize.cc.o"
+  "CMakeFiles/lmb_report.dir/serialize.cc.o.d"
+  "CMakeFiles/lmb_report.dir/summary.cc.o"
+  "CMakeFiles/lmb_report.dir/summary.cc.o.d"
+  "CMakeFiles/lmb_report.dir/table.cc.o"
+  "CMakeFiles/lmb_report.dir/table.cc.o.d"
+  "liblmb_report.a"
+  "liblmb_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmb_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

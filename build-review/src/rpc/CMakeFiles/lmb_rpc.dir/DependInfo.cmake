@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/client.cc" "src/rpc/CMakeFiles/lmb_rpc.dir/client.cc.o" "gcc" "src/rpc/CMakeFiles/lmb_rpc.dir/client.cc.o.d"
+  "/root/repo/src/rpc/lat_rpc.cc" "src/rpc/CMakeFiles/lmb_rpc.dir/lat_rpc.cc.o" "gcc" "src/rpc/CMakeFiles/lmb_rpc.dir/lat_rpc.cc.o.d"
+  "/root/repo/src/rpc/message.cc" "src/rpc/CMakeFiles/lmb_rpc.dir/message.cc.o" "gcc" "src/rpc/CMakeFiles/lmb_rpc.dir/message.cc.o.d"
+  "/root/repo/src/rpc/portmap.cc" "src/rpc/CMakeFiles/lmb_rpc.dir/portmap.cc.o" "gcc" "src/rpc/CMakeFiles/lmb_rpc.dir/portmap.cc.o.d"
+  "/root/repo/src/rpc/server.cc" "src/rpc/CMakeFiles/lmb_rpc.dir/server.cc.o" "gcc" "src/rpc/CMakeFiles/lmb_rpc.dir/server.cc.o.d"
+  "/root/repo/src/rpc/xdr.cc" "src/rpc/CMakeFiles/lmb_rpc.dir/xdr.cc.o" "gcc" "src/rpc/CMakeFiles/lmb_rpc.dir/xdr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/lmb_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sys/CMakeFiles/lmb_sys.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/report/CMakeFiles/lmb_report.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/db/CMakeFiles/lmb_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmb_rpc.dir/client.cc.o"
+  "CMakeFiles/lmb_rpc.dir/client.cc.o.d"
+  "CMakeFiles/lmb_rpc.dir/lat_rpc.cc.o"
+  "CMakeFiles/lmb_rpc.dir/lat_rpc.cc.o.d"
+  "CMakeFiles/lmb_rpc.dir/message.cc.o"
+  "CMakeFiles/lmb_rpc.dir/message.cc.o.d"
+  "CMakeFiles/lmb_rpc.dir/portmap.cc.o"
+  "CMakeFiles/lmb_rpc.dir/portmap.cc.o.d"
+  "CMakeFiles/lmb_rpc.dir/server.cc.o"
+  "CMakeFiles/lmb_rpc.dir/server.cc.o.d"
+  "CMakeFiles/lmb_rpc.dir/xdr.cc.o"
+  "CMakeFiles/lmb_rpc.dir/xdr.cc.o.d"
+  "liblmb_rpc.a"
+  "liblmb_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmb_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

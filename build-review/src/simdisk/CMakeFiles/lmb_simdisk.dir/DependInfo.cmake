@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simdisk/disk_model.cc" "src/simdisk/CMakeFiles/lmb_simdisk.dir/disk_model.cc.o" "gcc" "src/simdisk/CMakeFiles/lmb_simdisk.dir/disk_model.cc.o.d"
+  "/root/repo/src/simdisk/disk_overhead.cc" "src/simdisk/CMakeFiles/lmb_simdisk.dir/disk_overhead.cc.o" "gcc" "src/simdisk/CMakeFiles/lmb_simdisk.dir/disk_overhead.cc.o.d"
+  "/root/repo/src/simdisk/file_disk.cc" "src/simdisk/CMakeFiles/lmb_simdisk.dir/file_disk.cc.o" "gcc" "src/simdisk/CMakeFiles/lmb_simdisk.dir/file_disk.cc.o.d"
+  "/root/repo/src/simdisk/lmdd.cc" "src/simdisk/CMakeFiles/lmb_simdisk.dir/lmdd.cc.o" "gcc" "src/simdisk/CMakeFiles/lmb_simdisk.dir/lmdd.cc.o.d"
+  "/root/repo/src/simdisk/sim_disk.cc" "src/simdisk/CMakeFiles/lmb_simdisk.dir/sim_disk.cc.o" "gcc" "src/simdisk/CMakeFiles/lmb_simdisk.dir/sim_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/lmb_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sys/CMakeFiles/lmb_sys.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/report/CMakeFiles/lmb_report.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/db/CMakeFiles/lmb_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

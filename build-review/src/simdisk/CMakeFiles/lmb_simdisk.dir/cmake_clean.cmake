@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmb_simdisk.dir/disk_model.cc.o"
+  "CMakeFiles/lmb_simdisk.dir/disk_model.cc.o.d"
+  "CMakeFiles/lmb_simdisk.dir/disk_overhead.cc.o"
+  "CMakeFiles/lmb_simdisk.dir/disk_overhead.cc.o.d"
+  "CMakeFiles/lmb_simdisk.dir/file_disk.cc.o"
+  "CMakeFiles/lmb_simdisk.dir/file_disk.cc.o.d"
+  "CMakeFiles/lmb_simdisk.dir/lmdd.cc.o"
+  "CMakeFiles/lmb_simdisk.dir/lmdd.cc.o.d"
+  "CMakeFiles/lmb_simdisk.dir/sim_disk.cc.o"
+  "CMakeFiles/lmb_simdisk.dir/sim_disk.cc.o.d"
+  "liblmb_simdisk.a"
+  "liblmb_simdisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmb_simdisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblmb_simdisk.a"
+)

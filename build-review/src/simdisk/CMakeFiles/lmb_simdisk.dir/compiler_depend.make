@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lmb_simdisk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmb_simfs.dir/fs_bench.cc.o"
+  "CMakeFiles/lmb_simfs.dir/fs_bench.cc.o.d"
+  "CMakeFiles/lmb_simfs.dir/sim_fs.cc.o"
+  "CMakeFiles/lmb_simfs.dir/sim_fs.cc.o.d"
+  "liblmb_simfs.a"
+  "liblmb_simfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmb_simfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

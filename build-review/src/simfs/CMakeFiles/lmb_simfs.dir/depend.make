@@ -1,0 +1,2 @@
+# Empty dependencies file for lmb_simfs.
+# This may be replaced when dependencies are built.

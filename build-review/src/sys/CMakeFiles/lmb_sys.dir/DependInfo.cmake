@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/aligned_buffer.cc" "src/sys/CMakeFiles/lmb_sys.dir/aligned_buffer.cc.o" "gcc" "src/sys/CMakeFiles/lmb_sys.dir/aligned_buffer.cc.o.d"
+  "/root/repo/src/sys/error.cc" "src/sys/CMakeFiles/lmb_sys.dir/error.cc.o" "gcc" "src/sys/CMakeFiles/lmb_sys.dir/error.cc.o.d"
+  "/root/repo/src/sys/fdio.cc" "src/sys/CMakeFiles/lmb_sys.dir/fdio.cc.o" "gcc" "src/sys/CMakeFiles/lmb_sys.dir/fdio.cc.o.d"
+  "/root/repo/src/sys/mapped_file.cc" "src/sys/CMakeFiles/lmb_sys.dir/mapped_file.cc.o" "gcc" "src/sys/CMakeFiles/lmb_sys.dir/mapped_file.cc.o.d"
+  "/root/repo/src/sys/pipe.cc" "src/sys/CMakeFiles/lmb_sys.dir/pipe.cc.o" "gcc" "src/sys/CMakeFiles/lmb_sys.dir/pipe.cc.o.d"
+  "/root/repo/src/sys/process.cc" "src/sys/CMakeFiles/lmb_sys.dir/process.cc.o" "gcc" "src/sys/CMakeFiles/lmb_sys.dir/process.cc.o.d"
+  "/root/repo/src/sys/signals.cc" "src/sys/CMakeFiles/lmb_sys.dir/signals.cc.o" "gcc" "src/sys/CMakeFiles/lmb_sys.dir/signals.cc.o.d"
+  "/root/repo/src/sys/socket.cc" "src/sys/CMakeFiles/lmb_sys.dir/socket.cc.o" "gcc" "src/sys/CMakeFiles/lmb_sys.dir/socket.cc.o.d"
+  "/root/repo/src/sys/temp.cc" "src/sys/CMakeFiles/lmb_sys.dir/temp.cc.o" "gcc" "src/sys/CMakeFiles/lmb_sys.dir/temp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/lmb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmb_sys.dir/aligned_buffer.cc.o"
+  "CMakeFiles/lmb_sys.dir/aligned_buffer.cc.o.d"
+  "CMakeFiles/lmb_sys.dir/error.cc.o"
+  "CMakeFiles/lmb_sys.dir/error.cc.o.d"
+  "CMakeFiles/lmb_sys.dir/fdio.cc.o"
+  "CMakeFiles/lmb_sys.dir/fdio.cc.o.d"
+  "CMakeFiles/lmb_sys.dir/mapped_file.cc.o"
+  "CMakeFiles/lmb_sys.dir/mapped_file.cc.o.d"
+  "CMakeFiles/lmb_sys.dir/pipe.cc.o"
+  "CMakeFiles/lmb_sys.dir/pipe.cc.o.d"
+  "CMakeFiles/lmb_sys.dir/process.cc.o"
+  "CMakeFiles/lmb_sys.dir/process.cc.o.d"
+  "CMakeFiles/lmb_sys.dir/signals.cc.o"
+  "CMakeFiles/lmb_sys.dir/signals.cc.o.d"
+  "CMakeFiles/lmb_sys.dir/socket.cc.o"
+  "CMakeFiles/lmb_sys.dir/socket.cc.o.d"
+  "CMakeFiles/lmb_sys.dir/temp.cc.o"
+  "CMakeFiles/lmb_sys.dir/temp.cc.o.d"
+  "liblmb_sys.a"
+  "liblmb_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmb_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_tests.dir/bw/bw_file_test.cc.o"
+  "CMakeFiles/bw_tests.dir/bw/bw_file_test.cc.o.d"
+  "CMakeFiles/bw_tests.dir/bw/bw_ipc_test.cc.o"
+  "CMakeFiles/bw_tests.dir/bw/bw_ipc_test.cc.o.d"
+  "CMakeFiles/bw_tests.dir/bw/bw_mem_test.cc.o"
+  "CMakeFiles/bw_tests.dir/bw/bw_mem_test.cc.o.d"
+  "CMakeFiles/bw_tests.dir/bw/kernels_test.cc.o"
+  "CMakeFiles/bw_tests.dir/bw/kernels_test.cc.o.d"
+  "CMakeFiles/bw_tests.dir/bw/parallel_test.cc.o"
+  "CMakeFiles/bw_tests.dir/bw/parallel_test.cc.o.d"
+  "CMakeFiles/bw_tests.dir/bw/stream_test.cc.o"
+  "CMakeFiles/bw_tests.dir/bw/stream_test.cc.o.d"
+  "bw_tests"
+  "bw_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/cal_cache_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/cal_cache_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/clock_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/clock_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/env_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/env_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/mhz_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/mhz_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/options_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/options_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/registry_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/registry_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/stats_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/stats_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/suite_runner_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/suite_runner_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/timing_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/timing_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/topology_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/topology_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/virtual_clock_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/virtual_clock_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

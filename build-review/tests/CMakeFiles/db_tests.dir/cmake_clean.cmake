@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_tests.dir/db/baseline_store_test.cc.o"
+  "CMakeFiles/db_tests.dir/db/baseline_store_test.cc.o.d"
+  "CMakeFiles/db_tests.dir/db/cal_store_test.cc.o"
+  "CMakeFiles/db_tests.dir/db/cal_store_test.cc.o.d"
+  "CMakeFiles/db_tests.dir/db/collect_test.cc.o"
+  "CMakeFiles/db_tests.dir/db/collect_test.cc.o.d"
+  "CMakeFiles/db_tests.dir/db/paper_data_test.cc.o"
+  "CMakeFiles/db_tests.dir/db/paper_data_test.cc.o.d"
+  "CMakeFiles/db_tests.dir/db/result_set_test.cc.o"
+  "CMakeFiles/db_tests.dir/db/result_set_test.cc.o.d"
+  "db_tests"
+  "db_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

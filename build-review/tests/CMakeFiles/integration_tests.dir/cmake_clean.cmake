@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/suite_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/suite_test.cc.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

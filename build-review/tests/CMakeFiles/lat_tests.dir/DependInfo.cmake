@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lat/chain_test.cc" "tests/CMakeFiles/lat_tests.dir/lat/chain_test.cc.o" "gcc" "tests/CMakeFiles/lat_tests.dir/lat/chain_test.cc.o.d"
+  "/root/repo/tests/lat/lat_ctx_test.cc" "tests/CMakeFiles/lat_tests.dir/lat/lat_ctx_test.cc.o" "gcc" "tests/CMakeFiles/lat_tests.dir/lat/lat_ctx_test.cc.o.d"
+  "/root/repo/tests/lat/lat_file_ops_test.cc" "tests/CMakeFiles/lat_tests.dir/lat/lat_file_ops_test.cc.o" "gcc" "tests/CMakeFiles/lat_tests.dir/lat/lat_file_ops_test.cc.o.d"
+  "/root/repo/tests/lat/lat_fs_test.cc" "tests/CMakeFiles/lat_tests.dir/lat/lat_fs_test.cc.o" "gcc" "tests/CMakeFiles/lat_tests.dir/lat/lat_fs_test.cc.o.d"
+  "/root/repo/tests/lat/lat_ipc_test.cc" "tests/CMakeFiles/lat_tests.dir/lat/lat_ipc_test.cc.o" "gcc" "tests/CMakeFiles/lat_tests.dir/lat/lat_ipc_test.cc.o.d"
+  "/root/repo/tests/lat/lat_mem_rd_test.cc" "tests/CMakeFiles/lat_tests.dir/lat/lat_mem_rd_test.cc.o" "gcc" "tests/CMakeFiles/lat_tests.dir/lat/lat_mem_rd_test.cc.o.d"
+  "/root/repo/tests/lat/lat_ops_test.cc" "tests/CMakeFiles/lat_tests.dir/lat/lat_ops_test.cc.o" "gcc" "tests/CMakeFiles/lat_tests.dir/lat/lat_ops_test.cc.o.d"
+  "/root/repo/tests/lat/lat_pagefault_test.cc" "tests/CMakeFiles/lat_tests.dir/lat/lat_pagefault_test.cc.o" "gcc" "tests/CMakeFiles/lat_tests.dir/lat/lat_pagefault_test.cc.o.d"
+  "/root/repo/tests/lat/lat_proc_test.cc" "tests/CMakeFiles/lat_tests.dir/lat/lat_proc_test.cc.o" "gcc" "tests/CMakeFiles/lat_tests.dir/lat/lat_proc_test.cc.o.d"
+  "/root/repo/tests/lat/lat_sig_test.cc" "tests/CMakeFiles/lat_tests.dir/lat/lat_sig_test.cc.o" "gcc" "tests/CMakeFiles/lat_tests.dir/lat/lat_sig_test.cc.o.d"
+  "/root/repo/tests/lat/lat_syscall_test.cc" "tests/CMakeFiles/lat_tests.dir/lat/lat_syscall_test.cc.o" "gcc" "tests/CMakeFiles/lat_tests.dir/lat/lat_syscall_test.cc.o.d"
+  "/root/repo/tests/lat/lat_tlb_test.cc" "tests/CMakeFiles/lat_tests.dir/lat/lat_tlb_test.cc.o" "gcc" "tests/CMakeFiles/lat_tests.dir/lat/lat_tlb_test.cc.o.d"
+  "/root/repo/tests/lat/mem_hierarchy_test.cc" "tests/CMakeFiles/lat_tests.dir/lat/mem_hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/lat_tests.dir/lat/mem_hierarchy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/db/CMakeFiles/lmb_collect.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bw/CMakeFiles/lmb_bw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rpc/CMakeFiles/lmb_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/netsim/CMakeFiles/lmb_netsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/simfs/CMakeFiles/lmb_simfs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lat/CMakeFiles/lmb_lat.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/simdisk/CMakeFiles/lmb_simdisk.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/report/CMakeFiles/lmb_report.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/db/CMakeFiles/lmb_db.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sys/CMakeFiles/lmb_sys.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/lmb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

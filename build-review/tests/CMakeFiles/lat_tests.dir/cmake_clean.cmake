@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_tests.dir/lat/chain_test.cc.o"
+  "CMakeFiles/lat_tests.dir/lat/chain_test.cc.o.d"
+  "CMakeFiles/lat_tests.dir/lat/lat_ctx_test.cc.o"
+  "CMakeFiles/lat_tests.dir/lat/lat_ctx_test.cc.o.d"
+  "CMakeFiles/lat_tests.dir/lat/lat_file_ops_test.cc.o"
+  "CMakeFiles/lat_tests.dir/lat/lat_file_ops_test.cc.o.d"
+  "CMakeFiles/lat_tests.dir/lat/lat_fs_test.cc.o"
+  "CMakeFiles/lat_tests.dir/lat/lat_fs_test.cc.o.d"
+  "CMakeFiles/lat_tests.dir/lat/lat_ipc_test.cc.o"
+  "CMakeFiles/lat_tests.dir/lat/lat_ipc_test.cc.o.d"
+  "CMakeFiles/lat_tests.dir/lat/lat_mem_rd_test.cc.o"
+  "CMakeFiles/lat_tests.dir/lat/lat_mem_rd_test.cc.o.d"
+  "CMakeFiles/lat_tests.dir/lat/lat_ops_test.cc.o"
+  "CMakeFiles/lat_tests.dir/lat/lat_ops_test.cc.o.d"
+  "CMakeFiles/lat_tests.dir/lat/lat_pagefault_test.cc.o"
+  "CMakeFiles/lat_tests.dir/lat/lat_pagefault_test.cc.o.d"
+  "CMakeFiles/lat_tests.dir/lat/lat_proc_test.cc.o"
+  "CMakeFiles/lat_tests.dir/lat/lat_proc_test.cc.o.d"
+  "CMakeFiles/lat_tests.dir/lat/lat_sig_test.cc.o"
+  "CMakeFiles/lat_tests.dir/lat/lat_sig_test.cc.o.d"
+  "CMakeFiles/lat_tests.dir/lat/lat_syscall_test.cc.o"
+  "CMakeFiles/lat_tests.dir/lat/lat_syscall_test.cc.o.d"
+  "CMakeFiles/lat_tests.dir/lat/lat_tlb_test.cc.o"
+  "CMakeFiles/lat_tests.dir/lat/lat_tlb_test.cc.o.d"
+  "CMakeFiles/lat_tests.dir/lat/mem_hierarchy_test.cc.o"
+  "CMakeFiles/lat_tests.dir/lat/mem_hierarchy_test.cc.o.d"
+  "lat_tests"
+  "lat_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_tests.dir/netsim/link_test.cc.o"
+  "CMakeFiles/netsim_tests.dir/netsim/link_test.cc.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/remote_test.cc.o"
+  "CMakeFiles/netsim_tests.dir/netsim/remote_test.cc.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/simnet_test.cc.o"
+  "CMakeFiles/netsim_tests.dir/netsim/simnet_test.cc.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/stream_test.cc.o"
+  "CMakeFiles/netsim_tests.dir/netsim/stream_test.cc.o.d"
+  "netsim_tests"
+  "netsim_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

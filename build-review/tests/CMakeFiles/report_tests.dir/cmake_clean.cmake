@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_tests.dir/report/compare_test.cc.o"
+  "CMakeFiles/report_tests.dir/report/compare_test.cc.o.d"
+  "CMakeFiles/report_tests.dir/report/plot_test.cc.o"
+  "CMakeFiles/report_tests.dir/report/plot_test.cc.o.d"
+  "CMakeFiles/report_tests.dir/report/scaling_test.cc.o"
+  "CMakeFiles/report_tests.dir/report/scaling_test.cc.o.d"
+  "CMakeFiles/report_tests.dir/report/serialize_test.cc.o"
+  "CMakeFiles/report_tests.dir/report/serialize_test.cc.o.d"
+  "CMakeFiles/report_tests.dir/report/summary_test.cc.o"
+  "CMakeFiles/report_tests.dir/report/summary_test.cc.o.d"
+  "CMakeFiles/report_tests.dir/report/table_test.cc.o"
+  "CMakeFiles/report_tests.dir/report/table_test.cc.o.d"
+  "report_tests"
+  "report_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_tests.dir/rpc/client_server_test.cc.o"
+  "CMakeFiles/rpc_tests.dir/rpc/client_server_test.cc.o.d"
+  "CMakeFiles/rpc_tests.dir/rpc/lat_rpc_test.cc.o"
+  "CMakeFiles/rpc_tests.dir/rpc/lat_rpc_test.cc.o.d"
+  "CMakeFiles/rpc_tests.dir/rpc/message_test.cc.o"
+  "CMakeFiles/rpc_tests.dir/rpc/message_test.cc.o.d"
+  "CMakeFiles/rpc_tests.dir/rpc/portmap_test.cc.o"
+  "CMakeFiles/rpc_tests.dir/rpc/portmap_test.cc.o.d"
+  "CMakeFiles/rpc_tests.dir/rpc/xdr_test.cc.o"
+  "CMakeFiles/rpc_tests.dir/rpc/xdr_test.cc.o.d"
+  "rpc_tests"
+  "rpc_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

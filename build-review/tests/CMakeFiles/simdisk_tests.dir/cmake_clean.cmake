@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdisk_tests.dir/simdisk/disk_model_test.cc.o"
+  "CMakeFiles/simdisk_tests.dir/simdisk/disk_model_test.cc.o.d"
+  "CMakeFiles/simdisk_tests.dir/simdisk/disk_overhead_test.cc.o"
+  "CMakeFiles/simdisk_tests.dir/simdisk/disk_overhead_test.cc.o.d"
+  "CMakeFiles/simdisk_tests.dir/simdisk/fault_injection_test.cc.o"
+  "CMakeFiles/simdisk_tests.dir/simdisk/fault_injection_test.cc.o.d"
+  "CMakeFiles/simdisk_tests.dir/simdisk/file_disk_test.cc.o"
+  "CMakeFiles/simdisk_tests.dir/simdisk/file_disk_test.cc.o.d"
+  "CMakeFiles/simdisk_tests.dir/simdisk/lmdd_test.cc.o"
+  "CMakeFiles/simdisk_tests.dir/simdisk/lmdd_test.cc.o.d"
+  "CMakeFiles/simdisk_tests.dir/simdisk/sim_disk_test.cc.o"
+  "CMakeFiles/simdisk_tests.dir/simdisk/sim_disk_test.cc.o.d"
+  "simdisk_tests"
+  "simdisk_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdisk_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simfs_tests.dir/simfs/fs_bench_test.cc.o"
+  "CMakeFiles/simfs_tests.dir/simfs/fs_bench_test.cc.o.d"
+  "CMakeFiles/simfs_tests.dir/simfs/sim_fs_data_test.cc.o"
+  "CMakeFiles/simfs_tests.dir/simfs/sim_fs_data_test.cc.o.d"
+  "CMakeFiles/simfs_tests.dir/simfs/sim_fs_test.cc.o"
+  "CMakeFiles/simfs_tests.dir/simfs/sim_fs_test.cc.o.d"
+  "simfs_tests"
+  "simfs_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simfs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

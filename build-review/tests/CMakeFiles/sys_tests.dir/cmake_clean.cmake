@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sys_tests.dir/sys/aligned_buffer_test.cc.o"
+  "CMakeFiles/sys_tests.dir/sys/aligned_buffer_test.cc.o.d"
+  "CMakeFiles/sys_tests.dir/sys/fdio_test.cc.o"
+  "CMakeFiles/sys_tests.dir/sys/fdio_test.cc.o.d"
+  "CMakeFiles/sys_tests.dir/sys/mapped_file_test.cc.o"
+  "CMakeFiles/sys_tests.dir/sys/mapped_file_test.cc.o.d"
+  "CMakeFiles/sys_tests.dir/sys/pipe_test.cc.o"
+  "CMakeFiles/sys_tests.dir/sys/pipe_test.cc.o.d"
+  "CMakeFiles/sys_tests.dir/sys/process_test.cc.o"
+  "CMakeFiles/sys_tests.dir/sys/process_test.cc.o.d"
+  "CMakeFiles/sys_tests.dir/sys/signals_test.cc.o"
+  "CMakeFiles/sys_tests.dir/sys/signals_test.cc.o.d"
+  "CMakeFiles/sys_tests.dir/sys/socket_test.cc.o"
+  "CMakeFiles/sys_tests.dir/sys/socket_test.cc.o.d"
+  "CMakeFiles/sys_tests.dir/sys/temp_test.cc.o"
+  "CMakeFiles/sys_tests.dir/sys/temp_test.cc.o.d"
+  "CMakeFiles/sys_tests.dir/sys/unique_fd_test.cc.o"
+  "CMakeFiles/sys_tests.dir/sys/unique_fd_test.cc.o.d"
+  "sys_tests"
+  "sys_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sys_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

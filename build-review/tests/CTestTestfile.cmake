@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(core_tests "/root/repo/build-review/tests/core_tests")
+set_tests_properties(core_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;lmb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(report_tests "/root/repo/build-review/tests/report_tests")
+set_tests_properties(report_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;26;lmb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(db_tests "/root/repo/build-review/tests/db_tests")
+set_tests_properties(db_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;35;lmb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sys_tests "/root/repo/build-review/tests/sys_tests")
+set_tests_properties(sys_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;43;lmb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bw_tests "/root/repo/build-review/tests/bw_tests")
+set_tests_properties(bw_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;55;lmb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lat_tests "/root/repo/build-review/tests/lat_tests")
+set_tests_properties(lat_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;64;lmb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rpc_tests "/root/repo/build-review/tests/rpc_tests")
+set_tests_properties(rpc_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;80;lmb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(simdisk_tests "/root/repo/build-review/tests/simdisk_tests")
+set_tests_properties(simdisk_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;88;lmb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(netsim_tests "/root/repo/build-review/tests/netsim_tests")
+set_tests_properties(netsim_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;97;lmb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_tests "/root/repo/build-review/tests/integration_tests")
+set_tests_properties(integration_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;104;lmb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(simfs_tests "/root/repo/build-review/tests/simfs_tests")
+set_tests_properties(simfs_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;108;lmb_add_test;/root/repo/tests/CMakeLists.txt;0;")
