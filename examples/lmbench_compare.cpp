@@ -25,9 +25,19 @@
 //   --max-rows=N       print at most N table rows (full detail still goes
 //                      to --json); 0 = all (default)
 //   --no-gate          always exit 0, even with regressions
+//   --no-env-gate      don't fail on mismatched environments (for deliberate
+//                      cross-system or cross-config comparisons); the
+//                      provenance diff still prints
+//
+// The provenance diff (environment blocks of the two batches, recorded by
+// run_suite) always prints, gates or not: a metric delta between a
+// governor=performance baseline and a governor=powersave candidate compares
+// configuration, not code.
 //
 // Exit status: 0 = no regressions (or --no-gate), 1 = regressions beyond
-// the noise gate, 2 = usage or I/O error.
+// the noise gate, 2 = usage or I/O error, 4 = significant environment
+// mismatch between the batches (suppress with --no-env-gate; regressions
+// take precedence, so 1 wins when both fire).
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -46,6 +56,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: lmbench_compare BASELINE.json CURRENT.json [--floor=PCT] [--sigmas=N]\n"
                "                       [--confidence=C] [--json=PATH] [--max-rows=N] [--no-gate]\n"
+               "                       [--no-env-gate]\n"
                "       lmbench_compare --baseline-dir=DIR CURRENT.json [--save] [options]\n");
   return 2;
 }
@@ -122,6 +133,10 @@ int main(int argc, char** argv) try {
   }
   std::fputs(table.c_str(), stdout);
 
+  // Provenance diff prints unconditionally — gate or not, a comparison
+  // across different environments should say so in the output.
+  std::fputs(report::render_environment_diff(cmp).c_str(), stdout);
+
   std::string json_path = opts.get_string("json", "");
   if (!json_path.empty()) {
     sys::write_file(json_path, report::compare_to_json(cmp));
@@ -135,6 +150,12 @@ int main(int argc, char** argv) try {
 
   if (cmp.has_regressions() && !opts.get_bool("no-gate")) {
     return 1;
+  }
+  if (cmp.env_mismatch() && !opts.get_bool("no-env-gate")) {
+    std::fprintf(stderr,
+                 "lmbench_compare: environments differ in significant fields; "
+                 "exit 4 (use --no-env-gate for deliberate cross-config comparisons)\n");
+    return 4;
   }
   return 0;
 } catch (const std::exception& e) {

@@ -1,0 +1,176 @@
+// lmbench_trace: terminal inspector for lmbenchpp.trace.v1 files — the
+// quick look before (or instead of) loading the trace into about:tracing /
+// ui.perfetto.dev.
+//
+//   ./build/examples/lmbench_trace TRACE.json [--bench=NAME] [--events]
+//
+//   TRACE.json    a run_suite --trace=... document
+//   --bench=NAME  restrict the per-benchmark breakdown (and --events dump)
+//                 to one benchmark
+//   --events      additionally dump every event as one line
+//                 (ts, dur, cat, name, bench, args)
+//
+// Default output: a per-benchmark timeline table (wall span, calibration
+// probes, timed repetitions, cache hit/miss, early stop) followed by a
+// counter summary when the trace carries counter totals.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/report/table.h"
+#include "src/report/trace_io.h"
+#include "src/sys/fdio.h"
+
+namespace {
+
+using namespace lmb;
+
+// Per-benchmark rollup of the timing-decision events.
+struct BenchStats {
+  Nanos start = -1;
+  Nanos end = 0;
+  int cal_probes = 0;
+  int reps = 0;
+  int cache_hits = 0;
+  int cache_misses = 0;
+  int early_stops = 0;
+  bool has_counters = false;
+  double ipc = 0.0;
+  std::string cache_miss_rate;  // as recorded in the event args; "" if none
+};
+
+const std::string* arg(const obs::TraceEvent& e, const std::string& key) {
+  for (const auto& [k, v] : e.args) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+std::string ms_str(Nanos ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Options opts = Options::parse(argc, argv);
+  if (opts.positionals().size() != 1) {
+    std::fprintf(stderr, "usage: lmbench_trace TRACE.json [--bench=NAME] [--events]\n");
+    return 2;
+  }
+  report::TraceDoc doc = report::trace_from_json(sys::read_file(opts.positionals()[0]));
+  std::string only = opts.get_string("bench", "");
+
+  std::printf("trace: %zu events, system: %s\n\n", doc.events.size(),
+              doc.system.empty() ? "(unknown)" : doc.system.c_str());
+
+  std::map<std::string, BenchStats> stats;
+  for (const obs::TraceEvent& e : doc.events) {
+    if (e.bench.empty() || (!only.empty() && e.bench != only)) {
+      continue;
+    }
+    BenchStats& s = stats[e.bench];
+    if (s.start < 0 || e.ts < s.start) {
+      s.start = e.ts;
+    }
+    s.end = std::max(s.end, e.dur >= 0 ? e.ts + e.dur : e.ts);
+    if (e.cat == "calibration" && (e.name == "probe" || e.name == "cache_probe")) {
+      ++s.cal_probes;
+    } else if (e.cat == "timing" && e.name == "rep") {
+      ++s.reps;
+    } else if (e.cat == "calibration" && e.name == "cal_hit") {
+      ++s.cache_hits;
+    } else if (e.cat == "calibration" && e.name == "cal_miss") {
+      ++s.cache_misses;
+    } else if (e.cat == "timing" && e.name == "early_stop") {
+      ++s.early_stops;
+    } else if (e.cat == "counters" && e.name == "totals") {
+      s.has_counters = true;
+      if (const std::string* v = arg(e, "ipc")) {
+        s.ipc = std::atof(v->c_str());
+      }
+      if (const std::string* v = arg(e, "cache_miss_rate")) {
+        s.cache_miss_rate = *v;
+      }
+    }
+  }
+
+  if (stats.empty()) {
+    std::printf("no benchmark-scoped events%s\n",
+                only.empty() ? "" : (" for '" + only + "'").c_str());
+  } else {
+    report::Table table("Timing decisions by benchmark", {{"bench", 0},
+                                                          {"start_ms", 3},
+                                                          {"span_ms", 3},
+                                                          {"probes", 0},
+                                                          {"reps", 0},
+                                                          {"cal", 0},
+                                                          {"early_stop", 0}});
+    for (const auto& [bench, s] : stats) {
+      std::string cal = s.cache_hits > 0    ? "hit"
+                        : s.cache_misses > 0 ? "miss"
+                                             : "-";
+      table.add_row({report::Cell{bench}, report::Cell{ms_str(s.start)},
+                     report::Cell{ms_str(s.end - s.start)},
+                     report::Cell{std::to_string(s.cal_probes)},
+                     report::Cell{std::to_string(s.reps)}, report::Cell{cal},
+                     report::Cell{std::string(s.early_stops > 0 ? "yes" : "no")}});
+    }
+    std::printf("%s", table.render().c_str());
+
+    bool any_counters = false;
+    for (const auto& [bench, s] : stats) {
+      if (s.has_counters) {
+        any_counters = true;
+        break;
+      }
+    }
+    if (any_counters) {
+      report::Table counters("Hardware counters", {{"bench", 0},
+                                                   {"ipc", 2},
+                                                   {"cache_miss_rate", 0}});
+      for (const auto& [bench, s] : stats) {
+        if (!s.has_counters) {
+          continue;
+        }
+        counters.add_row({report::Cell{bench}, report::Cell{s.ipc},
+                          report::Cell{s.cache_miss_rate.empty() ? "-" : s.cache_miss_rate}});
+      }
+      std::printf("\n%s", counters.render().c_str());
+    }
+  }
+
+  if (opts.get_bool("events")) {
+    std::printf("\n");
+    for (const obs::TraceEvent& e : doc.events) {
+      if (!only.empty() && e.bench != only) {
+        continue;
+      }
+      std::string args;
+      for (const auto& [k, v] : e.args) {
+        args += " " + k + "=" + v;
+      }
+      if (e.dur >= 0) {
+        std::printf("%12" PRId64 " +%-10" PRId64 " %-11s %-14s %-14s%s\n",
+                    static_cast<int64_t>(e.ts), static_cast<int64_t>(e.dur), e.cat.c_str(),
+                    e.name.c_str(), e.bench.empty() ? "-" : e.bench.c_str(), args.c_str());
+      } else {
+        std::printf("%12" PRId64 " %-11s %-14s %-14s%s\n", static_cast<int64_t>(e.ts),
+                    e.cat.c_str(), e.name.c_str(), e.bench.empty() ? "-" : e.bench.c_str(),
+                    args.c_str());
+      }
+    }
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "lmbench_trace: %s\n", e.what());
+  return 2;
+}

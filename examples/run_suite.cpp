@@ -6,6 +6,8 @@
 //                              [--only=bench1,bench2] [--timeout=SECONDS]
 //                              [--out=results.db]
 //                              [--json=results.json] [--csv=results.csv]
+//                              [--trace=trace.json] [--trace-chrome=PATH]
+//                              [--counters]
 //                              [--cal-cache=PATH] [--no-cal-cache]
 //                              [--baseline=PATH] [--gate[=PCT]]
 //                              [--save-baseline] [--compare-json=PATH]
@@ -31,6 +33,18 @@
 //                longest-expected-first under --jobs=N
 //   --no-cal-cache    disable calibration caching entirely (the paper's
 //                re-calibrate-every-run behavior)
+//   --trace=PATH write a lmbenchpp.trace.v1 timing-decision trace (also a
+//                valid Chrome trace — open it in about:tracing or
+//                ui.perfetto.dev): calibration probes, warm-up, every timed
+//                repetition, early-stop triggers, cal-cache hits/misses,
+//                scheduler placement under --jobs
+//   --trace-chrome=PATH  same events as the classic bare-array Chrome
+//                trace_event format
+//   --counters   sample hardware perf counters (instructions, cycles,
+//                cache refs/misses, context switches) around every timed
+//                interval; measurements gain ipc and cache_miss_pct
+//                metrics.  Silently a no-op where perf_event_open is
+//                unavailable (non-Linux, perf_event_paranoid, seccomp)
 //   --with-hang  register a deliberately-hanging `test_hang` benchmark
 //                (for exercising --timeout end to end)
 //   --baseline=PATH   after the run, compare this run's results against a
@@ -62,9 +76,13 @@
 #include "src/db/baseline_store.h"
 #include "src/db/cal_store.h"
 #include "src/db/result_set.h"
+#include "src/obs/perf_counters.h"
+#include "src/obs/run_env.h"
+#include "src/obs/trace.h"
 #include "src/report/compare.h"
 #include "src/report/scaling.h"
 #include "src/report/serialize.h"
+#include "src/report/trace_io.h"
 #include "src/sys/fdio.h"
 
 namespace {
@@ -93,6 +111,15 @@ int list_benchmarks(const std::string& category) {
 // Runs the post-suite baseline comparison (--baseline/--gate).  Returns 3
 // when the gate is armed and a regression survived the noise threshold,
 // 0 otherwise.
+// Startup noise check: recorded into the provenance block regardless, and
+// echoed on stderr so an interactive user sees why numbers might wobble
+// before waiting out a full suite run.
+void warn_if_noisy(const obs::RunEnvironment& env) {
+  for (const std::string& warning : env.warnings) {
+    std::fprintf(stderr, "run_suite: warning: %s\n", warning.c_str());
+  }
+}
+
 int compare_against_baseline(const Options& opts, const report::ResultBatch& current) {
   std::string baseline_path = opts.get_string("baseline", "");
   // An existing regular file is an explicit results JSON; anything else
@@ -125,6 +152,7 @@ int compare_against_baseline(const Options& opts, const report::ResultBatch& cur
 
   report::CompareReport cmp = report::compare_batches(*base, current, thresholds);
   std::printf("\n%s", report::render_compare_table(cmp).c_str());
+  std::printf("%s", report::render_environment_diff(cmp).c_str());
 
   std::string compare_json = opts.get_string("compare-json", "");
   if (!compare_json.empty()) {
@@ -189,6 +217,27 @@ int main(int argc, char** argv) try {
   config.options = opts;
 
   SystemInfo info = query_system_info();
+
+  // Provenance snapshot + startup noise warnings; the snapshot rides along
+  // in every serialized batch so lmbench_compare can diff environments.
+  obs::RunEnvironment run_env = obs::capture_run_environment();
+  warn_if_noisy(run_env);
+
+  // Static for the same reason as the calibration cache below: an abandoned
+  // (timed-out) benchmark thread may still emit events after run() returns.
+  static obs::TraceSink trace_sink;
+  std::string trace_path = opts.get_string("trace", "");
+  std::string trace_chrome_path = opts.get_string("trace-chrome", "");
+  const bool tracing = !trace_path.empty() || !trace_chrome_path.empty();
+  if (tracing) {
+    config.trace = &trace_sink;
+  }
+  config.counters = opts.get_bool("counters");
+  if (config.counters && !obs::PerfCounters::supported()) {
+    std::fprintf(stderr,
+                 "run_suite: warning: hardware counters unavailable "
+                 "(perf_event_open restricted?); ipc/cache_miss_pct will be absent\n");
+  }
 
   // Static so an abandoned (timed-out) benchmark thread can still touch the
   // cache safely after run() returns — same lifetime rule as the registry.
@@ -276,13 +325,25 @@ int main(int argc, char** argv) try {
   }
   std::string json_path = opts.get_string("json", "");
   if (!json_path.empty()) {
-    sys::write_file(json_path, report::to_json({info.label(), results, timing}));
+    sys::write_file(json_path, report::to_json({info.label(), results, timing, run_env}));
     std::printf("wrote JSON to %s\n", json_path.c_str());
   }
   std::string csv_path = opts.get_string("csv", "");
   if (!csv_path.empty()) {
     sys::write_file(csv_path, report::to_csv(results, &timing));
     std::printf("wrote CSV to %s\n", csv_path.c_str());
+  }
+  if (tracing) {
+    std::vector<obs::TraceEvent> events = trace_sink.events();
+    if (!trace_path.empty()) {
+      sys::write_file(trace_path, report::trace_to_json(events, info.label()));
+      std::printf("wrote %zu trace events to %s (open in about:tracing / perfetto)\n",
+                  events.size(), trace_path.c_str());
+    }
+    if (!trace_chrome_path.empty()) {
+      sys::write_file(trace_chrome_path, report::trace_to_chrome(events));
+      std::printf("wrote Chrome trace_event file to %s\n", trace_chrome_path.c_str());
+    }
   }
 
   // Scaling table + plot for any result that produced <op>_p<N>_mbs metrics
@@ -306,7 +367,7 @@ int main(int argc, char** argv) try {
 
   int gate_status = 0;
   if (!opts.get_string("baseline", "").empty()) {
-    gate_status = compare_against_baseline(opts, {info.label(), results, timing});
+    gate_status = compare_against_baseline(opts, {info.label(), results, timing, run_env});
   }
   if (failed != 0) {
     return 1;

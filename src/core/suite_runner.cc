@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <future>
@@ -27,14 +28,17 @@ double elapsed_ms(Clock::time_point start) {
 // this composes with the timeout path's worker thread), hit/miss counts are
 // recorded as metadata, and the benchmark's wall clock feeds the cache's
 // scheduling history.
-RunResult execute(const BenchmarkInfo& info, const Options& opts,
-                  CalibrationCache* cal_cache) {
+RunResult execute(const BenchmarkInfo& info, const SuiteConfig& config, int worker) {
+  CalibrationCache* cal_cache = config.cal_cache;
   Clock::time_point start = Clock::now();
   RunResult result;
   {
     CalibrationScope scope(cal_cache, info.name);
+    // Thread-local like CalibrationScope, so this composes with the timeout
+    // path (the scope lives on whichever thread runs the body).
+    obs::ObsScope obs_scope(config.trace, config.counters, info.name, worker);
     try {
-      result = info.run(opts);
+      result = info.run(config.options);
     } catch (const std::exception& e) {
       result = RunResult::failure(e.what());
     } catch (...) {
@@ -51,6 +55,18 @@ RunResult execute(const BenchmarkInfo& info, const Options& opts,
   if (result.category.empty()) {
     result.category = info.category;
   }
+  // Surface the counter-derived ratios as metrics so they flow through the
+  // table/CSV/JSON pipeline.  "count" and "%" units are direction-neutral,
+  // so the compare gate never fails a run over an IPC shift.
+  if (result.measurement.has_value() && result.measurement->counters.has_value()) {
+    const obs::CounterTotals& totals = *result.measurement->counters;
+    if (std::isfinite(totals.ipc())) {
+      result.add("ipc", totals.ipc(), "count");
+    }
+    if (std::isfinite(totals.cache_miss_rate())) {
+      result.add("cache_miss_pct", 100.0 * totals.cache_miss_rate(), "%");
+    }
+  }
   result.wall_ms = elapsed_ms(start);
   if (cal_cache != nullptr && result.ok()) {
     cal_cache->record_wall_ms(result.name, result.wall_ms);
@@ -61,18 +77,22 @@ RunResult execute(const BenchmarkInfo& info, const Options& opts,
 // Runs one benchmark with a wall-clock budget.  The benchmark body runs on
 // its own thread; on timeout the thread is detached (see header contract)
 // and a kTimeout result is synthesized.
-RunResult execute_with_timeout(const BenchmarkInfo& info, const Options& opts,
-                               double timeout_sec, CalibrationCache* cal_cache) {
+RunResult execute_with_timeout(const BenchmarkInfo& info, const SuiteConfig& config,
+                               int worker) {
+  const double timeout_sec = config.timeout_sec;
+  // The config is copied into the task: on timeout the worker thread is
+  // detached and may outlive the caller's SuiteConfig (the trace sink and
+  // cal_cache pointers inside it carry their own documented lifetime rules).
   std::packaged_task<RunResult()> task(
-      [&info, opts, cal_cache]() { return execute(info, opts, cal_cache); });
+      [&info, config, worker]() { return execute(info, config, worker); });
   std::future<RunResult> future = task.get_future();
-  std::thread worker(std::move(task));
+  std::thread runner(std::move(task));
   if (future.wait_for(std::chrono::duration<double>(timeout_sec)) ==
       std::future_status::ready) {
-    worker.join();
+    runner.join();
     return future.get();
   }
-  worker.detach();
+  runner.detach();
   RunResult result;
   result.name = info.name;
   result.category = info.category;
@@ -163,7 +183,7 @@ std::vector<RunResult> SuiteRunner::run(const SuiteConfig& config) const {
 
   // Worker loop: claim the first runnable item (skipping items whose
   // exclusive category is busy), run it, record, repeat.
-  auto worker_loop = [&]() {
+  auto worker_loop = [&](int worker) {
     for (;;) {
       size_t picked = work.size();
       {
@@ -197,13 +217,24 @@ std::vector<RunResult> SuiteRunner::run(const SuiteConfig& config) const {
       }
 
       const BenchmarkInfo& info = *work[picked];
+      if (config.trace != nullptr) {
+        config.trace->instant("scheduler", "claim",
+                              {{"bench", info.name},
+                               {"category", info.category},
+                               {"worker", std::to_string(worker)},
+                               {"slot", std::to_string(picked)}});
+      }
+      Nanos bench_start = config.trace != nullptr ? config.trace->timestamp() : 0;
       emit(SuiteEvent{SuiteEvent::Kind::kStart, static_cast<int>(picked), total, info.name,
                       info.description, nullptr});
-      RunResult result =
-          config.timeout_sec > 0
-              ? execute_with_timeout(info, config.options, config.timeout_sec,
-                                     config.cal_cache)
-              : execute(info, config.options, config.cal_cache);
+      RunResult result = config.timeout_sec > 0
+                             ? execute_with_timeout(info, config, worker)
+                             : execute(info, config, worker);
+      if (config.trace != nullptr) {
+        config.trace->complete("suite", info.name, bench_start,
+                               {{"status", run_status_name(result.status)},
+                                {"worker", std::to_string(worker)}});
+      }
       {
         std::lock_guard<std::mutex> lock(sched.mu);
         results[picked] = std::move(result);
@@ -218,17 +249,23 @@ std::vector<RunResult> SuiteRunner::run(const SuiteConfig& config) const {
   };
 
   const int jobs = std::clamp(config.jobs, 1, total);
+  Nanos suite_start = config.trace != nullptr ? config.trace->timestamp() : 0;
   if (jobs == 1) {
-    worker_loop();  // serial: run on the calling thread
+    worker_loop(0);  // serial: run on the calling thread
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<size_t>(jobs));
     for (int i = 0; i < jobs; ++i) {
-      pool.emplace_back(worker_loop);
+      pool.emplace_back(worker_loop, i);
     }
     for (std::thread& t : pool) {
       t.join();
     }
+  }
+  if (config.trace != nullptr) {
+    config.trace->complete("suite", "run", suite_start,
+                           {{"benchmarks", std::to_string(total)},
+                            {"jobs", std::to_string(jobs)}});
   }
   return results;
 }

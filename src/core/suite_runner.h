@@ -27,6 +27,7 @@
 #include "src/core/options.h"
 #include "src/core/registry.h"
 #include "src/core/run_result.h"
+#include "src/obs/trace.h"
 
 namespace lmb {
 
@@ -54,6 +55,16 @@ struct SuiteConfig {
   // longest-expected-first (classic LPT makespan reduction) using the
   // cache's wall-clock history; benchmarks with no history run first.
   CalibrationCache* cal_cache = nullptr;
+  // Optional trace sink (must outlive run(), same lifetime rule as
+  // cal_cache).  When set, every benchmark runs inside an obs::ObsScope so
+  // the timing engine emits calibration/repetition events into it, and the
+  // runner adds suite-level spans and scheduler claim events.
+  obs::TraceSink* trace = nullptr;
+  // Sample hardware perf counters (src/obs/perf_counters.h) around each
+  // timed interval.  Benchmarks with a dominant measurement then gain
+  // ipc/"count" and cache_miss_pct/"%" metrics.  A graceful no-op where
+  // perf_event_open is unavailable (the metrics are simply absent).
+  bool counters = false;
 };
 
 // Observability hook payload.  kStart fires before a benchmark runs,

@@ -1,26 +1,64 @@
 #include "src/core/timing.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "src/core/cal_cache.h"
+#include "src/obs/trace.h"
 
 namespace lmb {
 
 namespace {
 
+// Per-measurement observability context, resolved once from the thread's
+// ObsScope.  Everything is null/empty when no scope is installed, making
+// every hook below a cheap branch.
+struct Observer {
+  obs::TraceSink* sink = nullptr;
+  std::unique_ptr<obs::PerfCounters> counters;
+  obs::CounterTotals totals;
+
+  static Observer resolve() {
+    Observer ob;
+    if (obs::ObsScope* scope = obs::ObsScope::current(); scope != nullptr) {
+      ob.sink = scope->sink();
+      if (scope->counters()) {
+        ob.counters = std::make_unique<obs::PerfCounters>();
+        if (!ob.counters->available()) {
+          ob.counters.reset();  // fallback: no fds, no sampling, nulls downstream
+        }
+      }
+    }
+    return ob;
+  }
+};
+
+std::string u64_str(std::uint64_t v) { return std::to_string(v); }
+std::string ns_str(Nanos v) { return std::to_string(v); }
+
 // Times one interval of `iters` iterations, subtracting the clock's own
 // read overhead (one now() call is inside the measured span).  Clamped at
-// zero: a correction can never make an interval negative.
-Nanos time_interval(const BenchFn& fn, std::uint64_t iters, const Clock& clock) {
+// zero: a correction can never make an interval negative.  When `ob` has
+// perf counters, they cover the same span (enable/disable ioctls sit
+// outside the clock-read window, so the timed interval is unperturbed).
+Nanos time_interval(const BenchFn& fn, std::uint64_t iters, const Clock& clock,
+                    Observer* ob = nullptr) {
+  obs::PerfCounters* pc = ob != nullptr ? ob->counters.get() : nullptr;
+  if (pc != nullptr) {
+    pc->start();
+  }
   Nanos start = clock.now();
   fn(iters);
   Nanos raw = clock.now() - start;
+  if (pc != nullptr) {
+    ob->totals.add(pc->stop());
+  }
   return std::max<Nanos>(raw - clock.overhead_ns(), 0);
 }
 
 Measurement finish(std::uint64_t iterations, Sample sample, const Clock& clock,
-                   bool converged, bool cached) {
+                   bool converged, bool cached, Observer* ob = nullptr) {
   Measurement m;
   m.iterations = iterations;
   m.repetitions = static_cast<int>(sample.count());
@@ -32,6 +70,18 @@ Measurement finish(std::uint64_t iterations, Sample sample, const Clock& clock,
   m.converged = converged;
   m.calibration_cached = cached;
   m.sample = std::move(sample);
+  if (ob != nullptr && ob->counters != nullptr && ob->totals.intervals > 0) {
+    m.counters = ob->totals;
+    if (ob->sink != nullptr) {
+      ob->sink->instant("counters", "totals",
+                        {{"intervals", std::to_string(ob->totals.intervals)},
+                         {"instructions", std::to_string(ob->totals.instructions)},
+                         {"cycles", std::to_string(ob->totals.cycles)},
+                         {"ipc", std::to_string(ob->totals.ipc())},
+                         {"cache_miss_rate", std::to_string(ob->totals.cache_miss_rate())},
+                         {"multiplexed", ob->totals.multiplexed ? "true" : "false"}});
+    }
+  }
   return m;
 }
 
@@ -53,10 +103,17 @@ bool sample_converged(const Sample& sample, const TimingPolicy& policy) {
 
 Calibration calibrate(const BenchFn& fn, const TimingPolicy& policy, const Clock& clock,
                       Nanos budget_start, std::uint64_t start_iters) {
+  obs::ObsScope* scope = obs::ObsScope::current();
+  obs::TraceSink* sink = scope != nullptr ? scope->sink() : nullptr;
   Calibration cal;
   std::uint64_t iters = std::clamp<std::uint64_t>(start_iters, 1, policy.max_iterations);
   while (true) {
+    Nanos probe_start = sink != nullptr ? sink->timestamp() : 0;
     Nanos elapsed = time_interval(fn, iters, clock);
+    if (sink != nullptr) {
+      sink->complete("calibration", "probe", probe_start,
+                     {{"iters", u64_str(iters)}, {"elapsed_ns", ns_str(elapsed)}});
+    }
     cal.iterations = iters;
     cal.probe_elapsed = elapsed;
     if (elapsed >= policy.min_interval || iters >= policy.max_iterations) {
@@ -66,6 +123,9 @@ Calibration calibrate(const BenchFn& fn, const TimingPolicy& policy, const Clock
       // A slow body can eat the whole measurement budget inside the ramp;
       // bail to the best-known count so at least one repetition gets timed.
       cal.budget_exhausted = true;
+      if (sink != nullptr) {
+        sink->instant("calibration", "budget_exhausted", {{"iters", u64_str(iters)}});
+      }
       return cal;
     }
     std::uint64_t next;
@@ -95,13 +155,22 @@ Measurement measure(const BenchBody& body, const TimingPolicy& policy, const Clo
   if (!body.run) {
     throw std::invalid_argument("measure: empty benchmark body");
   }
+  Observer ob = Observer::resolve();
+  Nanos measure_start = ob.sink != nullptr ? ob.sink->timestamp() : 0;
   Nanos budget_start = clock.now();
 
-  for (int i = 0; i < policy.warmup_runs; ++i) {
-    if (body.setup) {
-      body.setup();
+  {
+    Nanos warmup_start = ob.sink != nullptr ? ob.sink->timestamp() : 0;
+    for (int i = 0; i < policy.warmup_runs; ++i) {
+      if (body.setup) {
+        body.setup();
+      }
+      body.run(1);
     }
-    body.run(1);
+    if (ob.sink != nullptr && policy.warmup_runs > 0) {
+      ob.sink->complete("timing", "warmup", warmup_start,
+                        {{"runs", std::to_string(policy.warmup_runs)}});
+    }
   }
 
   CalibrationScope* scope = CalibrationScope::current();
@@ -125,7 +194,13 @@ Measurement measure(const BenchBody& body, const TimingPolicy& policy, const Clo
       if (body.setup) {
         body.setup();
       }
-      Nanos probe = time_interval(body.run, entry->iterations, clock);
+      Nanos probe_start = ob.sink != nullptr ? ob.sink->timestamp() : 0;
+      Nanos probe = time_interval(body.run, entry->iterations, clock, &ob);
+      if (ob.sink != nullptr) {
+        ob.sink->complete("calibration", "cache_probe", probe_start,
+                          {{"iters", u64_str(entry->iterations)},
+                           {"elapsed_ns", ns_str(probe)}});
+      }
       if (probe >= policy.min_interval) {
         iters = entry->iterations;
         sample.add(static_cast<double>(probe) / static_cast<double>(iters));
@@ -143,6 +218,10 @@ Measurement measure(const BenchBody& body, const TimingPolicy& policy, const Clo
     }
     if (!cached) {
       scope->note_miss();
+    }
+    if (ob.sink != nullptr) {
+      ob.sink->instant("calibration", cached ? "cal_hit" : "cal_miss",
+                       {{"key", cache_key}});
     }
   }
 
@@ -167,18 +246,43 @@ Measurement measure(const BenchBody& body, const TimingPolicy& policy, const Clo
   while (static_cast<int>(sample.count()) < cap) {
     if (sample_converged(sample, policy)) {
       converged = true;
+      if (ob.sink != nullptr) {
+        ob.sink->instant("timing", "early_stop",
+                         {{"reps", std::to_string(sample.count())}});
+      }
       break;
     }
     if (!sample.empty() && clock.now() - budget_start > policy.max_total) {
+      if (ob.sink != nullptr) {
+        ob.sink->instant("timing", "rep_budget_exhausted",
+                         {{"reps", std::to_string(sample.count())}});
+      }
       break;  // out of budget; keep what we have
     }
     if (body.setup) {
       body.setup();
     }
-    Nanos elapsed = time_interval(body.run, iters, clock);
-    sample.add(static_cast<double>(elapsed) / static_cast<double>(iters));
+    Nanos rep_start = ob.sink != nullptr ? ob.sink->timestamp() : 0;
+    Nanos elapsed = time_interval(body.run, iters, clock, &ob);
+    double ns_per_op = static_cast<double>(elapsed) / static_cast<double>(iters);
+    if (ob.sink != nullptr) {
+      ob.sink->complete("timing", "rep", rep_start,
+                        {{"rep", std::to_string(sample.count())},
+                         {"iters", u64_str(iters)},
+                         {"ns_per_op", std::to_string(ns_per_op)}});
+    }
+    sample.add(ns_per_op);
   }
-  return finish(iters, std::move(sample), clock, converged, cached);
+  Measurement m = finish(iters, std::move(sample), clock, converged, cached, &ob);
+  if (ob.sink != nullptr) {
+    ob.sink->complete("timing", "measure", measure_start,
+                      {{"ns_per_op", std::to_string(m.ns_per_op)},
+                       {"iterations", u64_str(m.iterations)},
+                       {"repetitions", std::to_string(m.repetitions)},
+                       {"converged", m.converged ? "true" : "false"},
+                       {"calibration_cached", m.calibration_cached ? "true" : "false"}});
+  }
+  return m;
 }
 
 Measurement measure_once_each(const std::function<void()>& fn, int n, const Clock& clock) {
@@ -188,14 +292,29 @@ Measurement measure_once_each(const std::function<void()>& fn, int n, const Cloc
   if (n < 1) {
     throw std::invalid_argument("measure_once_each: n must be >= 1");
   }
+  Observer ob = Observer::resolve();
   Sample sample;
   for (int i = 0; i < n; ++i) {
+    Nanos rep_start = ob.sink != nullptr ? ob.sink->timestamp() : 0;
+    if (ob.counters != nullptr) {
+      ob.counters->start();
+    }
     Nanos start = clock.now();
     fn();
     Nanos raw = clock.now() - start;
-    sample.add(static_cast<double>(std::max<Nanos>(raw - clock.overhead_ns(), 0)));
+    if (ob.counters != nullptr) {
+      ob.totals.add(ob.counters->stop());
+    }
+    Nanos corrected = std::max<Nanos>(raw - clock.overhead_ns(), 0);
+    if (ob.sink != nullptr) {
+      ob.sink->complete("timing", "rep", rep_start,
+                        {{"rep", std::to_string(i)},
+                         {"iters", "1"},
+                         {"ns_per_op", ns_str(corrected)}});
+    }
+    sample.add(static_cast<double>(corrected));
   }
-  return finish(1, std::move(sample), clock, false, false);
+  return finish(1, std::move(sample), clock, false, false, &ob);
 }
 
 double mb_per_sec(double bytes_per_op, double ns_per_op) {

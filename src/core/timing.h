@@ -28,15 +28,23 @@
 //    with a single probe instead of re-running the geometric ramp; the
 //    validation probe doubles as the first repetition, so a warm
 //    measurement wastes no intervals at all.
+//  * Observability: inside an obs::ObsScope (src/obs/trace.h), every timing
+//    decision — calibration probes, warm-up, per-rep intervals, early stop,
+//    cache hit/miss — is emitted as a structured trace event, and hardware
+//    perf counters (src/obs/perf_counters.h) are sampled around each timed
+//    interval, surfacing IPC and cache-miss-rate per measurement.  Without
+//    a scope both are zero-cost no-ops.
 #ifndef LMBENCHPP_SRC_CORE_TIMING_H_
 #define LMBENCHPP_SRC_CORE_TIMING_H_
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "src/core/clock.h"
 #include "src/core/stats.h"
+#include "src/obs/perf_counters.h"
 
 namespace lmb {
 
@@ -109,6 +117,10 @@ struct Measurement {
   bool calibration_cached = false;
   // Per-repetition ns/op values.
   Sample sample;
+  // Hardware counter totals summed over the sampled intervals; absent when
+  // counter sampling was off or perf_event_open was unavailable (the
+  // serialized form then carries explicit nulls, never zeros).
+  std::optional<obs::CounterTotals> counters;
 
   double us_per_op() const { return ns_per_op / 1e3; }
   double ms_per_op() const { return ns_per_op / 1e6; }

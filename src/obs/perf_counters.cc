@@ -1,0 +1,223 @@
+#include "src/obs/perf_counters.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace lmb::obs {
+
+void CounterTotals::add(const CounterSample& s) {
+  if (!s.valid) {
+    return;
+  }
+  ++intervals;
+  cycles += s.cycles;
+  instructions += s.instructions;
+  if (s.has_cache) {
+    has_cache = true;
+    cache_refs += s.cache_refs;
+    cache_misses += s.cache_misses;
+  }
+  if (s.has_ctx) {
+    has_ctx = true;
+    ctx_switches += s.ctx_switches;
+  }
+  multiplexed = multiplexed || s.multiplexed;
+}
+
+double CounterTotals::ipc() const {
+  if (!(cycles > 0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return instructions / cycles;
+}
+
+double CounterTotals::cache_miss_rate() const {
+  if (!has_cache || !(cache_refs > 0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return cache_misses / cache_refs;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+bool counters_env_disabled() {
+  const char* env = std::getenv("LMBPP_NO_COUNTERS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+// Opens one counter for the calling thread on any CPU.  `group_fd` of -1
+// starts a new group.  Returns -1 on any failure — the caller treats every
+// counter as optional.
+int perf_open(std::uint32_t type, std::uint64_t config, int group_fd, bool leader,
+              bool exclude_kernel) {
+  struct perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = leader ? 1 : 0;  // the whole group starts/stops via the leader
+  attr.exclude_kernel = exclude_kernel ? 1 : 0;
+  attr.exclude_hv = 1;
+  attr.inherit = 0;
+  if (leader) {
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+  }
+  long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1, group_fd,
+                    PERF_FLAG_FD_CLOEXEC);
+  return static_cast<int>(fd);
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters(const Config& config) {
+  if (config.disabled || counters_env_disabled()) {
+    return;
+  }
+  // Leader (cycles) + instructions are the required pair: without both, IPC
+  // is meaningless and the whole wrapper falls back.  exclude_kernel keeps
+  // the open permitted under perf_event_paranoid <= 2 (the common default).
+  group_fd_ = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1, /*leader=*/true,
+                        /*exclude_kernel=*/true);
+  if (group_fd_ < 0) {
+    return;
+  }
+  instructions_fd_ = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, group_fd_,
+                               false, true);
+  if (instructions_fd_ < 0) {
+    close_fd(group_fd_);
+    return;
+  }
+  // Cache events are optional (absent on bare VMs / some PMUs): open both or
+  // neither, so refs and misses always describe the same span.
+  cache_refs_fd_ = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES, group_fd_,
+                             false, true);
+  if (cache_refs_fd_ >= 0) {
+    cache_misses_fd_ = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, group_fd_,
+                                 false, true);
+    if (cache_misses_fd_ < 0) {
+      close_fd(cache_refs_fd_);
+    }
+  }
+  // Context switches: a software counter outside the hardware group (its own
+  // fd keeps the group read layout fixed).  Kernel-side scheduling activity
+  // is the point, so try including kernel events first.
+  ctx_fd_ = perf_open(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES, -1, true, false);
+  if (ctx_fd_ < 0) {
+    ctx_fd_ = perf_open(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES, -1, true, true);
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  close_fd(ctx_fd_);
+  close_fd(cache_misses_fd_);
+  close_fd(cache_refs_fd_);
+  close_fd(instructions_fd_);
+  close_fd(group_fd_);
+}
+
+void PerfCounters::start() {
+  if (group_fd_ < 0) {
+    return;
+  }
+  ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  if (ctx_fd_ >= 0) {
+    ioctl(ctx_fd_, PERF_EVENT_IOC_RESET, 0);
+    ioctl(ctx_fd_, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+CounterSample PerfCounters::stop() {
+  CounterSample s;
+  if (group_fd_ < 0) {
+    return s;
+  }
+  ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  if (ctx_fd_ >= 0) {
+    ioctl(ctx_fd_, PERF_EVENT_IOC_DISABLE, 0);
+  }
+
+  // Group read layout (PERF_FORMAT_GROUP | TOTAL_TIME_ENABLED |
+  // TOTAL_TIME_RUNNING): nr, time_enabled, time_running, then one value per
+  // member in creation order: cycles, instructions[, cache_refs,
+  // cache_misses].
+  std::uint64_t buf[3 + 4] = {0};
+  ssize_t n = read(group_fd_, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(5 * sizeof(std::uint64_t))) {
+    return s;
+  }
+  std::uint64_t nr = buf[0];
+  std::uint64_t enabled = buf[1];
+  std::uint64_t running = buf[2];
+  if (nr < 2) {
+    return s;
+  }
+  // When the PMU was oversubscribed the group only ran part-time; scale the
+  // raw counts up by enabled/running (standard perf practice) and flag it.
+  double scale = 1.0;
+  if (running > 0 && running < enabled) {
+    scale = static_cast<double>(enabled) / static_cast<double>(running);
+    s.multiplexed = true;
+  } else if (running == 0) {
+    return s;  // never scheduled: nothing was measured
+  }
+  s.valid = true;
+  s.cycles = static_cast<double>(buf[3]) * scale;
+  s.instructions = static_cast<double>(buf[4]) * scale;
+  if (nr >= 4 && cache_refs_fd_ >= 0 && cache_misses_fd_ >= 0) {
+    s.has_cache = true;
+    s.cache_refs = static_cast<double>(buf[5]) * scale;
+    s.cache_misses = static_cast<double>(buf[6]) * scale;
+  }
+  if (ctx_fd_ >= 0) {
+    std::uint64_t ctx = 0;
+    if (read(ctx_fd_, &ctx, sizeof(ctx)) == static_cast<ssize_t>(sizeof(ctx))) {
+      s.has_ctx = true;
+      s.ctx_switches = static_cast<double>(ctx);
+    }
+  }
+  return s;
+}
+
+bool PerfCounters::supported() {
+  static const bool kSupported = [] {
+    if (counters_env_disabled()) {
+      return false;
+    }
+    PerfCounters probe;
+    return probe.available();
+  }();
+  return kSupported && !counters_env_disabled();
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters(const Config&) {}
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() {}
+CounterSample PerfCounters::stop() { return CounterSample{}; }
+bool PerfCounters::supported() { return false; }
+
+#endif  // __linux__
+
+}  // namespace lmb::obs

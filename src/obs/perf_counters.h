@@ -1,0 +1,99 @@
+// Hardware performance counters around measured intervals, nanoBench-style:
+// reading instructions/cycles/cache events next to each timed interval turns
+// "this ran slower" into "this missed cache".
+//
+// PerfCounters is an RAII wrapper over perf_event_open(2) counting this
+// thread's instructions, cycles, cache-references and cache-misses as one
+// group (single group read, so all four cover exactly the same span) plus
+// context switches as a separate software counter.  Fallback is graceful
+// and total: when the syscall is unavailable (non-Linux, seccomp ENOSYS) or
+// forbidden (perf_event_paranoid, EACCES/EPERM), every operation is a no-op
+// and stop() returns an invalid sample — callers surface that as explicit
+// nulls, never zeros.  Cache events may be individually absent (bare VMs);
+// IPC then still works and only the miss rate is null.
+#ifndef LMBENCHPP_SRC_OBS_PERF_COUNTERS_H_
+#define LMBENCHPP_SRC_OBS_PERF_COUNTERS_H_
+
+namespace lmb::obs {
+
+// One start()..stop() span's counter values.  Values are doubles because
+// multiplexed counters are scaled by time_enabled/time_running (the kernel
+// rotates groups when the PMU is oversubscribed).
+struct CounterSample {
+  bool valid = false;        // cycles + instructions were read
+  bool has_cache = false;    // cache-references/misses were read
+  bool has_ctx = false;      // context-switch counter was read
+  bool multiplexed = false;  // values were scaled (group ran part-time)
+  double cycles = 0;
+  double instructions = 0;
+  double cache_refs = 0;
+  double cache_misses = 0;
+  double ctx_switches = 0;
+};
+
+// Accumulated counter totals over every sampled interval of one
+// measurement.  The derived ratios are what flow into RunResult and the
+// JSON/CSV/compare pipeline.
+struct CounterTotals {
+  int intervals = 0;  // samples accumulated
+  bool has_cache = false;
+  bool has_ctx = false;
+  bool multiplexed = false;
+  double cycles = 0;
+  double instructions = 0;
+  double cache_refs = 0;
+  double cache_misses = 0;
+  double ctx_switches = 0;
+
+  // Folds one valid sample in (invalid samples are ignored).
+  void add(const CounterSample& s);
+
+  // Instructions per cycle; NaN when no cycles were counted.
+  double ipc() const;
+
+  // cache-misses / cache-references in [0, 1]; NaN when cache events were
+  // unavailable or nothing was referenced.
+  double cache_miss_rate() const;
+};
+
+class PerfCounters {
+ public:
+  struct Config {
+    // Forces the fallback path (as if perf_event_open returned ENOSYS) —
+    // for tests and --no-counters style opt-outs.
+    bool disabled = false;
+  };
+
+  PerfCounters() : PerfCounters(Config{}) {}
+  explicit PerfCounters(const Config& config);
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  // True when the counter group opened; false means every start()/stop()
+  // is a no-op returning invalid samples.
+  bool available() const { return group_fd_ >= 0; }
+
+  // Resets and enables the counters.  No-op when unavailable.
+  void start();
+
+  // Disables and reads the counters.  Invalid sample when unavailable.
+  CounterSample stop();
+
+  // Whether this process can open the core counter group at all (probed
+  // once and memoized).  Also false when the LMBPP_NO_COUNTERS environment
+  // variable is set — the CI/test escape hatch for restricted runners.
+  static bool supported();
+
+ private:
+  int group_fd_ = -1;  // leader: cycles
+  int instructions_fd_ = -1;
+  int cache_refs_fd_ = -1;
+  int cache_misses_fd_ = -1;
+  int ctx_fd_ = -1;  // software counter, read separately
+};
+
+}  // namespace lmb::obs
+
+#endif  // LMBENCHPP_SRC_OBS_PERF_COUNTERS_H_

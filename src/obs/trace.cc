@@ -1,0 +1,94 @@
+#include "src/obs/trace.h"
+
+namespace lmb::obs {
+
+namespace {
+
+thread_local ObsScope* g_current_scope = nullptr;
+
+// Per-thread slot for the sink-assigned thread ordinal.  A thread could in
+// principle emit into two sinks; slots are keyed by a process-unique sink id
+// (NOT the sink's address — a later sink can reuse a destroyed one's storage)
+// so ordinals stay per-sink-stable.  One live sink is the overwhelmingly
+// common case, so a single cached (sink_id, tid) pair suffices — a second
+// sink just re-registers.
+struct ThreadSlot {
+  std::uint64_t sink_id = 0;
+  int tid = 0;
+};
+thread_local ThreadSlot g_thread_slot;
+
+std::atomic<std::uint64_t> g_next_sink_id{1};
+
+}  // namespace
+
+TraceSink::TraceSink(const Clock& clock)
+    : clock_(&clock),
+      epoch_(clock.now()),
+      id_(g_next_sink_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+int TraceSink::thread_id() {
+  // Caller holds mu_.
+  if (g_thread_slot.sink_id != id_) {
+    g_thread_slot.sink_id = id_;
+    g_thread_slot.tid = ++next_tid_;
+  }
+  return g_thread_slot.tid;
+}
+
+void TraceSink::push(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.tid = thread_id();
+  events_.push_back(std::move(event));
+}
+
+void TraceSink::instant(std::string cat, std::string name, TraceArgs args) {
+  TraceEvent e;
+  e.ts = timestamp();
+  e.dur = -1;
+  e.cat = std::move(cat);
+  e.name = std::move(name);
+  if (ObsScope* scope = ObsScope::current(); scope != nullptr) {
+    e.bench = scope->bench();
+  }
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceSink::complete(std::string cat, std::string name, Nanos start_ts, TraceArgs args) {
+  TraceEvent e;
+  e.ts = start_ts;
+  e.dur = std::max<Nanos>(timestamp() - start_ts, 0);
+  e.cat = std::move(cat);
+  e.name = std::move(name);
+  if (ObsScope* scope = ObsScope::current(); scope != nullptr) {
+    e.bench = scope->bench();
+  }
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+ObsScope::ObsScope(TraceSink* sink, bool counters, std::string bench, int worker)
+    : sink_(sink),
+      counters_(counters),
+      bench_(std::move(bench)),
+      worker_(worker),
+      prev_(g_current_scope) {
+  g_current_scope = this;
+}
+
+ObsScope::~ObsScope() { g_current_scope = prev_; }
+
+ObsScope* ObsScope::current() { return g_current_scope; }
+
+}  // namespace lmb::obs

@@ -1,0 +1,120 @@
+// Timing-decision tracing: a low-overhead structured event sink the timing
+// engine and suite runner emit into, so a suspicious number can be explained
+// after the fact.
+//
+// The paper's credibility rests on its timing methodology (§3.4) — loop
+// calibration, warm-up, min-of-N — but those decisions are invisible in the
+// headline number.  A TraceSink records them as timestamped events:
+// calibration probes and the count they settled on, warm-up runs, every
+// timed repetition, early-stop and budget-exhaustion triggers, calibration-
+// cache hits/misses, and scheduler placement under --jobs.  Exporters live
+// in src/report/trace_io.h (lmbenchpp.trace.v1 JSON and Chrome trace_event
+// format, so a suite run opens in about:tracing / Perfetto).
+//
+// Overhead contract: with no sink installed every emission site is a single
+// thread-local read and branch; with a sink, one mutex-guarded push_back per
+// event (events fire per *interval*, not per benchmark-loop iteration, so
+// the measured operation itself is never perturbed — the sink is only
+// touched outside the clock-read window).
+#ifndef LMBENCHPP_SRC_OBS_TRACE_H_
+#define LMBENCHPP_SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/clock.h"
+
+namespace lmb::obs {
+
+// One structured event.  `dur < 0` marks an instant event; `dur >= 0` a
+// complete span.  Timestamps are nanoseconds since the sink's epoch (its
+// construction time), so events from every thread share one timeline.
+struct TraceEvent {
+  Nanos ts = 0;
+  Nanos dur = -1;
+  std::string cat;    // "suite", "scheduler", "calibration", "timing", "counters"
+  std::string name;
+  std::string bench;  // owning benchmark; "" for suite-level events
+  int tid = 0;        // per-OS-thread ordinal assigned by the sink (from 1)
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// Event argument list, in emission order.
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+// Thread-safe append-only event store.  Emitters stamp events with the
+// sink's clock and the current ObsScope's benchmark name; threads are
+// numbered in order of first emission (stable for one sink's lifetime).
+class TraceSink {
+ public:
+  explicit TraceSink(const Clock& clock = WallClock::instance());
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Nanoseconds since this sink's epoch; the `start_ts` for complete().
+  Nanos timestamp() const { return clock_->now() - epoch_; }
+
+  // Records an instant event at the current timestamp.
+  void instant(std::string cat, std::string name, TraceArgs args = {});
+
+  // Records a complete span from `start_ts` (a prior timestamp() read) to
+  // now.
+  void complete(std::string cat, std::string name, Nanos start_ts, TraceArgs args = {});
+
+  // Snapshot of every event recorded so far, in emission order.
+  std::vector<TraceEvent> events() const;
+
+  size_t size() const;
+
+ private:
+  void push(TraceEvent event);
+  int thread_id();
+
+  const Clock* clock_;
+  Nanos epoch_;
+  std::uint64_t id_;  // process-unique; keys per-thread ordinal slots
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  int next_tid_ = 0;
+};
+
+// RAII thread-local observation context: which benchmark is measuring, the
+// trace sink its events go to, and whether hardware counters should be
+// sampled around its timed intervals.  measure() (src/core/timing.cc)
+// consults the innermost scope on its thread — no scope means tracing and
+// counter sampling are both off, the behavior of every direct measure()
+// call outside an instrumented suite run.  Scopes nest and are strictly
+// per-thread (same discipline as CalibrationScope).
+class ObsScope {
+ public:
+  ObsScope(TraceSink* sink, bool counters, std::string bench, int worker = -1);
+  ~ObsScope();
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  // Innermost scope on the calling thread; nullptr outside any scope.
+  static ObsScope* current();
+
+  TraceSink* sink() const { return sink_; }
+  bool counters() const { return counters_; }
+  const std::string& bench() const { return bench_; }
+  int worker() const { return worker_; }
+
+ private:
+  TraceSink* sink_;
+  bool counters_;
+  std::string bench_;
+  int worker_;
+  ObsScope* prev_;
+};
+
+}  // namespace lmb::obs
+
+#endif  // LMBENCHPP_SRC_OBS_TRACE_H_

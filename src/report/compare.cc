@@ -6,6 +6,7 @@
 #include <limits>
 #include <map>
 
+#include "src/report/json.h"
 #include "src/report/table.h"
 
 namespace lmb::report {
@@ -104,6 +105,15 @@ const char* delta_class_name(DeltaClass c) {
   return "unchanged";
 }
 
+bool CompareReport::env_mismatch() const {
+  for (const obs::EnvDelta& d : env_deltas) {
+    if (d.significant) {
+      return true;
+    }
+  }
+  return false;
+}
+
 double MetricDelta::badness() const {
   if (!std::isfinite(rel_delta)) {
     // Infinite deltas (baseline was 0) sort ahead of any finite one when
@@ -126,6 +136,11 @@ CompareReport compare_batches(const ResultBatch& baseline, const ResultBatch& cu
   report.baseline_system = baseline.system;
   report.current_system = current.system;
   report.thresholds = thresholds;
+  report.baseline_has_env = baseline.environment.has_value() && !baseline.environment->empty();
+  report.current_has_env = current.environment.has_value() && !current.environment->empty();
+  if (report.baseline_has_env && report.current_has_env) {
+    report.env_deltas = obs::diff_environments(*baseline.environment, *current.environment);
+  }
 
   std::map<std::string, Entry> base = index_batch(baseline, thresholds);
   std::map<std::string, Entry> cur = index_batch(current, thresholds);
@@ -226,6 +241,31 @@ std::string render_compare_table(const CompareReport& report) {
   return table.render() + "\n" + verdict;
 }
 
+std::string render_environment_diff(const CompareReport& report) {
+  if (!report.baseline_has_env || !report.current_has_env) {
+    const char* side = !report.baseline_has_env
+                           ? (!report.current_has_env ? "neither batch" : "the baseline")
+                           : "the current batch";
+    return std::string("environment: ") + side +
+           " carries no provenance snapshot; comparability unknown\n";
+  }
+  if (report.env_deltas.empty()) {
+    return "environment: identical provenance snapshots\n";
+  }
+  std::string out = "environment: " + std::to_string(report.env_deltas.size()) +
+                    " field(s) differ between baseline and current\n";
+  for (const obs::EnvDelta& d : report.env_deltas) {
+    out += "  " + std::string(d.significant ? "[significant] " : "[info]        ") + d.field +
+           ": '" + d.baseline + "' -> '" + d.current + "'\n";
+  }
+  if (report.env_mismatch()) {
+    out +=
+        "  metric deltas above may reflect the configuration change, not a code "
+        "change\n";
+  }
+  return out;
+}
+
 std::string compare_to_json(const CompareReport& report) {
   std::string out;
   out += "{\n";
@@ -241,7 +281,22 @@ std::string compare_to_json(const CompareReport& report) {
          ", \"improved\": " + std::to_string(report.improved) +
          ", \"unchanged\": " + std::to_string(report.unchanged) +
          ", \"missing\": " + std::to_string(report.missing) +
-         ", \"gate_passed\": " + (report.has_regressions() ? "false" : "true") + "},\n";
+         ", \"gate_passed\": " + (report.has_regressions() ? "false" : "true") +
+         ", \"env_mismatch\": " + (report.env_mismatch() ? "true" : "false") + "},\n";
+  out += "  \"environment\": {\"baseline_has_env\": " +
+         std::string(report.baseline_has_env ? "true" : "false") +
+         ", \"current_has_env\": " + (report.current_has_env ? "true" : "false") +
+         ", \"deltas\": [";
+  bool first_env = true;
+  for (const obs::EnvDelta& d : report.env_deltas) {
+    out += first_env ? "\n" : ",\n";
+    first_env = false;
+    out += "    {\"field\": " + json_quote(d.field) +
+           ", \"baseline\": " + json_quote(d.baseline) +
+           ", \"current\": " + json_quote(d.current) +
+           ", \"significant\": " + (d.significant ? "true" : "false") + "}";
+  }
+  out += report.env_deltas.empty() ? "]},\n" : "\n  ]},\n";
   out += "  \"deltas\": [";
   bool first = true;
   for (const MetricDelta& d : report.deltas) {

@@ -103,7 +103,19 @@ struct CompareReport {
   int unchanged = 0;
   int missing = 0;  // either side
 
+  // Run-provenance diff between the two batches' environment blocks
+  // (src/obs/run_env.h).  Empty when both snapshots agree or when either
+  // batch carries none (the *_has_env flags say which).
+  std::vector<obs::EnvDelta> env_deltas;
+  bool baseline_has_env = false;
+  bool current_has_env = false;
+
   bool has_regressions() const { return regressed > 0; }
+
+  // True when a *significant* provenance field differs (governor, turbo,
+  // kernel, compiler, ...): the metric deltas then compare configuration as
+  // much as code.  Informational fields (hostname, loadavg) never trip this.
+  bool env_mismatch() const;
 };
 
 // Matches the batches' metrics by key and judges every delta.  Only
@@ -116,9 +128,16 @@ CompareReport compare_batches(const ResultBatch& baseline, const ResultBatch& cu
 // first, plus a one-line verdict.
 std::string render_compare_table(const CompareReport& report);
 
+// Plain-text provenance diff: one line per differing environment field
+// (significant ones flagged), or a one-liner saying the environments match
+// / which side lacks a snapshot.  Always printable — independent of
+// whether the metric gate is on.
+std::string render_environment_diff(const CompareReport& report);
+
 // JSON document (schema lmbenchpp.compare.v1) for CI artifacts:
 // schema, baseline_system, current_system, thresholds{}, summary{counts,
-// gate_passed}, deltas[].
+// gate_passed, env_mismatch}, environment{baseline_has_env,
+// current_has_env, deltas[]}, deltas[].
 std::string compare_to_json(const CompareReport& report);
 
 }  // namespace lmb::report

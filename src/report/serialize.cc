@@ -1,325 +1,19 @@
 #include "src/report/serialize.h"
 
-#include <cctype>
-#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <limits>
-#include <map>
-#include <memory>
-#include <stdexcept>
-#include <variant>
+
+#include "src/report/json.h"
 
 namespace lmb::report {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Emission helpers
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 std::string json_string(const std::string& s) { return json_quote(s); }
 
 std::string json_number(double v) { return json_double(v); }
 
-// ---------------------------------------------------------------------------
-// Minimal JSON parser (only what from_json needs: the subset to_json emits,
-// which is also plain standard JSON).
-
-struct JsonValue;
-using JsonArray = std::vector<JsonValue>;
-using JsonObject = std::map<std::string, JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> v =
-      nullptr;
-
-  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
-  const JsonObject& object() const {
-    if (!std::holds_alternative<JsonObject>(v)) {
-      throw std::invalid_argument("json: expected object");
-    }
-    return std::get<JsonObject>(v);
-  }
-  const JsonArray& array() const {
-    if (!std::holds_alternative<JsonArray>(v)) {
-      throw std::invalid_argument("json: expected array");
-    }
-    return std::get<JsonArray>(v);
-  }
-  const std::string& str() const {
-    if (!std::holds_alternative<std::string>(v)) {
-      throw std::invalid_argument("json: expected string");
-    }
-    return std::get<std::string>(v);
-  }
-  double number() const {
-    if (!std::holds_alternative<double>(v)) {
-      throw std::invalid_argument("json: expected number");
-    }
-    return std::get<double>(v);
-  }
-  bool boolean() const {
-    if (!std::holds_alternative<bool>(v)) {
-      throw std::invalid_argument("json: expected boolean");
-    }
-    return std::get<bool>(v);
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue value = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) {
-      fail("trailing characters");
-    }
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::invalid_argument("json parse error at offset " + std::to_string(pos_) + ": " +
-                                why);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) {
-      fail("unexpected end of input");
-    }
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      fail(std::string("expected '") + c + "'");
-    }
-    ++pos_;
-  }
-
-  bool consume_literal(const char* lit) {
-    size_t n = std::strlen(lit);
-    if (text_.compare(pos_, n, lit) == 0) {
-      pos_ += n;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') return JsonValue{parse_string()};
-    if (consume_literal("null")) return JsonValue{nullptr};
-    if (consume_literal("true")) return JsonValue{true};
-    if (consume_literal("false")) return JsonValue{false};
-    return parse_number();
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonObject obj;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return JsonValue{std::move(obj)};
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      obj[std::move(key)] = parse_value();
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return JsonValue{std::move(obj)};
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonArray arr;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return JsonValue{std::move(arr)};
-    }
-    for (;;) {
-      arr.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return JsonValue{std::move(arr)};
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) {
-        fail("unterminated string");
-      }
-      char c = text_[pos_++];
-      if (c == '"') {
-        return out;
-      }
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) {
-        fail("unterminated escape");
-      }
-      char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            fail("truncated \\u escape");
-          }
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
-          }
-          // Emitters here only produce \u for control characters; encode
-          // the BMP code point as UTF-8 for generality.
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            out += static_cast<char>(0xE0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          }
-          break;
-        }
-        default:
-          fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
-            text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      fail("expected value");
-    }
-    // from_chars, not stod: locale-independent, and the token scan above
-    // already excludes textual forms like "inf"/"nan".
-    double value = 0.0;
-    auto res = std::from_chars(text_.data() + start, text_.data() + pos_, value);
-    if (res.ec != std::errc() || res.ptr != text_.data() + pos_) {
-      fail("bad number");
-    }
-    return JsonValue{value};
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-const JsonValue* find(const JsonObject& obj, const std::string& key) {
-  auto it = obj.find(key);
-  return it == obj.end() ? nullptr : &it->second;
-}
-
-// Inverse of json_double's non-finite handling: a JSON null in a numeric
-// position parses back as NaN, preserving round trips for values the
-// format itself cannot carry.
-double number_or_nan(const JsonValue& v) {
-  return v.is_null() ? std::numeric_limits<double>::quiet_NaN() : v.number();
-}
-
 }  // namespace
-
-std::string json_quote(const std::string& s) { return "\"" + json_escape(s) + "\""; }
-
-// Shortest round-trippable representation (std::to_chars is exact and
-// locale-independent — snprintf %g honors LC_NUMERIC and can emit a ','
-// decimal separator, which is invalid JSON).  JSON has no NaN/Inf, so those
-// become null (another "explicitly missing", never 0).
-std::string json_double(double v) {
-  if (!std::isfinite(v)) {
-    return "null";
-  }
-  char buf[64];
-  auto res = std::to_chars(buf, buf + sizeof(buf), v);
-  return std::string(buf, res.ptr);
-}
 
 // ---------------------------------------------------------------------------
 // JSON emission
@@ -329,6 +23,23 @@ std::string to_json(const ResultBatch& batch) {
   out += "{\n";
   out += "  \"schema\": " + json_string(kResultSchema) + ",\n";
   out += "  \"system\": " + json_string(batch.system) + ",\n";
+  if (batch.environment.has_value() && !batch.environment->empty()) {
+    out += "  \"environment\": {\n";
+    for (const obs::EnvField& f : obs::environment_fields(*batch.environment)) {
+      out += "    " + json_string(f.name) + ": " + json_string(f.value) + ",\n";
+    }
+    out += "    \"warnings\": [";
+    bool first_warning = true;
+    for (const std::string& w : batch.environment->warnings) {
+      out += first_warning ? "" : ", ";
+      first_warning = false;
+      out += json_string(w);
+    }
+    out += "]\n";
+    out += "  },\n";
+  } else {
+    out += "  \"environment\": null,\n";
+  }
   if (batch.timing.has_value()) {
     const SuiteTiming& t = *batch.timing;
     out += "  \"timing\": {\n";
@@ -386,7 +97,31 @@ std::string to_json(const ResultBatch& batch) {
       out += "        \"clock_overhead_ns\": " + std::to_string(m.clock_overhead_ns) + ",\n";
       out += std::string("        \"converged\": ") + (m.converged ? "true" : "false") + ",\n";
       out += std::string("        \"calibration_cached\": ") +
-             (m.calibration_cached ? "true" : "false") + "\n";
+             (m.calibration_cached ? "true" : "false") + ",\n";
+      // Counter-derived ratios are ALWAYS present per measurement: null —
+      // never 0 — when sampling was off or perf_event_open unavailable.
+      const obs::CounterTotals* ct =
+          m.counters.has_value() ? &*m.counters : nullptr;
+      out += "        \"ipc\": " + (ct != nullptr ? json_number(ct->ipc()) : "null") + ",\n";
+      out += "        \"cache_miss_rate\": " +
+             (ct != nullptr ? json_number(ct->cache_miss_rate()) : "null") + ",\n";
+      if (ct != nullptr) {
+        out += "        \"counters\": {\n";
+        out += "          \"intervals\": " + std::to_string(ct->intervals) + ",\n";
+        out += "          \"cycles\": " + json_number(ct->cycles) + ",\n";
+        out += "          \"instructions\": " + json_number(ct->instructions) + ",\n";
+        out += "          \"cache_refs\": " +
+               (ct->has_cache ? json_number(ct->cache_refs) : "null") + ",\n";
+        out += "          \"cache_misses\": " +
+               (ct->has_cache ? json_number(ct->cache_misses) : "null") + ",\n";
+        out += "          \"ctx_switches\": " +
+               (ct->has_ctx ? json_number(ct->ctx_switches) : "null") + ",\n";
+        out += std::string("          \"multiplexed\": ") +
+               (ct->multiplexed ? "true" : "false") + "\n";
+        out += "        }\n";
+      } else {
+        out += "        \"counters\": null\n";
+      }
       out += "      },\n";
     } else {
       out += "      \"measurement\": null,\n";
@@ -408,7 +143,7 @@ std::string to_json(const ResultBatch& batch) {
 }
 
 ResultBatch from_json(const std::string& text) {
-  JsonValue root = JsonParser(text).parse();
+  JsonValue root = parse_json(text);
   const JsonObject& doc = root.object();
 
   const JsonValue* schema = find(doc, "schema");
@@ -420,6 +155,19 @@ ResultBatch from_json(const std::string& text) {
   ResultBatch batch;
   if (const JsonValue* system = find(doc, "system"); system != nullptr && !system->is_null()) {
     batch.system = system->str();
+  }
+  if (const JsonValue* env = find(doc, "environment"); env != nullptr && !env->is_null()) {
+    obs::RunEnvironment e;
+    for (const auto& [key, value] : env->object()) {
+      if (key == "warnings") {
+        for (const JsonValue& w : value.array()) {
+          e.warnings.push_back(w.str());
+        }
+      } else if (!value.is_null()) {
+        obs::set_environment_field(e, key, value.str());
+      }
+    }
+    batch.environment = std::move(e);
   }
   if (const JsonValue* timing = find(doc, "timing"); timing != nullptr && !timing->is_null()) {
     const JsonObject& to = timing->object();
@@ -488,6 +236,32 @@ ResultBatch from_json(const std::string& text) {
       if (const JsonValue* f = find(mo, "converged")) m.converged = f->boolean();
       if (const JsonValue* f = find(mo, "calibration_cached")) {
         m.calibration_cached = f->boolean();
+      }
+      if (const JsonValue* f = find(mo, "counters"); f != nullptr && !f->is_null()) {
+        const JsonObject& co = f->object();
+        obs::CounterTotals ct;
+        if (const JsonValue* g = find(co, "intervals")) {
+          ct.intervals = static_cast<int>(g->number());
+        }
+        if (const JsonValue* g = find(co, "cycles")) ct.cycles = number_or_nan(*g);
+        if (const JsonValue* g = find(co, "instructions")) {
+          ct.instructions = number_or_nan(*g);
+        }
+        // Null cache/ctx cells mean those counters never opened; the flags
+        // record that so re-serialization emits nulls again, not zeros.
+        if (const JsonValue* g = find(co, "cache_refs"); g != nullptr && !g->is_null()) {
+          ct.cache_refs = g->number();
+          ct.has_cache = true;
+        }
+        if (const JsonValue* g = find(co, "cache_misses"); g != nullptr && !g->is_null()) {
+          ct.cache_misses = g->number();
+        }
+        if (const JsonValue* g = find(co, "ctx_switches"); g != nullptr && !g->is_null()) {
+          ct.ctx_switches = g->number();
+          ct.has_ctx = true;
+        }
+        if (const JsonValue* g = find(co, "multiplexed")) ct.multiplexed = g->boolean();
+        m.counters = ct;
       }
       r.measurement = m;
     }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/core/run_result.h"
+#include "src/obs/run_env.h"
 
 namespace lmb::report {
 
@@ -33,18 +34,29 @@ struct ResultBatch {
   // Suite-level timing block; absent for batches not produced by a full
   // suite run (serializes as JSON null).
   std::optional<SuiteTiming> timing;
+  // Run-provenance snapshot (src/obs/run_env.h) captured when the batch
+  // ran; absent for batches from producers that never captured one
+  // (serializes as JSON null).  lmbench_compare diffs this block between
+  // baseline and current so a config change is never mistaken for a code
+  // change.
+  std::optional<obs::RunEnvironment> environment;
 };
 
 // Schema identifier embedded in every JSON document.
 inline constexpr const char* kResultSchema = "lmbenchpp.results.v1";
 
 // Pretty-printed JSON document (2-space indent, trailing newline).
-// Field names are stable: schema, system, timing (total_wall_ms, jobs,
-// cal_cache, cal_hits, cal_misses — null when absent), results[], and per
-// result name, category, status, error, wall_ms, display, metrics[] (key,
-// value, unit), measurement (ns_per_op, mean_ns_per_op, median_ns_per_op,
-// max_ns_per_op, stddev_ns_per_op, samples[], iterations, repetitions,
-// clock_overhead_ns, converged, calibration_cached), metadata{}.
+// Field names are stable: schema, system, environment ({fields...,
+// warnings[]} — null when absent), timing (total_wall_ms, jobs, cal_cache,
+// cal_hits, cal_misses — null when absent), results[], and per result name,
+// category, status, error, wall_ms, display, metrics[] (key, value, unit),
+// measurement (ns_per_op, mean_ns_per_op, median_ns_per_op, max_ns_per_op,
+// stddev_ns_per_op, samples[], iterations, repetitions, clock_overhead_ns,
+// converged, calibration_cached, ipc, cache_miss_rate, counters), metadata{}.
+// Every measurement carries ipc and cache_miss_rate keys; they are null —
+// never 0 — when hardware counters were off or unavailable, and the counters
+// object (intervals, cycles, instructions, cache_refs, cache_misses,
+// ctx_switches, multiplexed) is null as a whole in that case.
 //
 // Numbers are emitted with std::to_chars (shortest round-trippable form,
 // locale-independent).  JSON has no NaN/Inf: non-finite doubles serialize
@@ -62,14 +74,8 @@ ResultBatch from_json(const std::string& text);
 std::string to_csv(const std::vector<RunResult>& results,
                    const SuiteTiming* timing = nullptr);
 
-// Low-level JSON token helpers shared by this module's emitters (compare.cc
-// reuses them so delta reports format numbers identically).
-//
-// json_quote: escaped and double-quoted JSON string literal.
-// json_double: shortest round-trippable decimal form via std::to_chars
-// (locale-independent); "null" for NaN/Inf.
-std::string json_quote(const std::string& s);
-std::string json_double(double v);
+// The low-level JSON helpers (json_quote, json_double, the parser) live in
+// src/report/json.h, shared by every reader/writer in this module.
 
 }  // namespace lmb::report
 

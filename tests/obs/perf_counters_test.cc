@@ -1,0 +1,148 @@
+#include "src/obs/perf_counters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+#include "src/core/timing.h"
+#include "src/obs/trace.h"
+
+namespace lmb {
+namespace {
+
+// Forced fallback (Config{disabled} behaves exactly like perf_event_open
+// returning ENOSYS): every operation is a no-op and results are invalid,
+// never zero-valued "measurements".
+TEST(PerfCountersTest, DisabledConfigIsAFullNoOp) {
+  obs::PerfCounters pc(obs::PerfCounters::Config{/*disabled=*/true});
+  EXPECT_FALSE(pc.available());
+  pc.start();  // must not crash
+  obs::CounterSample s = pc.stop();
+  EXPECT_FALSE(s.valid);
+  EXPECT_FALSE(s.has_cache);
+  EXPECT_FALSE(s.has_ctx);
+}
+
+TEST(PerfCountersTest, EnvVarForcesUnsupported) {
+  ASSERT_EQ(setenv("LMBPP_NO_COUNTERS", "1", 1), 0);
+  EXPECT_FALSE(obs::PerfCounters::supported());
+  obs::PerfCounters pc;
+  EXPECT_FALSE(pc.available());
+  ASSERT_EQ(unsetenv("LMBPP_NO_COUNTERS"), 0);
+}
+
+TEST(PerfCountersTest, StartStopWhenAvailableYieldsPlausibleCounts) {
+  obs::PerfCounters pc;
+  if (!pc.available()) {
+    GTEST_SKIP() << "perf_event_open unavailable here (fallback path covered above)";
+  }
+  pc.start();
+  volatile std::uint64_t acc = 0;
+  for (int i = 0; i < 100000; ++i) {
+    acc = acc + static_cast<std::uint64_t>(i);
+  }
+  obs::CounterSample s = pc.stop();
+  ASSERT_TRUE(s.valid);
+  // 100k additions retire at least 100k instructions.
+  EXPECT_GT(s.instructions, 1e5);
+  EXPECT_GT(s.cycles, 0.0);
+}
+
+TEST(CounterTotalsTest, AddIgnoresInvalidSamples) {
+  obs::CounterTotals t;
+  t.add(obs::CounterSample{});  // invalid
+  EXPECT_EQ(t.intervals, 0);
+
+  obs::CounterSample s;
+  s.valid = true;
+  s.cycles = 100;
+  s.instructions = 200;
+  t.add(s);
+  t.add(s);
+  EXPECT_EQ(t.intervals, 2);
+  EXPECT_DOUBLE_EQ(t.cycles, 200.0);
+  EXPECT_DOUBLE_EQ(t.instructions, 400.0);
+  EXPECT_DOUBLE_EQ(t.ipc(), 2.0);
+}
+
+TEST(CounterTotalsTest, RatiosAreNanNotZeroWhenUnavailable) {
+  obs::CounterTotals t;
+  EXPECT_TRUE(std::isnan(t.ipc()));
+  EXPECT_TRUE(std::isnan(t.cache_miss_rate()));
+
+  obs::CounterSample s;
+  s.valid = true;
+  s.cycles = 100;
+  s.instructions = 150;
+  t.add(s);  // no cache events in the sample
+  EXPECT_FALSE(std::isnan(t.ipc()));
+  EXPECT_TRUE(std::isnan(t.cache_miss_rate()));
+}
+
+TEST(CounterTotalsTest, CacheMissRateFromCacheEvents) {
+  obs::CounterTotals t;
+  obs::CounterSample s;
+  s.valid = true;
+  s.has_cache = true;
+  s.cycles = 100;
+  s.instructions = 100;
+  s.cache_refs = 1000;
+  s.cache_misses = 250;
+  t.add(s);
+  EXPECT_TRUE(t.has_cache);
+  EXPECT_DOUBLE_EQ(t.cache_miss_rate(), 0.25);
+}
+
+TEST(CounterTotalsTest, MultiplexFlagIsSticky) {
+  obs::CounterTotals t;
+  obs::CounterSample a;
+  a.valid = true;
+  a.cycles = 1;
+  a.instructions = 1;
+  t.add(a);
+  EXPECT_FALSE(t.multiplexed);
+  a.multiplexed = true;
+  t.add(a);
+  EXPECT_TRUE(t.multiplexed);
+}
+
+// The timing-engine integration both ways: with counters requested,
+// Measurement::counters is set exactly when the hardware is reachable —
+// and stays nullopt (not zeros) when it is not.
+TEST(MeasureCountersTest, MeasurementCarriesCountersIffAvailable) {
+  obs::TraceSink sink;
+  Measurement m;
+  {
+    obs::ObsScope scope(&sink, /*counters=*/true, "counted_bench");
+    volatile int x = 0;
+    m = measure([&](std::uint64_t n) {
+      for (std::uint64_t i = 0; i < n; ++i) x = x + 1;
+    }, TimingPolicy::quick());
+  }
+  if (obs::PerfCounters::supported()) {
+    ASSERT_TRUE(m.counters.has_value());
+    EXPECT_GT(m.counters->intervals, 0);
+    EXPECT_GT(m.counters->instructions, 0.0);
+    EXPECT_FALSE(std::isnan(m.counters->ipc()));
+  } else {
+    EXPECT_FALSE(m.counters.has_value());
+  }
+}
+
+TEST(MeasureCountersTest, CountersOffMeansNoTotals) {
+  obs::TraceSink sink;
+  Measurement m;
+  {
+    obs::ObsScope scope(&sink, /*counters=*/false, "uncounted_bench");
+    volatile int x = 0;
+    m = measure([&](std::uint64_t n) {
+      for (std::uint64_t i = 0; i < n; ++i) x = x + 1;
+    }, TimingPolicy::quick());
+  }
+  EXPECT_FALSE(m.counters.has_value());
+}
+
+}  // namespace
+}  // namespace lmb

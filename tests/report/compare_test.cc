@@ -7,6 +7,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/report/serialize.h"
+
 namespace lmb::report {
 namespace {
 
@@ -276,6 +278,105 @@ TEST(CompareTest, DegradedBatchFlaggedAfterSerializeRoundTrip) {
   CompareReport cmp = compare_batches(base, degraded);
   EXPECT_EQ(cmp.regressed, 2);
   EXPECT_TRUE(cmp.has_regressions());
+}
+
+obs::RunEnvironment quiet_env() {
+  obs::RunEnvironment env;
+  env.hostname = "host-a";
+  env.kernel = "6.1.0";
+  env.governor = "performance";
+  env.turbo = "off";
+  env.loadavg1 = "0.10";
+  return env;
+}
+
+TEST(CompareEnvTest, IdenticalProvenanceIsNotAMismatch) {
+  ResultBatch base = batch({make_result("lat_pipe", "us", 100.0, "us")});
+  base.environment = quiet_env();
+  ResultBatch cur = base;
+  cur.environment->hostname = "host-b";  // informational only
+  cur.environment->loadavg1 = "0.90";    // informational only
+
+  CompareReport cmp = compare_batches(base, cur);
+  EXPECT_TRUE(cmp.baseline_has_env);
+  EXPECT_TRUE(cmp.current_has_env);
+  EXPECT_EQ(cmp.env_deltas.size(), 2u);
+  EXPECT_FALSE(cmp.env_mismatch());  // no significant field changed
+
+  std::string diff = render_environment_diff(cmp);
+  EXPECT_NE(diff.find("hostname"), std::string::npos);
+  EXPECT_NE(diff.find("[info]"), std::string::npos);
+  EXPECT_EQ(diff.find("[significant]"), std::string::npos) << diff;
+}
+
+TEST(CompareEnvTest, SignificantFieldChangeFlagsMismatch) {
+  ResultBatch base = batch({make_result("lat_pipe", "us", 100.0, "us")});
+  base.environment = quiet_env();
+  ResultBatch cur = base;
+  cur.environment->governor = "powersave";
+  cur.environment->kernel = "6.5.0";
+
+  CompareReport cmp = compare_batches(base, cur);
+  EXPECT_TRUE(cmp.env_mismatch());
+  // Metric-level verdicts are untouched by provenance drift.
+  EXPECT_FALSE(cmp.has_regressions());
+
+  std::string diff = render_environment_diff(cmp);
+  EXPECT_NE(diff.find("[significant] governor: 'performance' -> 'powersave'"),
+            std::string::npos)
+      << diff;
+  EXPECT_NE(diff.find("[significant] kernel: '6.1.0' -> '6.5.0'"), std::string::npos);
+}
+
+TEST(CompareEnvTest, MissingSnapshotsAreReportedNotInvented) {
+  ResultBatch base = batch({make_result("lat_pipe", "us", 100.0, "us")});
+  ResultBatch cur = base;
+  cur.environment = quiet_env();
+
+  CompareReport cmp = compare_batches(base, cur);
+  EXPECT_FALSE(cmp.baseline_has_env);
+  EXPECT_TRUE(cmp.current_has_env);
+  EXPECT_TRUE(cmp.env_deltas.empty());  // nothing to diff against
+  EXPECT_FALSE(cmp.env_mismatch());
+  std::string diff = render_environment_diff(cmp);
+  EXPECT_NE(diff.find("no provenance snapshot"), std::string::npos) << diff;
+
+  // Neither side carries one: also not a mismatch.
+  CompareReport bare = compare_batches(base, base);
+  EXPECT_FALSE(bare.env_mismatch());
+}
+
+TEST(CompareEnvTest, JsonArtifactCarriesEnvironmentSection) {
+  ResultBatch base = batch({make_result("lat_pipe", "us", 100.0, "us")});
+  base.environment = quiet_env();
+  ResultBatch cur = base;
+  cur.environment->governor = "powersave";
+
+  std::string json = compare_to_json(compare_batches(base, cur));
+  EXPECT_NE(json.find("\"env_mismatch\": true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"baseline_has_env\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"current_has_env\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"field\": \"governor\""), std::string::npos);
+  EXPECT_NE(json.find("\"significant\": true"), std::string::npos);
+
+  json = compare_to_json(compare_batches(base, base));
+  EXPECT_NE(json.find("\"env_mismatch\": false"), std::string::npos);
+}
+
+TEST(CompareEnvTest, EnvironmentSurvivesSerializeRoundTripIntoCompare) {
+  ResultBatch base = batch({make_result("lat_pipe", "us", 100.0, "us")});
+  base.environment = quiet_env();
+  ResultBatch cur = from_json(to_json(base));
+  ASSERT_TRUE(cur.environment.has_value());
+  cur.environment->turbo = "on";
+
+  CompareReport cmp = compare_batches(base, cur);
+  EXPECT_TRUE(cmp.env_mismatch());
+  ASSERT_EQ(cmp.env_deltas.size(), 1u);
+  EXPECT_EQ(cmp.env_deltas[0].field, "turbo");
+  EXPECT_EQ(cmp.env_deltas[0].baseline, "off");
+  EXPECT_EQ(cmp.env_deltas[0].current, "on");
+  EXPECT_TRUE(cmp.env_deltas[0].significant);
 }
 
 }  // namespace

@@ -375,6 +375,133 @@ TEST(SerializeCsvTest, MetricKeyAndUnitWithSeparatorsRoundTrip) {
   EXPECT_EQ(rows[1][6], "MB/s, approx");
 }
 
+TEST(SerializeJsonTest, CounterTotalsRoundTripAndDeriveRatios) {
+  RunResult r;
+  r.name = "lat_counted";
+  r.category = "latency";
+  r.add("us", 1.0, "us");
+  Measurement m;
+  m.ns_per_op = 1000.0;
+  m.iterations = 100;
+  m.repetitions = 3;
+  obs::CounterTotals totals;
+  totals.intervals = 3;
+  totals.cycles = 4000.0;
+  totals.instructions = 8000.0;
+  totals.has_cache = true;
+  totals.cache_refs = 1000.0;
+  totals.cache_misses = 100.0;
+  totals.has_ctx = true;
+  totals.ctx_switches = 2.0;
+  totals.multiplexed = true;
+  m.counters = totals;
+  r.measurement = m;
+
+  std::string json = to_json(ResultBatch{"host", {r}, {}});
+  // Derived ratios are first-class fields next to the raw totals.
+  EXPECT_NE(json.find("\"ipc\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_miss_rate\": 0.1"), std::string::npos) << json;
+
+  ResultBatch parsed = from_json(json);
+  ASSERT_EQ(parsed.results.size(), 1u);
+  ASSERT_TRUE(parsed.results[0].measurement.has_value());
+  ASSERT_TRUE(parsed.results[0].measurement->counters.has_value());
+  const obs::CounterTotals& out = *parsed.results[0].measurement->counters;
+  EXPECT_EQ(out.intervals, 3);
+  EXPECT_DOUBLE_EQ(out.cycles, 4000.0);
+  EXPECT_DOUBLE_EQ(out.instructions, 8000.0);
+  EXPECT_TRUE(out.has_cache);
+  EXPECT_DOUBLE_EQ(out.cache_refs, 1000.0);
+  EXPECT_DOUBLE_EQ(out.cache_misses, 100.0);
+  EXPECT_TRUE(out.has_ctx);
+  EXPECT_DOUBLE_EQ(out.ctx_switches, 2.0);
+  EXPECT_TRUE(out.multiplexed);
+  EXPECT_DOUBLE_EQ(out.ipc(), 2.0);
+  EXPECT_DOUBLE_EQ(out.cache_miss_rate(), 0.1);
+}
+
+TEST(SerializeJsonTest, AbsentCountersAreExplicitNullsNotZeros) {
+  RunResult r;
+  r.name = "lat_uncounted";
+  r.category = "latency";
+  Measurement m;
+  m.ns_per_op = 1000.0;
+  m.repetitions = 1;
+  r.measurement = m;  // no counters captured
+
+  std::string json = to_json(ResultBatch{"host", {r}, {}});
+  EXPECT_NE(json.find("\"ipc\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_miss_rate\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\": null"), std::string::npos);
+
+  ResultBatch parsed = from_json(json);
+  ASSERT_TRUE(parsed.results[0].measurement.has_value());
+  EXPECT_FALSE(parsed.results[0].measurement->counters.has_value());
+}
+
+TEST(SerializeJsonTest, PartialCountersKeepPerEventNulls) {
+  // Bare-VM case: IPC works, cache and ctx events were unavailable.
+  RunResult r;
+  r.name = "lat_partial";
+  r.category = "latency";
+  Measurement m;
+  m.ns_per_op = 1.0;
+  m.repetitions = 1;
+  obs::CounterTotals totals;
+  totals.intervals = 1;
+  totals.cycles = 100.0;
+  totals.instructions = 150.0;
+  m.counters = totals;
+  r.measurement = m;
+
+  std::string json = to_json(ResultBatch{"host", {r}, {}});
+  EXPECT_NE(json.find("\"cache_refs\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_misses\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"ctx_switches\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_miss_rate\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"ipc\": 1.5"), std::string::npos);
+
+  ResultBatch parsed = from_json(json);
+  ASSERT_TRUE(parsed.results[0].measurement->counters.has_value());
+  const obs::CounterTotals& out = *parsed.results[0].measurement->counters;
+  EXPECT_FALSE(out.has_cache);
+  EXPECT_FALSE(out.has_ctx);
+  EXPECT_TRUE(std::isnan(out.cache_miss_rate()));
+  // Re-serializing the parsed batch must still emit nulls, not zeros.
+  std::string again = to_json(ResultBatch{"host", parsed.results, {}});
+  EXPECT_NE(again.find("\"cache_refs\": null"), std::string::npos);
+}
+
+TEST(SerializeJsonTest, EnvironmentRoundTripsAndAbsenceIsNull) {
+  obs::RunEnvironment env;
+  env.hostname = "bench-01";
+  env.kernel = "6.1.0-test";
+  env.governor = "performance";
+  env.turbo = "off";
+  env.compiler = "gcc 12.2.0";
+  env.warnings = {"cpu governor is 'powersave'"};
+
+  ResultBatch batch{"host", sample_batch(), {}, env};
+  std::string json = to_json(batch);
+  EXPECT_NE(json.find("\"environment\""), std::string::npos);
+  EXPECT_NE(json.find("\"governor\": \"performance\""), std::string::npos);
+
+  ResultBatch parsed = from_json(json);
+  ASSERT_TRUE(parsed.environment.has_value());
+  EXPECT_EQ(parsed.environment->hostname, "bench-01");
+  EXPECT_EQ(parsed.environment->kernel, "6.1.0-test");
+  EXPECT_EQ(parsed.environment->governor, "performance");
+  EXPECT_EQ(parsed.environment->turbo, "off");
+  EXPECT_EQ(parsed.environment->compiler, "gcc 12.2.0");
+  ASSERT_EQ(parsed.environment->warnings.size(), 1u);
+  EXPECT_EQ(parsed.environment->warnings[0], "cpu governor is 'powersave'");
+
+  // A batch without a snapshot (older producer) carries an explicit null.
+  std::string bare = to_json(ResultBatch{"host", sample_batch(), {}});
+  EXPECT_NE(bare.find("\"environment\": null"), std::string::npos);
+  EXPECT_FALSE(from_json(bare).environment.has_value());
+}
+
 TEST(SerializeCsvTest, NonFiniteValuesAreBlankCellsNotText) {
   RunResult r;
   r.name = "odd";
