@@ -1,0 +1,194 @@
+// lmbench_client: command-line client for the lmbenchd daemon.
+//
+//   ./build/examples/lmbench_client <op> [client flags] [suite flags...]
+//
+// Ops:
+//   submit    run a suite through the daemon; every flag that run_suite
+//             accepts is forwarded verbatim (e.g. `submit --quick
+//             --only=lat_syscall`).  Progress streams live; the run's
+//             results land in the daemon's trend store.
+//   status    one-line daemon state (queue depth, running benchmark)
+//   results   print the newest completed run's results JSON
+//   trend     print the daemon's trend table (accepts --bench=, --metric=)
+//   shutdown  stop the daemon (the current job finishes first)
+//
+// Client flags (stripped before forwarding):
+//   --socket=PATH          daemon socket (default lmbenchd.sock)
+//   --connect-timeout=MS   connect deadline in milliseconds (default 2000)
+//   --json=PATH            submit: write the returned results document here
+//   --quiet                submit: suppress per-benchmark progress lines
+//
+// Exit codes: the suite's own exit code after `submit` (0 ok, 1 failures,
+// 2 usage, 3 gate), 2 on usage/protocol errors, 5 when the daemon cannot
+// be reached (connection refused, missing socket, connect timeout).
+#include <cstdio>
+#include <string>
+
+#include "src/core/options.h"
+#include "src/report/json.h"
+#include "src/svc/client.h"
+#include "src/sys/error.h"
+#include "src/sys/fdio.h"
+
+namespace {
+
+using lmb::report::JsonObject;
+using lmb::report::JsonValue;
+using lmb::report::find;
+
+const JsonValue* expect_ok(const JsonValue& response) {
+  const JsonObject& obj = response.object();
+  const JsonValue* error = find(obj, "error");
+  if (error != nullptr) {
+    std::fprintf(stderr, "lmbench_client: daemon error: %s\n", error->str().c_str());
+    return nullptr;
+  }
+  return &response;
+}
+
+int do_submit(lmb::svc::Client& client, const lmb::Options& opts) {
+  // Forward every flag except the client's own to the daemon.
+  std::map<std::string, std::string> args;
+  for (const auto& [key, value] : opts.entries()) {
+    if (key == "socket" || key == "connect-timeout" || key == "json" || key == "quiet") {
+      continue;
+    }
+    args[key] = value;
+  }
+  const bool quiet = opts.get_bool("quiet");
+
+  JsonValue done = client.submit(args, [&](const JsonValue& frame) {
+    const JsonObject& obj = frame.object();
+    const JsonValue* event = find(obj, "event");
+    if (event == nullptr) {
+      return;
+    }
+    const std::string& kind = event->str();
+    if (kind == "queued") {
+      const JsonValue* position = find(obj, "position");
+      if (position != nullptr && position->number() > 0) {
+        std::printf("queued behind %d job(s)\n", static_cast<int>(position->number()));
+        std::fflush(stdout);
+      }
+    } else if (kind == "suite_start") {
+      const JsonValue* system = find(obj, "system");
+      const JsonValue* total = find(obj, "total");
+      std::printf("running %d benchmark(s) on %s\n",
+                  total != nullptr ? static_cast<int>(total->number()) : 0,
+                  system != nullptr ? system->str().c_str() : "?");
+      std::fflush(stdout);
+    } else if (kind == "bench_finish" && !quiet) {
+      const JsonValue* name = find(obj, "name");
+      const JsonValue* summary = find(obj, "summary");
+      std::printf("%-16s %s\n", name != nullptr ? name->str().c_str() : "?",
+                  summary != nullptr ? summary->str().c_str() : "");
+      std::fflush(stdout);
+    }
+  });
+
+  const JsonObject& obj = done.object();
+  if (const JsonValue* error = find(obj, "error")) {
+    std::fprintf(stderr, "lmbench_client: daemon error: %s\n", error->str().c_str());
+    const JsonValue* code = find(obj, "exit_code");
+    return code != nullptr ? static_cast<int>(code->number()) : 2;
+  }
+  const JsonValue* metrics = find(obj, "metrics");
+  const JsonValue* failed = find(obj, "failed");
+  const JsonValue* wall = find(obj, "wall_ms");
+  std::printf("done: %d metrics, %d failures in %.1f s\n",
+              metrics != nullptr ? static_cast<int>(metrics->number()) : 0,
+              failed != nullptr ? static_cast<int>(failed->number()) : 0,
+              (wall != nullptr ? wall->number() : 0.0) / 1e3);
+
+  std::string json_path = opts.get_string("json", "");
+  if (!json_path.empty()) {
+    const JsonValue* results = find(obj, "results");
+    if (results != nullptr && !results->is_null()) {
+      lmb::sys::write_file(json_path, lmb::report::to_text(*results) + "\n");
+      std::printf("wrote results to %s\n", json_path.c_str());
+    }
+  }
+  const JsonValue* code = find(obj, "exit_code");
+  return code != nullptr ? static_cast<int>(code->number()) : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  lmb::Options opts = lmb::Options::parse(argc, argv);
+  if (opts.positionals().empty()) {
+    std::fprintf(stderr,
+                 "usage: lmbench_client <submit|status|results|trend|shutdown> "
+                 "[--socket=PATH] [--connect-timeout=MS] [suite flags...]\n");
+    return 2;
+  }
+  const std::string op = opts.positionals().front();
+  lmb::svc::Client client(opts.get_string("socket", "lmbenchd.sock"),
+                          static_cast<int>(opts.get_int("connect-timeout", 2000)));
+
+  try {
+    if (op == "submit") {
+      return do_submit(client, opts);
+    }
+    if (op == "status") {
+      JsonValue response = client.status();
+      if (expect_ok(response) == nullptr) {
+        return 2;
+      }
+      const JsonObject& obj = response.object();
+      std::printf("state=%s running=%s queued=%d completed=%d socket=%s\n",
+                  find(obj, "state")->str().c_str(), find(obj, "running")->str().c_str(),
+                  static_cast<int>(find(obj, "queued")->number()),
+                  static_cast<int>(find(obj, "completed")->number()),
+                  find(obj, "socket")->str().c_str());
+      return 0;
+    }
+    if (op == "results") {
+      JsonValue response = client.results();
+      if (expect_ok(response) == nullptr) {
+        return 2;
+      }
+      const JsonValue* results = find(response.object(), "results");
+      if (results == nullptr || results->is_null()) {
+        std::fprintf(stderr, "lmbench_client: no completed runs yet\n");
+        return 1;
+      }
+      std::printf("%s\n", lmb::report::to_text(*results).c_str());
+      return 0;
+    }
+    if (op == "trend") {
+      JsonValue response = client.trend(opts.get_string("host", ""),
+                                        opts.get_string("bench", ""),
+                                        opts.get_string("metric", ""));
+      if (expect_ok(response) == nullptr) {
+        return 2;
+      }
+      const JsonObject& obj = response.object();
+      std::printf("%s", find(obj, "table")->str().c_str());
+      std::string json_path = opts.get_string("json", "");
+      if (!json_path.empty()) {
+        lmb::sys::write_file(json_path, lmb::report::to_text(*find(obj, "trend")) + "\n");
+        std::printf("wrote trend to %s\n", json_path.c_str());
+      }
+      return 0;
+    }
+    if (op == "shutdown") {
+      JsonValue response = client.shutdown();
+      if (expect_ok(response) == nullptr) {
+        return 2;
+      }
+      std::printf("lmbenchd is shutting down\n");
+      return 0;
+    }
+  } catch (const lmb::sys::SysError& e) {
+    std::fprintf(stderr, "lmbench_client: cannot reach lmbenchd at %s: %s\n",
+                 client.socket_path().c_str(), e.what());
+    return 5;
+  }
+
+  std::fprintf(stderr, "lmbench_client: unknown op '%s'\n", op.c_str());
+  return 2;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "lmbench_client: %s\n", e.what());
+  return 2;
+}

@@ -1,0 +1,116 @@
+// lmbench_trend: report metric history and changepoints from a trend store.
+//
+//   ./build/examples/lmbench_trend <store-dir> [--host=SHARD]
+//                                  [--bench=NAME] [--metric=KEY]
+//                                  [--window=N] [--min-rel=PCT] [--sigmas=S]
+//                                  [--json=PATH] [--import-baselines=DIR]
+//
+// Reads the time-series store that `run_suite --trend-store=DIR` and the
+// lmbenchd daemon append to, renders a sparkline table of every metric's
+// history, and flags level shifts (changepoints) detected by comparing
+// sliding-window means against the series' own noise — the cross-run
+// analog of lmbench_compare's pairwise noise-aware comparison: a slow
+// drift that never trips a pairwise gate still accumulates across the
+// window.
+//
+//   --host=SHARD   shard to report (default: this machine's, else the only
+//                  one; see `hosts` in the table header)
+//   --bench=NAME   restrict to one benchmark
+//   --metric=KEY   restrict to one metric key
+//   --window=N     sliding-window width in runs (default 3)
+//   --min-rel=PCT  minimum relative shift to flag, percent (default 5)
+//   --sigmas=S     noise multiple a shift must clear (default 4)
+//   --json=PATH    also write the lmbenchpp.trend.v1 document
+//   --import-baselines=DIR  first import a baseline-store directory (the
+//                  PR 3 format) into the trend store, then report
+//
+// Exit codes: 0 (including "no changepoints"), 1 when the store/shard has
+// no history, 2 on usage errors.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/env.h"
+#include "src/core/options.h"
+#include "src/db/trend_store.h"
+#include "src/report/trend.h"
+#include "src/sys/fdio.h"
+
+int main(int argc, char** argv) try {
+  lmb::Options opts = lmb::Options::parse(argc, argv);
+  if (opts.positionals().empty()) {
+    std::fprintf(stderr,
+                 "usage: lmbench_trend <store-dir> [--host=SHARD] [--bench=NAME] "
+                 "[--metric=KEY] [--window=N] [--min-rel=PCT] [--sigmas=S] "
+                 "[--json=PATH] [--import-baselines=DIR]\n");
+    return 2;
+  }
+  lmb::db::TrendStore store(opts.positionals().front());
+
+  std::string import_dir = opts.get_string("import-baselines", "");
+  if (!import_dir.empty()) {
+    size_t imported = store.import_baselines(import_dir);
+    std::printf("imported %zu baseline(s) from %s\n", imported, import_dir.c_str());
+  }
+
+  std::vector<std::string> hosts = store.hosts();
+  if (hosts.empty()) {
+    std::fprintf(stderr, "lmbench_trend: no runs in %s yet\n", store.dir().c_str());
+    return 1;
+  }
+  std::string host = opts.get_string("host", "");
+  if (host.empty()) {
+    std::string mine = lmb::db::TrendStore::shard_name(lmb::query_system_info().label());
+    for (const std::string& candidate : hosts) {
+      if (candidate == mine) {
+        host = candidate;
+      }
+    }
+    if (host.empty()) {
+      host = hosts.front();
+    }
+  }
+
+  std::vector<lmb::db::TrendSeries> series;
+  std::string bench = opts.get_string("bench", "");
+  if (!bench.empty()) {
+    series = store.series(host, bench);
+  } else {
+    series = store.all_series(host);
+  }
+  std::string metric = opts.get_string("metric", "");
+  if (!metric.empty()) {
+    std::vector<lmb::db::TrendSeries> filtered;
+    for (lmb::db::TrendSeries& s : series) {
+      if (s.key == metric) {
+        filtered.push_back(std::move(s));
+      }
+    }
+    series = std::move(filtered);
+  }
+  if (series.empty()) {
+    std::fprintf(stderr, "lmbench_trend: no history for host '%s'%s%s\n", host.c_str(),
+                 bench.empty() ? "" : (" bench '" + bench + "'").c_str(),
+                 metric.empty() ? "" : (" metric '" + metric + "'").c_str());
+    return 1;
+  }
+
+  lmb::report::ChangepointOptions detector;
+  detector.window = static_cast<size_t>(opts.get_int("window", 3));
+  detector.min_rel = opts.get_double("min-rel", 5.0) / 100.0;
+  detector.sigmas = opts.get_double("sigmas", 4.0);
+
+  std::vector<lmb::report::TrendRow> rows = lmb::report::analyze_trends(series, detector);
+  std::printf("host: %s (%zu run(s) on record)\n\n", host.c_str(), store.runs(host).size());
+  std::printf("%s", lmb::report::render_trend_table(rows).c_str());
+
+  std::string json_path = opts.get_string("json", "");
+  if (!json_path.empty()) {
+    lmb::sys::write_file(json_path, lmb::report::trend_to_json(host, rows));
+    std::printf("wrote trend to %s\n", json_path.c_str());
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "lmbench_trend: %s\n", e.what());
+  return 2;
+}

@@ -1,0 +1,56 @@
+// lmbenchd: run the lmbench++ suite as a long-running local service.
+//
+//   ./build/examples/lmbenchd [--socket=PATH] [--store=DIR]
+//                             [--cal-cache=PATH] [--verbose]
+//
+//   --socket=PATH  Unix-domain socket to listen on (default lmbenchd.sock).
+//                  Filesystem permissions are the access control.
+//   --store=DIR    trend store directory; every completed run is appended
+//                  with its provenance (default lmbench-trends).  Read it
+//                  back with `lmbench_trend DIR` or the client's `trend` op.
+//   --cal-cache=PATH  calibration cache shared across submitted runs
+//                  (default .lmbenchpp-cal.db) — the second submission of a
+//                  suite starts warm
+//   --verbose      log one line per connection/job to stderr
+//
+// Jobs are executed strictly one at a time (FIFO): concurrent benchmark
+// runs would time-share the machine they are trying to measure.  Submit
+// work with lmbench_client; `lmbench_client shutdown` stops the daemon.
+//
+// Exit codes: 0 after a clean shutdown request, 2 on usage errors, 4 when
+// the socket cannot be created.
+#include <cstdio>
+
+#include "src/core/options.h"
+#include "src/svc/daemon.h"
+#include "src/sys/error.h"
+
+int main(int argc, char** argv) try {
+  lmb::Options opts = lmb::Options::parse(argc, argv);
+
+  lmb::svc::DaemonConfig config;
+  config.socket_path = opts.get_string("socket", "lmbenchd.sock");
+  config.store_dir = opts.get_string("store", "lmbench-trends");
+  config.cal_cache_path = opts.get_string("cal-cache", ".lmbenchpp-cal.db");
+  config.verbose = opts.get_bool("verbose");
+
+  lmb::svc::Daemon daemon(std::move(config));
+  try {
+    daemon.start();
+  } catch (const lmb::sys::SysError& e) {
+    std::fprintf(stderr, "lmbenchd: cannot listen on %s: %s\n",
+                 daemon.socket_path().c_str(), e.what());
+    return 4;
+  }
+  std::printf("lmbenchd: listening on %s (store: %s)\n", daemon.socket_path().c_str(),
+              opts.get_string("store", "lmbench-trends").c_str());
+  std::fflush(stdout);
+
+  daemon.wait();  // until a shutdown request
+  daemon.stop();
+  std::printf("lmbenchd: shut down after %d completed job(s)\n", daemon.completed_jobs());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "lmbenchd: %s\n", e.what());
+  return 2;
+}

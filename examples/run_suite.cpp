@@ -1,6 +1,12 @@
 // run_suite: the `lmbench-run` analog — run every registered benchmark
-// through the SuiteRunner and save typed results to the user-extensible
+// through the suite service and save typed results to the user-extensible
 // database (paper §3.5) and/or machine-readable JSON/CSV.
+//
+// This binary is a thin argv adapter: it parses flags into a
+// svc::RunRequest, executes it through the shared svc::BenchService (the
+// same pipeline the lmbenchd daemon and the tests run), and prints.  All
+// pipeline behavior — calibration cache, provenance, tracing, output
+// files, baseline compare, trend append — lives in src/svc.
 //
 //   ./build/examples/run_suite [--quick] [--category=latency] [--jobs=N]
 //                              [--only=bench1,bench2] [--timeout=SECONDS]
@@ -11,13 +17,15 @@
 //                              [--cal-cache=PATH] [--no-cal-cache]
 //                              [--baseline=PATH] [--gate[=PCT]]
 //                              [--save-baseline] [--compare-json=PATH]
+//                              [--trend-store=DIR]
 //                              [--bw-threads=1,2,4] [--kernel=VARIANT]
 //                              [--list] [--with-hang]
 //
 //   --list       print every registered benchmark (grouped by category)
 //                without running anything
 //   --only=A,B   run exactly these benchmarks (names as shown by --list);
-//                overrides --category
+//                overrides --category.  An unknown name is a usage error
+//                (exit 2) before anything runs
 //   --bw-threads=1,2,4  worker counts for the bw_mem_par scaling sweep;
 //                its <op>_p<N>_mbs metrics flow into the JSON/CSV/baseline
 //                pipeline and a scaling table + plot print after the run
@@ -60,30 +68,19 @@
 //                store after comparing
 //   --compare-json=PATH  write the comparison (lmbenchpp.compare.v1), e.g.
 //                BENCH_compare.json for CI artifacts
+//   --trend-store=DIR  append this run to a time-series trend store
+//                (src/db/trend_store.h); `lmbench_trend DIR` reports
+//                per-metric history and changepoints across runs
 #include <chrono>
 #include <cstdio>
-#include <filesystem>
 #include <map>
-#include <optional>
 #include <thread>
 
-#include "src/core/cal_cache.h"
-#include "src/core/clock.h"
-#include "src/core/env.h"
 #include "src/core/options.h"
 #include "src/core/registry.h"
-#include "src/core/suite_runner.h"
-#include "src/db/baseline_store.h"
-#include "src/db/cal_store.h"
-#include "src/db/result_set.h"
 #include "src/obs/perf_counters.h"
-#include "src/obs/run_env.h"
-#include "src/obs/trace.h"
-#include "src/report/compare.h"
 #include "src/report/scaling.h"
-#include "src/report/serialize.h"
-#include "src/report/trace_io.h"
-#include "src/sys/fdio.h"
+#include "src/svc/bench_service.h"
 
 namespace {
 
@@ -108,69 +105,6 @@ int list_benchmarks(const std::string& category) {
   return 0;
 }
 
-// Runs the post-suite baseline comparison (--baseline/--gate).  Returns 3
-// when the gate is armed and a regression survived the noise threshold,
-// 0 otherwise.
-// Startup noise check: recorded into the provenance block regardless, and
-// echoed on stderr so an interactive user sees why numbers might wobble
-// before waiting out a full suite run.
-void warn_if_noisy(const obs::RunEnvironment& env) {
-  for (const std::string& warning : env.warnings) {
-    std::fprintf(stderr, "run_suite: warning: %s\n", warning.c_str());
-  }
-}
-
-int compare_against_baseline(const Options& opts, const report::ResultBatch& current) {
-  std::string baseline_path = opts.get_string("baseline", "");
-  // An existing regular file is an explicit results JSON; anything else
-  // (existing directory, or a path not there yet) is a baseline store —
-  // the first gated CI run must be able to create it.
-  bool is_dir = !std::filesystem::is_regular_file(baseline_path);
-
-  std::optional<report::ResultBatch> base;
-  if (is_dir) {
-    base = db::BaselineStore(baseline_path).load_latest();
-  } else {
-    base = db::BaselineStore::load(baseline_path);  // throws if bad
-  }
-  if (!base.has_value()) {
-    // Empty store: this run becomes the baseline; nothing to gate yet.
-    std::string saved = db::BaselineStore(baseline_path).save(current);
-    std::printf("\nno baseline in %s yet; established one: %s\n", baseline_path.c_str(),
-                saved.c_str());
-    return 0;
-  }
-
-  // --gate is a flag ("true") or carries the significance floor in percent.
-  bool gate = opts.has("gate");
-  report::CompareThresholds thresholds;
-  std::string gate_value = opts.get_string("gate", "");
-  if (gate && gate_value != "true") {
-    thresholds.floor_rel = opts.get_double("gate", 5.0) / 100.0;
-  }
-  thresholds.fallback_noise_rel = opts.get_double("assume-noise", 0.0) / 100.0;
-
-  report::CompareReport cmp = report::compare_batches(*base, current, thresholds);
-  std::printf("\n%s", report::render_compare_table(cmp).c_str());
-  std::printf("%s", report::render_environment_diff(cmp).c_str());
-
-  std::string compare_json = opts.get_string("compare-json", "");
-  if (!compare_json.empty()) {
-    sys::write_file(compare_json, report::compare_to_json(cmp));
-    std::printf("wrote comparison to %s\n", compare_json.c_str());
-  }
-  if (is_dir && opts.get_bool("save-baseline")) {
-    std::printf("saved new baseline: %s\n",
-                db::BaselineStore(baseline_path).save(current).c_str());
-  }
-  if (gate && cmp.has_regressions()) {
-    std::printf("regression gate FAILED (%d metrics beyond the noise threshold)\n",
-                cmp.regressed);
-    return 3;
-  }
-  return 0;
-}
-
 void register_hang_benchmark() {
   Registry::global().add(BenchmarkInfo{
       .name = "test_hang",
@@ -185,170 +119,100 @@ void register_hang_benchmark() {
   });
 }
 
+// Prints the startup header + per-benchmark progress lines from service
+// events, reproducing the pre-service output byte for byte.
+svc::ProgressFn console_progress(const svc::RunRequest& request, bool quick) {
+  return [request, quick](const svc::ServiceEvent& event) {
+    switch (event.kind) {
+      case svc::ServiceEvent::Kind::kSuiteStart: {
+        // Startup noise check: recorded into the provenance block
+        // regardless, and echoed on stderr so an interactive user sees why
+        // numbers might wobble before waiting out a full suite run.
+        for (const std::string& warning : event.warnings) {
+          std::fprintf(stderr, "run_suite: warning: %s\n", warning.c_str());
+        }
+        if (request.counters && !obs::PerfCounters::supported()) {
+          std::fprintf(stderr,
+                       "run_suite: warning: hardware counters unavailable "
+                       "(perf_event_open restricted?); ipc/cache_miss_pct will be absent\n");
+        }
+        std::printf("running the lmbench++ suite on %s%s", event.system.c_str(),
+                    quick ? " (quick mode)" : "");
+        if (request.jobs > 1) {
+          std::printf(" [jobs=%d]", request.jobs);
+        }
+        if (request.timeout_sec > 0) {
+          std::printf(" [timeout=%.0fs]", request.timeout_sec);
+        }
+        if (event.cal_cache) {
+          std::printf(" [cal-cache=%s, %s]", event.cal_path.c_str(),
+                      event.cal_warm ? "warm" : "cold");
+        }
+        std::printf("\n\n");
+        std::fflush(stdout);
+        break;
+      }
+      case svc::ServiceEvent::Kind::kBenchFinish:
+        // With jobs>1 starts interleave; printing one line per *finish*
+        // keeps the output readable in both modes.
+        std::printf("%-16s %-52s %s\n", event.name.c_str(), event.description.c_str(),
+                    event.result->summary().c_str());
+        std::fflush(stdout);
+        break;
+      case svc::ServiceEvent::Kind::kBenchStart:
+      case svc::ServiceEvent::Kind::kSuiteEnd:
+        break;
+    }
+  };
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   Options opts = Options::parse(argc, argv);
-  std::string category = opts.get_string("category", "");
   if (opts.get_bool("list")) {
-    return list_benchmarks(category);
+    return list_benchmarks(opts.get_string("category", ""));
   }
   if (opts.get_bool("with-hang")) {
     register_hang_benchmark();
   }
 
-  SuiteConfig config;
-  config.category = category;
-  std::string only = opts.get_string("only", "");
-  for (size_t pos = 0; !only.empty() && pos <= only.size();) {
-    size_t comma = only.find(',', pos);
-    std::string name = only.substr(pos, comma == std::string::npos ? std::string::npos
-                                                                   : comma - pos);
-    if (!name.empty()) {
-      config.names.push_back(name);
-    }
-    if (comma == std::string::npos) {
-      break;
-    }
-    pos = comma + 1;
-  }
-  config.jobs = static_cast<int>(opts.get_int("jobs", 1));
-  config.timeout_sec = opts.get_double("timeout", 0.0);
-  config.options = opts;
+  svc::RunRequest request = svc::RunRequest::from_options(opts);
 
-  SystemInfo info = query_system_info();
+  // Static for the lifetime rule in bench_service.h: an abandoned
+  // (timed-out) benchmark thread may still touch the service's calibration
+  // cache or trace sink after run() returns.
+  static svc::BenchService service;
+  svc::RunArtifacts artifacts = service.run(request, console_progress(request, opts.quick()));
 
-  // Provenance snapshot + startup noise warnings; the snapshot rides along
-  // in every serialized batch so lmbench_compare can diff environments.
-  obs::RunEnvironment run_env = obs::capture_run_environment();
-  warn_if_noisy(run_env);
-
-  // Static for the same reason as the calibration cache below: an abandoned
-  // (timed-out) benchmark thread may still emit events after run() returns.
-  static obs::TraceSink trace_sink;
-  std::string trace_path = opts.get_string("trace", "");
-  std::string trace_chrome_path = opts.get_string("trace-chrome", "");
-  const bool tracing = !trace_path.empty() || !trace_chrome_path.empty();
-  if (tracing) {
-    config.trace = &trace_sink;
-  }
-  config.counters = opts.get_bool("counters");
-  if (config.counters && !obs::PerfCounters::supported()) {
-    std::fprintf(stderr,
-                 "run_suite: warning: hardware counters unavailable "
-                 "(perf_event_open restricted?); ipc/cache_miss_pct will be absent\n");
+  if (!artifacts.cal_save_error.empty()) {
+    std::fprintf(stderr, "run_suite: could not save calibration cache: %s\n",
+                 artifacts.cal_save_error.c_str());
   }
 
-  // Static so an abandoned (timed-out) benchmark thread can still touch the
-  // cache safely after run() returns — same lifetime rule as the registry.
-  static CalibrationCache cal_cache;
-  const bool use_cal_cache = !opts.get_bool("no-cal-cache");
-  std::string cal_path = opts.get_string("cal-cache", ".lmbenchpp-cal.db");
-  std::string host_sig = host_signature(info);
-  size_t cal_loaded = 0;
-  if (use_cal_cache) {
-    cal_loaded = db::load_calibration_cache(cal_path, host_sig, cal_cache);
-    config.cal_cache = &cal_cache;
+  if (!request.out_path.empty()) {
+    std::printf("\nsaved %zu metrics to %s\n", artifacts.metric_count,
+                request.out_path.c_str());
   }
-
-  std::printf("running the lmbench++ suite on %s%s", info.label().c_str(),
-              opts.quick() ? " (quick mode)" : "");
-  if (config.jobs > 1) {
-    std::printf(" [jobs=%d]", config.jobs);
+  if (!request.json_path.empty()) {
+    std::printf("wrote JSON to %s\n", request.json_path.c_str());
   }
-  if (config.timeout_sec > 0) {
-    std::printf(" [timeout=%.0fs]", config.timeout_sec);
+  if (!request.csv_path.empty()) {
+    std::printf("wrote CSV to %s\n", request.csv_path.c_str());
   }
-  if (use_cal_cache) {
-    std::printf(" [cal-cache=%s, %s]", cal_path.c_str(),
-                cal_loaded > 0 ? "warm" : "cold");
-  }
-  std::printf("\n\n");
-
-  SuiteRunner runner;
-  runner.set_progress([&](const SuiteEvent& event) {
-    if (event.kind != SuiteEvent::Kind::kFinish) {
-      return;
-    }
-    // With jobs>1 starts interleave; printing one line per *finish* keeps
-    // the output readable in both modes.
-    std::printf("%-16s %-52s %s\n", event.name.c_str(), event.description.c_str(),
-                event.result->summary().c_str());
-    std::fflush(stdout);
-  });
-
-  StopWatch suite_watch;
-  std::vector<RunResult> results = runner.run(config);
-  double total_wall_ms = static_cast<double>(suite_watch.elapsed()) / 1e6;
-  if (results.empty() && !category.empty()) {
-    std::fprintf(stderr, "run_suite: no benchmarks in category '%s' (try --list)\n",
-                 category.c_str());
-    return 2;
-  }
-
-  if (use_cal_cache) {
-    try {
-      db::save_calibration_cache(cal_path, host_sig, cal_cache);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "run_suite: could not save calibration cache: %s\n", e.what());
-    }
-  }
-
-  report::SuiteTiming timing;
-  timing.total_wall_ms = total_wall_ms;
-  timing.jobs = config.jobs;
-  timing.cal_cache = use_cal_cache;
-  timing.cal_hits = cal_cache.hits();
-  timing.cal_misses = cal_cache.misses();
-
-  // Tally + store real measured values under <bench>_<metric>_<unit> keys.
-  db::ResultSet set(info.label());
-  int failed = 0;
-  size_t metric_count = 0;
-  for (const RunResult& r : results) {
-    if (!r.ok()) {
-      ++failed;
-      continue;
-    }
-    for (const Metric& m : r.metrics) {
-      set.set(r.name + "_" + m.key, m.value);
-      ++metric_count;
-    }
-  }
-
-  std::string out_path = opts.get_string("out", "");
-  if (!out_path.empty()) {
-    db::ResultDatabase database;
-    database.add(set);
-    database.save(out_path);
-    std::printf("\nsaved %zu metrics to %s\n", metric_count, out_path.c_str());
-  }
-  std::string json_path = opts.get_string("json", "");
-  if (!json_path.empty()) {
-    sys::write_file(json_path, report::to_json({info.label(), results, timing, run_env}));
-    std::printf("wrote JSON to %s\n", json_path.c_str());
-  }
-  std::string csv_path = opts.get_string("csv", "");
-  if (!csv_path.empty()) {
-    sys::write_file(csv_path, report::to_csv(results, &timing));
-    std::printf("wrote CSV to %s\n", csv_path.c_str());
-  }
-  if (tracing) {
-    std::vector<obs::TraceEvent> events = trace_sink.events();
-    if (!trace_path.empty()) {
-      sys::write_file(trace_path, report::trace_to_json(events, info.label()));
+  if (request.collect_trace) {
+    if (!request.trace_path.empty()) {
       std::printf("wrote %zu trace events to %s (open in about:tracing / perfetto)\n",
-                  events.size(), trace_path.c_str());
+                  artifacts.trace_events.size(), request.trace_path.c_str());
     }
-    if (!trace_chrome_path.empty()) {
-      sys::write_file(trace_chrome_path, report::trace_to_chrome(events));
-      std::printf("wrote Chrome trace_event file to %s\n", trace_chrome_path.c_str());
+    if (!request.trace_chrome_path.empty()) {
+      std::printf("wrote Chrome trace_event file to %s\n", request.trace_chrome_path.c_str());
     }
   }
 
   // Scaling table + plot for any result that produced <op>_p<N>_mbs metrics
   // (the bw_mem_par sweep).
-  for (const RunResult& r : results) {
+  for (const RunResult& r : artifacts.batch.results) {
     if (!r.ok()) {
       continue;
     }
@@ -359,20 +223,38 @@ int main(int argc, char** argv) try {
   }
 
   std::printf("\n%zu benchmarks attempted, %zu metrics, %d failures in %.1f s\n",
-              results.size(), metric_count, failed, total_wall_ms / 1e3);
-  if (use_cal_cache) {
-    std::printf("calibration cache: %d hits, %d misses\n", cal_cache.hits(),
-                cal_cache.misses());
+              artifacts.batch.results.size(), artifacts.metric_count, artifacts.failed,
+              artifacts.total_wall_ms / 1e3);
+  if (artifacts.cal_cache_used) {
+    std::printf("calibration cache: %d hits, %d misses\n", artifacts.cal_hits,
+                artifacts.cal_misses);
   }
 
-  int gate_status = 0;
-  if (!opts.get_string("baseline", "").empty()) {
-    gate_status = compare_against_baseline(opts, {info.label(), results, timing, run_env});
+  if (!request.baseline_path.empty()) {
+    if (artifacts.baseline_established) {
+      std::printf("\nno baseline in %s yet; established one: %s\n",
+                  request.baseline_path.c_str(), artifacts.baseline_saved_path.c_str());
+    } else if (artifacts.compare.has_value()) {
+      std::printf("\n%s", report::render_compare_table(*artifacts.compare).c_str());
+      std::printf("%s", report::render_environment_diff(*artifacts.compare).c_str());
+      if (!request.compare_json_path.empty()) {
+        std::printf("wrote comparison to %s\n", request.compare_json_path.c_str());
+      }
+      if (request.save_baseline && !artifacts.baseline_saved_path.empty()) {
+        std::printf("saved new baseline: %s\n", artifacts.baseline_saved_path.c_str());
+      }
+      if (artifacts.gate_failed) {
+        std::printf("regression gate FAILED (%d metrics beyond the noise threshold)\n",
+                    artifacts.compare->regressed);
+      }
+    }
   }
-  if (failed != 0) {
-    return 1;
+  if (artifacts.trend_seq >= 0) {
+    std::printf("appended run %ld to trend store %s\n", artifacts.trend_seq,
+                request.trend_dir.c_str());
   }
-  return gate_status;
+
+  return artifacts.exit_code();
 } catch (const std::exception& e) {
   std::fprintf(stderr, "run_suite: %s\n", e.what());
   return 2;

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/core/do_not_optimize.h"
+#include "src/core/options.h"
 #include "src/core/registry.h"
 #include "src/core/topology.h"
 #include "src/report/table.h"
@@ -195,12 +196,10 @@ ParallelBwResult measure_mem_bw_parallel(MemOp op, const ParallelBwConfig& confi
 }
 
 std::vector<int> parse_thread_list(const std::string& text) {
+  // Comma splitting (and the empty-element strictness) is shared with every
+  // other list flag via Options::split_list.
   std::vector<int> out;
-  size_t pos = 0;
-  while (pos <= text.size()) {
-    size_t comma = text.find(',', pos);
-    std::string item = text.substr(pos, comma == std::string::npos ? std::string::npos
-                                                                   : comma - pos);
+  for (const std::string& item : Options::split_list(text)) {
     size_t consumed = 0;
     int value = 0;
     try {
@@ -212,10 +211,6 @@ std::vector<int> parse_thread_list(const std::string& text) {
       throw std::invalid_argument("bad thread list entry '" + item + "'");
     }
     out.push_back(value);
-    if (comma == std::string::npos) {
-      break;
-    }
-    pos = comma + 1;
   }
   if (out.empty()) {
     throw std::invalid_argument("empty thread list");

@@ -120,7 +120,42 @@ std::int64_t Options::get_size(const std::string& key, std::int64_t fallback) co
   return parse_size(it->second);
 }
 
+std::vector<std::string> Options::get_list(const std::string& key,
+                                           std::vector<std::string> fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  try {
+    return split_list(it->second);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("option --" + key + " is not a comma list: '" + it->second +
+                                "'");
+  }
+}
+
 void Options::set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+std::vector<std::string> Options::split_list(const std::string& text) {
+  std::vector<std::string> out;
+  if (text.empty()) {
+    return out;
+  }
+  size_t pos = 0;
+  for (;;) {
+    size_t comma = text.find(',', pos);
+    std::string item =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (item.empty()) {
+      throw std::invalid_argument("empty element in list: '" + text + "'");
+    }
+    out.push_back(std::move(item));
+    if (comma == std::string::npos) {
+      return out;
+    }
+    pos = comma + 1;
+  }
+}
 
 std::int64_t Options::parse_size(const std::string& text) {
   if (text.empty()) {

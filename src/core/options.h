@@ -37,7 +37,19 @@ class Options {
   // lmdd's argument convention.
   std::int64_t get_size(const std::string& key, std::int64_t fallback) const;
 
+  // Comma-separated list value ("a,b,c"); returns `fallback` when the key
+  // is missing and an empty vector for an explicitly empty value ("--key=").
+  // Empty elements ("a,,b", a trailing comma) throw std::invalid_argument —
+  // the same strictness as the scalar getters.
+  std::vector<std::string> get_list(const std::string& key,
+                                    std::vector<std::string> fallback = {}) const;
+
   void set(const std::string& key, const std::string& value);
+
+  // Every parsed key/value pair (flags appear with value "true").  Lets a
+  // driver forward its whole option set verbatim — e.g. lmbench_client
+  // shipping suite flags to the daemon.
+  const std::map<std::string, std::string>& entries() const { return values_; }
 
   const std::vector<std::string>& positionals() const { return positionals_; }
 
@@ -46,6 +58,11 @@ class Options {
 
   // Parses a standalone size string ("64k", "8m", "512").  Throws on garbage.
   static std::int64_t parse_size(const std::string& text);
+
+  // Splits a standalone comma-list ("1,2,4").  "" yields an empty vector;
+  // empty elements throw std::invalid_argument.  The shared implementation
+  // behind get_list and every ad-hoc list flag (--only, --bw-threads, ...).
+  static std::vector<std::string> split_list(const std::string& text);
 
  private:
   std::map<std::string, std::string> values_;

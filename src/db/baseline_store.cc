@@ -82,12 +82,29 @@ std::string BaselineStore::save(const report::ResultBatch& batch) {
   return path;
 }
 
-std::optional<report::ResultBatch> BaselineStore::load_latest() const {
-  std::optional<std::string> path = latest_path();
-  if (!path.has_value()) {
+std::optional<report::ResultBatch> BaselineStore::load_latest(std::string* path_used) const {
+  std::vector<std::string> entries = list();
+  if (entries.empty()) {
     return std::nullopt;
   }
-  return load(*path);
+  // Newest first; fall back past corrupt/truncated entries (a save that
+  // crashed mid-write) to the newest one that parses.
+  std::string first_error;
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    try {
+      report::ResultBatch batch = load(*it);
+      if (path_used != nullptr) {
+        *path_used = *it;
+      }
+      return batch;
+    } catch (const std::exception& e) {
+      if (first_error.empty()) {
+        first_error = e.what();
+      }
+    }
+  }
+  throw std::invalid_argument("baseline store " + dir_ + ": no entry parses (newest: " +
+                              first_error + ")");
 }
 
 report::ResultBatch BaselineStore::load(const std::string& path) {

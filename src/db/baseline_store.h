@@ -37,10 +37,15 @@ class BaselineStore {
   // Path of the newest entry, if any.
   std::optional<std::string> latest_path() const;
 
-  // Parses the newest entry.  nullopt when the store is empty; throws
-  // std::invalid_argument when the file exists but is malformed (a corrupt
-  // baseline should fail loudly, not read as "no baseline").
-  std::optional<report::ResultBatch> load_latest() const;
+  // Parses the newest *readable* entry: a corrupt or truncated newest file
+  // (a writer crashed mid-save) falls back to the next-newest valid one, so
+  // one torn file cannot wedge a continuous-benchmarking loop.  nullopt
+  // when the store is empty; throws std::invalid_argument when entries
+  // exist but none parse (a fully corrupt store should still fail loudly,
+  // not read as "no baseline").  `path_used`, when non-null, receives the
+  // path actually loaded — callers can detect that a fallback happened by
+  // comparing it against latest_path().
+  std::optional<report::ResultBatch> load_latest(std::string* path_used = nullptr) const;
 
   // Parses a specific baseline file (any path, not only store entries).
   static report::ResultBatch load(const std::string& path);

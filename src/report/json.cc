@@ -250,6 +250,50 @@ double number_or_nan(const JsonValue& v) {
 
 std::string json_quote(const std::string& s) { return "\"" + json_escape(s) + "\""; }
 
+std::string to_text(const JsonValue& v) {
+  struct Emitter {
+    std::string out;
+    void emit(const JsonValue& value) {
+      if (std::holds_alternative<std::nullptr_t>(value.v)) {
+        out += "null";
+      } else if (std::holds_alternative<bool>(value.v)) {
+        out += std::get<bool>(value.v) ? "true" : "false";
+      } else if (std::holds_alternative<double>(value.v)) {
+        out += json_double(std::get<double>(value.v));
+      } else if (std::holds_alternative<std::string>(value.v)) {
+        out += json_quote(std::get<std::string>(value.v));
+      } else if (std::holds_alternative<JsonArray>(value.v)) {
+        out += '[';
+        bool first = true;
+        for (const JsonValue& item : std::get<JsonArray>(value.v)) {
+          if (!first) {
+            out += ',';
+          }
+          first = false;
+          emit(item);
+        }
+        out += ']';
+      } else {
+        out += '{';
+        bool first = true;
+        for (const auto& [key, item] : std::get<JsonObject>(value.v)) {
+          if (!first) {
+            out += ',';
+          }
+          first = false;
+          out += json_quote(key);
+          out += ':';
+          emit(item);
+        }
+        out += '}';
+      }
+    }
+  };
+  Emitter emitter;
+  emitter.emit(v);
+  return emitter.out;
+}
+
 std::string json_double(double v) {
   if (!std::isfinite(v)) {
     return "null";

@@ -69,6 +69,11 @@ const JsonValue* find(const JsonObject& obj, const std::string& key);
 // format itself cannot carry.
 double number_or_nan(const JsonValue& v);
 
+// Compact single-line serialization of a parsed value (objects keep the
+// map's key order).  parse_json(to_text(v)) round-trips; non-finite numbers
+// emit as null per json_double.
+std::string to_text(const JsonValue& v);
+
 // Escaped and double-quoted JSON string literal.
 std::string json_quote(const std::string& s);
 

@@ -1,0 +1,228 @@
+#include "src/report/trend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "src/core/stats.h"
+#include "src/report/json.h"
+#include "src/report/table.h"
+
+namespace lmb::report {
+
+namespace {
+
+// Guards divisions when a window's mean is exactly zero.
+constexpr double kTinyMean = 1e-12;
+
+}  // namespace
+
+std::vector<Changepoint> detect_changepoints(const std::vector<double>& values,
+                                             const ChangepointOptions& options) {
+  const size_t n = values.size();
+  std::vector<Changepoint> flagged;
+  if (n < 3) {
+    return flagged;
+  }
+  const size_t w = std::max<size_t>(1, options.window);
+
+  // Flag every split whose window-mean shift clears the threshold, then
+  // merge runs of adjacent flagged splits to the locally strongest one
+  // (one step in the data flags a neighborhood of splits).
+  std::vector<Changepoint> candidates;
+  for (size_t i = 1; i < n; ++i) {
+    Sample before(std::vector<double>(values.begin() + (i >= w ? i - w : 0),
+                                      values.begin() + static_cast<long>(i)));
+    Sample after(std::vector<double>(values.begin() + static_cast<long>(i),
+                                     values.begin() + static_cast<long>(std::min(n, i + w))));
+    const double mb = before.mean();
+    const double ma = after.mean();
+    const double pooled_sd = std::sqrt(
+        (before.stddev() * before.stddev() + after.stddev() * after.stddev()) / 2.0);
+    // Two-sample z-test scale: the shift is a difference of *means*, so the
+    // noise term is the standard error, not the raw scatter — a wider
+    // window buys drift sensitivity instead of diluting it.
+    const double sem =
+        pooled_sd * std::sqrt(1.0 / static_cast<double>(before.count()) +
+                              1.0 / static_cast<double>(after.count()));
+    const double delta = ma - mb;
+    const double scale = std::max({std::fabs(mb), std::fabs(ma), kTinyMean});
+    const double threshold = std::max(options.min_rel * scale, options.sigmas * sem);
+    if (threshold <= 0 || std::fabs(delta) < threshold) {
+      continue;
+    }
+    Changepoint cp;
+    cp.index = i;
+    cp.before_mean = mb;
+    cp.after_mean = ma;
+    cp.rel_change = delta / std::max(std::fabs(mb), kTinyMean);
+    cp.score = std::fabs(delta) / threshold;
+    candidates.push_back(cp);
+  }
+
+  for (size_t i = 0; i < candidates.size();) {
+    size_t j = i;
+    size_t best = i;
+    while (j + 1 < candidates.size() &&
+           candidates[j + 1].index == candidates[j].index + 1) {
+      ++j;
+      if (candidates[j].score > candidates[best].score) {
+        best = j;
+      }
+    }
+    flagged.push_back(candidates[best]);
+    i = j + 1;
+  }
+  return flagged;
+}
+
+std::vector<TrendRow> analyze_trends(const std::vector<db::TrendSeries>& series,
+                                     const ChangepointOptions& options) {
+  std::vector<TrendRow> rows;
+  rows.reserve(series.size());
+  for (const db::TrendSeries& s : series) {
+    TrendRow row;
+    row.series = s;
+    std::vector<double> values;
+    values.reserve(s.points.size());
+    for (const db::TrendPoint& p : s.points) {
+      values.push_back(p.value);
+    }
+    row.changepoints = detect_changepoints(values, options);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string render_sparkline(const std::vector<double>& values) {
+  static const char* kGlyphs[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : values) {
+    if (std::isfinite(v)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  std::string out;
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      out += "·";
+      continue;
+    }
+    size_t level = 0;
+    if (hi > lo) {
+      level = static_cast<size_t>((v - lo) / (hi - lo) * 7.0 + 0.5);
+    }
+    out += kGlyphs[std::min<size_t>(level, 7)];
+  }
+  return out;
+}
+
+std::string render_trend_table(const std::vector<TrendRow>& rows) {
+  if (rows.empty()) {
+    return "no trend history\n";
+  }
+  // Changepoint rows first, strongest first; quiet rows keep store order.
+  std::vector<const TrendRow*> order;
+  order.reserve(rows.size());
+  for (const TrendRow& row : rows) {
+    order.push_back(&row);
+  }
+  auto strength = [](const TrendRow& row) {
+    double best = 0.0;
+    for (const Changepoint& cp : row.changepoints) {
+      best = std::max(best, cp.score);
+    }
+    return best;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](const TrendRow* a, const TrendRow* b) {
+    return strength(*a) > strength(*b);
+  });
+
+  Table table("Metric trends",
+              {{"benchmark", 0}, {"metric", 0}, {"runs", 0}, {"last", 3}, {"vs first", 0},
+               {"trend", 0}});
+  std::string annotations;
+  for (const TrendRow* row : order) {
+    const db::TrendSeries& s = row->series;
+    if (s.points.empty()) {
+      continue;
+    }
+    std::vector<double> values;
+    values.reserve(s.points.size());
+    for (const db::TrendPoint& p : s.points) {
+      values.push_back(p.value);
+    }
+    double first = values.front();
+    double last = values.back();
+    char delta[32];
+    std::snprintf(delta, sizeof(delta), "%+.1f%%",
+                  100.0 * (last - first) / std::max(std::fabs(first), kTinyMean));
+    std::string spark = render_sparkline(values);
+    if (!row->changepoints.empty()) {
+      spark += "  !";
+    }
+    table.add_row({s.bench, s.key + (s.unit.empty() ? "" : " [" + s.unit + "]"),
+                   static_cast<double>(s.points.size()), last, std::string(delta), spark});
+    for (const Changepoint& cp : row->changepoints) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  ! %s %s: level shift at run %ld (%+.1f%%, %.3g -> %.3g, score %.1f)\n",
+                    s.bench.c_str(), s.key.c_str(),
+                    cp.index < s.points.size() ? s.points[cp.index].seq : -1,
+                    100.0 * cp.rel_change, cp.before_mean, cp.after_mean, cp.score);
+      annotations += line;
+    }
+  }
+  std::string out = table.render();
+  if (!annotations.empty()) {
+    out += "\nchangepoints:\n" + annotations;
+  } else {
+    out += "\nno changepoints detected\n";
+  }
+  return out;
+}
+
+std::string trend_to_json(const std::string& host, const std::vector<TrendRow>& rows) {
+  std::string out = "{\n  \"schema\": " + json_quote(kTrendSchema) + ",\n  \"host\": " +
+                    json_quote(host) + ",\n  \"series\": [";
+  bool first_series = true;
+  for (const TrendRow& row : rows) {
+    const db::TrendSeries& s = row.series;
+    if (!first_series) {
+      out += ',';
+    }
+    first_series = false;
+    out += "\n    {\"bench\": " + json_quote(s.bench) + ", \"key\": " + json_quote(s.key) +
+           ", \"unit\": " + json_quote(s.unit) + ", \"points\": [";
+    bool first = true;
+    for (const db::TrendPoint& p : s.points) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += "{\"seq\": " + std::to_string(p.seq) + ", \"value\": " + json_double(p.value) + "}";
+    }
+    out += "], \"changepoints\": [";
+    first = true;
+    for (const Changepoint& cp : row.changepoints) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += "{\"index\": " + std::to_string(cp.index) +
+             ", \"seq\": " + std::to_string(cp.index < s.points.size() ? s.points[cp.index].seq : -1) +
+             ", \"before_mean\": " + json_double(cp.before_mean) +
+             ", \"after_mean\": " + json_double(cp.after_mean) +
+             ", \"rel_change\": " + json_double(cp.rel_change) +
+             ", \"score\": " + json_double(cp.score) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace lmb::report

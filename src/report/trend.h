@@ -1,0 +1,86 @@
+// Trend analysis over run history: sliding-window changepoint detection
+// and the lmbench_trend report (sparkline table per metric).
+//
+// The pairwise compare gate (src/report/compare.h) judges one run against
+// one baseline; a slow drift — 2% per run for ten runs — never trips it
+// because every individual step hides inside the noise threshold.  Level-
+// shift detection over the whole stored history (src/db/trend_store.h)
+// closes that gap: compare the mean of a window *before* each candidate
+// split against the window *after* it, and flag splits where the shift
+// clears both a relative floor and the windows' own scatter.  This is the
+// classic sliding-window/CUSUM family of changepoint detectors, sized for
+// benchmark history (tens of points, not millions).
+#ifndef LMBENCHPP_SRC_REPORT_TREND_H_
+#define LMBENCHPP_SRC_REPORT_TREND_H_
+
+#include <string>
+#include <vector>
+
+#include "src/db/trend_store.h"
+
+namespace lmb::report {
+
+// Knobs for the detector.
+struct ChangepointOptions {
+  // Points per side of a candidate split (clamped to what's available; a
+  // split needs at least one point on each side).
+  size_t window = 3;
+  // Relative floor: a shift below this fraction of the before-mean is
+  // never flagged, whatever the scatter says (mirrors CompareThresholds::
+  // floor_rel — guards windows whose points happened to agree exactly).
+  double min_rel = 0.05;
+  // Multiplier on the windows' pooled standard deviation: a shift must
+  // also clear sigmas * pooled_sd, so a noisy series needs a bigger step.
+  double sigmas = 4.0;
+};
+
+// One detected level shift.  `index` is the first point of the new regime
+// (split between values[index-1] and values[index]).
+struct Changepoint {
+  size_t index = 0;
+  double before_mean = 0.0;
+  double after_mean = 0.0;
+  // (after - before) / |before|; the sign says which way the level moved.
+  double rel_change = 0.0;
+  // Shift magnitude over the flagging threshold (>= 1 for every reported
+  // changepoint; bigger = more confident).
+  double score = 0.0;
+};
+
+// Scans `values` (time-ascending) for level shifts.  Overlapping flagged
+// splits are merged to the locally strongest one, so one step reports one
+// changepoint.  Series shorter than 3 points never flag.
+std::vector<Changepoint> detect_changepoints(const std::vector<double>& values,
+                                             const ChangepointOptions& options = {});
+
+// One metric's analyzed history: the stored series plus its changepoints.
+struct TrendRow {
+  db::TrendSeries series;
+  std::vector<Changepoint> changepoints;
+};
+
+// Runs the detector over every series.
+std::vector<TrendRow> analyze_trends(const std::vector<db::TrendSeries>& series,
+                                     const ChangepointOptions& options = {});
+
+// Unicode sparkline of `values` scaled to its own min..max (▁▂▃▄▅▆▇█); "·"
+// for non-finite points.  Empty input renders "".
+std::string render_sparkline(const std::vector<double>& values);
+
+// The lmbench_trend table: one row per metric — bench, metric key, point
+// count, newest value, delta vs the first point, sparkline — followed by
+// one annotation line per changepoint.  Rows with changepoints sort first
+// (§4.1: sort on the interesting column).
+std::string render_trend_table(const std::vector<TrendRow>& rows);
+
+// Schema identifier for trend JSON documents.
+inline constexpr const char* kTrendSchema = "lmbenchpp.trend.v1";
+
+// JSON document: schema, host, series[] each {bench, key, unit, points[]
+// {seq, value}, changepoints[] {index, seq, before_mean, after_mean,
+// rel_change, score}}.
+std::string trend_to_json(const std::string& host, const std::vector<TrendRow>& rows);
+
+}  // namespace lmb::report
+
+#endif  // LMBENCHPP_SRC_REPORT_TREND_H_

@@ -1,0 +1,409 @@
+#include "src/svc/daemon.h"
+
+#include <csignal>
+#include <cstdio>
+
+#include "src/core/env.h"
+#include "src/db/trend_store.h"
+#include "src/report/serialize.h"
+#include "src/report/trend.h"
+#include "src/svc/wire.h"
+#include "src/sys/error.h"
+
+namespace lmb::svc {
+
+namespace {
+
+// Trims the trailing newline report::to_json emits so a batch document can
+// be embedded as a JSON value inside a frame.
+std::string embed(std::string json) {
+  while (!json.empty() && (json.back() == '\n' || json.back() == ' ')) {
+    json.pop_back();
+  }
+  return json;
+}
+
+std::string quoted(const std::string& s) { return report::json_quote(s); }
+
+}  // namespace
+
+Daemon::Daemon(DaemonConfig config)
+    : config_(std::move(config)),
+      service_(config_.registry != nullptr ? *config_.registry : Registry::global()) {}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  // A client can vanish while the executor streams to it; that must be a
+  // failed write, not a fatal SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  listener_ = std::make_unique<sys::UnixListener>(config_.socket_path);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+    started_ = true;
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  executor_thread_ = std::thread([this] { executor_loop(); });
+  log("listening on " + config_.socket_path);
+}
+
+void Daemon::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_cv_.wait(lock, [this] { return stopping_; });
+}
+
+void Daemon::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  shutdown_cv_.notify_all();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  if (executor_thread_.joinable()) {
+    executor_thread_.join();
+  }
+  for (std::thread& t : connection_threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  connection_threads_.clear();
+  listener_.reset();  // unlinks the socket path
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = false;
+  }
+  log("stopped");
+}
+
+bool Daemon::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_ && !stopping_;
+}
+
+int Daemon::completed_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+bool Daemon::try_send(sys::UnixStream& stream, const std::string& payload) {
+  if (!stream.valid()) {
+    return false;
+  }
+  try {
+    write_frame(stream.fd(), payload);
+    return true;
+  } catch (const std::exception&) {
+    return false;  // client went away; the run continues without a stream
+  }
+}
+
+void Daemon::log(const std::string& line) {
+  if (config_.verbose) {
+    std::fprintf(stderr, "lmbenchd: %s\n", line.c_str());
+  }
+}
+
+void Daemon::accept_loop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        return;
+      }
+    }
+    std::optional<sys::UnixStream> stream;
+    try {
+      stream = listener_->accept_for(/*timeout_ms=*/200);
+    } catch (const std::exception& e) {
+      log(std::string("accept failed: ") + e.what());
+      continue;
+    }
+    if (!stream.has_value()) {
+      continue;  // timeout: re-check the stop flag
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    connection_threads_.emplace_back(
+        [this, s = std::make_shared<sys::UnixStream>(std::move(*stream))]() mutable {
+          handle_connection(std::move(*s));
+        });
+  }
+}
+
+void Daemon::handle_connection(sys::UnixStream stream) {
+  std::optional<std::string> payload;
+  try {
+    payload = read_frame(stream.fd());
+  } catch (const std::exception& e) {
+    log(std::string("bad frame: ") + e.what());
+    return;
+  }
+  if (!payload.has_value()) {
+    return;  // connected and left
+  }
+
+  try {
+    report::JsonValue message = parse_message(*payload);
+    const report::JsonObject& obj = message.object();
+    const report::JsonValue* op = report::find(obj, "op");
+    if (op == nullptr) {
+      try_send(stream, error_message("missing op"));
+      return;
+    }
+    const std::string& name = op->str();
+    log("op " + name);
+
+    if (name == "submit") {
+      Options args;
+      if (const report::JsonValue* args_value = report::find(obj, "args")) {
+        for (const auto& [key, value] : args_value->object()) {
+          args.set(key, value.str());
+        }
+      }
+      Job job;
+      job.stream = std::move(stream);
+      job.args = std::move(args);
+      size_t position = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) {
+          try_send(job.stream, error_message("daemon is shutting down"));
+          return;
+        }
+        job.id = next_job_id_++;
+        position = queue_.size() + (running_job_ != 0 ? 1 : 0);
+        try_send(job.stream, "{\"ok\":true,\"event\":\"queued\",\"job\":" +
+                                 std::to_string(job.id) +
+                                 ",\"position\":" + std::to_string(position) + "}");
+        queue_.push_back(std::move(job));
+      }
+      queue_cv_.notify_one();
+      return;
+    }
+    if (name == "status") {
+      try_send(stream, status_payload());
+      return;
+    }
+    if (name == "results") {
+      std::string results;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        results = last_results_json_;
+      }
+      try_send(stream, "{\"ok\":true,\"results\":" +
+                           (results.empty() ? std::string("null") : embed(results)) + "}");
+      return;
+    }
+    if (name == "trend") {
+      try_send(stream, trend_payload(obj));
+      return;
+    }
+    if (name == "shutdown") {
+      try_send(stream, "{\"ok\":true,\"event\":\"shutting_down\"}");
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+      }
+      queue_cv_.notify_all();
+      shutdown_cv_.notify_all();
+      return;
+    }
+    try_send(stream, error_message("unknown op: " + name));
+  } catch (const std::exception& e) {
+    try_send(stream, error_message(e.what()));
+  }
+}
+
+std::string Daemon::status_payload() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string state = running_job_ != 0 ? "running" : "idle";
+  return "{\"ok\":true,\"state\":" + quoted(state) + ",\"running\":" + quoted(running_bench_) +
+         ",\"job\":" + std::to_string(running_job_) +
+         ",\"queued\":" + std::to_string(queue_.size()) +
+         ",\"completed\":" + std::to_string(completed_) +
+         ",\"socket\":" + quoted(config_.socket_path) +
+         ",\"store\":" + quoted(config_.store_dir) + "}";
+}
+
+std::string Daemon::trend_payload(const report::JsonObject& request) {
+  if (config_.store_dir.empty()) {
+    return error_message("daemon has no trend store (--store)");
+  }
+  db::TrendStore store(config_.store_dir);
+  std::vector<std::string> hosts = store.hosts();
+  if (hosts.empty()) {
+    return error_message("trend store is empty (no completed runs yet)");
+  }
+  // Explicit host filter, else this machine's shard, else the only/first.
+  std::string host;
+  if (const report::JsonValue* v = report::find(request, "host")) {
+    host = v->str();
+  } else {
+    std::string mine = db::TrendStore::shard_name(query_system_info().label());
+    for (const std::string& candidate : hosts) {
+      if (candidate == mine) {
+        host = candidate;
+      }
+    }
+    if (host.empty()) {
+      host = hosts.front();
+    }
+  }
+
+  std::vector<db::TrendSeries> series;
+  if (const report::JsonValue* v = report::find(request, "bench")) {
+    series = store.series(host, v->str());
+  } else {
+    series = store.all_series(host);
+  }
+  if (const report::JsonValue* v = report::find(request, "metric")) {
+    std::vector<db::TrendSeries> filtered;
+    for (db::TrendSeries& s : series) {
+      if (s.key == v->str()) {
+        filtered.push_back(std::move(s));
+      }
+    }
+    series = std::move(filtered);
+  }
+
+  std::vector<report::TrendRow> rows = report::analyze_trends(series);
+  return "{\"ok\":true,\"host\":" + quoted(host) +
+         ",\"table\":" + quoted(report::render_trend_table(rows)) +
+         ",\"trend\":" + embed(report::trend_to_json(host, rows)) + "}";
+}
+
+void Daemon::executor_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) {
+          return;
+        }
+        continue;
+      }
+      if (stopping_) {
+        // Drain: queued jobs are refused, not silently dropped.
+        for (Job& refused : queue_) {
+          try_send(refused.stream, error_message("daemon is shutting down"));
+        }
+        queue_.clear();
+        return;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      running_job_ = job.id;
+      running_bench_ = "(starting)";
+    }
+    execute(std::move(job));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_job_ = 0;
+      running_bench_.clear();
+      ++completed_;
+    }
+  }
+}
+
+void Daemon::execute(Job job) {
+  log("job " + std::to_string(job.id) + " starting");
+  RunRequest request;
+  int exit_code = 0;
+  std::string failure;
+  try {
+    request = RunRequest::from_options(job.args);
+    // Daemon defaults for knobs the request left unset: shared calibration
+    // cache and the daemon's trend store.
+    if (!job.args.has("cal-cache")) {
+      request.cal_cache_path = config_.cal_cache_path;
+    }
+    if (request.trend_dir.empty()) {
+      request.trend_dir = config_.store_dir;
+    }
+
+    ProgressFn progress = [&](const ServiceEvent& event) {
+      switch (event.kind) {
+        case ServiceEvent::Kind::kSuiteStart: {
+          std::string warnings;
+          for (const std::string& w : event.warnings) {
+            if (!warnings.empty()) {
+              warnings += ',';
+            }
+            warnings += quoted(w);
+          }
+          try_send(job.stream,
+                   "{\"event\":\"suite_start\",\"system\":" + quoted(event.system) +
+                       ",\"total\":" + std::to_string(event.total) +
+                       ",\"cal_warm\":" + (event.cal_warm ? "true" : "false") +
+                       ",\"warnings\":[" + warnings + "]}");
+          break;
+        }
+        case ServiceEvent::Kind::kBenchStart: {
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            running_bench_ = event.name;
+          }
+          try_send(job.stream, "{\"event\":\"bench_start\",\"name\":" + quoted(event.name) +
+                                   ",\"index\":" + std::to_string(event.index) +
+                                   ",\"total\":" + std::to_string(event.total) + "}");
+          break;
+        }
+        case ServiceEvent::Kind::kBenchFinish: {
+          const RunResult* r = event.result;
+          try_send(job.stream,
+                   "{\"event\":\"bench_finish\",\"name\":" + quoted(event.name) +
+                       ",\"index\":" + std::to_string(event.index) +
+                       ",\"total\":" + std::to_string(event.total) +
+                       ",\"status\":" + quoted(r != nullptr ? run_status_name(r->status) : "?") +
+                       ",\"summary\":" + quoted(r != nullptr ? r->summary() : "") +
+                       ",\"wall_ms\":" + report::json_double(r != nullptr ? r->wall_ms : 0) +
+                       "}");
+          break;
+        }
+        case ServiceEvent::Kind::kSuiteEnd:
+          break;  // folded into the "done" frame below
+      }
+    };
+
+    RunArtifacts artifacts = service_.run(request, progress);
+    exit_code = artifacts.exit_code();
+    std::string batch_json = report::to_json(artifacts.batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_results_json_ = batch_json;
+    }
+    try_send(job.stream,
+             "{\"event\":\"done\",\"ok\":true,\"job\":" + std::to_string(job.id) +
+                 ",\"exit_code\":" + std::to_string(exit_code) +
+                 ",\"failed\":" + std::to_string(artifacts.failed) +
+                 ",\"metrics\":" + std::to_string(artifacts.metric_count) +
+                 ",\"wall_ms\":" + report::json_double(artifacts.total_wall_ms) +
+                 ",\"trend_seq\":" + std::to_string(artifacts.trend_seq) +
+                 ",\"gate_failed\":" + (artifacts.gate_failed ? "true" : "false") +
+                 ",\"results\":" + embed(batch_json) + "}");
+  } catch (const UsageError& e) {
+    failure = e.what();
+    try_send(job.stream, "{\"event\":\"done\",\"ok\":false,\"job\":" + std::to_string(job.id) +
+                             ",\"exit_code\":2,\"error\":" + quoted(failure) + "}");
+  } catch (const std::exception& e) {
+    failure = e.what();
+    try_send(job.stream, "{\"event\":\"done\",\"ok\":false,\"job\":" + std::to_string(job.id) +
+                             ",\"exit_code\":2,\"error\":" + quoted(failure) + "}");
+  }
+  log("job " + std::to_string(job.id) + " finished" +
+      (failure.empty() ? " (exit " + std::to_string(exit_code) + ")" : ": " + failure));
+}
+
+}  // namespace lmb::svc

@@ -1,0 +1,112 @@
+// lmbenchd: the suite pipeline as a long-running local service.
+//
+// A Daemon listens on a Unix-domain socket (filesystem permissions are the
+// access control — benchmarking is a local, trusted affair, like the
+// paper's loopback-only network benchmarks), speaks the length-prefixed
+// JSON protocol in src/svc/wire.h, and executes submitted suite requests
+// strictly one at a time through a shared BenchService — concurrent
+// benchmark runs would time-share the machine they are trying to measure,
+// so the job queue is FIFO by design.  Every completed batch is appended
+// to the daemon's trend store (src/db/trend_store.h), building the run
+// history the changepoint detector and `lmbench_trend` read.
+//
+// Threading: one accept loop, one short-lived thread per connection (frame
+// parsing and quick ops), one executor draining the job queue.  A `submit`
+// hands its connection to the executor, which streams progress events and
+// the final result batch back over it; a client that disappears mid-run
+// only loses its stream — the run completes and is stored regardless.
+#ifndef LMBENCHPP_SRC_SVC_DAEMON_H_
+#define LMBENCHPP_SRC_SVC_DAEMON_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/report/json.h"
+#include "src/svc/bench_service.h"
+#include "src/sys/socket.h"
+
+namespace lmb::svc {
+
+struct DaemonConfig {
+  std::string socket_path = "lmbenchd.sock";
+  // Trend store directory; every completed batch is appended here.  ""
+  // disables trend recording (the `trend` op then reports an error).
+  std::string store_dir = "lmbench-trends";
+  // Calibration cache used when a request does not name its own.
+  std::string cal_cache_path = ".lmbenchpp-cal.db";
+  // Log one line per lifecycle event to stderr.
+  bool verbose = false;
+  // Benchmark registry; nullptr = Registry::global().
+  const Registry* registry = nullptr;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();  // stop()
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // Binds the socket and spawns the accept + executor threads.  Throws
+  // sys::SysError when the socket cannot be created.
+  void start();
+
+  // Blocks until a `shutdown` request (or stop()) ends the daemon.
+  void wait();
+
+  // Requests shutdown and joins every thread.  Idempotent; called by the
+  // destructor.
+  void stop();
+
+  bool running() const;
+  int completed_jobs() const;
+  const std::string& socket_path() const { return config_.socket_path; }
+
+ private:
+  struct Job {
+    long id = 0;
+    sys::UnixStream stream;  // progress + result frames go here
+    Options args;
+  };
+
+  void accept_loop();
+  void executor_loop();
+  void handle_connection(sys::UnixStream stream);
+  void execute(Job job);
+  std::string status_payload();
+  std::string trend_payload(const report::JsonObject& request);
+  // Best-effort frame send; a vanished client is not an error.
+  static bool try_send(sys::UnixStream& stream, const std::string& payload);
+  void log(const std::string& line);
+
+  DaemonConfig config_;
+  BenchService service_;
+
+  std::unique_ptr<sys::UnixListener> listener_;
+  std::thread accept_thread_;
+  std::thread executor_thread_;
+  std::vector<std::thread> connection_threads_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable shutdown_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  bool started_ = false;
+  long next_job_id_ = 1;
+  std::string running_bench_;  // "" when idle
+  long running_job_ = 0;       // 0 when idle
+  int completed_ = 0;
+  std::string last_results_json_;  // newest completed lmbenchpp.results.v1
+};
+
+}  // namespace lmb::svc
+
+#endif  // LMBENCHPP_SRC_SVC_DAEMON_H_

@@ -1,0 +1,63 @@
+#include "src/svc/wire.h"
+
+#include <stdexcept>
+
+#include "src/sys/fdio.h"
+
+namespace lmb::svc {
+
+void write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::invalid_argument("wire: frame too large: " + std::to_string(payload.size()));
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  unsigned char prefix[4] = {
+      static_cast<unsigned char>(len >> 24), static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 8), static_cast<unsigned char>(len)};
+  // One buffer, one write: a frame either lands whole or the connection is
+  // torn — readers never see a prefix without its payload from our side.
+  std::string buf;
+  buf.reserve(sizeof(prefix) + payload.size());
+  buf.append(reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  buf.append(payload);
+  sys::write_full(fd, buf.data(), buf.size());
+}
+
+std::optional<std::string> read_frame(int fd) {
+  unsigned char prefix[4];
+  size_t got = 0;
+  while (got < sizeof(prefix)) {
+    size_t n = sys::read_some(fd, prefix + got, sizeof(prefix) - got);
+    if (n == 0) {
+      if (got == 0) {
+        return std::nullopt;  // clean EOF between frames
+      }
+      throw std::runtime_error("wire: EOF inside frame length");
+    }
+    got += n;
+  }
+  const std::uint32_t len = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                            (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                            (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                            static_cast<std::uint32_t>(prefix[3]);
+  if (len > kMaxFrameBytes) {
+    throw std::runtime_error("wire: oversized frame: " + std::to_string(len) + " bytes");
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    sys::read_full(fd, payload.data(), len);  // throws on mid-frame EOF
+  }
+  return payload;
+}
+
+report::JsonValue parse_message(const std::string& payload) {
+  report::JsonValue v = report::parse_json(payload);
+  v.object();  // type check: every protocol message is an object
+  return v;
+}
+
+std::string error_message(const std::string& message) {
+  return "{\"ok\":false,\"error\":" + report::json_quote(message) + "}";
+}
+
+}  // namespace lmb::svc

@@ -1,0 +1,58 @@
+// lmbenchd wire protocol: length-prefixed JSON frames over a stream socket.
+//
+// Framing: a 4-byte big-endian unsigned length followed by that many bytes
+// of UTF-8 JSON.  Length-prefixing (rather than newline-delimiting) lets
+// payloads embed whole serialized result batches — which are pretty-printed
+// multi-line JSON — without escaping games.
+//
+// Conversation: the client sends one request object `{"op": ...}` and
+// reads response frames until the operation completes.  Every op except
+// `submit` answers with exactly one frame; `submit` streams progress-event
+// frames (`{"event": "suite_start" | "bench_start" | "bench_finish"}`)
+// and terminates with `{"event": "done", ...}`.  Errors are in-band:
+// `{"ok": false, "error": "..."}`.
+//
+// Ops:
+//   submit    {"op":"submit","args":{flag:value,...}} — run_suite's flag
+//             map, verbatim; the daemon rebuilds a RunRequest from it
+//   status    {"op":"status"} -> queue depth, current job, totals
+//   results   {"op":"results"} -> newest completed lmbenchpp.results.v1
+//             document (null before the first completion)
+//   trend     {"op":"trend"[,"bench":...,"metric":...]} -> rendered trend
+//             table + lmbenchpp.trend.v1 document from the daemon's store
+//   shutdown  {"op":"shutdown"} -> ack, then the daemon exits its loop
+#ifndef LMBENCHPP_SRC_SVC_WIRE_H_
+#define LMBENCHPP_SRC_SVC_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/report/json.h"
+
+namespace lmb::svc {
+
+// Protocol sanity bound; a frame this large is a bug or an attack, not a
+// result batch.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+// Writes one frame (length prefix + payload) to `fd`.  Throws SysError on
+// I/O failure and std::invalid_argument when `payload` exceeds
+// kMaxFrameBytes.
+void write_frame(int fd, const std::string& payload);
+
+// Reads one frame from `fd`.  Returns nullopt on a clean EOF at a frame
+// boundary (peer closed); throws std::runtime_error on EOF mid-frame or an
+// oversized length prefix, SysError on I/O failure.
+std::optional<std::string> read_frame(int fd);
+
+// Convenience: parses a frame as JSON and checks it is an object.
+// Throws std::invalid_argument on malformed payloads.
+report::JsonValue parse_message(const std::string& payload);
+
+// `{"ok":false,"error":<message>}` — the in-band failure frame.
+std::string error_message(const std::string& message);
+
+}  // namespace lmb::svc
+
+#endif  // LMBENCHPP_SRC_SVC_WIRE_H_

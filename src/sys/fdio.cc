@@ -80,8 +80,21 @@ UniqueFd open_rw_create(const std::string& path) {
   return UniqueFd(fd);
 }
 
+UniqueFd open_append(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    throw_errno("open " + path);
+  }
+  return UniqueFd(fd);
+}
+
 void write_file(const std::string& path, const std::string& content) {
   UniqueFd fd = open_write(path);
+  write_full(fd.get(), content.data(), content.size());
+}
+
+void append_file(const std::string& path, const std::string& content) {
+  UniqueFd fd = open_append(path);
   write_full(fd.get(), content.data(), content.size());
 }
 

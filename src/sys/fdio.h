@@ -27,9 +27,14 @@ size_t read_some(int fd, void* buf, size_t len);
 UniqueFd open_read(const std::string& path);
 UniqueFd open_write(const std::string& path);  // O_WRONLY|O_CREAT|O_TRUNC, 0644
 UniqueFd open_rw_create(const std::string& path);
+UniqueFd open_append(const std::string& path);  // O_WRONLY|O_CREAT|O_APPEND, 0644
 
 // Writes `content` to a new file at `path` (create/truncate).
 void write_file(const std::string& path, const std::string& content);
+
+// Appends `content` to `path`, creating it if missing.  One write_full
+// call, so lines up to PIPE_BUF append atomically with other writers.
+void append_file(const std::string& path, const std::string& content);
 
 // Reads a whole file into a string; throws on failure.
 std::string read_file(const std::string& path);

@@ -1,9 +1,12 @@
 #include "src/sys/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -86,6 +89,101 @@ TcpStream TcpListener::accept() {
       throw_errno("accept");
     }
   }
+}
+
+namespace {
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("unix socket path too long: " + path);
+  }
+  memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+UnixStream UnixStream::connect(const std::string& path, int timeout_ms) {
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd) {
+    throw_errno("socket");
+  }
+  sockaddr_un addr = unix_addr(path);
+  if (timeout_ms < 0) {
+    check_syscall(::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+                  "connect");
+    return UnixStream(std::move(fd));
+  }
+  // Bounded connect: non-blocking connect, poll for writability, then read
+  // SO_ERROR for the real outcome.  (A missing socket file fails the
+  // connect() itself with ENOENT/ECONNREFUSED — no polling needed.)
+  int flags = static_cast<int>(check_syscall(::fcntl(fd.get(), F_GETFL), "fcntl F_GETFL"));
+  check_syscall(::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK), "fcntl F_SETFL");
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      throw_errno("connect " + path);
+    }
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    int ready = static_cast<int>(
+        check_syscall(::poll(&pfd, 1, timeout_ms), "poll"));
+    if (ready == 0) {
+      throw SysError("connect " + path + " timed out", ETIMEDOUT);
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    check_syscall(::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len),
+                  "getsockopt SO_ERROR");
+    if (err != 0) {
+      throw SysError("connect " + path, err);
+    }
+  }
+  check_syscall(::fcntl(fd.get(), F_SETFL, flags), "fcntl F_SETFL");
+  return UnixStream(std::move(fd));
+}
+
+void UnixStream::send_all(const void* buf, size_t len) { write_full(fd_.get(), buf, len); }
+
+void UnixStream::recv_all(void* buf, size_t len) { read_full(fd_.get(), buf, len); }
+
+size_t UnixStream::recv_some(void* buf, size_t len) { return read_some(fd_.get(), buf, len); }
+
+void UnixStream::shutdown_write() {
+  check_syscall(::shutdown(fd_.get(), SHUT_WR), "shutdown");
+}
+
+UnixListener::UnixListener(std::string path, int backlog) : path_(std::move(path)) {
+  fd_.reset(static_cast<int>(check_syscall(::socket(AF_UNIX, SOCK_STREAM, 0), "socket")));
+  ::unlink(path_.c_str());  // stale socket from a crashed daemon; ENOENT is fine
+  sockaddr_un addr = unix_addr(path_);
+  check_syscall(::bind(fd_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), "bind");
+  check_syscall(::listen(fd_.get(), backlog), "listen");
+}
+
+UnixListener::~UnixListener() { ::unlink(path_.c_str()); }
+
+UnixStream UnixListener::accept() {
+  while (true) {
+    int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      return UnixStream(UniqueFd(fd));
+    }
+    if (errno != EINTR) {
+      throw_errno("accept");
+    }
+  }
+}
+
+std::optional<UnixStream> UnixListener::accept_for(int timeout_ms) {
+  pollfd pfd{fd_.get(), POLLIN, 0};
+  int ready = static_cast<int>(check_syscall(::poll(&pfd, 1, timeout_ms), "poll"));
+  if (ready == 0) {
+    return std::nullopt;
+  }
+  return accept();
 }
 
 UdpSocket::UdpSocket() {

@@ -9,6 +9,7 @@
 #include <netinet/in.h>
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "src/sys/unique_fd.h"
@@ -58,6 +59,59 @@ class TcpListener {
  private:
   UniqueFd fd_;
   std::uint16_t port_ = 0;
+};
+
+// A connected Unix-domain (AF_UNIX) stream — the lmbenchd control channel.
+// Path-based addressing keeps the daemon local-only (filesystem permissions
+// are the access control), matching the paper's loopback-only stance.
+class UnixStream {
+ public:
+  UnixStream() = default;
+  explicit UnixStream(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  // Connects to the socket at `path`; throws SysError on failure.  With
+  // `timeout_ms` >= 0 the connect itself is bounded: a dead or unresponsive
+  // endpoint raises SysError(ETIMEDOUT) instead of blocking forever.
+  static UnixStream connect(const std::string& path, int timeout_ms = -1);
+
+  int fd() const { return fd_.get(); }
+  bool valid() const { return fd_.valid(); }
+
+  void send_all(const void* buf, size_t len);
+  void recv_all(void* buf, size_t len);
+  // One recv; returns 0 on orderly shutdown.
+  size_t recv_some(void* buf, size_t len);
+
+  void shutdown_write();
+
+ private:
+  UniqueFd fd_;
+};
+
+// A listening Unix-domain socket at `path`.  The constructor unlinks a
+// stale socket file left by a crashed predecessor; the destructor removes
+// the path so a clean shutdown leaves no debris.
+class UnixListener {
+ public:
+  explicit UnixListener(std::string path, int backlog = 16);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  const std::string& path() const { return path_; }
+  int fd() const { return fd_.get(); }
+
+  // Blocks until a connection arrives.
+  UnixStream accept();
+
+  // Bounded accept: nullopt after `timeout_ms` with no connection (lets an
+  // accept loop poll a shutdown flag without an extra wakeup channel).
+  std::optional<UnixStream> accept_for(int timeout_ms);
+
+ private:
+  UniqueFd fd_;
+  std::string path_;
 };
 
 // A UDP socket bound to 127.0.0.1 with an ephemeral port.

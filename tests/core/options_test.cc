@@ -100,6 +100,47 @@ TEST(OptionsTest, NumericParsingIsStrictAndLocaleIndependent) {
   EXPECT_THROW(opts.get_int("hex", 0), std::invalid_argument);
 }
 
+TEST(OptionsTest, SplitListSplitsOnCommas) {
+  EXPECT_EQ(Options::split_list("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Options::split_list("solo"), (std::vector<std::string>{"solo"}));
+  EXPECT_TRUE(Options::split_list("").empty());
+}
+
+TEST(OptionsTest, SplitListRejectsEmptyElements) {
+  // "a,,b", a leading or a trailing comma all hide a typo'd element; the
+  // shared splitter is as strict as the scalar getters.
+  EXPECT_THROW(Options::split_list("a,,b"), std::invalid_argument);
+  EXPECT_THROW(Options::split_list("a,"), std::invalid_argument);
+  EXPECT_THROW(Options::split_list(",a"), std::invalid_argument);
+  EXPECT_THROW(Options::split_list(","), std::invalid_argument);
+}
+
+TEST(OptionsTest, GetListParsesCommaValues) {
+  Options opts = parse({"--only=lat_pipe,bw_mem", "--empty="});
+  EXPECT_EQ(opts.get_list("only"), (std::vector<std::string>{"lat_pipe", "bw_mem"}));
+  // Explicitly empty value -> empty list; missing key -> fallback.
+  EXPECT_TRUE(opts.get_list("empty").empty());
+  EXPECT_EQ(opts.get_list("missing", {"dflt"}), (std::vector<std::string>{"dflt"}));
+}
+
+TEST(OptionsTest, GetListNamesTheOffendingOption) {
+  Options opts = parse({"--only=a,,b"});
+  try {
+    opts.get_list("only");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--only"), std::string::npos) << e.what();
+  }
+}
+
+TEST(OptionsTest, EntriesExposeEveryParsedFlag) {
+  Options opts = parse({"--quick", "--jobs=2"});
+  const auto& entries = opts.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.at("quick"), "true");
+  EXPECT_EQ(entries.at("jobs"), "2");
+}
+
 TEST(OptionsTest, SizeSuffixRejectsTrailingGarbage) {
   EXPECT_THROW(Options::parse_size("4kZZ"), std::invalid_argument);
   EXPECT_THROW(Options::parse_size("4k "), std::invalid_argument);

@@ -70,12 +70,54 @@ TEST_F(BaselineStoreTest, IgnoresUnrelatedFiles) {
   ASSERT_EQ(store.list().size(), 1u);
 }
 
-TEST_F(BaselineStoreTest, CorruptLatestFailsLoudly) {
+TEST_F(BaselineStoreTest, CorruptLatestFallsBackToNewestValidEntry) {
   std::string dir = tmp_.path() + "/baselines";
   BaselineStore store(dir);
   store.save(make_batch("host", 1.0));
-  std::ofstream(dir + "/baseline-000002.json") << "{ not json";
+  store.save(make_batch("host", 2.0));
+  std::ofstream(dir + "/baseline-000003.json") << "{ not json";
+
+  // A torn/corrupt newest entry (crashed writer) degrades by one entry
+  // instead of wedging every future comparison.
+  std::string path_used;
+  std::optional<report::ResultBatch> latest = store.load_latest(&path_used);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_DOUBLE_EQ(latest->results[0].metrics[0].value, 2.0);
+  EXPECT_NE(path_used.find("baseline-000002.json"), std::string::npos) << path_used;
+}
+
+TEST_F(BaselineStoreTest, TruncatedLatestFallsBack) {
+  std::string dir = tmp_.path() + "/baselines";
+  BaselineStore store(dir);
+  store.save(make_batch("host", 7.0));
+  std::string full = report::to_json(make_batch("host", 8.0));
+  std::ofstream(dir + "/baseline-000002.json") << full.substr(0, full.size() / 2);
+
+  std::optional<report::ResultBatch> latest = store.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_DOUBLE_EQ(latest->results[0].metrics[0].value, 7.0);
+}
+
+TEST_F(BaselineStoreTest, AllEntriesCorruptStillFailsLoudly) {
+  std::string dir = tmp_.path() + "/baselines";
+  BaselineStore store(dir);
+  store.save(make_batch("host", 1.0));
+  std::ofstream(dir + "/baseline-000001.json", std::ios::trunc) << "{ not json";
   EXPECT_THROW(store.load_latest(), std::invalid_argument);
+}
+
+TEST_F(BaselineStoreTest, SequenceContinuesPastCorruptAndPrunedEntries) {
+  std::string dir = tmp_.path() + "/baselines";
+  BaselineStore store(dir);
+  for (int i = 1; i <= 3; ++i) {
+    store.save(make_batch("host", static_cast<double>(i)));
+  }
+  // Corrupt the newest and prune the oldest: new saves must still advance
+  // the sequence (never reuse or renumber), so history stays append-only.
+  std::ofstream(dir + "/baseline-000003.json", std::ios::trunc) << "garbage";
+  store.prune(2);
+  std::string next = store.save(make_batch("host", 4.0));
+  EXPECT_NE(next.find("baseline-000004.json"), std::string::npos) << next;
 }
 
 TEST_F(BaselineStoreTest, PruneKeepsNewestEntries) {

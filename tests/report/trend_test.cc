@@ -1,0 +1,129 @@
+// Changepoint detection + trend report over synthetic series.
+#include "src/report/trend.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace lmb::report {
+namespace {
+
+db::TrendSeries make_series(const std::string& bench, const std::string& key,
+                            const std::vector<double>& values) {
+  db::TrendSeries s;
+  s.host = "host";
+  s.bench = bench;
+  s.key = key;
+  s.unit = "us";
+  for (size_t i = 0; i < values.size(); ++i) {
+    s.points.push_back({static_cast<long>(i + 1), values[i]});
+  }
+  return s;
+}
+
+TEST(ChangepointTest, FlagsACleanStep) {
+  // 10us latency regressing to 15us at run 5: the canonical injected step.
+  std::vector<double> values = {10.0, 10.1, 9.9, 10.0, 15.0, 15.1, 14.9, 15.0};
+  std::vector<Changepoint> cps = detect_changepoints(values);
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_EQ(cps[0].index, 4u);  // first point of the new regime
+  EXPECT_NEAR(cps[0].before_mean, 10.0, 0.2);
+  EXPECT_NEAR(cps[0].after_mean, 15.0, 0.2);
+  EXPECT_GT(cps[0].rel_change, 0.4);
+  EXPECT_GE(cps[0].score, 1.0);
+}
+
+TEST(ChangepointTest, QuietOnPureNoise) {
+  // +-1% wobble around 100: no changepoint, whatever the phase.
+  std::vector<double> values = {100.0, 101.0, 99.0, 100.5, 99.5, 100.2, 99.8,
+                                100.9, 99.1, 100.0};
+  EXPECT_TRUE(detect_changepoints(values).empty());
+}
+
+TEST(ChangepointTest, QuietOnConstantSeries) {
+  std::vector<double> values(8, 42.0);
+  EXPECT_TRUE(detect_changepoints(values).empty());
+}
+
+TEST(ChangepointTest, CatchesSlowDriftThePairwiseGateMisses) {
+  // ~3% per run: each individual step hides inside a 5% pairwise
+  // threshold, but the shift accumulated across window means flags.  A
+  // wider window trades split precision for drift sensitivity.
+  std::vector<double> values;
+  double v = 100.0;
+  for (int i = 0; i < 12; ++i) {
+    values.push_back(v);
+    v *= 1.03;
+  }
+  ChangepointOptions wide;
+  wide.window = 5;
+  EXPECT_FALSE(detect_changepoints(values, wide).empty());
+}
+
+TEST(ChangepointTest, ShortSeriesNeverFlag) {
+  EXPECT_TRUE(detect_changepoints({}).empty());
+  EXPECT_TRUE(detect_changepoints({1.0}).empty());
+  EXPECT_TRUE(detect_changepoints({1.0, 100.0}).empty());
+}
+
+TEST(ChangepointTest, OneStepReportsOneChangepoint) {
+  // Neighboring splits around a single step all clear the threshold; the
+  // merge must collapse them to the strongest.
+  std::vector<double> values = {10, 10, 10, 10, 10, 20, 20, 20, 20, 20};
+  std::vector<Changepoint> cps = detect_changepoints(values);
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_EQ(cps[0].index, 5u);
+}
+
+TEST(ChangepointTest, DirectionIsSigned) {
+  std::vector<double> values = {20.0, 20.0, 20.0, 20.0, 10.0, 10.0, 10.0, 10.0};
+  std::vector<Changepoint> cps = detect_changepoints(values);
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_LT(cps[0].rel_change, 0.0);  // an improvement is still a level shift
+}
+
+TEST(SparklineTest, ScalesToOwnRange) {
+  std::string spark = render_sparkline({0.0, 1.0});
+  EXPECT_EQ(spark, "▁█");
+  EXPECT_EQ(render_sparkline({}), "");
+  // A flat series renders at one level, not garbage.
+  std::string flat = render_sparkline({5.0, 5.0, 5.0});
+  EXPECT_EQ(flat, "▁▁▁");
+  // Non-finite points render as a placeholder.
+  EXPECT_NE(render_sparkline({1.0, std::nan(""), 2.0}).find("·"), std::string::npos);
+}
+
+TEST(TrendTableTest, AnnotatesChangepointsAndSortsThemFirst) {
+  std::vector<db::TrendSeries> series = {
+      make_series("lat_quiet", "us", {5.0, 5.0, 5.1, 5.0, 4.9, 5.0}),
+      make_series("lat_shift", "us", {10.0, 10.0, 10.0, 15.0, 15.0, 15.0}),
+  };
+  std::vector<TrendRow> rows = analyze_trends(series);
+  std::string table = render_trend_table(rows);
+  EXPECT_NE(table.find("lat_shift"), std::string::npos);
+  EXPECT_NE(table.find("changepoints:"), std::string::npos);
+  EXPECT_NE(table.find("level shift"), std::string::npos);
+  // The shifted series sorts above the quiet one.
+  EXPECT_LT(table.find("lat_shift"), table.find("lat_quiet"));
+
+  std::string quiet_table = render_trend_table(analyze_trends(
+      {make_series("lat_quiet", "us", {5.0, 5.0, 5.1, 5.0, 4.9, 5.0})}));
+  EXPECT_NE(quiet_table.find("no changepoints detected"), std::string::npos);
+}
+
+TEST(TrendJsonTest, EmitsSchemaSeriesAndChangepoints) {
+  std::vector<TrendRow> rows =
+      analyze_trends({make_series("lat_shift", "us", {10, 10, 10, 15, 15, 15})});
+  std::string json = trend_to_json("hostA", rows);
+  EXPECT_NE(json.find("\"lmbenchpp.trend.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"hostA\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat_shift\""), std::string::npos);
+  EXPECT_NE(json.find("\"changepoints\""), std::string::npos);
+  // The changepoint names the store sequence number of the new regime.
+  EXPECT_NE(json.find("\"seq\": 4"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace lmb::report

@@ -1,0 +1,211 @@
+// BenchService: the whole run_suite pipeline as a library, driven against
+// a private registry of fast synthetic benchmarks.
+#include "src/svc/bench_service.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/db/trend_store.h"
+#include "src/sys/temp.h"
+
+namespace lmb::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A registry of instant benchmarks; `value` lets tests inject a step.
+Registry make_registry(double lat_value = 10.0) {
+  Registry registry;
+  registry.add(BenchmarkInfo{
+      .name = "fake_lat",
+      .category = "latency",
+      .description = "synthetic latency",
+      .run = [lat_value](const Options&) { return RunResult().add("us", lat_value, "us"); },
+  });
+  registry.add(BenchmarkInfo{
+      .name = "fake_bw",
+      .category = "bandwidth",
+      .description = "synthetic bandwidth",
+      .run = [](const Options&) { return RunResult().add("mbs", 5000.0, "MB/s"); },
+  });
+  registry.add(BenchmarkInfo{
+      .name = "fake_fail",
+      .category = "latency",
+      .description = "always throws",
+      .run = [](const Options&) -> RunResult { throw std::runtime_error("boom"); },
+  });
+  return registry;
+}
+
+class BenchServiceTest : public ::testing::Test {
+ protected:
+  RunRequest base_request() {
+    RunRequest req;
+    req.names = {"fake_lat", "fake_bw"};
+    req.use_cal_cache = false;
+    return req;
+  }
+  sys::TempDir tmp_;
+};
+
+TEST_F(BenchServiceTest, RunsSelectedBenchmarksAndCountsMetrics) {
+  Registry registry = make_registry();
+  BenchService service(registry);
+  RunArtifacts artifacts = service.run(base_request());
+  ASSERT_EQ(artifacts.batch.results.size(), 2u);
+  EXPECT_EQ(artifacts.metric_count, 2u);
+  EXPECT_EQ(artifacts.failed, 0);
+  EXPECT_EQ(artifacts.exit_code(), 0);
+  EXPECT_FALSE(artifacts.batch.system.empty());
+  EXPECT_TRUE(artifacts.batch.environment.has_value());
+  EXPECT_EQ(service.completed_runs(), 1);
+}
+
+TEST_F(BenchServiceTest, UnknownBenchmarkIsAUsageErrorBeforeAnythingRuns) {
+  Registry registry = make_registry();
+  BenchService service(registry);
+  RunRequest req = base_request();
+  req.names = {"fake_lat", "lat_typo"};
+  try {
+    service.run(req);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_EQ(std::string(e.what()), "no such benchmark 'lat_typo' (try --list)");
+  }
+  EXPECT_EQ(service.completed_runs(), 0);
+}
+
+TEST_F(BenchServiceTest, EmptyCategoryMatchIsAUsageError) {
+  Registry registry = make_registry();
+  BenchService service(registry);
+  RunRequest req;
+  req.category = "nonsense";
+  req.use_cal_cache = false;
+  try {
+    service.run(req);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_EQ(std::string(e.what()), "no benchmarks in category 'nonsense' (try --list)");
+  }
+}
+
+TEST_F(BenchServiceTest, FailingBenchmarkSetsExitCodeOne) {
+  Registry registry = make_registry();
+  BenchService service(registry);
+  RunRequest req = base_request();
+  req.names = {"fake_lat", "fake_fail"};
+  RunArtifacts artifacts = service.run(req);
+  EXPECT_EQ(artifacts.failed, 1);
+  EXPECT_EQ(artifacts.exit_code(), 1);
+}
+
+TEST_F(BenchServiceTest, StreamsProgressEventsInOrder) {
+  Registry registry = make_registry();
+  BenchService service(registry);
+  std::vector<ServiceEvent::Kind> kinds;
+  int finishes = 0;
+  service.run(base_request(), [&](const ServiceEvent& event) {
+    kinds.push_back(event.kind);
+    if (event.kind == ServiceEvent::Kind::kBenchFinish) {
+      ++finishes;
+      EXPECT_NE(event.result, nullptr);
+      EXPECT_FALSE(event.name.empty());
+    }
+    if (event.kind == ServiceEvent::Kind::kSuiteStart) {
+      EXPECT_EQ(event.total, 2);
+      EXPECT_FALSE(event.system.empty());
+    }
+  });
+  ASSERT_GE(kinds.size(), 4u);
+  EXPECT_EQ(kinds.front(), ServiceEvent::Kind::kSuiteStart);
+  EXPECT_EQ(kinds.back(), ServiceEvent::Kind::kSuiteEnd);
+  EXPECT_EQ(finishes, 2);
+}
+
+TEST_F(BenchServiceTest, WritesRequestedOutputFiles) {
+  Registry registry = make_registry();
+  BenchService service(registry);
+  RunRequest req = base_request();
+  req.json_path = tmp_.path() + "/r.json";
+  req.csv_path = tmp_.path() + "/r.csv";
+  req.out_path = tmp_.path() + "/r.db";
+  service.run(req);
+  EXPECT_TRUE(fs::exists(req.json_path));
+  EXPECT_TRUE(fs::exists(req.csv_path));
+  EXPECT_TRUE(fs::exists(req.out_path));
+}
+
+TEST_F(BenchServiceTest, EstablishesBaselineThenGates) {
+  std::string store = tmp_.path() + "/baselines";
+  {
+    Registry registry = make_registry(10.0);
+    BenchService service(registry);
+    RunRequest req = base_request();
+    req.baseline_path = store;
+    RunArtifacts first = service.run(req);
+    EXPECT_TRUE(first.baseline_established);
+    EXPECT_FALSE(first.baseline_saved_path.empty());
+    EXPECT_EQ(first.exit_code(), 0);
+  }
+  {
+    // Second run regresses 10us -> 20us; the armed gate must trip (exit 3).
+    Registry registry = make_registry(20.0);
+    BenchService service(registry);
+    RunRequest req = base_request();
+    req.baseline_path = store;
+    req.gate = true;
+    RunArtifacts second = service.run(req);
+    ASSERT_TRUE(second.compare.has_value());
+    EXPECT_TRUE(second.gate_failed);
+    EXPECT_EQ(second.exit_code(), 3);
+  }
+}
+
+TEST_F(BenchServiceTest, AppendsToTrendStore) {
+  Registry registry = make_registry();
+  BenchService service(registry);
+  RunRequest req = base_request();
+  req.trend_dir = tmp_.path() + "/trends";
+  EXPECT_EQ(service.run(req).trend_seq, 1);
+  EXPECT_EQ(service.run(req).trend_seq, 2);
+  db::TrendStore store(req.trend_dir);
+  ASSERT_EQ(store.hosts().size(), 1u);
+  EXPECT_EQ(store.runs(store.hosts()[0]).size(), 2u);
+}
+
+TEST_F(BenchServiceTest, FromOptionsMapsRunSuiteFlags) {
+  Options opts = Options::from_pairs({{"only", "fake_lat,fake_bw"},
+                                      {"jobs", "2"},
+                                      {"timeout", "30"},
+                                      {"json", "out.json"},
+                                      {"gate", "2.5"},
+                                      {"baseline", "b"},
+                                      {"trend-store", "t"},
+                                      {"no-cal-cache", "true"}});
+  RunRequest req = RunRequest::from_options(opts);
+  EXPECT_EQ(req.names, (std::vector<std::string>{"fake_lat", "fake_bw"}));
+  EXPECT_EQ(req.jobs, 2);
+  EXPECT_DOUBLE_EQ(req.timeout_sec, 30.0);
+  EXPECT_EQ(req.json_path, "out.json");
+  EXPECT_TRUE(req.gate);
+  ASSERT_TRUE(req.gate_floor_pct.has_value());
+  EXPECT_DOUBLE_EQ(*req.gate_floor_pct, 2.5);
+  EXPECT_EQ(req.trend_dir, "t");
+  EXPECT_FALSE(req.use_cal_cache);
+
+  // Bare --gate keeps the default significance floor.
+  RunRequest bare = RunRequest::from_options(Options::from_pairs({{"gate", "true"}}));
+  EXPECT_TRUE(bare.gate);
+  EXPECT_FALSE(bare.gate_floor_pct.has_value());
+}
+
+TEST_F(BenchServiceTest, MalformedOnlyListIsInvalidArgument) {
+  EXPECT_THROW(RunRequest::from_options(Options::from_pairs({{"only", "a,,b"}})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmb::svc

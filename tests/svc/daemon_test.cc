@@ -1,0 +1,170 @@
+// lmbenchd + client round trips against an in-process daemon wired to a
+// registry of synthetic benchmarks.
+#include "src/svc/daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/svc/client.h"
+#include "src/svc/wire.h"
+#include "src/sys/error.h"
+#include "src/sys/temp.h"
+
+namespace lmb::svc {
+namespace {
+
+using report::JsonValue;
+using report::find;
+
+// Must outlive the daemon (abandoned-thread rule in bench_service.h) and
+// the daemon's threads, so both live for the whole test binary.
+Registry& test_registry() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    r->add(BenchmarkInfo{
+        .name = "fake_lat",
+        .category = "latency",
+        .description = "synthetic latency",
+        .run = [](const Options&) { return RunResult().add("us", 10.0, "us"); },
+    });
+    r->add(BenchmarkInfo{
+        .name = "fake_bw",
+        .category = "bandwidth",
+        .description = "synthetic bandwidth",
+        .run = [](const Options&) { return RunResult().add("mbs", 5000.0, "MB/s"); },
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  DaemonConfig config() {
+    DaemonConfig c;
+    c.socket_path = tmp_.path() + "/d.sock";
+    c.store_dir = tmp_.path() + "/trends";
+    c.cal_cache_path = tmp_.path() + "/cal.db";
+    c.registry = &test_registry();
+    return c;
+  }
+  std::map<std::string, std::string> quick_args() {
+    return {{"only", "fake_lat,fake_bw"}, {"no-cal-cache", "true"}};
+  }
+  sys::TempDir tmp_;
+};
+
+TEST_F(DaemonTest, SubmitStreamsProgressAndReturnsResults) {
+  Daemon daemon(config());
+  daemon.start();
+  Client client(daemon.socket_path());
+
+  std::vector<std::string> events;
+  JsonValue done = client.submit(quick_args(), [&](const JsonValue& frame) {
+    if (const JsonValue* event = find(frame.object(), "event")) {
+      events.push_back(event->str());
+    }
+  });
+
+  // The stream carries queue ack, suite start, one finish per benchmark,
+  // and the terminal frame.
+  ASSERT_GE(events.size(), 4u);
+  EXPECT_EQ(events.front(), "queued");
+  EXPECT_EQ(events.back(), "done");
+  EXPECT_EQ(std::count(events.begin(), events.end(), "bench_finish"), 2);
+
+  const report::JsonObject& obj = done.object();
+  EXPECT_EQ(static_cast<int>(find(obj, "exit_code")->number()), 0);
+  EXPECT_EQ(static_cast<int>(find(obj, "metrics")->number()), 2);
+  // The embedded results document is a full lmbenchpp.results.v1 batch.
+  const JsonValue* results = find(obj, "results");
+  ASSERT_NE(results, nullptr);
+  EXPECT_EQ(find(results->object(), "schema")->str(), "lmbenchpp.results.v1");
+  EXPECT_EQ(results->object().at("results").array().size(), 2u);
+
+  daemon.stop();
+}
+
+TEST_F(DaemonTest, TwoSubmitsBuildATwoPointTrendSeries) {
+  Daemon daemon(config());
+  daemon.start();
+  Client client(daemon.socket_path());
+  client.submit(quick_args());
+  client.submit(quick_args());
+
+  JsonValue trend = client.trend();
+  const report::JsonObject& obj = trend.object();
+  ASSERT_EQ(find(obj, "error"), nullptr);
+  const JsonValue* series = find(find(obj, "trend")->object(), "series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_FALSE(series->array().empty());
+  for (const JsonValue& s : series->array()) {
+    EXPECT_EQ(find(s.object(), "points")->array().size(), 2u);
+  }
+  daemon.stop();
+}
+
+TEST_F(DaemonTest, StatusAndResultsOps) {
+  Daemon daemon(config());
+  daemon.start();
+  Client client(daemon.socket_path());
+
+  JsonValue before = client.status();
+  EXPECT_EQ(find(before.object(), "state")->str(), "idle");
+  EXPECT_EQ(static_cast<int>(find(before.object(), "completed")->number()), 0);
+  EXPECT_TRUE(find(client.results().object(), "results")->is_null());
+
+  client.submit(quick_args());
+  JsonValue after = client.status();
+  EXPECT_EQ(static_cast<int>(find(after.object(), "completed")->number()), 1);
+  EXPECT_FALSE(find(client.results().object(), "results")->is_null());
+  daemon.stop();
+}
+
+TEST_F(DaemonTest, UnknownBenchmarkSubmissionFailsWithUsageExitCode) {
+  Daemon daemon(config());
+  daemon.start();
+  Client client(daemon.socket_path());
+  JsonValue done = client.submit({{"only", "lat_typo"}});
+  const report::JsonObject& obj = done.object();
+  EXPECT_EQ(static_cast<int>(find(obj, "exit_code")->number()), 2);
+  EXPECT_NE(find(obj, "error")->str().find("no such benchmark"), std::string::npos);
+  daemon.stop();
+}
+
+TEST_F(DaemonTest, ShutdownOpStopsTheDaemon) {
+  Daemon daemon(config());
+  daemon.start();
+  Client client(daemon.socket_path());
+  EXPECT_TRUE(daemon.running());
+  client.shutdown();
+  daemon.wait();  // returns because the shutdown op set the flag
+  daemon.stop();
+  EXPECT_FALSE(daemon.running());
+}
+
+TEST_F(DaemonTest, UnknownOpAnswersInBandError) {
+  Daemon daemon(config());
+  daemon.start();
+  sys::UnixStream stream = sys::UnixStream::connect(daemon.socket_path(), 2000);
+  write_frame(stream.fd(), "{\"op\":\"dance\"}");
+  std::optional<std::string> payload = read_frame(stream.fd());
+  ASSERT_TRUE(payload.has_value());
+  JsonValue response = parse_message(*payload);
+  EXPECT_FALSE(find(response.object(), "ok")->boolean());
+  daemon.stop();
+}
+
+TEST(DaemonClientTest, ConnectFailureIsSysErrorNotHang) {
+  sys::TempDir tmp;
+  Client client(tmp.path() + "/nobody.sock", /*connect_timeout_ms=*/300);
+  EXPECT_THROW(client.status(), sys::SysError);
+}
+
+}  // namespace
+}  // namespace lmb::svc

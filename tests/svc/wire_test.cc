@@ -1,0 +1,79 @@
+// Length-prefixed JSON framing for the lmbenchd protocol.
+#include "src/svc/wire.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "src/sys/pipe.h"
+
+namespace lmb::svc {
+namespace {
+
+TEST(WireTest, FramesRoundTrip) {
+  sys::Pipe pipe;
+  write_frame(pipe.write_fd(), "{\"op\":\"status\"}");
+  write_frame(pipe.write_fd(), "");  // empty payloads are legal frames
+  std::optional<std::string> first = read_frame(pipe.read_fd());
+  std::optional<std::string> second = read_frame(pipe.read_fd());
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, "{\"op\":\"status\"}");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, "");
+}
+
+TEST(WireTest, CleanEofAtBoundaryIsNullopt) {
+  sys::Pipe pipe;
+  write_frame(pipe.write_fd(), "done");
+  pipe.close_write();
+  EXPECT_EQ(read_frame(pipe.read_fd()).value(), "done");
+  EXPECT_FALSE(read_frame(pipe.read_fd()).has_value());
+}
+
+TEST(WireTest, EofMidFrameThrows) {
+  // A torn connection mid-payload is a protocol error, not a clean close.
+  sys::Pipe pipe;
+  const unsigned char partial[] = {0, 0, 0, 10, 'h', 'i'};
+  ASSERT_EQ(::write(pipe.write_fd(), partial, sizeof(partial)),
+            static_cast<ssize_t>(sizeof(partial)));
+  pipe.close_write();
+  EXPECT_THROW(read_frame(pipe.read_fd()), std::exception);
+}
+
+TEST(WireTest, EofInsideLengthPrefixThrows) {
+  sys::Pipe pipe;
+  const unsigned char partial[] = {0, 0};
+  ASSERT_EQ(::write(pipe.write_fd(), partial, sizeof(partial)), 2);
+  pipe.close_write();
+  EXPECT_THROW(read_frame(pipe.read_fd()), std::exception);
+}
+
+TEST(WireTest, OversizedLengthPrefixThrows) {
+  sys::Pipe pipe;
+  const unsigned char huge[] = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_EQ(::write(pipe.write_fd(), huge, sizeof(huge)), 4);
+  EXPECT_THROW(read_frame(pipe.read_fd()), std::runtime_error);
+}
+
+TEST(WireTest, OversizedPayloadRefusedAtWrite) {
+  sys::Pipe pipe;
+  std::string big(kMaxFrameBytes + 1, 'x');
+  EXPECT_THROW(write_frame(pipe.write_fd(), big), std::invalid_argument);
+}
+
+TEST(WireTest, ParseMessageRequiresAnObject) {
+  EXPECT_EQ(parse_message("{\"op\":\"status\"}").object().size(), 1u);
+  EXPECT_THROW(parse_message("[1,2]"), std::invalid_argument);
+  EXPECT_THROW(parse_message("not json"), std::invalid_argument);
+}
+
+TEST(WireTest, ErrorMessageIsParseableAndNotOk) {
+  report::JsonValue v = parse_message(error_message("boom \"quoted\""));
+  const report::JsonObject& obj = v.object();
+  EXPECT_FALSE(report::find(obj, "ok")->boolean());
+  EXPECT_EQ(report::find(obj, "error")->str(), "boom \"quoted\"");
+}
+
+}  // namespace
+}  // namespace lmb::svc

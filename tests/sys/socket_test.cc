@@ -1,10 +1,15 @@
 #include "src/sys/socket.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
+#include <cstring>
 #include <thread>
 
 #include "src/sys/error.h"
+#include "src/sys/temp.h"
 
 namespace lmb::sys {
 namespace {
@@ -78,6 +83,64 @@ TEST(UdpTest, SendRecvConnected) {
   n = client.recv(buf, sizeof(buf));
   EXPECT_EQ(n, 4u);
   EXPECT_EQ(std::string(buf, 4), "resp");
+}
+
+TEST(UnixTest, ConnectAcceptEcho) {
+  TempDir tmp;
+  std::string path = tmp.path() + "/echo.sock";
+  UnixListener listener(path);
+  std::thread server([&] {
+    UnixStream conn = listener.accept();
+    char buf[8];
+    conn.recv_all(buf, 5);
+    conn.send_all(buf, 5);
+  });
+  UnixStream client = UnixStream::connect(path);
+  client.send_all("hello", 5);
+  char buf[8] = {};
+  client.recv_all(buf, 5);
+  EXPECT_EQ(std::string(buf, 5), "hello");
+  server.join();
+}
+
+TEST(UnixTest, AcceptForTimesOutWithoutConnection) {
+  TempDir tmp;
+  UnixListener listener(tmp.path() + "/idle.sock");
+  EXPECT_FALSE(listener.accept_for(50).has_value());
+}
+
+TEST(UnixTest, ConnectToMissingPathThrows) {
+  TempDir tmp;
+  EXPECT_THROW(UnixStream::connect(tmp.path() + "/nobody.sock", 200), SysError);
+}
+
+// Leaves a socket file on disk with no process behind it — what a crashed
+// daemon leaves behind.
+void leave_stale_socket(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ::close(fd);  // close does not unlink; the stale file stays
+}
+
+TEST(UnixTest, ConnectToDeadSocketFileThrows) {
+  // A socket file whose listener is gone: connect must fail, bounded by
+  // the timeout, not hang.
+  TempDir tmp;
+  std::string path = tmp.path() + "/dead.sock";
+  leave_stale_socket(path);
+  EXPECT_THROW(UnixStream::connect(path, 200), SysError);
+}
+
+TEST(UnixTest, ListenerReplacesStalePath) {
+  TempDir tmp;
+  std::string path = tmp.path() + "/stale.sock";
+  leave_stale_socket(path);
+  UnixListener listener(path);  // must not throw EADDRINUSE
+  EXPECT_FALSE(listener.accept_for(10).has_value());
 }
 
 TEST(UdpTest, PreservesMessageBoundaries) {
