@@ -12,8 +12,11 @@
 //   --size=BYTES        per-worker buffer size (default 8m, the paper's
 //                       cache-defeating working set)
 //   --kernel=VARIANT    kernel implementation (default auto via CPUID)
-//   --compare-kernels   additionally run --op at 1 thread under every
-//                       available kernel variant and print the comparison
+//   --compare-kernels   additionally compare --op at 1 thread across every
+//                       available kernel variant with randomized A/B
+//                       interleaving: per-round paired deltas vs scalar with
+//                       a 95% Student-t interval (drift cancels instead of
+//                       landing on whichever variant ran last)
 //   --no-pin            do not pin workers to CPUs
 //
 // Prints the host topology, per-point lines, then the scaling table and
@@ -128,16 +131,36 @@ int main(int argc, char** argv) try {
   }
 
   if (opts.get_bool("compare-kernels")) {
-    std::printf("\nkernel comparison (%s, 1 thread, %zu bytes):\n",
-                op_label(ops.front()), cfg.bytes);
-    for (bw::KernelVariant v : bw::available_kernel_variants()) {
+    bw::MemOp cmp_op =
+        ops.front() == bw::MemOp::kCopyLibc ? bw::MemOp::kCopyUnrolled : ops.front();
+    if (bw::available_kernel_variants().size() < 2) {
+      std::printf("\nkernel comparison: only one variant available on this host\n");
+    } else {
       bw::MemBwConfig single;
       single.bytes = cfg.bytes;
-      single.kernel = v;
       single.policy = cfg.policy;
-      bw::MemBwResult r = bw::measure_mem_bw(ops.front(), single);
-      std::printf("  %-8s %10s MB/s\n", bw::kernel_variant_name(v),
-                  report::format_number(r.mb_per_sec, 0).c_str());
+      bw::KernelCompareResult cmp = bw::compare_kernels_interleaved(cmp_op, single);
+      std::printf(
+          "\nkernel comparison (%s, 1 thread, %zu bytes, %d interleaved rounds, "
+          "clock=%s):\n",
+          op_label(cmp_op), cmp.bytes, cmp.ab.rounds, cmp.ab.clock_source.c_str());
+      for (size_t i = 0; i < cmp.entries.size(); ++i) {
+        const bw::KernelCompareEntry& e = cmp.entries[i];
+        if (i == 0) {
+          std::printf("  %-8s %10s MB/s  (baseline)\n", bw::kernel_variant_name(e.variant),
+                      report::format_number(e.mb_per_sec, 0).c_str());
+          continue;
+        }
+        const PairedDelta& d = cmp.ab.deltas[i - 1];
+        // Negative paired delta = fewer ns/op than scalar = faster.
+        std::printf("  %-8s %10s MB/s  %+.1f%% ± %.1f%% vs scalar  %s\n",
+                    bw::kernel_variant_name(e.variant),
+                    report::format_number(e.mb_per_sec, 0).c_str(), 100.0 * -d.rel_delta,
+                    cmp.ab.variants[0].ns_per_op > 0.0
+                        ? 100.0 * d.ci_half_width_ns / cmp.ab.variants[0].ns_per_op
+                        : 0.0,
+                    d.significant ? "(significant)" : "(within noise)");
+      }
     }
   }
   return 0;

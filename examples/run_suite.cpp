@@ -13,7 +13,8 @@
 //                              [--out=results.db]
 //                              [--json=results.json] [--csv=results.csv]
 //                              [--trace=trace.json] [--trace-chrome=PATH]
-//                              [--counters]
+//                              [--counters] [--clock=auto|tsc|wall]
+//                              [--nanoscale]
 //                              [--cal-cache=PATH] [--no-cal-cache]
 //                              [--baseline=PATH] [--gate[=PCT]]
 //                              [--save-baseline] [--compare-json=PATH]
@@ -53,6 +54,18 @@
 //                interval; measurements gain ipc and cache_miss_pct
 //                metrics.  Silently a no-op where perf_event_open is
 //                unavailable (non-Linux, perf_event_paranoid, seccomp)
+//   --clock=auto|tsc|wall  timestamp source for every timed interval.
+//                auto (default) uses the serialized invariant-TSC clock
+//                when the CPU supports it, else CLOCK_MONOTONIC; tsc
+//                demands the TSC (falls back to wall with a warning when
+//                unavailable); wall forces CLOCK_MONOTONIC.  The chosen
+//                source lands in every measurement's clock_source field
+//                and in the trace's clock/select event
+//   --nanoscale  batched back-to-back timing for nanosecond-scale work:
+//                one clock read separates adjacent repetitions, counters
+//                wrap the whole batch, and the measured per-interval
+//                clock+counter overhead is subtracted and reported in the
+//                trace and JSON (interval_overhead_ns)
 //   --with-hang  register a deliberately-hanging `test_hang` benchmark
 //                (for exercising --timeout end to end)
 //   --baseline=PATH   after the run, compare this run's results against a

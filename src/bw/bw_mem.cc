@@ -28,6 +28,59 @@ size_t round_words(size_t bytes) {
 
 size_t round_up_64(size_t bytes) { return (bytes + 63) & ~size_t{63}; }
 
+// The timed loop for one operation against one dispatch table.  Shared by
+// the single-kernel measurement and the interleaved comparison so both time
+// exactly the same body.
+BenchFn make_mem_body(MemOp op, const KernelSet& ks, std::uint64_t* src, std::uint64_t* dst,
+                      size_t words) {
+  switch (op) {
+    case MemOp::kCopyLibc:
+      return [=](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          copy_libc(dst, src, words);
+        }
+        do_not_optimize(dst[0]);
+      };
+    case MemOp::kCopyUnrolled:
+      return [=, &ks](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          ks.copy(dst, src, words);
+        }
+        do_not_optimize(dst[0]);
+      };
+    case MemOp::kReadSum:
+      return [=, &ks](std::uint64_t iters) {
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          sum += ks.read_sum(src, words);
+        }
+        do_not_optimize(sum);
+      };
+    case MemOp::kWrite:
+      return [=, &ks](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          ks.write(dst, words, i + 1);
+        }
+        do_not_optimize(dst[0]);
+      };
+    case MemOp::kBzero:
+      return [=, &ks](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          ks.fill_zero(dst, words);
+        }
+        do_not_optimize(dst[0]);
+      };
+    case MemOp::kReadWrite:
+      return [=, &ks](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          ks.read_write(dst, words, i + 1);
+        }
+        do_not_optimize(dst[0]);
+      };
+  }
+  throw std::invalid_argument("make_mem_body: unknown op");
+}
+
 }  // namespace
 
 const char* mem_op_name(MemOp op) {
@@ -65,58 +118,7 @@ MemBwResult measure_mem_bw(MemOp op, const MemBwConfig& config) {
   write_unrolled(src, words, 0x0102030405060708ull);
   write_unrolled(dst, words, 0);
 
-  BenchFn body;
-  switch (op) {
-    case MemOp::kCopyLibc:
-      body = [=](std::uint64_t iters) {
-        for (std::uint64_t i = 0; i < iters; ++i) {
-          copy_libc(dst, src, words);
-        }
-        do_not_optimize(dst[0]);
-      };
-      break;
-    case MemOp::kCopyUnrolled:
-      body = [=, &ks](std::uint64_t iters) {
-        for (std::uint64_t i = 0; i < iters; ++i) {
-          ks.copy(dst, src, words);
-        }
-        do_not_optimize(dst[0]);
-      };
-      break;
-    case MemOp::kReadSum:
-      body = [=, &ks](std::uint64_t iters) {
-        std::uint64_t sum = 0;
-        for (std::uint64_t i = 0; i < iters; ++i) {
-          sum += ks.read_sum(src, words);
-        }
-        do_not_optimize(sum);
-      };
-      break;
-    case MemOp::kWrite:
-      body = [=, &ks](std::uint64_t iters) {
-        for (std::uint64_t i = 0; i < iters; ++i) {
-          ks.write(dst, words, i + 1);
-        }
-        do_not_optimize(dst[0]);
-      };
-      break;
-    case MemOp::kBzero:
-      body = [=, &ks](std::uint64_t iters) {
-        for (std::uint64_t i = 0; i < iters; ++i) {
-          ks.fill_zero(dst, words);
-        }
-        do_not_optimize(dst[0]);
-      };
-      break;
-    case MemOp::kReadWrite:
-      body = [=, &ks](std::uint64_t iters) {
-        for (std::uint64_t i = 0; i < iters; ++i) {
-          ks.read_write(dst, words, i + 1);
-        }
-        do_not_optimize(dst[0]);
-      };
-      break;
-  }
+  BenchFn body = make_mem_body(op, ks, src, dst, words);
 
   MemBwResult result;
   result.op = op;
@@ -133,6 +135,47 @@ std::vector<MemBwResult> measure_mem_bw_all(const MemBwConfig& config) {
       measure_mem_bw(MemOp::kReadSum, config),
       measure_mem_bw(MemOp::kWrite, config),
   };
+}
+
+KernelCompareResult compare_kernels_interleaved(MemOp op, const MemBwConfig& config,
+                                                int rounds) {
+  if (op == MemOp::kCopyLibc) {
+    // kCopyLibc ignores the dispatch table — every "variant" would time the
+    // same memcpy.  Compare kCopyUnrolled against it instead.
+    throw std::invalid_argument(
+        "compare_kernels_interleaved: bcopy_libc has no kernel variants");
+  }
+  size_t words = round_words(config.bytes);
+  size_t bytes = words * sizeof(std::uint64_t);
+
+  // One shared buffer pair for every variant: A/B deltas should see the same
+  // physical pages, TLB state, and cache-alias layout on both sides.
+  size_t dst_off = round_up_64(bytes) + kAntiAliasOffset;
+  sys::AnonMapping region(dst_off + round_up_64(bytes));
+  auto* src = reinterpret_cast<std::uint64_t*>(region.data());
+  auto* dst = reinterpret_cast<std::uint64_t*>(region.data() + dst_off);
+  write_unrolled(src, words, 0x0102030405060708ull);
+  write_unrolled(dst, words, 0);
+
+  // available_kernel_variants() lists scalar first, so entries[0] is the
+  // baseline compare_interleaved pairs every other variant against.
+  std::vector<KernelVariant> variants = available_kernel_variants();
+  std::vector<CompareVariant> cvs;
+  cvs.reserve(variants.size());
+  for (KernelVariant v : variants) {
+    cvs.push_back({kernel_variant_name(v), make_mem_body(op, kernels_for(v), src, dst, words)});
+  }
+
+  KernelCompareResult out;
+  out.op = op;
+  out.bytes = bytes;
+  out.ab = compare_interleaved(cvs, config.policy, rounds);
+  out.entries.reserve(variants.size());
+  for (size_t i = 0; i < variants.size(); ++i) {
+    out.entries.push_back(
+        {variants[i], mb_per_sec(static_cast<double>(bytes), out.ab.variants[i].ns_per_op)});
+  }
+  return out;
 }
 
 std::vector<MemBwResult> sweep_mem_bw(MemOp op, size_t from, size_t to,

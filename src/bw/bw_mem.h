@@ -58,6 +58,32 @@ std::vector<MemBwResult> measure_mem_bw_all(const MemBwConfig& config = {});
 std::vector<MemBwResult> sweep_mem_bw(MemOp op, size_t from, size_t to,
                                       const TimingPolicy& policy = TimingPolicy::quick());
 
+// One kernel variant's outcome in an interleaved comparison.
+struct KernelCompareEntry {
+  KernelVariant variant = KernelVariant::kScalar;
+  double mb_per_sec = 0.0;  // from the variant's min ns/op across rounds
+};
+
+// Outcome of comparing every available kernel variant on one operation.
+struct KernelCompareResult {
+  MemOp op = MemOp::kCopyUnrolled;
+  size_t bytes = 0;
+  // entries[i] corresponds to ab.variants[i]; [0] is the scalar baseline.
+  std::vector<KernelCompareEntry> entries;
+  // The paired-delta statistics and the recorded interleaving order
+  // (src/core/timing.h).  ab.deltas[i-1] judges entries[i] against scalar.
+  AbComparison ab;
+};
+
+// Compares every kernel variant this host supports on `op` with randomized
+// A/B interleaving (compare_interleaved): all variants share one buffer and
+// one calibrated iteration count, each round times each variant once in
+// shuffled order, and per-round paired deltas against the scalar baseline
+// cancel drift that a sequential variant-by-variant comparison would absorb
+// into whichever variant ran last.  `rounds <= 0` uses policy.repetitions.
+KernelCompareResult compare_kernels_interleaved(MemOp op, const MemBwConfig& config = {},
+                                                int rounds = 0);
+
 }  // namespace lmb::bw
 
 #endif  // LMBENCHPP_SRC_BW_BW_MEM_H_

@@ -9,6 +9,8 @@
 #define LMBENCHPP_SRC_CORE_CLOCK_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 namespace lmb {
 
@@ -33,6 +35,11 @@ class Clock {
   // correct for fake clocks whose reads are free; real clocks override it
   // with a measured value.
   virtual Nanos overhead_ns() const { return 0; }
+
+  // Stable short identifier of the time source, recorded per measurement as
+  // `clock_source` ("wall", "tsc", ...).  Fakes and scripted clocks report
+  // "custom" unless they override.
+  virtual std::string name() const { return "custom"; }
 };
 
 // Measures the cost of one `clock.now()` read as the minimum over `samples`
@@ -41,14 +48,37 @@ class Clock {
 // bound on the true read cost.
 Nanos measure_clock_overhead(const Clock& clock, int samples = 4096);
 
+// Hardened estimator: `rounds` independent min-of-`samples` probes, then the
+// median of the round minima.  A single min-of-N probe taken once at startup
+// can still be skewed — a frequency ramp or an unlucky SMI window inflates
+// every delta of one round, and a torn TSC read can deflate one.  Taking the
+// median across rounds rejects whole-round outliers in both directions.
+Nanos measure_clock_overhead_robust(const Clock& clock, int samples = 2048, int rounds = 5);
+
+// Per-source overhead seeding: a persisted calibration cache (src/db/
+// cal_store) can pre-load the measured read overhead for a clock source so
+// nanoscale runs do not re-pay the startup probe.  A seed only takes effect
+// when installed before the first overhead_ns() call of that source (the
+// value is memoized per process); later seeds are ignored.
+void seed_clock_overhead(const std::string& source, Nanos overhead);
+std::optional<Nanos> seeded_clock_overhead(const std::string& source);
+
+// Calibration-cache key under which a clock source's measured overhead is
+// persisted (see src/db/cal_store.h's key grammar).
+std::string clock_overhead_cache_key(const std::string& source);
+
 // The real monotonic wall clock (CLOCK_MONOTONIC).
 class WallClock final : public Clock {
  public:
   Nanos now() const override;
 
-  // Measured once per process (min-of-N back-to-back reads) and memoized;
-  // every WallClock instance reports the same value.
+  // Measured once per process (robust min-of-N, see
+  // measure_clock_overhead_robust) and memoized — or taken from
+  // seed_clock_overhead("wall", ...) when a persisted value was installed
+  // first; every WallClock instance reports the same value.
   Nanos overhead_ns() const override;
+
+  std::string name() const override { return "wall"; }
 
   // Shared instance; stateless, safe to use from multiple threads/processes.
   static const WallClock& instance();

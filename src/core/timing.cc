@@ -1,13 +1,37 @@
 #include "src/core/timing.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
+#include <numeric>
+#include <random>
+#include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "src/core/cal_cache.h"
 #include "src/obs/trace.h"
 
 namespace lmb {
+
+namespace {
+
+thread_local MeasureScope* g_measure_scope = nullptr;
+
+}  // namespace
+
+MeasureScope::MeasureScope(const Clock& clock, bool nanoscale)
+    : clock_(&clock), nanoscale_(nanoscale), prev_(g_measure_scope) {
+  g_measure_scope = this;
+}
+
+MeasureScope::~MeasureScope() { g_measure_scope = prev_; }
+
+MeasureScope* MeasureScope::current() { return g_measure_scope; }
+
+const Clock& selected_clock() {
+  return g_measure_scope != nullptr ? g_measure_scope->clock() : WallClock::instance();
+}
 
 namespace {
 
@@ -67,6 +91,7 @@ Measurement finish(std::uint64_t iterations, Sample sample, const Clock& clock,
   m.median_ns_per_op = sample.median();
   m.max_ns_per_op = sample.max();
   m.clock_overhead_ns = clock.overhead_ns();
+  m.clock_source = clock.name();
   m.converged = converged;
   m.calibration_cached = cached;
   m.sample = std::move(sample);
@@ -81,6 +106,98 @@ Measurement finish(std::uint64_t iterations, Sample sample, const Clock& clock,
                          {"cache_miss_rate", std::to_string(ob->totals.cache_miss_rate())},
                          {"multiplexed", ob->totals.multiplexed ? "true" : "false"}});
     }
+  }
+  return m;
+}
+
+bool effective_nanoscale(const TimingPolicy& policy) {
+  if (policy.nanoscale) {
+    return true;
+  }
+  MeasureScope* scope = MeasureScope::current();
+  return scope != nullptr && scope->nanoscale();
+}
+
+// Nanoscale batch: `repetitions` back-to-back intervals separated by single
+// clock reads (the end stamp of interval k is the start stamp of k+1), with
+// hardware counters wrapping the whole batch instead of each interval.  The
+// per-interval overhead — one clock read, plus the amortized counter
+// snapshot pair when counters are on — is measured here at the batch site,
+// subtracted from each interval, and reported in both the trace and the
+// Measurement (never a silent zero: outside nanoscale mode the field is -1
+// and serializes as null).
+Measurement measure_nanoscale(const BenchBody& body, const TimingPolicy& policy,
+                              const Clock& clock, std::uint64_t iters, bool cached,
+                              Observer& ob, Nanos measure_start, Nanos budget_start) {
+  // Fresh min-estimate of this clock's read cost, taken at the batch site
+  // rather than trusting the process-startup memoized value.
+  Nanos clock_read = measure_clock_overhead(clock, 512);
+
+  obs::PerfCounters* pc = ob.counters.get();
+  Nanos counter_pair = -1;
+  if (pc != nullptr) {
+    counter_pair = kSecond;
+    for (int i = 0; i < 32; ++i) {
+      Nanos t0 = clock.now();
+      pc->start();
+      (void)pc->stop();
+      Nanos cost = clock.now() - t0 - clock_read;
+      counter_pair = std::min(counter_pair, std::max<Nanos>(cost, 0));
+    }
+  }
+
+  const int cap = std::max(policy.repetitions, 1);
+  if (body.setup) {
+    body.setup();  // once for the whole batch; intervals must stay adjacent
+  }
+  std::vector<Nanos> stamps(static_cast<size_t>(cap) + 1);
+  ob.totals = obs::CounterTotals{};  // the batch owns the totals (drop any probe sample)
+  if (pc != nullptr) {
+    pc->start();
+  }
+  stamps[0] = clock.now();
+  int reps = 0;
+  for (int r = 0; r < cap; ++r) {
+    body.run(iters);
+    stamps[static_cast<size_t>(r) + 1] = clock.now();
+    reps = r + 1;
+    if (stamps[static_cast<size_t>(r) + 1] - budget_start > policy.max_total) {
+      break;  // out of budget; the stamps taken so far are still valid
+    }
+  }
+  if (pc != nullptr) {
+    ob.totals.add(pc->stop());
+  }
+
+  Sample sample;
+  for (int r = 0; r < reps; ++r) {
+    Nanos corrected = std::max<Nanos>(
+        stamps[static_cast<size_t>(r) + 1] - stamps[static_cast<size_t>(r)] - clock_read, 0);
+    sample.add(static_cast<double>(corrected) / static_cast<double>(iters));
+  }
+
+  Nanos interval_overhead =
+      clock_read + (pc != nullptr && reps > 0 ? counter_pair / reps : 0);
+  if (ob.sink != nullptr) {
+    ob.sink->instant("timing", "interval_overhead",
+                     {{"clock_source", clock.name()},
+                      {"clock_read_ns", ns_str(clock_read)},
+                      {"counter_pair_ns", pc != nullptr ? ns_str(counter_pair) : "null"},
+                      {"interval_overhead_ns", ns_str(interval_overhead)},
+                      {"intervals", std::to_string(reps)}});
+  }
+  Measurement m = finish(iters, std::move(sample), clock, false, cached, &ob);
+  m.nanoscale = true;
+  m.interval_overhead_ns = interval_overhead;
+  m.clock_overhead_ns = clock_read;  // what was actually subtracted per interval
+  if (ob.sink != nullptr) {
+    ob.sink->complete("timing", "measure", measure_start,
+                      {{"ns_per_op", std::to_string(m.ns_per_op)},
+                       {"iterations", u64_str(m.iterations)},
+                       {"repetitions", std::to_string(m.repetitions)},
+                       {"nanoscale", "true"},
+                       {"clock_source", m.clock_source},
+                       {"calibration_cached", m.calibration_cached ? "true" : "false"}});
   }
   return m;
 }
@@ -241,6 +358,13 @@ Measurement measure(const BenchBody& body, const TimingPolicy& policy, const Clo
     }
   }
 
+  if (effective_nanoscale(policy)) {
+    // The calibration/validation interval above is not back-to-back with the
+    // batch, so the batch builds a fresh sample (and fresh counter totals).
+    return measure_nanoscale(body, policy, clock, iters, cached, ob, measure_start,
+                             budget_start);
+  }
+
   bool converged = false;
   const int cap = std::max(policy.repetitions, 1);
   while (static_cast<int>(sample.count()) < cap) {
@@ -315,6 +439,110 @@ Measurement measure_once_each(const std::function<void()>& fn, int n, const Cloc
     sample.add(static_cast<double>(corrected));
   }
   return finish(1, std::move(sample), clock, false, false, &ob);
+}
+
+AbComparison compare_interleaved(const std::vector<CompareVariant>& variants,
+                                 const TimingPolicy& policy, int rounds, std::uint64_t seed,
+                                 const Clock& clock) {
+  if (variants.size() < 2) {
+    throw std::invalid_argument("compare_interleaved: need at least two variants");
+  }
+  for (const CompareVariant& v : variants) {
+    if (!v.run) {
+      throw std::invalid_argument("compare_interleaved: empty body for variant '" + v.name +
+                                  "'");
+    }
+  }
+  obs::ObsScope* scope = obs::ObsScope::current();
+  obs::TraceSink* sink = scope != nullptr ? scope->sink() : nullptr;
+  Nanos ab_start = sink != nullptr ? sink->timestamp() : 0;
+
+  const int n_variants = static_cast<int>(variants.size());
+  const int n_rounds = rounds > 0 ? rounds : std::max(policy.repetitions, 2);
+  Nanos budget_start = clock.now();
+
+  // Warm every variant, then calibrate once on the baseline: all variants
+  // run the same per-interval count, so per-round deltas compare equal work.
+  for (const CompareVariant& v : variants) {
+    for (int i = 0; i < std::max(policy.warmup_runs, 1); ++i) {
+      v.run(1);
+    }
+  }
+  Calibration cal = calibrate(variants[0].run, policy, clock, budget_start);
+
+  AbComparison cmp;
+  cmp.iterations = cal.iterations;
+  cmp.clock_source = clock.name();
+  cmp.variants.resize(variants.size());
+  for (int v = 0; v < n_variants; ++v) {
+    cmp.variants[static_cast<size_t>(v)].name = variants[static_cast<size_t>(v)].name;
+  }
+
+  std::mt19937_64 rng(seed);
+  std::vector<int> round_order(static_cast<size_t>(n_variants));
+  std::iota(round_order.begin(), round_order.end(), 0);
+
+  for (int r = 0; r < n_rounds; ++r) {
+    // Fresh shuffle per round: over many rounds every variant occupies every
+    // slot, so slow drift within a round has no preferred victim.
+    std::shuffle(round_order.begin(), round_order.end(), rng);
+    std::ostringstream order_str;
+    for (int k = 0; k < n_variants; ++k) {
+      int idx = round_order[static_cast<size_t>(k)];
+      Nanos elapsed = time_interval(variants[static_cast<size_t>(idx)].run, cal.iterations,
+                                    clock);
+      cmp.variants[static_cast<size_t>(idx)].sample.add(
+          static_cast<double>(elapsed) / static_cast<double>(cal.iterations));
+      cmp.order.push_back(idx);
+      if (k > 0) {
+        order_str << ',';
+      }
+      order_str << idx;
+    }
+    cmp.rounds = r + 1;
+    if (sink != nullptr) {
+      sink->instant("abtest", "round",
+                    {{"round", std::to_string(r)}, {"order", order_str.str()}});
+    }
+    // Pairing needs at least two full rounds; past that the budget may cut
+    // the comparison short (all variants still have equal round counts —
+    // rounds are atomic).
+    if (r + 1 >= 2 && clock.now() - budget_start > policy.max_total) {
+      if (sink != nullptr) {
+        sink->instant("abtest", "budget_exhausted", {{"rounds", std::to_string(r + 1)}});
+      }
+      break;
+    }
+  }
+
+  for (VariantStats& vs : cmp.variants) {
+    vs.ns_per_op = vs.sample.min();
+  }
+  const Sample& base = cmp.variants[0].sample;
+  for (int v = 1; v < n_variants; ++v) {
+    PairedDelta pd;
+    pd.name = cmp.variants[static_cast<size_t>(v)].name;
+    const Sample& other = cmp.variants[static_cast<size_t>(v)].sample;
+    for (size_t r = 0; r < base.count(); ++r) {
+      pd.deltas.add(other.values()[r] - base.values()[r]);
+    }
+    pd.mean_delta_ns = pd.deltas.mean();
+    pd.ci_half_width_ns = pd.deltas.ci_half_width();
+    pd.rel_delta = cmp.variants[0].ns_per_op > 0
+                       ? pd.mean_delta_ns / cmp.variants[0].ns_per_op
+                       : 0.0;
+    pd.significant = std::abs(pd.mean_delta_ns) > pd.ci_half_width_ns &&
+                     pd.ci_half_width_ns >= 0 && pd.deltas.count() >= 2;
+    cmp.deltas.push_back(std::move(pd));
+  }
+  if (sink != nullptr) {
+    sink->complete("abtest", "compare", ab_start,
+                   {{"variants", std::to_string(n_variants)},
+                    {"rounds", std::to_string(cmp.rounds)},
+                    {"iterations", u64_str(cmp.iterations)},
+                    {"clock_source", cmp.clock_source}});
+  }
+  return cmp;
 }
 
 double mb_per_sec(double bytes_per_op, double ns_per_op) {

@@ -41,6 +41,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/core/clock.h"
 #include "src/core/stats.h"
@@ -72,6 +73,14 @@ struct TimingPolicy {
   // remaining repetitions are skipped (at least one interval is always
   // timed).
   Nanos max_total = 20 * kSecond;
+  // Nanoscale mode (nanoBench-style): after calibration, time all
+  // repetitions as one batch of back-to-back intervals — a single clock read
+  // separates interval k from interval k+1, and hardware counters wrap the
+  // whole batch instead of each interval.  The per-interval clock(+counter)
+  // read overhead is measured alongside and reported in the trace and the
+  // JSON timing block.  Also enabled for every measurement inside a
+  // MeasureScope constructed with nanoscale = true.
+  bool nanoscale = false;
 
   // Defaults tuned to the paper's accuracy goals, with adaptive early stop.
   static TimingPolicy standard() { return TimingPolicy{}; }
@@ -109,6 +118,16 @@ struct Measurement {
   // Clock-read overhead subtracted from each timed interval (Clock::
   // overhead_ns at measurement time).
   Nanos clock_overhead_ns = 0;
+  // Time source that produced the intervals (Clock::name): "wall", "tsc",
+  // "virtual", ... — recorded so results from different clocks never get
+  // compared silently.
+  std::string clock_source;
+  // True when the batched back-to-back path timed the intervals.
+  bool nanoscale = false;
+  // Nanoscale only: measured per-interval clock(+counter) read cost at
+  // measurement time, in ns.  -1 outside nanoscale mode (serialized as an
+  // explicit null, never a silent zero).
+  Nanos interval_overhead_ns = -1;
   // True when early stop triggered (the sample converged before the
   // repetition cap).
   bool converged = false;
@@ -127,6 +146,37 @@ struct Measurement {
   // Operations per second implied by the headline latency.
   double ops_per_sec() const { return ns_per_op > 0 ? 1e9 / ns_per_op : 0.0; }
 };
+
+// Scoped default-clock (and nanoscale) selection, RAII like
+// CalibrationScope/ObsScope: while a MeasureScope is installed on a thread,
+// every measure()/calibrate_iterations()/measure_once_each() call that does
+// not pass an explicit clock uses the scope's clock, and nanoscale mode is
+// on when the scope says so.  This is how --clock/--nanoscale reach every
+// benchmark in a suite without threading a Clock& through each of them.
+// Scopes nest; the innermost wins.
+class MeasureScope {
+ public:
+  explicit MeasureScope(const Clock& clock, bool nanoscale = false);
+  ~MeasureScope();
+
+  MeasureScope(const MeasureScope&) = delete;
+  MeasureScope& operator=(const MeasureScope&) = delete;
+
+  const Clock& clock() const { return *clock_; }
+  bool nanoscale() const { return nanoscale_; }
+
+  // The innermost scope on this thread, or nullptr.
+  static MeasureScope* current();
+
+ private:
+  const Clock* clock_;
+  bool nanoscale_;
+  MeasureScope* prev_;
+};
+
+// The clock measurements default to on this thread: the innermost
+// MeasureScope's clock, or WallClock when no scope is installed.
+const Clock& selected_clock();
 
 // The benchmark body: run the measured operation `iters` times.
 using BenchFn = std::function<void(std::uint64_t iters)>;
@@ -162,21 +212,78 @@ Calibration calibrate(const BenchFn& fn, const TimingPolicy& policy, const Clock
 // Back-compat shim: calibrates with the budget starting now, returning only
 // the count.  Exposed for tests and ablations.
 std::uint64_t calibrate_iterations(const BenchFn& fn, const TimingPolicy& policy,
-                                   const Clock& clock = WallClock::instance());
+                                   const Clock& clock = selected_clock());
 
 // Measures `fn` under `policy`.  Throws std::invalid_argument if fn is empty.
 Measurement measure(const BenchFn& fn, const TimingPolicy& policy = TimingPolicy::standard(),
-                    const Clock& clock = WallClock::instance());
+                    const Clock& clock = selected_clock());
 
 // As above with per-repetition untimed setup.
 Measurement measure(const BenchBody& body, const TimingPolicy& policy = TimingPolicy::standard(),
-                    const Clock& clock = WallClock::instance());
+                    const Clock& clock = selected_clock());
 
 // Measures an operation whose cost is too large or stateful to loop inside
 // one interval (e.g. fork/exec): times `n` one-shot executions individually
 // and aggregates.  Each execution is one "repetition"; no calibration.
 Measurement measure_once_each(const std::function<void()>& fn, int n,
-                              const Clock& clock = WallClock::instance());
+                              const Clock& clock = selected_clock());
+
+// ---------------------------------------------------------------------------
+// Randomized A/B interleaving for kernel-variant comparisons.
+//
+// Measuring variant A to completion and then variant B hands any slow drift
+// (thermal throttle, frequency ramp, a background daemon waking up) entirely
+// to whichever ran second.  Interleaving shuffles the variants within each
+// round so drift hits all of them equally, and the per-round *paired* deltas
+// cancel whatever was common to the round (nanoBench §3; the
+// machine-stability study in PAPERS.md is the cautionary tale).
+
+// One candidate in an A/B comparison.
+struct CompareVariant {
+  std::string name;
+  BenchFn run;
+};
+
+// Aggregate timing for one variant across all rounds.
+struct VariantStats {
+  std::string name;
+  Sample sample;          // per-round ns/op
+  double ns_per_op = 0;   // headline: min across rounds
+};
+
+// Paired per-round delta of one variant against the baseline (variants[0]).
+struct PairedDelta {
+  std::string name;            // the variant compared against baseline
+  Sample deltas;               // per-round (variant - baseline) ns/op
+  double mean_delta_ns = 0;    // mean of the paired deltas
+  double ci_half_width_ns = 0; // 95% Student-t half-width of that mean
+  double rel_delta = 0;        // mean delta / baseline min ns/op
+  bool significant = false;    // |mean| > CI half-width (0 excluded)
+};
+
+// Outcome of one interleaved comparison.
+struct AbComparison {
+  std::uint64_t iterations = 0;    // per timed interval (shared calibration)
+  int rounds = 0;                  // completed rounds
+  std::string clock_source;        // Clock::name of the timing clock
+  std::vector<VariantStats> variants;  // in input order; [0] is the baseline
+  std::vector<PairedDelta> deltas;     // one per non-baseline variant
+  // Flattened execution order: order[r * variants + k] is the variant index
+  // run k-th within round r.  Recorded in the trace so a run can be audited
+  // for drift alignment.
+  std::vector<int> order;
+};
+
+// Runs every variant `rounds` times (policy.repetitions when rounds <= 0)
+// in shuffled round-robin: each round times each variant once, in an order
+// drawn from a deterministic per-round shuffle of `seed`.  All variants
+// share one iteration count, calibrated on variants[0] (comparisons only
+// make sense between bodies doing comparable per-iteration work).  Throws
+// std::invalid_argument on fewer than two variants or an empty body.
+AbComparison compare_interleaved(const std::vector<CompareVariant>& variants,
+                                 const TimingPolicy& policy = TimingPolicy::standard(),
+                                 int rounds = 0, std::uint64_t seed = 0x1ab5eedULL,
+                                 const Clock& clock = selected_clock());
 
 // Converts a measured per-op latency plus bytes-moved-per-op into MB/s.
 // Uses the paper's convention of 1 MB = 2^20 bytes.

@@ -1,0 +1,210 @@
+#include "src/core/tsc_clock.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define LMBPP_HAVE_TSC 1
+#include <cpuid.h>
+#include <x86intrin.h>
+#endif
+
+namespace lmb {
+
+namespace {
+
+bool tsc_env_disabled() {
+  const char* env = std::getenv("LMBPP_NO_TSC");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+#if defined(LMBPP_HAVE_TSC)
+
+// CPUID probes: invariant TSC is advertised in extended leaf 0x80000007
+// (EDX bit 8, "TscInvariant"); RDTSCP in leaf 0x80000001 (EDX bit 27).
+bool cpu_has_invariant_tsc() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(0x80000000u, &eax, &ebx, &ecx, &edx) == 0 || eax < 0x80000007u) {
+    return false;
+  }
+  if (__get_cpuid(0x80000007u, &eax, &ebx, &ecx, &edx) == 0) {
+    return false;
+  }
+  return (edx & (1u << 8)) != 0;
+}
+
+bool cpu_has_rdtscp() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(0x80000001u, &eax, &ebx, &ecx, &edx) == 0) {
+    return false;
+  }
+  return (edx & (1u << 27)) != 0;
+}
+
+// Serialized TSC read: RDTSCP waits for all prior loads to retire, and the
+// trailing LFENCE keeps subsequent instructions from starting before the
+// read completes — so a (read, work, read) frame brackets exactly `work`.
+inline std::uint64_t read_tsc_serialized() {
+  unsigned aux = 0;
+  std::uint64_t ticks = __rdtscp(&aux);
+  _mm_lfence();
+  return ticks;
+}
+
+// One calibration window: simultaneous-ish TSC and CLOCK_MONOTONIC reads at
+// both ends of a busy-wait of `window_ns` wall nanoseconds.
+double calibrate_window(Nanos window_ns) {
+  const WallClock& wall = WallClock::instance();
+  Nanos wall_start = wall.now();
+  std::uint64_t tsc_start = read_tsc_serialized();
+  Nanos wall_end = wall_start;
+  while (wall_end - wall_start < window_ns) {
+    wall_end = wall.now();
+  }
+  std::uint64_t tsc_end = read_tsc_serialized();
+  Nanos elapsed = wall_end - wall_start;
+  if (elapsed <= 0 || tsc_end <= tsc_start) {
+    return 0.0;
+  }
+  return static_cast<double>(tsc_end - tsc_start) / static_cast<double>(elapsed);
+}
+
+struct TscState {
+  TscCalibration cal;
+  std::uint64_t epoch_ticks = 0;
+};
+
+// Calibrates once per process: median ticks-per-ns over several short
+// windows.  Median, not mean — one window perturbed by preemption or a
+// frequency ramp of the *reference* clock must not skew the rate.
+const TscState& tsc_state() {
+  static const TscState state = [] {
+    TscState s;
+    constexpr Nanos kWindow = 5 * kMillisecond;
+    constexpr int kWindows = 5;
+    std::vector<double> rates;
+    rates.reserve(kWindows);
+    for (int i = 0; i < kWindows; ++i) {
+      double rate = calibrate_window(kWindow);
+      if (rate > 0) {
+        rates.push_back(rate);
+      }
+    }
+    if (!rates.empty()) {
+      std::sort(rates.begin(), rates.end());
+      s.cal.ticks_per_ns = rates[rates.size() / 2];
+      s.cal.tsc_mhz = s.cal.ticks_per_ns * 1e3;
+      s.cal.window_ns = kWindow;
+      s.cal.windows = static_cast<int>(rates.size());
+    }
+    s.epoch_ticks = read_tsc_serialized();
+    return s;
+  }();
+  return state;
+}
+
+#endif  // LMBPP_HAVE_TSC
+
+}  // namespace
+
+#if defined(LMBPP_HAVE_TSC)
+
+bool TscClock::supported() {
+  static const bool probed = [] {
+    if (!cpu_has_invariant_tsc() || !cpu_has_rdtscp()) {
+      return false;
+    }
+    return tsc_state().cal.ticks_per_ns > 0;
+  }();
+  // The env gate is re-read so a test can flip LMBPP_NO_TSC after the probe.
+  return probed && !tsc_env_disabled();
+}
+
+Nanos TscClock::now() const {
+  const TscState& s = tsc_state();
+  std::uint64_t ticks = read_tsc_serialized() - s.epoch_ticks;
+  return static_cast<Nanos>(static_cast<double>(ticks) / s.cal.ticks_per_ns);
+}
+
+#else  // !LMBPP_HAVE_TSC
+
+bool TscClock::supported() { return false; }
+
+Nanos TscClock::now() const { return WallClock::instance().now(); }
+
+#endif  // LMBPP_HAVE_TSC
+
+Nanos TscClock::overhead_ns() const {
+  static const Nanos overhead = [] {
+    if (std::optional<Nanos> seeded = seeded_clock_overhead("tsc"); seeded.has_value()) {
+      return *seeded;
+    }
+    return measure_clock_overhead_robust(TscClock::instance());
+  }();
+  return overhead;
+}
+
+const TscClock& TscClock::instance() {
+  if (!supported()) {
+    throw std::runtime_error("TscClock: no invariant TSC on this host (or LMBPP_NO_TSC set)");
+  }
+  static const TscClock clock;
+  return clock;
+}
+
+const TscCalibration& TscClock::calibration() {
+#if defined(LMBPP_HAVE_TSC)
+  return tsc_state().cal;
+#else
+  static const TscCalibration empty;
+  return empty;
+#endif
+}
+
+double TscClock::cross_check_cpu_mhz(double cpu_mhz) {
+  if (!supported() || cpu_mhz <= 0) {
+    return 0.0;
+  }
+  return calibration().tsc_mhz / cpu_mhz;
+}
+
+const char* clock_source_name(ClockSource source) {
+  switch (source) {
+    case ClockSource::kAuto:
+      return "auto";
+    case ClockSource::kTsc:
+      return "tsc";
+    case ClockSource::kWall:
+      return "wall";
+  }
+  return "?";
+}
+
+ClockSource parse_clock_source(const std::string& text) {
+  if (text == "auto") return ClockSource::kAuto;
+  if (text == "tsc") return ClockSource::kTsc;
+  if (text == "wall") return ClockSource::kWall;
+  throw std::invalid_argument("unknown clock source '" + text + "' (expected auto|tsc|wall)");
+}
+
+SelectedClock select_clock(ClockSource requested) {
+  SelectedClock selected;
+  if (requested != ClockSource::kWall && TscClock::supported()) {
+    selected.clock = &TscClock::instance();
+    selected.source = "tsc";
+    return selected;
+  }
+  selected.clock = &WallClock::instance();
+  selected.source = "wall";
+  if (requested == ClockSource::kTsc) {
+    selected.fell_back = true;
+    selected.fallback_reason =
+        tsc_env_disabled() ? "LMBPP_NO_TSC is set"
+                           : "no invariant TSC on this host (CPUID 0x80000007 EDX.8)";
+  }
+  return selected;
+}
+
+}  // namespace lmb

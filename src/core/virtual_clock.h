@@ -32,6 +32,8 @@ class VirtualClock final : public Clock {
 
   Nanos overhead_ns() const override { return read_cost_; }
 
+  std::string name() const override { return "virtual"; }
+
   void set_read_cost(Nanos cost) {
     if (cost < 0) {
       throw std::invalid_argument("VirtualClock::set_read_cost: negative cost");

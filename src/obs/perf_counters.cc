@@ -9,8 +9,14 @@
 #if defined(__linux__)
 #include <linux/perf_event.h>
 #include <sys/ioctl.h>
+#include <sys/mman.h>
 #include <sys/syscall.h>
 #include <unistd.h>
+#endif
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define LMBPP_HAVE_RDPMC 1
+#include <x86intrin.h>
 #endif
 
 namespace lmb::obs {
@@ -56,6 +62,49 @@ bool counters_env_disabled() {
   const char* env = std::getenv("LMBPP_NO_COUNTERS");
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
+
+#if defined(LMBPP_HAVE_RDPMC)
+
+bool rdpmc_env_disabled() {
+  const char* env = std::getenv("LMBPP_NO_RDPMC");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+// Compiler barrier only: the seqlock below synchronizes with the kernel
+// updating the same page from this CPU, so ordering the compiler suffices.
+inline void rmb() { __asm__ volatile("" ::: "memory"); }
+
+// Seqlock-guarded userspace read of one event's totals-since-enable, per
+// the protocol in perf_event_open(2): offset is the count saved at the last
+// deschedule, RDPMC(index-1) the hardware counts since; the raw PMC value
+// is sign-extended from pmc_width bits so the sum wraps correctly.
+// Returns false when the event has no userspace mapping right now
+// (index == 0: descheduled or cap_user_rdpmc revoked).
+bool read_page_total(const volatile perf_event_mmap_page* pc, std::uint64_t* out) {
+  std::uint32_t seq;
+  std::uint64_t offset;
+  std::uint64_t pmc = 0;
+  do {
+    seq = pc->lock;
+    rmb();
+    std::uint32_t index = pc->index;
+    offset = static_cast<std::uint64_t>(pc->offset);
+    if (!pc->cap_user_rdpmc || index == 0) {
+      return false;
+    }
+    pmc = __rdpmc(index - 1);
+    std::uint16_t width = pc->pmc_width;
+    if (width < 64) {
+      pmc <<= 64 - width;
+      pmc = static_cast<std::uint64_t>(static_cast<std::int64_t>(pmc) >> (64 - width));
+    }
+    rmb();
+  } while (pc->lock != seq);
+  *out = offset + pmc;
+  return true;
+}
+
+#endif  // LMBPP_HAVE_RDPMC
 
 // Opens one counter for the calling thread on any CPU.  `group_fd` of -1
 // starts a new group.  Returns -1 on any failure — the caller treats every
@@ -125,9 +174,58 @@ PerfCounters::PerfCounters(const Config& config) {
   if (ctx_fd_ < 0) {
     ctx_fd_ = perf_open(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES, -1, true, true);
   }
+
+  n_events_ = cache_refs_fd_ >= 0 && cache_misses_fd_ >= 0 ? 4 : 2;
+
+#if defined(LMBPP_HAVE_RDPMC)
+  // Userspace-read probe: mmap each hardware event's ring page, enable the
+  // group once, and check that every page grants RDPMC (cap_user_rdpmc and
+  // a live index).  All-or-nothing — mixing read paths within one snapshot
+  // would let the events cover different spans.
+  if (!config.no_rdpmc && !rdpmc_env_disabled()) {
+    const int fds[4] = {group_fd_, instructions_fd_, cache_refs_fd_, cache_misses_fd_};
+    bool mapped = true;
+    for (int i = 0; i < n_events_; ++i) {
+      void* page = mmap(nullptr, static_cast<size_t>(getpagesize()), PROT_READ, MAP_SHARED,
+                        fds[i], 0);
+      if (page == MAP_FAILED) {
+        mapped = false;
+        break;
+      }
+      pages_[i] = page;
+    }
+    if (mapped) {
+      ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+      ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+      bool all_rdpmc = true;
+      for (int i = 0; i < n_events_; ++i) {
+        std::uint64_t ignored = 0;
+        if (!read_page_total(
+                static_cast<const volatile perf_event_mmap_page*>(pages_[i]), &ignored)) {
+          all_rdpmc = false;
+          break;
+        }
+      }
+      if (all_rdpmc) {
+        // Free-running from here on: start()/stop() only snapshot totals.
+        userspace_ = true;
+        if (ctx_fd_ >= 0) {
+          ioctl(ctx_fd_, PERF_EVENT_IOC_RESET, 0);
+          ioctl(ctx_fd_, PERF_EVENT_IOC_ENABLE, 0);
+        }
+      } else {
+        ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+      }
+    }
+    if (!userspace_) {
+      unmap_pages();
+    }
+  }
+#endif  // LMBPP_HAVE_RDPMC
 }
 
 PerfCounters::~PerfCounters() {
+  unmap_pages();
   close_fd(ctx_fd_);
   close_fd(cache_misses_fd_);
   close_fd(cache_refs_fd_);
@@ -135,8 +233,68 @@ PerfCounters::~PerfCounters() {
   close_fd(group_fd_);
 }
 
+void PerfCounters::unmap_pages() {
+  for (void*& page : pages_) {
+    if (page != nullptr) {
+      munmap(page, static_cast<size_t>(getpagesize()));
+      page = nullptr;
+    }
+  }
+}
+
+PerfCounters::Snapshot PerfCounters::snapshot_totals() const {
+  Snapshot snap;
+#if defined(LMBPP_HAVE_RDPMC)
+  if (userspace_) {
+    bool ok = true;
+    for (int i = 0; i < n_events_; ++i) {
+      std::uint64_t total = 0;
+      if (!read_page_total(
+              static_cast<const volatile perf_event_mmap_page*>(pages_[i]), &total)) {
+        ok = false;
+        break;
+      }
+      snap.values[i] = static_cast<double>(total);
+    }
+    if (ok) {
+      snap.ok = true;
+      snap.via_rdpmc = true;
+      return snap;
+    }
+  }
+#endif
+  // Fallback (and the only path when RDPMC is unavailable mid-flight): one
+  // group read() syscall.  Totals-since-enable either way, so a snapshot
+  // pair still deltas correctly even when the two sides used different
+  // paths.
+  std::uint64_t buf[3 + 4] = {0};
+  ssize_t n = read(group_fd_, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>((3 + n_events_) * sizeof(std::uint64_t)) ||
+      buf[0] < static_cast<std::uint64_t>(n_events_)) {
+    return snap;
+  }
+  for (int i = 0; i < n_events_; ++i) {
+    snap.values[i] = static_cast<double>(buf[3 + i]);
+  }
+  snap.ok = true;
+  return snap;
+}
+
+std::uint64_t PerfCounters::read_ctx_total() const {
+  std::uint64_t ctx = 0;
+  if (ctx_fd_ < 0 || read(ctx_fd_, &ctx, sizeof(ctx)) != static_cast<ssize_t>(sizeof(ctx))) {
+    return 0;
+  }
+  return ctx;
+}
+
 void PerfCounters::start() {
   if (group_fd_ < 0) {
+    return;
+  }
+  if (userspace_) {
+    start_snap_ = snapshot_totals();
+    ctx_start_ = read_ctx_total();
     return;
   }
   ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
@@ -152,6 +310,27 @@ CounterSample PerfCounters::stop() {
   if (group_fd_ < 0) {
     return s;
   }
+
+  if (userspace_) {
+    Snapshot end = snapshot_totals();
+    if (!start_snap_.ok || !end.ok) {
+      return s;
+    }
+    s.valid = true;
+    s.cycles = end.values[0] - start_snap_.values[0];
+    s.instructions = end.values[1] - start_snap_.values[1];
+    if (n_events_ >= 4) {
+      s.has_cache = true;
+      s.cache_refs = end.values[2] - start_snap_.values[2];
+      s.cache_misses = end.values[3] - start_snap_.values[3];
+    }
+    if (ctx_fd_ >= 0) {
+      s.has_ctx = true;
+      s.ctx_switches = static_cast<double>(read_ctx_total() - ctx_start_);
+    }
+    return s;
+  }
+
   ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
   if (ctx_fd_ >= 0) {
     ioctl(ctx_fd_, PERF_EVENT_IOC_DISABLE, 0);

@@ -11,8 +11,22 @@
 // and stop() returns an invalid sample — callers surface that as explicit
 // nulls, never zeros.  Cache events may be individually absent (bare VMs);
 // IPC then still works and only the miss rate is null.
+//
+// Userspace RDPMC (nanoBench-style): when the kernel exports the counters
+// through the mmap'd perf_event ring page with cap_user_rdpmc set, start()/
+// stop() become pure userspace snapshots — a seqlock-guarded RDPMC per event
+// instead of two ioctls and a read() syscall per interval, dropping the
+// per-sample cost from ~microseconds to ~tens of nanoseconds.  The group is
+// then enabled once and left free-running; each snapshot is a totals read
+// and an interval is the delta of two snapshots.  Any page that loses its
+// RDPMC mapping mid-flight (index == 0 after a reschedule) degrades that
+// snapshot to the group read() syscall — same totals, slower read — so an
+// interval is never lost.  LMBPP_NO_RDPMC (or Config::no_rdpmc) forces the
+// classic ioctl path.
 #ifndef LMBENCHPP_SRC_OBS_PERF_COUNTERS_H_
 #define LMBENCHPP_SRC_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
 
 namespace lmb::obs {
 
@@ -62,6 +76,10 @@ class PerfCounters {
     // Forces the fallback path (as if perf_event_open returned ENOSYS) —
     // for tests and --no-counters style opt-outs.
     bool disabled = false;
+    // Forces the ioctl+read() path even when cap_user_rdpmc is available —
+    // for tests and A/B-ing the two read paths.  LMBPP_NO_RDPMC has the
+    // same effect.
+    bool no_rdpmc = false;
   };
 
   PerfCounters() : PerfCounters(Config{}) {}
@@ -75,11 +93,18 @@ class PerfCounters {
   // is a no-op returning invalid samples.
   bool available() const { return group_fd_ >= 0; }
 
-  // Resets and enables the counters.  No-op when unavailable.
+  // Resets and enables the counters (ioctl path) or snapshots the
+  // free-running totals (userspace RDPMC path).  No-op when unavailable.
   void start();
 
-  // Disables and reads the counters.  Invalid sample when unavailable.
+  // Disables and reads the counters, or snapshots again and returns the
+  // delta (userspace path).  Invalid sample when unavailable.
   CounterSample stop();
+
+  // True when start()/stop() read the counters from userspace via RDPMC on
+  // the mmap'd ring pages; false means the classic ioctl+read() path (also
+  // the answer when !available()).
+  bool userspace() const { return userspace_; }
 
   // Whether this process can open the core counter group at all (probed
   // once and memoized).  Also false when the LMBPP_NO_COUNTERS environment
@@ -87,11 +112,32 @@ class PerfCounters {
   static bool supported();
 
  private:
+  // Totals-since-enable for the hardware group at one instant, plus how
+  // they were obtained (RDPMC pages vs the read() syscall fallback).
+  struct Snapshot {
+    bool ok = false;
+    bool via_rdpmc = false;
+    double values[4] = {0, 0, 0, 0};  // cycles, instructions, refs, misses
+  };
+
+  Snapshot snapshot_totals() const;
+  std::uint64_t read_ctx_total() const;
+  void unmap_pages();
+
   int group_fd_ = -1;  // leader: cycles
   int instructions_fd_ = -1;
   int cache_refs_fd_ = -1;
   int cache_misses_fd_ = -1;
   int ctx_fd_ = -1;  // software counter, read separately
+
+  // Userspace-read state: one mmap'd perf_event ring page per hardware
+  // event, in the same order as Snapshot::values.  All null outside
+  // userspace mode.
+  void* pages_[4] = {nullptr, nullptr, nullptr, nullptr};
+  int n_events_ = 0;       // hardware events opened (2 or 4)
+  bool userspace_ = false;
+  Snapshot start_snap_;
+  std::uint64_t ctx_start_ = 0;
 };
 
 }  // namespace lmb::obs

@@ -95,6 +95,25 @@ std::string scan_smt(const std::string& cpu_dir) {
   return "unknown";
 }
 
+// Value of one `key=value` kernel boot parameter in a /proc/cmdline line;
+// "none" when the parameter is absent, the verbatim value otherwise.
+// Matches whole parameter names only (isolcpus, not e.g. foo_isolcpus).
+std::string cmdline_param(const std::string& cmdline, const std::string& key) {
+  size_t pos = 0;
+  while (pos < cmdline.size()) {
+    size_t end = cmdline.find(' ', pos);
+    if (end == std::string::npos) {
+      end = cmdline.size();
+    }
+    const std::string token = cmdline.substr(pos, end - pos);
+    if (token.compare(0, key.size() + 1, key + "=") == 0) {
+      return token.substr(key.size() + 1);
+    }
+    pos = end + 1;
+  }
+  return "none";
+}
+
 }  // namespace
 
 bool RunEnvironment::empty() const {
@@ -119,6 +138,9 @@ std::vector<EnvField> environment_fields(const RunEnvironment& env) {
       {"turbo", env.turbo, true},
       {"smt", env.smt, true},
       {"aslr", env.aslr, true},
+      {"isolcpus", env.isolcpus, true},
+      {"nohz_full", env.nohz_full, true},
+      {"rcu_nocbs", env.rcu_nocbs, true},
       {"loadavg1", env.loadavg1, false},
       {"compiler", env.compiler, true},
       {"build", env.build, true},
@@ -138,6 +160,9 @@ void set_environment_field(RunEnvironment& env, const std::string& name,
   else if (name == "turbo") env.turbo = value;
   else if (name == "smt") env.smt = value;
   else if (name == "aslr") env.aslr = value;
+  else if (name == "isolcpus") env.isolcpus = value;
+  else if (name == "nohz_full") env.nohz_full = value;
+  else if (name == "rcu_nocbs") env.rcu_nocbs = value;
   else if (name == "loadavg1") env.loadavg1 = value;
   else if (name == "compiler") env.compiler = value;
   else if (name == "build") env.build = value;
@@ -162,6 +187,18 @@ RunEnvironment capture_run_environment(const std::string& sysfs_root,
   env.turbo = scan_turbo(cpu_dir);
   env.smt = scan_smt(cpu_dir);
   env.aslr = or_unknown(read_line(proc_root + "/sys/kernel/randomize_va_space"));
+
+  std::string cmdline = read_line(proc_root + "/cmdline");
+  // /proc/cmdline separates parameters with spaces but some stub trees (and
+  // the kernel's own args passing) use NULs; normalize before scanning.
+  std::replace(cmdline.begin(), cmdline.end(), '\0', ' ');
+  if (cmdline.empty()) {
+    env.isolcpus = env.nohz_full = env.rcu_nocbs = "unknown";
+  } else {
+    env.isolcpus = cmdline_param(cmdline, "isolcpus");
+    env.nohz_full = cmdline_param(cmdline, "nohz_full");
+    env.rcu_nocbs = cmdline_param(cmdline, "rcu_nocbs");
+  }
 
   std::string loadavg = read_line(proc_root + "/loadavg");
   std::istringstream ls(loadavg);
@@ -194,6 +231,12 @@ std::vector<std::string> environment_warnings(const RunEnvironment& env) {
     warnings.push_back(
         "turbo boost is enabled; clock frequency will vary with thermal headroom "
         "across the run");
+  }
+  if (env.isolcpus == "none" && env.nohz_full == "none" && env.rcu_nocbs == "none") {
+    warnings.push_back(
+        "no core isolation (isolcpus/nohz_full/rcu_nocbs unset); timer ticks and "
+        "stray tasks share the measured cores — nanoscale timings will carry more "
+        "outliers");
   }
   double load = -1.0;
   try {

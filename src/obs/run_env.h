@@ -30,6 +30,14 @@ struct RunEnvironment {
   std::string turbo;      // "on" / "off" / "unknown"
   std::string smt;        // "on" / "off" / "unknown"
   std::string aslr;       // /proc/sys/kernel/randomize_va_space: "0".."2" / "unknown"
+  // Core-isolation kernel parameters from /proc/cmdline, the knobs a
+  // nanoscale-timing host should have set (a dedicated CPU list keeps the
+  // tick, RCU callbacks, and other tasks off the measured cores).  Each is
+  // the parameter's cpu-list value verbatim, or "none" when the parameter
+  // is absent ("unknown" when /proc/cmdline was unreadable).
+  std::string isolcpus;
+  std::string nohz_full;
+  std::string rcu_nocbs;
   std::string loadavg1;   // 1-minute load average at capture time
   std::string compiler;   // compiler that built this binary
   std::string build;      // build type + flags baked in at configure time

@@ -142,6 +142,27 @@ CompareReport compare_batches(const ResultBatch& baseline, const ResultBatch& cu
     report.env_deltas = obs::diff_environments(*baseline.environment, *current.environment);
   }
 
+  // Clock-source provenance: flag any benchmark whose two runs were timed
+  // by different clocks (legacy batches without the field stay silent).
+  {
+    std::map<std::string, std::string> base_clock;
+    for (const RunResult& r : baseline.results) {
+      if (r.measurement.has_value() && !r.measurement->clock_source.empty()) {
+        base_clock[r.name] = r.measurement->clock_source;
+      }
+    }
+    for (const RunResult& r : current.results) {
+      if (!r.measurement.has_value() || r.measurement->clock_source.empty()) {
+        continue;
+      }
+      auto it = base_clock.find(r.name);
+      if (it != base_clock.end() && it->second != r.measurement->clock_source) {
+        report.clock_mismatches.push_back(r.name + ": " + it->second + " -> " +
+                                          r.measurement->clock_source);
+      }
+    }
+  }
+
   std::map<std::string, Entry> base = index_batch(baseline, thresholds);
   std::map<std::string, Entry> cur = index_batch(current, thresholds);
 
@@ -242,15 +263,26 @@ std::string render_compare_table(const CompareReport& report) {
 }
 
 std::string render_environment_diff(const CompareReport& report) {
+  // Clock mismatches are per-benchmark provenance: they must surface even
+  // when one side (or both) lacks an environment snapshot entirely.
+  std::string clock_note;
+  if (!report.clock_mismatches.empty()) {
+    clock_note = "  clock-source change on " +
+                 std::to_string(report.clock_mismatches.size()) +
+                 " benchmark(s) — deltas include the instrumentation switch:\n";
+    for (const std::string& m : report.clock_mismatches) {
+      clock_note += "    " + m + "\n";
+    }
+  }
   if (!report.baseline_has_env || !report.current_has_env) {
     const char* side = !report.baseline_has_env
                            ? (!report.current_has_env ? "neither batch" : "the baseline")
                            : "the current batch";
     return std::string("environment: ") + side +
-           " carries no provenance snapshot; comparability unknown\n";
+           " carries no provenance snapshot; comparability unknown\n" + clock_note;
   }
   if (report.env_deltas.empty()) {
-    return "environment: identical provenance snapshots\n";
+    return "environment: identical provenance snapshots\n" + clock_note;
   }
   std::string out = "environment: " + std::to_string(report.env_deltas.size()) +
                     " field(s) differ between baseline and current\n";
@@ -263,6 +295,7 @@ std::string render_environment_diff(const CompareReport& report) {
         "  metric deltas above may reflect the configuration change, not a code "
         "change\n";
   }
+  out += clock_note;
   return out;
 }
 
@@ -297,6 +330,14 @@ std::string compare_to_json(const CompareReport& report) {
            ", \"significant\": " + (d.significant ? "true" : "false") + "}";
   }
   out += report.env_deltas.empty() ? "]},\n" : "\n  ]},\n";
+  out += "  \"clock_mismatches\": [";
+  bool first_clock = true;
+  for (const std::string& m : report.clock_mismatches) {
+    out += first_clock ? "" : ", ";
+    first_clock = false;
+    out += json_quote(m);
+  }
+  out += "],\n";
   out += "  \"deltas\": [";
   bool first = true;
   for (const MetricDelta& d : report.deltas) {

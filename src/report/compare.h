@@ -110,6 +110,14 @@ struct CompareReport {
   bool baseline_has_env = false;
   bool current_has_env = false;
 
+  // Benchmarks whose two runs were timed by different clock sources
+  // (Measurement::clock_source, e.g. "wall" vs "tsc").  A clock switch
+  // shifts every interval by the difference in read overhead, so these
+  // deltas compare instrumentation as much as code; surfaced in the
+  // environment diff and the compare JSON.  One "bench: base -> cur" entry
+  // per affected benchmark.
+  std::vector<std::string> clock_mismatches;
+
   bool has_regressions() const { return regressed > 0; }
 
   // True when a *significant* provenance field differs (governor, turbo,
@@ -137,7 +145,7 @@ std::string render_environment_diff(const CompareReport& report);
 // JSON document (schema lmbenchpp.compare.v1) for CI artifacts:
 // schema, baseline_system, current_system, thresholds{}, summary{counts,
 // gate_passed, env_mismatch}, environment{baseline_has_env,
-// current_has_env, deltas[]}, deltas[].
+// current_has_env, deltas[]}, clock_mismatches[], deltas[].
 std::string compare_to_json(const CompareReport& report);
 
 }  // namespace lmb::report

@@ -95,6 +95,18 @@ std::string to_json(const ResultBatch& batch) {
       out += "        \"iterations\": " + std::to_string(m.iterations) + ",\n";
       out += "        \"repetitions\": " + std::to_string(m.repetitions) + ",\n";
       out += "        \"clock_overhead_ns\": " + std::to_string(m.clock_overhead_ns) + ",\n";
+      // Time-source provenance: which clock produced the intervals, whether
+      // the batched nanoscale path ran, and — nanoscale only — the measured
+      // per-interval clock(+counter) read cost.  Null, never 0, outside
+      // nanoscale mode.
+      out += "        \"clock_source\": " +
+             (m.clock_source.empty() ? std::string("null") : json_string(m.clock_source)) +
+             ",\n";
+      out += std::string("        \"nanoscale\": ") + (m.nanoscale ? "true" : "false") + ",\n";
+      out += "        \"interval_overhead_ns\": " +
+             (m.interval_overhead_ns >= 0 ? std::to_string(m.interval_overhead_ns)
+                                          : std::string("null")) +
+             ",\n";
       out += std::string("        \"converged\": ") + (m.converged ? "true" : "false") + ",\n";
       out += std::string("        \"calibration_cached\": ") +
              (m.calibration_cached ? "true" : "false") + ",\n";
@@ -232,6 +244,14 @@ ResultBatch from_json(const std::string& text) {
       }
       if (const JsonValue* f = find(mo, "clock_overhead_ns")) {
         m.clock_overhead_ns = static_cast<Nanos>(f->number());
+      }
+      if (const JsonValue* f = find(mo, "clock_source"); f != nullptr && !f->is_null()) {
+        m.clock_source = f->str();
+      }
+      if (const JsonValue* f = find(mo, "nanoscale")) m.nanoscale = f->boolean();
+      if (const JsonValue* f = find(mo, "interval_overhead_ns");
+          f != nullptr && !f->is_null()) {
+        m.interval_overhead_ns = static_cast<Nanos>(f->number());
       }
       if (const JsonValue* f = find(mo, "converged")) m.converged = f->boolean();
       if (const JsonValue* f = find(mo, "calibration_cached")) {

@@ -1,5 +1,6 @@
 #include "src/svc/bench_service.h"
 
+#include <algorithm>
 #include <filesystem>
 
 #include "src/core/env.h"
@@ -21,6 +22,12 @@ RunRequest RunRequest::from_options(const Options& opts) {
   req.jobs = static_cast<int>(opts.get_int("jobs", 1));
   req.timeout_sec = opts.get_double("timeout", 0.0);
   req.counters = opts.get_bool("counters");
+  try {
+    req.clock_source = parse_clock_source(opts.get_string("clock", "auto"));
+  } catch (const std::invalid_argument& e) {
+    throw UsageError(e.what());
+  }
+  req.nanoscale = opts.get_bool("nanoscale");
   req.bench_options = opts;
 
   req.use_cal_cache = !opts.get_bool("no-cal-cache");
@@ -136,6 +143,11 @@ RunArtifacts BenchService::run(const RunRequest& request, const ProgressFn& prog
   obs::RunEnvironment run_env = obs::capture_run_environment();
   artifacts.batch.environment = run_env;
 
+  // Resolve the requested time source against this host.  An unhonorable
+  // --clock=tsc becomes a startup warning; the per-measurement clock_source
+  // field records what actually ran.
+  SelectedClock selected = select_clock(request.clock_source);
+
   SuiteConfig config;
   config.category = request.category;
   config.names = request.names;
@@ -143,6 +155,8 @@ RunArtifacts BenchService::run(const RunRequest& request, const ProgressFn& prog
   config.timeout_sec = request.timeout_sec;
   config.options = request.bench_options;
   config.counters = request.counters;
+  config.clock = selected.clock;
+  config.nanoscale = request.nanoscale;
 
   obs::TraceSink* sink = nullptr;
   if (request.collect_trace) {
@@ -164,6 +178,14 @@ RunArtifacts BenchService::run(const RunRequest& request, const ProgressFn& prog
     }
     cal_available = cal_cache->size();
     config.cal_cache = cal_cache;
+    // Seed the selected clock's persisted read-overhead (if a prior run
+    // measured it) so this run skips the startup probe.  Must happen before
+    // the first overhead_ns() call — the value is memoized per process.
+    if (std::optional<CalEntry> seeded =
+            cal_cache->find(clock_overhead_cache_key(selected.source));
+        seeded.has_value() && seeded->iterations > 0) {
+      seed_clock_overhead(selected.source, static_cast<Nanos>(seeded->iterations));
+    }
   }
   artifacts.cal_cache_used = request.use_cal_cache;
   artifacts.cal_warm = cal_available > 0;
@@ -185,7 +207,26 @@ RunArtifacts BenchService::run(const RunRequest& request, const ProgressFn& prog
     event.cal_warm = artifacts.cal_warm;
     event.cal_path = request.cal_cache_path;
     event.warnings = run_env.warnings;
+    if (selected.fell_back) {
+      event.warnings.push_back("clock: --clock=tsc not honorable, using wall (" +
+                               selected.fallback_reason + ")");
+    }
     emit(event);
+  }
+
+  if (sink != nullptr) {
+    obs::TraceArgs clock_args = {{"requested", clock_source_name(request.clock_source)},
+                                 {"source", selected.source},
+                                 {"fell_back", selected.fell_back ? "true" : "false"},
+                                 {"overhead_ns", std::to_string(selected.clock->overhead_ns())},
+                                 {"nanoscale", request.nanoscale ? "true" : "false"}};
+    if (selected.source == "tsc") {
+      clock_args.push_back({"tsc_mhz", std::to_string(TscClock::calibration().tsc_mhz)});
+    }
+    if (selected.fell_back) {
+      clock_args.push_back({"fallback_reason", selected.fallback_reason});
+    }
+    sink->instant("clock", "select", std::move(clock_args));
   }
 
   SuiteRunner runner(*registry_);
@@ -209,6 +250,13 @@ RunArtifacts BenchService::run(const RunRequest& request, const ProgressFn& prog
   if (cal_cache != nullptr) {
     artifacts.cal_hits = cal_cache->hits() - cal_hits_before;
     artifacts.cal_misses = cal_cache->misses() - cal_misses_before;
+    // Persist this run's measured clock-read overhead (clamped to >= 1 so
+    // the entry round-trips the store's positive-iterations rule) for the
+    // next run to seed from.
+    cal_cache->put(clock_overhead_cache_key(selected.source),
+                   CalEntry{static_cast<std::uint64_t>(
+                                std::max<Nanos>(selected.clock->overhead_ns(), 1)),
+                            1});
     try {
       db::save_calibration_cache(request.cal_cache_path, host_sig, *cal_cache);
     } catch (const std::exception& e) {

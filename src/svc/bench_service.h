@@ -26,6 +26,7 @@
 #include "src/core/cal_cache.h"
 #include "src/core/options.h"
 #include "src/core/registry.h"
+#include "src/core/tsc_clock.h"
 #include "src/obs/trace.h"
 #include "src/report/compare.h"
 #include "src/report/serialize.h"
@@ -52,6 +53,14 @@ struct RunRequest {
   int jobs = 1;
   double timeout_sec = 0.0;
   bool counters = false;
+  // Time source (--clock=auto|tsc|wall): resolved against the host by
+  // select_clock at run start; what actually ran is recorded per
+  // measurement as clock_source, and an unhonorable --clock=tsc surfaces a
+  // fallback warning, never a silent switch.
+  ClockSource clock_source = ClockSource::kAuto;
+  // Nanoscale timing (--nanoscale): batched back-to-back intervals with
+  // measured per-interval read overhead (TimingPolicy::nanoscale).
+  bool nanoscale = false;
   // Passed verbatim to every benchmark (--quick, --size=, --kernel=,
   // --bw-threads=, ...).
   Options bench_options;
@@ -87,9 +96,9 @@ struct RunRequest {
 
   // Builds a request from parsed command-line options, using exactly
   // run_suite's flag names (--category, --only, --jobs, --timeout, --out,
-  // --json, --csv, --trace, --trace-chrome, --counters, --cal-cache,
-  // --no-cal-cache, --baseline, --gate, --assume-noise, --save-baseline,
-  // --compare-json, --trend-store).  The full option set is also retained
+  // --json, --csv, --trace, --trace-chrome, --counters, --clock,
+  // --nanoscale, --cal-cache, --no-cal-cache, --baseline, --gate,
+  // --assume-noise, --save-baseline, --compare-json, --trend-store).  The full option set is also retained
   // as bench_options so benchmark-level flags flow through.  Throws
   // UsageError / std::invalid_argument on malformed values.
   static RunRequest from_options(const Options& opts);

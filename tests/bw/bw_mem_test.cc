@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
 namespace lmb::bw {
 namespace {
 
@@ -98,6 +102,40 @@ TEST(BwMemTest, ExtendedOpsProducePositiveBandwidth) {
   }
   EXPECT_STREQ(mem_op_name(MemOp::kBzero), "bzero");
   EXPECT_STREQ(mem_op_name(MemOp::kReadWrite), "rdwr");
+}
+
+TEST(BwMemTest, KernelComparisonInterleavesEveryAvailableVariant) {
+  if (available_kernel_variants().size() < 2) {
+    GTEST_SKIP() << "only the scalar kernel is available on this host";
+  }
+  MemBwConfig cfg;
+  cfg.bytes = 256 << 10;  // cache-resident keeps the test fast
+  cfg.policy = TimingPolicy::quick();
+  KernelCompareResult cmp = compare_kernels_interleaved(MemOp::kCopyUnrolled, cfg,
+                                                        /*rounds=*/3);
+  ASSERT_EQ(cmp.entries.size(), available_kernel_variants().size());
+  ASSERT_EQ(cmp.ab.variants.size(), cmp.entries.size());
+  EXPECT_EQ(cmp.entries[0].variant, KernelVariant::kScalar);
+  EXPECT_EQ(cmp.ab.deltas.size(), cmp.entries.size() - 1);
+  EXPECT_EQ(cmp.ab.rounds, 3);
+  EXPECT_EQ(cmp.ab.order.size(), 3u * cmp.entries.size());
+  for (const KernelCompareEntry& e : cmp.entries) {
+    EXPECT_GT(e.mb_per_sec, 10.0) << kernel_variant_name(e.variant);
+  }
+  // Every round's order is a permutation of all variant indices.
+  const int n = static_cast<int>(cmp.entries.size());
+  for (int r = 0; r < 3; ++r) {
+    std::vector<int> round(cmp.ab.order.begin() + r * n,
+                           cmp.ab.order.begin() + (r + 1) * n);
+    std::sort(round.begin(), round.end());
+    for (int k = 0; k < n; ++k) {
+      EXPECT_EQ(round[static_cast<size_t>(k)], k) << "round " << r;
+    }
+  }
+}
+
+TEST(BwMemTest, KernelComparisonRejectsLibcOp) {
+  EXPECT_THROW(compare_kernels_interleaved(MemOp::kCopyLibc), std::invalid_argument);
 }
 
 }  // namespace

@@ -53,6 +53,44 @@ TEST(ProbeResolutionTest, CoarseFakeClockIsDetected) {
   EXPECT_EQ(res.tick, 10 * kMillisecond);
 }
 
+TEST(ClockOverheadTest, RobustEstimatorIsNonNegativeAndStable) {
+  Nanos a = measure_clock_overhead_robust(WallClock::instance(), 256, 3);
+  Nanos b = measure_clock_overhead_robust(WallClock::instance(), 256, 3);
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, 0);
+  // Median-of-round-minima on the same clock should land in the same ballpark
+  // (generous bound: both are a handful of ns; CI jitter is the enemy here).
+  EXPECT_LT(a, kMicrosecond);
+  EXPECT_LT(b, kMicrosecond);
+}
+
+TEST(ClockOverheadTest, RobustEstimatorSeesVirtualClockAsFree) {
+  VirtualClock clock;
+  EXPECT_EQ(measure_clock_overhead_robust(clock, 64, 3), 0);
+}
+
+TEST(ClockOverheadTest, SeedingIsPerSource) {
+  // Unused source names so this test owns the map slots.
+  EXPECT_FALSE(seeded_clock_overhead("test-src-a").has_value());
+  seed_clock_overhead("test-src-a", 17);
+  ASSERT_TRUE(seeded_clock_overhead("test-src-a").has_value());
+  EXPECT_EQ(*seeded_clock_overhead("test-src-a"), 17);
+  EXPECT_FALSE(seeded_clock_overhead("test-src-b").has_value());
+  // Negative seeds are rejected (a cache can hold garbage; never propagate
+  // it into timing corrections).
+  seed_clock_overhead("test-src-b", -5);
+  EXPECT_FALSE(seeded_clock_overhead("test-src-b").has_value());
+}
+
+TEST(ClockOverheadTest, CacheKeyFollowsCalStoreGrammar) {
+  // Key must end in "@1" so CalEntry{overhead, 1} round-trips through the
+  // cal-store key grammar (min_interval after the final '@' must be > 0).
+  std::string key = clock_overhead_cache_key("tsc");
+  EXPECT_NE(key.find("tsc"), std::string::npos);
+  EXPECT_EQ(key.substr(key.rfind('@')), "@1");
+  EXPECT_NE(clock_overhead_cache_key("wall"), key);
+}
+
 TEST(StopWatchTest, MeasuresVirtualTime) {
   VirtualClock clock;
   StopWatch sw(clock);

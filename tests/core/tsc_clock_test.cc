@@ -1,0 +1,144 @@
+#include "src/core/tsc_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lmb {
+namespace {
+
+// Sets LMBPP_NO_TSC for one test body and restores on destruction.
+class NoTscGuard {
+ public:
+  NoTscGuard() { ::setenv("LMBPP_NO_TSC", "1", 1); }
+  ~NoTscGuard() { ::unsetenv("LMBPP_NO_TSC"); }
+};
+
+TEST(ClockSourceTest, NamesRoundTrip) {
+  EXPECT_STREQ(clock_source_name(ClockSource::kAuto), "auto");
+  EXPECT_STREQ(clock_source_name(ClockSource::kTsc), "tsc");
+  EXPECT_STREQ(clock_source_name(ClockSource::kWall), "wall");
+  EXPECT_EQ(parse_clock_source("auto"), ClockSource::kAuto);
+  EXPECT_EQ(parse_clock_source("tsc"), ClockSource::kTsc);
+  EXPECT_EQ(parse_clock_source("wall"), ClockSource::kWall);
+}
+
+TEST(ClockSourceTest, ParseRejectsUnknownText) {
+  EXPECT_THROW(parse_clock_source("hpet"), std::invalid_argument);
+  EXPECT_THROW(parse_clock_source(""), std::invalid_argument);
+  EXPECT_THROW(parse_clock_source("TSC"), std::invalid_argument);
+}
+
+TEST(SelectClockTest, WallIsAlwaysHonored) {
+  SelectedClock sel = select_clock(ClockSource::kWall);
+  ASSERT_NE(sel.clock, nullptr);
+  EXPECT_EQ(sel.source, "wall");
+  EXPECT_EQ(sel.clock->name(), "wall");
+  EXPECT_FALSE(sel.fell_back);
+  EXPECT_TRUE(sel.fallback_reason.empty());
+}
+
+TEST(SelectClockTest, SourceAlwaysMatchesClockName) {
+  for (ClockSource req : {ClockSource::kAuto, ClockSource::kTsc, ClockSource::kWall}) {
+    SelectedClock sel = select_clock(req);
+    ASSERT_NE(sel.clock, nullptr);
+    EXPECT_TRUE(sel.source == "tsc" || sel.source == "wall") << sel.source;
+    EXPECT_EQ(sel.clock->name(), sel.source);
+  }
+}
+
+TEST(SelectClockTest, EnvKillSwitchForcesExplicitFallback) {
+  NoTscGuard guard;
+  EXPECT_FALSE(TscClock::supported());
+
+  // auto quietly resolves to wall; an explicit tsc request must say why it
+  // was not honored.
+  SelectedClock auto_sel = select_clock(ClockSource::kAuto);
+  EXPECT_EQ(auto_sel.source, "wall");
+  EXPECT_FALSE(auto_sel.fell_back);
+
+  SelectedClock tsc_sel = select_clock(ClockSource::kTsc);
+  EXPECT_EQ(tsc_sel.source, "wall");
+  EXPECT_TRUE(tsc_sel.fell_back);
+  EXPECT_NE(tsc_sel.fallback_reason.find("LMBPP_NO_TSC"), std::string::npos)
+      << tsc_sel.fallback_reason;
+}
+
+TEST(TscClockTest, InstanceThrowsWhenDisabled) {
+  NoTscGuard guard;
+  EXPECT_THROW(TscClock::instance(), std::runtime_error);
+}
+
+TEST(TscClockTest, MonotonicNonDecreasing) {
+  if (!TscClock::supported()) {
+    GTEST_SKIP() << "no invariant TSC on this host";
+  }
+  const TscClock& clock = TscClock::instance();
+  Nanos prev = clock.now();
+  for (int i = 0; i < 10'000; ++i) {
+    Nanos cur = clock.now();
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(TscClockTest, CalibrationLooksSane) {
+  if (!TscClock::supported()) {
+    GTEST_SKIP() << "no invariant TSC on this host";
+  }
+  const TscCalibration& cal = TscClock::calibration();
+  // Any TSC of the last two decades ticks somewhere between 0.5 and 6 GHz.
+  EXPECT_GT(cal.ticks_per_ns, 0.5);
+  EXPECT_LT(cal.ticks_per_ns, 6.0);
+  EXPECT_NEAR(cal.tsc_mhz, cal.ticks_per_ns * 1000.0, 1e-6);
+  EXPECT_GT(cal.windows, 0);
+  EXPECT_GT(cal.window_ns, 0);
+}
+
+TEST(TscClockTest, AgreesWithWallClockOverABusyWindow) {
+  if (!TscClock::supported()) {
+    GTEST_SKIP() << "no invariant TSC on this host";
+  }
+  const TscClock& tsc = TscClock::instance();
+  const WallClock& wall = WallClock::instance();
+
+  Nanos wall_start = wall.now();
+  Nanos tsc_start = tsc.now();
+  while (wall.now() - wall_start < 20 * kMillisecond) {
+    // busy-wait: sleeping could park the core and is exactly the case the
+    // invariant-TSC gate exists to keep honest anyway
+  }
+  Nanos wall_elapsed = wall.now() - wall_start;
+  Nanos tsc_elapsed = tsc.now() - tsc_start;
+
+  // The calibration came from CLOCK_MONOTONIC, so the two must agree well;
+  // 10% leaves room for scheduler preemption in a loaded CI container.
+  double ratio = static_cast<double>(tsc_elapsed) / static_cast<double>(wall_elapsed);
+  EXPECT_GT(ratio, 0.9) << "tsc=" << tsc_elapsed << " wall=" << wall_elapsed;
+  EXPECT_LT(ratio, 1.1) << "tsc=" << tsc_elapsed << " wall=" << wall_elapsed;
+}
+
+TEST(TscClockTest, OverheadIsSmallAndNonNegative) {
+  if (!TscClock::supported()) {
+    GTEST_SKIP() << "no invariant TSC on this host";
+  }
+  Nanos overhead = TscClock::instance().overhead_ns();
+  EXPECT_GE(overhead, 0);
+  // A serialized RDTSCP is tens of ns at the very worst.
+  EXPECT_LT(overhead, kMicrosecond);
+}
+
+TEST(TscClockTest, CrossCheckHandlesBadInput) {
+  EXPECT_EQ(TscClock::cross_check_cpu_mhz(0.0), 0.0);
+  EXPECT_EQ(TscClock::cross_check_cpu_mhz(-1.0), 0.0);
+  if (TscClock::supported()) {
+    // TSC and core base clock are within an order of magnitude of each other
+    // on any real machine.
+    double ratio = TscClock::cross_check_cpu_mhz(TscClock::calibration().tsc_mhz);
+    EXPECT_NEAR(ratio, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lmb

@@ -108,6 +108,53 @@ TEST(CounterTotalsTest, MultiplexFlagIsSticky) {
   EXPECT_TRUE(t.multiplexed);
 }
 
+// Userspace RDPMC path: both kill switches must force the read() fallback,
+// and whichever path is active must produce plausible deltas.
+TEST(RdpmcTest, ConfigKillSwitchForcesReadFallback) {
+  obs::PerfCounters::Config cfg;
+  cfg.no_rdpmc = true;
+  obs::PerfCounters pc(cfg);
+  EXPECT_FALSE(pc.userspace());
+  if (!pc.available()) {
+    GTEST_SKIP() << "perf_event_open unavailable here";
+  }
+  pc.start();
+  volatile std::uint64_t acc = 0;
+  for (int i = 0; i < 50000; ++i) {
+    acc = acc + 1;
+  }
+  obs::CounterSample s = pc.stop();
+  ASSERT_TRUE(s.valid);
+  EXPECT_GT(s.instructions, 5e4);
+}
+
+TEST(RdpmcTest, EnvKillSwitchForcesReadFallback) {
+  ASSERT_EQ(setenv("LMBPP_NO_RDPMC", "1", 1), 0);
+  obs::PerfCounters pc;
+  EXPECT_FALSE(pc.userspace());
+  ASSERT_EQ(unsetenv("LMBPP_NO_RDPMC"), 0);
+}
+
+TEST(RdpmcTest, UserspacePathYieldsPlausibleCountsWhenActive) {
+  obs::PerfCounters pc;
+  if (!pc.available()) {
+    GTEST_SKIP() << "perf_event_open unavailable here";
+  }
+  // userspace() may legitimately be false (cap_user_rdpmc off, non-x86);
+  // either way repeated start/stop cycles must deliver valid, growing counts.
+  for (int round = 0; round < 3; ++round) {
+    pc.start();
+    volatile std::uint64_t acc = 0;
+    for (int i = 0; i < 100000; ++i) {
+      acc = acc + static_cast<std::uint64_t>(i);
+    }
+    obs::CounterSample s = pc.stop();
+    ASSERT_TRUE(s.valid) << "round " << round << " userspace=" << pc.userspace();
+    EXPECT_GT(s.instructions, 1e5) << "round " << round;
+    EXPECT_GT(s.cycles, 0.0) << "round " << round;
+  }
+}
+
 // The timing-engine integration both ways: with counters requested,
 // Measurement::counters is set exactly when the hardware is reachable —
 // and stays nullopt (not zeros) when it is not.

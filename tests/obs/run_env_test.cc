@@ -86,6 +86,46 @@ TEST(RunEnvTest, EmptyTreeCapturesUnknownsWithoutThrowing) {
   EXPECT_TRUE(env.loadavg1.empty());
 }
 
+TEST(RunEnvTest, CmdlineIsolationParamsAreCaptured) {
+  StubTree stub;
+  stub.put("proc/cmdline",
+           "BOOT_IMAGE=/vmlinuz root=/dev/sda1 isolcpus=2-3 nohz_full=2-3 quiet");
+  obs::RunEnvironment env = obs::capture_run_environment(stub.sys_root, stub.proc_root);
+  EXPECT_EQ(env.isolcpus, "2-3");
+  EXPECT_EQ(env.nohz_full, "2-3");
+  EXPECT_EQ(env.rcu_nocbs, "none");  // present cmdline, absent parameter
+  // Partial isolation: no "no core isolation" warning.
+  for (const std::string& w : env.warnings) {
+    EXPECT_EQ(w.find("core isolation"), std::string::npos) << w;
+  }
+}
+
+TEST(RunEnvTest, CmdlineWithoutIsolationWarnsOnce) {
+  StubTree stub;
+  stub.put("sys/devices/system/cpu/cpu0/cpufreq/scaling_governor", "performance");
+  stub.put("sys/devices/system/cpu/cpu1/cpufreq/scaling_governor", "performance");
+  stub.put("sys/devices/system/cpu/intel_pstate/no_turbo", "1");
+  stub.put("proc/cmdline", "BOOT_IMAGE=/vmlinuz root=/dev/sda1 quiet");
+  stub.put("proc/loadavg", "0.01 0.01 0.01 1/100 42");
+  obs::RunEnvironment env = obs::capture_run_environment(stub.sys_root, stub.proc_root);
+  EXPECT_EQ(env.isolcpus, "none");
+  EXPECT_EQ(env.nohz_full, "none");
+  EXPECT_EQ(env.rcu_nocbs, "none");
+  ASSERT_EQ(env.warnings.size(), 1u);
+  EXPECT_NE(env.warnings[0].find("core isolation"), std::string::npos);
+}
+
+TEST(RunEnvTest, UnreadableCmdlineIsUnknownNotWarned) {
+  StubTree stub;  // no proc/cmdline at all
+  obs::RunEnvironment env = obs::capture_run_environment(stub.sys_root, stub.proc_root);
+  EXPECT_EQ(env.isolcpus, "unknown");
+  EXPECT_EQ(env.nohz_full, "unknown");
+  EXPECT_EQ(env.rcu_nocbs, "unknown");
+  for (const std::string& w : env.warnings) {
+    EXPECT_EQ(w.find("core isolation"), std::string::npos) << w;
+  }
+}
+
 TEST(RunEnvTest, WarningsFlagNoisyConfigurations) {
   obs::RunEnvironment env;
   env.governor = "powersave";

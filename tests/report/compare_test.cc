@@ -290,6 +290,39 @@ obs::RunEnvironment quiet_env() {
   return env;
 }
 
+TEST(CompareClockTest, MismatchedClockSourcesAreFlaggedPerBenchmark) {
+  RunResult base_r = make_result("lat_pipe", "us", 100.0, "us");
+  attach_sample(base_r, 100000.0, 0.0);
+  base_r.measurement->clock_source = "wall";
+  RunResult cur_r = base_r;
+  cur_r.measurement->clock_source = "tsc";
+
+  // A second benchmark timed the same way on both sides must not be flagged.
+  RunResult same_base = make_result("bw_mem", "rd_mbs", 20000.0, "MB/s");
+  attach_sample(same_base, 50.0, 0.0);
+  same_base.measurement->clock_source = "tsc";
+  RunResult same_cur = same_base;
+
+  CompareReport cmp =
+      compare_batches(batch({base_r, same_base}), batch({cur_r, same_cur}));
+  ASSERT_EQ(cmp.clock_mismatches.size(), 1u);
+  EXPECT_EQ(cmp.clock_mismatches[0], "lat_pipe: wall -> tsc");
+
+  // Surfaced in both renderings.
+  EXPECT_NE(render_environment_diff(cmp).find("clock-source change"), std::string::npos);
+  std::string json = compare_to_json(cmp);
+  EXPECT_NE(json.find("\"clock_mismatches\""), std::string::npos);
+  EXPECT_NE(json.find("lat_pipe: wall -> tsc"), std::string::npos);
+}
+
+TEST(CompareClockTest, AgreeingOrAbsentClockSourcesStayQuiet) {
+  RunResult a = make_result("lat_pipe", "us", 100.0, "us");
+  attach_sample(a, 100000.0, 0.0);  // no clock_source recorded (older batch)
+  CompareReport cmp = compare_batches(batch({a}), batch({a}));
+  EXPECT_TRUE(cmp.clock_mismatches.empty());
+  EXPECT_EQ(render_environment_diff(cmp).find("clock-source change"), std::string::npos);
+}
+
 TEST(CompareEnvTest, IdenticalProvenanceIsNotAMismatch) {
   ResultBatch base = batch({make_result("lat_pipe", "us", 100.0, "us")});
   base.environment = quiet_env();

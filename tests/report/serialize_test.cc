@@ -86,6 +86,52 @@ TEST(SerializeJsonTest, RoundTripsABatch) {
   }
 }
 
+TEST(SerializeJsonTest, ClockSourceAndNanoscaleFieldsRoundTrip) {
+  RunResult r;
+  r.name = "lat_ops";
+  r.category = "latency";
+  r.add("ns", 1.25, "ns");
+  Measurement m;
+  m.ns_per_op = 1.25;
+  m.iterations = 1 << 20;
+  m.repetitions = 7;
+  m.clock_source = "tsc";
+  m.nanoscale = true;
+  m.interval_overhead_ns = 9;
+  r.measurement = m;
+
+  ResultBatch parsed = from_json(to_json(ResultBatch{"h", {r}, {}}));
+  ASSERT_EQ(parsed.results.size(), 1u);
+  ASSERT_TRUE(parsed.results[0].measurement.has_value());
+  const Measurement& out = *parsed.results[0].measurement;
+  EXPECT_EQ(out.clock_source, "tsc");
+  EXPECT_TRUE(out.nanoscale);
+  EXPECT_EQ(out.interval_overhead_ns, 9);
+}
+
+TEST(SerializeJsonTest, AbsentClockFieldsSerializeAsNullNotZero) {
+  RunResult r;
+  r.name = "lat_ops";
+  r.category = "latency";
+  r.add("ns", 1.25, "ns");
+  Measurement m;  // defaults: no clock_source, not nanoscale, overhead -1
+  m.ns_per_op = 1.25;
+  r.measurement = m;
+
+  std::string json = to_json(ResultBatch{"h", {r}, {}});
+  // Never a silent zero: an unknown source and an unmeasured overhead are
+  // null in the document.
+  EXPECT_NE(json.find("\"clock_source\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"interval_overhead_ns\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"nanoscale\": false"), std::string::npos) << json;
+
+  ResultBatch parsed = from_json(json);
+  const Measurement& out = *parsed.results[0].measurement;
+  EXPECT_TRUE(out.clock_source.empty());
+  EXPECT_FALSE(out.nanoscale);
+  EXPECT_EQ(out.interval_overhead_ns, -1);
+}
+
 TEST(SerializeJsonTest, GoldenFieldNamesAndUnits) {
   ResultBatch batch{"host", sample_batch(), {}};
   std::string json = to_json(batch);
@@ -232,8 +278,11 @@ TEST(SerializeJsonTest, NonFiniteValuesRoundTripAsNullThenNan) {
   r.measurement = m;
 
   std::string json = to_json(ResultBatch{"host", {r}, {}});
-  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
-  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  // ": nan"/": inf" is how a naive emitter leaks non-finite doubles; a bare
+  // "nan" search would trip on the "nanoscale" field.
+  EXPECT_EQ(json.find(": nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find(": inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find(": -inf"), std::string::npos) << json;
   EXPECT_NE(json.find("\"value\": null"), std::string::npos);
 
   ResultBatch parsed = from_json(json);
@@ -300,7 +349,7 @@ TEST(SerializeJsonTest, MeasurementSampleRoundTripsWithStddev) {
   one.measurement = single;
   json = to_json(ResultBatch{"host", {one}, {}});
   EXPECT_NE(json.find("\"stddev_ns_per_op\": null"), std::string::npos) << json;
-  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find(": nan"), std::string::npos);
 }
 
 // RFC 4180 field splitter (quotes, embedded separators, CRLF-agnostic) —

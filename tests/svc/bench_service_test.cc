@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#include "src/core/timing.h"
 #include "src/db/trend_store.h"
 #include "src/sys/temp.h"
 
@@ -205,6 +207,73 @@ TEST_F(BenchServiceTest, FromOptionsMapsRunSuiteFlags) {
 TEST_F(BenchServiceTest, MalformedOnlyListIsInvalidArgument) {
   EXPECT_THROW(RunRequest::from_options(Options::from_pairs({{"only", "a,,b"}})),
                std::invalid_argument);
+}
+
+TEST_F(BenchServiceTest, FromOptionsMapsClockAndNanoscaleFlags) {
+  RunRequest def = RunRequest::from_options(Options::from_pairs({}));
+  EXPECT_EQ(def.clock_source, ClockSource::kAuto);
+  EXPECT_FALSE(def.nanoscale);
+
+  RunRequest req = RunRequest::from_options(
+      Options::from_pairs({{"clock", "wall"}, {"nanoscale", "true"}}));
+  EXPECT_EQ(req.clock_source, ClockSource::kWall);
+  EXPECT_TRUE(req.nanoscale);
+
+  EXPECT_THROW(RunRequest::from_options(Options::from_pairs({{"clock", "sundial"}})),
+               UsageError);
+}
+
+TEST_F(BenchServiceTest, ClockSourceFlowsIntoEveryMeasurement) {
+  Registry registry;
+  registry.add(BenchmarkInfo{
+      .name = "fake_timed",
+      .category = "latency",
+      .description = "actually calls measure()",
+      .run =
+          [](const Options&) {
+            volatile int x = 0;
+            Measurement m = measure(
+                [&](std::uint64_t n) {
+                  for (std::uint64_t i = 0; i < n; ++i) x = x + 1;
+                },
+                TimingPolicy::quick());
+            RunResult r;
+            r.add("ns", m.ns_per_op, "ns");
+            r.measurement = m;
+            return r;
+          },
+  });
+  BenchService service(registry);
+  RunRequest req;
+  req.names = {"fake_timed"};
+  req.use_cal_cache = false;
+  req.clock_source = ClockSource::kWall;  // forced wall: deterministic everywhere
+  RunArtifacts artifacts = service.run(req);
+  ASSERT_EQ(artifacts.batch.results.size(), 1u);
+  ASSERT_TRUE(artifacts.batch.results[0].measurement.has_value());
+  EXPECT_EQ(artifacts.batch.results[0].measurement->clock_source, "wall");
+}
+
+TEST_F(BenchServiceTest, TscFallbackWarningIsExplicit) {
+  ASSERT_EQ(setenv("LMBPP_NO_TSC", "1", 1), 0);
+  Registry registry = make_registry();
+  BenchService service(registry);
+  RunRequest req = base_request();
+  req.clock_source = ClockSource::kTsc;
+  bool saw_warning = false;
+  service.run(req, [&](const ServiceEvent& event) {
+    if (event.kind != ServiceEvent::Kind::kSuiteStart) {
+      return;
+    }
+    for (const std::string& w : event.warnings) {
+      if (w.find("--clock=tsc") != std::string::npos &&
+          w.find("LMBPP_NO_TSC") != std::string::npos) {
+        saw_warning = true;
+      }
+    }
+  });
+  EXPECT_TRUE(saw_warning);
+  ASSERT_EQ(unsetenv("LMBPP_NO_TSC"), 0);
 }
 
 }  // namespace
