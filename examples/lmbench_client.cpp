@@ -15,12 +15,19 @@
 // Client flags (stripped before forwarding):
 //   --socket=PATH          daemon socket (default lmbenchd.sock)
 //   --connect-timeout=MS   connect deadline in milliseconds (default 2000)
+//   --io-timeout=MS        mid-frame read stall deadline (default 10000;
+//                          -1 waits forever).  Waiting for the *next* frame
+//                          is always unbounded — runs are long — but a
+//                          frame that stops arriving halfway means the
+//                          daemon died mid-reply.
 //   --json=PATH            submit: write the returned results document here
 //   --quiet                submit: suppress per-benchmark progress lines
 //
 // Exit codes: the suite's own exit code after `submit` (0 ok, 1 failures,
 // 2 usage, 3 gate), 2 on usage/protocol errors, 5 when the daemon cannot
-// be reached (connection refused, missing socket, connect timeout).
+// be reached or stops responding (connection refused, missing socket,
+// connect timeout, mid-frame stall).
+#include <cerrno>
 #include <cstdio>
 #include <string>
 
@@ -50,7 +57,8 @@ int do_submit(lmb::svc::Client& client, const lmb::Options& opts) {
   // Forward every flag except the client's own to the daemon.
   std::map<std::string, std::string> args;
   for (const auto& [key, value] : opts.entries()) {
-    if (key == "socket" || key == "connect-timeout" || key == "json" || key == "quiet") {
+    if (key == "socket" || key == "connect-timeout" || key == "io-timeout" || key == "json" ||
+        key == "quiet") {
       continue;
     }
     args[key] = value;
@@ -124,7 +132,8 @@ int main(int argc, char** argv) try {
   }
   const std::string op = opts.positionals().front();
   lmb::svc::Client client(opts.get_string("socket", "lmbenchd.sock"),
-                          static_cast<int>(opts.get_int("connect-timeout", 2000)));
+                          static_cast<int>(opts.get_int("connect-timeout", 2000)),
+                          static_cast<int>(opts.get_int("io-timeout", 10'000)));
 
   try {
     if (op == "submit") {
@@ -181,8 +190,15 @@ int main(int argc, char** argv) try {
       return 0;
     }
   } catch (const lmb::sys::SysError& e) {
-    std::fprintf(stderr, "lmbench_client: cannot reach lmbenchd at %s: %s\n",
-                 client.socket_path().c_str(), e.what());
+    if (e.error_code() == ETIMEDOUT) {
+      std::fprintf(stderr,
+                   "lmbench_client: lost contact with lmbenchd at %s: %s "
+                   "(daemon stalled or died mid-reply; see --io-timeout)\n",
+                   client.socket_path().c_str(), e.what());
+    } else {
+      std::fprintf(stderr, "lmbench_client: cannot reach lmbenchd at %s: %s\n",
+                   client.socket_path().c_str(), e.what());
+    }
     return 5;
   }
 

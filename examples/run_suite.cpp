@@ -92,6 +92,7 @@
 #include "src/core/options.h"
 #include "src/core/registry.h"
 #include "src/obs/perf_counters.h"
+#include "src/report/load.h"
 #include "src/report/scaling.h"
 #include "src/svc/bench_service.h"
 
@@ -232,6 +233,22 @@ int main(int argc, char** argv) try {
     std::vector<report::ScalingSeries> scaling = report::extract_scaling(r);
     if (!scaling.empty()) {
       std::printf("\n%s", report::render_scaling_report(scaling).c_str());
+    }
+  }
+
+  // Tail-latency table for the concurrent load scenarios (lat_tcp_n,
+  // lat_rpc_n, bw_tcp_n): one row per (benchmark, scenario).
+  {
+    std::vector<report::LoadScenarioRow> load_rows;
+    for (const RunResult& r : artifacts.batch.results) {
+      if (!r.ok()) {
+        continue;
+      }
+      std::vector<report::LoadScenarioRow> rows = report::extract_load_scenarios(r);
+      load_rows.insert(load_rows.end(), rows.begin(), rows.end());
+    }
+    if (!load_rows.empty()) {
+      std::printf("\n%s", report::render_load_table(load_rows).c_str());
     }
   }
 

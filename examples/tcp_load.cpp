@@ -1,0 +1,59 @@
+// tcp_load: standalone driver for the c10k load scenarios.
+//
+//   ./build/examples/tcp_load [bench] [flags...]
+//
+// `bench` is one of lat_tcp_n (default), lat_rpc_n, bw_tcp_n; flags are the
+// benchmark's own (see src/lat/lat_load.cc or the HOWTO's "Concurrent load
+// scenarios" section).  Runs the registered benchmark — the same code path
+// run_suite uses — and prints the tail-latency table plus every metric.
+//
+//   ./build/examples/tcp_load lat_tcp_n --connections=1000 --duration=2000
+//   ./build/examples/tcp_load lat_tcp_n --connections=256 --rate=50000
+//   ./build/examples/tcp_load bw_tcp_n --connections=64 --msg=128k
+//
+// Exit codes: 0 ok, 1 benchmark failure, 2 usage.
+#include <cstdio>
+#include <string>
+
+#include "src/core/options.h"
+#include "src/core/registry.h"
+#include "src/core/run_result.h"
+#include "src/report/load.h"
+
+int main(int argc, char** argv) try {
+  lmb::Options opts = lmb::Options::parse(argc, argv);
+  const std::string bench =
+      opts.positionals().empty() ? "lat_tcp_n" : opts.positionals().front();
+  if (bench != "lat_tcp_n" && bench != "lat_rpc_n" && bench != "bw_tcp_n") {
+    std::fprintf(stderr, "usage: tcp_load [lat_tcp_n|lat_rpc_n|bw_tcp_n] [--connections=N] "
+                         "[--duration=MS] [--net=both|loopback|sim] [flags...]\n");
+    return 2;
+  }
+  const lmb::BenchmarkInfo* info = lmb::Registry::global().find(bench);
+  if (info == nullptr) {
+    std::fprintf(stderr, "tcp_load: benchmark '%s' is not registered\n", bench.c_str());
+    return 2;
+  }
+
+  lmb::RunResult result = info->run(opts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "tcp_load: %s failed: %s\n", bench.c_str(), result.error.c_str());
+    return 1;
+  }
+  std::printf("%s: %s\n\n", bench.c_str(), result.summary().c_str());
+  const std::string table = lmb::report::render_load_table(
+      lmb::report::extract_load_scenarios(result));
+  if (!table.empty()) {
+    std::printf("%s\n", table.c_str());
+  }
+  for (const lmb::Metric& m : result.metrics) {
+    std::printf("  %-20s %14.3f %s\n", m.key.c_str(), m.value, m.unit.c_str());
+  }
+  for (const auto& [key, value] : result.metadata) {
+    std::printf("  # %-18s %s\n", key.c_str(), value.c_str());
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "tcp_load: %s\n", e.what());
+  return 1;
+}

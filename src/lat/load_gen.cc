@@ -1,0 +1,501 @@
+#include "src/lat/load_gen.h"
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/timing.h"
+#include "src/sys/epoll_loop.h"
+#include "src/sys/error.h"
+#include "src/sys/fdio.h"
+#include "src/sys/socket.h"
+#include "src/sys/unique_fd.h"
+
+namespace lmb::lat {
+
+namespace {
+
+void append_be32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v >> 24));
+  out.push_back(static_cast<char>(v >> 16));
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v));
+}
+
+// One connection's request/reply state machine.
+struct CConn {
+  sys::UniqueFd fd;
+  std::uint64_t tag = 0;
+  enum class St { kConnecting, kIdle, kWriting, kReading } st = St::kConnecting;
+  size_t out_off = 0;          // bytes of the shared request already sent
+  size_t need_in = 0;          // reply bytes still expected
+  Nanos start = 0;             // RTT origin of the in-flight request
+  std::uint32_t interest = 0;  // currently registered epoll events
+};
+
+// Thrown when a connection's peer closed or reset; the dispatch sites turn
+// it into "count an error, drop the connection, keep the run going".
+struct ConnFailed {};
+
+// A stream connection that stays writable can complete blocks at memcpy
+// speed; yield back to the event loop after this many so one fast flow
+// cannot starve the others (level-triggered EPOLLOUT re-notifies).
+constexpr int kStreamBlocksPerPass = 16;
+
+constexpr Nanos kConnectDeadline = 10 * kSecond;
+
+class Driver {
+ public:
+  explicit Driver(const LoadGenConfig& cfg)
+      : cfg_(cfg),
+        clock_(cfg.clock != nullptr ? *cfg.clock : selected_clock()),
+        open_loop_(cfg.arrival != ArrivalMode::kClosedLoop),
+        rng_(cfg.seed),
+        exp_dist_(cfg.rate_per_sec > 0 ? cfg.rate_per_sec : 1.0),
+        scratch_(64u << 10) {
+    switch (cfg_.protocol) {
+      case ClientProtocol::kEcho:
+        expected_reply_ = cfg_.request_bytes;
+        break;
+      case ClientProtocol::kRpc:
+        append_be32(request_, cfg_.request_bytes);
+        expected_reply_ = 4 + cfg_.reply_bytes;
+        break;
+      case ClientProtocol::kStream:
+        expected_reply_ = 0;
+        break;
+    }
+    for (std::uint32_t i = 0; i < cfg_.request_bytes; ++i) {
+      request_.push_back(static_cast<char>('a' + (i % 26)));
+    }
+  }
+
+  LoadResult run() {
+    sys::ensure_nofile(static_cast<std::uint64_t>(cfg_.connections) * 2 + 128);
+    connect_all();
+
+    const Nanos t0 = clock_.now();
+    measure_start_ = t0 + cfg_.warmup;
+    end_time_ = measure_start_ + cfg_.duration;
+    if (open_loop_) {
+      next_arrival_ = t0;
+    } else {
+      // Kick every connection; the warmup absorbs the thundering herd.
+      std::vector<std::uint64_t> kick;
+      kick.swap(idle_);
+      for (std::uint64_t tag : kick) {
+        start_request(tag, clock_.now());
+      }
+    }
+
+    Nanos now = clock_.now();
+    while (true) {
+      if (now >= end_time_) {
+        break;
+      }
+      if (cfg_.max_requests != 0 && completed_ >= cfg_.max_requests) {
+        break;
+      }
+      if (conns_.empty()) {
+        throw std::runtime_error("load generator: all " + std::to_string(cfg_.connections) +
+                                 " connections failed");
+      }
+      if (!measuring_ && now >= measure_start_) {
+        measuring_ = true;
+        window_t0_ = now;
+        win_sent_base_ = bytes_sent_;
+        win_recv_base_ = bytes_received_;
+      }
+      if (open_loop_) {
+        advance_arrivals(now);
+      }
+      fire_timers(now);
+
+      Nanos next_ev = end_time_;
+      if (!measuring_) {
+        next_ev = std::min(next_ev, measure_start_);
+      }
+      if (open_loop_) {
+        next_ev = std::min(next_ev, next_arrival_);
+      }
+      if (!timers_.empty()) {
+        next_ev = std::min(next_ev, timers_.top().first);
+      }
+      const Nanos delta = next_ev - now;
+      // Floor to ms: a sub-ms wait becomes a zero-timeout poll, trading
+      // client CPU for arrival-schedule precision (an open-loop generator
+      // that quantizes arrivals to the epoll timeout granularity would
+      // smear exactly the queueing delay it exists to measure).
+      int timeout_ms = 0;
+      if (delta > 0) {
+        timeout_ms = static_cast<int>(std::min<Nanos>(delta / kMillisecond, 100));
+      }
+      const int n = epoll_.wait(events_, timeout_ms);
+      for (int i = 0; i < n; ++i) {
+        dispatch(events_[static_cast<size_t>(i)]);
+      }
+      now = clock_.now();
+    }
+
+    LoadResult res;
+    res.connections = established_;
+    res.errors = errors_;
+    res.total_requests = completed_;
+    if (measuring_) {
+      res.elapsed = now - window_t0_;
+      res.requests = window_completed_;
+      res.bytes_sent = bytes_sent_ - win_sent_base_;
+      res.bytes_received = bytes_received_ - win_recv_base_;
+    } else {
+      res.elapsed = now - t0;
+      res.requests = completed_;
+      res.bytes_sent = bytes_sent_;
+      res.bytes_received = bytes_received_;
+    }
+    res.rtt_ns = sample_.empty() ? std::move(warm_sample_) : std::move(sample_);
+    if (res.elapsed > 0) {
+      const double secs = static_cast<double>(res.elapsed) / static_cast<double>(kSecond);
+      res.ops_per_sec = static_cast<double>(res.requests) / secs;
+      res.mb_per_sec =
+          static_cast<double>(res.bytes_sent) / (1024.0 * 1024.0) / secs;
+    }
+    return res;
+  }
+
+ private:
+  void connect_all() {
+    for (int i = 0; i < cfg_.connections; ++i) {
+      auto conn = std::make_unique<CConn>();
+      conn->fd = sys::tcp_connect_begin(cfg_.port);
+      conn->tag = static_cast<std::uint64_t>(i);
+      conn->interest = EPOLLOUT;
+      epoll_.add(conn->fd.get(), conn->interest, conn->tag);
+      conns_.emplace(conn->tag, std::move(conn));
+    }
+    const Nanos deadline = clock_.now() + kConnectDeadline;
+    while (established_ + static_cast<int>(errors_) < cfg_.connections) {
+      const Nanos now = clock_.now();
+      if (now >= deadline) {
+        throw std::runtime_error("load generator: connection ramp timed out after " +
+                                 std::to_string((now - deadline + kConnectDeadline) / kSecond) +
+                                 "s (" + std::to_string(established_) + "/" +
+                                 std::to_string(cfg_.connections) + " established)");
+      }
+      const int timeout_ms =
+          static_cast<int>(std::min<Nanos>((deadline - now) / kMillisecond + 1, 100));
+      const int n = epoll_.wait(events_, timeout_ms);
+      for (int i = 0; i < n; ++i) {
+        const std::uint64_t tag = events_[static_cast<size_t>(i)].data.u64;
+        auto it = conns_.find(tag);
+        if (it == conns_.end() || it->second->st != CConn::St::kConnecting) {
+          continue;
+        }
+        CConn& c = *it->second;
+        try {
+          sys::tcp_finish_connect(c.fd.get());
+          if (cfg_.protocol != ClientProtocol::kStream) {
+            sys::set_tcp_nodelay(c.fd.get());
+          }
+        } catch (const sys::SysError&) {
+          fail(tag);
+          continue;
+        }
+        c.st = CConn::St::kIdle;
+        c.interest = EPOLLIN;
+        epoll_.mod(c.fd.get(), c.interest, c.tag);
+        ++established_;
+        idle_.push_back(tag);
+      }
+    }
+    if (established_ == 0) {
+      throw std::runtime_error("load generator: no connection reached port " +
+                               std::to_string(cfg_.port));
+    }
+  }
+
+  // Generates due arrivals and assigns queued ones to idle connections.
+  void advance_arrivals(Nanos now) {
+    while (next_arrival_ <= now) {
+      pending_.push_back(next_arrival_);
+      next_arrival_ += interarrival();
+    }
+    while (!pending_.empty() && !idle_.empty()) {
+      const std::uint64_t tag = idle_.back();
+      idle_.pop_back();
+      if (conns_.find(tag) == conns_.end()) {
+        continue;  // lost since it went idle
+      }
+      const Nanos scheduled = pending_.front();
+      pending_.pop_front();
+      // RTT origin is the *scheduled* arrival: time spent waiting for a
+      // free connection is queueing delay and belongs in the measurement.
+      start_request(tag, scheduled);
+    }
+  }
+
+  void fire_timers(Nanos now) {
+    while (!timers_.empty() && timers_.top().first <= now) {
+      const std::uint64_t tag = timers_.top().second;
+      timers_.pop();
+      start_request(tag, now);
+    }
+  }
+
+  Nanos interarrival() {
+    if (cfg_.arrival == ArrivalMode::kOpenPoisson) {
+      const double secs = exp_dist_(rng_);
+      return std::max<Nanos>(1, static_cast<Nanos>(secs * static_cast<double>(kSecond)));
+    }
+    return std::max<Nanos>(1, static_cast<Nanos>(static_cast<double>(kSecond) / cfg_.rate_per_sec));
+  }
+
+  // Issues one request on `tag`, absorbing connection death.
+  void start_request(std::uint64_t tag, Nanos start_ts) {
+    auto it = conns_.find(tag);
+    if (it == conns_.end()) {
+      return;
+    }
+    try {
+      issue(*it->second, start_ts);
+    } catch (const ConnFailed&) {
+      fail(tag);
+    } catch (const sys::SysError&) {
+      fail(tag);
+    }
+  }
+
+  void dispatch(const epoll_event& ev) {
+    const std::uint64_t tag = ev.data.u64;
+    auto it = conns_.find(tag);
+    if (it == conns_.end()) {
+      return;
+    }
+    CConn& c = *it->second;
+    try {
+      if ((ev.events & EPOLLERR) != 0) {
+        throw ConnFailed{};
+      }
+      if ((ev.events & EPOLLHUP) != 0 && (ev.events & EPOLLIN) == 0) {
+        throw ConnFailed{};
+      }
+      if (c.st == CConn::St::kWriting && (ev.events & EPOLLOUT) != 0) {
+        continue_write(c);
+      }
+      if ((ev.events & EPOLLIN) != 0) {
+        if (c.st == CConn::St::kReading) {
+          read_reply(c);
+        } else {
+          // No reply outstanding: readable means EOF (server shutting
+          // down) or protocol garbage.  Either way the connection is done.
+          const sys::IoOutcome r =
+              sys::read_nonblock(c.fd.get(), scratch_.data(), scratch_.size());
+          if (r.closed || r.bytes > 0) {
+            throw ConnFailed{};
+          }
+        }
+      }
+    } catch (const ConnFailed&) {
+      fail(tag);
+    } catch (const sys::SysError&) {
+      fail(tag);
+    }
+  }
+
+  void issue(CConn& c, Nanos start_ts) {
+    c.st = CConn::St::kWriting;
+    c.out_off = 0;
+    c.start = start_ts;
+    c.need_in = expected_reply_;
+    continue_write(c);
+  }
+
+  void continue_write(CConn& c) {
+    int blocks = 0;
+    while (true) {
+      while (c.out_off < request_.size()) {
+        const sys::IoOutcome w = sys::write_nonblock(
+            c.fd.get(), request_.data() + c.out_off, request_.size() - c.out_off);
+        if (w.bytes > 0) {
+          bytes_sent_ += w.bytes;
+          c.out_off += w.bytes;
+          continue;
+        }
+        if (w.closed) {
+          throw ConnFailed{};
+        }
+        want_out(c, true);
+        return;
+      }
+      if (cfg_.protocol != ClientProtocol::kStream) {
+        want_out(c, false);
+        c.st = CConn::St::kReading;
+        return;
+      }
+      // Stream: the sample is the time to push one block into the pipe —
+      // under fan-in contention that is where the backpressure shows up.
+      const Nanos now = clock_.now();
+      record(now - c.start, now);
+      ++completed_;
+      if (now >= end_time_) {
+        c.st = CConn::St::kIdle;
+        want_out(c, false);
+        return;
+      }
+      c.out_off = 0;
+      c.start = now;
+      if (++blocks >= kStreamBlocksPerPass) {
+        want_out(c, true);  // stay armed; the next EPOLLOUT resumes us
+        return;
+      }
+    }
+  }
+
+  void read_reply(CConn& c) {
+    while (c.need_in > 0) {
+      const size_t want = std::min(c.need_in, scratch_.size());
+      const sys::IoOutcome r = sys::read_nonblock(c.fd.get(), scratch_.data(), want);
+      if (r.bytes > 0) {
+        bytes_received_ += r.bytes;
+        c.need_in -= r.bytes;
+        continue;
+      }
+      if (r.closed) {
+        throw ConnFailed{};
+      }
+      return;  // socket drained; EPOLLIN will resume us
+    }
+    const Nanos now = clock_.now();
+    record(now - c.start, now);
+    ++completed_;
+    c.st = CConn::St::kIdle;
+    schedule_next(c, now);
+  }
+
+  void schedule_next(CConn& c, Nanos now) {
+    if (now >= end_time_) {
+      idle_.push_back(c.tag);  // quiesce; the main loop is about to stop
+      return;
+    }
+    if (open_loop_) {
+      if (!pending_.empty()) {
+        const Nanos scheduled = pending_.front();
+        pending_.pop_front();
+        issue(c, scheduled);
+      } else {
+        idle_.push_back(c.tag);
+      }
+      return;
+    }
+    if (cfg_.think_time > 0) {
+      timers_.emplace(now + cfg_.think_time, c.tag);
+    } else {
+      issue(c, now);
+    }
+  }
+
+  void record(Nanos rtt, Nanos now) {
+    if (now >= measure_start_) {
+      sample_.add(static_cast<double>(rtt));
+      ++window_completed_;
+    } else {
+      warm_sample_.add(static_cast<double>(rtt));
+    }
+  }
+
+  void want_out(CConn& c, bool on) {
+    const std::uint32_t wanted = EPOLLIN | (on ? EPOLLOUT : 0u);
+    if (wanted != c.interest) {
+      epoll_.mod(c.fd.get(), wanted, c.tag);
+      c.interest = wanted;
+    }
+  }
+
+  void fail(std::uint64_t tag) {
+    auto it = conns_.find(tag);
+    if (it == conns_.end()) {
+      return;
+    }
+    epoll_.del(it->second->fd.get());
+    conns_.erase(it);
+    ++errors_;
+  }
+
+  const LoadGenConfig& cfg_;
+  const Clock& clock_;
+  const bool open_loop_;
+
+  sys::Epoll epoll_;
+  std::vector<epoll_event> events_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<CConn>> conns_;
+  std::string request_;
+  size_t expected_reply_ = 0;
+
+  std::mt19937_64 rng_;
+  std::exponential_distribution<double> exp_dist_;
+  std::vector<char> scratch_;
+
+  Nanos next_arrival_ = 0;
+  std::deque<Nanos> pending_;        // scheduled arrivals awaiting a connection
+  std::vector<std::uint64_t> idle_;  // connections with nothing in flight
+  std::priority_queue<std::pair<Nanos, std::uint64_t>,
+                      std::vector<std::pair<Nanos, std::uint64_t>>,
+                      std::greater<>>
+      timers_;  // closed-loop think-time expiries
+
+  Sample sample_;       // measured-window RTTs
+  Sample warm_sample_;  // warmup RTTs (fallback when the window is empty)
+  std::uint64_t completed_ = 0;
+  std::uint64_t window_completed_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t win_sent_base_ = 0;
+  std::uint64_t win_recv_base_ = 0;
+  int established_ = 0;
+  Nanos measure_start_ = 0;
+  Nanos end_time_ = 0;
+  Nanos window_t0_ = 0;
+  bool measuring_ = false;
+};
+
+}  // namespace
+
+LoadResult run_load(const LoadGenConfig& config) {
+  if (config.port == 0) {
+    throw std::invalid_argument("run_load: port is required");
+  }
+  if (config.connections <= 0) {
+    throw std::invalid_argument("run_load: connections must be positive");
+  }
+  if (config.request_bytes == 0) {
+    throw std::invalid_argument("run_load: request_bytes must be positive");
+  }
+  if (config.duration <= 0) {
+    throw std::invalid_argument("run_load: duration must be positive");
+  }
+  if (config.warmup < 0 || config.think_time < 0) {
+    throw std::invalid_argument("run_load: warmup and think_time must be non-negative");
+  }
+  const bool open = config.arrival != ArrivalMode::kClosedLoop;
+  if (open && !(config.rate_per_sec > 0)) {
+    throw std::invalid_argument("run_load: open-loop arrival needs rate_per_sec > 0");
+  }
+  if (open && config.protocol == ClientProtocol::kStream) {
+    throw std::invalid_argument(
+        "run_load: stream protocol is closed-loop by nature (continuous send)");
+  }
+  Driver driver(config);
+  return driver.run();
+}
+
+}  // namespace lmb::lat

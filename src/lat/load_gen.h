@@ -1,0 +1,91 @@
+// Many-connection TCP load generator — the client half of the c10k
+// scenarios.
+//
+// Drives N concurrent connections against a LoadServer (or any compatible
+// echo/RPC/sink endpoint) from a single epoll event loop, in either of the
+// two canonical load-testing disciplines:
+//
+//  * closed loop: every connection keeps exactly one request in flight,
+//    optionally pausing `think_time` between a reply and the next request.
+//    Offered load adapts to service rate — the paper's lat_tcp is the
+//    N = 1, think = 0 special case.
+//  * open loop: requests arrive on a global schedule (Poisson or uniform
+//    interarrivals at `rate_per_sec`) regardless of completions, queueing
+//    for an idle connection when all are busy.  Latency is measured from
+//    the *scheduled* arrival, so queueing delay — the part closed-loop
+//    measurement structurally hides (coordinated omission) — lands in the
+//    tail percentiles where it belongs.
+//
+// Every request contributes one RTT observation to a Sample, so
+// p50/p95/p99/p999 come from Sample::percentile with no new machinery.
+#ifndef LMBENCHPP_SRC_LAT_LOAD_GEN_H_
+#define LMBENCHPP_SRC_LAT_LOAD_GEN_H_
+
+#include <cstdint>
+
+#include "src/core/clock.h"
+#include "src/core/stats.h"
+
+namespace lmb::lat {
+
+enum class ArrivalMode {
+  kClosedLoop,   // fixed concurrency, optional think time
+  kOpenPoisson,  // exponential interarrivals at rate_per_sec
+  kOpenUniform,  // fixed interarrivals at rate_per_sec
+};
+
+// What each connection sends/expects.  Mirrors ServerProtocol.
+enum class ClientProtocol {
+  kEcho,    // request_bytes out, the same bytes back
+  kRpc,     // 4-byte big-endian length + request_bytes out; 4 + reply_bytes back
+  kStream,  // continuous blocks of request_bytes out, nothing back (fan-in bw)
+};
+
+struct LoadGenConfig {
+  std::uint16_t port = 0;  // required
+  int connections = 64;
+  ClientProtocol protocol = ClientProtocol::kEcho;
+  std::uint32_t request_bytes = 64;
+  // kRpc: reply payload the server is configured to send.
+  std::uint32_t reply_bytes = 64;
+  ArrivalMode arrival = ArrivalMode::kClosedLoop;
+  // Open-loop aggregate arrival rate (requests/s); required for open modes.
+  double rate_per_sec = 0.0;
+  // Closed-loop pause between receiving a reply and issuing the next
+  // request on that connection.
+  Nanos think_time = 0;
+  // Measured window; samples during the preceding warmup are kept separate.
+  Nanos duration = kSecond;
+  Nanos warmup = 100 * kMillisecond;
+  // Optional completion cap (0 = duration-bounded only).
+  std::uint64_t max_requests = 0;
+  std::uint64_t seed = 42;
+  // Time source for RTT stamps; nullptr = selected_clock() (so --clock=tsc
+  // reaches per-request timestamps like every other measurement).
+  const Clock* clock = nullptr;
+};
+
+struct LoadResult {
+  // Per-request round trip (kEcho/kRpc) or per-block send-completion time
+  // (kStream, where backpressure is the latency) in ns, measured-window
+  // only — falls back to warmup samples when the window produced none.
+  Sample rtt_ns;
+  std::uint64_t requests = 0;        // completions in the measured window
+  std::uint64_t total_requests = 0;  // including warmup
+  std::uint64_t errors = 0;          // connections lost mid-run
+  std::uint64_t bytes_sent = 0;      // measured window
+  std::uint64_t bytes_received = 0;  // measured window
+  Nanos elapsed = 0;                 // measured window length
+  double ops_per_sec = 0.0;
+  double mb_per_sec = 0.0;           // payload sent / elapsed (2^20 MB)
+  int connections = 0;               // connections that established
+};
+
+// Runs one load scenario to completion.  Throws std::invalid_argument on a
+// bad config, SysError/runtime_error when the target is unreachable or all
+// connections die.
+LoadResult run_load(const LoadGenConfig& config);
+
+}  // namespace lmb::lat
+
+#endif  // LMBENCHPP_SRC_LAT_LOAD_GEN_H_

@@ -1,0 +1,283 @@
+#include "src/lat/load_server.h"
+
+#include <sys/socket.h>
+#include <time.h>
+
+#include <cerrno>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sys/error.h"
+#include "src/sys/fdio.h"
+
+namespace lmb::lat {
+
+namespace {
+
+// Tags 0/1 are the loop's own fds; connections start above them.
+constexpr std::uint64_t kListenerTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+constexpr std::uint64_t kFirstConnTag = 2;
+
+// Echo backpressure: stop reading a connection whose pending output exceeds
+// this; resume once the peer drains us.  Without it a fast sender that
+// never reads would grow the out buffer without bound.
+constexpr size_t kOutHighWater = 1u << 20;
+
+std::int64_t thread_cpu_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+std::uint32_t read_be32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return (static_cast<std::uint32_t>(b[0]) << 24) | (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) | static_cast<std::uint32_t>(b[3]);
+}
+
+void append_be32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v >> 24));
+  out.push_back(static_cast<char>(v >> 16));
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v));
+}
+
+}  // namespace
+
+struct LoadServer::Conn {
+  sys::UniqueFd fd;
+  std::uint64_t tag = 0;
+  std::string in;        // kRpc: bytes of a not-yet-complete frame
+  std::string out;       // pending output
+  size_t out_off = 0;    // bytes of `out` already written
+  bool peer_closed = false;
+  std::uint32_t interest = 0;  // currently registered epoll events
+};
+
+LoadServer::LoadServer(LoadServerConfig config)
+    : config_(config), listener_(config.backlog) {
+  sys::set_nonblocking(listener_.fd());
+  epoll_.add(listener_.fd(), EPOLLIN, kListenerTag);
+  epoll_.add(wake_.read_fd(), EPOLLIN, kWakeTag);
+  thread_ = std::thread([this] { loop(); });
+}
+
+LoadServer::~LoadServer() { stop(); }
+
+void LoadServer::stop() {
+  bool expected = false;
+  if (stopping_.compare_exchange_strong(expected, true)) {
+    wake_.notify();
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+LoadServerStats LoadServer::stats() const {
+  LoadServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.closed = closed_.load(std::memory_order_relaxed);
+  s.open = open_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.wakeups = wakeups_.load(std::memory_order_relaxed);
+  s.loop_cpu_ns = loop_cpu_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void LoadServer::loop() {
+  // Loop-thread-only connection table; local so the header needs no
+  // container of the private Conn type.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  std::uint64_t next_tag = kFirstConnTag;
+  std::vector<epoll_event> events;
+
+  auto accept_all = [&] {
+    // Drain the accept queue: level-triggered epoll would re-notify, but
+    // one pass per wakeup halves the syscalls during a connection ramp.
+    while (true) {
+      int fd = ::accept4(listener_.fd(), nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return;
+        }
+        if (errno == ECONNABORTED) {
+          continue;  // peer gave up while queued; not our problem
+        }
+        sys::throw_errno("accept4");
+      }
+      auto conn = std::make_unique<Conn>();
+      conn->fd.reset(fd);
+      conn->tag = next_tag++;
+      if (config_.protocol != ServerProtocol::kSink) {
+        sys::set_tcp_nodelay(fd);
+      }
+      conn->interest = EPOLLIN;
+      epoll_.add(fd, conn->interest, conn->tag);
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      open_.fetch_add(1, std::memory_order_relaxed);
+      conns.emplace(conn->tag, std::move(conn));
+    }
+  };
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Block indefinitely: every state change arrives as an fd event (new
+    // connection, readable/writable conn, wake pipe).  No timeout means an
+    // idle server performs zero syscalls — the no-busy-spin guarantee.
+    int n = epoll_.wait(events, /*timeout_ms=*/-1);
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[static_cast<size_t>(i)];
+      if (ev.data.u64 == kListenerTag) {
+        accept_all();
+        continue;
+      }
+      if (ev.data.u64 == kWakeTag) {
+        wake_.drain();
+        continue;
+      }
+      auto it = conns.find(ev.data.u64);
+      if (it == conns.end()) {
+        continue;  // closed earlier in this same batch
+      }
+      bool alive;
+      try {
+        alive = handle_conn(*it->second, ev.events);
+      } catch (const sys::SysError&) {
+        alive = false;  // per-connection failure never fells the server
+      }
+      if (!alive) {
+        close_conn(*it->second);
+        conns.erase(it);
+      }
+    }
+    loop_cpu_ns_.store(thread_cpu_ns(), std::memory_order_relaxed);
+  }
+  loop_cpu_ns_.store(thread_cpu_ns(), std::memory_order_relaxed);
+}
+
+bool LoadServer::handle_conn(Conn& conn, std::uint32_t events) {
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0 && (events & EPOLLIN) == 0) {
+    return false;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    flush(conn);
+  }
+  if ((events & EPOLLIN) != 0) {
+    if (scratch_.size() < config_.io_buf_bytes) {
+      scratch_.resize(config_.io_buf_bytes);
+    }
+    while (conn.out.size() - conn.out_off < kOutHighWater) {
+      sys::IoOutcome r = sys::read_nonblock(conn.fd.get(), scratch_.data(), scratch_.size());
+      if (r.bytes > 0) {
+        bytes_in_.fetch_add(r.bytes, std::memory_order_relaxed);
+        process_input(conn, scratch_.data(), r.bytes);
+        continue;
+      }
+      if (r.closed) {
+        conn.peer_closed = true;
+      }
+      break;  // would_block or EOF
+    }
+    flush(conn);
+  }
+  if (conn.peer_closed && conn.out_off >= conn.out.size()) {
+    return false;  // everything echoed; orderly close
+  }
+  update_interest(conn);
+  return true;
+}
+
+void LoadServer::process_input(Conn& conn, const char* data, size_t len) {
+  switch (config_.protocol) {
+    case ServerProtocol::kEcho:
+      conn.out.append(data, len);
+      break;
+    case ServerProtocol::kSink:
+      break;  // counted by the caller; bytes are the whole message
+    case ServerProtocol::kRpc: {
+      conn.in.append(data, len);
+      size_t pos = 0;
+      while (conn.in.size() - pos >= 4) {
+        std::uint32_t frame = read_be32(conn.in.data() + pos);
+        if (conn.in.size() - pos - 4 < frame) {
+          break;  // partial frame; wait for more bytes
+        }
+        // Per-request server work: a checksum spin over the request plus
+        // `work_iters` extra rounds.  The result feeds the reply's first
+        // byte so the optimizer cannot delete the loop.
+        std::uint64_t acc = 0;
+        for (size_t i = 0; i < frame; ++i) {
+          acc = acc * 131 + static_cast<unsigned char>(conn.in[pos + 4 + i]);
+        }
+        for (std::uint64_t i = 0; i < config_.work_iters; ++i) {
+          acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+        }
+        append_be32(conn.out, config_.reply_bytes);
+        conn.out.append(config_.reply_bytes, static_cast<char>('r' ^ (acc & 0xf)));
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        pos += 4 + frame;
+      }
+      conn.in.erase(0, pos);
+      break;
+    }
+  }
+}
+
+bool LoadServer::flush(Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    sys::IoOutcome w = sys::write_nonblock(conn.fd.get(), conn.out.data() + conn.out_off,
+                                           conn.out.size() - conn.out_off);
+    if (w.bytes > 0) {
+      bytes_out_.fetch_add(w.bytes, std::memory_order_relaxed);
+      conn.out_off += w.bytes;
+      continue;
+    }
+    if (w.closed) {
+      conn.peer_closed = true;
+      conn.out.clear();
+      conn.out_off = 0;
+      return true;
+    }
+    return false;  // would block
+  }
+  if (conn.out_off > 0) {
+    conn.out.clear();
+    conn.out_off = 0;
+  }
+  return true;
+}
+
+void LoadServer::update_interest(Conn& conn) {
+  std::uint32_t wanted = 0;
+  if (conn.out.size() - conn.out_off < kOutHighWater && !conn.peer_closed) {
+    wanted |= EPOLLIN;
+  }
+  if (conn.out_off < conn.out.size()) {
+    wanted |= EPOLLOUT;
+  }
+  if (wanted == 0) {
+    wanted = EPOLLIN;  // never deaf: at minimum notice the peer closing
+  }
+  if (wanted != conn.interest) {
+    epoll_.mod(conn.fd.get(), wanted, conn.tag);
+    conn.interest = wanted;
+  }
+}
+
+void LoadServer::close_conn(Conn& conn) {
+  epoll_.del(conn.fd.get());
+  conn.fd.reset();
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace lmb::lat

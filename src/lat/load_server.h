@@ -1,0 +1,113 @@
+// The c10k echo/RPC server: one thread, level-triggered epoll, non-blocking
+// everything.
+//
+// The paper's lat_tcp/bw_tcp servers handle exactly one connection with
+// blocking reads; this server multiplexes thousands on a single event loop
+// so the load benchmarks (src/lat/lat_load.cc) can extend §6's single-flow
+// measurements to the multi-tenant regime.  Per-connection state machines
+// handle partial reads/writes via the EAGAIN-correct helpers in
+// src/sys/fdio.h; the loop itself blocks in epoll_wait with no timeout —
+// when nothing is happening the server burns no CPU (tests assert on the
+// exposed loop thread time).
+#ifndef LMBENCHPP_SRC_LAT_LOAD_SERVER_H_
+#define LMBENCHPP_SRC_LAT_LOAD_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/sys/epoll_loop.h"
+#include "src/sys/socket.h"
+
+namespace lmb::lat {
+
+// What the server does with a connection's bytes.
+enum class ServerProtocol {
+  kEcho,  // write every byte read straight back (lat_tcp_n)
+  kRpc,   // length-prefixed requests; fixed-size length-prefixed replies,
+          // with optional per-request CPU work (lat_rpc_n)
+  kSink,  // read and discard — the fan-in bandwidth target (bw_tcp_n)
+};
+
+struct LoadServerConfig {
+  ServerProtocol protocol = ServerProtocol::kEcho;
+  // kRpc: reply payload size (the frame adds a 4-byte big-endian length,
+  // same framing as src/svc/wire.h).
+  std::uint32_t reply_bytes = 64;
+  // kRpc: per-request server-side work, iterations of a checksum spin —
+  // models the "simple arithmetic" an RPC server does (§6.7) so the single
+  // server CPU becomes the shared bottleneck that shapes the tail.
+  std::uint64_t work_iters = 0;
+  // listen(2) backlog; a 1000-connection ramp needs headroom here.
+  int backlog = 4096;
+  // Per-read scratch size.
+  std::uint32_t io_buf_bytes = 64u << 10;
+};
+
+// Monotonic counters, readable from any thread while the server runs.
+struct LoadServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t open = 0;           // currently open connections
+  std::uint64_t requests = 0;       // kRpc: complete frames served
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t wakeups = 0;        // epoll_wait returns
+  std::int64_t loop_cpu_ns = 0;     // CLOCK_THREAD_CPUTIME_ID of the loop
+};
+
+// Starts the event loop on a background thread at construction; stop() (or
+// the destructor) wakes it via self-pipe and joins.  The listener binds
+// 127.0.0.1 with an ephemeral port, like every socket in this suite.
+class LoadServer {
+ public:
+  explicit LoadServer(LoadServerConfig config = {});
+  ~LoadServer();
+
+  LoadServer(const LoadServer&) = delete;
+  LoadServer& operator=(const LoadServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  LoadServerStats stats() const;
+
+  // Idempotent; after return the loop thread has exited and all
+  // connections are closed.
+  void stop();
+
+ private:
+  struct Conn;
+
+  void loop();
+  void handle_listener();
+  // Returns false when the connection was closed and destroyed.
+  bool handle_conn(Conn& conn, std::uint32_t events);
+  void process_input(Conn& conn, const char* data, size_t len);
+  bool flush(Conn& conn);  // false: would block (EPOLLOUT armed)
+  void close_conn(Conn& conn);
+  void update_interest(Conn& conn);
+
+  LoadServerConfig config_;
+  sys::TcpListener listener_;
+  sys::Epoll epoll_;
+  sys::WakePipe wake_;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> open_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::int64_t> loop_cpu_ns_{0};
+
+  std::vector<char> scratch_;  // loop-thread-only read buffer
+
+  std::thread thread_;
+};
+
+}  // namespace lmb::lat
+
+#endif  // LMBENCHPP_SRC_LAT_LOAD_SERVER_H_

@@ -1,0 +1,311 @@
+#include "src/netsim/multiflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/virtual_clock.h"
+#include "src/netsim/simnet.h"
+#include "src/netsim/stream.h"
+
+namespace lmb::netsim {
+
+namespace {
+
+// TCP/IP header bytes carried by every request, reply, segment and ack
+// (matches stream.cc).
+constexpr std::uint64_t kTcpIpHeader = 40;
+
+// Flow ids share the packet tag's low bits; 10 bits bounds them at 1024.
+constexpr int kMaxFlows = 1024;
+
+void validate_flows(int flows) {
+  if (flows < 1 || flows > kMaxFlows) {
+    throw std::invalid_argument("netsim: flows must lie in [1, 1024]");
+  }
+}
+
+}  // namespace
+
+MultiflowResult simulate_concurrent_load(const LinkProfile& link, const MultiflowConfig& config) {
+  validate_flows(config.flows);
+  if (config.requests_per_flow == 0) {
+    throw std::invalid_argument("multiflow: requests_per_flow must be positive");
+  }
+  validate_loss_config(config.loss_rate, config.retransmit_timeout);
+
+  VirtualClock clock;
+  SimNetwork net(link, clock);
+  if (config.loss_rate > 0.0) {
+    net.set_loss(config.loss_rate, config.loss_seed);
+  }
+
+  struct Flow {
+    std::uint32_t seq = 0;        // current exchange number
+    std::uint32_t done = 0;       // completed exchanges
+    Nanos issued_at = 0;          // RTT origin of the in-flight request
+    Nanos rto = 0;                // current (backed-off) retransmit timeout
+    bool in_flight = false;
+    bool retransmitted = false;   // Karn: taints this exchange's RTT sample
+  };
+  std::vector<Flow> flows(static_cast<size_t>(config.flows));
+
+  MultiflowResult result;
+  // One CPU per host, shared by every flow.  Under fan-in the server CPU's
+  // busy-until queue is what stretches the tail percentiles.
+  Nanos cpu_free[2] = {0, 0};
+  int flows_done = 0;
+  Nanos finish_time = 0;
+
+  // tag layout: bit 0 = reply, bits 1..10 = flow, bits 11.. = sequence.
+  auto request_tag = [](std::uint32_t seq, int f) {
+    return (static_cast<std::uint64_t>(seq) << 11) | (static_cast<std::uint64_t>(f) << 1);
+  };
+
+  std::function<void(int)> send_request;
+  std::function<void(int, std::uint32_t)> arm_rto;
+
+  send_request = [&](int f) {
+    Flow& fl = flows[static_cast<size_t>(f)];
+    const Nanos ready = std::max(clock.now(), cpu_free[0]) + config.client_cost;
+    cpu_free[0] = ready;
+    const std::uint64_t tag = request_tag(fl.seq, f);
+    net.queue().schedule_at(ready, [&net, tag, bytes = config.request_bytes]() {
+      net.send(0, Packet{bytes + kTcpIpHeader, tag});
+    });
+  };
+
+  arm_rto = [&](int f, std::uint32_t seq) {
+    if (config.retransmit_timeout <= 0) {
+      return;
+    }
+    net.queue().schedule_in(flows[static_cast<size_t>(f)].rto, [&, f, seq]() {
+      Flow& fl = flows[static_cast<size_t>(f)];
+      if (!fl.in_flight || fl.seq != seq) {
+        return;  // the exchange completed; let the timer die
+      }
+      fl.retransmitted = true;
+      ++result.retransmits;
+      fl.rto = std::min<Nanos>(fl.rto * 2, config.retransmit_timeout * 64);
+      send_request(f);
+      arm_rto(f, seq);
+    });
+  };
+
+  auto issue = [&](int f) {
+    Flow& fl = flows[static_cast<size_t>(f)];
+    fl.in_flight = true;
+    fl.retransmitted = false;
+    fl.issued_at = clock.now();
+    fl.rto = config.retransmit_timeout;
+    send_request(f);
+    arm_rto(f, fl.seq);
+  };
+
+  // Server: one CPU serves requests in arrival order, then replies.  It
+  // answers duplicates too — deduplication is the client's job, as in any
+  // at-least-once request/reply protocol.
+  net.set_handler(1, [&](int, const Packet& p) {
+    const Nanos ready = std::max(clock.now(), cpu_free[1]) + config.server_cost;
+    cpu_free[1] = ready;
+    const std::uint64_t reply = p.tag | 1;
+    net.queue().schedule_at(ready, [&net, reply, bytes = config.reply_bytes]() {
+      net.send(1, Packet{bytes + kTcpIpHeader, reply});
+    });
+  });
+
+  // Client: match the reply to the flow's current exchange; stale replies
+  // (from retransmitted requests) are dropped.
+  net.set_handler(0, [&](int, const Packet& p) {
+    const int f = static_cast<int>((p.tag >> 1) & 0x3ff);
+    const auto seq = static_cast<std::uint32_t>(p.tag >> 11);
+    Flow& fl = flows[static_cast<size_t>(f)];
+    if (!fl.in_flight || fl.seq != seq) {
+      return;
+    }
+    fl.in_flight = false;
+    if (!fl.retransmitted) {
+      result.rtt_ns.add(static_cast<double>(clock.now() - fl.issued_at));
+    }
+    ++fl.done;
+    ++result.requests;
+    ++fl.seq;
+    if (fl.done < config.requests_per_flow) {
+      issue(f);
+    } else if (++flows_done == config.flows) {
+      finish_time = clock.now();
+    }
+  });
+
+  for (int f = 0; f < config.flows; ++f) {
+    issue(f);
+  }
+  net.run(config.loss_rate > 0 ? 100'000'000 : 10'000'000);
+
+  if (flows_done != config.flows) {
+    throw std::logic_error("multiflow load stalled");
+  }
+  result.packets_lost = net.packets_dropped();
+  result.elapsed = finish_time;
+  if (finish_time > 0) {
+    result.ops_per_sec = static_cast<double>(result.requests) /
+                         (static_cast<double>(finish_time) / static_cast<double>(kSecond));
+  }
+  return result;
+}
+
+MultistreamResult simulate_concurrent_streams(const LinkProfile& link,
+                                              const MultistreamConfig& config) {
+  validate_flows(config.flows);
+  if (config.bytes_per_flow == 0 || config.window_bytes == 0) {
+    throw std::invalid_argument("multistream: bytes_per_flow and window must be positive");
+  }
+  validate_loss_config(config.loss_rate, config.retransmit_timeout);
+
+  VirtualClock clock;
+  SimNetwork net(link, clock);
+  if (config.loss_rate > 0.0) {
+    net.set_loss(config.loss_rate, config.loss_seed);
+  }
+
+  const std::uint64_t mss =
+      link.mtu_payload > kTcpIpHeader ? link.mtu_payload - kTcpIpHeader : link.mtu_payload;
+
+  struct SegRec {
+    std::uint64_t cum_end;  // cumulative byte count this segment completes
+    Nanos sent_at;
+  };
+  struct Flow {
+    std::uint64_t next = 0;          // next payload byte to send
+    std::uint64_t acked = 0;         // cumulatively acknowledged
+    std::uint64_t received = 0;      // receiver-side in-order bytes
+    std::uint64_t highest_sent = 0;  // high-water mark of first transmissions
+    Nanos rto = 0;
+    std::deque<SegRec> outstanding;  // first-transmission segments awaiting ack
+    bool done = false;
+  };
+  std::vector<Flow> flows(static_cast<size_t>(config.flows));
+
+  MultistreamResult result;
+  Nanos cpu_free[2] = {0, 0};
+  int flows_done = 0;
+  Nanos finish_time = 0;
+
+  // tag layout: bits 0..9 = flow, bits 10.. = cumulative byte count.
+  auto make_tag = [](std::uint64_t cum, int f) {
+    return (cum << 10) | static_cast<std::uint64_t>(f);
+  };
+
+  auto schedule_send = [&](int host, Packet packet) {
+    const Nanos ready = std::max(clock.now(), cpu_free[host]) + config.per_segment_cost;
+    cpu_free[host] = ready;
+    net.queue().schedule_at(ready, [&net, host, packet]() { net.send(host, packet); });
+  };
+
+  std::function<void(int, bool)> pump = [&](int f, bool is_retransmit) {
+    Flow& fl = flows[static_cast<size_t>(f)];
+    while (fl.next < config.bytes_per_flow && fl.next - fl.acked < config.window_bytes) {
+      const std::uint64_t seg = std::min({mss, config.bytes_per_flow - fl.next,
+                                          config.window_bytes - (fl.next - fl.acked)});
+      fl.next += seg;
+      ++result.segments;
+      if (is_retransmit) {
+        ++result.retransmits;
+      }
+      if (fl.next > fl.highest_sent) {
+        // First transmission of this range: eligible for RTT sampling.
+        fl.outstanding.push_back({fl.next, clock.now()});
+        fl.highest_sent = fl.next;
+      }
+      schedule_send(0, Packet{seg + kTcpIpHeader, make_tag(fl.next, f)});
+    }
+  };
+
+  // Receiver: per-flow in-order acceptance (go-back-N), cumulative acks.
+  net.set_handler(1, [&](int, const Packet& p) {
+    const int f = static_cast<int>(p.tag & 0x3ff);
+    const std::uint64_t cum = p.tag >> 10;
+    const std::uint64_t payload = p.bytes > kTcpIpHeader ? p.bytes - kTcpIpHeader : 0;
+    Flow& fl = flows[static_cast<size_t>(f)];
+    if (cum - payload == fl.received) {
+      fl.received = cum;
+    }
+    schedule_send(1, Packet{kTcpIpHeader, make_tag(fl.received, f)});
+  });
+
+  // Sender: advance the window, sample acked first-transmission segments.
+  net.set_handler(0, [&](int, const Packet& p) {
+    const int f = static_cast<int>(p.tag & 0x3ff);
+    const std::uint64_t cum = p.tag >> 10;
+    Flow& fl = flows[static_cast<size_t>(f)];
+    if (fl.done) {
+      return;
+    }
+    if (cum > fl.acked) {
+      fl.acked = cum;
+      const Nanos now = clock.now();
+      while (!fl.outstanding.empty() && fl.outstanding.front().cum_end <= cum) {
+        result.segment_rtt_ns.add(static_cast<double>(now - fl.outstanding.front().sent_at));
+        fl.outstanding.pop_front();
+      }
+      fl.rto = config.retransmit_timeout;  // forward progress resets backoff
+    }
+    if (fl.acked >= config.bytes_per_flow) {
+      fl.done = true;
+      if (++flows_done == config.flows) {
+        finish_time = clock.now();
+      }
+      return;
+    }
+    pump(f, false);
+  });
+
+  // Per-flow go-back-N timer with exponential backoff (as stream.cc, but
+  // every rewind also voids the flow's pending RTT records: Karn's
+  // algorithm — a sample that might span a retransmission measures the
+  // timer, not the network).
+  std::function<void(int)> arm_timer = [&](int f) {
+    const std::uint64_t acked_at_arm = flows[static_cast<size_t>(f)].acked;
+    net.queue().schedule_in(flows[static_cast<size_t>(f)].rto, [&, f, acked_at_arm]() {
+      Flow& fl = flows[static_cast<size_t>(f)];
+      if (fl.done) {
+        return;
+      }
+      if (fl.acked == acked_at_arm) {
+        fl.next = fl.acked;
+        fl.outstanding.clear();
+        pump(f, true);
+        fl.rto = std::min<Nanos>(fl.rto * 2, config.retransmit_timeout * 64);
+      } else {
+        fl.rto = config.retransmit_timeout;
+      }
+      arm_timer(f);
+    });
+  };
+
+  for (int f = 0; f < config.flows; ++f) {
+    flows[static_cast<size_t>(f)].rto = config.retransmit_timeout;
+    pump(f, false);
+    if (config.retransmit_timeout > 0) {
+      arm_timer(f);
+    }
+  }
+  net.run(config.loss_rate > 0 ? 200'000'000 : 20'000'000);
+
+  if (flows_done != config.flows) {
+    throw std::logic_error("multistream transfer stalled");
+  }
+  result.packets_lost = net.packets_dropped();
+  result.bytes = static_cast<std::uint64_t>(config.flows) * config.bytes_per_flow;
+  result.elapsed = finish_time;
+  result.mb_per_sec =
+      finish_time > 0 ? static_cast<double>(result.bytes) /
+                            (static_cast<double>(finish_time) / static_cast<double>(kSecond)) /
+                            (1024.0 * 1024.0)
+                      : 0.0;
+  return result;
+}
+
+}  // namespace lmb::netsim

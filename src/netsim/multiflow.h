@@ -1,0 +1,87 @@
+// Concurrent flows over one simulated link — the netsim half of the c10k
+// scenarios.
+//
+// The single-flow models (simnet.h echo, stream.h sliding window) answer
+// "how fast is the wire"; these answer "what happens to latency when N
+// clients share it".  Both directions of the wire serialize frames
+// (SimNetwork busy-until) and each host has ONE CPU with busy-until
+// accounting, so requests queue behind each other exactly as they do behind
+// a real epoll server — that queueing, not the wire, is what stretches
+// p99/p999 as N grows.  Loss feeds per-flow retransmission timers;
+// retransmitted exchanges are excluded from the RTT sample (Karn's
+// algorithm) so timer quantization does not masquerade as network latency.
+#ifndef LMBENCHPP_SRC_NETSIM_MULTIFLOW_H_
+#define LMBENCHPP_SRC_NETSIM_MULTIFLOW_H_
+
+#include <cstdint>
+
+#include "src/core/clock.h"
+#include "src/core/stats.h"
+#include "src/netsim/link.h"
+
+namespace lmb::netsim {
+
+// N request/reply flows (lat_tcp_n / lat_rpc_n over a simulated link).
+struct MultiflowConfig {
+  int flows = 16;  // 1..1024 (flow id shares the packet tag)
+  std::uint32_t request_bytes = 64;
+  std::uint32_t reply_bytes = 64;
+  // Each flow completes this many request/reply exchanges.
+  std::uint32_t requests_per_flow = 100;
+  // Server CPU per request (protocol + application work).  All flows share
+  // one server CPU; this is the contended resource.
+  Nanos server_cost = 10 * kMicrosecond;
+  // Client CPU to build/send one request.
+  Nanos client_cost = 1 * kMicrosecond;
+
+  // Per-packet loss probability in [0, 1); > 0 requires a positive
+  // retransmit_timeout (validate_loss_config).
+  double loss_rate = 0.0;
+  unsigned loss_seed = 1;
+  // Per-flow request retransmission timer (exponential backoff); 0 = none.
+  Nanos retransmit_timeout = 0;
+};
+
+struct MultiflowResult {
+  // Request RTT (issue to reply) in ns; retransmitted exchanges excluded.
+  Sample rtt_ns;
+  std::uint64_t requests = 0;      // completed exchanges (all flows)
+  std::uint64_t retransmits = 0;   // requests sent again after a timeout
+  std::uint64_t packets_lost = 0;  // dropped by the link (both directions)
+  Nanos elapsed = 0;               // virtual time until the last reply
+  double ops_per_sec = 0.0;
+};
+
+MultiflowResult simulate_concurrent_load(const LinkProfile& link, const MultiflowConfig& config);
+
+// N sliding-window bulk transfers sharing the wire (bw_tcp_n simulated).
+struct MultistreamConfig {
+  int flows = 8;  // 1..1024
+  std::uint64_t bytes_per_flow = 1u << 20;
+  std::uint64_t window_bytes = 64u << 10;  // per flow
+  // Per-segment software cost on each host (shared CPU, busy-until).
+  Nanos per_segment_cost = 2 * kMicrosecond;
+
+  double loss_rate = 0.0;
+  unsigned loss_seed = 1;
+  Nanos retransmit_timeout = 0;  // per-flow go-back-N timer; 0 = none
+};
+
+struct MultistreamResult {
+  // First-transmission segment ack latency in ns (Karn: segments involved
+  // in a rewind never contribute).
+  Sample segment_rtt_ns;
+  std::uint64_t bytes = 0;  // aggregate payload delivered
+  Nanos elapsed = 0;
+  double mb_per_sec = 0.0;  // aggregate (2^20 MB)
+  std::uint64_t segments = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t packets_lost = 0;
+};
+
+MultistreamResult simulate_concurrent_streams(const LinkProfile& link,
+                                              const MultistreamConfig& config);
+
+}  // namespace lmb::netsim
+
+#endif  // LMBENCHPP_SRC_NETSIM_MULTIFLOW_H_

@@ -15,13 +15,20 @@ constexpr std::uint64_t kTcpIpHeader = 40;
 
 }  // namespace
 
+void validate_loss_config(double loss_rate, Nanos retransmit_timeout) {
+  if (!(loss_rate >= 0.0) || loss_rate >= 1.0) {
+    throw std::invalid_argument("netsim: loss_rate must lie in [0, 1)");
+  }
+  if (loss_rate > 0.0 && retransmit_timeout <= 0) {
+    throw std::invalid_argument("netsim: loss requires a retransmit timeout");
+  }
+}
+
 StreamResult simulate_stream_transfer(const LinkProfile& link, const StreamConfig& config) {
   if (config.total_bytes == 0 || config.window_bytes == 0) {
     throw std::invalid_argument("stream: total and window must be positive");
   }
-  if (config.loss_rate > 0.0 && config.retransmit_timeout <= 0) {
-    throw std::invalid_argument("stream: loss requires a retransmit timeout");
-  }
+  validate_loss_config(config.loss_rate, config.retransmit_timeout);
   VirtualClock clock;
   SimNetwork net(link, clock);
   if (config.loss_rate > 0.0) {

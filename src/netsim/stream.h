@@ -42,6 +42,13 @@ struct StreamResult {
   std::uint64_t packets_lost = 0;  // dropped by the link (both directions)
 };
 
+// Shared validation for every lossy configuration (stream and multiflow):
+// loss_rate must lie in [0, 1) — a rate of 1 or more can never deliver a
+// packet — and a positive loss_rate requires retransmit_timeout > 0, since
+// without a timer the first drop stalls the transfer forever.  Throws
+// std::invalid_argument.
+void validate_loss_config(double loss_rate, Nanos retransmit_timeout);
+
 // Runs a bulk transfer host 0 -> host 1 and returns throughput.
 StreamResult simulate_stream_transfer(const LinkProfile& link, const StreamConfig& config);
 

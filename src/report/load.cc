@@ -1,0 +1,91 @@
+#include "src/report/load.h"
+
+#include <algorithm>
+
+#include "src/report/table.h"
+
+namespace lmb::report {
+
+namespace {
+
+// True when `key` is `<scenario>_<suffix>`; extracts the scenario.
+bool split_suffix(const std::string& key, const std::string& suffix, std::string* scenario) {
+  if (key.size() <= suffix.size() + 1 ||
+      key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0 ||
+      key[key.size() - suffix.size() - 1] != '_') {
+    return false;
+  }
+  *scenario = key.substr(0, key.size() - suffix.size() - 1);
+  return true;
+}
+
+LoadScenarioRow& row_for(std::vector<LoadScenarioRow>& rows, const std::string& bench,
+                         const std::string& scenario) {
+  auto it = std::find_if(rows.begin(), rows.end(),
+                         [&](const LoadScenarioRow& r) { return r.scenario == scenario; });
+  if (it == rows.end()) {
+    rows.push_back({bench, scenario, 0, 0, 0, 0, 0, 0});
+    it = rows.end() - 1;
+  }
+  return *it;
+}
+
+}  // namespace
+
+std::vector<LoadScenarioRow> extract_load_scenarios(const RunResult& result) {
+  std::vector<LoadScenarioRow> rows;
+  for (const Metric& m : result.metrics) {
+    std::string scenario;
+    if (split_suffix(m.key, "p50_us", &scenario)) {
+      row_for(rows, result.name, scenario).p50_us = m.value;
+    } else if (split_suffix(m.key, "p95_us", &scenario)) {
+      row_for(rows, result.name, scenario).p95_us = m.value;
+    } else if (split_suffix(m.key, "p99_us", &scenario)) {
+      row_for(rows, result.name, scenario).p99_us = m.value;
+    } else if (split_suffix(m.key, "p999_us", &scenario)) {
+      row_for(rows, result.name, scenario).p999_us = m.value;
+    } else if (split_suffix(m.key, "rps", &scenario)) {
+      row_for(rows, result.name, scenario).rps = m.value;
+    } else if (split_suffix(m.key, "mbs", &scenario)) {
+      row_for(rows, result.name, scenario).mb_per_sec = m.value;
+    }
+  }
+  // A row needs the percentile spine; a stray <sc>_mbs alone (e.g. a
+  // bandwidth metric that merely ends in "_mbs") is not a load scenario.
+  rows.erase(std::remove_if(rows.begin(), rows.end(),
+                            [](const LoadScenarioRow& r) { return r.p50_us == 0.0; }),
+             rows.end());
+  return rows;
+}
+
+std::string render_load_table(const std::vector<LoadScenarioRow>& rows) {
+  if (rows.empty()) {
+    return "";
+  }
+  const bool any_rps = std::any_of(rows.begin(), rows.end(),
+                                   [](const LoadScenarioRow& r) { return r.rps > 0; });
+  const bool any_mbs = std::any_of(rows.begin(), rows.end(),
+                                   [](const LoadScenarioRow& r) { return r.mb_per_sec > 0; });
+  std::vector<Column> columns = {{"benchmark", 0}, {"scenario", 0}, {"p50 us", 1},
+                                 {"p95 us", 1},    {"p99 us", 1},   {"p999 us", 1}};
+  if (any_rps) {
+    columns.push_back({"ops/s", 0});
+  }
+  if (any_mbs) {
+    columns.push_back({"MB/s", 1});
+  }
+  Table table("Concurrent load tail latency", columns);
+  for (const LoadScenarioRow& r : rows) {
+    std::vector<Cell> row = {r.bench, r.scenario, r.p50_us, r.p95_us, r.p99_us, r.p999_us};
+    if (any_rps) {
+      row.push_back(r.rps > 0 ? Cell{r.rps} : Cell{std::monostate{}});
+    }
+    if (any_mbs) {
+      row.push_back(r.mb_per_sec > 0 ? Cell{r.mb_per_sec} : Cell{std::monostate{}});
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace lmb::report

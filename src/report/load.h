@@ -1,0 +1,44 @@
+// Tail-latency reports for the concurrent load scenarios.
+//
+// The c10k benchmarks (lat_tcp_n, lat_rpc_n, bw_tcp_n) emit scenario-
+// prefixed percentile metrics — loopback_p50_us .. loopback_p999_us,
+// sim_p999_us — plus a throughput metric per scenario (<sc>_rps or
+// <sc>_mbs).  This module folds those back into one row per (benchmark,
+// scenario) and renders the paper-style table run_suite prints after a
+// load run: median through p999 across, scenarios down, so the eye can
+// walk the tail growing as the network or the concurrency changes.
+#ifndef LMBENCHPP_SRC_REPORT_LOAD_H_
+#define LMBENCHPP_SRC_REPORT_LOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/run_result.h"
+
+namespace lmb::report {
+
+struct LoadScenarioRow {
+  std::string bench;     // "lat_tcp_n"
+  std::string scenario;  // "loopback", "sim"
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  // At most one of these is set per scenario (0 = absent).
+  double rps = 0.0;
+  double mb_per_sec = 0.0;
+};
+
+// Extracts every scenario with at least a <sc>_p50_us metric from `result`.
+// Results without load metrics yield an empty vector.  Scenario order
+// follows first appearance in the metric list.
+std::vector<LoadScenarioRow> extract_load_scenarios(const RunResult& result);
+
+// "Concurrent load tail latency" table: one row per scenario, percentile
+// columns in microseconds and a throughput column (ops/s or MB/s).
+// Empty string when `rows` is empty.
+std::string render_load_table(const std::vector<LoadScenarioRow>& rows);
+
+}  // namespace lmb::report
+
+#endif  // LMBENCHPP_SRC_REPORT_LOAD_H_

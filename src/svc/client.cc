@@ -16,8 +16,10 @@ std::string op_request(const std::string& op) {
 
 }  // namespace
 
-Client::Client(std::string socket_path, int connect_timeout_ms)
-    : socket_path_(std::move(socket_path)), connect_timeout_ms_(connect_timeout_ms) {
+Client::Client(std::string socket_path, int connect_timeout_ms, int stall_timeout_ms)
+    : socket_path_(std::move(socket_path)),
+      connect_timeout_ms_(connect_timeout_ms),
+      stall_timeout_ms_(stall_timeout_ms) {
   // The daemon can close a connection while we write (e.g. shutdown racing
   // a request); that must surface as SysError(EPIPE), not a signal.
   std::signal(SIGPIPE, SIG_IGN);
@@ -26,7 +28,10 @@ Client::Client(std::string socket_path, int connect_timeout_ms)
 report::JsonValue Client::roundtrip(const std::string& request) {
   sys::UnixStream stream = sys::UnixStream::connect(socket_path_, connect_timeout_ms_);
   write_frame(stream.fd(), request);
-  std::optional<std::string> payload = read_frame(stream.fd());
+  // First-byte wait is unbounded (runs are long by design); only a
+  // mid-frame stall — a daemon that died while answering — is a timeout.
+  std::optional<std::string> payload =
+      read_frame_bounded(stream.fd(), /*first_byte_timeout_ms=*/-1, stall_timeout_ms_);
   if (!payload.has_value()) {
     throw std::runtime_error("lmbenchd closed the connection without answering");
   }
@@ -50,7 +55,8 @@ report::JsonValue Client::submit(
   sys::UnixStream stream = sys::UnixStream::connect(socket_path_, connect_timeout_ms_);
   write_frame(stream.fd(), request);
   for (;;) {
-    std::optional<std::string> payload = read_frame(stream.fd());
+    std::optional<std::string> payload =
+        read_frame_bounded(stream.fd(), /*first_byte_timeout_ms=*/-1, stall_timeout_ms_);
     if (!payload.has_value()) {
       throw std::runtime_error("lmbenchd closed the stream before sending 'done'");
     }

@@ -18,10 +18,15 @@ namespace lmb::svc {
 
 class Client {
  public:
-  // `connect_timeout_ms` bounds every connect; a daemon that accepts but
-  // never answers still blocks (the protocol has no read timeout — runs
-  // are long by design).
-  explicit Client(std::string socket_path, int connect_timeout_ms = 2000);
+  // `connect_timeout_ms` bounds every connect.  `stall_timeout_ms` bounds
+  // mid-frame read gaps: waiting for the *next* frame may legitimately take
+  // as long as a benchmark run (unbounded), but once a frame's first byte
+  // arrives the rest was written in the same write(2) — a daemon killed
+  // mid-frame otherwise hangs the client forever.  On a stall the read
+  // throws sys::SysError(ETIMEDOUT), which lmbench_client maps to exit
+  // code 5.  -1 disables the stall bound.
+  explicit Client(std::string socket_path, int connect_timeout_ms = 2000,
+                  int stall_timeout_ms = 10'000);
 
   // Submits a suite run (`args` is run_suite's flag map, e.g.
   // {"quick","true"},{"only","lat_syscall"}) and streams response frames
@@ -45,6 +50,7 @@ class Client {
 
   std::string socket_path_;
   int connect_timeout_ms_;
+  int stall_timeout_ms_;
 };
 
 }  // namespace lmb::svc

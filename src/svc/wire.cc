@@ -1,10 +1,25 @@
 #include "src/svc/wire.h"
 
+#include <cerrno>
 #include <stdexcept>
 
+#include "src/sys/error.h"
 #include "src/sys/fdio.h"
 
 namespace lmb::svc {
+
+namespace {
+
+// read_some with a deadline: waits for readability (EINTR-safe), then reads.
+// Throws SysError(ETIMEDOUT) with `what` when nothing arrives in time.
+size_t read_some_within(int fd, void* buf, size_t len, int timeout_ms, const char* what) {
+  if (!sys::poll_readable(fd, timeout_ms)) {
+    throw sys::SysError(what, ETIMEDOUT);
+  }
+  return sys::read_some(fd, buf, len);
+}
+
+}  // namespace
 
 void write_frame(int fd, const std::string& payload) {
   if (payload.size() > kMaxFrameBytes) {
@@ -46,6 +61,43 @@ std::optional<std::string> read_frame(int fd) {
   std::string payload(len, '\0');
   if (len > 0) {
     sys::read_full(fd, payload.data(), len);  // throws on mid-frame EOF
+  }
+  return payload;
+}
+
+std::optional<std::string> read_frame_bounded(int fd, int first_byte_timeout_ms,
+                                              int stall_timeout_ms) {
+  unsigned char prefix[4];
+  size_t got = 0;
+  while (got < sizeof(prefix)) {
+    const int timeout = got == 0 ? first_byte_timeout_ms : stall_timeout_ms;
+    const char* what = got == 0 ? "wire: timed out waiting for a frame"
+                                : "wire: peer stalled mid-frame (torn length prefix)";
+    size_t n = read_some_within(fd, prefix + got, sizeof(prefix) - got, timeout, what);
+    if (n == 0) {
+      if (got == 0) {
+        return std::nullopt;  // clean EOF between frames
+      }
+      throw std::runtime_error("wire: EOF inside frame length");
+    }
+    got += n;
+  }
+  const std::uint32_t len = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                            (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                            (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                            static_cast<std::uint32_t>(prefix[3]);
+  if (len > kMaxFrameBytes) {
+    throw std::runtime_error("wire: oversized frame: " + std::to_string(len) + " bytes");
+  }
+  std::string payload(len, '\0');
+  size_t have = 0;
+  while (have < len) {
+    size_t n = read_some_within(fd, payload.data() + have, len - have, stall_timeout_ms,
+                                "wire: peer stalled mid-frame (incomplete payload)");
+    if (n == 0) {
+      throw std::runtime_error("wire: EOF inside frame payload");
+    }
+    have += n;
   }
   return payload;
 }

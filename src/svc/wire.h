@@ -46,6 +46,17 @@ void write_frame(int fd, const std::string& payload);
 // oversized length prefix, SysError on I/O failure.
 std::optional<std::string> read_frame(int fd);
 
+// read_frame with bounded waits.  `first_byte_timeout_ms` bounds the wait
+// for the first byte of the length prefix (-1 = forever; legitimate for
+// long-running ops whose next event may be minutes away).  `stall_timeout_ms`
+// bounds every later byte gap: the daemon writes each frame with a single
+// write(2), so once the first byte arrives the rest follows within
+// milliseconds — a longer silence means the peer died mid-frame, and an
+// unbounded read would block forever (the lmbench_client hang this exists
+// to fix).  Throws SysError(ETIMEDOUT) on either timeout.
+std::optional<std::string> read_frame_bounded(int fd, int first_byte_timeout_ms,
+                                              int stall_timeout_ms);
+
 // Convenience: parses a frame as JSON and checks it is an object.
 // Throws std::invalid_argument on malformed payloads.
 report::JsonValue parse_message(const std::string& payload);

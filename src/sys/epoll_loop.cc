@@ -1,0 +1,117 @@
+#include "src/sys/epoll_loop.h"
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "src/sys/error.h"
+
+namespace lmb::sys {
+
+void set_nonblocking(int fd, bool on) {
+  int flags = static_cast<int>(check_syscall(::fcntl(fd, F_GETFL), "fcntl F_GETFL"));
+  int wanted = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags) {
+    check_syscall(::fcntl(fd, F_SETFL, wanted), "fcntl F_SETFL");
+  }
+}
+
+Epoll::Epoll() {
+  fd_.reset(static_cast<int>(check_syscall(::epoll_create1(EPOLL_CLOEXEC), "epoll_create1")));
+}
+
+namespace {
+
+epoll_event make_event(std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  return ev;
+}
+
+// Monotonic milliseconds for timeout recomputation across EINTR.
+std::int64_t now_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1'000'000;
+}
+
+}  // namespace
+
+void Epoll::add(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev = make_event(events, tag);
+  check_syscall(::epoll_ctl(fd_.get(), EPOLL_CTL_ADD, fd, &ev), "epoll_ctl ADD");
+}
+
+void Epoll::mod(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev = make_event(events, tag);
+  check_syscall(::epoll_ctl(fd_.get(), EPOLL_CTL_MOD, fd, &ev), "epoll_ctl MOD");
+}
+
+void Epoll::del(int fd) {
+  check_syscall(::epoll_ctl(fd_.get(), EPOLL_CTL_DEL, fd, nullptr), "epoll_ctl DEL");
+}
+
+int Epoll::wait(std::vector<epoll_event>& out, int timeout_ms) {
+  if (out.size() < 64) {
+    out.resize(64);
+  }
+  const std::int64_t deadline = timeout_ms > 0 ? now_ms() + timeout_ms : 0;
+  int remaining = timeout_ms;
+  while (true) {
+    int n = ::epoll_wait(fd_.get(), out.data(), static_cast<int>(out.size()), remaining);
+    if (n >= 0) {
+      out.resize(static_cast<size_t>(n));
+      return n;
+    }
+    if (errno != EINTR) {
+      throw_errno("epoll_wait");
+    }
+    if (timeout_ms > 0) {
+      remaining = static_cast<int>(std::max<std::int64_t>(0, deadline - now_ms()));
+    }
+  }
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  check_syscall(::pipe(fds), "pipe");
+  read_.reset(fds[0]);
+  write_.reset(fds[1]);
+  set_nonblocking(read_.get());
+  set_nonblocking(write_.get());
+}
+
+void WakePipe::notify() {
+  char b = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  [[maybe_unused]] ssize_t n = ::write(write_.get(), &b, 1);
+}
+
+void WakePipe::drain() {
+  char buf[256];
+  while (::read(read_.get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+std::uint64_t ensure_nofile(std::uint64_t need) {
+  rlimit lim{};
+  check_syscall(::getrlimit(RLIMIT_NOFILE, &lim), "getrlimit RLIMIT_NOFILE");
+  if (lim.rlim_cur != RLIM_INFINITY && lim.rlim_cur < need) {
+    rlimit raised = lim;
+    raised.rlim_cur = lim.rlim_max == RLIM_INFINITY
+                          ? need
+                          : std::min<std::uint64_t>(need, lim.rlim_max);
+    if (raised.rlim_cur > lim.rlim_cur) {
+      check_syscall(::setrlimit(RLIMIT_NOFILE, &raised), "setrlimit RLIMIT_NOFILE");
+      lim = raised;
+    }
+  }
+  return lim.rlim_cur == RLIM_INFINITY ? ~0ull : static_cast<std::uint64_t>(lim.rlim_cur);
+}
+
+}  // namespace lmb::sys

@@ -1,0 +1,83 @@
+// Level-triggered epoll and the small pieces an event-loop server needs.
+//
+// The paper's TCP benchmarks (§6) are one client talking to one server over
+// blocking sockets; serving thousands of concurrent flows needs readiness
+// multiplexing.  This wrapper stays deliberately thin — level-triggered
+// epoll, a self-pipe for cross-thread wakeups, and an RLIMIT_NOFILE helper —
+// so the per-connection state machines (src/lat/load_server.h,
+// src/lat/load_gen.h) own all protocol logic.
+#ifndef LMBENCHPP_SRC_SYS_EPOLL_LOOP_H_
+#define LMBENCHPP_SRC_SYS_EPOLL_LOOP_H_
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sys/unique_fd.h"
+
+namespace lmb::sys {
+
+// Sets or clears O_NONBLOCK on `fd`; throws SysError on failure.
+void set_nonblocking(int fd, bool on = true);
+
+// RAII over an epoll instance.  Level-triggered by design: a handler that
+// cannot drain a connection in one pass is simply re-notified, which keeps
+// the per-connection state machines re-entrant and the EAGAIN handling
+// local (the classic c10k recipe; edge-triggered saves wakeups but turns
+// every missed drain into a hang).
+class Epoll {
+ public:
+  Epoll();
+
+  int fd() const { return fd_.get(); }
+
+  // Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...); delivered events
+  // carry `tag` back in epoll_event.data.u64.  Throw SysError on failure.
+  void add(int fd, std::uint32_t events, std::uint64_t tag);
+  void mod(int fd, std::uint32_t events, std::uint64_t tag);
+  void del(int fd);
+
+  // Waits up to `timeout_ms` (-1 = forever) and fills `out` with ready
+  // events (resized to the ready count).  Retries on EINTR — a stray
+  // signal must never tear down an event loop — recomputing the remaining
+  // timeout so a signal storm cannot extend the deadline.  Returns the
+  // number of ready events (0 on timeout).
+  int wait(std::vector<epoll_event>& out, int timeout_ms);
+
+ private:
+  UniqueFd fd_;
+};
+
+// A self-pipe that makes a blocked epoll_wait return: the read end lives in
+// the epoll set, any thread may notify().  Classic self-pipe trick — it
+// needs no extra syscall support and is immune to the lost-wakeup race
+// (a notify before the loop blocks leaves the byte readable, so the next
+// wait returns immediately).
+class WakePipe {
+ public:
+  WakePipe();
+
+  int read_fd() const { return read_.get(); }
+
+  // Wakes the loop; safe from any thread, async-signal-safe (one write).
+  void notify();
+
+  // Drains pending wakeup bytes (call from the loop after a wakeup).
+  void drain();
+
+ private:
+  UniqueFd read_;
+  UniqueFd write_;
+};
+
+// Raises the soft RLIMIT_NOFILE to at least `need` descriptors (capped at
+// the hard limit).  Returns the resulting soft limit.  A 1000-connection
+// load scenario holds >2000 fds in one process (client + server end of
+// every flow); the default soft limit of 1024 would fail at accept() time
+// with a baffling EMFILE instead of a clear up-front answer.
+std::uint64_t ensure_nofile(std::uint64_t need);
+
+}  // namespace lmb::sys
+
+#endif  // LMBENCHPP_SRC_SYS_EPOLL_LOOP_H_

@@ -1,7 +1,12 @@
 #include "src/sys/fdio.h"
 
 #include <fcntl.h>
+#include <poll.h>
+#include <time.h>
 #include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
 
 #include <cerrno>
 #include <stdexcept>
@@ -53,6 +58,78 @@ size_t read_some(int fd, void* buf, size_t len) {
       throw_errno("read");
     }
     return static_cast<size_t>(n);
+  }
+}
+
+IoOutcome read_nonblock(int fd, void* buf, size_t len) {
+  while (true) {
+    ssize_t n = ::read(fd, buf, len);
+    if (n > 0) {
+      return {static_cast<size_t>(n), false, false};
+    }
+    if (n == 0) {
+      return {0, false, true};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {0, true, false};
+    }
+    if (errno == ECONNRESET) {
+      return {0, false, true};
+    }
+    throw_errno("read");
+  }
+}
+
+IoOutcome write_nonblock(int fd, const void* buf, size_t len) {
+  while (true) {
+    ssize_t n = ::write(fd, buf, len);
+    if (n >= 0) {
+      return {static_cast<size_t>(n), false, false};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {0, true, false};
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return {0, false, true};
+    }
+    throw_errno("write");
+  }
+}
+
+namespace {
+
+std::int64_t monotonic_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1'000'000;
+}
+
+}  // namespace
+
+bool poll_readable(int fd, int timeout_ms) {
+  const std::int64_t deadline = timeout_ms > 0 ? monotonic_ms() + timeout_ms : 0;
+  int remaining = timeout_ms;
+  while (true) {
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, remaining);
+    if (ready > 0) {
+      return true;  // readable, hung up, or errored — a read will tell which
+    }
+    if (ready == 0) {
+      return false;
+    }
+    if (errno != EINTR) {
+      throw_errno("poll");
+    }
+    if (timeout_ms > 0) {
+      remaining = static_cast<int>(std::max<std::int64_t>(0, deadline - monotonic_ms()));
+    }
   }
 }
 

@@ -23,6 +23,32 @@ void read_full(int fd, void* buf, size_t len);
 // read; 0 means EOF.
 size_t read_some(int fd, void* buf, size_t len);
 
+// Outcome of one non-blocking transfer attempt.  Exactly one of
+// `would_block`/`closed` may be set when `bytes` is 0; a short `bytes` with
+// neither flag means the kernel buffer ran out mid-call — just try again on
+// the next readiness notification.
+struct IoOutcome {
+  size_t bytes = 0;
+  bool would_block = false;  // EAGAIN/EWOULDBLOCK: wait for readiness
+  bool closed = false;       // read: EOF or peer reset; write: EPIPE/reset
+};
+
+// One non-blocking read on an O_NONBLOCK fd.  Retries EINTR; EAGAIN maps to
+// would_block, EOF and ECONNRESET map to closed (a reset mid-benchmark is a
+// connection event to handle, not a server-killing exception).  Other
+// errors throw SysError.
+IoOutcome read_nonblock(int fd, void* buf, size_t len);
+
+// One non-blocking write.  Retries EINTR; EAGAIN maps to would_block,
+// EPIPE/ECONNRESET map to closed.  Other errors throw SysError.
+IoOutcome write_nonblock(int fd, const void* buf, size_t len);
+
+// Waits until `fd` is readable or `timeout_ms` elapses (-1 = forever).
+// Retries poll on EINTR with the remaining time recomputed, so a signal
+// storm can neither tear the wait down nor extend the deadline.  Returns
+// false on timeout.
+bool poll_readable(int fd, int timeout_ms);
+
 // open(2) wrappers that throw on failure.
 UniqueFd open_read(const std::string& path);
 UniqueFd open_write(const std::string& path);  // O_WRONLY|O_CREAT|O_TRUNC, 0644

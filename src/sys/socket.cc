@@ -68,6 +68,34 @@ size_t TcpStream::recv_some(void* buf, size_t len) { return read_some(fd_.get(),
 
 void TcpStream::shutdown_write() { check_syscall(::shutdown(fd_.get(), SHUT_WR), "shutdown"); }
 
+UniqueFd tcp_connect_begin(std::uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
+  if (!fd) {
+    throw_errno("socket");
+  }
+  sockaddr_in addr = loopback_addr(port);
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    throw_errno("connect");
+  }
+  return fd;
+}
+
+void tcp_finish_connect(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  check_syscall(::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len), "getsockopt SO_ERROR");
+  if (err != 0) {
+    throw SysError("connect", err);
+  }
+}
+
+void set_tcp_nodelay(int fd, bool on) {
+  int v = on ? 1 : 0;
+  check_syscall(::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)),
+                "setsockopt TCP_NODELAY");
+}
+
 TcpListener::TcpListener(int backlog) {
   fd_.reset(static_cast<int>(check_syscall(::socket(AF_INET, SOCK_STREAM, 0), "socket")));
   int one = 1;
@@ -127,9 +155,15 @@ UnixStream UnixStream::connect(const std::string& path, int timeout_ms) {
     if (errno != EINPROGRESS && errno != EAGAIN) {
       throw_errno("connect " + path);
     }
+    // Retried on EINTR: a signal during the handshake must not become a
+    // spurious connect failure.
     pollfd pfd{fd.get(), POLLOUT, 0};
-    int ready = static_cast<int>(
-        check_syscall(::poll(&pfd, 1, timeout_ms), "poll"));
+    int ready;
+    while ((ready = ::poll(&pfd, 1, timeout_ms)) < 0) {
+      if (errno != EINTR) {
+        throw_errno("poll");
+      }
+    }
     if (ready == 0) {
       throw SysError("connect " + path + " timed out", ETIMEDOUT);
     }
@@ -178,9 +212,10 @@ UnixStream UnixListener::accept() {
 }
 
 std::optional<UnixStream> UnixListener::accept_for(int timeout_ms) {
-  pollfd pfd{fd_.get(), POLLIN, 0};
-  int ready = static_cast<int>(check_syscall(::poll(&pfd, 1, timeout_ms), "poll"));
-  if (ready == 0) {
+  // poll_readable retries EINTR: the daemon's accept loop lives here, and a
+  // stray signal (far likelier with the load generator running in-process)
+  // must produce a timeout or a connection, never a torn-down service.
+  if (!poll_readable(fd_.get(), timeout_ms)) {
     return std::nullopt;
   }
   return accept();

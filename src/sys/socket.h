@@ -44,6 +44,20 @@ class TcpStream {
   UniqueFd fd_;
 };
 
+// Begins a non-blocking connect to 127.0.0.1:port and returns the socket
+// (O_NONBLOCK stays set).  Completion is signaled by writability; call
+// tcp_finish_connect then.  Used by the many-connection load generator,
+// which opens hundreds of flows concurrently — serial blocking connects
+// would serialize the very concurrency being measured.
+UniqueFd tcp_connect_begin(std::uint16_t port);
+
+// After writability: reads SO_ERROR and throws SysError if the connect
+// actually failed (e.g. listen backlog overflow -> ECONNREFUSED).
+void tcp_finish_connect(int fd);
+
+// TCP_NODELAY on a raw fd (latency traffic needs immediate sends).
+void set_tcp_nodelay(int fd, bool on = true);
+
 // A listening TCP socket on 127.0.0.1 with an ephemeral port.
 class TcpListener {
  public:

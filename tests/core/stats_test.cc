@@ -61,6 +61,46 @@ TEST(SampleTest, PercentileRangeChecked) {
   EXPECT_THROW(s.percentile(100.1), std::invalid_argument);
 }
 
+TEST(SampleTest, TailPercentilesAtSmallN) {
+  // p99/p999 on small samples interpolate inside the top gap instead of
+  // snapping to max — the regime every quick-mode load run lives in.
+  Sample s;
+  for (int i = 1; i <= 10; ++i) {
+    s.add(static_cast<double>(i));  // 1..10
+  }
+  // rank = p/100 * (n-1): p99 -> 8.91, p999 -> 8.991.
+  EXPECT_NEAR(s.percentile(99), 9.91, 1e-9);
+  EXPECT_NEAR(s.percentile(99.9), 9.991, 1e-9);
+  EXPECT_LE(s.percentile(99), s.percentile(99.9));
+  EXPECT_LE(s.percentile(99.9), s.max());
+}
+
+TEST(SampleTest, TailPercentilesSingleElement) {
+  Sample s({7.0});
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.9), 7.0);
+}
+
+TEST(SampleTest, TailPercentilesAreMonotoneUnderOutliers) {
+  // One huge outlier: p999 must see it before p99 does, and ordering
+  // p50 <= p95 <= p99 <= p999 must hold regardless.
+  Sample s;
+  for (int i = 0; i < 999; ++i) {
+    s.add(100.0);
+  }
+  s.add(50000.0);
+  double p50 = s.percentile(50);
+  double p95 = s.percentile(95);
+  double p99 = s.percentile(99);
+  double p999 = s.percentile(99.9);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_GT(p999, 100.0) << "p999 must feel the 1-in-1000 outlier";
+  EXPECT_DOUBLE_EQ(p50, 100.0);
+}
+
 TEST(SampleTest, AddInvalidatesSortCache) {
   Sample s;
   s.add(5.0);

@@ -1,0 +1,136 @@
+// Tests for the concurrent-flow simulations (src/netsim/multiflow.h).
+#include "src/netsim/multiflow.h"
+
+#include <stdexcept>
+
+#include "gtest/gtest.h"
+#include "src/core/clock.h"
+#include "src/netsim/link.h"
+
+namespace lmb::netsim {
+namespace {
+
+TEST(MultiflowTest, CompletesEveryExchange) {
+  MultiflowConfig cfg;
+  cfg.flows = 8;
+  cfg.requests_per_flow = 25;
+  MultiflowResult r = simulate_concurrent_load(LinkProfile::ethernet_100baseT(), cfg);
+  EXPECT_EQ(r.requests, 8u * 25u);
+  EXPECT_EQ(r.rtt_ns.count(), 8u * 25u);
+  EXPECT_GT(r.elapsed, 0);
+  EXPECT_GT(r.ops_per_sec, 0.0);
+  EXPECT_EQ(r.retransmits, 0u);
+  EXPECT_EQ(r.packets_lost, 0u);
+}
+
+TEST(MultiflowTest, DeterministicForAGivenSeed) {
+  MultiflowConfig cfg;
+  cfg.flows = 16;
+  cfg.requests_per_flow = 20;
+  cfg.loss_rate = 0.02;
+  cfg.retransmit_timeout = 2 * kMillisecond;
+  cfg.loss_seed = 7;
+  const LinkProfile link = LinkProfile::ethernet_100baseT();
+  MultiflowResult a = simulate_concurrent_load(link, cfg);
+  MultiflowResult b = simulate_concurrent_load(link, cfg);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.packets_lost, b.packets_lost);
+  EXPECT_DOUBLE_EQ(a.rtt_ns.percentile(99), b.rtt_ns.percentile(99));
+}
+
+TEST(MultiflowTest, ContentionStretchesTheTailAsFlowsGrow) {
+  // One server CPU serializes request processing: p99 at 64 flows must
+  // exceed p99 at 1 flow (queueing delay, the whole point of the model).
+  const LinkProfile link = LinkProfile::ethernet_100baseT();
+  MultiflowConfig one;
+  one.flows = 1;
+  one.requests_per_flow = 100;
+  MultiflowConfig many = one;
+  many.flows = 64;
+  double p99_one = simulate_concurrent_load(link, one).rtt_ns.percentile(99);
+  double p99_many = simulate_concurrent_load(link, many).rtt_ns.percentile(99);
+  EXPECT_GT(p99_many, p99_one);
+}
+
+TEST(MultiflowTest, LossTriggersRetransmitsAndStillCompletes) {
+  MultiflowConfig cfg;
+  cfg.flows = 8;
+  cfg.requests_per_flow = 50;
+  cfg.loss_rate = 0.05;
+  cfg.retransmit_timeout = 2 * kMillisecond;
+  MultiflowResult r = simulate_concurrent_load(LinkProfile::ethernet_100baseT(), cfg);
+  EXPECT_EQ(r.requests, 8u * 50u);
+  EXPECT_GT(r.packets_lost, 0u);
+  EXPECT_GT(r.retransmits, 0u);
+  // Karn: retransmitted exchanges carry no RTT sample.
+  EXPECT_LT(r.rtt_ns.count(), r.requests);
+  EXPECT_GT(r.rtt_ns.count(), 0u);
+}
+
+TEST(MultiflowTest, ValidatesFlowRangeAndLossConfig) {
+  const LinkProfile link = LinkProfile::ethernet_100baseT();
+  MultiflowConfig cfg;
+  cfg.flows = 0;
+  EXPECT_THROW(simulate_concurrent_load(link, cfg), std::invalid_argument);
+  cfg.flows = 1025;  // flow id must fit the packet-tag field
+  EXPECT_THROW(simulate_concurrent_load(link, cfg), std::invalid_argument);
+  cfg.flows = 4;
+  cfg.loss_rate = 0.1;  // loss without a retransmit timer would stall
+  EXPECT_THROW(simulate_concurrent_load(link, cfg), std::invalid_argument);
+  cfg.loss_rate = 1.0;  // certain loss can never complete
+  cfg.retransmit_timeout = kMillisecond;
+  EXPECT_THROW(simulate_concurrent_load(link, cfg), std::invalid_argument);
+}
+
+TEST(MultistreamTest, DeliversEveryByte) {
+  MultistreamConfig cfg;
+  cfg.flows = 4;
+  cfg.bytes_per_flow = 256u << 10;
+  MultistreamResult r = simulate_concurrent_streams(LinkProfile::ethernet_100baseT(), cfg);
+  EXPECT_EQ(r.bytes, 4u * (256u << 10));
+  EXPECT_GT(r.mb_per_sec, 0.0);
+  EXPECT_GT(r.segments, 0u);
+  EXPECT_GT(r.segment_rtt_ns.count(), 0u);
+}
+
+TEST(MultistreamTest, AggregateThroughputBoundedByTheWire) {
+  // 100 Mbit/s = ~11.9 MB/s; software costs push the realized rate lower.
+  MultistreamConfig cfg;
+  cfg.flows = 8;
+  cfg.bytes_per_flow = 128u << 10;
+  MultistreamResult r = simulate_concurrent_streams(LinkProfile::ethernet_100baseT(), cfg);
+  EXPECT_LE(r.mb_per_sec, 12.0);
+  EXPECT_GT(r.mb_per_sec, 0.5);
+}
+
+TEST(MultistreamTest, GoBackNRecoversFromLoss) {
+  MultistreamConfig cfg;
+  cfg.flows = 4;
+  cfg.bytes_per_flow = 128u << 10;
+  cfg.loss_rate = 0.02;
+  cfg.retransmit_timeout = 2 * kMillisecond;
+  MultistreamResult r = simulate_concurrent_streams(LinkProfile::ethernet_100baseT(), cfg);
+  EXPECT_EQ(r.bytes, 4u * (128u << 10)) << "all payload delivered despite loss";
+  EXPECT_GT(r.packets_lost, 0u);
+  EXPECT_GT(r.retransmits, 0u);
+  // Lossy run is strictly slower than the clean one.
+  MultistreamConfig clean = cfg;
+  clean.loss_rate = 0.0;
+  clean.retransmit_timeout = 0;
+  MultistreamResult base = simulate_concurrent_streams(LinkProfile::ethernet_100baseT(), clean);
+  EXPECT_GT(r.elapsed, base.elapsed);
+}
+
+TEST(MultistreamTest, ValidatesConfig) {
+  const LinkProfile link = LinkProfile::ethernet_100baseT();
+  MultistreamConfig cfg;
+  cfg.flows = 0;
+  EXPECT_THROW(simulate_concurrent_streams(link, cfg), std::invalid_argument);
+  cfg.flows = 2;
+  cfg.loss_rate = -0.1;
+  EXPECT_THROW(simulate_concurrent_streams(link, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmb::netsim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/netsim/simnet.h"
 
 namespace lmb::netsim {
@@ -134,6 +136,32 @@ TEST(StreamLossTest, LossWithoutTimeoutRejected) {
   cfg.loss_rate = 0.1;
   cfg.retransmit_timeout = 0;
   EXPECT_THROW(simulate_stream_transfer(LinkProfile::fddi(), cfg), std::invalid_argument);
+}
+
+TEST(StreamLossTest, LossRateOutsideUnitIntervalRejected) {
+  StreamConfig cfg;
+  cfg.total_bytes = 64u << 10;
+  cfg.retransmit_timeout = 5 * kMillisecond;
+  for (double bad : {-0.01, 1.0, 1.5}) {
+    cfg.loss_rate = bad;
+    EXPECT_THROW(simulate_stream_transfer(LinkProfile::fddi(), cfg), std::invalid_argument)
+        << "loss_rate " << bad;
+  }
+}
+
+TEST(ValidateLossConfigTest, SharedValidatorCoversTheWholeDomain) {
+  // The one validator every simulation entry point funnels through.
+  EXPECT_NO_THROW(validate_loss_config(0.0, 0));
+  EXPECT_NO_THROW(validate_loss_config(0.0, kMillisecond));
+  EXPECT_NO_THROW(validate_loss_config(0.5, kMillisecond));
+  EXPECT_THROW(validate_loss_config(-0.1, kMillisecond), std::invalid_argument);
+  EXPECT_THROW(validate_loss_config(1.0, kMillisecond), std::invalid_argument);
+  EXPECT_THROW(validate_loss_config(2.0, kMillisecond), std::invalid_argument);
+  // NaN is not >= 0: rejected, not silently treated as "no loss".
+  EXPECT_THROW(validate_loss_config(std::nan(""), kMillisecond), std::invalid_argument);
+  // Loss needs a timer (and a positive one) to make progress.
+  EXPECT_THROW(validate_loss_config(0.1, 0), std::invalid_argument);
+  EXPECT_THROW(validate_loss_config(0.1, -kMillisecond), std::invalid_argument);
 }
 
 TEST(SimNetworkLossTest, RateValidated) {

@@ -1,0 +1,89 @@
+// Tests for the tail-latency report (src/report/load.h).
+#include "src/report/load.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/core/run_result.h"
+
+namespace lmb::report {
+namespace {
+
+RunResult latency_result() {
+  RunResult r;
+  r.name = "lat_tcp_n";
+  r.add("loopback_p50_us", 42.0, "us");
+  r.add("loopback_p95_us", 90.0, "us");
+  r.add("loopback_p99_us", 120.0, "us");
+  r.add("loopback_p999_us", 480.0, "us");
+  r.add("loopback_rps", 25000.0, "ops/s");
+  r.add("sim_p50_us", 210.0, "us");
+  r.add("sim_p95_us", 300.0, "us");
+  r.add("sim_p99_us", 350.0, "us");
+  r.add("sim_p999_us", 900.0, "us");
+  r.add("sim_rps", 4000.0, "ops/s");
+  return r;
+}
+
+TEST(ExtractLoadScenariosTest, GroupsMetricsByScenario) {
+  std::vector<LoadScenarioRow> rows = extract_load_scenarios(latency_result());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].bench, "lat_tcp_n");
+  EXPECT_EQ(rows[0].scenario, "loopback");
+  EXPECT_DOUBLE_EQ(rows[0].p50_us, 42.0);
+  EXPECT_DOUBLE_EQ(rows[0].p999_us, 480.0);
+  EXPECT_DOUBLE_EQ(rows[0].rps, 25000.0);
+  EXPECT_DOUBLE_EQ(rows[0].mb_per_sec, 0.0);
+  EXPECT_EQ(rows[1].scenario, "sim");
+  EXPECT_DOUBLE_EQ(rows[1].p99_us, 350.0);
+}
+
+TEST(ExtractLoadScenariosTest, NonLoadResultsYieldNothing) {
+  RunResult r;
+  r.name = "bw_mem";
+  r.add("bandwidth", 5000.0, "MB/s");
+  r.add("latency", 80.0, "ns");
+  EXPECT_TRUE(extract_load_scenarios(r).empty());
+}
+
+TEST(ExtractLoadScenariosTest, BareMbsWithoutPercentilesIsNotAScenario) {
+  // An ordinary bandwidth metric that happens to end in _mbs must not
+  // fabricate a scenario row with all-zero percentiles.
+  RunResult r;
+  r.name = "bw_file";
+  r.add("copy_mbs", 1234.0, "MB/s");
+  EXPECT_TRUE(extract_load_scenarios(r).empty());
+}
+
+TEST(ExtractLoadScenariosTest, BandwidthScenarioCarriesMbs) {
+  RunResult r;
+  r.name = "bw_tcp_n";
+  r.add("loopback_p50_us", 100.0, "us");
+  r.add("loopback_p95_us", 150.0, "us");
+  r.add("loopback_p99_us", 200.0, "us");
+  r.add("loopback_p999_us", 400.0, "us");
+  r.add("loopback_mbs", 800.0, "MB/s");
+  std::vector<LoadScenarioRow> rows = extract_load_scenarios(r);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].mb_per_sec, 800.0);
+  EXPECT_DOUBLE_EQ(rows[0].rps, 0.0);
+}
+
+TEST(RenderLoadTableTest, EmptyRowsRenderNothing) {
+  EXPECT_EQ(render_load_table({}), "");
+}
+
+TEST(RenderLoadTableTest, TableCarriesScenariosAndPercentiles) {
+  std::string out = render_load_table(extract_load_scenarios(latency_result()));
+  EXPECT_NE(out.find("Concurrent load tail latency"), std::string::npos);
+  EXPECT_NE(out.find("lat_tcp_n"), std::string::npos);
+  EXPECT_NE(out.find("loopback"), std::string::npos);
+  EXPECT_NE(out.find("sim"), std::string::npos);
+  EXPECT_NE(out.find("p999 us"), std::string::npos);
+  EXPECT_NE(out.find("ops/s"), std::string::npos);
+  // No MB/s column when no scenario carries one.
+  EXPECT_EQ(out.find("MB/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lmb::report

@@ -109,6 +109,31 @@ TEST(SerializeJsonTest, ClockSourceAndNanoscaleFieldsRoundTrip) {
   EXPECT_EQ(out.interval_overhead_ns, 9);
 }
 
+TEST(SerializeJsonTest, LoadPercentileMetricsRoundTrip) {
+  // The c10k scenarios ship their whole tail through ordinary metrics; a
+  // lossy writer (or a reader that rounds) would corrupt exactly the numbers
+  // the CI smoke step asserts on.  Values chosen to not be round.
+  RunResult r;
+  r.name = "lat_tcp_n";
+  r.category = "latency";
+  r.add("loopback_p50_us", 42.125, "us");
+  r.add("loopback_p95_us", 97.0625, "us");
+  r.add("loopback_p99_us", 181.5, "us");
+  r.add("loopback_p999_us", 5123.875, "us");
+  r.add("loopback_rps", 31250.5, "ops/s");
+  r.metadata["connections"] = "256";
+
+  ResultBatch parsed = from_json(to_json(ResultBatch{"h", {r}, {}}));
+  ASSERT_EQ(parsed.results.size(), 1u);
+  const RunResult& out = parsed.results[0];
+  EXPECT_EQ(out.metric("loopback_p50_us"), 42.125);
+  EXPECT_EQ(out.metric("loopback_p95_us"), 97.0625);
+  EXPECT_EQ(out.metric("loopback_p99_us"), 181.5);
+  EXPECT_EQ(out.metric("loopback_p999_us"), 5123.875);
+  EXPECT_EQ(out.metric("loopback_rps"), 31250.5);
+  EXPECT_EQ(out.metadata.at("connections"), "256");
+}
+
 TEST(SerializeJsonTest, AbsentClockFieldsSerializeAsNullNotZero) {
   RunResult r;
   r.name = "lat_ops";

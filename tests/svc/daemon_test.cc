@@ -3,16 +3,20 @@
 #include "src/svc/daemon.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/svc/client.h"
 #include "src/svc/wire.h"
 #include "src/sys/error.h"
+#include "src/sys/socket.h"
 #include "src/sys/temp.h"
 
 namespace lmb::svc {
@@ -164,6 +168,39 @@ TEST(DaemonClientTest, ConnectFailureIsSysErrorNotHang) {
   sys::TempDir tmp;
   Client client(tmp.path() + "/nobody.sock", /*connect_timeout_ms=*/300);
   EXPECT_THROW(client.status(), sys::SysError);
+}
+
+TEST(DaemonClientTest, DaemonKilledMidFrameTimesOutInsteadOfHanging) {
+  // The bug this PR fixes: a daemon that dies after writing part of a reply
+  // frame — here simulated by a "daemon" that sends 2 of the 4 length-prefix
+  // bytes and then goes silent with the socket open — used to hang the
+  // client in read_full forever.  The bounded read turns it into a clean
+  // SysError(ETIMEDOUT), which lmbench_client maps to exit code 5.
+  sys::TempDir tmp;
+  const std::string path = tmp.path() + "/stall.sock";
+  sys::UnixListener listener(path);
+  std::thread fake_daemon([&listener] {
+    std::optional<sys::UnixStream> conn = listener.accept_for(5000);
+    if (!conn.has_value()) {
+      return;
+    }
+    // Consume the client's request so the failure is in our reply, then
+    // write a torn frame and stall (keep the connection open).
+    std::optional<std::string> req = read_frame(conn->fd());
+    ASSERT_TRUE(req.has_value());
+    const unsigned char torn[] = {0, 0};
+    ASSERT_EQ(::write(conn->fd(), torn, sizeof(torn)), 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  });
+
+  Client client(path, /*connect_timeout_ms=*/2000, /*stall_timeout_ms=*/100);
+  try {
+    client.status();
+    FAIL() << "expected SysError(ETIMEDOUT)";
+  } catch (const sys::SysError& e) {
+    EXPECT_EQ(e.error_code(), ETIMEDOUT);
+  }
+  fake_daemon.join();
 }
 
 }  // namespace

@@ -1,0 +1,168 @@
+// Tests for the event-loop primitives in src/sys/epoll_loop.h and the
+// non-blocking I/O helpers they pair with (src/sys/fdio.h).
+#include "src/sys/epoll_loop.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/sys/error.h"
+#include "src/sys/fdio.h"
+#include "src/sys/pipe.h"
+
+namespace lmb::sys {
+namespace {
+
+TEST(EpollTest, ReadinessDeliversTag) {
+  Epoll ep;
+  Pipe p;
+  ep.add(p.read_fd(), EPOLLIN, 42);
+
+  std::vector<epoll_event> events;
+  // Nothing written yet: a short wait times out with zero events.
+  EXPECT_EQ(ep.wait(events, 10), 0);
+
+  ASSERT_EQ(::write(p.write_fd(), "x", 1), 1);
+  int n = ep.wait(events, 1000);
+  ASSERT_EQ(n, 1);
+  EXPECT_EQ(events[0].data.u64, 42u);
+  EXPECT_NE(events[0].events & EPOLLIN, 0u);
+}
+
+TEST(EpollTest, LevelTriggeredRenotifiesUntilDrained) {
+  Epoll ep;
+  Pipe p;
+  ep.add(p.read_fd(), EPOLLIN, 1);
+  ASSERT_EQ(::write(p.write_fd(), "ab", 2), 2);
+
+  std::vector<epoll_event> events;
+  ASSERT_EQ(ep.wait(events, 1000), 1);
+  char c = 0;
+  ASSERT_EQ(::read(p.read_fd(), &c, 1), 1);  // one byte still unread
+  EXPECT_EQ(ep.wait(events, 1000), 1) << "level-triggered: must re-notify";
+  ASSERT_EQ(::read(p.read_fd(), &c, 1), 1);
+  EXPECT_EQ(ep.wait(events, 10), 0) << "drained: no event";
+}
+
+TEST(EpollTest, ModChangesInterestAndTag) {
+  Epoll ep;
+  Pipe p;
+  ep.add(p.write_fd(), 0, 7);  // registered but interested in nothing
+
+  std::vector<epoll_event> events;
+  EXPECT_EQ(ep.wait(events, 10), 0);
+
+  ep.mod(p.write_fd(), EPOLLOUT, 8);
+  ASSERT_EQ(ep.wait(events, 1000), 1);
+  EXPECT_EQ(events[0].data.u64, 8u);
+  EXPECT_NE(events[0].events & EPOLLOUT, 0u);
+}
+
+TEST(EpollTest, DelStopsDelivery) {
+  Epoll ep;
+  Pipe p;
+  ep.add(p.read_fd(), EPOLLIN, 3);
+  ASSERT_EQ(::write(p.write_fd(), "x", 1), 1);
+  ep.del(p.read_fd());
+  std::vector<epoll_event> events;
+  EXPECT_EQ(ep.wait(events, 10), 0);
+}
+
+TEST(EpollTest, AddBadFdThrows) {
+  Epoll ep;
+  EXPECT_THROW(ep.add(-1, EPOLLIN, 0), SysError);
+}
+
+TEST(WakePipeTest, NotifyWakesABlockedWait) {
+  Epoll ep;
+  WakePipe wake;
+  ep.add(wake.read_fd(), EPOLLIN, 99);
+
+  std::thread notifier([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    wake.notify();
+  });
+  std::vector<epoll_event> events;
+  int n = ep.wait(events, 5000);
+  notifier.join();
+  ASSERT_EQ(n, 1);
+  EXPECT_EQ(events[0].data.u64, 99u);
+
+  wake.drain();
+  EXPECT_EQ(ep.wait(events, 10), 0) << "drain() must consume the wakeup byte";
+}
+
+TEST(WakePipeTest, NotifyBeforeWaitIsNotLost) {
+  // The lost-wakeup race: notify lands before the loop blocks.  The byte
+  // stays readable, so the next wait returns immediately.
+  Epoll ep;
+  WakePipe wake;
+  ep.add(wake.read_fd(), EPOLLIN, 1);
+  wake.notify();
+  std::vector<epoll_event> events;
+  EXPECT_EQ(ep.wait(events, 1000), 1);
+}
+
+TEST(SetNonblockingTest, TogglesFlag) {
+  Pipe p;
+  set_nonblocking(p.read_fd());
+  EXPECT_NE(::fcntl(p.read_fd(), F_GETFL) & O_NONBLOCK, 0);
+  set_nonblocking(p.read_fd(), false);
+  EXPECT_EQ(::fcntl(p.read_fd(), F_GETFL) & O_NONBLOCK, 0);
+}
+
+TEST(NonblockIoTest, ReadNonblockMapsOutcomes) {
+  Pipe p;
+  set_nonblocking(p.read_fd());
+  char buf[8];
+
+  IoOutcome r = read_nonblock(p.read_fd(), buf, sizeof buf);
+  EXPECT_EQ(r.bytes, 0u);
+  EXPECT_TRUE(r.would_block);
+  EXPECT_FALSE(r.closed);
+
+  ASSERT_EQ(::write(p.write_fd(), "hi", 2), 2);
+  r = read_nonblock(p.read_fd(), buf, sizeof buf);
+  EXPECT_EQ(r.bytes, 2u);
+  EXPECT_FALSE(r.would_block);
+
+  p.close_write();
+  r = read_nonblock(p.read_fd(), buf, sizeof buf);
+  EXPECT_EQ(r.bytes, 0u);
+  EXPECT_TRUE(r.closed);
+}
+
+TEST(NonblockIoTest, WriteNonblockSignalsFullBuffer) {
+  Pipe p;
+  set_nonblocking(p.write_fd());
+  std::vector<char> chunk(64 * 1024, 'x');
+  // Fill the pipe until the kernel pushes back.
+  bool saw_would_block = false;
+  for (int i = 0; i < 1024 && !saw_would_block; ++i) {
+    IoOutcome w = write_nonblock(p.write_fd(), chunk.data(), chunk.size());
+    saw_would_block = w.would_block;
+  }
+  EXPECT_TRUE(saw_would_block);
+}
+
+TEST(PollReadableTest, TimesOutAndSeesData) {
+  Pipe p;
+  EXPECT_FALSE(poll_readable(p.read_fd(), 10));
+  ASSERT_EQ(::write(p.write_fd(), "x", 1), 1);
+  EXPECT_TRUE(poll_readable(p.read_fd(), 1000));
+}
+
+TEST(EnsureNofileTest, GrantsAtLeastTheNeed) {
+  // Ask for a modest bump; the hard limit on any CI box covers this.
+  std::uint64_t got = ensure_nofile(512);
+  EXPECT_GE(got, 512u);
+  // Idempotent: asking again for less never lowers the limit.
+  EXPECT_GE(ensure_nofile(256), got);
+}
+
+}  // namespace
+}  // namespace lmb::sys
