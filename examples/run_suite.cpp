@@ -252,6 +252,22 @@ int main(int argc, char** argv) try {
     }
   }
 
+  // Shard-scaling table for load benchmarks run with --shards=...: shard
+  // counts vs throughput, p99, and wakeups per request.
+  {
+    std::vector<report::ShardScalingRow> shard_rows;
+    for (const RunResult& r : artifacts.batch.results) {
+      if (!r.ok()) {
+        continue;
+      }
+      std::vector<report::ShardScalingRow> rows = report::extract_shard_scaling(r);
+      shard_rows.insert(shard_rows.end(), rows.begin(), rows.end());
+    }
+    if (!shard_rows.empty()) {
+      std::printf("\n%s", report::render_shard_table(shard_rows).c_str());
+    }
+  }
+
   std::printf("\n%zu benchmarks attempted, %zu metrics, %d failures in %.1f s\n",
               artifacts.batch.results.size(), artifacts.metric_count, artifacts.failed,
               artifacts.total_wall_ms / 1e3);

@@ -10,9 +10,11 @@
 //   ./build/examples/tcp_load lat_tcp_n --connections=1000 --duration=2000
 //   ./build/examples/tcp_load lat_tcp_n --connections=256 --rate=50000
 //   ./build/examples/tcp_load bw_tcp_n --connections=64 --msg=128k
+//   ./build/examples/tcp_load bw_tcp_n --shards=1,2,4 --epoll=et
 //
 // Exit codes: 0 ok, 1 benchmark failure, 2 usage.
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "src/core/options.h"
@@ -26,7 +28,8 @@ int main(int argc, char** argv) try {
       opts.positionals().empty() ? "lat_tcp_n" : opts.positionals().front();
   if (bench != "lat_tcp_n" && bench != "lat_rpc_n" && bench != "bw_tcp_n") {
     std::fprintf(stderr, "usage: tcp_load [lat_tcp_n|lat_rpc_n|bw_tcp_n] [--connections=N] "
-                         "[--duration=MS] [--net=both|loopback|sim] [flags...]\n");
+                         "[--duration=MS] [--shards=1,2,4] [--epoll=lt|et] "
+                         "[--net=both|loopback|sim] [flags...]\n");
     return 2;
   }
   const lmb::BenchmarkInfo* info = lmb::Registry::global().find(bench);
@@ -46,6 +49,11 @@ int main(int argc, char** argv) try {
   if (!table.empty()) {
     std::printf("%s\n", table.c_str());
   }
+  const std::string shard_table = lmb::report::render_shard_table(
+      lmb::report::extract_shard_scaling(result));
+  if (!shard_table.empty()) {
+    std::printf("%s\n", shard_table.c_str());
+  }
   for (const lmb::Metric& m : result.metrics) {
     std::printf("  %-20s %14.3f %s\n", m.key.c_str(), m.value, m.unit.c_str());
   }
@@ -53,6 +61,14 @@ int main(int argc, char** argv) try {
     std::printf("  # %-18s %s\n", key.c_str(), value.c_str());
   }
   return 0;
+} catch (const std::invalid_argument& e) {
+  // A bad flag value (--epoll=foo, --shards=0, ...) is a usage error, not a
+  // benchmark failure.
+  std::fprintf(stderr, "tcp_load: %s\n", e.what());
+  std::fprintf(stderr, "usage: tcp_load [lat_tcp_n|lat_rpc_n|bw_tcp_n] [--connections=N] "
+                       "[--duration=MS] [--shards=1,2,4] [--epoll=lt|et] "
+                       "[--net=both|loopback|sim] [flags...]\n");
+  return 2;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "tcp_load: %s\n", e.what());
   return 1;

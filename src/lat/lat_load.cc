@@ -8,9 +8,20 @@
 // standard results pipeline (JSON, compare, trend) carries the tails with
 // zero new plumbing.
 //
+// Loopback runs scale across cores: --shards=1,2,4 runs the scenario once
+// per shard count (server event-loop shards over SO_REUSEPORT, generator
+// worker threads to match) and emits per-count variants —
+// loopback_s<N>_rps / loopback_s<N>_mbs, loopback_s<N>_p99_us and
+// loopback_s<N>_wakeups_per_req — alongside the standard keys, which come
+// from the *first* count in the list.  --epoll=et switches every server
+// shard to edge-triggered epoll so its wakeup cost can be compared with the
+// level-triggered default through the same pipeline.
+//
 // Flags (all benchmarks):
 //   --connections=N   concurrent connections / flows   (64; quick: 16)
 //   --duration=MS     measured window                  (1000; quick: 300)
+//   --shards=LIST     server/generator event-loop shard counts (1)
+//   --epoll=MODE      server readiness discipline: lt | et  (lt)
 //   --net=MODE        both | loopback | sim            (both)
 //   --msg=BYTES       request payload (size suffixes ok; bw default 64k)
 //   --link=NAME       sim link: eth10 | eth100 | fddi | hippi  (eth100)
@@ -24,6 +35,7 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "src/core/clock.h"
 #include "src/core/registry.h"
@@ -51,6 +63,8 @@ struct LoadFlags {
   netsim::LinkProfile link = netsim::LinkProfile::ethernet_100baseT();
   double loss = 0.01;
   std::uint32_t sim_reqs = 50;  // per-flow exchanges in the simulated run
+  std::vector<int> shard_counts = {1};
+  EpollMode epoll_mode = EpollMode::kLevel;
 };
 
 netsim::LinkProfile link_from_name(const std::string& name) {
@@ -105,6 +119,25 @@ LoadFlags flags_from(const Options& opts, std::uint32_t default_msg) {
   f.loss = opts.get_double("loss", f.loss);
   f.sim_reqs = static_cast<std::uint32_t>(
       opts.get_int("sim-reqs", static_cast<std::int64_t>(f.sim_reqs)));
+  const std::vector<std::string> shard_list = opts.get_list("shards", {"1"});
+  if (!shard_list.empty()) {
+    f.shard_counts.clear();
+    for (const std::string& s : shard_list) {
+      const int n = static_cast<int>(std::stol(s));
+      if (n < 1) {
+        throw std::invalid_argument("--shards entries must be positive, got '" + s + "'");
+      }
+      f.shard_counts.push_back(n);
+    }
+  }
+  const std::string epoll = opts.get_string("epoll", "lt");
+  if (epoll == "lt") {
+    f.epoll_mode = EpollMode::kLevel;
+  } else if (epoll == "et") {
+    f.epoll_mode = EpollMode::kEdge;
+  } else {
+    throw std::invalid_argument("unknown --epoll '" + epoll + "' (lt|et)");
+  }
   return f;
 }
 
@@ -119,6 +152,93 @@ void add_percentiles(RunResult& r, const std::string& scenario, const Sample& s)
   r.add(scenario + "_p95_us", s.percentile(95) / 1000.0, "us");
   r.add(scenario + "_p99_us", s.percentile(99) / 1000.0, "us");
   r.add(scenario + "_p999_us", s.percentile(99.9) / 1000.0, "us");
+}
+
+// One loopback run at a given shard count, plus the server-side counters a
+// client-side LoadResult cannot see.
+struct LoopbackRun {
+  LoadResult load;
+  LoadServerStats server;
+  std::string shard_accepts;  // per-shard accept counts, comma-joined
+  double wakeups_per_req = 0;
+};
+
+LoopbackRun run_loopback(const LoadFlags& f, int shards, ServerProtocol server_proto,
+                         ClientProtocol client_proto) {
+  LoadServerConfig server_cfg;
+  server_cfg.protocol = server_proto;
+  server_cfg.reply_bytes = f.msg;
+  server_cfg.work_iters = server_proto == ServerProtocol::kRpc ? f.work : 0;
+  server_cfg.shards = shards;
+  server_cfg.epoll_mode = f.epoll_mode;
+  LoadServer server(server_cfg);
+
+  LoadGenConfig gen;
+  gen.port = server.port();
+  gen.connections = f.connections;
+  gen.protocol = client_proto;
+  gen.request_bytes = f.msg;
+  gen.reply_bytes = f.msg;
+  gen.arrival = f.arrival;
+  gen.rate_per_sec = f.rate;
+  gen.think_time = f.think;
+  gen.duration = f.duration;
+  gen.warmup = warmup_for(f.duration);
+  gen.shards = shards;
+  // Generator workers pin past the server shards so the two halves of the
+  // harness do not time-slice one core against each other.
+  gen.pin_shards = shards > 1;
+  gen.pin_offset = server.shards();
+
+  LoopbackRun out;
+  out.load = run_load(gen);
+  server.stop();
+  out.server = server.stats();
+  for (int i = 0; i < server.shards(); ++i) {
+    if (i > 0) {
+      out.shard_accepts += ",";
+    }
+    out.shard_accepts += std::to_string(server.shard_stats(i).accepted);
+  }
+  if (out.load.total_requests > 0) {
+    out.wakeups_per_req = static_cast<double>(out.server.wakeups) /
+                          static_cast<double>(out.load.total_requests);
+  }
+  return out;
+}
+
+// The per-shard-count metric variants (loopback_s<N>_*) plus the metadata
+// the CI shard-sum assertion cross-checks.  No s<N>_p50_us key on purpose:
+// the tail-table extractor treats any key group with a p50 as a scenario
+// row, and shard variants belong in the scaling table instead.
+void add_shard_metrics(RunResult& r, int shards, const LoopbackRun& run, bool bandwidth) {
+  const std::string p = "loopback_s" + std::to_string(shards);
+  if (bandwidth) {
+    r.add(p + "_mbs", run.load.mb_per_sec, "MB/s");
+  } else {
+    r.add(p + "_rps", run.load.ops_per_sec, "ops/s");
+  }
+  r.add(p + "_p99_us", run.load.rtt_ns.percentile(99) / 1000.0, "us");
+  // "count": unknown to direction_for_unit, so never gates a comparison —
+  // wakeup efficiency is diagnostic, not a pass/fail axis.
+  r.add(p + "_wakeups_per_req", run.wakeups_per_req, "count");
+  r.metadata["s" + std::to_string(shards) + "_shard_accepts"] = run.shard_accepts;
+  r.metadata["s" + std::to_string(shards) + "_accepted"] =
+      std::to_string(run.server.accepted);
+  r.metadata["s" + std::to_string(shards) + "_errors"] = std::to_string(run.load.errors);
+}
+
+// Scenario-level metadata shared by every loopback variant.
+void add_engine_meta(RunResult& r, const LoadFlags& f) {
+  r.metadata["epoll"] = f.epoll_mode == EpollMode::kEdge ? "et" : "lt";
+  std::string counts;
+  for (size_t i = 0; i < f.shard_counts.size(); ++i) {
+    if (i > 0) {
+      counts += ",";
+    }
+    counts += std::to_string(f.shard_counts[i]);
+  }
+  r.metadata["shards"] = counts;
 }
 
 // The simulated half of a latency scenario (lat_tcp_n / lat_rpc_n share it;
@@ -167,30 +287,23 @@ RunResult run_latency_scenarios(const Options& opts, bool rpc) {
   double headline_p99 = 0;
 
   if (f.run_loopback) {
-    LoadServerConfig server_cfg;
-    server_cfg.protocol = rpc ? ServerProtocol::kRpc : ServerProtocol::kEcho;
-    server_cfg.reply_bytes = f.msg;
-    server_cfg.work_iters = rpc ? f.work : 0;
-    LoadServer server(server_cfg);
-
-    LoadGenConfig gen;
-    gen.port = server.port();
-    gen.connections = f.connections;
-    gen.protocol = rpc ? ClientProtocol::kRpc : ClientProtocol::kEcho;
-    gen.request_bytes = f.msg;
-    gen.reply_bytes = f.msg;
-    gen.arrival = f.arrival;
-    gen.rate_per_sec = f.rate;
-    gen.think_time = f.think;
-    gen.duration = f.duration;
-    gen.warmup = warmup_for(f.duration);
-    LoadResult load = run_load(gen);
-    server.stop();
-
-    add_percentiles(r, "loopback", load.rtt_ns);
-    r.add("loopback_rps", load.ops_per_sec, "ops/s");
-    add_loopback_meta(r, f, load);
-    headline_p99 = load.rtt_ns.percentile(99) / 1000.0;
+    for (size_t i = 0; i < f.shard_counts.size(); ++i) {
+      const int shards = f.shard_counts[i];
+      const LoopbackRun run =
+          run_loopback(f, shards, rpc ? ServerProtocol::kRpc : ServerProtocol::kEcho,
+                       rpc ? ClientProtocol::kRpc : ClientProtocol::kEcho);
+      if (i == 0) {
+        add_percentiles(r, "loopback", run.load.rtt_ns);
+        r.add("loopback_rps", run.load.ops_per_sec, "ops/s");
+        r.add("loopback_wakeups_per_req", run.wakeups_per_req, "count");
+        r.add("loopback_loop_cpu_ns",
+              static_cast<double>(run.server.loop_cpu_ns), "cpu-ns");
+        add_loopback_meta(r, f, run.load);
+        headline_p99 = run.load.rtt_ns.percentile(99) / 1000.0;
+      }
+      add_shard_metrics(r, shards, run, /*bandwidth=*/false);
+    }
+    add_engine_meta(r, f);
   }
   if (f.run_sim) {
     // Echo: protocol-stack cost per request.  RPC: stack plus application
@@ -213,25 +326,23 @@ RunResult run_bandwidth_scenarios(const Options& opts) {
   double headline_mbs = 0;
 
   if (f.run_loopback) {
-    LoadServerConfig server_cfg;
-    server_cfg.protocol = ServerProtocol::kSink;
-    LoadServer server(server_cfg);
-
-    LoadGenConfig gen;
-    gen.port = server.port();
-    gen.connections = f.connections;
-    gen.protocol = ClientProtocol::kStream;
-    gen.request_bytes = f.msg;
-    gen.duration = f.duration;
-    gen.warmup = warmup_for(f.duration);
-    LoadResult load = run_load(gen);
-    server.stop();
-
-    add_percentiles(r, "loopback", load.rtt_ns);
-    r.add("loopback_mbs", load.mb_per_sec, "MB/s");
-    add_loopback_meta(r, f, load);
-    r.metadata["block_bytes"] = std::to_string(f.msg);
-    headline_mbs = load.mb_per_sec;
+    for (size_t i = 0; i < f.shard_counts.size(); ++i) {
+      const int shards = f.shard_counts[i];
+      const LoopbackRun run =
+          run_loopback(f, shards, ServerProtocol::kSink, ClientProtocol::kStream);
+      if (i == 0) {
+        add_percentiles(r, "loopback", run.load.rtt_ns);
+        r.add("loopback_mbs", run.load.mb_per_sec, "MB/s");
+        r.add("loopback_wakeups_per_req", run.wakeups_per_req, "count");
+        r.add("loopback_loop_cpu_ns",
+              static_cast<double>(run.server.loop_cpu_ns), "cpu-ns");
+        add_loopback_meta(r, f, run.load);
+        r.metadata["block_bytes"] = std::to_string(f.msg);
+        headline_mbs = run.load.mb_per_sec;
+      }
+      add_shard_metrics(r, shards, run, /*bandwidth=*/true);
+    }
+    add_engine_meta(r, f);
   }
   if (f.run_sim) {
     netsim::MultistreamConfig cfg;

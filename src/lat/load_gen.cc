@@ -5,16 +5,19 @@
 #include <algorithm>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <memory>
-#include <queue>
 #include <random>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/core/timing.h"
+#include "src/core/topology.h"
+#include "src/lat/timer_wheel.h"
 #include "src/sys/epoll_loop.h"
 #include "src/sys/error.h"
 #include "src/sys/fdio.h"
@@ -129,7 +132,7 @@ class Driver {
         next_ev = std::min(next_ev, next_arrival_);
       }
       if (!timers_.empty()) {
-        next_ev = std::min(next_ev, timers_.top().first);
+        next_ev = std::min(next_ev, timers_.next_deadline());
       }
       const Nanos delta = next_ev - now;
       // Floor to ms: a sub-ms wait becomes a zero-timeout poll, trading
@@ -244,9 +247,12 @@ class Driver {
   }
 
   void fire_timers(Nanos now) {
-    while (!timers_.empty() && timers_.top().first <= now) {
-      const std::uint64_t tag = timers_.top().second;
-      timers_.pop();
+    if (timers_.empty()) {
+      return;
+    }
+    fired_.clear();
+    timers_.expire(now, fired_);
+    for (std::uint64_t tag : fired_) {
       start_request(tag, now);
     }
   }
@@ -397,7 +403,7 @@ class Driver {
       return;
     }
     if (cfg_.think_time > 0) {
-      timers_.emplace(now + cfg_.think_time, c.tag);
+      timers_.schedule(now + cfg_.think_time, c.tag);
     } else {
       issue(c, now);
     }
@@ -447,10 +453,8 @@ class Driver {
   Nanos next_arrival_ = 0;
   std::deque<Nanos> pending_;        // scheduled arrivals awaiting a connection
   std::vector<std::uint64_t> idle_;  // connections with nothing in flight
-  std::priority_queue<std::pair<Nanos, std::uint64_t>,
-                      std::vector<std::pair<Nanos, std::uint64_t>>,
-                      std::greater<>>
-      timers_;  // closed-loop think-time expiries
+  TimerWheel timers_;                // closed-loop think-time expiries
+  std::vector<std::uint64_t> fired_;  // expire() scratch
 
   Sample sample_;       // measured-window RTTs
   Sample warm_sample_;  // warmup RTTs (fallback when the window is empty)
@@ -470,6 +474,33 @@ class Driver {
 
 }  // namespace
 
+namespace {
+
+// Folds shard results into one LoadResult: counts and rates sum, the
+// merged window is the longest shard window, and every shard's RTT
+// observations pool into one Sample (the percentile math doesn't care
+// which loop observed a latency).
+LoadResult merge_results(std::vector<LoadResult>& parts) {
+  LoadResult total;
+  for (LoadResult& p : parts) {
+    total.requests += p.requests;
+    total.total_requests += p.total_requests;
+    total.errors += p.errors;
+    total.bytes_sent += p.bytes_sent;
+    total.bytes_received += p.bytes_received;
+    total.connections += p.connections;
+    total.elapsed = std::max(total.elapsed, p.elapsed);
+    total.ops_per_sec += p.ops_per_sec;
+    total.mb_per_sec += p.mb_per_sec;
+    for (double v : p.rtt_ns.values()) {
+      total.rtt_ns.add(v);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
 LoadResult run_load(const LoadGenConfig& config) {
   if (config.port == 0) {
     throw std::invalid_argument("run_load: port is required");
@@ -486,6 +517,9 @@ LoadResult run_load(const LoadGenConfig& config) {
   if (config.warmup < 0 || config.think_time < 0) {
     throw std::invalid_argument("run_load: warmup and think_time must be non-negative");
   }
+  if (config.shards < 1) {
+    throw std::invalid_argument("run_load: shards must be positive");
+  }
   const bool open = config.arrival != ArrivalMode::kClosedLoop;
   if (open && !(config.rate_per_sec > 0)) {
     throw std::invalid_argument("run_load: open-loop arrival needs rate_per_sec > 0");
@@ -494,8 +528,68 @@ LoadResult run_load(const LoadGenConfig& config) {
     throw std::invalid_argument(
         "run_load: stream protocol is closed-loop by nature (continuous send)");
   }
-  Driver driver(config);
-  return driver.run();
+
+  int shards = std::min(config.shards, config.connections);
+  if (config.max_requests != 0) {
+    // Every worker needs a positive slice of the cap (0 means unbounded).
+    shards = static_cast<int>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(shards), config.max_requests));
+  }
+  if (shards == 1 && !config.pin_shards) {
+    Driver driver(config);
+    return driver.run();
+  }
+
+  // Split the scenario into `shards` independent sub-scenarios: each worker
+  // gets an even slice of the connections (remainder to the first workers),
+  // a proportional slice of the open-loop rate and request cap, and its own
+  // RNG stream.  The fd headroom is raised once, up front, for the total.
+  sys::ensure_nofile(static_cast<std::uint64_t>(config.connections) * 2 + 128);
+  std::vector<LoadGenConfig> sub(static_cast<size_t>(shards), config);
+  const int base = config.connections / shards;
+  const int extra = config.connections % shards;
+  const std::uint64_t req_base = config.max_requests / static_cast<std::uint64_t>(shards);
+  const std::uint64_t req_extra = config.max_requests % static_cast<std::uint64_t>(shards);
+  for (int i = 0; i < shards; ++i) {
+    LoadGenConfig& c = sub[static_cast<size_t>(i)];
+    c.shards = 1;
+    c.connections = base + (i < extra ? 1 : 0);
+    c.rate_per_sec = config.rate_per_sec * c.connections / config.connections;
+    c.max_requests = config.max_requests == 0
+                         ? 0
+                         : req_base + (static_cast<std::uint64_t>(i) < req_extra ? 1 : 0);
+    c.seed = config.seed + static_cast<std::uint64_t>(i);
+  }
+
+  const std::vector<int> pin_order =
+      config.pin_shards ? query_topology().pin_order() : std::vector<int>{};
+  std::vector<LoadResult> results(static_cast<size_t>(shards));
+  std::vector<std::exception_ptr> failures(static_cast<size_t>(shards));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    workers.emplace_back([&, i] {
+      if (!pin_order.empty()) {
+        pin_current_thread(
+            pin_order[static_cast<size_t>(config.pin_offset + i) % pin_order.size()]);
+      }
+      try {
+        Driver driver(sub[static_cast<size_t>(i)]);
+        results[static_cast<size_t>(i)] = driver.run();
+      } catch (...) {
+        failures[static_cast<size_t>(i)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  for (const std::exception_ptr& e : failures) {
+    if (e) {
+      std::rethrow_exception(e);
+    }
+  }
+  return merge_results(results);
 }
 
 }  // namespace lmb::lat

@@ -2,8 +2,10 @@
 // scenarios.
 //
 // Drives N concurrent connections against a LoadServer (or any compatible
-// echo/RPC/sink endpoint) from a single epoll event loop, in either of the
-// two canonical load-testing disciplines:
+// echo/RPC/sink endpoint) from `shards` epoll event loops (think-time and
+// arrival deadlines in a per-shard hashed timer wheel, src/lat/timer_wheel.h,
+// so scheduling stays O(1) at c10k connection counts), in either of the two
+// canonical load-testing disciplines:
 //
 //  * closed loop: every connection keeps exactly one request in flight,
 //    optionally pausing `think_time` between a reply and the next request.
@@ -63,6 +65,19 @@ struct LoadGenConfig {
   // Time source for RTT stamps; nullptr = selected_clock() (so --clock=tsc
   // reaches per-request timestamps like every other measurement).
   const Clock* clock = nullptr;
+  // Generator worker shards.  Each is an independent event loop driving
+  // connections/shards connections with its own epoll set, RNG
+  // (seed + shard) and timer wheel; open-loop rate splits evenly, so the
+  // aggregate arrival process is preserved (a superposition of Poisson
+  // processes is Poisson at the summed rate).  Results merge into one
+  // LoadResult: counts and rates sum, elapsed is the longest window, and
+  // every shard's RTT observations pool into one Sample.
+  int shards = 1;
+  // Pin shard i to topology pin_order[(pin_offset + i) % n].  Off by
+  // default; the load benchmarks turn it on with pin_offset = server
+  // shards so generator threads land on cores the server isn't using.
+  bool pin_shards = false;
+  int pin_offset = 0;
 };
 
 struct LoadResult {
@@ -81,9 +96,10 @@ struct LoadResult {
   int connections = 0;               // connections that established
 };
 
-// Runs one load scenario to completion.  Throws std::invalid_argument on a
-// bad config, SysError/runtime_error when the target is unreachable or all
-// connections die.
+// Runs one load scenario to completion (spawning config.shards - 1 worker
+// threads when sharded).  Throws std::invalid_argument on a bad config,
+// SysError/runtime_error when the target is unreachable or all connections
+// die.
 LoadResult run_load(const LoadGenConfig& config);
 
 }  // namespace lmb::lat

@@ -1,0 +1,86 @@
+#include "src/lat/timer_wheel.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lmb::lat {
+
+TimerWheel::TimerWheel(Nanos tick, size_t slots) : tick_(tick), mask_(slots - 1), slots_(slots) {
+  if (tick <= 0) {
+    throw std::invalid_argument("TimerWheel: tick must be positive");
+  }
+  if (slots == 0 || (slots & (slots - 1)) != 0) {
+    throw std::invalid_argument("TimerWheel: slots must be a power of two");
+  }
+  cursor_tick_ = std::numeric_limits<std::int64_t>::min();  // set by first schedule
+}
+
+void TimerWheel::schedule(Nanos deadline, std::uint64_t tag) {
+  std::int64_t tick = deadline / tick_;
+  if (cursor_tick_ == std::numeric_limits<std::int64_t>::min()) {
+    cursor_tick_ = tick;
+  }
+  // A deadline behind the sweep cursor (already in the past) goes into the
+  // cursor's own bucket — that bucket is re-swept at the start of every
+  // expire(), so the entry fires on the next call instead of waiting a
+  // full rotation for its original bucket to come around again.
+  tick = std::max(tick, cursor_tick_);
+  slots_[static_cast<size_t>(tick) & mask_].push_back({deadline, tag});
+  ++count_;
+  if (soonest_valid_) {
+    soonest_ = std::min(soonest_, deadline);
+  }
+}
+
+void TimerWheel::expire(Nanos now, std::vector<std::uint64_t>& fired) {
+  if (count_ == 0) {
+    return;
+  }
+  const std::int64_t now_tick = now / tick_;
+  std::int64_t cursor = cursor_tick_;
+  bool removed = false;
+  while (true) {
+    std::vector<Entry>& slot = slots_[static_cast<size_t>(cursor) & mask_];
+    for (size_t i = 0; i < slot.size();) {
+      if (slot[i].deadline <= now) {
+        fired.push_back(slot[i].tag);
+        slot[i] = slot.back();
+        slot.pop_back();
+        --count_;
+        removed = true;
+      } else {
+        ++i;
+      }
+    }
+    // The cursor parks on the current tick (its bucket is re-swept next
+    // call for entries due later within this same tick) and never advances
+    // past `now` — entries a rotation or more out wait in their bucket.
+    if (cursor >= now_tick || count_ == 0) {
+      break;
+    }
+    ++cursor;
+  }
+  cursor_tick_ = std::max(cursor_tick_, std::min(cursor, now_tick));
+  if (removed) {
+    soonest_valid_ = false;
+  }
+}
+
+Nanos TimerWheel::next_deadline() const {
+  if (count_ == 0) {
+    return std::numeric_limits<Nanos>::max();
+  }
+  if (!soonest_valid_) {
+    Nanos soonest = std::numeric_limits<Nanos>::max();
+    for (const std::vector<Entry>& slot : slots_) {
+      for (const Entry& e : slot) {
+        soonest = std::min(soonest, e.deadline);
+      }
+    }
+    soonest_ = soonest;
+    soonest_valid_ = true;
+  }
+  return soonest_;
+}
+
+}  // namespace lmb::lat

@@ -1,0 +1,70 @@
+// A hashed timer wheel for event-loop deadlines.
+//
+// The load generator's closed-loop think-time timers were a global
+// std::priority_queue: O(log n) per insert/pop and one heap shared by every
+// connection, which shows up in the generator's own CPU profile at c10k
+// scale — exactly the measurement-harness-as-bottleneck failure the paper
+// warns about.  A hashed wheel (Varghese & Lauck) makes schedule O(1) and
+// expiry O(entries due): deadlines hash into `slots` buckets of `tick`
+// width, the cursor sweeps buckets as time advances, and entries more than
+// one rotation out simply stay in their bucket until their deadline's
+// rotation comes around.
+//
+// Granularity contract: expiry is exact, not tick-quantized — expire(now)
+// fires every entry with deadline <= now and nothing else, so RTT origins
+// measured from scheduled timestamps stay coordinated-omission-safe.  The
+// wheel only bounds how much scanning a sweep does, never when a timer is
+// considered due.
+#ifndef LMBENCHPP_SRC_LAT_TIMER_WHEEL_H_
+#define LMBENCHPP_SRC_LAT_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/core/clock.h"
+
+namespace lmb::lat {
+
+class TimerWheel {
+ public:
+  // `tick` is the bucket width; `slots` must be a power of two.  Defaults
+  // cover one wheel rotation of ~102 ms at 100 us resolution — wider than
+  // any think time the benchmarks schedule, so rotation wraps are the
+  // exception they are designed to be.
+  explicit TimerWheel(Nanos tick = 100 * kMicrosecond, size_t slots = 1024);
+
+  // O(1).  Deadlines in the past are allowed and fire on the next expire().
+  void schedule(Nanos deadline, std::uint64_t tag);
+
+  // Appends the tags of every entry with deadline <= now to `fired` (in no
+  // particular order) and removes them from the wheel.
+  void expire(Nanos now, std::vector<std::uint64_t>& fired);
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Earliest pending deadline, for event-loop timeout computation;
+  // Nanos max when empty.  O(1) when nothing fired since the last call,
+  // O(total entries) right after an expiry (recomputed lazily).
+  Nanos next_deadline() const;
+
+ private:
+  struct Entry {
+    Nanos deadline;
+    std::uint64_t tag;
+  };
+
+  Nanos tick_;
+  size_t mask_;                            // slots - 1
+  std::vector<std::vector<Entry>> slots_;  // bucket = (deadline / tick) & mask
+  std::int64_t cursor_tick_;               // last tick expire() swept up to
+  size_t count_ = 0;
+  mutable Nanos soonest_ = std::numeric_limits<Nanos>::max();
+  mutable bool soonest_valid_ = true;
+};
+
+}  // namespace lmb::lat
+
+#endif  // LMBENCHPP_SRC_LAT_TIMER_WHEEL_H_

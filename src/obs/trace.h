@@ -37,7 +37,7 @@ namespace lmb::obs {
 struct TraceEvent {
   Nanos ts = 0;
   Nanos dur = -1;
-  std::string cat;    // "suite", "scheduler", "calibration", "timing", "counters"
+  std::string cat;    // "suite", "scheduler", "calibration", "timing", "counters", "load"
   std::string name;
   std::string bench;  // owning benchmark; "" for suite-level events
   int tid = 0;        // per-OS-thread ordinal assigned by the sink (from 1)

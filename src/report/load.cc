@@ -58,6 +58,107 @@ std::vector<LoadScenarioRow> extract_load_scenarios(const RunResult& result) {
   return rows;
 }
 
+namespace {
+
+// True when `key` is `loopback_s<N>_<suffix>` with N all digits; extracts N.
+bool split_shard_key(const std::string& key, const std::string& suffix, int* shards) {
+  std::string scenario;
+  if (!split_suffix(key, suffix, &scenario)) {
+    return false;
+  }
+  constexpr const char* kPrefix = "loopback_s";
+  constexpr size_t kPrefixLen = 10;
+  if (scenario.size() <= kPrefixLen || scenario.compare(0, kPrefixLen, kPrefix) != 0) {
+    return false;
+  }
+  int n = 0;
+  for (size_t i = kPrefixLen; i < scenario.size(); ++i) {
+    if (scenario[i] < '0' || scenario[i] > '9') {
+      return false;
+    }
+    n = n * 10 + (scenario[i] - '0');
+  }
+  *shards = n;
+  return true;
+}
+
+ShardScalingRow& shard_row_for(std::vector<ShardScalingRow>& rows, const std::string& bench,
+                               int shards) {
+  auto it = std::find_if(rows.begin(), rows.end(),
+                         [&](const ShardScalingRow& r) { return r.shards == shards; });
+  if (it == rows.end()) {
+    rows.push_back({bench, shards, 0, 0, 0, 0});
+    it = rows.end() - 1;
+  }
+  return *it;
+}
+
+}  // namespace
+
+std::vector<ShardScalingRow> extract_shard_scaling(const RunResult& result) {
+  std::vector<ShardScalingRow> rows;
+  for (const Metric& m : result.metrics) {
+    int shards = 0;
+    if (split_shard_key(m.key, "rps", &shards)) {
+      shard_row_for(rows, result.name, shards).rps = m.value;
+    } else if (split_shard_key(m.key, "mbs", &shards)) {
+      shard_row_for(rows, result.name, shards).mb_per_sec = m.value;
+    } else if (split_shard_key(m.key, "p99_us", &shards)) {
+      shard_row_for(rows, result.name, shards).p99_us = m.value;
+    } else if (split_shard_key(m.key, "wakeups_per_req", &shards)) {
+      shard_row_for(rows, result.name, shards).wakeups_per_req = m.value;
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const ShardScalingRow& a, const ShardScalingRow& b) {
+    return a.bench == b.bench ? a.shards < b.shards : a.bench < b.bench;
+  });
+  return rows;
+}
+
+std::string render_shard_table(const std::vector<ShardScalingRow>& rows) {
+  if (rows.empty()) {
+    return "";
+  }
+  const bool any_rps =
+      std::any_of(rows.begin(), rows.end(), [](const ShardScalingRow& r) { return r.rps > 0; });
+  const bool any_mbs = std::any_of(rows.begin(), rows.end(),
+                                   [](const ShardScalingRow& r) { return r.mb_per_sec > 0; });
+  std::vector<Column> columns = {{"benchmark", 0}, {"shards", 0}};
+  if (any_rps) {
+    columns.push_back({"ops/s", 0});
+  }
+  if (any_mbs) {
+    columns.push_back({"MB/s", 1});
+  }
+  columns.push_back({"p99 us", 1});
+  columns.push_back({"wakeups/req", 2});
+  columns.push_back({"speedup", 2});
+  Table table("Load engine shard scaling", columns);
+  for (const ShardScalingRow& r : rows) {
+    // Speedup is relative to the same benchmark's 1-shard row, in whichever
+    // throughput unit that benchmark reports.
+    double base = 0;
+    for (const ShardScalingRow& b : rows) {
+      if (b.bench == r.bench && b.shards == 1) {
+        base = b.mb_per_sec > 0 ? b.mb_per_sec : b.rps;
+      }
+    }
+    const double mine = r.mb_per_sec > 0 ? r.mb_per_sec : r.rps;
+    std::vector<Cell> row = {r.bench, static_cast<double>(r.shards)};
+    if (any_rps) {
+      row.push_back(r.rps > 0 ? Cell{r.rps} : Cell{std::monostate{}});
+    }
+    if (any_mbs) {
+      row.push_back(r.mb_per_sec > 0 ? Cell{r.mb_per_sec} : Cell{std::monostate{}});
+    }
+    row.push_back(r.p99_us > 0 ? Cell{r.p99_us} : Cell{std::monostate{}});
+    row.push_back(Cell{r.wakeups_per_req});
+    row.push_back(base > 0 && mine > 0 ? Cell{mine / base} : Cell{std::monostate{}});
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
 std::string render_load_table(const std::vector<LoadScenarioRow>& rows) {
   if (rows.empty()) {
     return "";

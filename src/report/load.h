@@ -39,6 +39,28 @@ std::vector<LoadScenarioRow> extract_load_scenarios(const RunResult& result);
 // Empty string when `rows` is empty.
 std::string render_load_table(const std::vector<LoadScenarioRow>& rows);
 
+// One shard count of a load benchmark's scaling sweep (--shards=1,2,4),
+// reassembled from the loopback_s<N>_* metric variants.
+struct ShardScalingRow {
+  std::string bench;  // "bw_tcp_n"
+  int shards = 0;
+  // At most one of these is set per benchmark (0 = absent).
+  double rps = 0.0;
+  double mb_per_sec = 0.0;
+  double p99_us = 0.0;
+  double wakeups_per_req = 0.0;
+};
+
+// Extracts every loopback_s<N>_{rps,mbs,p99_us,wakeups_per_req} group from
+// `result`, ordered by shard count.  Results without shard variants yield
+// an empty vector.
+std::vector<ShardScalingRow> extract_shard_scaling(const RunResult& result);
+
+// "Load engine shard scaling" table: shard counts down, throughput / p99 /
+// wakeups-per-request across, plus each row's speedup over the 1-shard row
+// when one is present.  Empty string when `rows` is empty.
+std::string render_shard_table(const std::vector<ShardScalingRow>& rows);
+
 }  // namespace lmb::report
 
 #endif  // LMBENCHPP_SRC_REPORT_LOAD_H_

@@ -308,12 +308,6 @@ void Daemon::executor_loop() {
       running_bench_ = "(starting)";
     }
     execute(std::move(job));
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      running_job_ = 0;
-      running_bench_.clear();
-      ++completed_;
-    }
   }
 }
 
@@ -322,6 +316,15 @@ void Daemon::execute(Job job) {
   RunRequest request;
   int exit_code = 0;
   std::string failure;
+  // Completion state must be visible before the "done" frame reaches the
+  // client: a submitter that queries status the moment submit() returns
+  // must see this job counted.
+  const auto mark_done = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_job_ = 0;
+    running_bench_.clear();
+    ++completed_;
+  };
   try {
     request = RunRequest::from_options(job.args);
     // Daemon defaults for knobs the request left unset: shared calibration
@@ -384,6 +387,7 @@ void Daemon::execute(Job job) {
       std::lock_guard<std::mutex> lock(mu_);
       last_results_json_ = batch_json;
     }
+    mark_done();
     try_send(job.stream,
              "{\"event\":\"done\",\"ok\":true,\"job\":" + std::to_string(job.id) +
                  ",\"exit_code\":" + std::to_string(exit_code) +
@@ -395,10 +399,12 @@ void Daemon::execute(Job job) {
                  ",\"results\":" + embed(batch_json) + "}");
   } catch (const UsageError& e) {
     failure = e.what();
+    mark_done();
     try_send(job.stream, "{\"event\":\"done\",\"ok\":false,\"job\":" + std::to_string(job.id) +
                              ",\"exit_code\":2,\"error\":" + quoted(failure) + "}");
   } catch (const std::exception& e) {
     failure = e.what();
+    mark_done();
     try_send(job.stream, "{\"event\":\"done\",\"ok\":false,\"job\":" + std::to_string(job.id) +
                              ",\"exit_code\":2,\"error\":" + quoted(failure) + "}");
   }

@@ -21,11 +21,15 @@ namespace lmb::sys {
 // Sets or clears O_NONBLOCK on `fd`; throws SysError on failure.
 void set_nonblocking(int fd, bool on = true);
 
-// RAII over an epoll instance.  Level-triggered by design: a handler that
+// RAII over an epoll instance.  Level-triggered by default: a handler that
 // cannot drain a connection in one pass is simply re-notified, which keeps
 // the per-connection state machines re-entrant and the EAGAIN handling
-// local (the classic c10k recipe; edge-triggered saves wakeups but turns
-// every missed drain into a hang).
+// local (the classic c10k recipe).  Edge-triggered operation is available
+// by passing EPOLLET in `events` — it halves wakeups on large fan-in but
+// obliges the handler to drain until EAGAIN and to remember any drain it
+// deferred (a missed drain under ET is a hang, not a retry); the sharded
+// load server (src/lat/load_server.h) implements both disciplines so their
+// wakeup cost can be measured against each other.
 class Epoll {
  public:
   Epoll();

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/uio.h>
 #include <time.h>
 #include <unistd.h>
 
@@ -99,6 +100,25 @@ IoOutcome write_nonblock(int fd, const void* buf, size_t len) {
       return {0, false, true};
     }
     throw_errno("write");
+  }
+}
+
+IoOutcome writev_nonblock(int fd, const ::iovec* iov, int iovcnt) {
+  while (true) {
+    ssize_t n = ::writev(fd, iov, iovcnt);
+    if (n >= 0) {
+      return {static_cast<size_t>(n), false, false};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {0, true, false};
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return {0, false, true};
+    }
+    throw_errno("writev");
   }
 }
 

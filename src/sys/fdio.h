@@ -5,6 +5,8 @@
 #ifndef LMBENCHPP_SRC_SYS_FDIO_H_
 #define LMBENCHPP_SRC_SYS_FDIO_H_
 
+#include <sys/uio.h>
+
 #include <cstddef>
 #include <string>
 
@@ -42,6 +44,13 @@ IoOutcome read_nonblock(int fd, void* buf, size_t len);
 // One non-blocking write.  Retries EINTR; EAGAIN maps to would_block,
 // EPIPE/ECONNRESET map to closed.  Other errors throw SysError.
 IoOutcome write_nonblock(int fd, const void* buf, size_t len);
+
+// One non-blocking scatter-gather write (writev).  Same errno mapping as
+// write_nonblock.  Lets a reply path hand the kernel a header and a shared
+// payload buffer in one syscall instead of copying both into a contiguous
+// out buffer first — the RPC hot path of the sharded load server coalesces
+// many queued replies into a single writev this way.
+IoOutcome writev_nonblock(int fd, const ::iovec* iov, int iovcnt);
 
 // Waits until `fd` is readable or `timeout_ms` elapses (-1 = forever).
 // Retries poll on EINTR with the remaining time recomputed, so a signal

@@ -96,12 +96,22 @@ void set_tcp_nodelay(int fd, bool on) {
                 "setsockopt TCP_NODELAY");
 }
 
-TcpListener::TcpListener(int backlog) {
+TcpListener::TcpListener(int backlog) : TcpListener(backlog, 0, /*reuseport=*/false) {}
+
+TcpListener TcpListener::with_reuseport(std::uint16_t port, int backlog) {
+  return TcpListener(backlog, port, /*reuseport=*/true);
+}
+
+TcpListener::TcpListener(int backlog, std::uint16_t port, bool reuseport) {
   fd_.reset(static_cast<int>(check_syscall(::socket(AF_INET, SOCK_STREAM, 0), "socket")));
   int one = 1;
   check_syscall(::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)),
                 "setsockopt SO_REUSEADDR");
-  sockaddr_in addr = loopback_addr(0);
+  if (reuseport) {
+    check_syscall(::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)),
+                  "setsockopt SO_REUSEPORT");
+  }
+  sockaddr_in addr = loopback_addr(port);
   check_syscall(::bind(fd_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), "bind");
   check_syscall(::listen(fd_.get(), backlog), "listen");
   port_ = bound_port(fd_.get());

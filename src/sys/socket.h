@@ -64,6 +64,14 @@ class TcpListener {
   // `backlog` as for listen(2).
   explicit TcpListener(int backlog = 16);
 
+  // A listener with SO_REUSEPORT set before bind.  N such listeners bound
+  // to the same port give the kernel N independent accept queues and a
+  // per-connection hash across them — the standard way to shard one
+  // listening port over N event-loop threads without an accept lock or a
+  // thundering herd.  `port` 0 picks an ephemeral port (the first shard);
+  // subsequent shards pass the first one's port() back in.
+  static TcpListener with_reuseport(std::uint16_t port, int backlog = 16);
+
   std::uint16_t port() const { return port_; }
   int fd() const { return fd_.get(); }
 
@@ -71,6 +79,8 @@ class TcpListener {
   TcpStream accept();
 
  private:
+  TcpListener(int backlog, std::uint16_t port, bool reuseport);
+
   UniqueFd fd_;
   std::uint16_t port_ = 0;
 };

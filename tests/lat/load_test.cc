@@ -1,7 +1,9 @@
 // Tests for the c10k pieces: LoadServer (src/lat/load_server.h), the load
 // generator (src/lat/load_gen.h), and the registered lat_tcp_n / lat_rpc_n /
 // bw_tcp_n benchmarks (src/lat/lat_load.cc).
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -111,6 +113,217 @@ TEST(LoadServerTest, IdleServerDoesNotBusySpin) {
       << "event loop consumed CPU while idle (busy-spin)";
 }
 
+// Level- and edge-triggered epoll must be observably equivalent at the
+// byte level: same echoes, same framed replies, same sink consumption.
+// Only the wakeup pattern may differ.
+class LoadServerModeTest : public ::testing::TestWithParam<EpollMode> {};
+
+TEST_P(LoadServerModeTest, EchoRoundTripsEveryByte) {
+  LoadServerConfig cfg;
+  cfg.epoll_mode = GetParam();
+  LoadServer server(cfg);
+
+  sys::TcpStream c = sys::TcpStream::connect(server.port());
+  const size_t total = 256u << 10;
+  std::thread writer([&] {
+    std::vector<char> block(8192);
+    size_t sent = 0;
+    while (sent < total) {
+      const size_t n = std::min(block.size(), total - sent);
+      for (size_t i = 0; i < n; ++i) {
+        block[i] = static_cast<char>('a' + (sent + i) % 23);
+      }
+      sys::write_full(c.fd(), block.data(), n);
+      sent += n;
+    }
+  });
+  std::vector<char> got(total);
+  sys::read_full(c.fd(), got.data(), got.size());
+  writer.join();
+  for (size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(got[i], static_cast<char>('a' + i % 23)) << "byte " << i;
+  }
+}
+
+TEST_P(LoadServerModeTest, RpcBatchGetsOneReplyPerFrame) {
+  LoadServerConfig cfg;
+  cfg.protocol = ServerProtocol::kRpc;
+  cfg.reply_bytes = 32;
+  cfg.epoll_mode = GetParam();
+  LoadServer server(cfg);
+
+  sys::TcpStream c = sys::TcpStream::connect(server.port());
+  // 16 frames in one write: the writev reply path coalesces the replies.
+  std::string wire;
+  const std::string payload = "writev batching test";
+  for (int r = 0; r < 16; ++r) {
+    wire.push_back(0);
+    wire.push_back(0);
+    wire.push_back(0);
+    wire.push_back(static_cast<char>(payload.size()));
+    wire += payload;
+  }
+  sys::write_full(c.fd(), wire.data(), wire.size());
+  for (int r = 0; r < 16; ++r) {
+    unsigned char len[4];
+    sys::read_full(c.fd(), len, 4);
+    const std::uint32_t frame = (std::uint32_t{len[0]} << 24) | (std::uint32_t{len[1]} << 16) |
+                                (std::uint32_t{len[2]} << 8) | len[3];
+    ASSERT_EQ(frame, 32u) << "reply " << r;
+    std::string reply(frame, '\0');
+    sys::read_full(c.fd(), reply.data(), reply.size());
+  }
+  EXPECT_GE(server.stats().requests, 16u);
+}
+
+TEST_P(LoadServerModeTest, SinkConsumesEverything) {
+  LoadServerConfig cfg;
+  cfg.protocol = ServerProtocol::kSink;
+  cfg.epoll_mode = GetParam();
+  LoadServer server(cfg);
+
+  std::vector<char> block(192 * 1024, 's');
+  {
+    sys::TcpStream c = sys::TcpStream::connect(server.port());
+    sys::write_full(c.fd(), block.data(), block.size());
+    c.shutdown_write();
+    char buf[16];
+    EXPECT_EQ(c.recv_some(buf, sizeof buf), 0u);
+  }
+  for (int i = 0; i < 200 && server.stats().bytes_in < block.size(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  LoadServerStats s = server.stats();
+  EXPECT_GE(s.bytes_in, block.size());
+  EXPECT_EQ(s.bytes_out, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LevelAndEdge, LoadServerModeTest,
+                         ::testing::Values(EpollMode::kLevel, EpollMode::kEdge));
+
+// The hard ET case: a peer that writes multiple MB without reading pushes
+// the server's pending output past its 1 MB high water, which makes the
+// server stop reading mid-drain.  Under EPOLLET no further EPOLLIN edge is
+// coming for the bytes already queued in the kernel — the server must
+// remember the deferred drain and resume it from the EPOLLOUT-driven flush,
+// or this test deadlocks (and every byte must still come back in order).
+TEST(LoadServerEdgeTest, EchoSurvivesOutputBackpressure) {
+  LoadServerConfig cfg;
+  cfg.epoll_mode = EpollMode::kEdge;
+  LoadServer server(cfg);
+
+  sys::TcpStream c = sys::TcpStream::connect(server.port());
+  // Small socket buffers: the server's flush hits EAGAIN early, so the
+  // 1 MB userspace high water does the backpressure, not kernel buffering.
+  c.set_buffer_sizes(32 * 1024);
+  const size_t total = 4u << 20;
+  std::thread writer([&] {
+    std::vector<char> block(64 * 1024);
+    size_t sent = 0;
+    while (sent < total) {
+      const size_t n = std::min(block.size(), total - sent);
+      for (size_t i = 0; i < n; ++i) {
+        block[i] = static_cast<char>('A' + (sent + i) % 29);
+      }
+      sys::write_full(c.fd(), block.data(), n);
+      sent += n;
+    }
+  });
+  // Give the writer time to fill every buffer in the chain while nothing
+  // reads, forcing the deferred-drain path.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<char> got(64 * 1024);
+  size_t received = 0;
+  while (received < total) {
+    const size_t n = c.recv_some(got.data(), std::min(got.size(), total - received));
+    ASSERT_GT(n, 0u) << "server closed early at byte " << received;
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[i], static_cast<char>('A' + (received + i) % 29))
+          << "byte " << received + i;
+    }
+    received += n;
+  }
+  writer.join();
+  EXPECT_EQ(received, total);
+}
+
+TEST(LoadServerShardTest, ShardStatsSumExactlyToAggregate) {
+  LoadServerConfig cfg;
+  cfg.shards = 2;
+  LoadServer server(cfg);
+  ASSERT_EQ(server.shards(), 2);
+
+  // A ramp of short-lived echo connections; SO_REUSEPORT hashes them
+  // across both shards' accept queues.
+  const std::string msg = "shard me";
+  for (int i = 0; i < 32; ++i) {
+    sys::TcpStream c = sys::TcpStream::connect(server.port());
+    sys::write_full(c.fd(), msg.data(), msg.size());
+    std::string back(msg.size(), '\0');
+    sys::read_full(c.fd(), back.data(), back.size());
+    ASSERT_EQ(back, msg);
+  }
+  for (int i = 0; i < 200 && server.stats().bytes_out < 32 * msg.size(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.stop();
+
+  const LoadServerStats total = server.stats();
+  LoadServerStats sum;
+  for (int i = 0; i < server.shards(); ++i) {
+    const LoadServerStats s = server.shard_stats(i);
+    sum.accepted += s.accepted;
+    sum.closed += s.closed;
+    sum.bytes_in += s.bytes_in;
+    sum.bytes_out += s.bytes_out;
+    sum.wakeups += s.wakeups;
+    sum.loop_cpu_ns += s.loop_cpu_ns;
+  }
+  EXPECT_EQ(sum.accepted, total.accepted);
+  EXPECT_EQ(sum.closed, total.closed);
+  EXPECT_EQ(sum.bytes_in, total.bytes_in);
+  EXPECT_EQ(sum.bytes_out, total.bytes_out);
+  EXPECT_EQ(sum.wakeups, total.wakeups);
+  EXPECT_EQ(sum.loop_cpu_ns, total.loop_cpu_ns);
+  EXPECT_EQ(total.accepted, 32u);
+  EXPECT_EQ(total.bytes_in, 32 * msg.size());
+  EXPECT_EQ(total.bytes_out, 32 * msg.size());
+}
+
+// Regression for the cross-thread stats hazard: stats() must be safely
+// callable from any thread while shards are mutating their counters.  The
+// sanitizer CI job runs this under TSan; the assertions also catch torn
+// reads (a counter appearing to go backwards).
+TEST(LoadServerShardTest, StatsAreReadableWhileTrafficFlows) {
+  LoadServerConfig scfg;
+  scfg.shards = 2;
+  LoadServer server(scfg);
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    std::uint64_t last_in = 0;
+    std::uint64_t last_req = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const LoadServerStats s = server.stats();
+      ASSERT_GE(s.bytes_in, last_in) << "monotonic counter went backwards";
+      ASSERT_GE(s.requests, last_req);
+      last_in = s.bytes_in;
+      last_req = s.requests;
+    }
+  });
+
+  LoadGenConfig cfg;
+  cfg.port = server.port();
+  cfg.connections = 8;
+  cfg.duration = 200 * kMillisecond;
+  cfg.warmup = 20 * kMillisecond;
+  LoadResult r = run_load(cfg);
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.requests, 0u);
+}
+
 TEST(LoadGenTest, RejectsBadConfigs) {
   LoadGenConfig cfg;  // port = 0
   EXPECT_THROW(run_load(cfg), std::invalid_argument);
@@ -128,6 +341,50 @@ TEST(LoadGenTest, RejectsBadConfigs) {
   cfg.arrival = ArrivalMode::kOpenUniform;
   cfg.rate_per_sec = 100.0;
   EXPECT_THROW(run_load(cfg), std::invalid_argument) << "stream mode is closed-loop only";
+
+  cfg.protocol = ClientProtocol::kEcho;
+  cfg.arrival = ArrivalMode::kClosedLoop;
+  cfg.shards = 0;
+  EXPECT_THROW(run_load(cfg), std::invalid_argument);
+}
+
+TEST(LoadGenTest, ShardedGeneratorMergesWorkerResults) {
+  LoadServerConfig scfg;
+  scfg.shards = 2;
+  LoadServer server(scfg);
+
+  LoadGenConfig cfg;
+  cfg.port = server.port();
+  cfg.connections = 8;
+  cfg.shards = 2;  // 4 connections per worker thread
+  cfg.request_bytes = 64;
+  cfg.duration = 200 * kMillisecond;
+  cfg.warmup = 20 * kMillisecond;
+  LoadResult r = run_load(cfg);
+
+  EXPECT_EQ(r.connections, 8) << "every worker's connections established";
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.requests, 0u);
+  ASSERT_GT(r.rtt_ns.count(), 0u);
+  const double p50 = r.rtt_ns.percentile(50);
+  const double p99 = r.rtt_ns.percentile(99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_GT(r.ops_per_sec, 0.0);
+}
+
+TEST(LoadGenTest, ShardedMaxRequestsCapHoldsAcrossWorkers) {
+  LoadServer server;
+  LoadGenConfig cfg;
+  cfg.port = server.port();
+  cfg.connections = 4;
+  cfg.shards = 2;
+  cfg.duration = 10 * kSecond;  // the cap must end the run, not the clock
+  cfg.warmup = 0;
+  cfg.max_requests = 50;
+  LoadResult r = run_load(cfg);
+  EXPECT_GE(r.total_requests, 50u);
+  EXPECT_LT(r.total_requests, 50u + 2u * 4u) << "at most one extra in-flight round";
 }
 
 TEST(LoadGenTest, ClosedLoopEchoCollectsSamples) {
@@ -278,6 +535,47 @@ TEST(RegisteredLoadBenchSmoke, BandwidthBenchEmitsThroughput) {
   ASSERT_TRUE(sim.has_value());
   EXPECT_GT(*loop, 0.0);
   EXPECT_GT(*sim, 0.0);
+}
+
+TEST(RegisteredLoadBenchSmoke, ShardSweepEmitsPerCountVariants) {
+  const BenchmarkInfo* info = Registry::global().find("lat_tcp_n");
+  ASSERT_NE(info, nullptr);
+  const char* argv[] = {"test",          "--quick",       "--connections=8",
+                        "--duration=150", "--net=loopback", "--shards=1,2",
+                        "--epoll=et"};
+  Options opts = Options::parse(7, argv);
+  RunResult r = info->run(opts);
+  ASSERT_TRUE(r.ok()) << r.error;
+
+  // Standard keys come from the first shard count; each count in the sweep
+  // adds its own variants.
+  EXPECT_TRUE(r.metric("loopback_p50_us").has_value());
+  for (const std::string n : {"1", "2"}) {
+    EXPECT_TRUE(r.metric("loopback_s" + n + "_rps").has_value()) << n;
+    EXPECT_TRUE(r.metric("loopback_s" + n + "_p99_us").has_value()) << n;
+    EXPECT_TRUE(r.metric("loopback_s" + n + "_wakeups_per_req").has_value()) << n;
+  }
+  EXPECT_EQ(r.metadata["epoll"], "et");
+  EXPECT_EQ(r.metadata["shards"], "1,2");
+  EXPECT_EQ(r.metadata["s2_errors"], "0");
+
+  // The per-shard accept counts must sum exactly to the aggregate — the
+  // same cross-check the CI load-smoke step scripts against the JSON.
+  ASSERT_TRUE(r.metadata.count("s2_shard_accepts"));
+  ASSERT_TRUE(r.metadata.count("s2_accepted"));
+  const std::string accepts = r.metadata["s2_shard_accepts"];
+  ASSERT_NE(accepts.find(','), std::string::npos) << "expected one count per shard";
+  std::uint64_t sum = 0;
+  size_t pos = 0;
+  while (pos != std::string::npos) {
+    sum += std::strtoull(accepts.c_str() + (pos == 0 ? 0 : pos + 1), nullptr, 10);
+    pos = accepts.find(',', pos + 1);
+  }
+  EXPECT_EQ(std::to_string(sum), r.metadata["s2_accepted"]);
+
+  // The neutral engine metrics ride along on every loopback run.
+  EXPECT_TRUE(r.metric("loopback_wakeups_per_req").has_value());
+  EXPECT_TRUE(r.metric("loopback_loop_cpu_ns").has_value());
 }
 
 TEST(RegisteredLoadBenchSmoke, SimScenarioSurvivesLoss) {

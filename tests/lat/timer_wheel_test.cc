@@ -1,0 +1,126 @@
+// Tests for the hashed timer wheel (src/lat/timer_wheel.h).
+#include "src/lat/timer_wheel.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/clock.h"
+
+namespace lmb::lat {
+namespace {
+
+std::vector<std::uint64_t> expire_sorted(TimerWheel& wheel, Nanos now) {
+  std::vector<std::uint64_t> fired;
+  wheel.expire(now, fired);
+  std::sort(fired.begin(), fired.end());
+  return fired;
+}
+
+TEST(TimerWheelTest, RejectsBadConstruction) {
+  EXPECT_THROW(TimerWheel(0, 1024), std::invalid_argument);
+  EXPECT_THROW(TimerWheel(kMicrosecond, 0), std::invalid_argument);
+  EXPECT_THROW(TimerWheel(kMicrosecond, 1000), std::invalid_argument) << "not a power of two";
+}
+
+TEST(TimerWheelTest, FiresExactlyTheDueEntries) {
+  TimerWheel wheel(100 * kMicrosecond, 1024);
+  const Nanos base = 5'000'000'000'000;  // large, like a monotonic timestamp
+  wheel.schedule(base + 100, 1);
+  wheel.schedule(base + 200, 2);
+  wheel.schedule(base + 5 * kMillisecond, 3);
+  EXPECT_EQ(wheel.size(), 3u);
+
+  // Expiry is exact, not tick-quantized: now = base + 150 fires only tag 1
+  // even though tags 1 and 2 share a 100 us bucket.
+  EXPECT_EQ(expire_sorted(wheel, base + 150), std::vector<std::uint64_t>({1}));
+  EXPECT_EQ(expire_sorted(wheel, base + 200), std::vector<std::uint64_t>({2}));
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_EQ(expire_sorted(wheel, base + 5 * kMillisecond), std::vector<std::uint64_t>({3}));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, PastDeadlineFiresOnNextExpire) {
+  TimerWheel wheel;
+  const Nanos base = 1'000'000'000'000;
+  wheel.schedule(base, 1);
+  EXPECT_EQ(expire_sorted(wheel, base + kMillisecond), std::vector<std::uint64_t>({1}));
+  // Scheduled behind the cursor: must fire next call, not wait a rotation.
+  wheel.schedule(base - 50 * kMillisecond, 2);
+  EXPECT_EQ(expire_sorted(wheel, base + kMillisecond), std::vector<std::uint64_t>({2}));
+}
+
+TEST(TimerWheelTest, EntryBeyondOneRotationWaitsForItsDeadline) {
+  // 16 slots of 100 us = 1.6 ms per rotation; a 10 ms deadline shares a
+  // bucket with near-term ticks but must not fire early.
+  TimerWheel wheel(100 * kMicrosecond, 16);
+  const Nanos base = 7'777'000'000'000;
+  wheel.schedule(base + 10 * kMillisecond, 1);
+  std::vector<std::uint64_t> fired;
+  for (Nanos t = base; t < base + 10 * kMillisecond; t += 100 * kMicrosecond) {
+    wheel.expire(t, fired);
+  }
+  EXPECT_TRUE(fired.empty()) << "fired a full rotation early";
+  wheel.expire(base + 10 * kMillisecond, fired);
+  EXPECT_EQ(fired, std::vector<std::uint64_t>({1}));
+}
+
+TEST(TimerWheelTest, NextDeadlineTracksSoonestEntry) {
+  TimerWheel wheel;
+  EXPECT_EQ(wheel.next_deadline(), std::numeric_limits<Nanos>::max());
+  const Nanos base = 3'000'000'000'000;
+  wheel.schedule(base + 300, 1);
+  wheel.schedule(base + 100, 2);
+  wheel.schedule(base + 200, 3);
+  EXPECT_EQ(wheel.next_deadline(), base + 100);
+  std::vector<std::uint64_t> fired;
+  wheel.expire(base + 100, fired);
+  EXPECT_EQ(wheel.next_deadline(), base + 200);
+  wheel.expire(base + 300, fired);
+  EXPECT_EQ(wheel.next_deadline(), std::numeric_limits<Nanos>::max());
+}
+
+// Randomized check against a reference model: whatever the bucket layout,
+// expire(now) must fire exactly the scheduled deadlines <= now.
+TEST(TimerWheelTest, MatchesReferenceModelUnderRandomLoad) {
+  TimerWheel wheel(50 * kMicrosecond, 64);  // small wheel: lots of wrapping
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<Nanos> offset(0, 20 * kMillisecond);
+  const Nanos base = 9'123'000'000'000;
+
+  std::multiset<std::pair<Nanos, std::uint64_t>> model;
+  std::uint64_t next_tag = 1;
+  Nanos now = base;
+  std::vector<std::uint64_t> fired;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      const Nanos deadline = now + offset(rng);
+      wheel.schedule(deadline, next_tag);
+      model.emplace(deadline, next_tag);
+      ++next_tag;
+    }
+    now += offset(rng) / 4;
+    fired.clear();
+    wheel.expire(now, fired);
+
+    std::vector<std::uint64_t> expected;
+    for (auto it = model.begin(); it != model.end();) {
+      if (it->first <= now) {
+        expected.push_back(it->second);
+        it = model.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::sort(fired.begin(), fired.end());
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(fired, expected) << "round " << round;
+    ASSERT_EQ(wheel.size(), model.size()) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace lmb::lat

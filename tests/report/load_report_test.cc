@@ -85,5 +85,60 @@ TEST(RenderLoadTableTest, TableCarriesScenariosAndPercentiles) {
   EXPECT_EQ(out.find("MB/s"), std::string::npos);
 }
 
+RunResult shard_sweep_result() {
+  RunResult r;
+  r.name = "bw_tcp_n";
+  r.add("loopback_p50_us", 12.0, "us");  // base percentiles (first count)
+  r.add("loopback_mbs", 2100.0, "MB/s");
+  r.add("loopback_s1_mbs", 2100.0, "MB/s");
+  r.add("loopback_s1_p99_us", 900.0, "us");
+  r.add("loopback_s1_wakeups_per_req", 0.25, "count");
+  r.add("loopback_s4_mbs", 6300.0, "MB/s");
+  r.add("loopback_s4_p99_us", 400.0, "us");
+  r.add("loopback_s4_wakeups_per_req", 0.10, "count");
+  r.add("loopback_s2_mbs", 3900.0, "MB/s");
+  r.add("loopback_s2_p99_us", 500.0, "us");
+  r.add("loopback_s2_wakeups_per_req", 0.12, "count");
+  return r;
+}
+
+TEST(ExtractShardScalingTest, GroupsVariantsByShardCountInOrder) {
+  std::vector<ShardScalingRow> rows = extract_shard_scaling(shard_sweep_result());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].shards, 1);
+  EXPECT_EQ(rows[1].shards, 2);
+  EXPECT_EQ(rows[2].shards, 4);
+  EXPECT_DOUBLE_EQ(rows[0].mb_per_sec, 2100.0);
+  EXPECT_DOUBLE_EQ(rows[2].mb_per_sec, 6300.0);
+  EXPECT_DOUBLE_EQ(rows[2].p99_us, 400.0);
+  EXPECT_DOUBLE_EQ(rows[2].wakeups_per_req, 0.10);
+  EXPECT_EQ(rows[0].bench, "bw_tcp_n");
+}
+
+TEST(ExtractShardScalingTest, ResultsWithoutShardVariantsYieldNothing) {
+  EXPECT_TRUE(extract_shard_scaling(latency_result()).empty());
+}
+
+TEST(ExtractShardScalingTest, ShardVariantsDoNotPolluteTheTailTable) {
+  // loopback_s4_p99_us must not become a "loopback_s4" scenario row: shard
+  // variants deliberately omit the p50 spine the tail extractor keys on.
+  std::vector<LoadScenarioRow> rows = extract_load_scenarios(shard_sweep_result());
+  for (const LoadScenarioRow& row : rows) {
+    EXPECT_EQ(row.scenario.find("_s"), std::string::npos) << row.scenario;
+  }
+}
+
+TEST(RenderShardTableTest, TableShowsScalingAndSpeedup) {
+  std::string out = render_shard_table(extract_shard_scaling(shard_sweep_result()));
+  EXPECT_NE(out.find("Load engine shard scaling"), std::string::npos);
+  EXPECT_NE(out.find("bw_tcp_n"), std::string::npos);
+  EXPECT_NE(out.find("MB/s"), std::string::npos);
+  EXPECT_NE(out.find("wakeups/req"), std::string::npos);
+  EXPECT_NE(out.find("speedup"), std::string::npos);
+  // s4 speedup over the 1-shard base: 6300/2100 = 3.
+  EXPECT_NE(out.find("3"), std::string::npos);
+  EXPECT_EQ(render_shard_table({}), "");
+}
+
 }  // namespace
 }  // namespace lmb::report

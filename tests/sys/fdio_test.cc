@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <vector>
+
+#include "src/sys/epoll_loop.h"
 #include "src/sys/error.h"
 #include "src/sys/pipe.h"
 #include "src/sys/temp.h"
@@ -55,6 +58,54 @@ TEST(FdioTest, WriteToClosedPipeThrows) {
   signal(SIGPIPE, SIG_IGN);
   char c = 'x';
   EXPECT_THROW(write_full(pipe.write_fd(), &c, 1), SysError);
+}
+
+TEST(FdioTest, WritevNonblockGathersIovecs) {
+  Pipe pipe;
+  set_nonblocking(pipe.write_fd());
+  const std::string header = "HDR!";
+  const std::string payload = "payload bytes";
+  ::iovec iov[2];
+  iov[0].iov_base = const_cast<char*>(header.data());
+  iov[0].iov_len = header.size();
+  iov[1].iov_base = const_cast<char*>(payload.data());
+  iov[1].iov_len = payload.size();
+  const IoOutcome w = writev_nonblock(pipe.write_fd(), iov, 2);
+  EXPECT_EQ(w.bytes, header.size() + payload.size());
+  EXPECT_FALSE(w.would_block);
+  EXPECT_FALSE(w.closed);
+  std::string got(header.size() + payload.size(), '\0');
+  read_full(pipe.read_fd(), got.data(), got.size());
+  EXPECT_EQ(got, header + payload);
+}
+
+TEST(FdioTest, WritevNonblockReportsWouldBlockWhenFull) {
+  Pipe pipe;
+  set_nonblocking(pipe.write_fd());
+  std::vector<char> chunk(64 * 1024, 'x');
+  ::iovec iov{chunk.data(), chunk.size()};
+  // Fill the pipe until the kernel pushes back.
+  for (int i = 0; i < 64; ++i) {
+    const IoOutcome w = writev_nonblock(pipe.write_fd(), &iov, 1);
+    if (w.would_block) {
+      EXPECT_EQ(w.bytes, 0u);
+      return;
+    }
+    ASSERT_GT(w.bytes, 0u);
+  }
+  FAIL() << "pipe never filled (4 MB written without EAGAIN)";
+}
+
+TEST(FdioTest, WritevNonblockMapsEpipeToClosed) {
+  Pipe pipe;
+  set_nonblocking(pipe.write_fd());
+  pipe.close_read();
+  signal(SIGPIPE, SIG_IGN);
+  char c = 'x';
+  ::iovec iov{&c, 1};
+  const IoOutcome w = writev_nonblock(pipe.write_fd(), &iov, 1);
+  EXPECT_TRUE(w.closed);
+  EXPECT_EQ(w.bytes, 0u);
 }
 
 TEST(FdioTest, OpenWriteTruncates) {

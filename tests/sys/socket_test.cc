@@ -1,6 +1,7 @@
 #include "src/sys/socket.h"
 
 #include <gtest/gtest.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -19,6 +20,33 @@ TEST(TcpTest, ListenerGetsEphemeralPort) {
   EXPECT_GT(listener.port(), 0);
   TcpListener second;
   EXPECT_NE(listener.port(), second.port());
+}
+
+TEST(TcpTest, ReuseportListenersShareOnePort) {
+  TcpListener first = TcpListener::with_reuseport(0);
+  ASSERT_GT(first.port(), 0);
+  // A second listener joins the same port instead of failing EADDRINUSE.
+  TcpListener second = TcpListener::with_reuseport(first.port());
+  EXPECT_EQ(second.port(), first.port());
+
+  // A connection lands on exactly one of the two accept queues.
+  TcpStream client = TcpStream::connect(first.port());
+  const std::string msg = "reuseport";
+  client.send_all(msg.data(), msg.size());
+  ::pollfd fds[2] = {{first.fd(), POLLIN, 0}, {second.fd(), POLLIN, 0}};
+  ASSERT_GT(::poll(fds, 2, 2000), 0) << "no listener became readable";
+  TcpStream server =
+      (fds[0].revents & POLLIN) != 0 ? first.accept() : second.accept();
+  std::string got(msg.size(), '\0');
+  server.recv_all(got.data(), got.size());
+  EXPECT_EQ(got, msg);
+}
+
+TEST(TcpTest, PlainListenerRejectsPortReuse) {
+  // Without SO_REUSEPORT on both sockets the second bind must fail — the
+  // sharing is opt-in, not ambient.
+  TcpListener plain;
+  EXPECT_THROW(TcpListener::with_reuseport(plain.port()), SysError);
 }
 
 TEST(TcpTest, ConnectAcceptEcho) {
