@@ -7,9 +7,15 @@
 //             accepts is forwarded verbatim (e.g. `submit --quick
 //             --only=lat_syscall`).  Progress streams live; the run's
 //             results land in the daemon's trend store.
-//   status    one-line daemon state (queue depth, running benchmark)
+//   status    one-line daemon state (queue depth, running benchmark and
+//             its bench_index/bench_total suite progress)
 //   results   print the newest completed run's results JSON
 //   trend     print the daemon's trend table (accepts --bench=, --metric=)
+//   watch     tail the daemon's live telemetry: one line per interval_stats
+//             frame (window latency p50/p99/p999, rps, shard counters)
+//             pushed while a load benchmark with --interval-ms runs.
+//             `--watch` as a flag does the same.  Runs until the daemon
+//             closes the stream, or --frames=N interval frames arrived.
 //   shutdown  stop the daemon (the current job finishes first)
 //
 // Client flags (stripped before forwarding):
@@ -22,6 +28,9 @@
 //                          daemon died mid-reply.
 //   --json=PATH            submit: write the returned results document here
 //   --quiet                submit: suppress per-benchmark progress lines
+//   --frames=N             watch: exit 0 after N interval_stats frames
+//                          (exit 1 if the stream ends first); 0 = tail
+//                          until the daemon goes away
 //
 // Exit codes: the suite's own exit code after `submit` (0 ok, 1 failures,
 // 2 usage, 3 gate), 2 on usage/protocol errors, 5 when the daemon cannot
@@ -120,17 +129,69 @@ int do_submit(lmb::svc::Client& client, const lmb::Options& opts) {
   return code != nullptr ? static_cast<int>(code->number()) : 0;
 }
 
+double num_or(const JsonObject& obj, const char* key, double fallback) {
+  const JsonValue* v = find(obj, key);
+  return v != nullptr ? v->number() : fallback;
+}
+
+int do_watch(lmb::svc::Client& client, const lmb::Options& opts) {
+  const int frames = static_cast<int>(opts.get_int("frames", 0));
+  const int got = client.watch(
+      [](const JsonValue& frame) {
+        const JsonObject& obj = frame.object();
+        const JsonValue* event = find(obj, "event");
+        if (event == nullptr) {
+          return;
+        }
+        const std::string& kind = event->str();
+        if (kind == "watching") {
+          std::printf("watching lmbenchd (interval frames stream while a load "
+                      "benchmark with --interval-ms runs)\n");
+          std::printf("%-22s %-3s %-4s %10s %10s %9s %9s %9s\n", "source", "sh", "win", "req",
+                      "rps", "p50(us)", "p99(us)", "p999(us)");
+        } else if (kind == "interval_stats") {
+          const JsonValue* source = find(obj, "source");
+          std::printf("%-22s %-3d %-4d %10.0f %10.0f %9.1f %9.1f %9.1f\n",
+                      source != nullptr ? source->str().c_str() : "?",
+                      static_cast<int>(num_or(obj, "shard", 0)),
+                      static_cast<int>(num_or(obj, "window", 0)), num_or(obj, "requests", 0),
+                      num_or(obj, "rps", 0), num_or(obj, "p50_us", 0), num_or(obj, "p99_us", 0),
+                      num_or(obj, "p999_us", 0));
+        } else if (kind == "bench_start") {
+          // index is the 0-based run-order position; show it 1-based.
+          const JsonValue* name = find(obj, "name");
+          std::printf("-- bench %s (%d/%d)\n", name != nullptr ? name->str().c_str() : "?",
+                      static_cast<int>(num_or(obj, "index", 0)) + 1,
+                      static_cast<int>(num_or(obj, "total", 0)));
+        } else if (kind == "job_done") {
+          std::printf("-- job %d done\n", static_cast<int>(num_or(obj, "job", 0)));
+        }
+        std::fflush(stdout);
+      },
+      frames);
+  if (frames > 0 && got < frames) {
+    std::fprintf(stderr, "lmbench_client: stream ended after %d/%d interval frame(s)\n", got,
+                 frames);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   lmb::Options opts = lmb::Options::parse(argc, argv);
-  if (opts.positionals().empty()) {
+  // `--watch` as a bare flag is an alias for the watch op.
+  std::string op = opts.get_bool("watch", false) ? "watch" : "";
+  if (!opts.positionals().empty()) {
+    op = opts.positionals().front();
+  }
+  if (op.empty()) {
     std::fprintf(stderr,
-                 "usage: lmbench_client <submit|status|results|trend|shutdown> "
+                 "usage: lmbench_client <submit|status|results|trend|watch|shutdown> "
                  "[--socket=PATH] [--connect-timeout=MS] [suite flags...]\n");
     return 2;
   }
-  const std::string op = opts.positionals().front();
   lmb::svc::Client client(opts.get_string("socket", "lmbenchd.sock"),
                           static_cast<int>(opts.get_int("connect-timeout", 2000)),
                           static_cast<int>(opts.get_int("io-timeout", 10'000)));
@@ -145,12 +206,24 @@ int main(int argc, char** argv) try {
         return 2;
       }
       const JsonObject& obj = response.object();
-      std::printf("state=%s running=%s queued=%d completed=%d socket=%s\n",
+      std::string progress;
+      const int bench_total = static_cast<int>(num_or(obj, "bench_total", 0));
+      if (bench_total > 0) {
+        // bench_index is 0-based (== benchmarks completed); show 1-based.
+        progress = " bench=" +
+                   std::to_string(static_cast<int>(num_or(obj, "bench_index", 0)) + 1) + "/" +
+                   std::to_string(bench_total);
+      }
+      std::printf("state=%s running=%s%s queued=%d completed=%d watchers=%d socket=%s\n",
                   find(obj, "state")->str().c_str(), find(obj, "running")->str().c_str(),
-                  static_cast<int>(find(obj, "queued")->number()),
+                  progress.c_str(), static_cast<int>(find(obj, "queued")->number()),
                   static_cast<int>(find(obj, "completed")->number()),
+                  static_cast<int>(num_or(obj, "watchers", 0)),
                   find(obj, "socket")->str().c_str());
       return 0;
+    }
+    if (op == "watch") {
+      return do_watch(client, opts);
     }
     if (op == "results") {
       JsonValue response = client.results();

@@ -92,6 +92,7 @@
 #include "src/core/options.h"
 #include "src/core/registry.h"
 #include "src/obs/perf_counters.h"
+#include "src/report/heatmap.h"
 #include "src/report/load.h"
 #include "src/report/scaling.h"
 #include "src/svc/bench_service.h"
@@ -265,6 +266,25 @@ int main(int argc, char** argv) try {
     }
     if (!shard_rows.empty()) {
       std::printf("\n%s", report::render_shard_table(shard_rows).c_str());
+    }
+  }
+
+  // Time × latency heatmaps for load benchmarks run with --interval-ms=...
+  // (the document also rides into the results JSON via metadata).
+  for (const RunResult& r : artifacts.batch.results) {
+    if (!r.ok()) {
+      continue;
+    }
+    for (const auto& [key, value] : r.metadata) {
+      if (key.rfind("heatmap_", 0) != 0) {
+        continue;
+      }
+      try {
+        std::printf("\n%s", report::render_heatmap(report::heatmap_from_json(value)).c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "run_suite: bad heatmap document in %s: %s\n", key.c_str(),
+                     e.what());
+      }
     }
   }
 

@@ -11,15 +11,23 @@
 //   ./build/examples/tcp_load lat_tcp_n --connections=256 --rate=50000
 //   ./build/examples/tcp_load bw_tcp_n --connections=64 --msg=128k
 //   ./build/examples/tcp_load bw_tcp_n --shards=1,2,4 --epoll=et
+//   ./build/examples/tcp_load lat_tcp_n --connections=256 --interval-ms=100 --heatmap
+//
+// With --interval-ms=MS the run collects a time × latency interval series;
+// --heatmap renders it as a shaded terminal heatmap and --heatmap-json=PATH
+// writes the lmbenchpp.heatmap.v1 document (for CI artifacts and the
+// lmbench_heatmap inspector).
 //
 // Exit codes: 0 ok, 1 benchmark failure, 2 usage.
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 
 #include "src/core/options.h"
 #include "src/core/registry.h"
 #include "src/core/run_result.h"
+#include "src/report/heatmap.h"
 #include "src/report/load.h"
 
 int main(int argc, char** argv) try {
@@ -54,10 +62,35 @@ int main(int argc, char** argv) try {
   if (!shard_table.empty()) {
     std::printf("%s\n", shard_table.c_str());
   }
+  const auto heatmap_doc = result.metadata.find("heatmap_loopback");
+  if (opts.get_bool("heatmap", false)) {
+    if (heatmap_doc == result.metadata.end()) {
+      std::fprintf(stderr, "tcp_load: --heatmap needs --interval-ms=MS (and a loopback run)\n");
+      return 2;
+    }
+    const lmb::report::Heatmap hm = lmb::report::heatmap_from_json(heatmap_doc->second);
+    std::printf("%s\n", lmb::report::render_heatmap(hm).c_str());
+  }
+  const std::string heatmap_path = opts.get_string("heatmap-json", "");
+  if (!heatmap_path.empty()) {
+    if (heatmap_doc == result.metadata.end()) {
+      std::fprintf(stderr, "tcp_load: --heatmap-json needs --interval-ms=MS\n");
+      return 2;
+    }
+    std::ofstream out(heatmap_path);
+    out << heatmap_doc->second << "\n";
+    if (!out) {
+      std::fprintf(stderr, "tcp_load: cannot write %s\n", heatmap_path.c_str());
+      return 1;
+    }
+  }
   for (const lmb::Metric& m : result.metrics) {
     std::printf("  %-20s %14.3f %s\n", m.key.c_str(), m.value, m.unit.c_str());
   }
   for (const auto& [key, value] : result.metadata) {
+    if (key.rfind("heatmap_", 0) == 0) {
+      continue;  // machine document; --heatmap renders it, --heatmap-json saves it
+    }
     std::printf("  # %-18s %s\n", key.c_str(), value.c_str());
   }
   return 0;

@@ -15,16 +15,31 @@ void Sample::add(double v) {
 }
 
 void Sample::ensure_sorted() const {
-  if (!sorted_valid_) {
+  if (sorted_valid_) {
+    return;
+  }
+  if (sorted_count_ > 0 && sorted_count_ < values_.size() && sorted_.size() == sorted_count_) {
+    // add() only appends, so everything before sorted_count_ is still the
+    // sorted prefix: sort just the new tail and merge it in.
+    sorted_.insert(sorted_.end(), values_.begin() + static_cast<std::ptrdiff_t>(sorted_count_),
+                   values_.end());
+    auto mid = sorted_.begin() + static_cast<std::ptrdiff_t>(sorted_count_);
+    std::sort(mid, sorted_.end());
+    std::inplace_merge(sorted_.begin(), mid, sorted_.end());
+  } else {
     sorted_ = values_;
     std::sort(sorted_.begin(), sorted_.end());
-    sorted_valid_ = true;
   }
+  sorted_count_ = values_.size();
+  sorted_valid_ = true;
 }
 
 double Sample::min() const {
   if (values_.empty()) {
     throw std::logic_error("Sample::min on empty sample");
+  }
+  if (sorted_valid_) {
+    return sorted_.front();  // O(1) off the cached order
   }
   return *std::min_element(values_.begin(), values_.end());
 }
@@ -32,6 +47,9 @@ double Sample::min() const {
 double Sample::max() const {
   if (values_.empty()) {
     throw std::logic_error("Sample::max on empty sample");
+  }
+  if (sorted_valid_) {
+    return sorted_.back();
   }
   return *std::max_element(values_.begin(), values_.end());
 }

@@ -26,6 +26,10 @@
 //   --msg=BYTES       request payload (size suffixes ok; bw default 64k)
 //   --link=NAME       sim link: eth10 | eth100 | fddi | hippi  (eth100)
 //   --loss=RATE       sim packet-loss probability      (0.01)
+//   --interval-ms=MS  rotate a fresh latency histogram every MS of the
+//                     measured loopback window; emits a time × latency
+//                     heatmap (metadata key heatmap_loopback, schema
+//                     lmbenchpp.heatmap.v1) and live interval frames (0 = off)
 // lat_tcp_n / lat_rpc_n only:
 //   --rate=RPS        open-loop arrival rate; 0 = closed loop (0)
 //   --arrival=KIND    poisson | uniform (open loop only; poisson)
@@ -44,6 +48,8 @@
 #include "src/lat/load_server.h"
 #include "src/netsim/link.h"
 #include "src/netsim/multiflow.h"
+#include "src/obs/histogram.h"
+#include "src/report/heatmap.h"
 #include "src/report/table.h"
 
 namespace lmb::lat {
@@ -65,6 +71,7 @@ struct LoadFlags {
   std::uint32_t sim_reqs = 50;  // per-flow exchanges in the simulated run
   std::vector<int> shard_counts = {1};
   EpollMode epoll_mode = EpollMode::kLevel;
+  Nanos interval = 0;  // interval-series window; 0 = off
 };
 
 netsim::LinkProfile link_from_name(const std::string& name) {
@@ -130,6 +137,10 @@ LoadFlags flags_from(const Options& opts, std::uint32_t default_msg) {
       f.shard_counts.push_back(n);
     }
   }
+  f.interval = opts.get_int("interval-ms", 0) * kMillisecond;
+  if (f.interval < 0) {
+    throw std::invalid_argument("--interval-ms must be non-negative");
+  }
   const std::string epoll = opts.get_string("epoll", "lt");
   if (epoll == "lt") {
     f.epoll_mode = EpollMode::kLevel;
@@ -154,6 +165,16 @@ void add_percentiles(RunResult& r, const std::string& scenario, const Sample& s)
   r.add(scenario + "_p999_us", s.percentile(99.9) / 1000.0, "us");
 }
 
+// Loopback percentiles come from the fixed-memory histogram (≤0.4% bucket
+// midpoint error); the sim keeps its raw Sample.
+void add_percentiles(RunResult& r, const std::string& scenario,
+                     const obs::LatencyHistogram& h) {
+  r.add(scenario + "_p50_us", h.percentile(50) / 1000.0, "us");
+  r.add(scenario + "_p95_us", h.percentile(95) / 1000.0, "us");
+  r.add(scenario + "_p99_us", h.percentile(99) / 1000.0, "us");
+  r.add(scenario + "_p999_us", h.percentile(99.9) / 1000.0, "us");
+}
+
 // One loopback run at a given shard count, plus the server-side counters a
 // client-side LoadResult cannot see.
 struct LoopbackRun {
@@ -164,7 +185,7 @@ struct LoopbackRun {
 };
 
 LoopbackRun run_loopback(const LoadFlags& f, int shards, ServerProtocol server_proto,
-                         ClientProtocol client_proto) {
+                         ClientProtocol client_proto, const std::string& bench) {
   LoadServerConfig server_cfg;
   server_cfg.protocol = server_proto;
   server_cfg.reply_bytes = f.msg;
@@ -189,6 +210,8 @@ LoopbackRun run_loopback(const LoadFlags& f, int shards, ServerProtocol server_p
   // harness do not time-slice one core against each other.
   gen.pin_shards = shards > 1;
   gen.pin_offset = server.shards();
+  gen.interval = f.interval;
+  gen.stream_label = bench + "/loopback";
 
   LoopbackRun out;
   out.load = run_load(gen);
@@ -218,7 +241,7 @@ void add_shard_metrics(RunResult& r, int shards, const LoopbackRun& run, bool ba
   } else {
     r.add(p + "_rps", run.load.ops_per_sec, "ops/s");
   }
-  r.add(p + "_p99_us", run.load.rtt_ns.percentile(99) / 1000.0, "us");
+  r.add(p + "_p99_us", run.load.rtt_hist.percentile(99) / 1000.0, "us");
   // "count": unknown to direction_for_unit, so never gates a comparison —
   // wakeup efficiency is diagnostic, not a pass/fail axis.
   r.add(p + "_wakeups_per_req", run.wakeups_per_req, "count");
@@ -270,6 +293,24 @@ void run_sim_load(RunResult& r, const LoadFlags& f, Nanos server_cost) {
   r.metadata["sim_packets_lost"] = std::to_string(sim.packets_lost);
 }
 
+// Interval telemetry for the headline loopback run: the heatmap document
+// (with the histogram-vs-raw-reservoir cross-check block filled in) rides in
+// metadata so it survives the standard results pipeline unchanged.
+void add_heatmap_meta(RunResult& r, const std::string& bench, const LoadResult& load) {
+  report::Heatmap hm = report::build_heatmap(bench, "loopback", load.intervals);
+  hm.p50_us = load.rtt_hist.percentile(50) / 1000.0;
+  hm.p99_us = load.rtt_hist.percentile(99) / 1000.0;
+  hm.p999_us = load.rtt_hist.percentile(99.9) / 1000.0;
+  if (!load.rtt_reservoir.empty()) {
+    hm.raw_p50_us = load.rtt_reservoir.percentile(50) / 1000.0;
+    hm.raw_p99_us = load.rtt_reservoir.percentile(99) / 1000.0;
+    hm.raw_p999_us = load.rtt_reservoir.percentile(99.9) / 1000.0;
+    hm.raw_sampled = load.rtt_seen > load.rtt_reservoir.count();
+  }
+  r.metadata["heatmap_loopback"] = report::heatmap_to_json(hm);
+  r.metadata["interval_windows"] = std::to_string(load.intervals.size());
+}
+
 void add_loopback_meta(RunResult& r, const LoadFlags& f, const LoadResult& load) {
   r.metadata["connections"] = std::to_string(load.connections);
   r.metadata["mode"] = f.rate > 0 ? (f.arrival == ArrivalMode::kOpenPoisson ? "open-poisson"
@@ -283,6 +324,7 @@ void add_loopback_meta(RunResult& r, const LoadFlags& f, const LoadResult& load)
 
 RunResult run_latency_scenarios(const Options& opts, bool rpc) {
   const LoadFlags f = flags_from(opts, /*default_msg=*/64);
+  const std::string bench = rpc ? "lat_rpc_n" : "lat_tcp_n";
   RunResult r;
   double headline_p99 = 0;
 
@@ -291,15 +333,18 @@ RunResult run_latency_scenarios(const Options& opts, bool rpc) {
       const int shards = f.shard_counts[i];
       const LoopbackRun run =
           run_loopback(f, shards, rpc ? ServerProtocol::kRpc : ServerProtocol::kEcho,
-                       rpc ? ClientProtocol::kRpc : ClientProtocol::kEcho);
+                       rpc ? ClientProtocol::kRpc : ClientProtocol::kEcho, bench);
       if (i == 0) {
-        add_percentiles(r, "loopback", run.load.rtt_ns);
+        add_percentiles(r, "loopback", run.load.rtt_hist);
         r.add("loopback_rps", run.load.ops_per_sec, "ops/s");
         r.add("loopback_wakeups_per_req", run.wakeups_per_req, "count");
         r.add("loopback_loop_cpu_ns",
               static_cast<double>(run.server.loop_cpu_ns), "cpu-ns");
         add_loopback_meta(r, f, run.load);
-        headline_p99 = run.load.rtt_ns.percentile(99) / 1000.0;
+        if (f.interval > 0) {
+          add_heatmap_meta(r, bench, run.load);
+        }
+        headline_p99 = run.load.rtt_hist.percentile(99) / 1000.0;
       }
       add_shard_metrics(r, shards, run, /*bandwidth=*/false);
     }
@@ -329,14 +374,17 @@ RunResult run_bandwidth_scenarios(const Options& opts) {
     for (size_t i = 0; i < f.shard_counts.size(); ++i) {
       const int shards = f.shard_counts[i];
       const LoopbackRun run =
-          run_loopback(f, shards, ServerProtocol::kSink, ClientProtocol::kStream);
+          run_loopback(f, shards, ServerProtocol::kSink, ClientProtocol::kStream, "bw_tcp_n");
       if (i == 0) {
-        add_percentiles(r, "loopback", run.load.rtt_ns);
+        add_percentiles(r, "loopback", run.load.rtt_hist);
         r.add("loopback_mbs", run.load.mb_per_sec, "MB/s");
         r.add("loopback_wakeups_per_req", run.wakeups_per_req, "count");
         r.add("loopback_loop_cpu_ns",
               static_cast<double>(run.server.loop_cpu_ns), "cpu-ns");
         add_loopback_meta(r, f, run.load);
+        if (f.interval > 0) {
+          add_heatmap_meta(r, "bw_tcp_n", run.load);
+        }
         r.metadata["block_bytes"] = std::to_string(f.msg);
         headline_mbs = run.load.mb_per_sec;
       }

@@ -18,6 +18,7 @@
 #include "src/core/timing.h"
 #include "src/core/topology.h"
 #include "src/lat/timer_wheel.h"
+#include "src/obs/interval_stream.h"
 #include "src/sys/epoll_loop.h"
 #include "src/sys/error.h"
 #include "src/sys/fdio.h"
@@ -57,6 +58,28 @@ constexpr int kStreamBlocksPerPass = 16;
 
 constexpr Nanos kConnectDeadline = 10 * kSecond;
 
+// Uniform reservoir (Vitter's algorithm R): after `seen` offers the kept set
+// is a uniform sample of size min(seen, cap).  Keeps the raw-RTT memory
+// bounded while still providing an exact percentile reference whenever the
+// run is smaller than the cap.
+struct Reservoir {
+  std::vector<double> kept;
+  std::uint64_t seen = 0;
+  std::size_t cap = 0;
+
+  void offer(double v, std::mt19937_64& rng) {
+    ++seen;
+    if (kept.size() < cap) {
+      kept.push_back(v);
+      return;
+    }
+    const std::uint64_t j = rng() % seen;
+    if (j < cap) {
+      kept[static_cast<std::size_t>(j)] = v;
+    }
+  }
+};
+
 class Driver {
  public:
   explicit Driver(const LoadGenConfig& cfg)
@@ -66,6 +89,10 @@ class Driver {
         rng_(cfg.seed),
         exp_dist_(cfg.rate_per_sec > 0 ? cfg.rate_per_sec : 1.0),
         scratch_(64u << 10) {
+    reservoir_.cap = cfg_.reservoir_cap;
+    // Warmup observations only matter as a fallback summary; a small slice
+    // of the cap is plenty.
+    warm_reservoir_.cap = std::min<std::size_t>(cfg_.reservoir_cap, 4096);
     switch (cfg_.protocol) {
       case ClientProtocol::kEcho:
         expected_reply_ = cfg_.request_bytes;
@@ -114,10 +141,10 @@ class Driver {
                                  " connections failed");
       }
       if (!measuring_ && now >= measure_start_) {
-        measuring_ = true;
-        window_t0_ = now;
-        win_sent_base_ = bytes_sent_;
-        win_recv_base_ = bytes_received_;
+        begin_measuring(now);
+      }
+      if (win_open_) {
+        roll_windows(now);  // close elapsed interval windows even when idle
       }
       if (open_loop_) {
         advance_arrivals(now);
@@ -127,6 +154,9 @@ class Driver {
       Nanos next_ev = end_time_;
       if (!measuring_) {
         next_ev = std::min(next_ev, measure_start_);
+      }
+      if (win_open_) {
+        next_ev = std::min(next_ev, win_end_abs_);
       }
       if (open_loop_) {
         next_ev = std::min(next_ev, next_arrival_);
@@ -150,6 +180,10 @@ class Driver {
       now = clock_.now();
     }
 
+    if (win_open_) {
+      close_final_window(now);
+    }
+
     LoadResult res;
     res.connections = established_;
     res.errors = errors_;
@@ -165,7 +199,16 @@ class Driver {
       res.bytes_sent = bytes_sent_;
       res.bytes_received = bytes_received_;
     }
-    res.rtt_ns = sample_.empty() ? std::move(warm_sample_) : std::move(sample_);
+    if (hist_.count() == 0) {
+      res.rtt_hist = std::move(warm_hist_);
+      res.rtt_reservoir = Sample(std::move(warm_reservoir_.kept));
+      res.rtt_seen = warm_reservoir_.seen;
+    } else {
+      res.rtt_hist = std::move(hist_);
+      res.rtt_reservoir = Sample(std::move(reservoir_.kept));
+      res.rtt_seen = reservoir_.seen;
+    }
+    res.intervals = std::move(intervals_);
     if (res.elapsed > 0) {
       const double secs = static_cast<double>(res.elapsed) / static_cast<double>(kSecond);
       res.ops_per_sec = static_cast<double>(res.requests) / secs;
@@ -409,12 +452,91 @@ class Driver {
     }
   }
 
+  // Opens the measured window (and interval window 0) exactly once, at the
+  // timestamp of whichever event first crosses measure_start_ — the main
+  // loop's tick or a record() from inside a dispatch.  Sharing the origin
+  // guarantees every measured RTT lands in some interval window, so window
+  // request counts sum to the aggregate exactly.
+  void begin_measuring(Nanos now) {
+    if (measuring_) {
+      return;
+    }
+    measuring_ = true;
+    window_t0_ = now;
+    win_sent_base_ = bytes_sent_;
+    win_recv_base_ = bytes_received_;
+    if (cfg_.interval > 0) {
+      win_open_ = true;
+      win_index_ = 0;
+      cur_win_ = obs::IntervalStats();
+      cur_win_.start = 0;
+      win_end_abs_ = window_t0_ + cfg_.interval;
+    }
+  }
+
+  // Closes every interval window whose deadline has passed, pushing empty
+  // windows as needed so the series stays contiguous.
+  void roll_windows(Nanos now) {
+    while (now >= win_end_abs_) {
+      cur_win_.end = static_cast<Nanos>(win_index_ + 1) * cfg_.interval;
+      publish_window(cur_win_);
+      intervals_.push_back(std::move(cur_win_));
+      ++win_index_;
+      cur_win_ = obs::IntervalStats();
+      cur_win_.start = static_cast<Nanos>(win_index_) * cfg_.interval;
+      win_end_abs_ = window_t0_ + static_cast<Nanos>(win_index_ + 1) * cfg_.interval;
+    }
+  }
+
+  // The last (usually partial) window at run end.
+  void close_final_window(Nanos now) {
+    const Nanos end = now - window_t0_;
+    if (end > cur_win_.start) {
+      cur_win_.end = end;
+      publish_window(cur_win_);
+      intervals_.push_back(std::move(cur_win_));
+    }
+    win_open_ = false;
+  }
+
+  void publish_window(const obs::IntervalStats& w) {
+    auto& pub = obs::IntervalPublisher::global();
+    if (!pub.active()) {
+      return;
+    }
+    obs::IntervalFrame f;
+    f.source = cfg_.stream_label.empty() ? "load" : cfg_.stream_label;
+    f.shard = cfg_.shard_index;
+    f.window = win_index_;
+    f.start = w.start;
+    f.end = w.end;
+    f.requests = w.requests;
+    f.errors = w.errors;
+    f.total_requests = window_completed_;
+    const double secs = static_cast<double>(w.end - w.start) / static_cast<double>(kSecond);
+    f.rps = secs > 0 ? static_cast<double>(w.requests) / secs : 0.0;
+    if (w.hist.count() > 0) {
+      f.p50_ns = w.hist.percentile(50);
+      f.p99_ns = w.hist.percentile(99);
+      f.p999_ns = w.hist.percentile(99.9);
+    }
+    pub.publish(f);
+  }
+
   void record(Nanos rtt, Nanos now) {
     if (now >= measure_start_) {
-      sample_.add(static_cast<double>(rtt));
+      begin_measuring(now);
+      hist_.record(rtt);
+      reservoir_.offer(static_cast<double>(rtt), rng_);
       ++window_completed_;
+      if (win_open_) {
+        roll_windows(now);
+        cur_win_.hist.record(rtt);
+        ++cur_win_.requests;
+      }
     } else {
-      warm_sample_.add(static_cast<double>(rtt));
+      warm_hist_.record(rtt);
+      warm_reservoir_.offer(static_cast<double>(rtt), rng_);
     }
   }
 
@@ -434,6 +556,9 @@ class Driver {
     epoll_.del(it->second->fd.get());
     conns_.erase(it);
     ++errors_;
+    if (win_open_ && measuring_) {
+      ++cur_win_.errors;
+    }
   }
 
   const LoadGenConfig& cfg_;
@@ -456,8 +581,15 @@ class Driver {
   TimerWheel timers_;                // closed-loop think-time expiries
   std::vector<std::uint64_t> fired_;  // expire() scratch
 
-  Sample sample_;       // measured-window RTTs
-  Sample warm_sample_;  // warmup RTTs (fallback when the window is empty)
+  obs::LatencyHistogram hist_;       // measured-window RTTs
+  obs::LatencyHistogram warm_hist_;  // warmup RTTs (fallback when the window is empty)
+  Reservoir reservoir_;              // bounded raw-RTT cross-check sample
+  Reservoir warm_reservoir_;
+  std::vector<obs::IntervalStats> intervals_;  // closed interval windows
+  obs::IntervalStats cur_win_;                 // open window (when win_open_)
+  bool win_open_ = false;
+  int win_index_ = 0;
+  Nanos win_end_abs_ = 0;  // absolute deadline of cur_win_
   std::uint64_t completed_ = 0;
   std::uint64_t window_completed_ = 0;
   std::uint64_t errors_ = 0;
@@ -476,10 +608,13 @@ class Driver {
 
 namespace {
 
-// Folds shard results into one LoadResult: counts and rates sum, the
-// merged window is the longest shard window, and every shard's RTT
-// observations pool into one Sample (the percentile math doesn't care
-// which loop observed a latency).
+// Folds shard results into one LoadResult: counts and rates sum, the merged
+// window is the longest shard window, histograms merge bucket-wise
+// (lossless — the percentile math doesn't care which loop observed a
+// latency), reservoirs pool (each shard got a slice of the cap, so the pool
+// stays bounded), and interval series merge index-wise: window offsets are
+// relative to each shard's measured-phase start, so window i of every shard
+// covers the same slice of the run.
 LoadResult merge_results(std::vector<LoadResult>& parts) {
   LoadResult total;
   for (LoadResult& p : parts) {
@@ -492,9 +627,33 @@ LoadResult merge_results(std::vector<LoadResult>& parts) {
     total.elapsed = std::max(total.elapsed, p.elapsed);
     total.ops_per_sec += p.ops_per_sec;
     total.mb_per_sec += p.mb_per_sec;
-    for (double v : p.rtt_ns.values()) {
-      total.rtt_ns.add(v);
+    total.rtt_hist.merge(p.rtt_hist);
+    for (double v : p.rtt_reservoir.values()) {
+      total.rtt_reservoir.add(v);
     }
+    total.rtt_seen += p.rtt_seen;
+    for (std::size_t i = 0; i < p.intervals.size(); ++i) {
+      if (i >= total.intervals.size()) {
+        total.intervals.push_back(std::move(p.intervals[i]));
+        continue;
+      }
+      obs::IntervalStats& t = total.intervals[i];
+      obs::IntervalStats& s = p.intervals[i];
+      t.start = std::min(t.start, s.start);
+      t.end = std::max(t.end, s.end);
+      t.requests += s.requests;
+      t.errors += s.errors;
+      t.hist.merge(s.hist);
+    }
+  }
+  // Shards can disagree about the tail: one may have rolled a final full
+  // window while another's partial window overhangs the same grid slot by a
+  // few microseconds of scheduling jitter.  Clamp interior windows back to
+  // the grid (the overhang's requests stay counted where they landed) so the
+  // merged series tiles contiguously; only the true last window keeps its
+  // observed end.
+  for (std::size_t i = 0; i + 1 < total.intervals.size(); ++i) {
+    total.intervals[i].end = total.intervals[i + 1].start;
   }
   return total;
 }
@@ -516,6 +675,9 @@ LoadResult run_load(const LoadGenConfig& config) {
   }
   if (config.warmup < 0 || config.think_time < 0) {
     throw std::invalid_argument("run_load: warmup and think_time must be non-negative");
+  }
+  if (config.interval < 0) {
+    throw std::invalid_argument("run_load: interval must be non-negative");
   }
   if (config.shards < 1) {
     throw std::invalid_argument("run_load: shards must be positive");
@@ -559,6 +721,12 @@ LoadResult run_load(const LoadGenConfig& config) {
                          ? 0
                          : req_base + (static_cast<std::uint64_t>(i) < req_extra ? 1 : 0);
     c.seed = config.seed + static_cast<std::uint64_t>(i);
+    // Split the raw-RTT cross-check budget so the pooled reservoir stays
+    // within the configured cap (floor keeps tiny slices statistically
+    // useful).
+    c.reservoir_cap = std::max<std::size_t>(
+        std::size_t{1024}, config.reservoir_cap / static_cast<std::size_t>(shards));
+    c.shard_index = i;
   }
 
   const std::vector<int> pin_order =

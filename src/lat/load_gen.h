@@ -18,15 +18,23 @@
 //    measurement structurally hides (coordinated omission) — lands in the
 //    tail percentiles where it belongs.
 //
-// Every request contributes one RTT observation to a Sample, so
-// p50/p95/p99/p999 come from Sample::percentile with no new machinery.
+// Every request contributes one RTT observation to a fixed-memory log-linear
+// histogram (src/obs/histogram.h), so percentiles cost O(buckets) regardless
+// of request count and peak RSS no longer grows with --max-requests.  A
+// bounded uniform reservoir of raw RTTs rides along purely so tests and CI
+// can cross-check histogram percentiles against an exact reference, and an
+// optional interval series (--interval-ms) rotates a fresh histogram every
+// window for time × latency heatmaps and live `watch` streaming.
 #ifndef LMBENCHPP_SRC_LAT_LOAD_GEN_H_
 #define LMBENCHPP_SRC_LAT_LOAD_GEN_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/core/clock.h"
 #include "src/core/stats.h"
+#include "src/obs/histogram.h"
 
 namespace lmb::lat {
 
@@ -78,13 +86,37 @@ struct LoadGenConfig {
   // shards so generator threads land on cores the server isn't using.
   bool pin_shards = false;
   int pin_offset = 0;
+  // Interval telemetry: when > 0 the measured window is cut into
+  // `interval`-long sub-windows, each with its own histogram and
+  // request/error counters (LoadResult::intervals).  Empty sub-windows are
+  // kept so the series stays contiguous and shard series align index-wise.
+  Nanos interval = 0;
+  // Cap on raw RTT values retained (uniform reservoir, Vitter's algorithm R)
+  // for exact-percentile cross-checks against the histogram.  Runs shorter
+  // than the cap keep every value, so the reservoir doubles as an exact
+  // reference at CI scale.  Sharded runs split the cap across workers.
+  std::size_t reservoir_cap = std::size_t{1} << 18;
+  // Source tag published with live interval frames, conventionally
+  // "<bench>/<scenario>".  Frames are only built when interval > 0 and
+  // someone subscribed to obs::IntervalPublisher::global().
+  std::string stream_label;
+  // Shard ordinal carried into published frames; run_load's fan-out sets it.
+  int shard_index = 0;
 };
 
 struct LoadResult {
   // Per-request round trip (kEcho/kRpc) or per-block send-completion time
   // (kStream, where backpressure is the latency) in ns, measured-window
-  // only — falls back to warmup samples when the window produced none.
-  Sample rtt_ns;
+  // only — falls back to warmup observations when the window produced none.
+  obs::LatencyHistogram rtt_hist;
+  // Uniform reservoir of raw RTTs (≤ reservoir_cap of the rtt_seen offered),
+  // for exact-percentile cross-checks only; the histogram is authoritative.
+  Sample rtt_reservoir;
+  std::uint64_t rtt_seen = 0;
+  // Interval series (empty unless config.interval > 0); window offsets are
+  // relative to the start of the measured phase and requests sum to
+  // `requests` exactly.
+  std::vector<obs::IntervalStats> intervals;
   std::uint64_t requests = 0;        // completions in the measured window
   std::uint64_t total_requests = 0;  // including warmup
   std::uint64_t errors = 0;          // connections lost mid-run

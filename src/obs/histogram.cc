@@ -1,0 +1,114 @@
+#include "src/obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace lmb::obs {
+
+LatencyHistogram::LatencyHistogram(HistogramConfig cfg) : cfg_(cfg) {
+  if (cfg_.sub_bucket_bits < 2 || cfg_.sub_bucket_bits > 20) {
+    throw std::invalid_argument("histogram sub_bucket_bits out of range [2, 20]");
+  }
+  if (cfg_.max_value_ns < (Nanos{1} << cfg_.sub_bucket_bits)) {
+    throw std::invalid_argument("histogram max_value_ns below sub-bucket range");
+  }
+  sub_bits_ = cfg_.sub_bucket_bits;
+  sub_count_ = std::uint64_t{1} << sub_bits_;
+  half_ = sub_count_ / 2;
+  k_max_ = std::bit_width(static_cast<std::uint64_t>(cfg_.max_value_ns)) - sub_bits_;
+  // Buckets for shift k occupy flat indices [(k+1)*half, (k+2)*half); the
+  // unit run [0, sub_count) is k = 0 and 1 merged.
+  counts_.assign(static_cast<std::size_t>((k_max_ + 2) * half_), 0);
+}
+
+std::size_t LatencyHistogram::index_for(std::uint64_t v) const {
+  if (v < sub_count_) return static_cast<std::size_t>(v);
+  int k = std::bit_width(v) - sub_bits_;
+  return static_cast<std::size_t>(static_cast<std::uint64_t>(k) * half_ + (v >> k));
+}
+
+void LatencyHistogram::record(Nanos value_ns) {
+  std::uint64_t v = value_ns < 0 ? 0 : static_cast<std::uint64_t>(value_ns);
+  if (value_ns > cfg_.max_value_ns) {
+    ++saturated_;
+    v = static_cast<std::uint64_t>(cfg_.max_value_ns);
+  }
+  ++counts_[index_for(v)];
+  Nanos clamped = static_cast<Nanos>(v);
+  if (count_ == 0) {
+    min_ = max_ = clamped;
+  } else {
+    min_ = std::min(min_, clamped);
+    max_ = std::max(max_, clamped);
+  }
+  sum_ += static_cast<double>(clamped);
+  ++count_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (!(cfg_ == other.cfg_)) {
+    throw std::invalid_argument("cannot merge histograms with different configs");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  saturated_ += other.saturated_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = saturated_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+Nanos LatencyHistogram::bucket_lower(std::size_t index) const {
+  if (index < sub_count_) return static_cast<Nanos>(index);
+  std::uint64_t k = index / half_ - 1;
+  std::uint64_t sub = index - k * half_;
+  return static_cast<Nanos>(sub << k);
+}
+
+Nanos LatencyHistogram::bucket_upper(std::size_t index) const {
+  if (index < sub_count_) return static_cast<Nanos>(index + 1);
+  std::uint64_t k = index / half_ - 1;
+  std::uint64_t sub = index - k * half_;
+  return static_cast<Nanos>((sub + 1) << k);
+}
+
+std::pair<std::size_t, std::size_t> LatencyHistogram::nonzero_range() const {
+  if (count_ == 0) return {0, 0};
+  std::size_t first = 0;
+  while (counts_[first] == 0) ++first;
+  std::size_t last = counts_.size() - 1;
+  while (counts_[last] == 0) --last;
+  return {first, last};
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      double mid = (static_cast<double>(bucket_lower(i)) + static_cast<double>(bucket_upper(i))) / 2.0;
+      return std::clamp(mid, static_cast<double>(min_), static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+double LatencyHistogram::max_relative_error() const {
+  return 1.0 / static_cast<double>(sub_count_);
+}
+
+}  // namespace lmb::obs

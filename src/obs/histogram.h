@@ -1,0 +1,117 @@
+// Log-linear HDR-style latency histogram and time-windowed interval series.
+//
+// The load engine (src/lat/load_gen) used to pool every raw RTT into a
+// `Sample`, so memory grew linearly with `--max-requests` and merging shards
+// meant concatenating megabyte vectors.  `LatencyHistogram` replaces that
+// pooling with a fixed-size bucket array: O(1) record, lossless merge
+// (bucket-wise addition), and a bounded relative error set by the sub-bucket
+// precision.  A small uniform reservoir of raw values is kept separately by
+// the load generator purely to cross-check histogram percentiles against an
+// exact reference.
+//
+// Bucket layout (the classic HdrHistogram scheme):
+//   - values < sub_count (= 1 << sub_bucket_bits) land in an exact unit-width
+//     bucket: index == value.
+//   - larger values use log-linear buckets: with k = bit_width(v) - sub_bits,
+//     the top sub_bits bits select one of `half = sub_count / 2` sub-buckets
+//     of width 2^k, giving flat index k * half + (v >> k).  Consecutive
+//     indices tile [0, max] with no gaps or overlap, and bucket width never
+//     exceeds value / half, so a bucket-midpoint percentile is within
+//     1 / sub_count of the true value (sub_bucket_bits = 8 -> ~0.39%).
+//   - values above `max_value_ns` clamp into the final bucket and are counted
+//     in `saturated()` so a mis-sized histogram is loud, not silently wrong.
+#ifndef LMBENCHPP_SRC_OBS_HISTOGRAM_H_
+#define LMBENCHPP_SRC_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/clock.h"
+
+namespace lmb::obs {
+
+struct HistogramConfig {
+  // Precision knob: values resolve to 1 part in 2^(sub_bucket_bits - 1).
+  // 8 bits -> 256 unit buckets + 128 sub-buckets per power of two, worst-case
+  // relative bucket width 1/128 (~0.78%), midpoint error half that.
+  int sub_bucket_bits = 8;
+  // Largest value representable without saturating.  100 s covers any sane
+  // RTT; the array stays ~16 KiB at the default precision.
+  Nanos max_value_ns = 100 * kSecond;
+
+  bool operator==(const HistogramConfig&) const = default;
+};
+
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(HistogramConfig cfg = {});
+
+  // O(1).  Negative values clamp to 0; values above max_value_ns clamp into
+  // the top bucket and bump saturated().
+  void record(Nanos value_ns);
+
+  // Bucket-wise addition.  Throws std::invalid_argument if the two
+  // histograms were built with different configs (their buckets would not
+  // line up, silently corrupting percentiles).
+  void merge(const LatencyHistogram& other);
+
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t saturated() const { return saturated_; }
+  // Exact min/max/mean of recorded (clamped) values, independent of bucket
+  // resolution.  min/max return 0 on an empty histogram.
+  Nanos min() const { return count_ == 0 ? 0 : min_; }
+  Nanos max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  // Midpoint of the bucket holding the ceil(p% * count)-th value, clamped to
+  // the exact observed [min, max].  Returns 0 on an empty histogram.
+  // p in [0, 100].
+  double percentile(double p) const;
+
+  // Upper bound on |percentile(p) - true percentile| / true percentile
+  // imposed by the bucket layout: 1 / 2^sub_bucket_bits.
+  double max_relative_error() const;
+
+  // Bucket geometry, for heatmap export.  Buckets tile [0, ~max_value_ns]
+  // contiguously: bucket_upper(i) == bucket_lower(i + 1).
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t count_at(std::size_t index) const { return counts_[index]; }
+  Nanos bucket_lower(std::size_t index) const;
+  Nanos bucket_upper(std::size_t index) const;
+  // Index range [first, last] of non-empty buckets; {0, 0} when empty.
+  std::pair<std::size_t, std::size_t> nonzero_range() const;
+
+  const HistogramConfig& config() const { return cfg_; }
+
+ private:
+  std::size_t index_for(std::uint64_t v) const;
+
+  HistogramConfig cfg_;
+  int sub_bits_;
+  std::uint64_t sub_count_;  // 1 << sub_bits_
+  std::uint64_t half_;       // sub_count_ / 2
+  int k_max_;                // largest shift used by the top bucket run
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t saturated_ = 0;
+  Nanos min_ = 0;
+  Nanos max_ = 0;
+  double sum_ = 0.0;
+};
+
+// One rotation window of a load-gen interval series.  `start`/`end` are
+// offsets from the start of the measured phase, so windows from different
+// shards align index-by-index when merged.
+struct IntervalStats {
+  Nanos start = 0;
+  Nanos end = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  LatencyHistogram hist;
+};
+
+}  // namespace lmb::obs
+
+#endif  // LMBENCHPP_SRC_OBS_HISTOGRAM_H_

@@ -1,0 +1,39 @@
+#include "src/obs/interval_stream.h"
+
+#include <utility>
+#include <vector>
+
+namespace lmb::obs {
+
+IntervalPublisher& IntervalPublisher::global() {
+  static IntervalPublisher* instance = new IntervalPublisher();
+  return *instance;
+}
+
+int IntervalPublisher::subscribe(Callback cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int token = next_token_++;
+  subscribers_[token] = std::move(cb);
+  active_.store(static_cast<int>(subscribers_.size()), std::memory_order_relaxed);
+  return token;
+}
+
+void IntervalPublisher::unsubscribe(int token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.erase(token);
+  active_.store(static_cast<int>(subscribers_.size()), std::memory_order_relaxed);
+}
+
+void IntervalPublisher::publish(const IntervalFrame& frame) {
+  // Copy callbacks out so a subscriber that unsubscribes from inside its own
+  // callback does not deadlock against mu_.
+  std::vector<Callback> cbs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cbs.reserve(subscribers_.size());
+    for (const auto& [token, cb] : subscribers_) cbs.push_back(cb);
+  }
+  for (const auto& cb : cbs) cb(frame);
+}
+
+}  // namespace lmb::obs

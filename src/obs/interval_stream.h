@@ -1,0 +1,68 @@
+// In-process fan-out of live load-gen interval frames.
+//
+// The load generator closes a histogram window every `--interval-ms` and, if
+// anyone is listening, publishes a compact summary frame here.  lmbenchd
+// subscribes while running and forwards frames to `watch` connections, which
+// is how `lmbench_client --watch` tails a running job without being the
+// submitter.  The publisher is deliberately dumb: a mutex-protected callback
+// map plus an atomic subscriber count so the load loop pays a single relaxed
+// load (no lock, no allocation) when nobody is watching.
+#ifndef LMBENCHPP_SRC_OBS_INTERVAL_STREAM_H_
+#define LMBENCHPP_SRC_OBS_INTERVAL_STREAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/core/clock.h"
+
+namespace lmb::obs {
+
+// One closed interval window, summarized.  Times are offsets from the start
+// of the measured phase; percentiles come from the window's own histogram
+// (0 when the window saw no requests).
+struct IntervalFrame {
+  std::string source;  // "<bench>/<scenario>", e.g. "lat_tcp_n/loopback"
+  int shard = 0;
+  int window = 0;  // window index within the run, starting at 0
+  Nanos start = 0;
+  Nanos end = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t total_requests = 0;  // cumulative for this shard
+  double rps = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+};
+
+class IntervalPublisher {
+ public:
+  using Callback = std::function<void(const IntervalFrame&)>;
+
+  // Process-wide instance shared by load generators and the daemon.
+  static IntervalPublisher& global();
+
+  // Returns a token for unsubscribe().  The callback runs on the publishing
+  // (load-gen worker) thread and must not block.
+  int subscribe(Callback cb);
+  void unsubscribe(int token);
+
+  // Cheap pre-check so publishers can skip building frames entirely.
+  bool active() const { return active_.load(std::memory_order_relaxed) > 0; }
+
+  void publish(const IntervalFrame& frame);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, Callback> subscribers_;
+  int next_token_ = 1;
+  std::atomic<int> active_{0};
+};
+
+}  // namespace lmb::obs
+
+#endif  // LMBENCHPP_SRC_OBS_INTERVAL_STREAM_H_

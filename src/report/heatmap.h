@@ -1,0 +1,78 @@
+// Time × latency heatmaps built from load-gen interval series.
+//
+// A load run with `--interval-ms` produces one histogram per time window
+// (src/obs/histogram.h).  This module folds that series into a compact
+// heatmap — adjacent histogram buckets are downsampled into at most
+// `max_columns` latency columns with monotone bucket bounds — and provides
+// the three consumers: an ANSI shaded terminal rendering with per-window
+// p50/p99 columns, and a JSON round trip (`lmbenchpp.heatmap.v1`) so the
+// matrix survives into BENCH artifacts and the `lmbench_heatmap` inspector.
+#ifndef LMBENCHPP_SRC_REPORT_HEATMAP_H_
+#define LMBENCHPP_SRC_REPORT_HEATMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/histogram.h"
+
+namespace lmb::report {
+
+struct HeatmapWindow {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  double rps = 0.0;
+  double p50_us = 0.0;  // 0 when the window saw no requests
+  double p99_us = 0.0;
+  std::vector<std::uint64_t> counts;  // one per latency column; sums to requests
+};
+
+struct Heatmap {
+  std::string bench;
+  std::string scenario;
+  double interval_ms = 0.0;
+  // Latency column edges in µs, size columns + 1, strictly increasing.
+  // Empty when the run produced no latency observations.
+  std::vector<double> bounds_us;
+  std::vector<HeatmapWindow> windows;
+
+  // Aggregate cross-check block, filled by the producer: percentiles of the
+  // whole-run histogram next to the raw-reservoir reference.  raw_sampled
+  // is true when the reservoir subsampled (raw_* are then an estimate, not
+  // exact).  All zero when the producer had no reference.
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double raw_p50_us = 0.0;
+  double raw_p99_us = 0.0;
+  double raw_p999_us = 0.0;
+  bool raw_sampled = false;
+
+  std::uint64_t total_requests() const;
+  std::uint64_t total_errors() const;
+};
+
+// Folds an interval series into a heatmap with at most `max_columns` latency
+// columns spanning the non-empty bucket range across all windows.  Windows
+// with no requests keep zero-filled count rows so the time axis stays
+// contiguous.
+Heatmap build_heatmap(const std::string& bench, const std::string& scenario,
+                      const std::vector<obs::IntervalStats>& intervals, int max_columns = 24);
+
+// Terminal rendering: one row per window, cells shaded ░▒▓█ on a log scale
+// (so tail buckets stay visible next to the mode), plus per-window request,
+// rps, and p50/p99 columns.
+std::string render_heatmap(const Heatmap& map);
+
+// Compact single-line `lmbenchpp.heatmap.v1` document.
+std::string heatmap_to_json(const Heatmap& map);
+
+// Inverse of heatmap_to_json.  Throws std::invalid_argument on malformed
+// input or a schema other than lmbenchpp.heatmap.v1.
+Heatmap heatmap_from_json(const std::string& text);
+
+}  // namespace lmb::report
+
+#endif  // LMBENCHPP_SRC_REPORT_HEATMAP_H_

@@ -98,4 +98,37 @@ report::JsonValue Client::trend(const std::string& host, const std::string& benc
 
 report::JsonValue Client::shutdown() { return roundtrip(op_request("shutdown")); }
 
+int Client::watch(const std::function<void(const report::JsonValue&)>& on_frame,
+                  int max_frames) {
+  sys::UnixStream stream = sys::UnixStream::connect(socket_path_, connect_timeout_ms_);
+  write_frame(stream.fd(), op_request("watch"));
+  int intervals = 0;
+  for (;;) {
+    // Frames arrive whenever a running load benchmark closes an interval
+    // window — possibly never, so the first-byte wait stays unbounded and
+    // only a mid-frame stall is an error.
+    std::optional<std::string> payload =
+        read_frame_bounded(stream.fd(), /*first_byte_timeout_ms=*/-1, stall_timeout_ms_);
+    if (!payload.has_value()) {
+      return intervals;  // daemon shut down (or dropped us)
+    }
+    report::JsonValue message = parse_message(*payload);
+    if (on_frame) {
+      on_frame(message);
+    }
+    const report::JsonObject& obj = message.object();
+    if (const report::JsonValue* ok = report::find(obj, "ok");
+        ok != nullptr && !ok->boolean()) {
+      return intervals;  // in-band error ends the stream
+    }
+    if (const report::JsonValue* event = report::find(obj, "event");
+        event != nullptr && event->str() == "interval_stats") {
+      ++intervals;
+      if (max_frames > 0 && intervals >= max_frames) {
+        return intervals;
+      }
+    }
+  }
+}
+
 }  // namespace lmb::svc

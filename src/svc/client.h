@@ -43,6 +43,14 @@ class Client {
                           const std::string& metric = "");
   report::JsonValue shutdown();
 
+  // Attaches to the daemon's live telemetry stream: every pushed frame
+  // (the initial `watching` ack, `interval_stats`, `bench_start`,
+  // `job_done`) goes to `on_frame` until the daemon closes the stream or
+  // `max_frames` interval_stats frames have arrived (0 = unbounded).
+  // Returns the number of interval_stats frames seen.
+  int watch(const std::function<void(const report::JsonValue&)>& on_frame,
+            int max_frames = 0);
+
   const std::string& socket_path() const { return socket_path_; }
 
  private:

@@ -43,6 +43,8 @@ void Daemon::start() {
     stopping_ = false;
     started_ = true;
   }
+  interval_token_ = obs::IntervalPublisher::global().subscribe(
+      [this](const obs::IntervalFrame& frame) { on_interval(frame); });
   accept_thread_ = std::thread([this] { accept_loop(); });
   executor_thread_ = std::thread([this] { executor_loop(); });
   log("listening on " + config_.socket_path);
@@ -61,6 +63,12 @@ void Daemon::stop() {
     }
     stopping_ = true;
   }
+  // Detach from the publisher before joining anything: a benchmark still
+  // draining must not call back into a daemon that is tearing down.
+  if (interval_token_ >= 0) {
+    obs::IntervalPublisher::global().unsubscribe(interval_token_);
+    interval_token_ = -1;
+  }
   queue_cv_.notify_all();
   shutdown_cv_.notify_all();
   if (accept_thread_.joinable()) {
@@ -75,6 +83,10 @@ void Daemon::stop() {
     }
   }
   connection_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watchers_.clear();  // closes watch connections; clients see EOF
+  }
   listener_.reset();  // unlinks the socket path
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -208,6 +220,16 @@ void Daemon::handle_connection(sys::UnixStream stream) {
       try_send(stream, trend_payload(obj));
       return;
     }
+    if (name == "watch") {
+      if (!try_send(stream, "{\"ok\":true,\"event\":\"watching\"}")) {
+        return;
+      }
+      // The connection becomes a push-only telemetry stream; it lives in
+      // the watcher list until a send fails or the daemon stops.
+      std::lock_guard<std::mutex> lock(watch_mu_);
+      watchers_.push_back(std::make_shared<sys::UnixStream>(std::move(stream)));
+      return;
+    }
     if (name == "shutdown") {
       try_send(stream, "{\"ok\":true,\"event\":\"shutting_down\"}");
       {
@@ -225,14 +247,64 @@ void Daemon::handle_connection(sys::UnixStream stream) {
 }
 
 std::string Daemon::status_payload() {
+  std::size_t watcher_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watcher_count = watchers_.size();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   std::string state = running_job_ != 0 ? "running" : "idle";
   return "{\"ok\":true,\"state\":" + quoted(state) + ",\"running\":" + quoted(running_bench_) +
+         ",\"bench_index\":" + std::to_string(running_bench_index_) +
+         ",\"bench_total\":" + std::to_string(running_bench_total_) +
          ",\"job\":" + std::to_string(running_job_) +
          ",\"queued\":" + std::to_string(queue_.size()) +
          ",\"completed\":" + std::to_string(completed_) +
+         ",\"watchers\":" + std::to_string(watcher_count) +
          ",\"socket\":" + quoted(config_.socket_path) +
          ",\"store\":" + quoted(config_.store_dir) + "}";
+}
+
+void Daemon::broadcast(const std::string& payload) {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  for (std::size_t i = 0; i < watchers_.size();) {
+    if (try_send(*watchers_[i], payload)) {
+      ++i;
+    } else {
+      watchers_.erase(watchers_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+}
+
+void Daemon::on_interval(const obs::IntervalFrame& frame) {
+  {
+    // Frame building is skipped entirely when nobody is watching — this
+    // runs on a load-gen worker thread mid-measurement.
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    if (watchers_.empty()) {
+      return;
+    }
+  }
+  long job = 0;
+  std::string bench;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job = running_job_;
+    bench = running_bench_;
+  }
+  broadcast("{\"event\":\"interval_stats\",\"job\":" + std::to_string(job) +
+            ",\"bench\":" + quoted(bench) + ",\"source\":" + quoted(frame.source) +
+            ",\"shard\":" + std::to_string(frame.shard) +
+            ",\"window\":" + std::to_string(frame.window) +
+            ",\"start_ms\":" + report::json_double(static_cast<double>(frame.start) / 1e6) +
+            ",\"end_ms\":" + report::json_double(static_cast<double>(frame.end) / 1e6) +
+            ",\"requests\":" + std::to_string(frame.requests) +
+            ",\"errors\":" + std::to_string(frame.errors) +
+            ",\"rps\":" + report::json_double(frame.rps) +
+            ",\"p50_us\":" + report::json_double(frame.p50_ns / 1000.0) +
+            ",\"p99_us\":" + report::json_double(frame.p99_ns / 1000.0) +
+            ",\"p999_us\":" + report::json_double(frame.p999_ns / 1000.0) +
+            ",\"total_requests\":" + std::to_string(frame.total_requests) + "}");
 }
 
 std::string Daemon::trend_payload(const report::JsonObject& request) {
@@ -323,6 +395,8 @@ void Daemon::execute(Job job) {
     std::lock_guard<std::mutex> lock(mu_);
     running_job_ = 0;
     running_bench_.clear();
+    running_bench_index_ = 0;
+    running_bench_total_ = 0;
     ++completed_;
   };
   try {
@@ -357,10 +431,15 @@ void Daemon::execute(Job job) {
           {
             std::lock_guard<std::mutex> lock(mu_);
             running_bench_ = event.name;
+            running_bench_index_ = event.index;
+            running_bench_total_ = event.total;
           }
-          try_send(job.stream, "{\"event\":\"bench_start\",\"name\":" + quoted(event.name) +
-                                   ",\"index\":" + std::to_string(event.index) +
-                                   ",\"total\":" + std::to_string(event.total) + "}");
+          const std::string frame =
+              "{\"event\":\"bench_start\",\"name\":" + quoted(event.name) +
+              ",\"index\":" + std::to_string(event.index) +
+              ",\"total\":" + std::to_string(event.total) + "}";
+          try_send(job.stream, frame);
+          broadcast(frame);  // watchers get suite progress markers too
           break;
         }
         case ServiceEvent::Kind::kBenchFinish: {
@@ -397,16 +476,19 @@ void Daemon::execute(Job job) {
                  ",\"trend_seq\":" + std::to_string(artifacts.trend_seq) +
                  ",\"gate_failed\":" + (artifacts.gate_failed ? "true" : "false") +
                  ",\"results\":" + embed(batch_json) + "}");
+    broadcast("{\"event\":\"job_done\",\"job\":" + std::to_string(job.id) + ",\"ok\":true}");
   } catch (const UsageError& e) {
     failure = e.what();
     mark_done();
     try_send(job.stream, "{\"event\":\"done\",\"ok\":false,\"job\":" + std::to_string(job.id) +
                              ",\"exit_code\":2,\"error\":" + quoted(failure) + "}");
+    broadcast("{\"event\":\"job_done\",\"job\":" + std::to_string(job.id) + ",\"ok\":false}");
   } catch (const std::exception& e) {
     failure = e.what();
     mark_done();
     try_send(job.stream, "{\"event\":\"done\",\"ok\":false,\"job\":" + std::to_string(job.id) +
                              ",\"exit_code\":2,\"error\":" + quoted(failure) + "}");
+    broadcast("{\"event\":\"job_done\",\"job\":" + std::to_string(job.id) + ",\"ok\":false}");
   }
   log("job " + std::to_string(job.id) + " finished" +
       (failure.empty() ? " (exit " + std::to_string(exit_code) + ")" : ": " + failure));

@@ -15,6 +15,11 @@
 // hands its connection to the executor, which streams progress events and
 // the final result batch back over it; a client that disappears mid-run
 // only loses its stream — the run completes and is stored regardless.
+// A `watch` hands its connection to the watcher list: the daemon subscribes
+// to obs::IntervalPublisher while running, and every interval frame a load
+// benchmark publishes (--interval-ms) is fanned out to all watchers, so any
+// client can tail a running job's latency windows live without being the
+// submitter.
 #ifndef LMBENCHPP_SRC_SVC_DAEMON_H_
 #define LMBENCHPP_SRC_SVC_DAEMON_H_
 
@@ -27,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/interval_stream.h"
 #include "src/report/json.h"
 #include "src/svc/bench_service.h"
 #include "src/sys/socket.h"
@@ -84,6 +90,10 @@ class Daemon {
   std::string trend_payload(const report::JsonObject& request);
   // Best-effort frame send; a vanished client is not an error.
   static bool try_send(sys::UnixStream& stream, const std::string& payload);
+  // Fan-out to every watch connection, dropping the ones that went away.
+  void broadcast(const std::string& payload);
+  // IntervalPublisher callback (runs on a load-gen worker thread).
+  void on_interval(const obs::IntervalFrame& frame);
   void log(const std::string& line);
 
   DaemonConfig config_;
@@ -101,10 +111,18 @@ class Daemon {
   bool stopping_ = false;
   bool started_ = false;
   long next_job_id_ = 1;
-  std::string running_bench_;  // "" when idle
-  long running_job_ = 0;       // 0 when idle
+  std::string running_bench_;   // "" when idle
+  long running_job_ = 0;        // 0 when idle
+  int running_bench_index_ = 0;  // 0-based run-order position (== completed)
+  int running_bench_total_ = 0;  // benchmarks in the running suite
   int completed_ = 0;
   std::string last_results_json_;  // newest completed lmbenchpp.results.v1
+
+  // Watch connections; separate lock so telemetry fan-out (load-gen worker
+  // threads) never contends with the job-queue mutex.
+  std::mutex watch_mu_;
+  std::vector<std::shared_ptr<sys::UnixStream>> watchers_;
+  int interval_token_ = -1;  // IntervalPublisher subscription
 };
 
 }  // namespace lmb::svc

@@ -15,11 +15,19 @@
 // Ops:
 //   submit    {"op":"submit","args":{flag:value,...}} — run_suite's flag
 //             map, verbatim; the daemon rebuilds a RunRequest from it
-//   status    {"op":"status"} -> queue depth, current job, totals
+//   status    {"op":"status"} -> queue depth, current job and benchmark
+//             (with bench_index/bench_total suite progress), totals
 //   results   {"op":"results"} -> newest completed lmbenchpp.results.v1
 //             document (null before the first completion)
 //   trend     {"op":"trend"[,"bench":...,"metric":...]} -> rendered trend
 //             table + lmbenchpp.trend.v1 document from the daemon's store
+//   watch     {"op":"watch"} -> `{"event":"watching"}` ack, then the
+//             connection becomes a one-way telemetry stream: the daemon
+//             pushes `{"event":"interval_stats",...}` frames (one per
+//             closed --interval-ms latency window of any running load
+//             benchmark, with window p50/p99/p999, rps and shard counters)
+//             plus `bench_start`/`job_done` markers, until the client
+//             disconnects or the daemon shuts down
 //   shutdown  {"op":"shutdown"} -> ack, then the daemon exits its loop
 #ifndef LMBENCHPP_SRC_SVC_WIRE_H_
 #define LMBENCHPP_SRC_SVC_WIRE_H_

@@ -186,5 +186,47 @@ TEST_P(SamplePropertyTest, OrderStatisticsAreOrdered) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SamplePropertyTest, ::testing::Range(1, 25));
 
+// The sorted cache is maintained incrementally: adds after a percentile call
+// sort only the new suffix and merge it in.  Interleaving adds and order
+// statistics in every pattern must agree with a freshly-sorted reference.
+TEST(SampleTest, InterleavedAddsAndPercentilesMatchFreshSort) {
+  std::mt19937 rng(1234);
+  std::uniform_real_distribution<double> dist(-500.0, 500.0);
+  Sample incremental;
+  std::vector<double> raw;
+  for (int round = 0; round < 20; ++round) {
+    // Vary the batch size so the suffix-merge sees 1-element and many-element
+    // tails, duplicates, and already-sorted runs.
+    const int batch = 1 + (round * 7) % 13;
+    for (int i = 0; i < batch; ++i) {
+      double v = (round % 3 == 0) ? static_cast<double>(round) : dist(rng);
+      incremental.add(v);
+      raw.push_back(v);
+    }
+    Sample fresh(raw);  // sorts from scratch every time
+    for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+      ASSERT_DOUBLE_EQ(incremental.percentile(p), fresh.percentile(p))
+          << "round " << round << " p" << p;
+    }
+    ASSERT_DOUBLE_EQ(incremental.min(), fresh.min()) << "round " << round;
+    ASSERT_DOUBLE_EQ(incremental.max(), fresh.max()) << "round " << round;
+    ASSERT_DOUBLE_EQ(incremental.median(), fresh.median()) << "round " << round;
+  }
+}
+
+TEST(SampleTest, MinMaxAfterPercentileStaysCorrectAcrossAdds) {
+  Sample s;
+  s.add(10.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.5);  // builds the sorted cache
+  // These extend both ends of the range after the cache exists.
+  s.add(1.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
 }  // namespace
 }  // namespace lmb

@@ -15,6 +15,7 @@
 #include "src/core/run_result.h"
 #include "src/lat/load_gen.h"
 #include "src/lat/load_server.h"
+#include "src/report/heatmap.h"
 #include "src/sys/fdio.h"
 #include "src/sys/socket.h"
 
@@ -365,9 +366,9 @@ TEST(LoadGenTest, ShardedGeneratorMergesWorkerResults) {
   EXPECT_EQ(r.connections, 8) << "every worker's connections established";
   EXPECT_EQ(r.errors, 0u);
   EXPECT_GT(r.requests, 0u);
-  ASSERT_GT(r.rtt_ns.count(), 0u);
-  const double p50 = r.rtt_ns.percentile(50);
-  const double p99 = r.rtt_ns.percentile(99);
+  ASSERT_GT(r.rtt_hist.count(), 0u);
+  const double p50 = r.rtt_hist.percentile(50);
+  const double p99 = r.rtt_hist.percentile(99);
   EXPECT_GT(p50, 0.0);
   EXPECT_LE(p50, p99);
   EXPECT_GT(r.ops_per_sec, 0.0);
@@ -401,11 +402,11 @@ TEST(LoadGenTest, ClosedLoopEchoCollectsSamples) {
   EXPECT_EQ(r.errors, 0u);
   EXPECT_GT(r.requests, 0u);
   EXPECT_GE(r.total_requests, r.requests);
-  ASSERT_GT(r.rtt_ns.count(), 0u);
+  ASSERT_GT(r.rtt_hist.count(), 0u);
   // Percentiles are finite and ordered.
-  double p50 = r.rtt_ns.percentile(50);
-  double p99 = r.rtt_ns.percentile(99);
-  double p999 = r.rtt_ns.percentile(99.9);
+  double p50 = r.rtt_hist.percentile(50);
+  double p99 = r.rtt_hist.percentile(99);
+  double p999 = r.rtt_hist.percentile(99.9);
   EXPECT_GT(p50, 0.0);
   EXPECT_LE(p50, p99);
   EXPECT_LE(p99, p999);
@@ -486,7 +487,7 @@ TEST(LoadGenTest, StreamModePushesBytesIntoSink) {
   EXPECT_EQ(r.errors, 0u);
   EXPECT_GT(r.bytes_sent, 0u);
   EXPECT_GT(r.mb_per_sec, 0.0);
-  ASSERT_GT(r.rtt_ns.count(), 0u) << "per-block send latency sampled";
+  ASSERT_GT(r.rtt_hist.count(), 0u) << "per-block send latency sampled";
 }
 
 // Registered-benchmark smoke: the full pipeline (flags -> scenarios ->
@@ -576,6 +577,145 @@ TEST(RegisteredLoadBenchSmoke, ShardSweepEmitsPerCountVariants) {
   // The neutral engine metrics ride along on every loopback run.
   EXPECT_TRUE(r.metric("loopback_wakeups_per_req").has_value());
   EXPECT_TRUE(r.metric("loopback_loop_cpu_ns").has_value());
+}
+
+// --- Interval telemetry & bounded-memory RTT collection ------------------
+
+TEST(LoadGenTest, IntervalSeriesWindowsSumToAggregate) {
+  LoadServer server;
+  LoadGenConfig cfg;
+  cfg.port = server.port();
+  cfg.connections = 8;
+  cfg.duration = 300 * kMillisecond;
+  cfg.warmup = 20 * kMillisecond;
+  cfg.interval = 50 * kMillisecond;
+  LoadResult r = run_load(cfg);
+
+  ASSERT_GE(r.intervals.size(), 3u) << "300 ms run at 50 ms windows";
+  // The exact-accounting contract: every measured request lands in exactly
+  // one window, so the per-window sums reproduce the aggregate.
+  std::uint64_t sum = 0;
+  std::uint64_t errs = 0;
+  for (const auto& win : r.intervals) {
+    EXPECT_EQ(win.hist.count(), win.requests) << "window histogram tracks its counter";
+    sum += win.requests;
+    errs += win.errors;
+  }
+  EXPECT_EQ(sum, r.requests);
+  EXPECT_LE(errs, r.errors) << "windows only see measured-phase errors";
+  // Windows tile the measured phase contiguously.
+  EXPECT_EQ(r.intervals.front().start, 0);
+  for (std::size_t i = 0; i + 1 < r.intervals.size(); ++i) {
+    EXPECT_EQ(r.intervals[i].end, r.intervals[i + 1].start) << "window " << i;
+    EXPECT_LT(r.intervals[i].start, r.intervals[i].end) << "window " << i;
+  }
+}
+
+TEST(LoadGenTest, NoIntervalFlagMeansNoSeries) {
+  LoadServer server;
+  LoadGenConfig cfg;
+  cfg.port = server.port();
+  cfg.connections = 4;
+  cfg.duration = 100 * kMillisecond;
+  cfg.warmup = 0;
+  LoadResult r = run_load(cfg);
+  EXPECT_TRUE(r.intervals.empty());
+  EXPECT_GT(r.rtt_hist.count(), 0u);
+}
+
+TEST(LoadGenTest, ReservoirStaysBoundedUnderLoad) {
+  LoadServer server;
+  LoadGenConfig cfg;
+  cfg.port = server.port();
+  cfg.connections = 8;
+  cfg.duration = 300 * kMillisecond;
+  cfg.warmup = 0;
+  cfg.reservoir_cap = 64;  // force subsampling
+  LoadResult r = run_load(cfg);
+  ASSERT_GT(r.requests, 64u) << "need enough traffic to overflow the cap";
+  EXPECT_LE(r.rtt_reservoir.count(), 64u);
+  EXPECT_EQ(r.rtt_seen, r.rtt_hist.count());
+  EXPECT_GT(r.rtt_seen, r.rtt_reservoir.count()) << "reservoir subsampled";
+}
+
+TEST(LoadGenTest, HistogramMatchesReservoirReference) {
+  LoadServer server;
+  LoadGenConfig cfg;
+  cfg.port = server.port();
+  cfg.connections = 8;
+  cfg.duration = 300 * kMillisecond;
+  cfg.warmup = 20 * kMillisecond;
+  LoadResult r = run_load(cfg);
+
+  // Default cap (256k) far exceeds a 300 ms loopback run, so the reservoir
+  // held every RTT and is an exact reference for the histogram.
+  ASSERT_EQ(r.rtt_reservoir.count(), r.rtt_hist.count()) << "reservoir should not subsample";
+  for (double p : {50.0, 99.0}) {
+    const double exact = r.rtt_reservoir.percentile(p);
+    const double approx = r.rtt_hist.percentile(p);
+    ASSERT_GT(exact, 0.0);
+    EXPECT_NEAR(approx, exact, exact * 0.02) << "p" << p;
+  }
+}
+
+TEST(LoadGenTest, ShardedIntervalSeriesMergesIndexWise) {
+  LoadServerConfig scfg;
+  scfg.shards = 2;
+  LoadServer server(scfg);
+
+  LoadGenConfig cfg;
+  cfg.port = server.port();
+  cfg.connections = 8;
+  cfg.shards = 2;
+  cfg.duration = 300 * kMillisecond;
+  cfg.warmup = 20 * kMillisecond;
+  cfg.interval = 50 * kMillisecond;
+  LoadResult r = run_load(cfg);
+
+  ASSERT_GE(r.intervals.size(), 3u);
+  std::uint64_t sum = 0;
+  for (const auto& win : r.intervals) {
+    EXPECT_EQ(win.hist.count(), win.requests);
+    sum += win.requests;
+  }
+  EXPECT_EQ(sum, r.requests) << "merged shard windows reproduce the aggregate";
+  for (std::size_t i = 0; i + 1 < r.intervals.size(); ++i) {
+    EXPECT_EQ(r.intervals[i].end, r.intervals[i + 1].start) << "window " << i;
+  }
+}
+
+TEST(RegisteredLoadBenchSmoke, IntervalFlagEmitsHeatmapMetadata) {
+  const BenchmarkInfo* info = Registry::global().find("lat_tcp_n");
+  ASSERT_NE(info, nullptr);
+  const char* argv[] = {"test",           "--quick",        "--connections=8",
+                        "--duration=300", "--net=loopback", "--interval-ms=50"};
+  Options opts = Options::parse(6, argv);
+  RunResult r = info->run(opts);
+  ASSERT_TRUE(r.ok()) << r.error;
+
+  ASSERT_TRUE(r.metadata.count("heatmap_loopback")) << "heatmap doc missing";
+  report::Heatmap map = report::heatmap_from_json(r.metadata["heatmap_loopback"]);
+  EXPECT_EQ(map.bench, "lat_tcp_n");
+  ASSERT_GE(map.windows.size(), 3u);
+  std::uint64_t sum = 0;
+  for (const auto& win : map.windows) {
+    std::uint64_t row = 0;
+    for (std::uint64_t c : win.counts) {
+      row += c;
+    }
+    EXPECT_EQ(row, win.requests);
+    sum += win.requests;
+  }
+  EXPECT_EQ(sum, map.total_requests());
+  // The aggregate cross-check block is populated and self-consistent.
+  EXPECT_GT(map.p50_us, 0.0);
+  EXPECT_LE(map.p50_us, map.p99_us);
+  EXPECT_LE(map.p99_us, map.p999_us);
+  if (!map.raw_sampled && map.raw_p50_us > 0.0) {
+    EXPECT_NEAR(map.p50_us, map.raw_p50_us, map.raw_p50_us * 0.02);
+    EXPECT_NEAR(map.p99_us, map.raw_p99_us, map.raw_p99_us * 0.02);
+  }
+  EXPECT_TRUE(r.metadata.count("interval_windows"));
 }
 
 TEST(RegisteredLoadBenchSmoke, SimScenarioSurvivesLoss) {

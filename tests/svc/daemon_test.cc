@@ -6,13 +6,18 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/core/clock.h"
+#include "src/obs/interval_stream.h"
 #include "src/svc/client.h"
 #include "src/svc/wire.h"
 #include "src/sys/error.h"
@@ -24,6 +29,11 @@ namespace {
 
 using report::JsonValue;
 using report::find;
+
+// Gate for fake_gate: the benchmark parks until the test opens the gate, so
+// status can be queried while a job is verifiably mid-run.
+std::atomic<bool> gate_open{false};
+std::atomic<bool> gate_entered{false};
 
 // Must outlive the daemon (abandoned-thread rule in bench_service.h) and
 // the daemon's threads, so both live for the whole test binary.
@@ -41,6 +51,44 @@ Registry& test_registry() {
         .category = "bandwidth",
         .description = "synthetic bandwidth",
         .run = [](const Options&) { return RunResult().add("mbs", 5000.0, "MB/s"); },
+    });
+    r->add(BenchmarkInfo{
+        .name = "fake_stream",
+        .category = "latency",
+        .description = "publishes interval telemetry frames like a load bench",
+        .run =
+            [](const Options&) {
+              auto& pub = obs::IntervalPublisher::global();
+              for (int w = 0; w < 4; ++w) {
+                obs::IntervalFrame f;
+                f.source = "fake_stream/loopback";
+                f.shard = 0;
+                f.window = w;
+                f.start = w * 10 * kMillisecond;
+                f.end = (w + 1) * 10 * kMillisecond;
+                f.requests = 100;
+                f.total_requests = 100u * (w + 1);
+                f.rps = 10'000.0;
+                f.p50_ns = 20'000.0;
+                f.p99_ns = 40'000.0;
+                f.p999_ns = 50'000.0;
+                pub.publish(f);
+              }
+              return RunResult().add("us", 1.0, "us");
+            },
+    });
+    r->add(BenchmarkInfo{
+        .name = "fake_gate",
+        .category = "latency",
+        .description = "parks until the test opens the gate",
+        .run =
+            [](const Options&) {
+              gate_entered = true;
+              while (!gate_open) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+              }
+              return RunResult().add("us", 2.0, "us");
+            },
     });
     return r;
   }();
@@ -127,6 +175,89 @@ TEST_F(DaemonTest, StatusAndResultsOps) {
   JsonValue after = client.status();
   EXPECT_EQ(static_cast<int>(find(after.object(), "completed")->number()), 1);
   EXPECT_FALSE(find(client.results().object(), "results")->is_null());
+  daemon.stop();
+}
+
+TEST_F(DaemonTest, StatusReportsSuiteProgressMidRun) {
+  gate_open = false;
+  gate_entered = false;
+  Daemon daemon(config());
+  daemon.start();
+  Client client(daemon.socket_path());
+
+  std::thread submitter([&] {
+    Client jobs(daemon.socket_path());
+    jobs.submit({{"only", "fake_lat,fake_gate"}, {"no-cal-cache", "true"}});
+  });
+  // Wait until the gated benchmark is verifiably executing.
+  for (int i = 0; i < 1000 && !gate_entered; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(gate_entered.load()) << "fake_gate never started";
+
+  JsonValue mid = client.status();
+  const report::JsonObject& obj = mid.object();
+  EXPECT_EQ(find(obj, "state")->str(), "running");
+  EXPECT_EQ(find(obj, "running")->str(), "fake_gate");
+  // bench_index is the running bench's 0-based run-order position — i.e. how
+  // many benchmarks have completed.  fake_gate is second in the submitted
+  // list, so one bench (fake_lat) is done.
+  EXPECT_EQ(static_cast<int>(find(obj, "bench_index")->number()), 1);
+  EXPECT_EQ(static_cast<int>(find(obj, "bench_total")->number()), 2);
+
+  gate_open = true;
+  submitter.join();
+  JsonValue after = client.status();
+  EXPECT_EQ(find(after.object(), "state")->str(), "idle");
+  EXPECT_EQ(static_cast<int>(find(after.object(), "bench_total")->number()), 0);
+  daemon.stop();
+}
+
+TEST_F(DaemonTest, WatchStreamsIntervalFramesFromARunningJob) {
+  Daemon daemon(config());
+  daemon.start();
+
+  std::atomic<bool> watching{false};
+  std::atomic<int> got{0};
+  std::vector<std::string> sources;
+  std::mutex sources_mu;
+  std::thread watcher([&] {
+    Client wclient(daemon.socket_path());
+    got = wclient.watch(
+        [&](const JsonValue& frame) {
+          const JsonValue* event = find(frame.object(), "event");
+          if (event == nullptr) {
+            return;
+          }
+          if (event->str() == "watching") {
+            watching = true;
+          } else if (event->str() == "interval_stats") {
+            std::lock_guard<std::mutex> lock(sources_mu);
+            sources.push_back(find(frame.object(), "source")->str());
+          }
+        },
+        /*max_frames=*/3);
+  });
+  // The watcher must be registered before the job publishes frames.
+  for (int i = 0; i < 1000 && !watching; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(watching.load()) << "watch ack never arrived";
+
+  // A watcher shows up in status.
+  Client client(daemon.socket_path());
+  JsonValue status = client.status();
+  EXPECT_GE(static_cast<int>(find(status.object(), "watchers")->number()), 1);
+
+  client.submit({{"only", "fake_stream"}, {"no-cal-cache", "true"}});
+  watcher.join();
+
+  EXPECT_GE(got.load(), 3) << "acceptance: >= 3 interval_stats frames during the job";
+  std::lock_guard<std::mutex> lock(sources_mu);
+  ASSERT_GE(sources.size(), 3u);
+  for (const std::string& s : sources) {
+    EXPECT_EQ(s, "fake_stream/loopback");
+  }
   daemon.stop();
 }
 
